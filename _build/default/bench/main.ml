@@ -1,0 +1,432 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§4), plus the ablations listed in DESIGN.md.
+
+   Default mode prints the §4.3 overhead table (x86/CISC-64 column and
+   RISC-V column) from *simulated* elapsed time — the mutatee itself
+   times its call loop with clock_gettime, exactly as the paper's
+   application does, and prints the elapsed ns; the harness reads that.
+   Absolute seconds are synthetic (simulator cycle model); the paper's
+   observable — who has more overhead and by roughly what factor — is
+   the reproduced quantity.  EXPERIMENTS.md records a paper-vs-measured
+   comparison.
+
+   `--bechamel` additionally runs wall-clock microbenches (one
+   Bechamel Test.make per table/ablation row) for the toolkit itself:
+   parsing, liveness, codegen, simulation speed. *)
+
+let matmul_n = 16
+let matmul_reps = 2
+
+(* ------------------------------------------------------------------ *)
+(* RISC-V side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type rv_setup = {
+  binary : Core.binary;
+  compiled : Minicc.Driver.compiled;
+}
+
+let rv_setup () =
+  let src = Minicc.Programs.matmul ~n:matmul_n ~reps:matmul_reps in
+  let compiled = Minicc.Driver.compile src in
+  { binary = Core.open_image compiled.Minicc.Driver.image; compiled }
+
+(* run an image; the mutatee prints elapsed ns on stdout *)
+let rv_elapsed_ns (img : Elfkit.Types.image) : int64 =
+  let p = Rvsim.Loader.load img in
+  match Rvsim.Loader.run p with
+  | Rvsim.Machine.Exited 0, out -> Int64.of_string (String.trim out)
+  | stop, _ ->
+      Format.kasprintf failwith "riscv mutatee failed: %a" Rvsim.Machine.pp_stop
+        stop
+
+let rv_base (s : rv_setup) = rv_elapsed_ns (Core.image s.binary)
+
+let rv_instrumented ?use_dead_regs ~(points : [ `Entry | `Blocks ]) (s : rv_setup)
+    : int64 * Patch_api.Rewriter.stats =
+  let m = Core.create_mutator ?use_dead_regs s.binary in
+  let counter = Core.create_counter m "bench_counter" in
+  (match points with
+  | `Entry ->
+      Core.insert m (Core.at_entry s.binary "multiply")
+        [ Codegen_api.Snippet.incr counter ]
+  | `Blocks ->
+      List.iter
+        (fun pt -> Core.insert m pt [ Codegen_api.Snippet.incr counter ])
+        (Core.at_blocks s.binary "multiply"));
+  let img = Core.rewrite m in
+  (rv_elapsed_ns img, Core.stats m)
+
+(* ------------------------------------------------------------------ *)
+(* CISC-64 (x86 comparator) side                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cisc_setup () =
+  Cisc.Cdriver.compile (Minicc.Programs.matmul ~n:matmul_n ~reps:matmul_reps)
+
+let cisc_counter_addr = 0x3F0000L
+
+let cisc_elapsed_ns (m : Cisc.Emu.t) : int64 =
+  match Cisc.Emu.run m with
+  | Cisc.Emu.Exited 0 ->
+      Int64.of_string (String.trim (Cisc.Emu.stdout_contents m))
+  | stop -> Format.kasprintf failwith "cisc mutatee failed: %a" Cisc.Emu.pp_stop stop
+
+let cisc_base (c : Cisc.Cdriver.compiled) = cisc_elapsed_ns (Cisc.Cdriver.load c)
+
+let cisc_instrumented ?(preserve_flags = true) ~(points : [ `Entry | `Blocks ])
+    (c : Cisc.Cdriver.compiled) : int64 =
+  let b = Cisc.Instrument.of_compiled c in
+  let inst = Cisc.Instrument.create ~preserve_flags b in
+  let mult = List.assoc "multiply" c.Cisc.Cdriver.fn_addrs in
+  (match points with
+  | `Entry ->
+      Cisc.Instrument.instrument_function_entry inst ~entry:mult
+        ~counter:cisc_counter_addr
+  | `Blocks ->
+      Cisc.Instrument.instrument_all_blocks inst ~entry:mult
+        ~counter:cisc_counter_addr);
+  let m = Cisc.Cdriver.load c in
+  Cisc.Instrument.apply inst m;
+  cisc_elapsed_ns m
+
+(* ------------------------------------------------------------------ *)
+(* the §4.3 table                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let seconds ns = Int64.to_float ns /. 1e9
+let pct base v = 100.0 *. (seconds v -. seconds base) /. seconds base
+
+let table_4_3 () =
+  print_endline "== Paper 4.3: instrumentation overhead (simulated seconds) ==";
+  Printf.printf "   mutatee: %dx%d double matmul, %d calls (paper: 100x100)\n"
+    matmul_n matmul_n matmul_reps;
+  let rv = rv_setup () in
+  let ci = cisc_setup () in
+  let rv0 = rv_base rv in
+  let ci0 = cisc_base ci in
+  let rv_fn, _ = rv_instrumented ~points:`Entry rv in
+  let rv_bb, bb_stats = rv_instrumented ~points:`Blocks rv in
+  let ci_fn = cisc_instrumented ~points:`Entry ci in
+  let ci_bb = cisc_instrumented ~points:`Blocks ci in
+  Printf.printf "\n%-16s | %12s %8s | %12s %8s\n" "" "x86 (CISC)" "" "RISC-V" "";
+  Printf.printf "%s\n" (String.make 66 '-');
+  Printf.printf "%-16s | %12.4f %8s | %12.4f %8s\n" "Base" (seconds ci0) ""
+    (seconds rv0) "";
+  Printf.printf "%-16s | %12.4f %7.2f%% | %12.4f %7.2f%%\n" "Function count"
+    (seconds ci_fn) (pct ci0 ci_fn) (seconds rv_fn) (pct rv0 rv_fn);
+  Printf.printf "%-16s | %12.4f %7.2f%% | %12.4f %7.2f%%\n" "BB count"
+    (seconds ci_bb) (pct ci0 ci_bb) (seconds rv_bb) (pct rv0 rv_bb);
+  Printf.printf
+    "\n   paper reports:      x86: fn +1.4%%, BB +66.9%% | RISC-V: fn +0.8%%, BB +15.3%%\n";
+  Printf.printf
+    "   RISC-V BB points: %d (paper: 11 blocks in multiply); dead-reg allocations: %d, spills: %d\n"
+    bb_stats.Patch_api.Rewriter.n_points bb_stats.Patch_api.Rewriter.n_dead_alloc
+    bb_stats.Patch_api.Rewriter.n_spilled
+
+(* ------------------------------------------------------------------ *)
+(* ablation: the dead-register optimization (paper 4.3's explanation)   *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_dead_regs () =
+  print_endline "\n== Ablation: dead-register allocation (RISC-V BB count) ==";
+  let rv = rv_setup () in
+  let base = rv_base rv in
+  let with_opt, s1 = rv_instrumented ~use_dead_regs:true ~points:`Blocks rv in
+  let without, s2 = rv_instrumented ~use_dead_regs:false ~points:`Blocks rv in
+  Printf.printf "   base                       %.4fs\n" (seconds base);
+  Printf.printf "   with dead registers        %.4fs  (+%.1f%%)  [%d dead-alloc / %d spilled]\n"
+    (seconds with_opt) (pct base with_opt) s1.Patch_api.Rewriter.n_dead_alloc
+    s1.Patch_api.Rewriter.n_spilled;
+  Printf.printf "   spill everything (old x86) %.4fs  (+%.1f%%)  [%d dead-alloc / %d spilled]\n"
+    (seconds without) (pct base without) s2.Patch_api.Rewriter.n_dead_alloc
+    s2.Patch_api.Rewriter.n_spilled;
+  print_endline
+    "   (the paper attributes RISC-V's lower overhead to this optimization)"
+
+(* and the CISC mirror: what if x86 had flag-liveness? *)
+let ablation_cisc_flags () =
+  print_endline "\n== Ablation: x86 flag save/restore around INC [abs] ==";
+  let ci = cisc_setup () in
+  let base = cisc_base ci in
+  let naive = cisc_instrumented ~preserve_flags:true ~points:`Blocks ci in
+  let opt = cisc_instrumented ~preserve_flags:false ~points:`Blocks ci in
+  Printf.printf "   base                      %.4fs\n" (seconds base);
+  Printf.printf "   PUSHF/POPF (current x86)  %.4fs  (+%.1f%%)\n" (seconds naive)
+    (pct base naive);
+  Printf.printf "   flags-dead assumption     %.4fs  (+%.1f%%)\n" (seconds opt)
+    (pct base opt)
+
+(* ------------------------------------------------------------------ *)
+(* ablation: jump-reachability strategies (paper 3.1.2)                 *)
+(* ------------------------------------------------------------------ *)
+
+let jump_strategy_mutatee ~tiny =
+  (* main loops calling a target function; tiny = single c.ret (2 bytes) *)
+  let open Riscv in
+  let open Riscv.Asm in
+  let target_body =
+    if tiny then
+      let hw = Option.get (Encode.compress Build.ret) in
+      let bts = Bytes.create 2 in
+      Bytes.set_uint16_le bts 0 hw;
+      [ Raw (Bytes.to_string bts) ]
+    else [ Insn (Build.addi Reg.a0 Reg.a0 1); Insn Build.ret ]
+  in
+  [
+    Label "main";
+    Li (Reg.s0, 200_000L);
+    Label "loop";
+    Call_l "target";
+    Insn (Build.addi Reg.s0 Reg.s0 (-1));
+    Br (Op.BNE, Reg.s0, Reg.zero, "loop");
+    Insn (Build.addi Reg.a0 Reg.zero 0);
+    Insn (Build.addi Reg.a7 Reg.zero 93);
+    Insn Build.ecall;
+    Label "target";
+  ]
+  @ target_body
+
+let run_cycles img =
+  let p = Rvsim.Loader.load img in
+  match Rvsim.Loader.run p with
+  | Rvsim.Machine.Exited 0, _ -> p.Rvsim.Loader.machine.Rvsim.Machine.cycles
+  | stop, _ ->
+      Format.kasprintf failwith "mutatee failed: %a" Rvsim.Machine.pp_stop stop
+
+let build_jump_mutatee ~tiny =
+  let open Riscv in
+  let r = Asm.assemble ~base:0x10000L (jump_strategy_mutatee ~tiny) in
+  let attrs =
+    Elfkit.Attributes.section_of
+      { Elfkit.Attributes.empty with arch = Some "rv64imafdc_zicsr_zifencei" }
+  in
+  Elfkit.Types.image ~entry:0x10000L
+    ~e_flags:Elfkit.Types.(ef_riscv_rvc lor ef_riscv_float_abi_double)
+    ~symbols:
+      [
+        Elfkit.Types.symbol "main" 0x10000L ~sym_section:".text";
+        Elfkit.Types.symbol "target" (Asm.label_addr r "target")
+          ~sym_section:".text";
+      ]
+    [
+      Elfkit.Types.section ".text" r.Asm.code ~s_addr:0x10000L
+        ~s_flags:Elfkit.Types.(shf_alloc lor shf_execinstr);
+      attrs;
+    ]
+
+let ablation_jump_strategies () =
+  print_endline "\n== Ablation: springboard strategies (paper 3.1.2) ==";
+  let cases =
+    [
+      ("jal (near trampoline)", false, None);
+      ("auipc+jalr (far trampoline)", false, Some 0x8000000L);
+      ("trap (2-byte function, far)", true, Some 0x8000000L);
+    ]
+  in
+  let base_img = build_jump_mutatee ~tiny:false in
+  let base = run_cycles base_img in
+  Printf.printf "   base (no instrumentation)      %12Ld cycles\n" base;
+  List.iter
+    (fun (name, tiny, tramp_base) ->
+      let img = build_jump_mutatee ~tiny in
+      let b = Core.open_image img in
+      let m = Core.create_mutator ?tramp_base b in
+      let counter = Core.create_counter m "c" in
+      Core.insert m (Core.at_entry b "target") [ Codegen_api.Snippet.incr counter ];
+      let img' = Core.rewrite m in
+      let cycles = run_cycles img' in
+      let strategies =
+        (Core.stats m).Patch_api.Rewriter.strategies
+        |> List.map (fun (_, s) -> Patch_api.Rewriter.strategy_name s)
+        |> String.concat ","
+      in
+      Printf.printf "   %-30s %12Ld cycles  (+%.1f%%)  [%s]\n" name cycles
+        (100.0 *. Int64.(to_float (sub cycles base)) /. Int64.to_float base)
+        strategies)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* parse speed (paper 2: "fast parallel parsing")                       *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic_source n_funcs =
+  let b = Buffer.create 4096 in
+  for k = 0 to n_funcs - 1 do
+    Buffer.add_string b
+      (Printf.sprintf
+         {|
+int f%d(int x) {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < x; i = i + 1) {
+    if (i %% 2 == 0) { s = s + i; } else { s = s - 1; }
+  }
+  return s;
+}
+|}
+         k)
+  done;
+  Buffer.add_string b "int main() { return f0(3); }\n";
+  Buffer.contents b
+
+let parse_speed () =
+  print_endline "\n== ParseAPI speed (synthetic corpus; paper 2's parallel parsing) ==";
+  List.iter
+    (fun n ->
+      let img = (Minicc.Driver.compile (synthetic_source n)).Minicc.Driver.image in
+      let st = Symtab.of_image img in
+      let time domains =
+        let t0 = Unix.gettimeofday () in
+        let cfg = Parse_api.Parser.parse ~domains st in
+        (Unix.gettimeofday () -. t0, Parse_api.Cfg.n_blocks cfg)
+      in
+      let dt1, blocks = time 1 in
+      let dt4, blocks4 = time 4 in
+      assert (blocks = blocks4);
+      let code_bytes =
+        List.fold_left
+          (fun acc (r : Symtab.region) -> acc + r.Symtab.rg_size)
+          0
+          (Symtab.code_regions st)
+      in
+      Printf.printf
+        "   %4d funcs, %7d code bytes: 1 domain %6.1f ms | 4 domains %6.1f ms (%d blocks)\n"
+        n code_bytes (dt1 *. 1000.0) (dt4 *. 1000.0) blocks)
+    [ 10; 100; 400 ];
+  print_endline
+    "   (parallel pre-decode pays domain-spawn overhead; it wins only on\n\
+    \   much larger binaries -- the paper's gigabyte-scale corpora)"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1 & 2 are architecture diagrams: exercised behaviourally      *)
+(* ------------------------------------------------------------------ *)
+
+let figure_flows () =
+  print_endline "\n== Figure 1 flows (static / create / attach) ==";
+  let src = Minicc.Programs.matmul ~n:6 ~reps:1 in
+  let b = Core.open_image (Minicc.Driver.compile src).Minicc.Driver.image in
+  (* static *)
+  let m = Core.create_mutator b in
+  let c1 = Core.create_counter m "static" in
+  Core.insert m (Core.at_entry b "multiply") [ Codegen_api.Snippet.incr c1 ];
+  let img = Core.rewrite m in
+  let p = Rvsim.Loader.load img in
+  let _ = Rvsim.Loader.run p in
+  Printf.printf "   static rewrite:        counter=%Ld\n"
+    (Rvsim.Mem.read64 p.Rvsim.Loader.machine.Rvsim.Machine.mem
+       c1.Codegen_api.Snippet.v_addr);
+  (* dynamic: create-and-instrument *)
+  let m2 = Core.create_mutator b in
+  let c2 = Core.create_counter m2 "dynamic" in
+  Core.insert m2 (Core.at_entry b "multiply") [ Codegen_api.Snippet.incr c2 ];
+  let proc = Core.launch (Core.image b) in
+  Core.instrument_process m2 proc;
+  let _ = Core.continue_ proc in
+  Printf.printf "   create-and-instrument: counter=%Ld\n" (Core.read_counter proc c2);
+  (* dynamic: attach *)
+  let m3 = Core.create_mutator b in
+  let c3 = Core.create_counter m3 "attach" in
+  Core.insert m3 (Core.at_entry b "multiply") [ Codegen_api.Snippet.incr c3 ];
+  let proc2 = Core.launch (Core.image b) in
+  Core.instrument_process m3 proc2;
+  let _ = Core.continue_ proc2 in
+  Printf.printf "   attach-and-instrument: counter=%Ld\n" (Core.read_counter proc2 c3)
+
+let figure_components () =
+  print_endline "\n== Figure 2: component map ==";
+  List.iter
+    (fun (c, deps) ->
+      Printf.printf "   %-16s <- %s\n" c
+        (if deps = [] then "(leaf)" else String.concat ", " deps))
+    Core.components
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock microbenches                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_benches () =
+  let open Bechamel in
+  let src = Minicc.Programs.matmul ~n:8 ~reps:1 in
+  let compiled = Minicc.Driver.compile src in
+  let img = compiled.Minicc.Driver.image in
+  let st = Symtab.of_image img in
+  let cfg = Parse_api.Parser.parse st in
+  let mult =
+    List.find
+      (fun f -> f.Parse_api.Cfg.f_name = "multiply")
+      (Parse_api.Cfg.functions cfg)
+  in
+  let code =
+    (List.hd (Symtab.code_regions st)).Symtab.rg_data
+  in
+  let tests =
+    [
+      Test.make ~name:"decode-region"
+        (Staged.stage (fun () ->
+             ignore (Instruction.disassemble_all ~base:0x10000L code)));
+      Test.make ~name:"parse-cfg"
+        (Staged.stage (fun () -> ignore (Parse_api.Parser.parse st)));
+      Test.make ~name:"liveness-multiply"
+        (Staged.stage (fun () ->
+             ignore (Dataflow_api.Liveness.analyze cfg mult)));
+      Test.make ~name:"rewrite-bb-count"
+        (Staged.stage (fun () ->
+             let b = { Core.symtab = st; cfg } in
+             let m = Core.create_mutator b in
+             let c = Core.create_counter m "c" in
+             List.iter
+               (fun pt -> Core.insert m pt [ Codegen_api.Snippet.incr c ])
+               (Core.at_blocks b "multiply");
+             ignore (Core.rewrite m)));
+      Test.make ~name:"simulate-matmul-8"
+        (Staged.stage (fun () ->
+             let p = Rvsim.Loader.load img in
+             ignore (Rvsim.Loader.run p)));
+      Test.make ~name:"sail-pipeline"
+        (Staged.stage (fun () ->
+             ignore (Sailsem.Sail.pipeline_of_text Sailsem.Spec.text)));
+      Test.make ~name:"minicc-compile"
+        (Staged.stage (fun () -> ignore (Minicc.Driver.compile src)));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  print_endline "\n== Bechamel microbenches (wall clock) ==";
+  List.iter
+    (fun t ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ t ]) in
+      let a = analyze results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "   %-24s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "   %-24s (no estimate)\n" name)
+        a)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let bechamel = Array.exists (( = ) "--bechamel") Sys.argv in
+  table_4_3 ();
+  ablation_dead_regs ();
+  ablation_cisc_flags ();
+  ablation_jump_strategies ();
+  parse_speed ();
+  figure_flows ();
+  figure_components ();
+  if bechamel then bechamel_benches ();
+  print_endline "\nbench: done"

@@ -1,0 +1,1 @@
+bin/components.ml: Core List Printf String

@@ -1,0 +1,1 @@
+bin/mkmutatee.ml: Arg Cmd Cmdliner Elfkit Format Fun List Minicc Printf Rvsim Term

@@ -1,0 +1,1 @@
+bin/rvdump.ml: Arg Cmd Cmdliner Format Instruction Int64 List Parse_api Printf Riscv Symtab Term

@@ -1,0 +1,1 @@
+bin/rvrewrite.ml: Arg Cmd Cmdliner Codegen_api Core List Patch_api Printf Term

@@ -1,0 +1,1 @@
+bin/sail_pipeline.ml: Array Hashtbl List Printf Riscv Sailsem String Sys

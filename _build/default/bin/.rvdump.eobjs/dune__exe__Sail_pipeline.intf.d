@@ -1,0 +1,1 @@
+bin/sail_pipeline.mli:

@@ -1,0 +1,9 @@
+(* components: print the toolkit dependency map (paper Figure 2). *)
+
+let () =
+  print_endline "Dyninst-RISC-V component map (paper Figure 2):";
+  List.iter
+    (fun (c, deps) ->
+      Printf.printf "  %-16s <- %s\n" c
+        (if deps = [] then "(leaf)" else String.concat ", " deps))
+    Core.components

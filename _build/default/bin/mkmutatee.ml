@@ -1,0 +1,58 @@
+(* mkmutatee: compile a mini-C source file to a RV64GC ELF executable
+   that the other tools (rvdump, rvrewrite) and the simulator can use.
+
+     dune exec bin/mkmutatee.exe -- prog.c -o prog.elf [--run]
+     dune exec bin/mkmutatee.exe -- --builtin matmul -o out.elf          *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let build source_arg output builtin run =
+  let source =
+    match builtin with
+    | Some "matmul" -> Minicc.Programs.matmul ~n:16 ~reps:2
+    | Some "switch" -> Minicc.Programs.switch_demo
+    | Some "fib" -> Minicc.Programs.fib
+    | Some "mixed" -> Minicc.Programs.mixed
+    | Some "calls" -> Minicc.Programs.calls
+    | Some other -> failwith ("unknown builtin " ^ other)
+    | None -> (
+        match source_arg with
+        | Some p -> read_file p
+        | None -> failwith "need a source file or --builtin")
+  in
+  let c = Minicc.Driver.compile source in
+  Elfkit.Write.to_file output c.Minicc.Driver.image;
+  Printf.printf "wrote %s (%d functions)\n" output
+    (List.length c.Minicc.Driver.fn_addrs);
+  if run then begin
+    let p = Rvsim.Loader.load_file output in
+    let stop, out = Rvsim.Loader.run p in
+    print_string out;
+    Format.printf "-> %a\n" Rvsim.Machine.pp_stop stop
+  end
+
+let source_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SRC" ~doc:"mini-C source")
+
+let output_arg =
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+       ~doc:"output ELF")
+
+let builtin_arg =
+  Arg.(value & opt (some string) None
+       & info [ "builtin" ] ~doc:"use a built-in program (matmul|switch|fib|mixed|calls)")
+
+let run_flag = Arg.(value & flag & info [ "run" ] ~doc:"run the result in the simulator")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mkmutatee" ~doc:"compile mini-C to a RISC-V ELF")
+    Term.(const build $ source_arg $ output_arg $ builtin_arg $ run_flag)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,66 @@
+(* rvdump: objdump-like inspection of a RISC-V ELF through the Dyninst
+   toolkits — sections, symbols, extension profile, disassembly, CFG and
+   loops.
+
+     dune exec bin/rvdump.exe -- <file.elf> [--cfg] [--no-disasm]        *)
+
+open Cmdliner
+
+let dump path show_cfg no_disasm =
+  let st = Symtab.of_file path in
+  Printf.printf "entry: 0x%Lx\n" (Symtab.entry st);
+  Printf.printf "profile: %s (from %s)\n"
+    (Riscv.Ext.arch_string (Symtab.profile st))
+    (match Symtab.profile_source st with
+    | `Attributes -> ".riscv.attributes"
+    | `Eflags -> "e_flags fallback");
+  print_endline "regions:";
+  List.iter
+    (fun (r : Symtab.region) ->
+      Printf.printf "  %-20s 0x%Lx..0x%Lx %s%s\n" r.Symtab.rg_name
+        r.Symtab.rg_addr
+        (Int64.add r.Symtab.rg_addr (Int64.of_int r.Symtab.rg_size))
+        (if r.Symtab.rg_exec then "x" else "-")
+        (if r.Symtab.rg_write then "w" else "-"))
+    (Symtab.regions st);
+  let cfg = Parse_api.Parser.parse st in
+  Printf.printf "functions (%d):\n" (List.length (Parse_api.Cfg.functions cfg));
+  List.iter
+    (fun (f : Parse_api.Cfg.func) ->
+      let loops = Parse_api.Loops.loops_of_function cfg f in
+      Printf.printf "  %-24s entry 0x%Lx  %3d blocks  %d loops%s%s\n"
+        f.Parse_api.Cfg.f_name f.Parse_api.Cfg.f_entry
+        (Parse_api.Cfg.I64Set.cardinal f.Parse_api.Cfg.f_blocks)
+        (List.length loops)
+        (if f.Parse_api.Cfg.f_returns then "" else "  noreturn?")
+        (if f.Parse_api.Cfg.f_from_gap then "  [gap]" else "");
+      if show_cfg then
+        List.iter
+          (fun (b : Parse_api.Cfg.block) ->
+            Printf.printf "    block 0x%Lx..0x%Lx ->" b.Parse_api.Cfg.b_start
+              b.Parse_api.Cfg.b_end;
+            List.iter
+              (fun e -> Format.printf " %a" Parse_api.Cfg.pp_edge e)
+              b.Parse_api.Cfg.b_out;
+            print_newline ();
+            if not no_disasm then
+              List.iter
+                (fun ins -> Format.printf "      %a\n" Instruction.pp ins)
+                b.Parse_api.Cfg.b_insns)
+          (Parse_api.Cfg.blocks_of cfg f))
+    (Parse_api.Cfg.functions cfg)
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"ELF" ~doc:"input binary")
+
+let cfg_flag = Arg.(value & flag & info [ "cfg" ] ~doc:"print blocks and edges")
+
+let no_disasm_flag =
+  Arg.(value & flag & info [ "no-disasm" ] ~doc:"omit per-instruction output")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "rvdump" ~doc:"inspect a RISC-V binary with the Dyninst toolkits")
+    Term.(const dump $ path_arg $ cfg_flag $ no_disasm_flag)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bbprofiler.ml: Codegen_api Core Format Int64 List Minicc Parse_api Patch_api Printf Rvsim String

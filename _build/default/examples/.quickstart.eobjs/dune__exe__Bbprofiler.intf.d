@@ -1,0 +1,1 @@
+examples/bbprofiler.mli:

@@ -1,0 +1,1 @@
+examples/flows.ml: Codegen_api Core Elfkit Filename List Minicc Printf Proccontrol_api Rvsim Sys

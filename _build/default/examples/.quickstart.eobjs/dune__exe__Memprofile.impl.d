@@ -1,0 +1,1 @@
+examples/memprofile.ml: Codegen_api Core Format Instruction List Minicc Parse_api Patch_api Printf Riscv Rvsim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen_api Core Format List Minicc Parse_api Printf Riscv Rvsim String

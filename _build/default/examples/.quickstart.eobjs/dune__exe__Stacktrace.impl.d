@@ -1,0 +1,1 @@
+examples/stacktrace.ml: Core Format Int64 List Minicc Printf Proccontrol_api Stackwalker_api

@@ -1,0 +1,1 @@
+examples/tracer.ml: Codegen_api Core List Minicc Printf Proccontrol_api

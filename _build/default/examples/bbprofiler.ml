@@ -1,0 +1,57 @@
+(* A basic-block profiler in the HPCToolkit/TAU spirit (paper §2): give
+   every basic block of every user function its own counter, rewrite,
+   run, and report the hottest blocks with their loop nesting depth.
+
+     dune exec examples/bbprofiler.exe *)
+
+let mutatee_source = Minicc.Programs.matmul ~n:10 ~reps:2
+
+let () =
+  print_endline "== bbprofiler: hottest basic blocks of the matmul mutatee ==";
+  let compiled = Minicc.Driver.compile mutatee_source in
+  let binary = Core.open_image compiled.Minicc.Driver.image in
+  let mutator = Core.create_mutator binary in
+  (* a counter per block, for the interesting functions *)
+  let tracked = [ "init"; "multiply"; "main" ] in
+  let counters = ref [] in
+  List.iter
+    (fun fname ->
+      List.iter
+        (fun (pt : Patch_api.Point.t) ->
+          let name = Printf.sprintf "%s@0x%Lx" fname pt.Patch_api.Point.p_block in
+          let c = Core.create_counter mutator name in
+          counters := (fname, pt.Patch_api.Point.p_block, c) :: !counters;
+          Core.insert mutator pt [ Codegen_api.Snippet.incr c ])
+        (Core.at_blocks binary fname))
+    tracked;
+  Printf.printf "instrumented %d blocks across %s\n" (List.length !counters)
+    (String.concat ", " tracked);
+  let rewritten = Core.rewrite mutator in
+  let p = Rvsim.Loader.load rewritten in
+  let stop, _ = Rvsim.Loader.run p in
+  Format.printf "mutatee exit: %a\n" Rvsim.Machine.pp_stop stop;
+  (* collect and rank *)
+  let read c =
+    Rvsim.Mem.read64 p.Rvsim.Loader.machine.Rvsim.Machine.mem
+      c.Codegen_api.Snippet.v_addr
+  in
+  let rows =
+    List.map (fun (f, blk, c) -> (f, blk, read c)) !counters
+    |> List.sort (fun (_, _, a) (_, _, b) -> Int64.compare b a)
+  in
+  (* loop depth annotation from ParseAPI's loop analysis *)
+  let loop_depth fname blk =
+    let loops = Core.loops binary fname in
+    List.filter (fun l -> Parse_api.Cfg.I64Set.mem blk l.Parse_api.Loops.l_blocks) loops
+    |> List.length
+  in
+  print_endline "rank  function   block        executions  loop-depth";
+  List.iteri
+    (fun k (f, blk, n) ->
+      if k < 10 then
+        Printf.printf "%4d  %-9s 0x%-10Lx %10Ld  %d\n" (k + 1) f blk n
+          (loop_depth f blk))
+    rows;
+  (* sanity: the innermost matmul block must dominate *)
+  let top_f, _, _ = List.hd rows in
+  Printf.printf "hottest block is in %s (expected: multiply)\n" top_f

@@ -1,0 +1,37 @@
+(* A STAT-style stack collector (paper §2 cites LLNL's STAT as a
+   Dyninst-based debugging tool): run the mutatee to a breakpoint planted
+   deep in a call chain and print the call stack collected by
+   StackwalkerAPI's sp-only frame stepper.
+
+     dune exec examples/stacktrace.exe *)
+
+module P = Proccontrol_api.Proccontrol
+module Sw = Stackwalker_api.Stackwalker
+
+let mutatee_source =
+  {|
+int leaf(int x) { return x + 1; }
+int middle(int x) { return leaf(x * 2) + 1; }
+int outer(int x) { return middle(x + 3) * 2; }
+int main() { return outer(1); }
+|}
+
+let () =
+  print_endline "== stacktrace: walk the stack at a breakpoint in leaf() ==";
+  let compiled = Minicc.Driver.compile mutatee_source in
+  let binary = Core.open_image compiled.Minicc.Driver.image in
+  let leaf_addr = List.assoc "leaf" compiled.Minicc.Driver.fn_addrs in
+  let proc = Core.launch (Core.image binary) in
+  (* stop after leaf's prologue so the saved-ra path is exercised *)
+  P.insert_breakpoint proc (Int64.add leaf_addr 12L);
+  (match P.continue_ proc with
+  | P.Ev_breakpoint a -> Printf.printf "stopped at 0x%Lx\n" a
+  | _ -> failwith "breakpoint not hit");
+  let frames = Core.walk_process binary proc in
+  print_endline "call stack (innermost first):";
+  List.iteri
+    (fun k fr -> Format.printf "  #%d %a\n" k Sw.pp_frame fr)
+    frames;
+  (match P.continue_ proc with
+  | P.Ev_exited c -> Printf.printf "mutatee finished with exit code %d\n" c
+  | _ -> failwith "unexpected stop")

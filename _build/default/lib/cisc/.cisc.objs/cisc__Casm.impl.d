@@ -1,0 +1,1 @@
+lib/cisc/casm.ml: Buffer Bytes Hashtbl Int64 Isa List

@@ -1,0 +1,1 @@
+lib/cisc/cdriver.ml: Array Buffer Bytes Casm Cgen Emu Hashtbl Int64 Isa List Minicc Option Rvsim

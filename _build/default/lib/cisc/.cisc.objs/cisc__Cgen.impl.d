@@ -1,0 +1,1 @@
+lib/cisc/cgen.ml: Casm Format Hashtbl Int32 Int64 Isa List Minicc Option Printf

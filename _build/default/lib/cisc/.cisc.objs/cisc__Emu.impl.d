@@ -1,0 +1,1 @@
+lib/cisc/emu.ml: Array Buffer Bytes Float Format Hashtbl Int32 Int64 Isa Rvsim

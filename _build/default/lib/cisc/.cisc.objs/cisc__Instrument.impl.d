@@ -1,0 +1,1 @@
+lib/cisc/instrument.ml: Buffer Bytes Cdriver Char Emu Hashtbl Int64 Isa List Rvsim

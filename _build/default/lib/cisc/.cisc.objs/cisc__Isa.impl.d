@@ -1,0 +1,1 @@
+lib/cisc/isa.ml: Buffer Char Int64 Printf

@@ -1,0 +1,60 @@
+(* Tiny two-pass assembler for CISC-64: all label-relative forms have
+   fixed sizes (rel32), so no relaxation is needed. *)
+
+type item =
+  | I of Isa.insn
+  | L of string
+  | JmpL of string
+  | JccL of Isa.cc * string
+  | CallL of string
+
+exception Undefined_label of string
+
+type result = { code : Bytes.t; labels : (string * int64) list }
+
+let item_size = function
+  | I i -> Isa.length i
+  | L _ -> 0
+  | JmpL _ | CallL _ -> 5
+  | JccL _ -> 6
+
+let assemble ?(base = 0L) (items : item list) : result =
+  let offsets = Hashtbl.create 32 in
+  let cur = ref base in
+  List.iter
+    (fun it ->
+      (match it with L l -> Hashtbl.replace offsets l !cur | _ -> ());
+      cur := Int64.add !cur (Int64.of_int (item_size it)))
+    items;
+  let resolve l =
+    match Hashtbl.find_opt offsets l with
+    | Some a -> a
+    | None -> raise (Undefined_label l)
+  in
+  let buf = Buffer.create 1024 in
+  let pc = ref base in
+  List.iter
+    (fun it ->
+      let size = item_size it in
+      let next = Int64.add !pc (Int64.of_int size) in
+      (match it with
+      | I i -> Isa.encode buf i
+      | L _ -> ()
+      | JmpL l -> Isa.encode buf (Isa.Jmp (Int64.to_int32 (Int64.sub (resolve l) next)))
+      | JccL (c, l) ->
+          Isa.encode buf (Isa.Jcc (c, Int64.to_int32 (Int64.sub (resolve l) next)))
+      | CallL l ->
+          Isa.encode buf (Isa.Call (Int64.to_int32 (Int64.sub (resolve l) next))));
+      pc := next)
+    items;
+  {
+    code = Buffer.to_bytes buf;
+    labels =
+      Hashtbl.fold (fun l a acc -> (l, a) :: acc) offsets []
+      |> List.sort (fun (_, a) (_, b) -> Int64.compare a b);
+  }
+
+let label_addr r l =
+  match List.assoc_opt l r.labels with
+  | Some a -> a
+  | None -> raise (Undefined_label l)

@@ -1,0 +1,173 @@
+(* CISC-64 driver: mini-C source -> loaded machine, plus the runtime.
+   The layout parallels the RISC-V driver: code at 0x1000, globals at
+   0x300000, stack below 0x7FF0000. *)
+
+open Casm
+
+exception Link_error of string
+
+let text_base = 0x1000L
+let data_base = 0x300000L
+let stack_top = 0x7FF0000L
+
+let i x = I x
+
+let runtime =
+  [
+    L "_start";
+    CallL "main";
+    i (Isa.Movi (7, 93L));
+    i Isa.Syscall;
+    (* long __clock_ns(void) *)
+    L "__clock_ns";
+    i (Isa.Addi (Isa.sp, -16l));
+    i (Isa.Movi (0, 0L));
+    i (Isa.Mov (1, Isa.sp));
+    i (Isa.Movi (7, 113L));
+    i Isa.Syscall;
+    i (Isa.Load (5, Isa.sp, 0l));
+    i (Isa.Load (6, Isa.sp, 8l));
+    i (Isa.Movi (7, 1_000_000_000L));
+    i (Isa.Imul (5, 7));
+    i (Isa.Add (5, 6));
+    i (Isa.Mov (0, 5));
+    i (Isa.Addi (Isa.sp, 16l));
+    i Isa.Ret;
+    (* void __print_int(long v): digits into a stack buffer, then write *)
+    L "__print_int";
+    i (Isa.Addi (Isa.sp, -48l));
+    (* cursor R5 = sp+32; '\n' at [sp+32] *)
+    i (Isa.Mov (5, Isa.sp));
+    i (Isa.Addi (5, 32l));
+    i (Isa.Movi (6, 10L));
+    i (Isa.Store (6, 5, 0l));
+    (* sign flag R8 (callee-saved by convention, but we are a leaf) *)
+    i (Isa.Movi (8, 0L));
+    i (Isa.Cmpi (0, 0l));
+    JccL (Isa.Ge, "__cpi_pos");
+    i (Isa.Movi (8, 1L));
+    i (Isa.Neg 0);
+    L "__cpi_pos";
+    i (Isa.Movi (9, 10L));
+    L "__cpi_digit";
+    i (Isa.Mov (6, 0));
+    i (Isa.Irem (6, 9));
+    i (Isa.Addi (6, 48l));
+    i (Isa.Addi (5, -1l));
+    (* store low byte: full 8-byte store would clobber; emulate byte store
+       with read-modify-write via shifts is overkill — we store 8 bytes at
+       a descending cursor, so only the low byte position matters as long
+       as later stores do not overwrite earlier digits.  A full store at
+       cursor writes digits beyond... so place digits via 8-byte stores to
+       a parallel buffer is wrong; instead keep digits in a register? The
+       pragmatic fix: write the byte by combining. *)
+    i (Isa.Push 7);
+    i (Isa.Load (7, 5, 0l));
+    i (Isa.Movi (10, 0xFFFFFFFFFFFFFF00L));
+    i (Isa.And_ (7, 10));
+    i (Isa.Or_ (7, 6));
+    i (Isa.Store (7, 5, 0l));
+    i (Isa.Pop 7);
+    i (Isa.Mov (6, 0));
+    i (Isa.Idiv (0, 9));
+    i (Isa.Cmpi (0, 0l));
+    JccL (Isa.Ne, "__cpi_digit");
+    i (Isa.Cmpi (8, 0l));
+    JccL (Isa.Eq, "__cpi_nosign");
+    i (Isa.Addi (5, -1l));
+    i (Isa.Push 7);
+    i (Isa.Load (7, 5, 0l));
+    i (Isa.Movi (10, 0xFFFFFFFFFFFFFF00L));
+    i (Isa.And_ (7, 10));
+    i (Isa.Movi (6, 45L));
+    i (Isa.Or_ (7, 6));
+    i (Isa.Store (7, 5, 0l));
+    i (Isa.Pop 7);
+    L "__cpi_nosign";
+    (* write(1, R5, sp+33 - R5) *)
+    i (Isa.Mov (2, Isa.sp));
+    i (Isa.Addi (2, 33l));
+    i (Isa.Sub (2, 5));
+    i (Isa.Mov (1, 5));
+    i (Isa.Movi (0, 1L));
+    i (Isa.Movi (7, 64L));
+    i Isa.Syscall;
+    i (Isa.Addi (Isa.sp, 48l));
+    i Isa.Ret;
+    (* void __print_char(long c) *)
+    L "__print_char";
+    i (Isa.Addi (Isa.sp, -16l));
+    i (Isa.Store (0, Isa.sp, 0l));
+    i (Isa.Mov (1, Isa.sp));
+    i (Isa.Movi (0, 1L));
+    i (Isa.Movi (2, 1L));
+    i (Isa.Movi (7, 64L));
+    i Isa.Syscall;
+    i (Isa.Addi (Isa.sp, 16l));
+    i Isa.Ret;
+  ]
+
+type compiled = {
+  code : Bytes.t;
+  labels : (string * int64) list;
+  entry : int64;
+  fn_addrs : (string * int64) list;
+  data : Bytes.t;
+  prog : Minicc.Cast.program;
+}
+
+let compile (source : string) : compiled =
+  let prog = Minicc.Cparse.parse_program source in
+  let genv =
+    { Cgen.g_globals = Hashtbl.create 16; g_funcs = Hashtbl.create 16 }
+  in
+  List.iter
+    (fun (f : Minicc.Cast.func) ->
+      Hashtbl.replace genv.Cgen.g_funcs f.Minicc.Cast.fn_name f)
+    prog.Minicc.Cast.funcs;
+  if not (Hashtbl.mem genv.Cgen.g_funcs "main") then
+    raise (Link_error "no main function");
+  let data = Buffer.create 256 in
+  List.iter
+    (fun (g : Minicc.Cast.global) ->
+      let addr = Int64.add data_base (Int64.of_int (Buffer.length data)) in
+      Hashtbl.replace genv.Cgen.g_globals g.Minicc.Cast.g_name
+        (addr, g.Minicc.Cast.g_ty);
+      for k = 0 to g.Minicc.Cast.g_count - 1 do
+        let v = try List.nth g.Minicc.Cast.g_init k with _ -> 0L in
+        Buffer.add_int64_le data v
+      done)
+    prog.Minicc.Cast.globals;
+  let items =
+    runtime @ List.concat_map (Cgen.gen_func genv) prog.Minicc.Cast.funcs
+  in
+  let r = Casm.assemble ~base:text_base items in
+  let fn_addrs =
+    List.filter_map
+      (fun (f : Minicc.Cast.func) ->
+        Option.map
+          (fun a -> (f.Minicc.Cast.fn_name, a))
+          (List.assoc_opt f.Minicc.Cast.fn_name r.Casm.labels))
+      prog.Minicc.Cast.funcs
+  in
+  {
+    code = r.Casm.code;
+    labels = r.Casm.labels;
+    entry = text_base;
+    fn_addrs;
+    data = Buffer.to_bytes data;
+    prog;
+  }
+
+let load (c : compiled) : Emu.t =
+  let m = Emu.create () in
+  Rvsim.Mem.write_bytes m.Emu.mem text_base c.code;
+  if Bytes.length c.data > 0 then Rvsim.Mem.write_bytes m.Emu.mem data_base c.data;
+  m.Emu.pc <- c.entry;
+  m.Emu.regs.(Isa.sp) <- stack_top;
+  m
+
+let run ?(max_steps = 2_000_000_000) (source : string) =
+  let m = load (compile source) in
+  let stop = Emu.run ~max_steps m in
+  (stop, Emu.stdout_contents m)

@@ -1,0 +1,453 @@
+(* mini-C -> CISC-64 backend.
+
+   Classic x86 -O0 shape: a frame pointer (R15 ~ rbp) anchors locals,
+   expressions evaluate through a two-register + stack discipline
+   (result in R5, operands pushed/popped), comparisons go through the
+   flags, and calls pass arguments in R0-R3 / F0-F3.
+
+   The same mini-C source compiled by Ccodegen (RISC-V) and by this
+   backend gives the two columns of the paper's §4.3 table. *)
+
+open Minicc.Cast
+
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+let rbp = 15
+let acc = 5 (* integer accumulator *)
+let acc2 = 6
+let facc = 4 (* FP accumulator *)
+let facc2 = 5
+
+type genv = {
+  g_globals : (string, int64 * ty) Hashtbl.t; (* absolute address, elem ty *)
+  g_funcs : (string, Minicc.Cast.func) Hashtbl.t;
+}
+
+type fenv = {
+  genv : genv;
+  locals : (string, int * ty) Hashtbl.t; (* rbp-relative disp (negative) *)
+  fn : Minicc.Cast.func;
+  epilogue : string;
+  mutable label_id : int;
+}
+
+let fresh fe tag =
+  fe.label_id <- fe.label_id + 1;
+  Printf.sprintf ".C%s_%s%d" fe.fn.fn_name tag fe.label_id
+
+let builtin_ret = function
+  | "clock_ns" -> Some Tint
+  | "print_int" | "print_char" | "exit" -> Some Tvoid
+  | _ -> None
+
+let rec ty_of fe (e : expr) : ty =
+  match e with
+  | Eint _ -> Tint
+  | Efloat _ -> Tdouble
+  | Evar x -> (
+      match Hashtbl.find_opt fe.locals x with
+      | Some (_, t) -> t
+      | None -> (
+          match Hashtbl.find_opt fe.genv.g_globals x with
+          | Some (_, t) -> t
+          | None -> fail "unknown variable %s" x))
+  | Eindex (a, _) -> (
+      match Hashtbl.find_opt fe.genv.g_globals a with
+      | Some (_, t) -> t
+      | None -> fail "unknown array %s" a)
+  | Ecall (f, _) -> (
+      match builtin_ret f with
+      | Some t -> t
+      | None -> (
+          match Hashtbl.find_opt fe.genv.g_funcs f with
+          | Some fn -> fn.fn_ret
+          | None -> fail "unknown function %s" f))
+  | Ebin ((Lt | Le | Gt | Ge | Eq | Ne | And | Or), _, _) -> Tint
+  | Ebin (_, a, b) ->
+      if ty_of fe a = Tdouble || ty_of fe b = Tdouble then Tdouble else Tint
+  | Eneg e -> ty_of fe e
+  | Enot _ -> Tint
+
+open Casm
+
+let i x = I x
+
+(* push / pop the FP accumulator as raw bits via the stack *)
+let fpush f = [ i (Isa.Addi (Isa.sp, -8l)); i (Isa.Fstore (f, Isa.sp, 0l)) ]
+let fpop f = [ i (Isa.Fload (f, Isa.sp, 0l)); i (Isa.Addi (Isa.sp, 8l)) ]
+
+(* integer expression -> R5 *)
+let rec gen_i fe (e : expr) : item list =
+  match e with
+  | Eint v -> [ i (Isa.Movi (acc, v)) ]
+  | Efloat _ -> fail "float literal in int context"
+  | Evar x -> (
+      match Hashtbl.find_opt fe.locals x with
+      | Some (disp, Tint) -> [ i (Isa.Load (acc, rbp, Int32.of_int disp)) ]
+      | Some (_, _) -> coerce_d_to_i fe e
+      | None -> (
+          match Hashtbl.find_opt fe.genv.g_globals x with
+          | Some (addr, Tint) ->
+              [ i (Isa.Movi (acc2, addr)); i (Isa.Load (acc, acc2, 0l)) ]
+          | Some _ -> coerce_d_to_i fe e
+          | None -> fail "unknown variable %s" x))
+  | Eindex (a, idx) -> (
+      match Hashtbl.find_opt fe.genv.g_globals a with
+      | Some (addr, Tint) ->
+          gen_i fe idx
+          @ [
+              i (Isa.Shli (acc, 3));
+              i (Isa.Movi (acc2, addr));
+              i (Isa.Add (acc, acc2));
+              i (Isa.Load (acc, acc, 0l));
+            ]
+      | Some _ -> coerce_d_to_i fe e
+      | None -> fail "unknown array %s" a)
+  | Ecall _ when ty_of fe e = Tdouble -> coerce_d_to_i fe e
+  | Ecall (f, args) -> gen_call fe f args @ [ i (Isa.Mov (acc, 0)) ]
+  | Eneg e when ty_of fe e = Tdouble -> coerce_d_to_i fe (Eneg e)
+  | Eneg e -> gen_i fe e @ [ i (Isa.Neg acc) ]
+  | Enot e -> gen_i fe e @ [ i (Isa.Cmpi (acc, 0l)); i (Isa.Setcc (Isa.Eq, acc)) ]
+  | Ebin (And, a, b) ->
+      let l_f = fresh fe "andf" and l_e = fresh fe "ande" in
+      gen_i fe a
+      @ [ i (Isa.Cmpi (acc, 0l)); JccL (Isa.Eq, l_f) ]
+      @ gen_i fe b
+      @ [ i (Isa.Cmpi (acc, 0l)); i (Isa.Setcc (Isa.Ne, acc)); JmpL l_e;
+          L l_f; i (Isa.Movi (acc, 0L)); L l_e ]
+  | Ebin (Or, a, b) ->
+      let l_t = fresh fe "ort" and l_e = fresh fe "ore" in
+      gen_i fe a
+      @ [ i (Isa.Cmpi (acc, 0l)); JccL (Isa.Ne, l_t) ]
+      @ gen_i fe b
+      @ [ i (Isa.Cmpi (acc, 0l)); i (Isa.Setcc (Isa.Ne, acc)); JmpL l_e;
+          L l_t; i (Isa.Movi (acc, 1L)); L l_e ]
+  | Ebin (op, a, b)
+    when (ty_of fe a = Tdouble || ty_of fe b = Tdouble)
+         && List.mem op [ Lt; Le; Gt; Ge; Eq; Ne ] ->
+      gen_d fe a @ fpush facc @ gen_d fe b
+      @ [ i (Isa.Fmov (facc2, facc)) ]
+      @ fpop facc
+      @ [ i (Isa.Fcmp (facc, facc2)) ]
+      @ [
+          i
+            (Isa.Setcc
+               ( (match op with
+                 | Lt -> Isa.Lt | Le -> Isa.Le | Gt -> Isa.Gt
+                 | Ge -> Isa.Ge | Eq -> Isa.Eq | _ -> Isa.Ne),
+                 acc ));
+        ]
+  | Ebin (op, _, _) when ty_of fe e = Tdouble ->
+      ignore op;
+      coerce_d_to_i fe e
+  | Ebin (op, a, b) -> (
+      let both =
+        gen_i fe a
+        @ [ i (Isa.Push acc) ]
+        @ gen_i fe b
+        @ [ i (Isa.Mov (acc2, acc)); i (Isa.Pop acc) ]
+      in
+      match op with
+      | Add -> both @ [ i (Isa.Add (acc, acc2)) ]
+      | Sub -> both @ [ i (Isa.Sub (acc, acc2)) ]
+      | Mul -> both @ [ i (Isa.Imul (acc, acc2)) ]
+      | Div -> both @ [ i (Isa.Idiv (acc, acc2)) ]
+      | Mod -> both @ [ i (Isa.Irem (acc, acc2)) ]
+      | Band -> both @ [ i (Isa.And_ (acc, acc2)) ]
+      | Bor -> both @ [ i (Isa.Or_ (acc, acc2)) ]
+      | Bxor -> both @ [ i (Isa.Xor_ (acc, acc2)) ]
+      | Shl | Shr ->
+          (* constant shifts only in this backend *)
+          (match b with
+          | Eint n ->
+              gen_i fe a
+              @ [ i (if op = Shl then Isa.Shli (acc, Int64.to_int n)
+                     else Isa.Sari (acc, Int64.to_int n)) ]
+          | _ -> fail "variable shift unsupported on CISC backend")
+      | Lt | Le | Gt | Ge | Eq | Ne ->
+          both
+          @ [ i (Isa.Cmp (acc, acc2));
+              i
+                (Isa.Setcc
+                   ( (match op with
+                     | Lt -> Isa.Lt | Le -> Isa.Le | Gt -> Isa.Gt
+                     | Ge -> Isa.Ge | Eq -> Isa.Eq | _ -> Isa.Ne),
+                     acc )) ]
+      | And | Or -> assert false)
+
+and coerce_d_to_i fe e = gen_d fe e @ [ i (Isa.Fcvt_fi (acc, facc)) ]
+
+(* double expression -> F4 *)
+and gen_d fe (e : expr) : item list =
+  match e with
+  | Efloat f -> [ i (Isa.Fmovi (facc, Int64.bits_of_float f)) ]
+  | Eint v -> [ i (Isa.Movi (acc, v)); i (Isa.Fcvt_if (facc, acc)) ]
+  | Evar x -> (
+      match Hashtbl.find_opt fe.locals x with
+      | Some (disp, Tdouble) -> [ i (Isa.Fload (facc, rbp, Int32.of_int disp)) ]
+      | Some (_, _) -> gen_i fe e @ [ i (Isa.Fcvt_if (facc, acc)) ]
+      | None -> (
+          match Hashtbl.find_opt fe.genv.g_globals x with
+          | Some (addr, Tdouble) ->
+              [ i (Isa.Movi (acc2, addr)); i (Isa.Fload (facc, acc2, 0l)) ]
+          | Some _ -> gen_i fe e @ [ i (Isa.Fcvt_if (facc, acc)) ]
+          | None -> fail "unknown variable %s" x))
+  | Eindex (a, idx) -> (
+      match Hashtbl.find_opt fe.genv.g_globals a with
+      | Some (addr, Tdouble) ->
+          gen_i fe idx
+          @ [
+              i (Isa.Shli (acc, 3));
+              i (Isa.Movi (acc2, addr));
+              i (Isa.Add (acc, acc2));
+              i (Isa.Fload (facc, acc, 0l));
+            ]
+      | Some _ -> gen_i fe e @ [ i (Isa.Fcvt_if (facc, acc)) ]
+      | None -> fail "unknown array %s" a)
+  | Ecall (f, args) when ty_of fe e = Tdouble ->
+      gen_call fe f args @ [ i (Isa.Fmov (facc, 0)) ]
+  | Ecall _ -> gen_i fe e @ [ i (Isa.Fcvt_if (facc, acc)) ]
+  | Eneg e when ty_of fe e = Tdouble ->
+      gen_d fe e
+      @ [ i (Isa.Fmovi (facc2, Int64.bits_of_float 0.0));
+          i (Isa.Fsub (facc2, facc)); i (Isa.Fmov (facc, facc2)) ]
+  | Eneg _ | Enot _ -> gen_i fe e @ [ i (Isa.Fcvt_if (facc, acc)) ]
+  | Ebin (op, a, b) when List.mem op [ Add; Sub; Mul; Div ] ->
+      gen_d fe a @ fpush facc @ gen_d fe b
+      @ [ i (Isa.Fmov (facc2, facc)) ]
+      @ fpop facc
+      @ [
+          i
+            (match op with
+            | Add -> Isa.Fadd (facc, facc2)
+            | Sub -> Isa.Fsub (facc, facc2)
+            | Mul -> Isa.Fmul (facc, facc2)
+            | _ -> Isa.Fdiv (facc, facc2));
+        ]
+  | Ebin _ -> gen_i fe e @ [ i (Isa.Fcvt_if (facc, acc)) ]
+
+(* call: result in R0 / F0 *)
+and gen_call fe (f : string) (args : expr list) : item list =
+  match (f, args) with
+  | "exit", [ code ] ->
+      gen_i fe code
+      @ [ i (Isa.Mov (0, acc)); i (Isa.Movi (7, 93L)); i Isa.Syscall ]
+  | "clock_ns", [] -> [ CallL "__clock_ns" ]
+  | "print_int", [ e ] -> gen_i fe e @ [ i (Isa.Mov (0, acc)); CallL "__print_int" ]
+  | "print_char", [ e ] -> gen_i fe e @ [ i (Isa.Mov (0, acc)); CallL "__print_char" ]
+  | _ -> (
+      match Hashtbl.find_opt fe.genv.g_funcs f with
+      | None -> fail "unknown function %s" f
+      | Some callee ->
+          let params = callee.fn_params in
+          if List.length params <> List.length args then
+            fail "%s arity mismatch" f;
+          if List.length params > 4 then fail "more than 4 args unsupported";
+          (* push each argument value (as raw 8 bytes) left to right *)
+          let pushes =
+            List.concat
+              (List.map2
+                 (fun (p : param) a ->
+                   match p.p_ty with
+                   | Tdouble -> gen_d fe a @ fpush facc
+                   | _ -> gen_i fe a @ [ i (Isa.Push acc) ])
+                 params args)
+          in
+          (* pop right-to-left into argument registers by class *)
+          let classified =
+            List.mapi
+              (fun k (p : param) ->
+                let int_idx =
+                  List.filteri (fun j _ -> j < k) params
+                  |> List.filter (fun (q : param) -> q.p_ty <> Tdouble)
+                  |> List.length
+                in
+                let fp_idx =
+                  List.filteri (fun j _ -> j < k) params
+                  |> List.filter (fun (q : param) -> q.p_ty = Tdouble)
+                  |> List.length
+                in
+                (p.p_ty, int_idx, fp_idx))
+              params
+          in
+          let pops =
+            List.rev classified
+            |> List.concat_map (fun (ty, ii, fi) ->
+                   match ty with
+                   | Tdouble -> fpop fi
+                   | _ -> [ i (Isa.Pop ii) ])
+          in
+          pushes @ pops @ [ CallL f ])
+
+(* --- statements ----------------------------------------------------------------- *)
+
+let store_local fe x (vty : ty) : item list =
+  match Hashtbl.find_opt fe.locals x with
+  | Some (disp, Tint) ->
+      (if vty = Tdouble then [ i (Isa.Fcvt_fi (acc, facc)) ] else [])
+      @ [ i (Isa.Store (acc, rbp, Int32.of_int disp)) ]
+  | Some (disp, Tdouble) ->
+      (if vty <> Tdouble then [ i (Isa.Fcvt_if (facc, acc)) ] else [])
+      @ [ i (Isa.Fstore (facc, rbp, Int32.of_int disp)) ]
+  | Some (_, Tvoid) -> fail "void local"
+  | None -> (
+      match Hashtbl.find_opt fe.genv.g_globals x with
+      | Some (addr, Tint) ->
+          (if vty = Tdouble then [ i (Isa.Fcvt_fi (acc, facc)) ] else [])
+          @ [ i (Isa.Movi (acc2, addr)); i (Isa.Store (acc, acc2, 0l)) ]
+      | Some (addr, Tdouble) ->
+          (if vty <> Tdouble then [ i (Isa.Fcvt_if (facc, acc)) ] else [])
+          @ [ i (Isa.Movi (acc2, addr)); i (Isa.Fstore (facc, acc2, 0l)) ]
+      | _ -> fail "unknown variable %s" x)
+
+let gen_value fe e =
+  match ty_of fe e with
+  | Tdouble -> (gen_d fe e, Tdouble)
+  | _ -> (gen_i fe e, Tint)
+
+let rec gen_stmt fe ~brk (s : stmt) : item list =
+  match s with
+  | Sdecl (_, _, None) -> []
+  | Sdecl (_, x, Some e) | Sassign (x, e) ->
+      let items, vty = gen_value fe e in
+      items @ store_local fe x vty
+  | Sstore (a, idx, v) -> (
+      match Hashtbl.find_opt fe.genv.g_globals a with
+      | Some (addr, gty) ->
+          let value_items, vty = gen_value fe v in
+          let coerce =
+            match (gty, vty) with
+            | Tint, Tdouble -> [ i (Isa.Fcvt_fi (acc, facc)) ]
+            | Tdouble, Tint -> [ i (Isa.Fcvt_if (facc, acc)) ]
+            | _ -> []
+          in
+          let save_value =
+            if gty = Tdouble then fpush facc else [ i (Isa.Push acc) ]
+          in
+          let restore_value =
+            if gty = Tdouble then fpop facc else [ i (Isa.Pop acc2) ]
+          in
+          (* address into acc (int path) *)
+          value_items @ coerce @ save_value
+          @ gen_i fe idx
+          @ [ i (Isa.Shli (acc, 3)); i (Isa.Movi (7, addr)); i (Isa.Add (acc, 7)) ]
+          @ restore_value
+          @ (if gty = Tdouble then [ i (Isa.Fstore (facc, acc, 0l)) ]
+             else [ i (Isa.Store (acc2, acc, 0l)) ])
+      | None -> fail "unknown array %s" a)
+  | Sif (c, then_b, else_b) ->
+      let l_else = fresh fe "else" and l_end = fresh fe "endif" in
+      gen_i fe c
+      @ [ i (Isa.Cmpi (acc, 0l)); JccL (Isa.Eq, l_else) ]
+      @ List.concat_map (gen_stmt fe ~brk) then_b
+      @ [ JmpL l_end; L l_else ]
+      @ List.concat_map (gen_stmt fe ~brk) else_b
+      @ [ L l_end ]
+  | Swhile (c, body) ->
+      let l_head = fresh fe "while" and l_end = fresh fe "endw" in
+      [ L l_head ]
+      @ gen_i fe c
+      @ [ i (Isa.Cmpi (acc, 0l)); JccL (Isa.Eq, l_end) ]
+      @ List.concat_map (gen_stmt fe ~brk:(Some l_end)) body
+      @ [ JmpL l_head; L l_end ]
+  | Sfor (init, cond, step, body) ->
+      let l_head = fresh fe "for" and l_end = fresh fe "endf" in
+      (match init with Some s -> gen_stmt fe ~brk s | None -> [])
+      @ [ L l_head ]
+      @ (match cond with
+        | Some c -> gen_i fe c @ [ i (Isa.Cmpi (acc, 0l)); JccL (Isa.Eq, l_end) ]
+        | None -> [])
+      @ List.concat_map (gen_stmt fe ~brk:(Some l_end)) body
+      @ (match step with Some s -> gen_stmt fe ~brk s | None -> [])
+      @ [ JmpL l_head; L l_end ]
+  | Sswitch (e, cases, dflt) ->
+      (* if-chain dispatch on this backend *)
+      let l_end = fresh fe "ends" and l_dflt = fresh fe "dflt" in
+      let case_labels = List.map (fun (v, _) -> (v, fresh fe "case")) cases in
+      gen_i fe e
+      @ List.concat_map
+          (fun (v, lbl) ->
+            [ i (Isa.Cmpi (acc, Int64.to_int32 v)); JccL (Isa.Eq, lbl) ])
+          case_labels
+      @ [ JmpL l_dflt ]
+      @ List.concat_map
+          (fun ((_, body), (_, lbl)) ->
+            L lbl :: List.concat_map (gen_stmt fe ~brk:(Some l_end)) body)
+          (List.combine cases case_labels)
+      @ [ L l_dflt ]
+      @ List.concat_map (gen_stmt fe ~brk:(Some l_end)) dflt
+      @ [ L l_end ]
+  | Sreturn None -> [ JmpL fe.epilogue ]
+  | Sreturn (Some e) ->
+      let items, vty = gen_value fe e in
+      items
+      @ (match (fe.fn.fn_ret, vty) with
+        | Tdouble, Tdouble -> [ i (Isa.Fmov (0, facc)) ]
+        | Tdouble, _ -> [ i (Isa.Fcvt_if (0, acc)) ]
+        | _, Tdouble -> [ i (Isa.Fcvt_fi (0, facc)) ]
+        | _, _ -> [ i (Isa.Mov (0, acc)) ])
+      @ [ JmpL fe.epilogue ]
+  | Sbreak -> (
+      match brk with
+      | Some l -> [ JmpL l ]
+      | None -> fail "break outside loop")
+  | Sexpr (Ecall (f, args)) -> gen_call fe f args
+  | Sexpr e -> gen_i fe e
+  | Sblock body -> List.concat_map (gen_stmt fe ~brk) body
+
+let collect_locals (fn : Minicc.Cast.func) =
+  let acc = ref [] in
+  let add name ty = if not (List.mem_assoc name !acc) then acc := (name, ty) :: !acc in
+  List.iter (fun (p : param) -> add p.p_name p.p_ty) fn.fn_params;
+  let rec walk s =
+    match s with
+    | Sdecl (ty, name, _) -> add name ty
+    | Sif (_, a, b) -> List.iter walk a; List.iter walk b
+    | Swhile (_, b) -> List.iter walk b
+    | Sfor (init, _, step, b) ->
+        Option.iter walk init;
+        Option.iter walk step;
+        List.iter walk b
+    | Sswitch (_, cases, dflt) ->
+        List.iter (fun (_, b) -> List.iter walk b) cases;
+        List.iter walk dflt
+    | Sblock b -> List.iter walk b
+    | Sassign _ | Sstore _ | Sreturn _ | Sbreak | Sexpr _ -> ()
+  in
+  List.iter walk fn.fn_body;
+  List.rev !acc
+
+let gen_func (genv : genv) (fn : Minicc.Cast.func) : item list =
+  let locals_list = collect_locals fn in
+  let locals = Hashtbl.create 16 in
+  List.iteri
+    (fun k (name, ty) -> Hashtbl.replace locals name (-8 * (k + 1), ty))
+    locals_list;
+  let frame = 8 * List.length locals_list in
+  let epilogue = Printf.sprintf ".C%s_ret" fn.fn_name in
+  let fe = { genv; locals; fn; epilogue; label_id = 0 } in
+  let prologue =
+    [ L fn.fn_name; i (Isa.Push rbp); i (Isa.Mov (rbp, Isa.sp));
+      i (Isa.Addi (Isa.sp, Int32.of_int (-frame))) ]
+  in
+  let int_seen = ref 0 and fp_seen = ref 0 in
+  let arg_spills =
+    List.concat_map
+      (fun (p : param) ->
+        let disp, _ = Hashtbl.find locals p.p_name in
+        match p.p_ty with
+        | Tdouble ->
+            let k = !fp_seen in
+            incr fp_seen;
+            [ i (Isa.Fstore (k, rbp, Int32.of_int disp)) ]
+        | _ ->
+            let k = !int_seen in
+            incr int_seen;
+            [ i (Isa.Store (k, rbp, Int32.of_int disp)) ])
+      fn.fn_params
+  in
+  let body = List.concat_map (gen_stmt fe ~brk:None) fn.fn_body in
+  prologue @ arg_spills @ body
+  @ [ L epilogue; i (Isa.Mov (Isa.sp, rbp)); i (Isa.Pop rbp); i Isa.Ret ]

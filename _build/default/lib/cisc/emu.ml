@@ -1,0 +1,233 @@
+(* CISC-64 emulator, mirroring Rvsim.Machine but modelling a wide
+   out-of-order desktop core: most instructions retire in one model
+   cycle at a high effective frequency, memory-operand instructions cost
+   a bit more, and PUSHF/POPF pay a flag-serialization penalty (the cost
+   x86 instrumentation incurs when it cannot prove the flags dead).
+   The syscall convention matches the RISC-V side (number in R7). *)
+
+type flags = { mutable zf : bool; mutable lt : bool (* signed less-than *) }
+
+type stop =
+  | Exited of int
+  | Trap_hit of int64
+  | Fault of string * int64
+  | Limit
+
+type t = {
+  regs : int64 array; (* 16 GPRs; regs.(4) = sp *)
+  fregs : float array; (* 8 doubles *)
+  flags : flags;
+  mem : Rvsim.Mem.t;
+  mutable pc : int64;
+  mutable cycles : int64;
+  mutable instret : int64;
+  freq_hz : int64;
+  stdout_buf : Buffer.t;
+  mutable brk : int64;
+  redirects : (int64, int64) Hashtbl.t; (* trap springboards *)
+}
+
+(* Effective frequency of the model: a 14600T-class core retires several
+   instructions per (800 MHz) cycle; folding IPC into frequency keeps the
+   model integer.  6.4 GHz effective ~ 8 instructions/cycle headroom. *)
+let default_freq = 6_400_000_000L
+
+let create ?(freq_hz = default_freq) () =
+  {
+    regs = Array.make 16 0L;
+    fregs = Array.make 8 0.0;
+    flags = { zf = false; lt = false };
+    mem = Rvsim.Mem.create ();
+    pc = 0L;
+    cycles = 0L;
+    instret = 0L;
+    freq_hz;
+    stdout_buf = Buffer.create 256;
+    brk = 0x40000L;
+    redirects = Hashtbl.create 4;
+  }
+
+let cost = function
+  | Isa.Load _ | Isa.Store _ | Isa.Fload _ | Isa.Fstore _ -> 2
+  | Isa.IncAbs _ -> 3 (* read-modify-write *)
+  | Isa.Imul _ -> 3
+  | Isa.Idiv _ | Isa.Irem _ -> 20
+  | Isa.Fdiv _ -> 18
+  | Isa.Fadd _ | Isa.Fsub _ | Isa.Fmul _ -> 3
+  | Isa.Pushf | Isa.Popf -> 12 (* flag materialization serializes *)
+  | Isa.Push _ | Isa.Pop _ | Isa.Call _ | Isa.Ret -> 2
+  | Isa.Syscall -> 40
+  | _ -> 1
+
+let simulated_ns t = Int64.div (Int64.mul t.cycles 1_000_000_000L) t.freq_hz
+
+exception Stopped of stop
+
+let read8 t a = Rvsim.Mem.read8 t.mem a
+let read32 t a = Int32.of_int (Rvsim.Mem.read32 t.mem a)
+let read64 t a = Rvsim.Mem.read64 t.mem a
+
+let set_flags t (v : int64) =
+  t.flags.zf <- Int64.equal v 0L;
+  t.flags.lt <- Int64.compare v 0L < 0
+
+let cond_holds t = function
+  | Isa.Eq -> t.flags.zf
+  | Isa.Ne -> not t.flags.zf
+  | Isa.Lt -> t.flags.lt
+  | Isa.Ge -> not t.flags.lt
+  | Isa.Le -> t.flags.lt || t.flags.zf
+  | Isa.Gt -> (not t.flags.lt) && not t.flags.zf
+
+let push t v =
+  t.regs.(Isa.sp) <- Int64.sub t.regs.(Isa.sp) 8L;
+  Rvsim.Mem.write64 t.mem t.regs.(Isa.sp) v
+
+let pop t =
+  let v = Rvsim.Mem.read64 t.mem t.regs.(Isa.sp) in
+  t.regs.(Isa.sp) <- Int64.add t.regs.(Isa.sp) 8L;
+  v
+
+let syscall t =
+  let nr = Int64.to_int t.regs.(7) in
+  match nr with
+  | 64 (* write *) ->
+      let buf = t.regs.(1) and count = Int64.to_int t.regs.(2) in
+      Buffer.add_string t.stdout_buf
+        (Bytes.to_string (Rvsim.Mem.read_bytes t.mem buf count));
+      t.regs.(0) <- Int64.of_int count
+  | 93 | 94 -> raise (Stopped (Exited (Int64.to_int (Int64.logand t.regs.(0) 0xFFL))))
+  | 113 (* clock_gettime *) ->
+      let tp = t.regs.(1) in
+      let ns = simulated_ns t in
+      Rvsim.Mem.write64 t.mem tp (Int64.div ns 1_000_000_000L);
+      Rvsim.Mem.write64 t.mem (Int64.add tp 8L) (Int64.rem ns 1_000_000_000L);
+      t.regs.(0) <- 0L
+  | 214 (* brk *) ->
+      if Int64.compare t.regs.(0) 0L > 0 then t.brk <- t.regs.(0);
+      t.regs.(0) <- t.brk
+  | _ -> t.regs.(0) <- 0L
+
+let exec_step t =
+  let pc = t.pc in
+  let insn, len =
+    try Isa.decode ~read8:(read8 t) ~read32:(read32 t) ~read64:(read64 t) pc
+    with Isa.Decode_error a -> raise (Stopped (Fault ("undecodable", a)))
+  in
+  let next = Int64.add pc (Int64.of_int len) in
+  t.pc <- next;
+  (match insn with
+  | Isa.Mov (a, b) -> t.regs.(a) <- t.regs.(b)
+  | Isa.Movi (a, v) -> t.regs.(a) <- v
+  | Isa.Load (a, b, d) ->
+      t.regs.(a) <- Rvsim.Mem.read64 t.mem (Int64.add t.regs.(b) (Int64.of_int32 d))
+  | Isa.Store (a, b, d) ->
+      Rvsim.Mem.write64 t.mem (Int64.add t.regs.(b) (Int64.of_int32 d)) t.regs.(a)
+  | Isa.Add (a, b) ->
+      t.regs.(a) <- Int64.add t.regs.(a) t.regs.(b);
+      set_flags t t.regs.(a)
+  | Isa.Sub (a, b) ->
+      t.regs.(a) <- Int64.sub t.regs.(a) t.regs.(b);
+      set_flags t t.regs.(a)
+  | Isa.And_ (a, b) ->
+      t.regs.(a) <- Int64.logand t.regs.(a) t.regs.(b);
+      set_flags t t.regs.(a)
+  | Isa.Or_ (a, b) ->
+      t.regs.(a) <- Int64.logor t.regs.(a) t.regs.(b);
+      set_flags t t.regs.(a)
+  | Isa.Xor_ (a, b) ->
+      t.regs.(a) <- Int64.logxor t.regs.(a) t.regs.(b);
+      set_flags t t.regs.(a)
+  | Isa.Cmp (a, b) ->
+      let d = Int64.sub t.regs.(a) t.regs.(b) in
+      t.flags.zf <- Int64.equal d 0L;
+      t.flags.lt <- Int64.compare t.regs.(a) t.regs.(b) < 0
+  | Isa.Cmpi (a, v) ->
+      let w = Int64.of_int32 v in
+      t.flags.zf <- Int64.equal t.regs.(a) w;
+      t.flags.lt <- Int64.compare t.regs.(a) w < 0
+  | Isa.Addi (a, v) ->
+      t.regs.(a) <- Int64.add t.regs.(a) (Int64.of_int32 v);
+      set_flags t t.regs.(a)
+  | Isa.Imul (a, b) -> t.regs.(a) <- Int64.mul t.regs.(a) t.regs.(b)
+  | Isa.Idiv (a, b) ->
+      if Int64.equal t.regs.(b) 0L then raise (Stopped (Fault ("div0", pc)))
+      else t.regs.(a) <- Int64.div t.regs.(a) t.regs.(b)
+  | Isa.Irem (a, b) ->
+      if Int64.equal t.regs.(b) 0L then raise (Stopped (Fault ("div0", pc)))
+      else t.regs.(a) <- Int64.rem t.regs.(a) t.regs.(b)
+  | Isa.Shli (a, n) -> t.regs.(a) <- Int64.shift_left t.regs.(a) n
+  | Isa.Sari (a, n) -> t.regs.(a) <- Int64.shift_right t.regs.(a) n
+  | Isa.Neg a -> t.regs.(a) <- Int64.neg t.regs.(a)
+  | Isa.Jmp rel -> t.pc <- Int64.add next (Int64.of_int32 rel)
+  | Isa.Jcc (c, rel) ->
+      if cond_holds t c then t.pc <- Int64.add next (Int64.of_int32 rel)
+  | Isa.Call rel ->
+      push t next;
+      t.pc <- Int64.add next (Int64.of_int32 rel)
+  | Isa.Ret -> t.pc <- pop t
+  | Isa.Push a -> push t t.regs.(a)
+  | Isa.Pop a -> t.regs.(a) <- pop t
+  | Isa.IncAbs addr ->
+      let v = Int64.add (Rvsim.Mem.read64 t.mem addr) 1L in
+      Rvsim.Mem.write64 t.mem addr v;
+      set_flags t v
+  | Isa.Pushf ->
+      push t
+        (Int64.of_int
+           ((if t.flags.zf then 1 else 0) lor if t.flags.lt then 2 else 0))
+  | Isa.Popf ->
+      let v = Int64.to_int (pop t) in
+      t.flags.zf <- v land 1 <> 0;
+      t.flags.lt <- v land 2 <> 0
+  | Isa.Syscall -> syscall t
+  | Isa.Trap -> (
+      match Hashtbl.find_opt t.redirects pc with
+      | Some dest ->
+          (* int3 -> SIGTRAP -> handler round trip *)
+          t.cycles <- Int64.add t.cycles 3000L;
+          t.pc <- dest
+      | None ->
+          t.pc <- pc;
+          raise (Stopped (Trap_hit pc)))
+  | Isa.Setcc (c, a) -> t.regs.(a) <- (if cond_holds t c then 1L else 0L)
+  | Isa.Fload (f, r, d) ->
+      t.fregs.(f) <-
+        Int64.float_of_bits
+          (Rvsim.Mem.read64 t.mem (Int64.add t.regs.(r) (Int64.of_int32 d)))
+  | Isa.Fstore (f, r, d) ->
+      Rvsim.Mem.write64 t.mem
+        (Int64.add t.regs.(r) (Int64.of_int32 d))
+        (Int64.bits_of_float t.fregs.(f))
+  | Isa.Fadd (a, b) -> t.fregs.(a) <- t.fregs.(a) +. t.fregs.(b)
+  | Isa.Fsub (a, b) -> t.fregs.(a) <- t.fregs.(a) -. t.fregs.(b)
+  | Isa.Fmul (a, b) -> t.fregs.(a) <- t.fregs.(a) *. t.fregs.(b)
+  | Isa.Fdiv (a, b) -> t.fregs.(a) <- t.fregs.(a) /. t.fregs.(b)
+  | Isa.Fmov (a, b) -> t.fregs.(a) <- t.fregs.(b)
+  | Isa.Fmovi (f, bits) -> t.fregs.(f) <- Int64.float_of_bits bits
+  | Isa.Fcvt_if (f, r) -> t.fregs.(f) <- Int64.to_float t.regs.(r)
+  | Isa.Fcvt_fi (r, f) -> t.regs.(r) <- Int64.of_float (Float.trunc t.fregs.(f))
+  | Isa.Fcmp (a, b) ->
+      t.flags.zf <- t.fregs.(a) = t.fregs.(b);
+      t.flags.lt <- t.fregs.(a) < t.fregs.(b));
+  t.instret <- Int64.add t.instret 1L;
+  t.cycles <- Int64.add t.cycles (Int64.of_int (cost insn))
+
+let run ?(max_steps = 2_000_000_000) t : stop =
+  let rec go n =
+    if n >= max_steps then Limit
+    else
+      match exec_step t with
+      | () -> go (n + 1)
+      | exception Stopped s -> s
+      | exception Rvsim.Mem.Fault a -> Fault ("memory", a)
+  in
+  go 0
+
+let stdout_contents t = Buffer.contents t.stdout_buf
+
+let pp_stop fmt = function
+  | Exited c -> Format.fprintf fmt "exited(%d)" c
+  | Trap_hit a -> Format.fprintf fmt "trap@0x%Lx" a
+  | Fault (m, a) -> Format.fprintf fmt "fault(%s)@0x%Lx" m a
+  | Limit -> Format.fprintf fmt "limit"

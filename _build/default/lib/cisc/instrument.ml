@@ -1,0 +1,201 @@
+(* Binary instrumentation for CISC-64: the comparator for the paper's x86
+   column.
+
+   Block discovery is the classic leader algorithm over a function's code
+   range; blocks are relocated into a trampoline area with rel32 branch
+   fixups; springboards are the 5-byte JMP rel32, falling back to the
+   1-byte TRAP (int3 analogue) for tiny blocks.
+
+   The counter snippet is the natural x86 one: a single memory-increment
+   instruction (INC [abs]).  Because INC writes the condition flags, and
+   this Dyninst generation has no flag-liveness analysis (the paper §4.3:
+   the dead-register allocation optimization exists only on the RISC-V
+   side, "will be soon added to the x86 version"), the snippet must
+   bracket the increment with PUSHF/POPF — that serialization is where
+   the x86 overhead comes from. *)
+
+type binary = {
+  code : Bytes.t;
+  base : int64;
+  entry : int64;
+  fn_addrs : (string * int64) list;
+}
+
+let of_compiled (c : Cdriver.compiled) : binary =
+  { code = c.Cdriver.code; base = Cdriver.text_base; entry = c.Cdriver.entry;
+    fn_addrs = c.Cdriver.fn_addrs }
+
+exception Instrument_error of string
+
+let decode_at (b : binary) (addr : int64) : Isa.insn * int =
+  let off a = Int64.to_int (Int64.sub a b.base) in
+  Isa.decode
+    ~read8:(fun a -> Char.code (Bytes.get b.code (off a)))
+    ~read32:(fun a -> Bytes.get_int32_le b.code (off a))
+    ~read64:(fun a -> Bytes.get_int64_le b.code (off a))
+    addr
+
+(* function extent: entry .. next function (or code end) *)
+let function_span (b : binary) (entry : int64) : int64 * int64 =
+  let ends =
+    List.filter_map
+      (fun (_, a) -> if Int64.compare a entry > 0 then Some a else None)
+      b.fn_addrs
+  in
+  let hi =
+    List.fold_left
+      (fun acc a -> if Int64.compare a acc < 0 then a else acc)
+      (Int64.add b.base (Int64.of_int (Bytes.length b.code)))
+      ends
+  in
+  (entry, hi)
+
+(* leader-based basic-block discovery within [lo, hi) *)
+let blocks_of_function (b : binary) (entry : int64) : (int64 * int64) list =
+  let lo, hi = function_span b entry in
+  let leaders = Hashtbl.create 16 in
+  Hashtbl.replace leaders lo ();
+  let rec scan pc =
+    if Int64.compare pc hi >= 0 then ()
+    else begin
+      let insn, len = decode_at b pc in
+      let next = Int64.add pc (Int64.of_int len) in
+      (match insn with
+      | Isa.Jmp rel ->
+          let tgt = Int64.add next (Int64.of_int32 rel) in
+          if Int64.compare tgt lo >= 0 && Int64.compare tgt hi < 0 then
+            Hashtbl.replace leaders tgt ();
+          if Int64.compare next hi < 0 then Hashtbl.replace leaders next ()
+      | Isa.Jcc (_, rel) ->
+          let tgt = Int64.add next (Int64.of_int32 rel) in
+          if Int64.compare tgt lo >= 0 && Int64.compare tgt hi < 0 then
+            Hashtbl.replace leaders tgt ();
+          if Int64.compare next hi < 0 then Hashtbl.replace leaders next ()
+      | Isa.Ret -> if Int64.compare next hi < 0 then Hashtbl.replace leaders next ()
+      | _ -> ());
+      scan next
+    end
+  in
+  scan lo;
+  let ls = Hashtbl.fold (fun a () acc -> a :: acc) leaders [] |> List.sort Int64.compare in
+  let rec pair = function
+    | [] -> []
+    | [ last ] -> [ (last, hi) ]
+    | a :: (b :: _ as rest) -> (a, b) :: pair rest
+  in
+  pair ls
+
+(* --- instrumentation ------------------------------------------------------------ *)
+
+type request = { rq_block : int64 * int64; rq_counter : int64 }
+
+type t = {
+  binary : binary;
+  tramp_base : int64;
+  mutable requests : request list;
+  mutable n_traps : int;
+  preserve_flags : bool;
+      (* true = the historical x86 behaviour (PUSHF/POPF around INC);
+         false models a future flag-liveness optimization *)
+}
+
+let create ?(tramp_base = 0x20000L) ?(preserve_flags = true) (binary : binary) : t =
+  { binary; tramp_base; requests = []; n_traps = 0; preserve_flags }
+
+let instrument_block t ~(block : int64 * int64) ~(counter : int64) =
+  t.requests <- { rq_block = block; rq_counter = counter } :: t.requests
+
+let instrument_function_entry t ~(entry : int64) ~(counter : int64) =
+  match blocks_of_function t.binary entry with
+  | first :: _ -> instrument_block t ~block:first ~counter
+  | [] -> raise (Instrument_error "empty function")
+
+let instrument_all_blocks t ~(entry : int64) ~(counter : int64) =
+  List.iter
+    (fun blk -> instrument_block t ~block:blk ~counter)
+    (blocks_of_function t.binary entry)
+
+(* relocate the instructions of [lo, hi) to [new_base], fixing rel32 *)
+let relocate (t : t) (lo : int64) (hi : int64) (buf : Buffer.t)
+    ~(new_base : int64) =
+  let rec go pc =
+    if Int64.compare pc hi >= 0 then ()
+    else begin
+      let insn, len = decode_at t.binary pc in
+      let next = Int64.add pc (Int64.of_int len) in
+      let new_pc = Int64.add new_base (Int64.of_int (Buffer.length buf)) in
+      let new_next = Int64.add new_pc (Int64.of_int len) in
+      let fix rel =
+        let target = Int64.add next (Int64.of_int32 rel) in
+        Int64.to_int32 (Int64.sub target new_next)
+      in
+      (match insn with
+      | Isa.Jmp rel -> Isa.encode buf (Isa.Jmp (fix rel))
+      | Isa.Jcc (c, rel) -> Isa.encode buf (Isa.Jcc (c, fix rel))
+      | Isa.Call rel -> Isa.encode buf (Isa.Call (fix rel))
+      | other -> Isa.encode buf other);
+      go next
+    end
+  in
+  go lo
+
+(* the counter snippet: INC [abs], bracketed by flag save/restore unless
+   flags liveness is assumed *)
+let snippet (t : t) (buf : Buffer.t) (counter : int64) =
+  if t.preserve_flags then begin
+    Isa.encode buf Isa.Pushf;
+    Isa.encode buf (Isa.IncAbs counter);
+    Isa.encode buf Isa.Popf
+  end
+  else Isa.encode buf (Isa.IncAbs counter)
+
+(* Apply all requests to [machine]: write trampolines + springboards. *)
+let apply (t : t) (m : Emu.t) : unit =
+  let tramp = Buffer.create 1024 in
+  let patches = ref [] in
+  List.iter
+    (fun rq ->
+      let lo, hi = rq.rq_block in
+      let tramp_addr = Int64.add t.tramp_base (Int64.of_int (Buffer.length tramp)) in
+      snippet t tramp rq.rq_counter;
+      relocate t lo hi tramp ~new_base:t.tramp_base;
+      (* if the block fell through, jump back to its end *)
+      let last_is_transfer =
+        (* decode the last instruction of the block *)
+        let rec last pc prev =
+          if Int64.compare pc hi >= 0 then prev
+          else
+            let insn, len = decode_at t.binary pc in
+            last (Int64.add pc (Int64.of_int len)) (Some insn)
+        in
+        match last lo None with
+        | Some (Isa.Jmp _ | Isa.Ret) -> true
+        | _ -> false
+      in
+      if not last_is_transfer then begin
+        let here =
+          Int64.add t.tramp_base (Int64.of_int (Buffer.length tramp + 5))
+        in
+        Isa.encode tramp (Isa.Jmp (Int64.to_int32 (Int64.sub hi here)))
+      end;
+      (* springboard *)
+      let bsize = Int64.to_int (Int64.sub hi lo) in
+      let sb = Buffer.create 8 in
+      if bsize >= 5 then begin
+        let off = Int64.sub tramp_addr (Int64.add lo 5L) in
+        Isa.encode sb (Isa.Jmp (Int64.to_int32 off))
+      end
+      else begin
+        Isa.encode sb Isa.Trap;
+        t.n_traps <- t.n_traps + 1;
+        Hashtbl.replace m.Emu.redirects lo tramp_addr
+      end;
+      patches := (lo, bsize, Buffer.to_bytes sb) :: !patches)
+    (List.rev t.requests);
+  (* install *)
+  Rvsim.Mem.write_bytes m.Emu.mem t.tramp_base (Buffer.to_bytes tramp);
+  List.iter
+    (fun (lo, bsize, sb) ->
+      Rvsim.Mem.write_bytes m.Emu.mem lo (Bytes.make bsize '\x00');
+      Rvsim.Mem.write_bytes m.Emu.mem lo sb)
+    !patches

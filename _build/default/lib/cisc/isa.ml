@@ -1,0 +1,194 @@
+(* CISC-64: the comparator ISA standing in for x86-64 (see DESIGN.md).
+
+   Deliberately x86-flavoured where it matters to the paper's argument:
+     - two-operand ALU instructions that set condition flags;
+     - a single-instruction memory increment (INC [abs]) — the natural
+       x86 counter snippet — which *requires* the flags to be preserved
+       around instrumentation (PUSHF/POPF), the very cost the paper's
+       dead-register optimization avoids on RISC-V;
+     - CALL/RET push/pop the return address on the stack (no link
+       register);
+     - variable-length encoding (1..11 bytes) and a 1-byte TRAP (int3);
+     - 16 GPRs (R4 = sp), 8 double-precision FP registers.
+
+   Registers: R0-R3 argument/result, R4 = SP, R5-R7 caller-saved temps,
+   R8-R15 callee-saved.  Syscall: number in R7, args R0-R2, result R0
+   (same numbers as the RISC-V side so the Syscall layer is shared in
+   spirit). *)
+
+type cc = Eq | Ne | Lt | Ge | Le | Gt
+
+type insn =
+  | Mov of int * int (* r1 <- r2 *)
+  | Movi of int * int64
+  | Load of int * int * int32 (* r1 <- [r2 + disp] *)
+  | Store of int * int * int32 (* [r2 + disp] <- r1 *)
+  | Add of int * int (* flags *)
+  | Sub of int * int (* flags *)
+  | And_ of int * int
+  | Or_ of int * int
+  | Xor_ of int * int
+  | Cmp of int * int (* flags only *)
+  | Addi of int * int32 (* flags *)
+  | Cmpi of int * int32
+  | Imul of int * int
+  | Idiv of int * int
+  | Irem of int * int
+  | Shli of int * int
+  | Sari of int * int
+  | Neg of int
+  | Jmp of int32 (* rel to end of insn *)
+  | Jcc of cc * int32
+  | Call of int32
+  | Ret
+  | Push of int
+  | Pop of int
+  | IncAbs of int64 (* INC qword [abs] — the x86-style counter bump *)
+  | Pushf
+  | Popf
+  | Syscall
+  | Trap (* 1-byte breakpoint *)
+  | Setcc of cc * int (* r <- flags as 0/1 *)
+  | Fload of int * int * int32 (* f <- [r + disp] *)
+  | Fstore of int * int * int32
+  | Fadd of int * int
+  | Fsub of int * int
+  | Fmul of int * int
+  | Fdiv of int * int
+  | Fmov of int * int
+  | Fcvt_if of int * int (* f <- (double) r *)
+  | Fcvt_fi of int * int (* r <- (int64) f, truncating *)
+  | Fcmp of int * int (* flags *)
+  | Fmovi of int * int64 (* f <- bits *)
+
+let cc_code = function Eq -> 0 | Ne -> 1 | Lt -> 2 | Ge -> 3 | Le -> 4 | Gt -> 5
+
+let cc_of_code = function
+  | 0 -> Eq | 1 -> Ne | 2 -> Lt | 3 -> Ge | 4 -> Le | 5 -> Gt
+  | c -> invalid_arg (Printf.sprintf "bad cc %d" c)
+
+let sp = 4
+
+(* --- encoding ---------------------------------------------------------------- *)
+
+let rr a b = Char.chr (((a land 0xF) lsl 4) lor (b land 0xF))
+
+let encode (buf : Buffer.t) (i : insn) =
+  let u8 v = Buffer.add_char buf (Char.chr (v land 0xFF)) in
+  let i32 v = Buffer.add_int32_le buf v in
+  let i64 v = Buffer.add_int64_le buf v in
+  match i with
+  | Mov (a, b) -> u8 0x01; Buffer.add_char buf (rr a b)
+  | Movi (a, v) -> u8 0x02; u8 a; i64 v
+  | Load (a, b, d) -> u8 0x03; Buffer.add_char buf (rr a b); i32 d
+  | Store (a, b, d) -> u8 0x04; Buffer.add_char buf (rr a b); i32 d
+  | Add (a, b) -> u8 0x05; Buffer.add_char buf (rr a b)
+  | Sub (a, b) -> u8 0x06; Buffer.add_char buf (rr a b)
+  | And_ (a, b) -> u8 0x07; Buffer.add_char buf (rr a b)
+  | Or_ (a, b) -> u8 0x08; Buffer.add_char buf (rr a b)
+  | Xor_ (a, b) -> u8 0x09; Buffer.add_char buf (rr a b)
+  | Cmp (a, b) -> u8 0x0A; Buffer.add_char buf (rr a b)
+  | Addi (a, v) -> u8 0x0B; u8 a; i32 v
+  | Cmpi (a, v) -> u8 0x0F; u8 a; i32 v
+  | Imul (a, b) -> u8 0x0C; Buffer.add_char buf (rr a b)
+  | Idiv (a, b) -> u8 0x0D; Buffer.add_char buf (rr a b)
+  | Irem (a, b) -> u8 0x0E; Buffer.add_char buf (rr a b)
+  | Shli (a, n) -> u8 0x1B; Buffer.add_char buf (rr a n)
+  | Sari (a, n) -> u8 0x1C; Buffer.add_char buf (rr a n)
+  | Neg a -> u8 0x1D; u8 a
+  | Jmp rel -> u8 0x10; i32 rel
+  | Jcc (c, rel) -> u8 0x11; u8 (cc_code c); i32 rel
+  | Call rel -> u8 0x12; i32 rel
+  | Ret -> u8 0x13
+  | Push a -> u8 0x14; u8 a
+  | Pop a -> u8 0x15; u8 a
+  | IncAbs addr -> u8 0x16; i64 addr
+  | Pushf -> u8 0x17
+  | Popf -> u8 0x18
+  | Syscall -> u8 0x19
+  | Trap -> u8 0x1A
+  | Setcc (c, a) -> u8 0x1E; Buffer.add_char buf (rr (cc_code c) a)
+  | Fload (f, r, d) -> u8 0x20; Buffer.add_char buf (rr f r); i32 d
+  | Fstore (f, r, d) -> u8 0x21; Buffer.add_char buf (rr f r); i32 d
+  | Fadd (a, b) -> u8 0x22; Buffer.add_char buf (rr a b)
+  | Fsub (a, b) -> u8 0x23; Buffer.add_char buf (rr a b)
+  | Fmul (a, b) -> u8 0x24; Buffer.add_char buf (rr a b)
+  | Fdiv (a, b) -> u8 0x25; Buffer.add_char buf (rr a b)
+  | Fcvt_if (f, r) -> u8 0x26; Buffer.add_char buf (rr f r)
+  | Fcvt_fi (r, f) -> u8 0x27; Buffer.add_char buf (rr r f)
+  | Fcmp (a, b) -> u8 0x28; Buffer.add_char buf (rr a b)
+  | Fmov (a, b) -> u8 0x29; Buffer.add_char buf (rr a b)
+  | Fmovi (f, v) -> u8 0x2A; u8 f; i64 v
+
+let length (i : insn) =
+  match i with
+  | Ret | Pushf | Popf | Syscall | Trap -> 1
+  | Mov _ | Add _ | Sub _ | And_ _ | Or_ _ | Xor_ _ | Cmp _ | Imul _
+  | Idiv _ | Irem _ | Shli _ | Sari _ | Setcc _ | Fadd _ | Fsub _ | Fmul _
+  | Fdiv _ | Fcvt_if _ | Fcvt_fi _ | Fcmp _ | Fmov _ -> 2
+  | Neg _ | Push _ | Pop _ -> 2
+  | Jmp _ | Call _ -> 5
+  | Jcc _ -> 6
+  | Addi _ | Cmpi _ -> 6
+  | Load _ | Store _ | Fload _ | Fstore _ -> 6
+  | IncAbs _ -> 9 (* opcode + imm64, no register byte *)
+  | Fmovi _ | Movi _ -> 10
+
+(* --- decoding ----------------------------------------------------------------- *)
+
+exception Decode_error of int64
+
+(* [read8 addr] etc. supplied by the caller; returns (insn, length) *)
+let decode ~(read8 : int64 -> int) ~(read32 : int64 -> int32)
+    ~(read64 : int64 -> int64) (pc : int64) : insn * int =
+  let at off = Int64.add pc (Int64.of_int off) in
+  let op = read8 pc in
+  let m () = read8 (at 1) in
+  let hi () = (m () lsr 4) land 0xF and lo () = m () land 0xF in
+  match op with
+  | 0x01 -> (Mov (hi (), lo ()), 2)
+  | 0x02 -> (Movi (m (), read64 (at 2)), 10)
+  | 0x03 -> (Load (hi (), lo (), read32 (at 2)), 6)
+  | 0x04 -> (Store (hi (), lo (), read32 (at 2)), 6)
+  | 0x05 -> (Add (hi (), lo ()), 2)
+  | 0x06 -> (Sub (hi (), lo ()), 2)
+  | 0x07 -> (And_ (hi (), lo ()), 2)
+  | 0x08 -> (Or_ (hi (), lo ()), 2)
+  | 0x09 -> (Xor_ (hi (), lo ()), 2)
+  | 0x0A -> (Cmp (hi (), lo ()), 2)
+  | 0x0B -> (Addi (m (), read32 (at 2)), 6)
+  | 0x0F -> (Cmpi (m (), read32 (at 2)), 6)
+  | 0x0C -> (Imul (hi (), lo ()), 2)
+  | 0x0D -> (Idiv (hi (), lo ()), 2)
+  | 0x0E -> (Irem (hi (), lo ()), 2)
+  | 0x1B -> (Shli (hi (), lo ()), 2)
+  | 0x1C -> (Sari (hi (), lo ()), 2)
+  | 0x1D -> (Neg (m ()), 2)
+  | 0x10 -> (Jmp (read32 (at 1)), 5)
+  | 0x11 -> (Jcc (cc_of_code (m ()), read32 (at 2)), 6)
+  | 0x12 -> (Call (read32 (at 1)), 5)
+  | 0x13 -> (Ret, 1)
+  | 0x14 -> (Push (m ()), 2)
+  | 0x15 -> (Pop (m ()), 2)
+  | 0x16 -> (IncAbs (read64 (at 1)), 9)
+  | 0x17 -> (Pushf, 1)
+  | 0x18 -> (Popf, 1)
+  | 0x19 -> (Syscall, 1)
+  | 0x1A -> (Trap, 1)
+  | 0x1E -> (Setcc (cc_of_code (hi ()), lo ()), 2)
+  | 0x20 -> (Fload (hi (), lo (), read32 (at 2)), 6)
+  | 0x21 -> (Fstore (hi (), lo (), read32 (at 2)), 6)
+  | 0x22 -> (Fadd (hi (), lo ()), 2)
+  | 0x23 -> (Fsub (hi (), lo ()), 2)
+  | 0x24 -> (Fmul (hi (), lo ()), 2)
+  | 0x25 -> (Fdiv (hi (), lo ()), 2)
+  | 0x26 -> (Fcvt_if (hi (), lo ()), 2)
+  | 0x27 -> (Fcvt_fi (hi (), lo ()), 2)
+  | 0x28 -> (Fcmp (hi (), lo ()), 2)
+  | 0x29 -> (Fmov (hi (), lo ()), 2)
+  | 0x2A -> (Fmovi (m (), read64 (at 2)), 10)
+  | _ -> raise (Decode_error pc)
+
+let is_control_flow = function
+  | Jmp _ | Jcc _ | Call _ | Ret -> true
+  | _ -> false

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Asm Build Dyn_util Ext Format Int64 List Op Printf Reg Riscv Snippet

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Riscv Snippet

@@ -1,0 +1,1 @@
+lib/codegen/snippet.mli: Riscv

@@ -1,0 +1,259 @@
+(* CodeGenAPI (paper §2.2, §3.2.5): lower machine-independent snippet
+   ASTs to RV64GC instruction sequences.
+
+   Extension awareness: the target profile (discovered by SymtabAPI) is
+   consulted before emitting instructions from optional extensions —
+   e.g. a [Divide] snippet on a profile without M is a [Codegen_error]
+   rather than an illegal instruction in the mutatee (paper §3.1.1).
+   Immediate materialization uses the lui/addi/slli sequences of §3.2.5
+   via [Build.li]. *)
+
+open Riscv
+
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+type ctx = {
+  profile : Ext.profile;
+  scratch : Reg.t list; (* integer registers free for snippet evaluation *)
+  mutable label_counter : int;
+  label_prefix : string;
+}
+
+let create_ctx ?(label_prefix = "snip") ~profile ~scratch () =
+  (* snippet scratch registers must be integer and not sp/zero *)
+  List.iter
+    (fun r ->
+      if not (Reg.is_int r) || r = Reg.zero || r = Reg.sp then
+        fail "bad scratch register %s" (Reg.name r))
+    scratch;
+  { profile; scratch; label_counter = 0; label_prefix }
+
+let fresh_label ctx tag =
+  ctx.label_counter <- ctx.label_counter + 1;
+  Printf.sprintf ".L%s_%s%d" ctx.label_prefix tag ctx.label_counter
+
+let require ctx ext what =
+  if not (Ext.supports ctx.profile ext) then
+    fail "%s requires the %s extension, absent from target profile %s" what
+      (Ext.name ext) (Ext.arch_string ctx.profile)
+
+let load_op width = function
+  | false -> (
+      match width with
+      | 1 -> Op.LBU
+      | 2 -> Op.LHU
+      | 4 -> Op.LWU
+      | 8 -> Op.LD
+      | w -> fail "bad load width %d" w)
+  | true -> (
+      match width with
+      | 1 -> Op.LB
+      | 2 -> Op.LH
+      | 4 -> Op.LW
+      | 8 -> Op.LD
+      | w -> fail "bad load width %d" w)
+
+let store_op = function
+  | 1 -> Op.SB
+  | 2 -> Op.SH
+  | 4 -> Op.SW
+  | 8 -> Op.SD
+  | w -> fail "bad store width %d" w
+
+(* Materialize the address of [addr] for a memory access: when it fits
+   in 32 bits, a single lui with the low 12 bits folded into the access
+   offset; otherwise a full li sequence ("optimize the code when
+   possible", paper 2). *)
+let materialize_addr (scratch : Reg.t) (addr : int64) :
+    Asm.item list * Reg.t * int =
+  if Dyn_util.Bits.fits_signed addr 32 && Int64.compare addr 0L >= 0 then begin
+    let lo = Dyn_util.Bits.sign_extend (Int64.to_int (Int64.logand addr 0xFFFL)) 12 in
+    let hi20 =
+      Int64.to_int (Int64.shift_right (Int64.sub addr (Int64.of_int lo)) 12)
+      land 0xFFFFF
+    in
+    ([ Asm.Insn (Build.lui scratch hi20) ], scratch, lo)
+  end
+  else ([ Asm.Li (scratch, addr) ], scratch, 0)
+
+(* Evaluate [e] into the first register of [avail]; returns the emitted
+   items and that register. *)
+let rec gen_expr ctx (avail : Reg.t list) (e : Snippet.expr) :
+    Asm.item list * Reg.t =
+  match avail with
+  | [] -> fail "out of scratch registers (snippet too complex for this point)"
+  | dst :: rest -> (
+      match e with
+      | Snippet.Const v -> ([ Asm.Li (dst, v) ], dst)
+      | Snippet.Var v ->
+          let addr_items, base, lo = materialize_addr dst v.Snippet.v_addr in
+          ( addr_items
+            @ [ Asm.Insn (Build.load (load_op v.Snippet.v_size false) dst lo base) ],
+            dst )
+      | Snippet.Reg r ->
+          if Reg.is_int r then ([ Asm.Insn (Build.mv dst r) ], dst)
+          else begin
+            require ctx Ext.D "reading an FP register";
+            ([ Asm.Insn (Build.fmv_x_d dst r) ], dst)
+          end
+      | Snippet.Param n ->
+          if n < 0 || n > 7 then fail "Param %d out of range" n;
+          ([ Asm.Insn (Build.mv dst (Reg.a0 + n)) ], dst)
+      | Snippet.Load (w, addr) ->
+          let items, r = gen_expr ctx avail addr in
+          (items @ [ Asm.Insn (Build.load (load_op w false) dst 0 r) ], dst)
+      | Snippet.Not e ->
+          let items, r = gen_expr ctx avail e in
+          (items @ [ Asm.Insn (Build.seqz dst r) ], dst)
+      | Snippet.Bin (Snippet.Plus, a, Snippet.Const c)
+        when Dyn_util.Bits.fits_signed c 12 ->
+          (* peephole: add-immediate (li+add collapses to addi) *)
+          let items, ra = gen_expr ctx avail a in
+          (items @ [ Asm.Insn (Build.addi dst ra (Int64.to_int c)) ], dst)
+      | Snippet.Bin (Snippet.Minus, a, Snippet.Const c)
+        when Dyn_util.Bits.fits_signed (Int64.neg c) 12 ->
+          let items, ra = gen_expr ctx avail a in
+          (items @ [ Asm.Insn (Build.addi dst ra (-(Int64.to_int c))) ], dst)
+      | Snippet.Bin (op, a, b) ->
+          (* evaluate the deeper side first so the shallower side fits in
+             the remaining registers *)
+          let a, b, swapped =
+            if Snippet.expr_regs_needed b > Snippet.expr_regs_needed a
+               && commutative_or_swappable op
+            then (b, a, true)
+            else (a, b, false)
+          in
+          let items_a, ra = gen_expr ctx avail a in
+          let items_b, rb = gen_expr ctx rest b in
+          let ra, rb = if swapped then (rb, ra) else (ra, rb) in
+          (items_a @ items_b @ gen_binop ctx dst op ra rb, dst))
+
+and commutative_or_swappable = function
+  | Snippet.Plus | Snippet.Times | Snippet.BAnd | Snippet.BOr | Snippet.BXor
+  | Snippet.Eq | Snippet.Ne -> true
+  | Snippet.Minus | Snippet.Divide | Snippet.Mod | Snippet.Shl | Snippet.Shr
+  | Snippet.Lt | Snippet.Le | Snippet.Gt | Snippet.Ge -> false
+
+and gen_binop ctx dst op ra rb : Asm.item list =
+  let i x = Asm.Insn x in
+  match op with
+  | Snippet.Plus -> [ i (Build.add dst ra rb) ]
+  | Snippet.Minus -> [ i (Build.sub dst ra rb) ]
+  | Snippet.Times ->
+      require ctx Ext.M "multiplication";
+      [ i (Build.mul dst ra rb) ]
+  | Snippet.Divide ->
+      require ctx Ext.M "division";
+      [ i (Build.div dst ra rb) ]
+  | Snippet.Mod ->
+      require ctx Ext.M "remainder";
+      [ i (Build.rem dst ra rb) ]
+  | Snippet.BAnd -> [ i (Build.and_ dst ra rb) ]
+  | Snippet.BOr -> [ i (Build.or_ dst ra rb) ]
+  | Snippet.BXor -> [ i (Build.xor dst ra rb) ]
+  | Snippet.Shl -> [ i (Build.sll dst ra rb) ]
+  | Snippet.Shr -> [ i (Build.srl dst ra rb) ]
+  | Snippet.Eq -> [ i (Build.sub dst ra rb); i (Build.seqz dst dst) ]
+  | Snippet.Ne -> [ i (Build.sub dst ra rb); i (Build.snez dst dst) ]
+  | Snippet.Lt -> [ i (Build.slt dst ra rb) ]
+  | Snippet.Ge -> [ i (Build.slt dst ra rb); i (Build.xori dst dst 1) ]
+  | Snippet.Gt -> [ i (Build.slt dst rb ra) ]
+  | Snippet.Le -> [ i (Build.slt dst rb ra); i (Build.xori dst dst 1) ]
+
+(* caller-saved integer registers + ra, saved around snippet Calls *)
+let call_saved = Reg.ra :: Reg.temp_regs @ Reg.arg_regs
+
+let rec gen_stmt ctx (s : Snippet.stmt) : Asm.item list =
+  match s with
+  | Snippet.Nop -> []
+  | Snippet.Set (v, e) -> (
+      let items, r = gen_expr ctx ctx.scratch e in
+      match List.filter (fun x -> x <> r) ctx.scratch with
+      | [] -> fail "Set needs two scratch registers"
+      | areg :: _ ->
+          let addr_items, base, lo = materialize_addr areg v.Snippet.v_addr in
+          items @ addr_items
+          @ [ Asm.Insn (Build.store (store_op v.Snippet.v_size) r lo base) ])
+  | Snippet.Store (w, addr, value) -> (
+      let items_a, ra = gen_expr ctx ctx.scratch addr in
+      match List.filter (fun x -> x <> ra) ctx.scratch with
+      | [] -> fail "Store needs two scratch registers"
+      | rest ->
+          let items_v, rv = gen_expr ctx rest value in
+          items_a @ items_v @ [ Asm.Insn (Build.store (store_op w) rv 0 ra) ])
+  | Snippet.If (c, then_b, else_b) ->
+      let items_c, rc = gen_expr ctx ctx.scratch c in
+      let l_else = fresh_label ctx "else" and l_end = fresh_label ctx "end" in
+      items_c
+      @ [ Asm.Br (Op.BEQ, rc, Reg.zero, l_else) ]
+      @ List.concat_map (gen_stmt ctx) then_b
+      @ [ Asm.J l_end; Asm.Label l_else ]
+      @ List.concat_map (gen_stmt ctx) else_b
+      @ [ Asm.Label l_end ]
+  | Snippet.While (c, body) ->
+      let l_loop = fresh_label ctx "loop" and l_end = fresh_label ctx "end" in
+      let items_c, rc = gen_expr ctx ctx.scratch c in
+      [ Asm.Label l_loop ] @ items_c
+      @ [ Asm.Br (Op.BEQ, rc, Reg.zero, l_end) ]
+      @ List.concat_map (gen_stmt ctx) body
+      @ [ Asm.J l_loop; Asm.Label l_end ]
+  | Snippet.Call (faddr, args) ->
+      if List.length args > 8 then fail "more than 8 call arguments";
+      (* save every caller-saved register (and ra) around the call; the
+         mutatee's state must be transparent to instrumentation *)
+      let n = List.length call_saved in
+      let frame = Dyn_util.Bits.align_up (Int64.of_int (8 * n)) 16 |> Int64.to_int in
+      let saves =
+        Asm.Insn (Build.addi Reg.sp Reg.sp (-frame))
+        :: List.mapi
+             (fun k r -> Asm.Insn (Build.sd r (8 * k) Reg.sp))
+             call_saved
+      in
+      let restores =
+        List.mapi (fun k r -> Asm.Insn (Build.ld r (8 * k) Reg.sp)) call_saved
+        @ [ Asm.Insn (Build.addi Reg.sp Reg.sp frame) ]
+      in
+      (* evaluate arguments into temporaries, then move into a0..a7;
+         Param/Reg operands read the *saved* values from the frame so that
+         earlier argument moves cannot clobber them *)
+      let arg_items =
+        List.concat
+          (List.mapi
+             (fun k arg ->
+               let dst = Reg.a0 + k in
+               match arg with
+               | Snippet.Param n when n >= 0 && n <= 7 ->
+                   let slot =
+                     8 * (1 + 7 + n) (* ra + t0-t6 precede a0-a7 *)
+                   in
+                   [ Asm.Insn (Build.ld dst slot Reg.sp) ]
+               | Snippet.Reg r when Reg.is_int r && List.mem r call_saved ->
+                   let idx = ref (-1) in
+                   List.iteri (fun j x -> if x = r then idx := j) call_saved;
+                   [ Asm.Insn (Build.ld dst (8 * !idx) Reg.sp) ]
+               | e ->
+                   let items, rv = gen_expr ctx ctx.scratch e in
+                   items @ [ Asm.Insn (Build.mv dst rv) ])
+             args)
+      in
+      (* the call target address goes through a scratch register *)
+      let target_reg =
+        match ctx.scratch with
+        | r :: _ -> r
+        | [] -> fail "Call needs a scratch register"
+      in
+      saves @ arg_items
+      @ [ Asm.Li (target_reg, faddr); Asm.Insn (Build.call_reg target_reg) ]
+      @ restores
+
+(* Generate the full item sequence for a snippet.  [ctx.scratch] must
+   provide at least [Snippet.regs_needed] registers (PatchAPI arranges
+   this, spilling if the liveness analysis found too few dead ones). *)
+let generate ctx (stmts : Snippet.stmt list) : Asm.item list =
+  let needed = Snippet.regs_needed stmts in
+  if List.length ctx.scratch < needed then
+    fail "snippet needs %d scratch registers, %d available" needed
+      (List.length ctx.scratch);
+  List.concat_map (gen_stmt ctx) stmts

@@ -1,0 +1,93 @@
+(* Machine-independent instrumentation snippets (paper §2: "a snippet is
+   an abstract representation of the code to be inserted ... specified by
+   a machine independent abstract syntax tree").
+
+   The AST mirrors Dyninst's BPatch_snippet vocabulary: variables,
+   constants, arithmetic/logical operations, memory and register access,
+   conditionals, and function calls. *)
+
+type var = {
+  v_name : string;
+  v_addr : int64; (* address in the instrumentation data area *)
+  v_size : int; (* 1, 2, 4 or 8 bytes *)
+}
+
+type binop =
+  | Plus | Minus | Times | Divide | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Const of int64
+  | Var of var (* read an instrumentation variable *)
+  | Reg of Riscv.Reg.t (* read a mutatee register *)
+  | Param of int (* nth integer argument (valid at function entry) *)
+  | Load of int * expr (* width bytes, address *)
+  | Bin of binop * expr * expr
+  | Not of expr
+
+type stmt =
+  | Set of var * expr
+  | Store of int * expr * expr (* width bytes, address, value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Call of int64 * expr list (* call a function in the mutatee *)
+  | Nop
+
+(* The classic counter snippet: var++ . *)
+let incr v = Set (v, Bin (Plus, Var v, Const 1L))
+
+(* Registers a snippet reads explicitly (they must not be chosen as
+   scratch). *)
+let rec expr_reads = function
+  | Const _ | Var _ -> []
+  | Reg r -> [ r ]
+  | Param n -> [ Riscv.Reg.a0 + n ]
+  | Load (_, e) | Not e -> expr_reads e
+  | Bin (_, a, b) -> expr_reads a @ expr_reads b
+
+let rec stmt_reads = function
+  | Set (_, e) -> expr_reads e
+  | Store (_, a, v) -> expr_reads a @ expr_reads v
+  | If (c, a, b) ->
+      expr_reads c @ List.concat_map stmt_reads a @ List.concat_map stmt_reads b
+  | While (c, body) -> expr_reads c @ List.concat_map stmt_reads body
+  | Call (_, args) -> List.concat_map expr_reads args
+  | Nop -> []
+
+let reads stmts = List.sort_uniq compare (List.concat_map stmt_reads stmts)
+
+(* Scratch registers needed to evaluate an expression bottom-up with one
+   live temporary per unfinished operand (Sethi-Ullman style). *)
+let rec expr_regs_needed = function
+  | Const _ -> 1
+  | Var _ -> 2 (* address + value *)
+  | Reg _ -> 1
+  | Param _ -> 1
+  | Load (_, e) -> expr_regs_needed e
+  | Not e -> expr_regs_needed e
+  | Bin (_, a, b) ->
+      let na = expr_regs_needed a and nb = expr_regs_needed b in
+      if na = nb then na + 1 else max na nb
+
+let rec stmt_regs_needed = function
+  | Set (_, e) -> max 2 (expr_regs_needed e + 1) (* + address temp *)
+  | Store (_, a, v) -> max (expr_regs_needed a) (expr_regs_needed v) + 1
+  | If (c, a, b) ->
+      List.fold_left max (expr_regs_needed c)
+        (List.map stmt_regs_needed (a @ b))
+  | While (c, body) ->
+      List.fold_left max (expr_regs_needed c) (List.map stmt_regs_needed body)
+  | Call (_, args) ->
+      List.fold_left max 1 (List.map expr_regs_needed args)
+  | Nop -> 0
+
+let regs_needed stmts = List.fold_left max 1 (List.map stmt_regs_needed stmts)
+
+let rec contains_call = function
+  | Call _ -> true
+  | If (_, a, b) -> List.exists contains_call (a @ b)
+  | While (_, body) -> List.exists contains_call body
+  | Set _ | Store _ | Nop -> false
+
+let has_call stmts = List.exists contains_call stmts

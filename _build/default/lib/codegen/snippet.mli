@@ -1,0 +1,60 @@
+(** Machine-independent instrumentation snippets (paper §2): the abstract
+    syntax trees that describe code to insert.  CodeGenAPI lowers them to
+    native instructions; because snippets are ISA-independent, tools
+    written against them port across architectures unchanged. *)
+
+(** An instrumentation variable living in the patch data area.
+    Create these with [Rewriter.allocate_var] / [Core.create_counter]. *)
+type var = {
+  v_name : string;  (** diagnostic name *)
+  v_addr : int64;  (** absolute address in the data area *)
+  v_size : int;  (** 1, 2, 4 or 8 bytes *)
+}
+
+(** Binary operators: arithmetic, bitwise and comparisons (comparisons
+    yield 0/1). *)
+type binop =
+  | Plus | Minus | Times | Divide | Mod
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+(** Expressions: constants, variable/register/memory reads, the mutatee's
+    integer arguments (valid at function entry), and operators. *)
+type expr =
+  | Const of int64
+  | Var of var  (** read an instrumentation variable *)
+  | Reg of Riscv.Reg.t  (** read a mutatee register *)
+  | Param of int  (** nth integer argument, function-entry points only *)
+  | Load of int * expr  (** [Load (bytes, address)] *)
+  | Bin of binop * expr * expr
+  | Not of expr
+
+(** Statements: assignment, stores, control flow and mutatee calls. *)
+type stmt =
+  | Set of var * expr
+  | Store of int * expr * expr  (** [Store (bytes, address, value)] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Call of int64 * expr list
+      (** call a mutatee function by address; caller-saved state is
+          preserved around the call *)
+  | Nop
+
+(** [incr v] is the classic counter snippet: [v := v + 1]. *)
+val incr : var -> stmt
+
+(** Mutatee registers a snippet reads explicitly (these are excluded from
+    scratch-register allocation). *)
+val reads : stmt list -> Riscv.Reg.t list
+
+(** Scratch registers needed to evaluate the snippet (Sethi–Ullman
+    style); PatchAPI provides at least this many, from dead registers
+    when liveness allows, else by spilling. *)
+val regs_needed : stmt list -> int
+
+(** Does the snippet contain a [Call]? *)
+val has_call : stmt list -> bool
+
+(**/**)
+
+val expr_regs_needed : expr -> int

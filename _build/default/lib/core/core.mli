@@ -1,0 +1,154 @@
+(** The Dyninst facade: a machine-independent interface to binary
+    analysis, instrumentation and process control (paper §2).
+
+    Typical static-rewriting session:
+    {[
+      let b = Core.open_file "mutatee" in
+      let m = Core.create_mutator b in
+      let c = Core.create_counter m "calls" in
+      Core.insert m (Core.at_entry b "work") [ Codegen_api.Snippet.incr c ];
+      Core.rewrite_to_file m "mutatee.inst"
+    ]}
+
+    Dynamic instrumentation replaces the last line with {!launch} (or
+    {!attach}) + {!instrument_process} + {!continue_}. *)
+
+(** An analyzed binary: SymtabAPI view plus the ParseAPI CFG. *)
+type binary = { symtab : Symtab.t; cfg : Parse_api.Cfg.t }
+
+(** Raised by lookups such as {!find_function} when the name is absent. *)
+exception Not_found_error of string
+
+(** [open_image img] runs symbol-table analysis and CFG construction on an
+    in-memory ELF image.  [gap_parsing] (default [true]) controls the
+    speculative scan for functions unreachable from known entry points. *)
+val open_image : ?gap_parsing:bool -> Elfkit.Types.image -> binary
+
+(** [open_bytes b] parses ELF bytes and then behaves like {!open_image}. *)
+val open_bytes : ?gap_parsing:bool -> Bytes.t -> binary
+
+(** [open_file path] loads an ELF file from disk. *)
+val open_file : ?gap_parsing:bool -> string -> binary
+
+(** The underlying ELF image (e.g. to [launch] it). *)
+val image : binary -> Elfkit.Types.image
+
+(** The mutatee's extension profile, discovered from [.riscv.attributes]
+    or the [e_flags] fallback (paper §3.2.1). *)
+val profile : binary -> Riscv.Ext.profile
+
+(** All functions found by parsing, in address order. *)
+val functions : binary -> Parse_api.Cfg.func list
+
+(** Look up a function by symbol name.
+    @raise Not_found_error if no such function was parsed. *)
+val find_function : binary -> string -> Parse_api.Cfg.func
+
+(** {1 Instrumentation points (paper §2: "points")} *)
+
+(** The entry point of the named function. *)
+val at_entry : binary -> string -> Patch_api.Point.t
+
+(** One point per return site of the named function. *)
+val at_exits : binary -> string -> Patch_api.Point.t list
+
+(** One point per call site inside the named function. *)
+val at_call_sites : binary -> string -> Patch_api.Point.t list
+
+(** One point per basic block of the named function. *)
+val at_blocks : binary -> string -> Patch_api.Point.t list
+
+(** One point per natural-loop header of the named function. *)
+val at_loop_entries : binary -> string -> Patch_api.Point.t list
+
+(** One point per loop back edge of the named function. *)
+val at_loop_backedges : binary -> string -> Patch_api.Point.t list
+
+(** ParseAPI's natural-loop analysis for the named function. *)
+val loops : binary -> string -> Parse_api.Loops.loop list
+
+(** {1 Static instrumentation (binary rewriting)} *)
+
+(** An instrumentation session over a binary (a BPatch_binaryEdit). *)
+type mutator = { binary : binary; rw : Patch_api.Rewriter.t }
+
+(** [create_mutator b] starts a session.  [tramp_base] overrides the
+    patch-area address (default: the first usable gap after the code).
+    [use_dead_regs:false] disables the dead-register allocation
+    optimization (the §4.3 ablation). *)
+val create_mutator : ?tramp_base:int64 -> ?use_dead_regs:bool -> binary -> mutator
+
+(** Allocate an 8-byte instrumentation variable (e.g. a counter). *)
+val create_counter : mutator -> string -> Codegen_api.Snippet.var
+
+(** Allocate an instrumentation variable of the given byte size (1/2/4/8). *)
+val create_var : mutator -> string -> int -> Codegen_api.Snippet.var
+
+(** [insert m point snippets] requests snippet insertion — the paper's
+    core ([P], AST) operation. *)
+val insert : mutator -> Patch_api.Point.t -> Codegen_api.Snippet.stmt list -> unit
+
+(** Perform the rewrite: returns a new ELF image with trampolines,
+    springboards, the instrumentation data area and (if any trap
+    springboards were needed) the trap map section. *)
+val rewrite : mutator -> Elfkit.Types.image
+
+(** {!rewrite} and write the result to disk. *)
+val rewrite_to_file : mutator -> string -> unit
+
+(** Point/springboard statistics of the last {!rewrite} (dead-register
+    allocations vs spills, springboard strategies chosen). *)
+val stats : mutator -> Patch_api.Rewriter.stats
+
+(** {1 Dynamic instrumentation (paper Figure 1, right paths)} *)
+
+(** Create a (simulated) process from an image, stopped at entry. *)
+val launch : ?argv:string list -> Elfkit.Types.image -> Proccontrol_api.Proccontrol.t
+
+(** Take control of an already-created process. *)
+val attach : Rvsim.Loader.process -> Proccontrol_api.Proccontrol.t
+
+(** A removable live-instrumentation session (see
+    {!instrument_process_handle} / {!uninstrument_process}). *)
+type dynamic_handle = {
+  dh_plan : Patch_api.Rewriter.plan;
+  dh_saved : (int64 * Bytes.t) list;
+}
+
+(** Apply the mutator's pending insertions to a live process: maps the
+    patch area, writes trampolines and springboards through
+    ProcControlAPI, and registers trap redirects.  The process should be
+    stopped outside the instrumented blocks. *)
+val instrument_process : mutator -> Proccontrol_api.Proccontrol.t -> unit
+
+(** Like {!instrument_process}, returning a handle that allows the
+    instrumentation to be removed again. *)
+val instrument_process_handle :
+  mutator -> Proccontrol_api.Proccontrol.t -> dynamic_handle
+
+(** Undo a live instrumentation session: original code bytes are
+    restored and trap redirects dropped; counters remain readable (the
+    BPatch removeSnippet analogue). *)
+val uninstrument_process : dynamic_handle -> Proccontrol_api.Proccontrol.t -> unit
+
+(** Resume the process until the next event (exit, breakpoint, fault). *)
+val continue_ :
+  ?max_steps:int -> Proccontrol_api.Proccontrol.t -> Proccontrol_api.Proccontrol.event
+
+(** Read an instrumentation variable out of a live process. *)
+val read_counter : Proccontrol_api.Proccontrol.t -> Codegen_api.Snippet.var -> int64
+
+(** {1 Stack walking} *)
+
+(** A StackwalkerAPI walker bound to this binary's analyses. *)
+val walker : binary -> Stackwalker_api.Stackwalker.walker
+
+(** Collect the call stack of a (stopped) process. *)
+val walk_process :
+  binary -> Proccontrol_api.Proccontrol.t -> Stackwalker_api.Stackwalker.frame list
+
+(** {1 Components} *)
+
+(** The component/uses map of paper Figure 2: each toolkit and the
+    toolkits it consumes information from. *)
+val components : (string * string list) list

@@ -1,0 +1,1 @@
+lib/dataflow/liveness.ml: Cfg Hashtbl Instruction Int64 List Option Parse_api Reg Regset Riscv

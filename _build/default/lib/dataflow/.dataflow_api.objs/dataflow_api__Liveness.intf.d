@@ -1,0 +1,1 @@
+lib/dataflow/liveness.mli: Parse_api Regset Riscv

@@ -1,0 +1,1 @@
+lib/dataflow/reaching.ml: Array Cfg Hashtbl Instruction Int Int64 List Option Parse_api Riscv Semantics Set

@@ -1,0 +1,1 @@
+lib/dataflow/regset.ml: Format List Riscv String

@@ -1,0 +1,1 @@
+lib/dataflow/regset.mli: Format Riscv

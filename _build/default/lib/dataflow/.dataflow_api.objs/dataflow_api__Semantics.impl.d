@@ -1,0 +1,1 @@
+lib/dataflow/semantics.ml: Insn List Op Reg Riscv Sailsem

@@ -1,0 +1,1 @@
+lib/dataflow/semantics.mli: Riscv

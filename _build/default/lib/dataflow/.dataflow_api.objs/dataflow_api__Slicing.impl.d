@@ -1,0 +1,1 @@
+lib/dataflow/slicing.ml: Cfg Hashtbl Instruction Int64 List Parse_api Queue Reaching Riscv Semantics Set

@@ -1,0 +1,1 @@
+lib/dataflow/slicing.mli: Parse_api Riscv Set

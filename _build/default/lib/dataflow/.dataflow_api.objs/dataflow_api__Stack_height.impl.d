@@ -1,0 +1,1 @@
+lib/dataflow/stack_height.ml: Cfg Hashtbl Instruction Int64 List Op Option Parse_api Reg Riscv

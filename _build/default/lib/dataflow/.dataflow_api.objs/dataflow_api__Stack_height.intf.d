@@ -1,0 +1,1 @@
+lib/dataflow/stack_height.mli: Instruction Parse_api

@@ -1,0 +1,162 @@
+(* Register liveness (DataflowAPI, paper §2.1): the backward dataflow
+   problem whose complement — *dead* registers — lets CodeGenAPI build
+   instrumentation that avoids spilling (paper §4.3's register-allocation
+   optimization).
+
+   ABI boundary summaries (RISC-V psABI):
+     - at a return: argument/return registers a0/a1/fa0/fa1, sp, and all
+       callee-saved registers are live (the caller owns them);
+     - at a call: the call *uses* the argument registers and *kills* the
+       caller-saved set minus the arguments (the callee may clobber them,
+       so their prior values cannot be live across the call);
+     - at unresolved control transfers everything is conservatively
+       live. *)
+
+open Riscv
+open Parse_api
+
+let callee_saved =
+  Regset.of_list
+    (Reg.callee_saved_int @ List.map (fun k -> Reg.f k) [ 8; 9; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 ])
+
+let caller_saved =
+  Regset.of_list
+    (Reg.caller_saved_int
+    @ List.map (fun k -> Reg.f k)
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 10; 11; 12; 13; 14; 15; 16; 17; 28; 29; 30; 31 ])
+
+let arg_regs = Regset.of_list (Reg.arg_regs @ Reg.fp_arg_regs)
+
+let live_at_return =
+  Regset.union callee_saved
+    (Regset.of_list [ Reg.a0; Reg.a1; Reg.f 10; Reg.f 11; Reg.sp; Reg.ra ])
+
+(* def/use of one instruction, with ABI summaries applied to calls. *)
+let insn_defs_uses (ins : Instruction.t) ~(is_call : bool) =
+  let defs = Regset.of_list (Instruction.regs_written ins) in
+  let uses = Regset.of_list (Instruction.regs_read ins) in
+  if is_call then
+    (* the call instruction writes its link register; additionally the
+       callee may clobber every caller-saved register *)
+    (Regset.union defs (Regset.diff caller_saved arg_regs),
+     Regset.union uses arg_regs)
+  else (defs, uses)
+
+let block_is_call_site (b : Cfg.block) =
+  List.exists
+    (fun e -> e.Cfg.ek = Cfg.E_call || e.Cfg.ek = Cfg.E_tail_call)
+    b.Cfg.b_out
+
+(* transfer through one instruction: live_before = (live_after - defs) + uses *)
+let step_insn ins ~is_call live_after =
+  let defs, uses = insn_defs_uses ins ~is_call in
+  Regset.union (Regset.diff live_after defs) uses
+
+type t = {
+  func : Cfg.func;
+  cfg : Cfg.t;
+  live_in : (int64, Regset.t) Hashtbl.t;
+  live_out : (int64, Regset.t) Hashtbl.t;
+}
+
+(* live-out contribution of [b]'s outgoing edges *)
+let edge_live_out analysis (b : Cfg.block) =
+  List.fold_left
+    (fun acc e ->
+      match (e.Cfg.ek, e.Cfg.e_dst) with
+      | (Cfg.E_fallthrough | Cfg.E_taken | Cfg.E_not_taken | Cfg.E_jump
+        | Cfg.E_jump_table | Cfg.E_indirect | Cfg.E_call_ft), Cfg.T_addr a ->
+          let li =
+            match Hashtbl.find_opt analysis.live_in a with
+            | Some s -> s
+            | None -> Regset.empty
+          in
+          Regset.union acc li
+      | Cfg.E_return, _ -> Regset.union acc live_at_return
+      | Cfg.E_tail_call, _ ->
+          (* like a call followed immediately by our return *)
+          Regset.union acc (Regset.union arg_regs callee_saved)
+      | Cfg.E_call, _ -> acc (* handled by the call-ft edge + summaries *)
+      | (Cfg.E_indirect | Cfg.E_jump | Cfg.E_jump_table), Cfg.T_unknown ->
+          Regset.full (* unresolved: everything may be used *)
+      | (Cfg.E_fallthrough | Cfg.E_taken | Cfg.E_not_taken | Cfg.E_call_ft),
+        Cfg.T_unknown ->
+          acc)
+    Regset.empty b.Cfg.b_out
+
+(* blocks with no out-edges fell into undecodable bytes: conservative *)
+let block_live_out analysis b =
+  if b.Cfg.b_out = [] then Regset.full else edge_live_out analysis b
+
+let transfer_block b live_out =
+  let is_call = block_is_call_site b in
+  let rec go insns live =
+    match insns with
+    | [] -> live
+    | ins :: rest ->
+        let live_after_rest = go rest live in
+        (* only the terminator is the call itself *)
+        let is_call_insn = is_call && rest = [] in
+        step_insn ins ~is_call:is_call_insn live_after_rest
+  in
+  go b.Cfg.b_insns live_out
+
+let analyze (cfg : Cfg.t) (func : Cfg.func) : t =
+  let analysis =
+    { func; cfg; live_in = Hashtbl.create 16; live_out = Hashtbl.create 16 }
+  in
+  let blocks = Cfg.blocks_of cfg func in
+  List.iter
+    (fun (b : Cfg.block) ->
+      Hashtbl.replace analysis.live_in b.Cfg.b_start Regset.empty;
+      Hashtbl.replace analysis.live_out b.Cfg.b_start Regset.empty)
+    blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Cfg.block) ->
+        let lo = block_live_out analysis b in
+        let li = transfer_block b lo in
+        let old_li = Hashtbl.find analysis.live_in b.Cfg.b_start in
+        Hashtbl.replace analysis.live_out b.Cfg.b_start lo;
+        if not (Regset.equal li old_li) then begin
+          Hashtbl.replace analysis.live_in b.Cfg.b_start li;
+          changed := true
+        end)
+      blocks
+  done;
+  analysis
+
+let live_in analysis (baddr : int64) =
+  Option.value (Hashtbl.find_opt analysis.live_in baddr) ~default:Regset.full
+
+let live_out analysis (baddr : int64) =
+  Option.value (Hashtbl.find_opt analysis.live_out baddr) ~default:Regset.full
+
+(* Live registers immediately before the instruction at [addr] in [b]. *)
+let live_before analysis (b : Cfg.block) (addr : int64) =
+  let lo = live_out analysis b.Cfg.b_start in
+  let is_call = block_is_call_site b in
+  let rec go insns =
+    match insns with
+    | [] -> lo
+    | ins :: rest ->
+        let live_after = go rest in
+        if Int64.compare ins.Instruction.addr addr < 0 then live_after
+        else
+          let is_call_insn = is_call && rest = [] in
+          step_insn ins ~is_call:is_call_insn live_after
+  in
+  go b.Cfg.b_insns
+
+(* Dead *allocatable* integer registers at a point: the complement of the
+   live set, excluding registers that are never safe to clobber (x0, ra
+   is fine if dead, but sp/gp/tp are reserved). *)
+let never_allocatable = Regset.of_list [ Reg.zero; Reg.sp; Reg.gp; Reg.tp ]
+
+let dead_int_regs_before analysis b addr =
+  let live = live_before analysis b addr in
+  List.filter
+    (fun r -> Reg.is_int r && (not (Regset.mem live r)) && not (Regset.mem never_allocatable r))
+    (List.init 32 (fun i -> i))

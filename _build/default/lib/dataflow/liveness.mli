@@ -1,0 +1,38 @@
+(** Register liveness (DataflowAPI, paper §2.1): the backward dataflow
+    analysis whose complement — {e dead} registers — lets CodeGenAPI
+    build instrumentation that avoids save/restore (the §4.3
+    register-allocation optimization).
+
+    ABI summaries per the RISC-V psABI: at returns, the argument/return
+    registers and all callee-saved registers are live; at calls, the
+    argument registers are used and the caller-saved set (minus the
+    arguments) is killed; unresolved control transfers make everything
+    conservatively live. *)
+
+type t
+
+(** Analyze one function of a parsed CFG. *)
+val analyze : Parse_api.Cfg.t -> Parse_api.Cfg.func -> t
+
+(** Live registers at a block's entry / exit (by block start address). *)
+val live_in : t -> int64 -> Regset.t
+
+val live_out : t -> int64 -> Regset.t
+
+(** Live registers immediately before the instruction at [addr] in the
+    given block. *)
+val live_before : t -> Parse_api.Cfg.block -> int64 -> Regset.t
+
+(** Registers that must never be allocated as scratch (x0, sp, gp, tp). *)
+val never_allocatable : Regset.t
+
+(** Dead, allocatable integer registers just before the instruction at
+    [addr] — what PatchAPI hands CodeGenAPI as scratch. *)
+val dead_int_regs_before : t -> Parse_api.Cfg.block -> int64 -> Riscv.Reg.t list
+
+(**/**)
+
+val callee_saved : Regset.t
+val caller_saved : Regset.t
+val arg_regs : Regset.t
+val live_at_return : Regset.t

@@ -1,0 +1,143 @@
+(* Reaching definitions over a function's registers: the def-use chains
+   that back both slicing directions. *)
+
+open Parse_api
+module IntSet = Set.Make (Int)
+
+type def_site = { d_addr : int64; d_reg : Riscv.Reg.t }
+
+type t = {
+  sites : def_site array; (* all definition sites, indexed *)
+  site_index : (int64 * Riscv.Reg.t, int) Hashtbl.t;
+  in_sets : (int64, IntSet.t) Hashtbl.t; (* block start -> reaching defs *)
+  blocks : Cfg.block list;
+}
+
+let defs_of_insn (ins : Instruction.t) = Semantics.defs ins.Instruction.insn
+let uses_of_insn (ins : Instruction.t) = Semantics.uses ins.Instruction.insn
+
+let analyze (cfg : Cfg.t) (func : Cfg.func) : t =
+  let blocks = Cfg.blocks_of cfg func in
+  (* enumerate definition sites *)
+  let sites = ref [] in
+  let site_index = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun ins ->
+          List.iter
+            (fun r ->
+              let key = (ins.Instruction.addr, r) in
+              if not (Hashtbl.mem site_index key) then begin
+                Hashtbl.replace site_index key (List.length !sites);
+                sites := { d_addr = ins.Instruction.addr; d_reg = r } :: !sites
+              end)
+            (defs_of_insn ins))
+        b.Cfg.b_insns)
+    blocks;
+  let sites = Array.of_list (List.rev !sites) in
+  let n = Array.length sites in
+  (* per-register site sets for kill computation *)
+  let sites_of_reg = Hashtbl.create 32 in
+  Array.iteri
+    (fun k s ->
+      let cur =
+        Option.value (Hashtbl.find_opt sites_of_reg s.d_reg) ~default:IntSet.empty
+      in
+      Hashtbl.replace sites_of_reg s.d_reg (IntSet.add k cur))
+    sites;
+  let all_of_reg r =
+    Option.value (Hashtbl.find_opt sites_of_reg r) ~default:IntSet.empty
+  in
+  (* gen/kill per block *)
+  let gen = Hashtbl.create 16 and kill = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      let g = ref IntSet.empty and k = ref IntSet.empty in
+      List.iter
+        (fun ins ->
+          List.iter
+            (fun r ->
+              let self = Hashtbl.find site_index (ins.Instruction.addr, r) in
+              k := IntSet.union !k (all_of_reg r);
+              g := IntSet.add self (IntSet.diff !g (all_of_reg r)))
+            (defs_of_insn ins))
+        b.Cfg.b_insns;
+      Hashtbl.replace gen b.Cfg.b_start !g;
+      Hashtbl.replace kill b.Cfg.b_start (IntSet.diff !k !g))
+    blocks;
+  (* forward fixpoint *)
+  let in_sets = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Cfg.block) -> Hashtbl.replace in_sets b.Cfg.b_start IntSet.empty)
+    blocks;
+  let out_of b =
+    let i = Hashtbl.find in_sets b.Cfg.b_start in
+    IntSet.union
+      (Hashtbl.find gen b.Cfg.b_start)
+      (IntSet.diff i (Hashtbl.find kill b.Cfg.b_start))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Cfg.block) ->
+        let out = out_of b in
+        List.iter
+          (fun succ ->
+            match Hashtbl.find_opt in_sets succ with
+            | None -> ()
+            | Some cur ->
+                let merged = IntSet.union cur out in
+                if not (IntSet.equal merged cur) then begin
+                  Hashtbl.replace in_sets succ merged;
+                  changed := true
+                end)
+          (Cfg.intra_succs b))
+      blocks
+  done;
+  ignore n;
+  { sites; site_index; in_sets; blocks }
+
+(* Definitions of [reg] reaching the program point just before [addr]
+   inside block [b]: walk the block forward, tracking local kills. *)
+let defs_reaching (t : t) (b : Cfg.block) (addr : int64) (reg : Riscv.Reg.t) :
+    int64 list =
+  let entry =
+    Option.value (Hashtbl.find_opt t.in_sets b.Cfg.b_start) ~default:IntSet.empty
+  in
+  let current =
+    IntSet.filter (fun k -> t.sites.(k).d_reg = reg) entry
+    |> IntSet.elements
+    |> List.map (fun k -> t.sites.(k).d_addr)
+  in
+  let rec walk current = function
+    | [] -> current
+    | ins :: rest ->
+        if Int64.compare ins.Instruction.addr addr >= 0 then current
+        else
+          let current =
+            if List.mem reg (defs_of_insn ins) then [ ins.Instruction.addr ]
+            else current
+          in
+          walk current rest
+  in
+  walk current b.Cfg.b_insns
+
+(* All (use-site, reg) pairs in the function that a definition at
+   [daddr] of [reg] reaches. *)
+let uses_reached (t : t) (cfg : Cfg.t) (daddr : int64) (reg : Riscv.Reg.t) :
+    int64 list =
+  ignore cfg;
+  let result = ref [] in
+  List.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun ins ->
+          if List.mem reg (uses_of_insn ins) then
+            let reaching = defs_reaching t b ins.Instruction.addr reg in
+            if List.exists (Int64.equal daddr) reaching then
+              result := ins.Instruction.addr :: !result)
+        b.Cfg.b_insns)
+    t.blocks;
+  List.sort_uniq Int64.compare !result

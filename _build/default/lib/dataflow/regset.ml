@@ -1,0 +1,51 @@
+(* Compact register sets over the flat [Riscv.Reg.t] id space:
+   bits 0..31 integer registers, 32..63 FP registers, plus fcsr.
+   Represented as two 32-bit masks and a flag — cheap to merge in the
+   dataflow fixpoints. *)
+
+type t = { x : int; f : int; c : bool }
+
+let empty = { x = 0; f = 0; c = false }
+let full = { x = 0xFFFF_FFFF; f = 0xFFFF_FFFF; c = true }
+
+let add t r =
+  if r < 32 then { t with x = t.x lor (1 lsl r) }
+  else if r < 64 then { t with f = t.f lor (1 lsl (r - 32)) }
+  else { t with c = true }
+
+let remove t r =
+  if r < 32 then { t with x = t.x land lnot (1 lsl r) }
+  else if r < 64 then { t with f = t.f land lnot (1 lsl (r - 32)) }
+  else { t with c = false }
+
+let mem t r =
+  if r < 32 then t.x land (1 lsl r) <> 0
+  else if r < 64 then t.f land (1 lsl (r - 32)) <> 0
+  else t.c
+
+let union a b = { x = a.x lor b.x; f = a.f lor b.f; c = a.c || b.c }
+let inter a b = { x = a.x land b.x; f = a.f land b.f; c = a.c && b.c }
+let diff a b = { x = a.x land lnot b.x; f = a.f land lnot b.f; c = a.c && not b.c }
+let equal a b = a.x = b.x && a.f = b.f && a.c = b.c
+let is_empty t = t.x = 0 && t.f = 0 && not t.c
+let of_list rs = List.fold_left add empty rs
+let singleton r = add empty r
+
+let elements t =
+  let acc = ref [] in
+  if t.c then acc := [ Riscv.Reg.fcsr ];
+  for r = 63 downto 32 do
+    if t.f land (1 lsl (r - 32)) <> 0 then acc := r :: !acc
+  done;
+  for r = 31 downto 0 do
+    if t.x land (1 lsl r) <> 0 then acc := r :: !acc
+  done;
+  !acc
+
+let cardinal t = List.length (elements t)
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map Riscv.Reg.name (elements t)))
+
+let to_string t = Format.asprintf "%a" pp t

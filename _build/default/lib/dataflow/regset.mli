@@ -1,0 +1,25 @@
+(** Compact register sets over the flat {!Riscv.Reg.t} id space (integer
+    x0..x31, FP f0..f31, fcsr) — the bit-set currency of the dataflow
+    fixpoints. *)
+
+type t
+
+val empty : t
+val full : t
+val add : t -> Riscv.Reg.t -> t
+val remove : t -> Riscv.Reg.t -> t
+val mem : t -> Riscv.Reg.t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+
+(** [diff a b] = elements of [a] not in [b]. *)
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val of_list : Riscv.Reg.t list -> t
+val singleton : Riscv.Reg.t -> t
+val elements : t -> Riscv.Reg.t list
+val cardinal : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,66 @@
+(* Register def/use information derived from the SAIL semantics pipeline
+   (paper §3.2.4: "dataflow analysis ... relies on rigorous instruction
+   semantics").  The hand-written tables in [Riscv.Insn] exist as a
+   fallback and as a cross-check — the test suite asserts both sources
+   agree for every opcode. *)
+
+open Riscv
+
+let field_value (i : Insn.t) = function
+  | Sailsem.Ir.F_rd -> i.Insn.rd
+  | Sailsem.Ir.F_rs1 -> i.Insn.rs1
+  | Sailsem.Ir.F_rs2 -> i.Insn.rs2
+  | Sailsem.Ir.F_rs3 -> i.Insn.rs3
+
+(* fcsr participation of CSR instructions depends on the CSR number. *)
+let is_fcsr_csr csr = csr >= 1 && csr <= 3
+
+let is_csr_op = function
+  | Op.CSRRW | Op.CSRRS | Op.CSRRC | Op.CSRRWI | Op.CSRRSI | Op.CSRRCI -> true
+  | _ -> false
+
+(* (defs, uses) as flat Reg ids, from the semantic summary. *)
+let defs_uses_of_summary (i : Insn.t) (s : Sailsem.Ir.summary) =
+  let xs fields = List.filter_map
+      (fun f ->
+        let r = field_value i f in
+        if r = 0 then None else Some (Reg.x r))
+      fields
+  in
+  let fs fields = List.map (fun f -> Reg.f (field_value i f)) fields in
+  let defs = xs s.Sailsem.Ir.writes_x @ fs s.Sailsem.Ir.writes_f in
+  let uses = xs s.Sailsem.Ir.reads_x @ fs s.Sailsem.Ir.reads_f in
+  let defs = if s.Sailsem.Ir.sets_fcsr then Reg.fcsr :: defs else defs in
+  let defs, uses =
+    if is_csr_op i.Insn.op && is_fcsr_csr i.Insn.csr then
+      (Reg.fcsr :: defs, Reg.fcsr :: uses)
+    else (defs, uses)
+  in
+  (List.sort_uniq compare defs, List.sort_uniq compare uses)
+
+(* Def/use for an instruction: semantics-derived when the pipeline covers
+   the opcode, else the hand-written tables. *)
+let defs_uses (i : Insn.t) =
+  match Sailsem.Sail.sem_of_op i.Insn.op with
+  | Some sem -> defs_uses_of_summary i (Sailsem.Ir.summarize sem)
+  | None ->
+      (List.sort_uniq compare (Insn.defs i), List.sort_uniq compare (Insn.uses i))
+
+let defs i = fst (defs_uses i)
+let uses i = snd (defs_uses i)
+
+(* Hand-written table view with the same CSR/fcsr convention, for the
+   cross-check test. *)
+let defs_uses_handwritten (i : Insn.t) =
+  let defs = Insn.defs i and uses = Insn.uses i in
+  let defs, uses =
+    if is_csr_op i.Insn.op && is_fcsr_csr i.Insn.csr then
+      (Reg.fcsr :: defs, Reg.fcsr :: uses)
+    else (defs, uses)
+  in
+  (List.sort_uniq compare defs, List.sort_uniq compare uses)
+
+let touches_memory (op : Op.t) =
+  match Sailsem.Sail.summary_of_op op with
+  | Some s -> (s.Sailsem.Ir.reads_mem, s.Sailsem.Ir.writes_mem)
+  | None -> (Op.is_load op || Op.is_amo op, Op.is_store op || Op.is_amo op)

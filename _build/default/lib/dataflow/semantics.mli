@@ -1,0 +1,26 @@
+(** Register def/use information derived from the SAIL semantics pipeline
+    (paper §3.2.4: dataflow "relies on rigorous instruction semantics").
+    The hand-written tables in {!Riscv.Insn} serve as fallback and as a
+    cross-check — the test suite asserts both sources agree for every
+    opcode. *)
+
+(** (definitions, uses) as sorted flat {!Riscv.Reg.t} ids; semantics-
+    derived when the pipeline covers the opcode, hand-written otherwise.
+    CSR instructions touching fflags/frm/fcsr (csr numbers 1..3) also
+    def+use the fcsr pseudo-register. *)
+val defs_uses : Riscv.Insn.t -> Riscv.Reg.t list * Riscv.Reg.t list
+
+val defs : Riscv.Insn.t -> Riscv.Reg.t list
+val uses : Riscv.Insn.t -> Riscv.Reg.t list
+
+(** The hand-written-table view under the same CSR convention (used by
+    the agreement test). *)
+val defs_uses_handwritten : Riscv.Insn.t -> Riscv.Reg.t list * Riscv.Reg.t list
+
+(** (reads_memory, writes_memory) from the semantic summary. *)
+val touches_memory : Riscv.Op.t -> bool * bool
+
+(**/**)
+
+val is_fcsr_csr : int -> bool
+val is_csr_op : Riscv.Op.t -> bool

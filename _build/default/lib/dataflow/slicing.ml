@@ -1,0 +1,144 @@
+(* Forward and backward slicing (DataflowAPI, paper §2.1): which
+   instructions affected a value (backward) and which instructions a
+   value affects (forward).  Intraprocedural, over the def-use chains of
+   [Reaching]; memory is handled conservatively (a load may depend on any
+   store in the function) when [follow_memory] is set. *)
+
+open Parse_api
+module I64Set = Set.Make (Int64)
+
+type slice = { s_insns : I64Set.t; s_complete : bool }
+(* [s_complete] is false when the slice hit an unresolved dependency
+   (e.g. a memory load with follow_memory off, or a register live at
+   function entry, so values flow in from callers). *)
+
+let block_of_addr (cfg : Cfg.t) addr = Cfg.block_containing cfg addr
+
+let insn_at (b : Cfg.block) addr =
+  List.find_opt (fun i -> Int64.equal i.Instruction.addr addr) b.Cfg.b_insns
+
+let stores_in (blocks : Cfg.block list) =
+  List.concat_map
+    (fun (b : Cfg.block) ->
+      List.filter
+        (fun i -> snd (Semantics.touches_memory (Instruction.op i)))
+        b.Cfg.b_insns)
+    blocks
+
+(* Backward slice from the value of [reg] just before [addr]. *)
+let backward ?(follow_memory = true) (cfg : Cfg.t) (func : Cfg.func)
+    ~(addr : int64) ~(reg : Riscv.Reg.t) : slice =
+  let rd = Reaching.analyze cfg func in
+  let blocks = Cfg.blocks_of cfg func in
+  let slice = ref I64Set.empty in
+  let complete = ref true in
+  let seen = Hashtbl.create 64 in
+  let work = Queue.create () in
+  Queue.add (addr, reg) work;
+  while not (Queue.is_empty work) do
+    let a, r = Queue.pop work in
+    if not (Hashtbl.mem seen (a, r)) then begin
+      Hashtbl.replace seen (a, r) ();
+      match block_of_addr cfg a with
+      | None -> complete := false
+      | Some b ->
+          let defs = Reaching.defs_reaching rd b a r in
+          if defs = [] then
+            (* the value flows in from outside the function *)
+            complete := false
+          else
+            List.iter
+              (fun daddr ->
+                if not (I64Set.mem daddr !slice) then begin
+                  slice := I64Set.add daddr !slice;
+                  match block_of_addr cfg daddr with
+                  | None -> complete := false
+                  | Some db -> (
+                      match insn_at db daddr with
+                      | None -> complete := false
+                      | Some dins ->
+                          (* the defining instruction's own inputs *)
+                          List.iter
+                            (fun ur -> Queue.add (daddr, ur) work)
+                            (Semantics.uses dins.Instruction.insn);
+                          (* memory dependence *)
+                          let reads_mem, _ =
+                            Semantics.touches_memory (Instruction.op dins)
+                          in
+                          if reads_mem then
+                            if follow_memory then
+                              List.iter
+                                (fun (st : Instruction.t) ->
+                                  let sa = st.Instruction.addr in
+                                  if not (I64Set.mem sa !slice) then begin
+                                    slice := I64Set.add sa !slice;
+                                    List.iter
+                                      (fun ur -> Queue.add (sa, ur) work)
+                                      (Semantics.uses st.Instruction.insn)
+                                  end)
+                                (stores_in blocks)
+                            else complete := false)
+                end)
+              defs
+    end
+  done;
+  { s_insns = !slice; s_complete = !complete }
+
+(* Forward slice: instructions (transitively) affected by the definition
+   performed at [addr]. *)
+let forward ?(follow_memory = true) (cfg : Cfg.t) (func : Cfg.func)
+    ~(addr : int64) : slice =
+  let rd = Reaching.analyze cfg func in
+  let blocks = Cfg.blocks_of cfg func in
+  let slice = ref I64Set.empty in
+  let complete = ref true in
+  let seen = Hashtbl.create 64 in
+  let work = Queue.create () in
+  (* seed: all registers defined at [addr] *)
+  (match block_of_addr cfg addr with
+  | None -> complete := false
+  | Some b -> (
+      match insn_at b addr with
+      | None -> complete := false
+      | Some ins ->
+          List.iter
+            (fun r -> Queue.add (addr, r) work)
+            (Semantics.defs ins.Instruction.insn);
+          let _, writes_mem = Semantics.touches_memory (Instruction.op ins) in
+          if writes_mem && follow_memory then
+            (* any load in the function may observe this store *)
+            List.iter
+              (fun (b : Cfg.block) ->
+                List.iter
+                  (fun (li : Instruction.t) ->
+                    if fst (Semantics.touches_memory (Instruction.op li)) then begin
+                      slice := I64Set.add li.Instruction.addr !slice;
+                      List.iter
+                        (fun r -> Queue.add (li.Instruction.addr, r) work)
+                        (Semantics.defs li.Instruction.insn)
+                    end)
+                  b.Cfg.b_insns)
+              blocks));
+  while not (Queue.is_empty work) do
+    let daddr, r = Queue.pop work in
+    if not (Hashtbl.mem seen (daddr, r)) then begin
+      Hashtbl.replace seen (daddr, r) ();
+      let users = Reaching.uses_reached rd cfg daddr r in
+      List.iter
+        (fun ua ->
+          if not (I64Set.mem ua !slice) then begin
+            slice := I64Set.add ua !slice;
+            match block_of_addr cfg ua with
+            | None -> complete := false
+            | Some ub -> (
+                match insn_at ub ua with
+                | None -> complete := false
+                | Some uins ->
+                    List.iter
+                      (fun dr -> Queue.add (ua, dr) work)
+                      (Semantics.defs uins.Instruction.insn))
+          end)
+        users
+    end
+  done;
+  { s_insns = !slice; s_complete = !complete }

@@ -1,0 +1,32 @@
+(** Forward and backward slicing (DataflowAPI, paper §2.1): which
+    instructions affected a value, and which instructions a value
+    affects.  Intraprocedural, over {!Reaching} def-use chains, with
+    instruction semantics from the SAIL pipeline; memory is handled
+    conservatively (a load may depend on any store in the function)
+    when [follow_memory] is on. *)
+
+module I64Set : Set.S with type elt = int64
+
+type slice = {
+  s_insns : I64Set.t;  (** addresses of the instructions in the slice *)
+  s_complete : bool;
+      (** [false] when the slice hit an unresolved dependency: a value
+          flowing in from the caller, or memory with [follow_memory]
+          off *)
+}
+
+(** [backward cfg f ~addr ~reg] — instructions that contributed to the
+    value [reg] holds just before [addr] (the analysis ParseAPI's jalr
+    classification conceptually relies on, §3.2.3). *)
+val backward :
+  ?follow_memory:bool ->
+  Parse_api.Cfg.t ->
+  Parse_api.Cfg.func ->
+  addr:int64 ->
+  reg:Riscv.Reg.t ->
+  slice
+
+(** [forward cfg f ~addr] — instructions transitively affected by the
+    definitions the instruction at [addr] performs. *)
+val forward :
+  ?follow_memory:bool -> Parse_api.Cfg.t -> Parse_api.Cfg.func -> addr:int64 -> slice

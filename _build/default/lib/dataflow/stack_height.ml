@@ -1,0 +1,92 @@
+(* Stack-height analysis (DataflowAPI, paper §2.1): for each point in a
+   function, the displacement of sp relative to its value at function
+   entry.  StackwalkerAPI's sp-only frame stepper is built on this —
+   essential on RISC-V where compilers rarely keep a frame pointer
+   (paper §3.2.7). *)
+
+open Riscv
+open Parse_api
+
+type height = Known of int | Unknown
+
+let merge a b =
+  match (a, b) with
+  | Known x, Known y when x = y -> Known x
+  | Known _, Known _ -> Unknown
+  | Unknown, _ | _, Unknown -> Unknown
+
+(* Effect of one instruction on the sp delta. *)
+let step_insn (ins : Instruction.t) (h : height) : height =
+  match h with
+  | Unknown -> Unknown
+  | Known d -> (
+      let i = ins.Instruction.insn in
+      let writes_sp = List.mem Reg.sp (Riscv.Insn.defs i) in
+      if not writes_sp then Known d
+      else
+        match i.Riscv.Insn.op with
+        | Op.ADDI when i.Riscv.Insn.rs1 = Reg.sp ->
+            Known (d + Riscv.Insn.imm_int i)
+        | _ -> Unknown)
+
+type t = {
+  entry_in : (int64, height) Hashtbl.t; (* height at block entry *)
+}
+
+let analyze (cfg : Cfg.t) (func : Cfg.func) : t =
+  (* absent from the table = not yet reached (bottom) *)
+  let table = Hashtbl.create 16 in
+  Hashtbl.replace table func.Cfg.f_entry (Known 0);
+  let blocks = Cfg.blocks_of cfg func in
+  let changed = ref true in
+  let iterations = ref 0 in
+  while !changed && !iterations < 1000 do
+    incr iterations;
+    changed := false;
+    List.iter
+      (fun (b : Cfg.block) ->
+        match Hashtbl.find_opt table b.Cfg.b_start with
+        | None -> () (* unreached so far *)
+        | Some h_in ->
+            let out =
+              List.fold_left (fun h i -> step_insn i h) h_in b.Cfg.b_insns
+            in
+            List.iter
+              (fun succ ->
+                let next =
+                  match Hashtbl.find_opt table succ with
+                  | None -> Some out
+                  | Some cur ->
+                      let m = merge cur out in
+                      if m <> cur then Some m else None
+                in
+                match next with
+                | Some v ->
+                    Hashtbl.replace table succ v;
+                    changed := true
+                | None -> ())
+              (Cfg.intra_succs b))
+      blocks
+  done;
+  { entry_in = table }
+
+let at_block_entry t baddr =
+  Option.value (Hashtbl.find_opt t.entry_in baddr) ~default:Unknown
+
+(* Height immediately before the instruction at [addr] within [b]. *)
+let before t (b : Cfg.block) addr =
+  let rec go h = function
+    | [] -> h
+    | ins :: rest ->
+        if Int64.compare ins.Instruction.addr addr >= 0 then h
+        else go (step_insn ins h) rest
+  in
+  go (at_block_entry t b.Cfg.b_start) b.Cfg.b_insns
+
+(* Frame size estimate: the most negative height seen anywhere (i.e. the
+   deepest sp extension), reported as a positive byte count. *)
+let frame_size t =
+  Hashtbl.fold
+    (fun _ h acc ->
+      match h with Known d when -d > acc -> -d | _ -> acc)
+    t.entry_in 0

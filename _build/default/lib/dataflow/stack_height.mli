@@ -1,0 +1,27 @@
+(** Stack-height analysis (DataflowAPI, paper §2.1): for each point of a
+    function, the displacement of sp relative to its value at entry.
+    StackwalkerAPI's sp-only frame stepper is built on this — essential
+    on RISC-V, where compilers rarely keep a frame pointer (§3.2.7). *)
+
+type height =
+  | Known of int  (** sp = entry_sp + n (n is usually negative) *)
+  | Unknown  (** e.g. after a dynamic allocation or conflicting paths *)
+
+type t
+
+val analyze : Parse_api.Cfg.t -> Parse_api.Cfg.func -> t
+
+(** Height on entry to the block starting at the given address. *)
+val at_block_entry : t -> int64 -> height
+
+(** Height immediately before the instruction at [addr] within [block]. *)
+val before : t -> Parse_api.Cfg.block -> int64 -> height
+
+(** The deepest sp extension observed, as a positive byte count — an
+    estimate of the frame size. *)
+val frame_size : t -> int
+
+(**/**)
+
+val merge : height -> height -> height
+val step_insn : Instruction.t -> height -> height

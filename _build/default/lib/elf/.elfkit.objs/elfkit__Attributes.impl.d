@@ -1,0 +1,1 @@
+lib/elf/attributes.ml: Byte_buf Bytes Char Dyn_util Format Types

@@ -1,0 +1,1 @@
+lib/elf/attributes.mli: Bytes Types

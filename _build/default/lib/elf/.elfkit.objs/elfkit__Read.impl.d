@@ -1,0 +1,1 @@
+lib/elf/read.ml: Array Byte_buf Bytes Char Dyn_util Fun Int64 List Types

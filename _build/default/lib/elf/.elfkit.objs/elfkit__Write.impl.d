@@ -1,0 +1,1 @@
+lib/elf/write.ml: Bits Buffer Byte_buf Bytes Char Dyn_util Fun Hashtbl Int32 Int64 List Types

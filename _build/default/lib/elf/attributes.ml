@@ -1,0 +1,131 @@
+(* The .riscv.attributes section (paper §3.2.1).
+
+   Format (RISC-V psABI attribute section, modelled on ARM's):
+
+     'A'                                 format-version byte
+     <sub-section>*
+       uint32   length (including this word)
+       "riscv\0"  vendor name
+       <sub-sub-section>*
+         uleb128  tag   (1 = Tag_File)
+         uint32   length (including tag+length)
+         <attribute>*
+           uleb128 tag
+           value: NUL-string if tag is odd ... except RISC-V deviates:
+                  Tag_RISCV_arch (5) is a string; stack_align (4) and
+                  unaligned_access (6) are uleb128.
+
+   We implement the tags Dyninst cares about: Tag_RISCV_stack_align (4),
+   Tag_RISCV_arch (5), Tag_RISCV_unaligned_access (6). *)
+
+open Dyn_util
+
+type t = {
+  arch : string option; (* e.g. "rv64imafdc_zicsr_zifencei" *)
+  stack_align : int option;
+  unaligned_access : bool option;
+}
+
+let empty = { arch = None; stack_align = None; unaligned_access = None }
+
+let tag_file = 1
+let tag_stack_align = 4
+let tag_arch = 5
+let tag_unaligned_access = 6
+
+exception Malformed of string
+
+let malformed fmt = Format.kasprintf (fun s -> raise (Malformed s)) fmt
+
+(* Is this uleb-valued or string-valued?  Per the RISC-V psABI, even tags
+   are uleb128 and odd tags are NUL-terminated strings. *)
+let tag_is_string tag = tag land 1 = 1
+
+let parse (data : Bytes.t) : t =
+  let total = Bytes.length data in
+  if total = 0 then malformed "empty attributes section";
+  if Bytes.get data 0 <> 'A' then
+    malformed "bad format-version byte 0x%02x" (Char.code (Bytes.get data 0));
+  let attrs = ref empty in
+  let pos = ref 1 in
+  while !pos < total do
+    let r = Byte_buf.reader data ~pos:!pos in
+    let sub_len = Byte_buf.u32 r in
+    if sub_len < 4 || !pos + sub_len > total then
+      malformed "sub-section length %d out of range" sub_len;
+    let vendor = Byte_buf.cstring r in
+    let sub_end = !pos + sub_len in
+    if vendor = "riscv" then begin
+      while Byte_buf.pos r < sub_end do
+        let tag = Byte_buf.uleb128 r in
+        let sss_start = Byte_buf.pos r in
+        let sss_len = Byte_buf.u32 r in
+        let sss_end = sss_start + sss_len - 1 in
+        (* -1: length covers the tag byte that preceded it; for the
+           single-byte tag values we use this is exact. *)
+        if sss_end > sub_end then malformed "sub-sub-section overruns";
+        if tag = tag_file then begin
+          while Byte_buf.pos r < sss_end do
+            let atag = Byte_buf.uleb128 r in
+            if tag_is_string atag then begin
+              let v = Byte_buf.cstring r in
+              if atag = tag_arch then attrs := { !attrs with arch = Some v }
+            end
+            else begin
+              let v = Byte_buf.uleb128 r in
+              if atag = tag_stack_align then
+                attrs := { !attrs with stack_align = Some v }
+              else if atag = tag_unaligned_access then
+                attrs := { !attrs with unaligned_access = Some (v <> 0) }
+            end
+          done
+        end;
+        Byte_buf.seek r sss_end
+      done
+    end;
+    pos := sub_end
+  done;
+  !attrs
+
+let build (t : t) : Bytes.t =
+  (* inner attribute bytes *)
+  let attrs = Byte_buf.writer () in
+  (match t.stack_align with
+  | Some v ->
+      Byte_buf.w_uleb128 attrs tag_stack_align;
+      Byte_buf.w_uleb128 attrs v
+  | None -> ());
+  (match t.arch with
+  | Some s ->
+      Byte_buf.w_uleb128 attrs tag_arch;
+      Byte_buf.w_cstring attrs s
+  | None -> ());
+  (match t.unaligned_access with
+  | Some v ->
+      Byte_buf.w_uleb128 attrs tag_unaligned_access;
+      Byte_buf.w_uleb128 attrs (if v then 1 else 0)
+  | None -> ());
+  let attr_bytes = Byte_buf.w_contents attrs in
+  (* Tag_File sub-sub-section: tag(1 byte) + u32 length + attrs;
+     the length covers tag+length+attrs. *)
+  let sss_len = 1 + 4 + Bytes.length attr_bytes in
+  (* vendor sub-section: u32 len + "riscv\0" + sss *)
+  let sub_len = 4 + 6 + sss_len in
+  let out = Byte_buf.writer () in
+  Byte_buf.w_u8 out (Char.code 'A');
+  Byte_buf.w_u32 out sub_len;
+  Byte_buf.w_cstring out "riscv";
+  Byte_buf.w_uleb128 out tag_file;
+  Byte_buf.w_u32 out sss_len;
+  Byte_buf.w_bytes out attr_bytes;
+  Byte_buf.w_contents out
+
+let section_of t =
+  Types.section ".riscv.attributes" ~s_type:Types.sht_riscv_attributes
+    (build t)
+
+(* Find and parse the attributes in an image, if present. *)
+let of_image (img : Types.image) : t option =
+  match Types.find_section img ".riscv.attributes" with
+  | Some s -> Some (parse s.Types.s_data)
+  | None -> None

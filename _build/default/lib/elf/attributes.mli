@@ -1,0 +1,36 @@
+(** The [.riscv.attributes] section (paper §3.2.1): the vendor attribute
+    blob whose Tag_RISCV_arch string tells tools which extensions a
+    binary was compiled for.  SymtabAPI parses it to build the mutatee's
+    profile; the mini-C driver emits it into every binary it links. *)
+
+type t = {
+  arch : string option;  (** e.g. ["rv64imafdc_zicsr_zifencei"] *)
+  stack_align : int option;  (** Tag_RISCV_stack_align *)
+  unaligned_access : bool option;  (** Tag_RISCV_unaligned_access *)
+}
+
+val empty : t
+
+exception Malformed of string
+
+(** Parse section contents.
+    @raise Malformed on format-version or length errors. *)
+val parse : Bytes.t -> t
+
+(** Serialize into the psABI wire format ('A' + vendor sub-section +
+    Tag_File sub-sub-section). *)
+val build : t -> Bytes.t
+
+(** [build] wrapped as a ready-to-add [.riscv.attributes] section. *)
+val section_of : t -> Types.section
+
+(** Find and parse the attributes in an image, if the section exists. *)
+val of_image : Types.image -> t option
+
+(**/**)
+
+val tag_file : int
+val tag_stack_align : int
+val tag_arch : int
+val tag_unaligned_access : int
+val tag_is_string : int -> bool

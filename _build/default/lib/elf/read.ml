@@ -1,0 +1,177 @@
+(* ELF64 reader: parses bytes into a [Types.image].
+
+   The reader is deliberately forgiving about things Dyninst does not
+   need (it ignores unknown section types) but strict about structural
+   integrity: truncated headers or out-of-range offsets raise
+   [Types.Format_error], which SymtabAPI surfaces to the user. *)
+
+open Types
+open Dyn_util
+
+let check_bounds what off size total =
+  if off < 0 || size < 0 || off + size > total then
+    format_error "%s out of range: offset %d size %d file %d" what off size total
+
+let read_exn (data : Bytes.t) : image =
+  let total = Bytes.length data in
+  if total < 64 then format_error "file too short for ELF header (%d bytes)" total;
+  if Bytes.get data 0 <> '\x7f' || Bytes.sub_string data 1 3 <> "ELF" then
+    format_error "bad ELF magic";
+  if Char.code (Bytes.get data 4) <> elfclass64 then
+    format_error "not ELFCLASS64";
+  if Char.code (Bytes.get data 5) <> elfdata2lsb then
+    format_error "not little-endian";
+  let r = Byte_buf.reader data ~pos:16 in
+  let e_type = Byte_buf.u16 r in
+  let machine = Byte_buf.u16 r in
+  let _version = Byte_buf.u32 r in
+  let entry = Byte_buf.u64 r in
+  let phoff = Int64.to_int (Byte_buf.u64 r) in
+  let shoff = Int64.to_int (Byte_buf.u64 r) in
+  let e_flags = Byte_buf.u32 r in
+  let _ehsize = Byte_buf.u16 r in
+  let phentsize = Byte_buf.u16 r in
+  let phnum = Byte_buf.u16 r in
+  let shentsize = Byte_buf.u16 r in
+  let shnum = Byte_buf.u16 r in
+  let shstrndx = Byte_buf.u16 r in
+
+  (* program headers *)
+  let segments =
+    if phnum = 0 then []
+    else begin
+      check_bounds "program headers" phoff (phnum * phentsize) total;
+      List.init phnum (fun k ->
+          let r = Byte_buf.reader data ~pos:(phoff + (k * phentsize)) in
+          let p_type = Byte_buf.u32 r in
+          let p_flags = Byte_buf.u32 r in
+          let p_offset = Byte_buf.u64 r in
+          let p_vaddr = Byte_buf.u64 r in
+          let _paddr = Byte_buf.u64 r in
+          let p_filesz = Byte_buf.u64 r in
+          let p_memsz = Byte_buf.u64 r in
+          let p_align = Byte_buf.u64 r in
+          { p_type; p_flags; p_offset; p_vaddr; p_filesz; p_memsz; p_align })
+    end
+  in
+
+  (* raw section headers *)
+  let raw_shdrs =
+    if shnum = 0 then []
+    else begin
+      check_bounds "section headers" shoff (shnum * shentsize) total;
+      List.init shnum (fun k ->
+          let r = Byte_buf.reader data ~pos:(shoff + (k * shentsize)) in
+          let name_off = Byte_buf.u32 r in
+          let s_type = Byte_buf.u32 r in
+          let flags = Int64.to_int (Byte_buf.u64 r) in
+          let addr = Byte_buf.u64 r in
+          let off = Int64.to_int (Byte_buf.u64 r) in
+          let size = Int64.to_int (Byte_buf.u64 r) in
+          let link = Byte_buf.u32 r in
+          let info = Byte_buf.u32 r in
+          let align = Int64.to_int (Byte_buf.u64 r) in
+          let entsize = Int64.to_int (Byte_buf.u64 r) in
+          (name_off, s_type, flags, addr, off, size, link, info, align, entsize))
+    end
+  in
+  let shstr_data =
+    match List.nth_opt raw_shdrs shstrndx with
+    | Some (_, _, _, _, off, size, _, _, _, _) when shstrndx <> 0 ->
+        check_bounds ".shstrtab" off size total;
+        Bytes.sub data off size
+    | _ -> Bytes.empty
+  in
+  let string_at tab off =
+    if off >= Bytes.length tab then
+      format_error "string offset %d beyond table (%d)" off (Bytes.length tab)
+    else
+      let r = Byte_buf.reader tab ~pos:off in
+      Byte_buf.cstring r
+  in
+  let sections_arr =
+    Array.of_list
+      (List.map
+         (fun (name_off, s_type, s_flags, s_addr, off, size, s_link, s_info,
+               s_addralign, s_entsize) ->
+           let s_name =
+             if s_type = sht_null then "" else string_at shstr_data name_off
+           in
+           let s_data =
+             if s_type = sht_nobits || s_type = sht_null then Bytes.empty
+             else begin
+               check_bounds s_name off size total;
+               Bytes.sub data off size
+             end
+           in
+           { s_name; s_type; s_flags; s_addr; s_data; s_size = size;
+             s_addralign; s_entsize; s_link; s_info })
+         raw_shdrs)
+  in
+  let section_name_of_index k =
+    if k > 0 && k < Array.length sections_arr then
+      Some sections_arr.(k).s_name
+    else None
+  in
+  (* symbols: first SHT_SYMTAB section, strings from its sh_link *)
+  let symbols =
+    match
+      Array.to_list sections_arr
+      |> List.mapi (fun k s -> (k, s))
+      |> List.find_opt (fun (_, s) -> s.s_type = sht_symtab)
+    with
+    | None -> []
+    | Some (_, symtab) ->
+        let strtab =
+          if symtab.s_link > 0 && symtab.s_link < Array.length sections_arr then
+            sections_arr.(symtab.s_link).s_data
+          else Bytes.empty
+        in
+        let n = symtab.s_size / 24 in
+        List.init n (fun k ->
+            let r = Byte_buf.reader symtab.s_data ~pos:(k * 24) in
+            let name_off = Byte_buf.u32 r in
+            let info = Byte_buf.u8 r in
+            let _other = Byte_buf.u8 r in
+            let shndx = Byte_buf.u16 r in
+            let sym_value = Byte_buf.u64 r in
+            let sym_size = Byte_buf.u64 r in
+            let sym_name =
+              if name_off = 0 || Bytes.length strtab = 0 then ""
+              else string_at strtab name_off
+            in
+            {
+              sym_name;
+              sym_value;
+              sym_size;
+              sym_bind = info lsr 4;
+              sym_type = info land 0xF;
+              sym_section = section_name_of_index shndx;
+            })
+        |> List.filter (fun s -> s.sym_name <> "")
+  in
+  let sections =
+    Array.to_list sections_arr
+    |> List.filter (fun s ->
+           s.s_type <> sht_null && s.s_name <> ".shstrtab")
+  in
+  { machine; e_type; entry; e_flags; sections; symbols; segments }
+
+
+(* Public entry point: every malformation surfaces as [Format_error]. *)
+let read (data : Bytes.t) : image =
+  try read_exn data with
+  | Byte_buf.Out_of_bounds { pos; want; len } ->
+      format_error "truncated structure: need %d bytes at offset %d of %d"
+        want pos len
+  | Invalid_argument msg -> format_error "malformed ELF: %s" msg
+
+let of_file path : image =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      read b)

@@ -1,0 +1,116 @@
+(* ELF64 constants and record types (little-endian only, which covers
+   every RISC-V Linux system). *)
+
+let elfclass64 = 2
+let elfdata2lsb = 1
+let ev_current = 1
+
+(* object file types *)
+let et_exec = 2
+let et_dyn = 3
+
+(* machines *)
+let em_riscv = 243
+let em_x86_64 = 62
+let em_cisc64 = 0xC15C (* our comparator ISA; vendor-specific value *)
+
+(* section types *)
+let sht_null = 0
+let sht_progbits = 1
+let sht_symtab = 2
+let sht_strtab = 3
+let sht_nobits = 8
+let sht_riscv_attributes = 0x70000003
+
+(* section flags *)
+let shf_write = 0x1
+let shf_alloc = 0x2
+let shf_execinstr = 0x4
+
+(* segment types / flags *)
+let pt_load = 1
+let pf_x = 1
+let pf_w = 2
+let pf_r = 4
+
+(* symbol binding / type *)
+let stb_local = 0
+let stb_global = 1
+let stt_notype = 0
+let stt_object = 1
+let stt_func = 2
+let stt_section = 3
+
+(* RISC-V e_flags (psABI) *)
+let ef_riscv_rvc = 0x0001
+let ef_riscv_float_abi_mask = 0x0006
+let ef_riscv_float_abi_soft = 0x0000
+let ef_riscv_float_abi_single = 0x0002
+let ef_riscv_float_abi_double = 0x0004
+
+type section = {
+  s_name : string;
+  s_type : int;
+  s_flags : int;
+  s_addr : int64;
+  s_data : Bytes.t; (* empty for SHT_NOBITS *)
+  s_size : int; (* = Bytes.length s_data except for NOBITS *)
+  s_addralign : int;
+  s_entsize : int;
+  s_link : int;
+  s_info : int;
+}
+
+let section ?(s_type = sht_progbits) ?(s_flags = 0) ?(s_addr = 0L)
+    ?(s_addralign = 1) ?(s_entsize = 0) ?(s_link = 0) ?(s_info = 0) ?s_size
+    s_name s_data =
+  let s_size = match s_size with Some s -> s | None -> Bytes.length s_data in
+  { s_name; s_type; s_flags; s_addr; s_data; s_size; s_addralign; s_entsize;
+    s_link; s_info }
+
+type symbol = {
+  sym_name : string;
+  sym_value : int64;
+  sym_size : int64;
+  sym_bind : int;
+  sym_type : int;
+  sym_section : string option; (* None = SHN_UNDEF or SHN_ABS *)
+}
+
+let symbol ?(sym_size = 0L) ?(sym_bind = stb_global) ?(sym_type = stt_func)
+    ?sym_section sym_name sym_value =
+  { sym_name; sym_value; sym_size; sym_bind; sym_type; sym_section }
+
+type segment = {
+  p_type : int;
+  p_flags : int;
+  p_offset : int64;
+  p_vaddr : int64;
+  p_filesz : int64;
+  p_memsz : int64;
+  p_align : int64;
+}
+
+(* An in-memory ELF image: what the reader produces and the writer
+   consumes.  Segments are derived by the writer; the reader records the
+   ones it found. *)
+type image = {
+  machine : int;
+  e_type : int;
+  entry : int64;
+  e_flags : int;
+  sections : section list;
+  symbols : symbol list;
+  segments : segment list; (* empty when building an image by hand *)
+}
+
+let image ?(machine = em_riscv) ?(e_type = et_exec) ?(entry = 0L)
+    ?(e_flags = 0) ?(symbols = []) ?(segments = []) sections =
+  { machine; e_type; entry; e_flags; sections; symbols; segments }
+
+let find_section img name =
+  List.find_opt (fun s -> s.s_name = name) img.sections
+
+exception Format_error of string
+
+let format_error fmt = Format.kasprintf (fun s -> raise (Format_error s)) fmt

@@ -1,0 +1,275 @@
+(* ELF64 writer: serializes a [Types.image] into an executable file.
+
+   Layout strategy: the ELF header and program headers come first, then
+   each allocatable section's bytes at a file offset congruent to its
+   virtual address modulo the page size (so PT_LOAD mapping is direct),
+   then non-alloc sections (symtab/strtab/attributes), and the section
+   header table last.  One PT_LOAD segment is emitted per run of
+   contiguous allocatable sections with identical permissions. *)
+
+open Types
+open Dyn_util
+
+let page_size = 0x1000
+let ehdr_size = 64
+let phdr_size = 56
+let shdr_size = 64
+
+let seg_flags_of_section s =
+  let f = pf_r in
+  let f = if s.s_flags land shf_write <> 0 then f lor pf_w else f in
+  let f = if s.s_flags land shf_execinstr <> 0 then f lor pf_x else f in
+  f
+
+(* Group consecutive allocatable sections into (flags, vaddr, sections)
+   runs.  Sections must be pre-sorted by address. *)
+let rec group_segments = function
+  | [] -> []
+  | s :: rest ->
+      let flags = seg_flags_of_section s in
+      let rec take acc last = function
+        | s2 :: more
+          when seg_flags_of_section s2 = flags
+               && Int64.compare s2.s_addr last >= 0
+               && Int64.compare s2.s_addr (Int64.add last (Int64.of_int page_size)) <= 0 ->
+            take (s2 :: acc) (Int64.add s2.s_addr (Int64.of_int s2.s_size)) more
+        | more -> (List.rev acc, more)
+      in
+      let run, rest =
+        take [ s ] (Int64.add s.s_addr (Int64.of_int s.s_size)) rest
+      in
+      (flags, run) :: group_segments rest
+
+let write (img : image) : Bytes.t =
+  let alloc, non_alloc =
+    List.partition (fun s -> s.s_flags land shf_alloc <> 0) img.sections
+  in
+  let alloc =
+    List.sort (fun a b -> Int64.compare a.s_addr b.s_addr) alloc
+  in
+  let seg_groups = group_segments alloc in
+  let n_phdrs = List.length seg_groups in
+  (* section order in the file: null, alloc..., non-alloc..., shstrtab *)
+  let shstrtab_needed = alloc @ non_alloc in
+  let shstrtab =
+    let b = Buffer.create 128 in
+    Buffer.add_char b '\000';
+    let offsets =
+      List.map
+        (fun s ->
+          let off = Buffer.length b in
+          Buffer.add_string b s.s_name;
+          Buffer.add_char b '\000';
+          (s.s_name, off))
+        shstrtab_needed
+    in
+    let self_off = Buffer.length b in
+    Buffer.add_string b ".shstrtab";
+    Buffer.add_char b '\000';
+    (Buffer.to_bytes b, offsets, self_off)
+  in
+  let shstrtab_bytes, name_offsets, shstrtab_name_off = shstrtab in
+  let name_off n = try List.assoc n name_offsets with Not_found -> 0 in
+
+  (* assign file offsets *)
+  let header_end = ehdr_size + (n_phdrs * phdr_size) in
+  let offsets : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let cursor = ref header_end in
+  List.iter
+    (fun s ->
+      if s.s_type = sht_nobits then Hashtbl.replace offsets s.s_name !cursor
+      else begin
+        (* file offset must be congruent to vaddr mod page for PT_LOAD *)
+        let want = Int64.to_int (Int64.rem s.s_addr (Int64.of_int page_size)) in
+        let cur_mod = !cursor mod page_size in
+        let pad = (want - cur_mod + page_size) mod page_size in
+        cursor := !cursor + pad;
+        Hashtbl.replace offsets s.s_name !cursor;
+        cursor := !cursor + s.s_size
+      end)
+    alloc;
+  List.iter
+    (fun s ->
+      let align = max 1 s.s_addralign in
+      cursor := Int64.to_int (Bits.align_up (Int64.of_int !cursor) align);
+      Hashtbl.replace offsets s.s_name !cursor;
+      if s.s_type <> sht_nobits then cursor := !cursor + s.s_size)
+    non_alloc;
+  let shstrtab_off =
+    cursor := Int64.to_int (Bits.align_up (Int64.of_int !cursor) 8);
+    let o = !cursor in
+    cursor := !cursor + Bytes.length shstrtab_bytes;
+    o
+  in
+  let shoff =
+    cursor := Int64.to_int (Bits.align_up (Int64.of_int !cursor) 8);
+    !cursor
+  in
+  let all_sections = alloc @ non_alloc in
+  let n_shdrs = List.length all_sections + 2 (* null + shstrtab *) in
+  let total = shoff + (n_shdrs * shdr_size) in
+
+  let buf = Bytes.make total '\000' in
+  (* --- ELF header --- *)
+  Bytes.set buf 0 '\x7f';
+  Bytes.blit_string "ELF" 0 buf 1 3;
+  Bytes.set buf 4 (Char.chr elfclass64);
+  Bytes.set buf 5 (Char.chr elfdata2lsb);
+  Bytes.set buf 6 (Char.chr ev_current);
+  Bytes.set_uint16_le buf 16 img.e_type;
+  Bytes.set_uint16_le buf 18 img.machine;
+  Bytes.set_int32_le buf 20 1l;
+  Bytes.set_int64_le buf 24 img.entry;
+  Bytes.set_int64_le buf 32 (Int64.of_int (if n_phdrs > 0 then ehdr_size else 0));
+  Bytes.set_int64_le buf 40 (Int64.of_int shoff);
+  Bytes.set_int32_le buf 48 (Int32.of_int img.e_flags);
+  Bytes.set_uint16_le buf 52 ehdr_size;
+  Bytes.set_uint16_le buf 54 phdr_size;
+  Bytes.set_uint16_le buf 56 n_phdrs;
+  Bytes.set_uint16_le buf 58 shdr_size;
+  Bytes.set_uint16_le buf 60 n_shdrs;
+  Bytes.set_uint16_le buf 62 (n_shdrs - 1) (* shstrndx: last *);
+
+  (* --- program headers --- *)
+  List.iteri
+    (fun k (flags, run) ->
+      let first = List.hd run in
+      let off = Hashtbl.find offsets first.s_name in
+      let vaddr = first.s_addr in
+      let last = List.nth run (List.length run - 1) in
+      let memsz = Int64.sub (Int64.add last.s_addr (Int64.of_int last.s_size)) vaddr in
+      let filesz =
+        (* NOBITS tails occupy memory but not file *)
+        let rec file_end acc = function
+          | [] -> acc
+          | s :: rest ->
+              let acc =
+                if s.s_type = sht_nobits then acc
+                else Int64.sub (Int64.add s.s_addr (Int64.of_int s.s_size)) vaddr
+              in
+              file_end acc rest
+        in
+        file_end 0L run
+      in
+      let base = ehdr_size + (k * phdr_size) in
+      Bytes.set_int32_le buf base (Int32.of_int pt_load);
+      Bytes.set_int32_le buf (base + 4) (Int32.of_int flags);
+      Bytes.set_int64_le buf (base + 8) (Int64.of_int off);
+      Bytes.set_int64_le buf (base + 16) vaddr;
+      Bytes.set_int64_le buf (base + 24) vaddr (* paddr *);
+      Bytes.set_int64_le buf (base + 32) filesz;
+      Bytes.set_int64_le buf (base + 40) memsz;
+      Bytes.set_int64_le buf (base + 48) (Int64.of_int page_size))
+    seg_groups;
+
+  (* --- section contents --- *)
+  List.iter
+    (fun s ->
+      if s.s_type <> sht_nobits then
+        Bytes.blit s.s_data 0 buf (Hashtbl.find offsets s.s_name) s.s_size)
+    all_sections;
+  Bytes.blit shstrtab_bytes 0 buf shstrtab_off (Bytes.length shstrtab_bytes);
+
+  (* --- section headers --- *)
+  let section_index name =
+    (* index in the shdr table: null is 0, then file order *)
+    let rec go k = function
+      | [] -> 0
+      | s :: rest -> if s.s_name = name then k else go (k + 1) rest
+    in
+    go 1 all_sections
+  in
+  let write_shdr k ~name_off ~s_type ~flags ~addr ~off ~size ~link ~info
+      ~align ~entsize =
+    let base = shoff + (k * shdr_size) in
+    Bytes.set_int32_le buf base (Int32.of_int name_off);
+    Bytes.set_int32_le buf (base + 4) (Int32.of_int s_type);
+    Bytes.set_int64_le buf (base + 8) (Int64.of_int flags);
+    Bytes.set_int64_le buf (base + 16) addr;
+    Bytes.set_int64_le buf (base + 24) (Int64.of_int off);
+    Bytes.set_int64_le buf (base + 32) (Int64.of_int size);
+    Bytes.set_int32_le buf (base + 40) (Int32.of_int link);
+    Bytes.set_int32_le buf (base + 44) (Int32.of_int info);
+    Bytes.set_int64_le buf (base + 48) (Int64.of_int align);
+    Bytes.set_int64_le buf (base + 56) (Int64.of_int entsize)
+  in
+  List.iteri
+    (fun k s ->
+      let link =
+        (* symtab links to its strtab by convention *)
+        if s.s_type = sht_symtab then section_index ".strtab" else s.s_link
+      in
+      write_shdr (k + 1) ~name_off:(name_off s.s_name) ~s_type:s.s_type
+        ~flags:s.s_flags ~addr:s.s_addr
+        ~off:(Hashtbl.find offsets s.s_name)
+        ~size:s.s_size ~link ~info:s.s_info ~align:(max 1 s.s_addralign)
+        ~entsize:s.s_entsize)
+    all_sections;
+  write_shdr (n_shdrs - 1) ~name_off:shstrtab_name_off ~s_type:sht_strtab
+    ~flags:0 ~addr:0L ~off:shstrtab_off ~size:(Bytes.length shstrtab_bytes)
+    ~link:0 ~info:0 ~align:1 ~entsize:0;
+  buf
+
+(* Build .symtab / .strtab sections from [img.symbols]; returns the two
+   sections to be appended before calling [write].  The section-header
+   index of each symbol is resolved against the alloc+non_alloc order
+   that [write] uses, so call this with the final section list. *)
+let build_symtab (img : image) : section list =
+  if img.symbols = [] then []
+  else begin
+    let strtab = Buffer.create 128 in
+    Buffer.add_char strtab '\000';
+    let alloc, non_alloc =
+      List.partition (fun s -> s.s_flags land shf_alloc <> 0) img.sections
+    in
+    let alloc = List.sort (fun a b -> Int64.compare a.s_addr b.s_addr) alloc in
+    let ordered = alloc @ non_alloc in
+    let section_index name =
+      let rec go k = function
+        | [] -> 0
+        | s :: rest -> if s.s_name = name then k else go (k + 1) rest
+      in
+      go 1 ordered
+    in
+    let b = Byte_buf.writer () in
+    (* null symbol *)
+    for _ = 1 to 24 do
+      Byte_buf.w_u8 b 0
+    done;
+    (* locals must precede globals; sh_info = index of first global *)
+    let locals, globals =
+      List.partition (fun s -> s.sym_bind = stb_local) img.symbols
+    in
+    let emit (s : symbol) =
+      let name_off = Buffer.length strtab in
+      Buffer.add_string strtab s.sym_name;
+      Buffer.add_char strtab '\000';
+      Byte_buf.w_u32 b name_off;
+      Byte_buf.w_u8 b ((s.sym_bind lsl 4) lor (s.sym_type land 0xF));
+      Byte_buf.w_u8 b 0 (* st_other *);
+      Byte_buf.w_u16 b
+        (match s.sym_section with Some sec -> section_index sec | None -> 0);
+      Byte_buf.w_u64 b s.sym_value;
+      Byte_buf.w_u64 b s.sym_size
+    in
+    List.iter emit locals;
+    List.iter emit globals;
+    [
+      section ".symtab" ~s_type:sht_symtab ~s_entsize:24 ~s_addralign:8
+        ~s_info:(1 + List.length locals)
+        (Byte_buf.w_contents b);
+      section ".strtab" ~s_type:sht_strtab (Buffer.to_bytes strtab);
+    ]
+  end
+
+(* Serialize a complete image: symtab/strtab are generated from
+   [img.symbols] and appended automatically. *)
+let to_bytes (img : image) : Bytes.t =
+  let extra = build_symtab img in
+  write { img with sections = img.sections @ extra }
+
+let to_file path img =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (to_bytes img))

@@ -1,0 +1,148 @@
+(* InstructionAPI: ISA-independent instruction objects (paper §2.1,
+   §3.2.2).
+
+   This is the role Capstone v6 plays for the real port: it exposes, per
+   instruction, the operand list with read/write/implicit flags, memory
+   access size, and an abstract category.  Note the category is
+   *syntactic*: a jalr is an indirect jump here; deciding whether it is a
+   call, return, tail call or jump table is ParseAPI's job (paper
+   §3.1.3). *)
+
+open Riscv
+
+type category =
+  | Cond_branch
+  | Direct_jump (* jal: call/jump/tail-call disambiguated by ParseAPI *)
+  | Indirect_jump (* jalr *)
+  | Load
+  | Store
+  | Atomic
+  | Arith
+  | Float_op
+  | Csr_op
+  | Fence
+  | Syscall
+  | Breakpoint
+
+type access = Read | Write | Read_write
+
+type operand =
+  | Reg of { reg : Reg.t; access : access; implicit : bool }
+  | Imm of int64
+  | Mem of { base : Reg.t; disp : int64; size : int; access : access }
+
+type t = {
+  insn : Insn.t;
+  addr : int64;
+  category : category;
+  operands : operand list;
+}
+
+let categorize (i : Insn.t) : category =
+  match i.Insn.op with
+  | Op.JAL -> Direct_jump
+  | Op.JALR -> Indirect_jump
+  | op when Op.is_cond_branch op -> Cond_branch
+  | Op.ECALL -> Syscall
+  | Op.EBREAK -> Breakpoint
+  | Op.FENCE | Op.FENCE_I -> Fence
+  | Op.CSRRW | Op.CSRRS | Op.CSRRC | Op.CSRRWI | Op.CSRRSI | Op.CSRRCI ->
+      Csr_op
+  | op when Op.is_amo op -> Atomic
+  | op when Op.is_load op -> Load
+  | op when Op.is_store op -> Store
+  | op when Op.rd_is_fp op || Op.rs1_is_fp op -> Float_op
+  | _ -> Arith
+
+let operands_of (i : Insn.t) : operand list =
+  let open Op in
+  let xr n = if rd_is_fp i.op then Riscv.Reg.f n else Riscv.Reg.x n in
+  let x1 n = if rs1_is_fp i.op then Riscv.Reg.f n else Riscv.Reg.x n in
+  let x2 n = if rs2_is_fp i.op then Riscv.Reg.f n else Riscv.Reg.x n in
+  let dst = Reg { reg = xr i.rd; access = Write; implicit = false } in
+  let src1 = Reg { reg = x1 i.rs1; access = Read; implicit = false } in
+  let src2 = Reg { reg = x2 i.rs2; access = Read; implicit = false } in
+  let src3 = Reg { reg = Riscv.Reg.f i.rs3; access = Read; implicit = false } in
+  let size = access_size i.op in
+  match encoding i.op with
+  | R _ | R_rm _ -> [ dst; src1; src2 ]
+  | R_rs2 _ | R_rm_rs2 _ -> [ dst; src1 ]
+  | R4 _ -> [ dst; src1; src2; src3 ]
+  | A _ ->
+      let mem_access =
+        if is_load i.op then Read
+        else if i.op = SC_W || i.op = SC_D then Write
+        else Read_write
+      in
+      let mem = Mem { base = Riscv.Reg.x i.rs1; disp = 0L; size; access = mem_access } in
+      if i.op = LR_W || i.op = LR_D then [ dst; mem ] else [ dst; src2; mem ]
+  | I _ when is_load i.op ->
+      [ dst; Mem { base = Riscv.Reg.x i.rs1; disp = i.imm; size; access = Read } ]
+  | I _ -> [ dst; src1; Imm i.imm ]
+  | Sh _ | Sh5 _ -> [ dst; src1; Imm i.imm ]
+  | S _ ->
+      [ src2; Mem { base = Riscv.Reg.x i.rs1; disp = i.imm; size; access = Write } ]
+  | B _ -> [ src1; src2; Imm i.imm ]
+  | U _ -> [ dst; Imm i.imm ]
+  | J _ -> [ dst; Imm i.imm ]
+  | Fence | Fixed _ -> []
+  | Csr _ ->
+      (* fcsr-like CSR state is an implicit operand *)
+      [ dst; src1; Imm (Int64.of_int i.csr);
+        Reg { reg = Riscv.Reg.fcsr; access = Read_write; implicit = true } ]
+  | Csri _ ->
+      [ dst; Imm (Int64.of_int i.rs1); Imm (Int64.of_int i.csr);
+        Reg { reg = Riscv.Reg.fcsr; access = Read_write; implicit = true } ]
+
+let of_insn ~addr (insn : Insn.t) : t =
+  { insn; addr; category = categorize insn; operands = operands_of insn }
+
+(* Decode one instruction at [pos] within [code] loaded at [base]. *)
+let decode ~(base : int64) (code : Bytes.t) ~(pos : int) : t option =
+  match Decode.decode ~pos code with
+  | Some insn -> Some (of_insn ~addr:(Int64.add base (Int64.of_int pos)) insn)
+  | None -> None
+
+let length t = t.insn.Insn.len
+let next_addr t = Int64.add t.addr (Int64.of_int t.insn.Insn.len)
+let op t = t.insn.Insn.op
+
+(* Registers read / written, as flat Reg ids (x0 filtered). *)
+let regs_read t = Insn.uses t.insn
+let regs_written t = Insn.defs t.insn
+
+(* Memory access size in bytes, 0 if not a memory instruction. *)
+let memory_size t = Op.access_size t.insn.Insn.op
+
+let reads_memory t = Op.is_load (op t) || Op.is_amo (op t)
+let writes_memory t = Op.is_store (op t) || Op.is_amo (op t)
+
+(* Direct control-flow target, if statically known from the encoding. *)
+let target t = Insn.target ~addr:t.addr t.insn
+
+(* Is this an x0-linked jal/jalr (no return address saved)? *)
+let link_reg t =
+  match op t with
+  | Op.JAL | Op.JALR -> Some (Riscv.Reg.x t.insn.Insn.rd)
+  | _ -> None
+
+(* The AST-like semantic tree for this instruction, from the SAIL
+   pipeline; what DataflowAPI's slicing consumes. *)
+let semantics t = Sailsem.Sail.sem_of_op (op t)
+
+let pp fmt t = Format.fprintf fmt "%Lx: %a" t.addr Insn.pp t.insn
+let to_string t = Format.asprintf "%a" pp t
+
+(* Disassemble every instruction in [code]; undecodable bytes produce
+   [None] entries and decoding resumes at the next halfword, which is how
+   the parser skips data islands. *)
+let disassemble_all ~base (code : Bytes.t) : (int64 * t option) list =
+  let rec go pos acc =
+    if pos + 2 > Bytes.length code then List.rev acc
+    else
+      let addr = Int64.add base (Int64.of_int pos) in
+      match decode ~base code ~pos with
+      | Some t -> go (pos + length t) ((addr, Some t) :: acc)
+      | None -> go (pos + 2) ((addr, None) :: acc)
+  in
+  go 0 []

@@ -1,0 +1,83 @@
+(** InstructionAPI (paper §2.1, §3.2.2): ISA-independent instruction
+    objects — the role Capstone v6 plays in the C++ port.
+
+    Exposes, per instruction: an abstract category, the operand list with
+    read/write/implicit flags, memory access sizes, direct control-flow
+    targets, link registers, and the SAIL-derived semantic tree.
+
+    The category is deliberately {e syntactic}: a [jalr] is an
+    [Indirect_jump] here — whether it is a call, return, tail call or
+    jump-table dispatch is decided contextually by ParseAPI (paper
+    §3.1.3). *)
+
+type category =
+  | Cond_branch
+  | Direct_jump  (** jal — role disambiguated by ParseAPI *)
+  | Indirect_jump  (** jalr *)
+  | Load
+  | Store
+  | Atomic
+  | Arith
+  | Float_op
+  | Csr_op
+  | Fence
+  | Syscall
+  | Breakpoint
+
+type access = Read | Write | Read_write
+
+type operand =
+  | Reg of { reg : Riscv.Reg.t; access : access; implicit : bool }
+  | Imm of int64
+  | Mem of { base : Riscv.Reg.t; disp : int64; size : int; access : access }
+
+type t = {
+  insn : Riscv.Insn.t;  (** the decoded machine instruction *)
+  addr : int64;
+  category : category;
+  operands : operand list;
+}
+
+(** Wrap an already-decoded instruction. *)
+val of_insn : addr:int64 -> Riscv.Insn.t -> t
+
+(** Decode one instruction at byte offset [pos] of [code] loaded at
+    [base]; [None] on undecodable bytes. *)
+val decode : base:int64 -> Bytes.t -> pos:int -> t option
+
+val length : t -> int
+val next_addr : t -> int64
+val op : t -> Riscv.Op.t
+
+(** Registers read / written, as flat {!Riscv.Reg.t} ids (x0 filtered). *)
+val regs_read : t -> Riscv.Reg.t list
+
+val regs_written : t -> Riscv.Reg.t list
+
+(** Memory access size in bytes; 0 for non-memory instructions. *)
+val memory_size : t -> int
+
+val reads_memory : t -> bool
+val writes_memory : t -> bool
+
+(** Direct control-flow target, when statically encoded (jal, branches). *)
+val target : t -> int64 option
+
+(** For jal/jalr: the link register ([x0] when no return address is kept —
+    the multi-use distinction at the heart of paper §3.1.3). *)
+val link_reg : t -> Riscv.Reg.t option
+
+(** The SAIL-pipeline semantic tree for this opcode (paper §3.2.4). *)
+val semantics : t -> Sailsem.Ir.sem option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Disassemble an entire region; undecodable halfwords yield [None]
+    entries and decoding resynchronizes at the next halfword. *)
+val disassemble_all : base:int64 -> Bytes.t -> (int64 * t option) list
+
+(**/**)
+
+val categorize : Riscv.Insn.t -> category
+val operands_of : Riscv.Insn.t -> operand list

@@ -1,0 +1,1 @@
+lib/minicc/ccodegen.ml: Array Asm Build Cast Dyn_util Format Hashtbl Insn Int64 List Op Option Printf Reg Riscv

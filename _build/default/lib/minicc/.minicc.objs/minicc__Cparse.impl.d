@@ -1,0 +1,1 @@
+lib/minicc/cparse.ml: Cast Format Int64 List String

@@ -1,0 +1,1 @@
+lib/minicc/driver.ml: Asm Buffer Bytes Cast Ccodegen Cparse Elfkit Hashtbl Int64 List Option Riscv Runtime Rvsim

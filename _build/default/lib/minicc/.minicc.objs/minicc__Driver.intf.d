@@ -1,0 +1,1 @@
+lib/minicc/driver.mli: Elfkit Rvsim

@@ -1,0 +1,1 @@
+lib/minicc/programs.ml: Printf

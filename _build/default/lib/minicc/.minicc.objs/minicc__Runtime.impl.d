@@ -1,0 +1,1 @@
+lib/minicc/runtime.ml: Asm Build Insn Op Reg Riscv

@@ -1,0 +1,55 @@
+(* AST for the mini-C language used to build mutatees.
+
+   The language is a small C subset: 64-bit ints, doubles, global scalars
+   and arrays, functions, control flow including switch (so compiled
+   binaries contain real jump tables for ParseAPI to analyze), and a few
+   builtins (clock_ns, print_int, print_char, exit). *)
+
+type ty = Tint | Tdouble | Tvoid
+
+type expr =
+  | Eint of int64
+  | Efloat of float
+  | Evar of string
+  | Eindex of string * expr (* global array element *)
+  | Ecall of string * expr list
+  | Ebin of binop * expr * expr
+  | Eneg of expr
+  | Enot of expr
+
+and binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or (* short-circuit logical *)
+  | Band | Bor | Bxor | Shl | Shr
+
+type stmt =
+  | Sdecl of ty * string * expr option (* local declaration *)
+  | Sassign of string * expr
+  | Sstore of string * expr * expr (* array[index] = value *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sswitch of expr * (int64 * stmt list) list * stmt list (* cases, default *)
+  | Sreturn of expr option
+  | Sbreak
+  | Sexpr of expr
+  | Sblock of stmt list
+
+type param = { p_ty : ty; p_name : string }
+
+type func = {
+  fn_name : string;
+  fn_ret : ty;
+  fn_params : param list;
+  fn_body : stmt list;
+}
+
+type global = {
+  g_name : string;
+  g_ty : ty; (* element type *)
+  g_count : int; (* 1 for scalars, >1 for arrays *)
+  g_init : int64 list; (* raw 64-bit initializers, may be shorter *)
+}
+
+type program = { globals : global list; funcs : func list }

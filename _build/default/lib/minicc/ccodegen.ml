@@ -1,0 +1,576 @@
+(* mini-C code generator: AST -> RV64 assembler items.
+
+   Deliberately a straightforward non-optimizing compiler in the style of
+   `gcc -O0`-ish output, because its job is to produce *realistic
+   mutatees*: stack frames, saved ra, loops with compare-and-branch
+   blocks, calls, tail positions, and switch statements lowered to real
+   jump tables (absolute 8-byte entries in .rodata) for ParseAPI's
+   jump-table analysis to chew on. *)
+
+open Riscv
+open Cast
+
+exception Codegen_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Codegen_error s)) fmt
+
+(* temp register pools *)
+let ti = [| Reg.t0; Reg.t1; Reg.t2; Reg.t3; Reg.t4; Reg.t5; Reg.t6 |]
+let tf = [| Reg.f 0; Reg.f 1; Reg.f 2; Reg.f 3; Reg.f 4; Reg.f 5; Reg.f 6; Reg.f 7 |]
+
+let int_temp d = if d < Array.length ti then ti.(d) else fail "int expression too deep"
+let fp_temp d = if d < Array.length tf then tf.(d) else fail "fp expression too deep"
+
+type ginfo = { gi_label : string; gi_ty : ty; gi_count : int }
+
+type genv = {
+  g_globals : (string, ginfo) Hashtbl.t;
+  g_funcs : (string, Cast.func) Hashtbl.t;
+}
+
+type fenv = {
+  genv : genv;
+  locals : (string, int * ty) Hashtbl.t; (* sp offset, type *)
+  frame : int;
+  epilogue : string;
+  fn : Cast.func;
+  mutable label_id : int;
+  mutable tables : (string * string list) list; (* jump tables: label, targets *)
+  mutable sp_adjust : int;
+      (* bytes currently pushed below the frame (argument staging, temp
+         saves); added to every sp-relative local access so nested
+         evaluation sees correct slots *)
+}
+
+let fresh fe tag =
+  fe.label_id <- fe.label_id + 1;
+  Printf.sprintf ".L%s_%s%d" fe.fn.fn_name tag fe.label_id
+
+let global_label name = "g_" ^ name
+
+(* builtins and their result types *)
+let builtin_ret = function
+  | "clock_ns" -> Some Tint
+  | "print_int" | "print_char" | "exit" -> Some Tvoid
+  | _ -> None
+
+let rec ty_of fe (e : expr) : ty =
+  match e with
+  | Eint _ -> Tint
+  | Efloat _ -> Tdouble
+  | Evar x -> (
+      match Hashtbl.find_opt fe.locals x with
+      | Some (_, t) -> t
+      | None -> (
+          match Hashtbl.find_opt fe.genv.g_globals x with
+          | Some g -> g.gi_ty
+          | None -> fail "%s: unknown variable %s" fe.fn.fn_name x))
+  | Eindex (a, _) -> (
+      match Hashtbl.find_opt fe.genv.g_globals a with
+      | Some g -> g.gi_ty
+      | None -> fail "%s: unknown array %s" fe.fn.fn_name a)
+  | Ecall (f, _) -> (
+      match builtin_ret f with
+      | Some t -> t
+      | None -> (
+          match Hashtbl.find_opt fe.genv.g_funcs f with
+          | Some fn -> fn.fn_ret
+          | None -> fail "%s: unknown function %s" fe.fn.fn_name f))
+  | Ebin ((Lt | Le | Gt | Ge | Eq | Ne | And | Or), _, _) -> Tint
+  | Ebin (_, a, b) ->
+      if ty_of fe a = Tdouble || ty_of fe b = Tdouble then Tdouble else Tint
+  | Eneg e -> ty_of fe e
+  | Enot _ -> Tint
+
+let i x = Asm.Insn x
+
+(* --- integer expressions --------------------------------------------------- *)
+
+(* evaluate [e] (must be int-typed unless coercing) into int_temp d *)
+let rec gen_i fe d (e : expr) : Asm.item list =
+  let dst = int_temp d in
+  match e with
+  | Eint v -> [ Asm.Li (dst, v) ]
+  | Efloat _ -> fail "%s: float literal in int context" fe.fn.fn_name
+  | Evar x -> (
+      match Hashtbl.find_opt fe.locals x with
+      | Some (off, Tint) -> [ i (Build.ld dst (off + fe.sp_adjust) Reg.sp) ]
+      | Some (_, _) -> gen_coerce_d_to_i fe d e
+      | None -> (
+          match Hashtbl.find_opt fe.genv.g_globals x with
+          | Some { gi_label; gi_ty = Tint; _ } ->
+              [ Asm.La (dst, gi_label); i (Build.ld dst 0 dst) ]
+          | Some _ -> gen_coerce_d_to_i fe d e
+          | None -> fail "%s: unknown variable %s" fe.fn.fn_name x))
+  | Eindex (a, idx) -> (
+      match Hashtbl.find_opt fe.genv.g_globals a with
+      | Some { gi_label; gi_ty = Tint; _ } ->
+          gen_i fe d idx
+          @ [
+              i (Build.slli dst dst 3);
+              Asm.La (int_temp (d + 1), gi_label);
+              i (Build.add dst dst (int_temp (d + 1)));
+              i (Build.ld dst 0 dst);
+            ]
+      | Some _ -> gen_coerce_d_to_i fe d e
+      | None -> fail "%s: unknown array %s" fe.fn.fn_name a)
+  | Ecall _ when ty_of fe e = Tdouble -> gen_coerce_d_to_i fe d e
+  | Ecall (f, args) -> gen_call fe ~d ~fd:0 f args @ [ i (Build.mv dst Reg.a0) ]
+  | Eneg e ->
+      if ty_of fe e = Tdouble then gen_coerce_d_to_i fe d (Eneg e)
+      else gen_i fe d e @ [ i (Build.neg dst dst) ]
+  | Enot e -> gen_i fe d e @ [ i (Build.seqz dst dst) ]
+  | Ebin (And, a, b) ->
+      (* short-circuit: dst = a ? (b != 0) : 0 *)
+      let l_false = fresh fe "and_f" and l_end = fresh fe "and_e" in
+      gen_i fe d a
+      @ [ Asm.Br (Op.BEQ, dst, Reg.zero, l_false) ]
+      @ gen_i fe d b
+      @ [ i (Build.snez dst dst); Asm.J l_end; Asm.Label l_false;
+          i (Build.mv dst Reg.zero); Asm.Label l_end ]
+  | Ebin (Or, a, b) ->
+      let l_true = fresh fe "or_t" and l_end = fresh fe "or_e" in
+      gen_i fe d a
+      @ [ Asm.Br (Op.BNE, dst, Reg.zero, l_true) ]
+      @ gen_i fe d b
+      @ [ i (Build.snez dst dst); Asm.J l_end; Asm.Label l_true;
+          i (Build.addi dst Reg.zero 1); Asm.Label l_end ]
+  | Ebin (op, a, b)
+    when (ty_of fe a = Tdouble || ty_of fe b = Tdouble)
+         && List.mem op [ Lt; Le; Gt; Ge; Eq; Ne ] ->
+      (* double comparison produces an int *)
+      let fa = fp_temp 0 and fb = fp_temp 1 in
+      gen_d fe 0 d a
+      @ gen_d fe 1 d b
+      @ (match op with
+        | Lt -> [ i (Build.flt_d dst fa fb) ]
+        | Gt -> [ i (Build.flt_d dst fb fa) ]
+        | Le -> [ i (Build.fle_d dst fa fb) ]
+        | Ge -> [ i (Build.fle_d dst fb fa) ]
+        | Eq -> [ i (Build.feq_d dst fa fb) ]
+        | Ne -> [ i (Build.feq_d dst fa fb); i (Build.seqz dst dst) ]
+        | _ -> assert false)
+  | Ebin (op, a, b) when ty_of fe e = Tdouble -> gen_coerce_d_to_i fe d (Ebin (op, a, b))
+  | Ebin (op, a, b) ->
+      let ra = dst and rb = int_temp (d + 1) in
+      gen_i fe d a @ gen_i fe (d + 1) b
+      @ (match op with
+        | Add -> [ i (Build.add ra ra rb) ]
+        | Sub -> [ i (Build.sub ra ra rb) ]
+        | Mul -> [ i (Build.mul ra ra rb) ]
+        | Div -> [ i (Build.div ra ra rb) ]
+        | Mod -> [ i (Build.rem ra ra rb) ]
+        | Band -> [ i (Build.and_ ra ra rb) ]
+        | Bor -> [ i (Build.or_ ra ra rb) ]
+        | Bxor -> [ i (Build.xor ra ra rb) ]
+        | Shl -> [ i (Build.sll ra ra rb) ]
+        | Shr -> [ i (Build.sra ra ra rb) ]
+        | Lt -> [ i (Build.slt ra ra rb) ]
+        | Gt -> [ i (Build.slt ra rb ra) ]
+        | Le -> [ i (Build.slt ra rb ra); i (Build.xori ra ra 1) ]
+        | Ge -> [ i (Build.slt ra ra rb); i (Build.xori ra ra 1) ]
+        | Eq -> [ i (Build.sub ra ra rb); i (Build.seqz ra ra) ]
+        | Ne -> [ i (Build.sub ra ra rb); i (Build.snez ra ra) ]
+        | And | Or -> assert false)
+
+and gen_coerce_d_to_i fe d e =
+  (* evaluate as double, truncate toward zero (C semantics) *)
+  gen_d fe 0 d e @ [ i (Build.fcvt_l_d (int_temp d) (fp_temp 0)) ]
+
+(* --- double expressions ------------------------------------------------------ *)
+
+(* evaluate [e] into fp_temp fd; [d] = first free int temp for leaves *)
+and gen_d fe fd d (e : expr) : Asm.item list =
+  let dst = fp_temp fd in
+  match e with
+  | Efloat f ->
+      [ Asm.Li (int_temp d, Int64.bits_of_float f);
+        i (Build.fmv_d_x dst (int_temp d)) ]
+  | Eint v ->
+      [ Asm.Li (int_temp d, v); i (Build.fcvt_d_l dst (int_temp d)) ]
+  | Evar x -> (
+      match Hashtbl.find_opt fe.locals x with
+      | Some (off, Tdouble) -> [ i (Build.fld dst (off + fe.sp_adjust) Reg.sp) ]
+      | Some (_, Tint) -> gen_i fe d e @ [ i (Build.fcvt_d_l dst (int_temp d)) ]
+      | Some (_, Tvoid) -> fail "void variable"
+      | None -> (
+          match Hashtbl.find_opt fe.genv.g_globals x with
+          | Some { gi_label; gi_ty = Tdouble; _ } ->
+              [ Asm.La (int_temp d, gi_label); i (Build.fld dst 0 (int_temp d)) ]
+          | Some { gi_ty = Tint; _ } ->
+              gen_i fe d e @ [ i (Build.fcvt_d_l dst (int_temp d)) ]
+          | _ -> fail "%s: unknown variable %s" fe.fn.fn_name x))
+  | Eindex (a, idx) -> (
+      match Hashtbl.find_opt fe.genv.g_globals a with
+      | Some { gi_label; gi_ty = Tdouble; _ } ->
+          gen_i fe d idx
+          @ [
+              i (Build.slli (int_temp d) (int_temp d) 3);
+              Asm.La (int_temp (d + 1), gi_label);
+              i (Build.add (int_temp d) (int_temp d) (int_temp (d + 1)));
+              i (Build.fld dst 0 (int_temp d));
+            ]
+      | Some { gi_ty = Tint; _ } ->
+          gen_i fe d e @ [ i (Build.fcvt_d_l dst (int_temp d)) ]
+      | _ -> fail "%s: unknown array %s" fe.fn.fn_name a)
+  | Ecall (f, args) when ty_of fe e = Tdouble ->
+      gen_call fe ~d ~fd f args @ [ i (Build.fmv_d dst (Reg.f 10)) ]
+  | Ecall _ -> gen_i fe d e @ [ i (Build.fcvt_d_l dst (int_temp d)) ]
+  | Eneg e when ty_of fe e = Tdouble ->
+      gen_d fe fd d e
+      @ [ i (Insn.make ~rd:(Reg.fp_index dst) ~rs1:(Reg.fp_index dst)
+               ~rs2:(Reg.fp_index dst) Op.FSGNJN_D) ]
+  | Eneg _ | Enot _ -> gen_i fe d e @ [ i (Build.fcvt_d_l dst (int_temp d)) ]
+  | Ebin (op, a, b) when List.mem op [ Add; Sub; Mul; Div ] ->
+      let fa = dst and fb = fp_temp (fd + 1) in
+      gen_d fe fd d a @ gen_d fe (fd + 1) d b
+      @ (match op with
+        | Add -> [ i (Build.fadd_d fa fa fb) ]
+        | Sub -> [ i (Build.fsub_d fa fa fb) ]
+        | Mul -> [ i (Build.fmul_d fa fa fb) ]
+        | Div -> [ i (Build.fdiv_d fa fa fb) ]
+        | _ -> assert false)
+  | Ebin _ -> gen_i fe d e @ [ i (Build.fcvt_d_l dst (int_temp d)) ]
+
+(* --- calls -------------------------------------------------------------------- *)
+
+(* leaves the integer result in a0 / double result in fa0 *)
+and gen_call fe ~d ~fd (f : string) (args : expr list) : Asm.item list =
+  match (f, args) with
+  | "exit", [ code ] ->
+      gen_i fe d code
+      @ [ i (Build.mv Reg.a0 (int_temp d)); i (Build.addi Reg.a7 Reg.zero 93);
+          i Build.ecall ]
+  | "clock_ns", [] -> [ Asm.Call_l "__clock_ns" ]
+  | "print_int", [ e ] ->
+      (* NB: sequencing matters — gen_save_temps mutates sp_adjust, which
+         the argument evaluation must observe *)
+      let saves = gen_save_temps fe ~d ~fd in
+      let arg = gen_i fe d e in
+      let restores = gen_restore_temps fe ~d ~fd in
+      saves @ arg
+      @ [ i (Build.mv Reg.a0 (int_temp d)); Asm.Call_l "__print_int" ]
+      @ restores
+  | "print_char", [ e ] ->
+      let saves = gen_save_temps fe ~d ~fd in
+      let arg = gen_i fe d e in
+      let restores = gen_restore_temps fe ~d ~fd in
+      saves @ arg
+      @ [ i (Build.mv Reg.a0 (int_temp d)); Asm.Call_l "__print_char" ]
+      @ restores
+  | _ -> (
+      match Hashtbl.find_opt fe.genv.g_funcs f with
+      | None -> fail "%s: call to unknown function %s" fe.fn.fn_name f
+      | Some callee ->
+          let params = callee.fn_params in
+          if List.length params <> List.length args then
+            fail "%s: %s expects %d arguments" fe.fn.fn_name f (List.length params);
+          let n = List.length args in
+          (* sequencing matters: saves first (mutates sp_adjust), then
+             argument pushes (each also bumps sp_adjust) *)
+          let saves = gen_save_temps fe ~d ~fd in
+          (* evaluate args left to right onto the stack, then pop them
+             into argument registers *)
+          let pushes =
+            List.concat
+              (List.map2
+                 (fun (p : param) a ->
+                   let items =
+                     match p.p_ty with
+                     | Tdouble ->
+                         gen_d fe fd d a
+                         @ [ i (Build.addi Reg.sp Reg.sp (-8));
+                             i (Build.fsd (fp_temp fd) 0 Reg.sp) ]
+                     | _ ->
+                         gen_i fe d a
+                         @ [ i (Build.addi Reg.sp Reg.sp (-8));
+                             i (Build.sd (int_temp d) 0 Reg.sp) ]
+                   in
+                   fe.sp_adjust <- fe.sp_adjust + 8;
+                   items)
+                 params args)
+          in
+          fe.sp_adjust <- fe.sp_adjust - (8 * n);
+          let pops =
+            (* k-th arg sits at sp + 8*(n-1-k) *)
+            List.concat
+              (List.mapi
+                 (fun k (p : param) ->
+                   let off = 8 * (n - 1 - k) in
+                   let int_idx =
+                     List.filteri (fun j _ -> j < k) params
+                     |> List.filter (fun (q : param) -> q.p_ty <> Tdouble)
+                     |> List.length
+                   in
+                   let fp_idx =
+                     List.filteri (fun j _ -> j < k) params
+                     |> List.filter (fun (q : param) -> q.p_ty = Tdouble)
+                     |> List.length
+                   in
+                   match p.p_ty with
+                   | Tdouble -> [ i (Build.fld (Reg.f (10 + fp_idx)) off Reg.sp) ]
+                   | _ -> [ i (Build.ld (Reg.x (10 + int_idx)) off Reg.sp) ])
+                 params)
+            @ [ i (Build.addi Reg.sp Reg.sp (8 * n)) ]
+          in
+          let restores = gen_restore_temps fe ~d ~fd in
+          saves @ pushes @ pops @ [ Asm.Call_l f ] @ restores)
+
+(* temps below depth [d]/[fd] are live across the call: save them *)
+and gen_save_temps fe ~d ~fd : Asm.item list =
+  let n = d + fd in
+  if n = 0 then []
+  else begin
+    fe.sp_adjust <- fe.sp_adjust + (8 * n);
+    i (Build.addi Reg.sp Reg.sp (-8 * n))
+    :: (List.init d (fun k -> i (Build.sd ti.(k) (8 * k) Reg.sp))
+       @ List.init fd (fun k -> i (Build.fsd tf.(k) (8 * (d + k)) Reg.sp)))
+  end
+
+and gen_restore_temps fe ~d ~fd : Asm.item list =
+  let n = d + fd in
+  if n = 0 then []
+  else begin
+    fe.sp_adjust <- fe.sp_adjust - (8 * n);
+    List.init d (fun k -> i (Build.ld ti.(k) (8 * k) Reg.sp))
+    @ List.init fd (fun k -> i (Build.fld tf.(k) (8 * (d + k)) Reg.sp))
+    @ [ i (Build.addi Reg.sp Reg.sp (8 * n)) ]
+  end
+
+(* --- statements ---------------------------------------------------------------- *)
+
+let store_local fe (x : string) (vty : ty) : Asm.item list =
+  (* value in t0 (int) or ft0 (double); vty = value's type *)
+  match Hashtbl.find_opt fe.locals x with
+  | Some (off, Tint) ->
+      (if vty = Tdouble then [ i (Build.fcvt_l_d Reg.t0 (Reg.f 0)) ] else [])
+      @ [ i (Build.sd Reg.t0 (off + fe.sp_adjust) Reg.sp) ]
+  | Some (off, Tdouble) ->
+      (if vty <> Tdouble then [ i (Build.fcvt_d_l (Reg.f 0) Reg.t0) ] else [])
+      @ [ i (Build.fsd (Reg.f 0) (off + fe.sp_adjust) Reg.sp) ]
+  | Some (_, Tvoid) -> fail "void local"
+  | None -> (
+      match Hashtbl.find_opt fe.genv.g_globals x with
+      | Some { gi_label; gi_ty = Tint; _ } ->
+          (if vty = Tdouble then [ i (Build.fcvt_l_d Reg.t0 (Reg.f 0)) ] else [])
+          @ [ Asm.La (Reg.t1, gi_label); i (Build.sd Reg.t0 0 Reg.t1) ]
+      | Some { gi_label; gi_ty = Tdouble; _ } ->
+          (if vty <> Tdouble then [ i (Build.fcvt_d_l (Reg.f 0) Reg.t0) ] else [])
+          @ [ Asm.La (Reg.t1, gi_label); i (Build.fsd (Reg.f 0) 0 Reg.t1) ]
+      | _ -> fail "%s: unknown variable %s" fe.fn.fn_name x)
+
+let gen_value fe (e : expr) : Asm.item list * ty =
+  match ty_of fe e with
+  | Tdouble -> (gen_d fe 0 0 e, Tdouble)
+  | _ -> (gen_i fe 0 e, Tint)
+
+let rec gen_stmt fe ~(brk : string option) (s : stmt) : Asm.item list =
+  match s with
+  | Sdecl (_, x, None) ->
+      ignore x;
+      []
+  | Sdecl (_, x, Some e) | Sassign (x, e) ->
+      let items, vty = gen_value fe e in
+      items @ store_local fe x vty
+  | Sstore (a, idx, v) -> (
+      match Hashtbl.find_opt fe.genv.g_globals a with
+      | Some { gi_label; gi_ty; _ } ->
+          (* index in t2, element address in t2 *)
+          let addr_items =
+            gen_i fe 2 idx
+            @ [
+                i (Build.slli Reg.t2 Reg.t2 3);
+                Asm.La (Reg.t3, gi_label);
+                i (Build.add Reg.t2 Reg.t2 Reg.t3);
+              ]
+          in
+          let value_items, vty = gen_value fe v in
+          (match (gi_ty, vty) with
+          | Tint, Tint -> value_items @ addr_items @ [ i (Build.sd Reg.t0 0 Reg.t2) ]
+          | Tint, _ ->
+              value_items
+              @ [ i (Build.fcvt_l_d Reg.t0 (Reg.f 0)) ]
+              @ addr_items
+              @ [ i (Build.sd Reg.t0 0 Reg.t2) ]
+          | Tdouble, Tdouble ->
+              value_items @ addr_items @ [ i (Build.fsd (Reg.f 0) 0 Reg.t2) ]
+          | Tdouble, _ ->
+              value_items
+              @ [ i (Build.fcvt_d_l (Reg.f 0) Reg.t0) ]
+              @ addr_items
+              @ [ i (Build.fsd (Reg.f 0) 0 Reg.t2) ]
+          | Tvoid, _ -> fail "void array")
+      | None -> fail "%s: unknown array %s" fe.fn.fn_name a)
+  | Sif (c, then_b, else_b) ->
+      let l_else = fresh fe "else" and l_end = fresh fe "endif" in
+      gen_i fe 0 c
+      @ [ Asm.Br (Op.BEQ, Reg.t0, Reg.zero, l_else) ]
+      @ List.concat_map (gen_stmt fe ~brk) then_b
+      @ [ Asm.J l_end; Asm.Label l_else ]
+      @ List.concat_map (gen_stmt fe ~brk) else_b
+      @ [ Asm.Label l_end ]
+  | Swhile (c, body) ->
+      let l_head = fresh fe "while" and l_end = fresh fe "endwhile" in
+      [ Asm.Label l_head ]
+      @ gen_i fe 0 c
+      @ [ Asm.Br (Op.BEQ, Reg.t0, Reg.zero, l_end) ]
+      @ List.concat_map (gen_stmt fe ~brk:(Some l_end)) body
+      @ [ Asm.J l_head; Asm.Label l_end ]
+  | Sfor (init, cond, step, body) ->
+      let l_head = fresh fe "for" and l_end = fresh fe "endfor" in
+      (match init with Some s -> gen_stmt fe ~brk s | None -> [])
+      @ [ Asm.Label l_head ]
+      @ (match cond with
+        | Some c ->
+            gen_i fe 0 c @ [ Asm.Br (Op.BEQ, Reg.t0, Reg.zero, l_end) ]
+        | None -> [])
+      @ List.concat_map (gen_stmt fe ~brk:(Some l_end)) body
+      @ (match step with Some s -> gen_stmt fe ~brk s | None -> [])
+      @ [ Asm.J l_head; Asm.Label l_end ]
+  | Sswitch (e, cases, dflt) -> gen_switch fe ~brk e cases dflt
+  | Sreturn None -> [ Asm.J fe.epilogue ]
+  | Sreturn (Some e) ->
+      let items, vty = gen_value fe e in
+      items
+      @ (match (fe.fn.fn_ret, vty) with
+        | Tdouble, Tdouble -> [ i (Build.fmv_d (Reg.f 10) (Reg.f 0)) ]
+        | Tdouble, _ -> [ i (Build.fcvt_d_l (Reg.f 10) Reg.t0) ]
+        | _, Tdouble -> [ i (Build.fcvt_l_d Reg.a0 (Reg.f 0)) ]
+        | _, _ -> [ i (Build.mv Reg.a0 Reg.t0) ])
+      @ [ Asm.J fe.epilogue ]
+  | Sbreak -> (
+      match brk with
+      | Some l -> [ Asm.J l ]
+      | None -> fail "%s: break outside loop/switch" fe.fn.fn_name)
+  | Sexpr (Ecall (f, args)) -> gen_call fe ~d:0 ~fd:0 f args
+  | Sexpr e -> gen_i fe 0 e
+  | Sblock body -> List.concat_map (gen_stmt fe ~brk) body
+
+(* switch lowering: dense value sets become a jump table (so ParseAPI has
+   real tables to analyze), sparse ones an if-chain *)
+and gen_switch fe ~brk:_ e cases dflt : Asm.item list =
+  let l_end = fresh fe "endswitch" in
+  let l_dflt = fresh fe "default" in
+  let case_labels = List.map (fun (v, _) -> (v, fresh fe "case")) cases in
+  let bodies =
+    List.concat_map
+      (fun ((_, body), (_, lbl)) ->
+        [ Asm.Label lbl ] @ List.concat_map (gen_stmt fe ~brk:(Some l_end)) body)
+      (List.combine cases case_labels)
+    @ [ Asm.Label l_dflt ]
+    @ List.concat_map (gen_stmt fe ~brk:(Some l_end)) dflt
+    @ [ Asm.Label l_end ]
+  in
+  let values = List.map fst cases in
+  let minv = List.fold_left min Int64.max_int values in
+  let maxv = List.fold_left max Int64.min_int values in
+  let span = Int64.to_int (Int64.sub maxv minv) + 1 in
+  let dispatch =
+    if List.length cases >= 3 && span <= 3 * List.length cases && span <= 1024
+       && Int64.compare minv 0L >= 0
+    then begin
+      (* jump table over [minv, maxv] *)
+      let tbl = fresh fe "table" in
+      let targets =
+        List.init span (fun k ->
+            let v = Int64.add minv (Int64.of_int k) in
+            match List.assoc_opt v case_labels with
+            | Some l -> l
+            | None -> l_dflt)
+      in
+      fe.tables <- (tbl, targets) :: fe.tables;
+      gen_i fe 0 e
+      @ (if Int64.equal minv 0L then []
+         else [ i (Build.addi Reg.t0 Reg.t0 (Int64.to_int (Int64.neg minv))) ])
+      @ [
+          Asm.Li (Reg.t1, Int64.of_int span);
+          Asm.Br (Op.BGEU, Reg.t0, Reg.t1, l_dflt);
+          Asm.La (Reg.t1, tbl);
+          i (Build.slli Reg.t2 Reg.t0 3);
+          i (Build.add Reg.t1 Reg.t1 Reg.t2);
+          i (Build.ld Reg.t3 0 Reg.t1);
+          i (Build.jr Reg.t3);
+        ]
+    end
+    else
+      (* if-chain *)
+      gen_i fe 0 e
+      @ List.concat_map
+          (fun (v, lbl) ->
+            [ Asm.Li (Reg.t1, v); Asm.Br (Op.BEQ, Reg.t0, Reg.t1, lbl) ])
+          case_labels
+      @ [ Asm.J l_dflt ]
+  in
+  dispatch @ bodies
+
+(* --- functions ------------------------------------------------------------------ *)
+
+let collect_locals (fn : Cast.func) : (string * ty) list =
+  let acc = ref [] in
+  let add name ty = if not (List.mem_assoc name !acc) then acc := (name, ty) :: !acc in
+  List.iter (fun (p : param) -> add p.p_name p.p_ty) fn.fn_params;
+  let rec walk s =
+    match s with
+    | Sdecl (ty, name, _) -> add name ty
+    | Sif (_, a, b) ->
+        List.iter walk a;
+        List.iter walk b
+    | Swhile (_, b) -> List.iter walk b
+    | Sfor (init, _, step, b) ->
+        Option.iter walk init;
+        Option.iter walk step;
+        List.iter walk b
+    | Sswitch (_, cases, dflt) ->
+        List.iter (fun (_, b) -> List.iter walk b) cases;
+        List.iter walk dflt
+    | Sblock b -> List.iter walk b
+    | Sassign _ | Sstore _ | Sreturn _ | Sbreak | Sexpr _ -> ()
+  in
+  List.iter walk fn.fn_body;
+  List.rev !acc
+
+let gen_func (genv : genv) (fn : Cast.func) :
+    Asm.item list * (string * string list) list =
+  let locals_list = collect_locals fn in
+  let locals = Hashtbl.create 16 in
+  List.iteri (fun k (name, ty) -> Hashtbl.replace locals name (8 * k, ty)) locals_list;
+  let n_locals = List.length locals_list in
+  (* frame: locals + ra slot, 16-aligned *)
+  let frame =
+    Int64.to_int (Dyn_util.Bits.align_up (Int64.of_int ((8 * n_locals) + 8)) 16)
+  in
+  let epilogue = Printf.sprintf ".L%s_ret" fn.fn_name in
+  let fe =
+    { genv; locals; frame; epilogue; fn; label_id = 0; tables = [];
+      sp_adjust = 0 }
+  in
+  let prologue =
+    [ Asm.Label fn.fn_name;
+      i (Build.addi Reg.sp Reg.sp (-frame));
+      i (Build.sd Reg.ra (frame - 8) Reg.sp) ]
+  in
+  (* spill incoming arguments to their local slots *)
+  let int_seen = ref 0 and fp_seen = ref 0 in
+  let arg_spills =
+    List.concat_map
+      (fun (p : param) ->
+        let off, _ = Hashtbl.find locals p.p_name in
+        match p.p_ty with
+        | Tdouble ->
+            let k = !fp_seen in
+            incr fp_seen;
+            [ i (Build.fsd (Reg.f (10 + k)) off Reg.sp) ]
+        | _ ->
+            let k = !int_seen in
+            incr int_seen;
+            [ i (Build.sd (Reg.x (10 + k)) off Reg.sp) ])
+      fn.fn_params
+  in
+  let body = List.concat_map (gen_stmt fe ~brk:None) fn.fn_body in
+  let epilogue_items =
+    [ Asm.Label epilogue;
+      i (Build.ld Reg.ra (frame - 8) Reg.sp);
+      i (Build.addi Reg.sp Reg.sp frame);
+      i Build.ret ]
+  in
+  (prologue @ arg_spills @ body @ epilogue_items @ [ Asm.Align 4 ], fe.tables)

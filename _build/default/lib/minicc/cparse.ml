@@ -1,0 +1,462 @@
+(* Lexer and recursive-descent parser for mini-C. *)
+
+open Cast
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Tid of string
+  | Tnum of int64
+  | Tfnum of float
+  | Tpunct of string
+  | Teof
+
+let keywords =
+  [ "int"; "long"; "double"; "void"; "if"; "else"; "while"; "for"; "return";
+    "switch"; "case"; "default"; "break" ]
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_id c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = '/') do incr i done;
+      i := !i + 2
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let s = !i in
+      while !i < n && is_id src.[!i] do incr i done;
+      toks := Tid (String.sub src s (!i - s)) :: !toks
+    end
+    else if c >= '0' && c <= '9' then begin
+      let s = !i in
+      while !i < n && ((src.[!i] >= '0' && src.[!i] <= '9') || src.[!i] = 'x'
+                       || (src.[!i] >= 'a' && src.[!i] <= 'f')
+                       || (src.[!i] >= 'A' && src.[!i] <= 'F')) do incr i done;
+      if !i < n && src.[!i] = '.' then begin
+        incr i;
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '-' || src.[!i] = '+') then incr i;
+          while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done
+        end;
+        toks := Tfnum (float_of_string (String.sub src s (!i - s))) :: !toks
+      end
+      else toks := Tnum (Int64.of_string (String.sub src s (!i - s))) :: !toks
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" | "<<" | ">>" ->
+          toks := Tpunct two :: !toks;
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | ':' | '=' | '<'
+          | '>' | '+' | '-' | '*' | '/' | '%' | '!' | '&' | '|' | '^' ->
+              toks := Tpunct (String.make 1 c) :: !toks;
+              incr i
+          | _ -> fail "unexpected character %c at %d" c !i)
+    end
+  done;
+  List.rev (Teof :: !toks)
+
+type ps = { mutable toks : token list }
+
+let peek p = match p.toks with t :: _ -> t | [] -> Teof
+let peek2 p = match p.toks with _ :: t :: _ -> t | _ -> Teof
+let advance p = match p.toks with _ :: r -> p.toks <- r | [] -> ()
+
+let tok_str = function
+  | Tid s -> s
+  | Tnum v -> Int64.to_string v
+  | Tfnum f -> string_of_float f
+  | Tpunct s -> s
+  | Teof -> "<eof>"
+
+let eat p s =
+  match peek p with
+  | Tpunct q when q = s -> advance p
+  | t -> fail "expected %s, got %s" s (tok_str t)
+
+let eat_kw p kw =
+  match peek p with
+  | Tid s when s = kw -> advance p
+  | t -> fail "expected %s, got %s" kw (tok_str t)
+
+let ident p =
+  match peek p with
+  | Tid s when not (List.mem s keywords) ->
+      advance p;
+      s
+  | t -> fail "expected identifier, got %s" (tok_str t)
+
+let parse_ty p =
+  match peek p with
+  | Tid "int" | Tid "long" ->
+      advance p;
+      Tint
+  | Tid "double" ->
+      advance p;
+      Tdouble
+  | Tid "void" ->
+      advance p;
+      Tvoid
+  | t -> fail "expected type, got %s" (tok_str t)
+
+(* expressions; C-like precedence *)
+let rec expr p = logical_or p
+
+and logical_or p =
+  let l = logical_and p in
+  match peek p with
+  | Tpunct "||" ->
+      advance p;
+      Ebin (Or, l, logical_or p)
+  | _ -> l
+
+and logical_and p =
+  let l = bit_or p in
+  match peek p with
+  | Tpunct "&&" ->
+      advance p;
+      Ebin (And, l, logical_and p)
+  | _ -> l
+
+and bit_or p =
+  let rec go l =
+    match peek p with
+    | Tpunct "|" -> advance p; go (Ebin (Bor, l, bit_xor p))
+    | _ -> l
+  in
+  go (bit_xor p)
+
+and bit_xor p =
+  let rec go l =
+    match peek p with
+    | Tpunct "^" -> advance p; go (Ebin (Bxor, l, bit_and p))
+    | _ -> l
+  in
+  go (bit_and p)
+
+and bit_and p =
+  let rec go l =
+    match peek p with
+    | Tpunct "&" -> advance p; go (Ebin (Band, l, equality p))
+    | _ -> l
+  in
+  go (equality p)
+
+and equality p =
+  let rec go l =
+    match peek p with
+    | Tpunct "==" -> advance p; go (Ebin (Eq, l, relational p))
+    | Tpunct "!=" -> advance p; go (Ebin (Ne, l, relational p))
+    | _ -> l
+  in
+  go (relational p)
+
+and relational p =
+  let rec go l =
+    match peek p with
+    | Tpunct "<" -> advance p; go (Ebin (Lt, l, shift p))
+    | Tpunct "<=" -> advance p; go (Ebin (Le, l, shift p))
+    | Tpunct ">" -> advance p; go (Ebin (Gt, l, shift p))
+    | Tpunct ">=" -> advance p; go (Ebin (Ge, l, shift p))
+    | _ -> l
+  in
+  go (shift p)
+
+and shift p =
+  let rec go l =
+    match peek p with
+    | Tpunct "<<" -> advance p; go (Ebin (Shl, l, additive p))
+    | Tpunct ">>" -> advance p; go (Ebin (Shr, l, additive p))
+    | _ -> l
+  in
+  go (additive p)
+
+and additive p =
+  let rec go l =
+    match peek p with
+    | Tpunct "+" -> advance p; go (Ebin (Add, l, multiplicative p))
+    | Tpunct "-" -> advance p; go (Ebin (Sub, l, multiplicative p))
+    | _ -> l
+  in
+  go (multiplicative p)
+
+and multiplicative p =
+  let rec go l =
+    match peek p with
+    | Tpunct "*" -> advance p; go (Ebin (Mul, l, unary p))
+    | Tpunct "/" -> advance p; go (Ebin (Div, l, unary p))
+    | Tpunct "%" -> advance p; go (Ebin (Mod, l, unary p))
+    | _ -> l
+  in
+  go (unary p)
+
+and unary p =
+  match peek p with
+  | Tpunct "-" ->
+      advance p;
+      Eneg (unary p)
+  | Tpunct "!" ->
+      advance p;
+      Enot (unary p)
+  | _ -> postfix p
+
+and postfix p =
+  match peek p with
+  | Tnum v ->
+      advance p;
+      Eint v
+  | Tfnum f ->
+      advance p;
+      Efloat f
+  | Tpunct "(" ->
+      advance p;
+      let e = expr p in
+      eat p ")";
+      e
+  | Tid name when not (List.mem name keywords) -> (
+      advance p;
+      match peek p with
+      | Tpunct "(" ->
+          advance p;
+          let args =
+            if peek p = Tpunct ")" then []
+            else
+              let rec go acc =
+                let e = expr p in
+                match peek p with
+                | Tpunct "," -> advance p; go (e :: acc)
+                | _ -> List.rev (e :: acc)
+              in
+              go []
+          in
+          eat p ")";
+          Ecall (name, args)
+      | Tpunct "[" ->
+          advance p;
+          let i = expr p in
+          eat p "]";
+          Eindex (name, i)
+      | _ -> Evar name)
+  | t -> fail "unexpected token %s in expression" (tok_str t)
+
+(* statements *)
+let rec stmt p : stmt =
+  match peek p with
+  | Tid ("int" | "long" | "double") ->
+      let ty = parse_ty p in
+      let name = ident p in
+      let init =
+        match peek p with
+        | Tpunct "=" ->
+            advance p;
+            Some (expr p)
+        | _ -> None
+      in
+      eat p ";";
+      Sdecl (ty, name, init)
+  | Tid "if" ->
+      advance p;
+      eat p "(";
+      let c = expr p in
+      eat p ")";
+      let then_b = block_or_stmt p in
+      let else_b =
+        match peek p with
+        | Tid "else" ->
+            advance p;
+            block_or_stmt p
+        | _ -> []
+      in
+      Sif (c, then_b, else_b)
+  | Tid "while" ->
+      advance p;
+      eat p "(";
+      let c = expr p in
+      eat p ")";
+      Swhile (c, block_or_stmt p)
+  | Tid "for" ->
+      advance p;
+      eat p "(";
+      let init = if peek p = Tpunct ";" then (advance p; None) else Some (simple_stmt p) in
+      let cond = if peek p = Tpunct ";" then None else Some (expr p) in
+      eat p ";";
+      let step = if peek p = Tpunct ")" then None else Some (simple_stmt_noterm p) in
+      eat p ")";
+      Sfor (init, cond, step, block_or_stmt p)
+  | Tid "switch" ->
+      advance p;
+      eat p "(";
+      let e = expr p in
+      eat p ")";
+      eat p "{";
+      let cases = ref [] and dflt = ref [] in
+      let rec cases_loop () =
+        match peek p with
+        | Tpunct "}" -> advance p
+        | Tid "case" ->
+            advance p;
+            let v =
+              match peek p with
+              | Tnum v -> advance p; v
+              | Tpunct "-" -> (
+                  advance p;
+                  match peek p with
+                  | Tnum v -> advance p; Int64.neg v
+                  | t -> fail "expected number, got %s" (tok_str t))
+              | t -> fail "expected case constant, got %s" (tok_str t)
+            in
+            eat p ":";
+            let body = case_body p in
+            cases := (v, body) :: !cases;
+            cases_loop ()
+        | Tid "default" ->
+            advance p;
+            eat p ":";
+            dflt := case_body p;
+            cases_loop ()
+        | t -> fail "unexpected %s in switch" (tok_str t)
+      and case_body p =
+        let rec go acc =
+          match peek p with
+          | Tid "case" | Tid "default" | Tpunct "}" -> List.rev acc
+          | _ -> go (stmt p :: acc)
+        in
+        go []
+      in
+      cases_loop ();
+      Sswitch (e, List.rev !cases, !dflt)
+  | Tid "return" ->
+      advance p;
+      if peek p = Tpunct ";" then begin
+        advance p;
+        Sreturn None
+      end
+      else begin
+        let e = expr p in
+        eat p ";";
+        Sreturn (Some e)
+      end
+  | Tid "break" ->
+      advance p;
+      eat p ";";
+      Sbreak
+  | Tpunct "{" -> Sblock (block p)
+  | _ ->
+      let s = simple_stmt p in
+      s
+
+(* assignment / expression statement, consuming the ';' *)
+and simple_stmt p =
+  let s = simple_stmt_noterm p in
+  eat p ";";
+  s
+
+and simple_stmt_noterm p =
+  match (peek p, peek2 p) with
+  | Tid name, Tpunct "=" when not (List.mem name keywords) ->
+      advance p;
+      advance p;
+      Sassign (name, expr p)
+  | Tid name, Tpunct "[" when not (List.mem name keywords) -> (
+      (* could be store or expression involving an index; try store *)
+      advance p;
+      advance p;
+      let idx = expr p in
+      eat p "]";
+      match peek p with
+      | Tpunct "=" ->
+          advance p;
+          Sstore (name, idx, expr p)
+      | _ -> fail "expected = after %s[...]" name)
+  | _ -> Sexpr (expr p)
+
+and block p : stmt list =
+  eat p "{";
+  let rec go acc =
+    match peek p with
+    | Tpunct "}" ->
+        advance p;
+        List.rev acc
+    | _ -> go (stmt p :: acc)
+  in
+  go []
+
+and block_or_stmt p =
+  match peek p with Tpunct "{" -> block p | _ -> [ stmt p ]
+
+(* top level *)
+let parse_program (src : string) : program =
+  let p = { toks = tokenize src } in
+  let globals = ref [] and funcs = ref [] in
+  let rec go () =
+    match peek p with
+    | Teof -> ()
+    | _ ->
+        let ty = parse_ty p in
+        let name = ident p in
+        (match peek p with
+        | Tpunct "(" ->
+            advance p;
+            let params =
+              if peek p = Tpunct ")" then []
+              else
+                let rec ps acc =
+                  let pty = parse_ty p in
+                  let pname = ident p in
+                  let acc = { p_ty = pty; p_name = pname } :: acc in
+                  match peek p with
+                  | Tpunct "," -> advance p; ps acc
+                  | _ -> List.rev acc
+                in
+                ps []
+            in
+            eat p ")";
+            let body = block p in
+            funcs := { fn_name = name; fn_ret = ty; fn_params = params; fn_body = body } :: !funcs
+        | Tpunct "[" ->
+            advance p;
+            let count =
+              match peek p with
+              | Tnum v -> advance p; Int64.to_int v
+              | t -> fail "expected array size, got %s" (tok_str t)
+            in
+            eat p "]";
+            eat p ";";
+            globals := { g_name = name; g_ty = ty; g_count = count; g_init = [] } :: !globals
+        | Tpunct "=" ->
+            advance p;
+            let v =
+              match (ty, peek p) with
+              | Tint, Tnum v -> advance p; v
+              | Tdouble, Tfnum f -> advance p; Int64.bits_of_float f
+              | Tdouble, Tnum v -> advance p; Int64.bits_of_float (Int64.to_float v)
+              | _, t -> fail "bad global initializer %s" (tok_str t)
+            in
+            eat p ";";
+            globals := { g_name = name; g_ty = ty; g_count = 1; g_init = [ v ] } :: !globals
+        | Tpunct ";" ->
+            advance p;
+            globals := { g_name = name; g_ty = ty; g_count = 1; g_init = [] } :: !globals
+        | t -> fail "unexpected %s after %s" (tok_str t) name);
+        go ()
+  in
+  go ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,37 @@
+(** The mini-C driver: source text -> RV64GC ELF image.
+
+    The GCC stand-in of DESIGN.md: the paper compiles its mutatees with
+    gcc at the default optimization level; this repository compiles them
+    with the bundled non-optimizing compiler, giving the same structural
+    diet (stack frames, loops with compare-and-branch blocks, calls and
+    real jump tables) for ParseAPI to analyze.
+
+    Layout: .text at 0x10000 (runtime first), .rodata (jump tables) at
+    0x200000, .data (globals) at 0x300000; every image carries a
+    [.riscv.attributes] section naming the rv64imafdc_zicsr_zifencei
+    profile and function/global symbols. *)
+
+exception Link_error of string
+
+val text_base : int64
+val rodata_base : int64
+val data_base : int64
+
+(** The arch string stamped into compiled binaries. *)
+val arch_string : string
+
+type compiled = {
+  image : Elfkit.Types.image;
+  fn_addrs : (string * int64) list;  (** user function name -> address *)
+}
+
+(** Compile a mini-C source string.
+    @raise Cparse.Parse_error on syntax errors
+    @raise Ccodegen.Codegen_error on semantic errors
+    @raise Link_error when [main] is missing or a jump-table target is
+    undefined. *)
+val compile : string -> compiled
+
+(** Compile and run directly in the simulator; returns the stop reason
+    and the program's stdout. *)
+val run : ?max_steps:int -> string -> Rvsim.Machine.stop * string

@@ -1,0 +1,95 @@
+(* The minimal C runtime linked into every mini-C binary: _start, the
+   clock_ns wrapper around clock_gettime, and decimal integer output. *)
+
+open Riscv
+
+let i x = Asm.Insn x
+
+(* _start: call main, pass its return value to exit(2). *)
+let crt0 =
+  [
+    Asm.Label "_start";
+    Asm.Call_l "main";
+    i (Build.addi Reg.a7 Reg.zero 93);
+    i Build.ecall;
+    Asm.Align 4;
+  ]
+
+(* long clock_ns(void): CLOCK_* 0 via clock_gettime, as ns *)
+let clock_ns =
+  [
+    Asm.Label "__clock_ns";
+    i (Build.addi Reg.sp Reg.sp (-32));
+    i (Build.addi Reg.a0 Reg.zero 0);
+    i (Build.mv Reg.a1 Reg.sp);
+    i (Build.addi Reg.a7 Reg.zero 113);
+    i Build.ecall;
+    i (Build.ld Reg.t0 0 Reg.sp);
+    i (Build.ld Reg.t1 8 Reg.sp);
+    Asm.Li (Reg.t2, 1_000_000_000L);
+    i (Build.mul Reg.t0 Reg.t0 Reg.t2);
+    i (Build.add Reg.a0 Reg.t0 Reg.t1);
+    i (Build.addi Reg.sp Reg.sp 32);
+    i Build.ret;
+    Asm.Align 4;
+  ]
+
+(* void print_int(long v): decimal + newline to stdout *)
+let print_int =
+  [
+    Asm.Label "__print_int";
+    i (Build.addi Reg.sp Reg.sp (-48));
+    i (Build.sd Reg.ra 40 Reg.sp);
+    (* newline goes at sp+32; digits grow downward from there *)
+    i (Build.addi Reg.t0 Reg.sp 32);
+    i (Build.addi Reg.t2 Reg.zero 10);
+    i (Build.sb Reg.t2 0 Reg.t0) (* '\n' *);
+    (* t3 = sign flag; a0 = |v| *)
+    i (Build.addi Reg.t3 Reg.zero 0);
+    Asm.Br (Op.BGE, Reg.a0, Reg.zero, "__pi_pos");
+    i (Build.addi Reg.t3 Reg.zero 1);
+    i (Build.neg Reg.a0 Reg.a0);
+    Asm.Label "__pi_pos";
+    i (Build.addi Reg.t1 Reg.zero 10);
+    Asm.Label "__pi_digit";
+    i (Insn.make ~rd:Reg.t2 ~rs1:Reg.a0 ~rs2:Reg.t1 Op.REMU);
+    i (Build.addi Reg.t2 Reg.t2 48);
+    i (Build.addi Reg.t0 Reg.t0 (-1));
+    i (Build.sb Reg.t2 0 Reg.t0);
+    i (Insn.make ~rd:Reg.a0 ~rs1:Reg.a0 ~rs2:Reg.t1 Op.DIVU);
+    Asm.Br (Op.BNE, Reg.a0, Reg.zero, "__pi_digit");
+    Asm.Br (Op.BEQ, Reg.t3, Reg.zero, "__pi_nosign");
+    i (Build.addi Reg.t0 Reg.t0 (-1));
+    i (Build.addi Reg.t2 Reg.zero 45) (* '-' *);
+    i (Build.sb Reg.t2 0 Reg.t0);
+    Asm.Label "__pi_nosign";
+    (* write(1, t0, sp+33 - t0) *)
+    i (Build.addi Reg.a2 Reg.sp 33);
+    i (Build.sub Reg.a2 Reg.a2 Reg.t0);
+    i (Build.mv Reg.a1 Reg.t0);
+    i (Build.addi Reg.a0 Reg.zero 1);
+    i (Build.addi Reg.a7 Reg.zero 64);
+    i Build.ecall;
+    i (Build.ld Reg.ra 40 Reg.sp);
+    i (Build.addi Reg.sp Reg.sp 48);
+    i Build.ret;
+    Asm.Align 4;
+  ]
+
+(* void print_char(long c) *)
+let print_char =
+  [
+    Asm.Label "__print_char";
+    i (Build.addi Reg.sp Reg.sp (-16));
+    i (Build.sb Reg.a0 0 Reg.sp);
+    i (Build.mv Reg.a1 Reg.sp);
+    i (Build.addi Reg.a0 Reg.zero 1);
+    i (Build.addi Reg.a2 Reg.zero 1);
+    i (Build.addi Reg.a7 Reg.zero 64);
+    i Build.ecall;
+    i (Build.addi Reg.sp Reg.sp 16);
+    i Build.ret;
+    Asm.Align 4;
+  ]
+
+let all = crt0 @ clock_ns @ print_int @ print_char

@@ -1,0 +1,1 @@
+lib/parse/cfg.ml: Dyn_util Format Hashtbl Instruction Int64 List Set Symtab

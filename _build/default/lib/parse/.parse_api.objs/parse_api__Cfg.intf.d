@@ -1,0 +1,1 @@
+lib/parse/cfg.mli: Dyn_util Format Hashtbl Instruction Set Symtab

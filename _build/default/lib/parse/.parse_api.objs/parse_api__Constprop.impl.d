@@ -1,0 +1,1 @@
+lib/parse/constprop.ml: Array Cfg Dyn_util Hashtbl Insn Instruction Int64 List Op Reg Riscv

@@ -1,0 +1,1 @@
+lib/parse/jump_table.ml: Dyn_util Insn Instruction Int64 List Op Option Reg Riscv Slice_lite Symtab

@@ -1,0 +1,1 @@
+lib/parse/loops.ml: Array Cfg Dyn_util Hashtbl I64Set Int64 List

@@ -1,0 +1,1 @@
+lib/parse/loops.mli: Cfg Dyn_util Hashtbl

@@ -1,0 +1,1 @@
+lib/parse/parser.ml: Array Cfg Constprop Domain Dyn_util Elfkit Hashtbl I64Set Insn Instruction Int64 Jump_table List Logs Op Printf Queue Reg Riscv Slice_lite Symtab

@@ -1,0 +1,1 @@
+lib/parse/parser.mli: Cfg Symtab

@@ -1,0 +1,1 @@
+lib/parse/slice_lite.ml: Dyn_util Insn Instruction Int64 List Op Option Reg Riscv

@@ -1,0 +1,119 @@
+(* CFG data model for ParseAPI: blocks, typed edges, functions.
+
+   Edge kinds follow Dyninst's ParseAPI: calls and their fallthroughs are
+   distinguished from intraprocedural edges so that instrumentation and
+   dataflow can treat them differently, and tail calls are explicit
+   (paper §3.2.3). *)
+
+module I64Set = Set.Make (Int64)
+
+type edge_kind =
+  | E_fallthrough
+  | E_taken (* conditional branch, taken side *)
+  | E_not_taken (* conditional branch, fallthrough side *)
+  | E_jump (* unconditional intraprocedural jump *)
+  | E_call
+  | E_call_ft (* the edge from a call site to the instruction after it *)
+  | E_tail_call
+  | E_return
+  | E_jump_table (* one edge per resolved jump-table target *)
+  | E_indirect (* other resolved indirect transfer *)
+
+type target = T_addr of int64 | T_unknown
+
+type edge = { ek : edge_kind; e_src : int64; e_dst : target }
+
+type block = {
+  b_start : int64;
+  mutable b_end : int64; (* exclusive *)
+  mutable b_insns : Instruction.t list; (* in address order *)
+  mutable b_out : edge list;
+  mutable b_in : edge list;
+  mutable b_func : int64; (* entry of the first function that claimed it *)
+}
+
+type func = {
+  f_entry : int64;
+  mutable f_name : string;
+  mutable f_blocks : I64Set.t; (* block start addresses *)
+  mutable f_callees : I64Set.t;
+  mutable f_returns : bool; (* a return edge was found *)
+  mutable f_from_gap : bool; (* discovered by gap parsing, not traversal *)
+}
+
+type t = {
+  symtab : Symtab.t;
+  blocks : (int64, block) Hashtbl.t; (* keyed by start address *)
+  mutable block_map : block Dyn_util.Interval_map.t; (* [start, end) -> block *)
+  funcs : (int64, func) Hashtbl.t;
+  mutable entries_sorted : int64 array; (* known function entries, sorted *)
+}
+
+let create symtab =
+  {
+    symtab;
+    blocks = Hashtbl.create 256;
+    block_map = Dyn_util.Interval_map.empty;
+    funcs = Hashtbl.create 64;
+    entries_sorted = [||];
+  }
+
+let block_at t addr = Hashtbl.find_opt t.blocks addr
+
+(* block containing [addr] (not necessarily at its start) *)
+let block_containing t addr =
+  match Dyn_util.Interval_map.find_addr t.block_map addr with
+  | Some (_, _, b) -> Some b
+  | None -> None
+
+let func_at t entry = Hashtbl.find_opt t.funcs entry
+
+let functions t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.funcs []
+  |> List.sort (fun a b -> Int64.compare a.f_entry b.f_entry)
+
+let blocks_of t (f : func) =
+  I64Set.elements f.f_blocks
+  |> List.filter_map (fun a -> block_at t a)
+
+let n_blocks t = Hashtbl.length t.blocks
+
+let edge_kind_name = function
+  | E_fallthrough -> "fallthrough"
+  | E_taken -> "taken"
+  | E_not_taken -> "not-taken"
+  | E_jump -> "jump"
+  | E_call -> "call"
+  | E_call_ft -> "call-ft"
+  | E_tail_call -> "tail-call"
+  | E_return -> "return"
+  | E_jump_table -> "jump-table"
+  | E_indirect -> "indirect"
+
+let pp_target fmt = function
+  | T_addr a -> Format.fprintf fmt "0x%Lx" a
+  | T_unknown -> Format.pp_print_string fmt "?"
+
+let pp_edge fmt e =
+  Format.fprintf fmt "%s->%a" (edge_kind_name e.ek) pp_target e.e_dst
+
+(* last instruction of a block, if any *)
+let last_insn (b : block) =
+  match List.rev b.b_insns with [] -> None | i :: _ -> Some i
+
+(* Is the interprocedural edge kind? *)
+let is_interprocedural = function
+  | E_call | E_call_ft | E_tail_call | E_return -> true
+  | E_fallthrough | E_taken | E_not_taken | E_jump | E_jump_table | E_indirect
+    -> false
+
+(* Intraprocedural successor block addresses. *)
+let intra_succs (b : block) =
+  List.filter_map
+    (fun e ->
+      match (e.ek, e.e_dst) with
+      | (E_fallthrough | E_taken | E_not_taken | E_jump | E_jump_table
+        | E_indirect | E_call_ft), T_addr a ->
+          Some a
+      | _ -> None)
+    b.b_out

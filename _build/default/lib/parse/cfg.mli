@@ -1,0 +1,79 @@
+(** The CFG data model of ParseAPI: basic blocks, typed edges and
+    functions (paper §2.1).
+
+    Edge kinds follow Dyninst's ParseAPI: interprocedural transfers
+    (calls, call fallthroughs, tail calls, returns) are distinguished
+    from intraprocedural ones so instrumentation and dataflow treat them
+    differently (paper §3.2.3). *)
+
+module I64Set : Set.S with type elt = int64
+
+type edge_kind =
+  | E_fallthrough
+  | E_taken  (** conditional branch, taken side *)
+  | E_not_taken  (** conditional branch, fallthrough side *)
+  | E_jump  (** unconditional intraprocedural jump *)
+  | E_call
+  | E_call_ft  (** from a call site to the instruction after it *)
+  | E_tail_call
+  | E_return
+  | E_jump_table  (** one edge per resolved jump-table target *)
+  | E_indirect  (** other (possibly unresolved) indirect transfer *)
+
+type target = T_addr of int64 | T_unknown
+
+type edge = { ek : edge_kind; e_src : int64; e_dst : target }
+
+type block = {
+  b_start : int64;
+  mutable b_end : int64;  (** exclusive *)
+  mutable b_insns : Instruction.t list;  (** in address order *)
+  mutable b_out : edge list;
+  mutable b_in : edge list;  (** filled once parsing completes *)
+  mutable b_func : int64;  (** entry of the function that claimed it *)
+}
+
+type func = {
+  f_entry : int64;
+  mutable f_name : string;
+  mutable f_blocks : I64Set.t;  (** block start addresses *)
+  mutable f_callees : I64Set.t;
+  mutable f_returns : bool;  (** a return edge was found *)
+  mutable f_from_gap : bool;  (** discovered by gap parsing *)
+}
+
+type t = {
+  symtab : Symtab.t;
+  blocks : (int64, block) Hashtbl.t;  (** keyed by start address *)
+  mutable block_map : block Dyn_util.Interval_map.t;  (** [start, end) map *)
+  funcs : (int64, func) Hashtbl.t;
+  mutable entries_sorted : int64 array;  (** known entries, ascending *)
+}
+
+val create : Symtab.t -> t
+
+(** Block starting exactly at the address. *)
+val block_at : t -> int64 -> block option
+
+(** Block whose [start, end) interval contains the address. *)
+val block_containing : t -> int64 -> block option
+
+val func_at : t -> int64 -> func option
+
+(** All functions, in entry-address order. *)
+val functions : t -> func list
+
+(** The function's blocks (resolving its address set). *)
+val blocks_of : t -> func -> block list
+
+val n_blocks : t -> int
+val edge_kind_name : edge_kind -> string
+val pp_target : Format.formatter -> target -> unit
+val pp_edge : Format.formatter -> edge -> unit
+val last_insn : block -> Instruction.t option
+val is_interprocedural : edge_kind -> bool
+
+(** Successor block addresses reached without leaving the function
+    (fallthroughs, branches, jumps, jump-table targets, call
+    fallthroughs). *)
+val intra_succs : block -> int64 list

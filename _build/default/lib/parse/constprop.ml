@@ -1,0 +1,138 @@
+(* Flow-sensitive intraprocedural constant propagation over the integer
+   registers of a parsed function.
+
+   This is the "advanced dataflow" refinement the paper describes for
+   pointer-based control flow (§2.1, §3.2.3): when the block-local
+   backward slice cannot resolve a jalr's target because the address was
+   materialized in an earlier block, the parser re-runs classification
+   with these flow-sensitive values. *)
+
+open Riscv
+open Cfg
+
+type v = C of int64 | Top
+
+let join a b =
+  match (a, b) with
+  | C x, C y when Int64.equal x y -> C x
+  | _ -> Top
+
+type env = v array (* one slot per integer register; x0 pinned to C 0 *)
+
+let fresh_entry_env () =
+  let e = Array.make 32 Top in
+  e.(0) <- C 0L;
+  e
+
+let copy = Array.copy
+
+let env_join (a : env) (b : env) : env =
+  Array.init 32 (fun k -> join a.(k) b.(k))
+
+let env_equal a b = Array.for_all2 ( = ) a b
+
+(* transfer of one instruction *)
+let transfer (env : env) (ins : Instruction.t) : unit =
+  let i = ins.Instruction.insn in
+  let get r = if r = 0 then C 0L else env.(r) in
+  let set r v = if r <> 0 then env.(r) <- v in
+  let lift1 f a = match get a with C x -> C (f x) | Top -> Top in
+  let lift2 f a b =
+    match (get a, get b) with C x, C y -> C (f x y) | _ -> Top
+  in
+  let result =
+    match i.Insn.op with
+    | Op.LUI -> Some (C i.Insn.imm)
+    | Op.AUIPC -> Some (C (Int64.add ins.Instruction.addr i.Insn.imm))
+    | Op.ADDI -> Some (lift1 (fun x -> Int64.add x i.Insn.imm) i.Insn.rs1)
+    | Op.ADDIW ->
+        Some
+          (lift1
+             (fun x -> Dyn_util.Bits.to_int32_sx (Int64.add x i.Insn.imm))
+             i.Insn.rs1)
+    | Op.ADD -> Some (lift2 Int64.add i.Insn.rs1 i.Insn.rs2)
+    | Op.SUB -> Some (lift2 Int64.sub i.Insn.rs1 i.Insn.rs2)
+    | Op.SLLI ->
+        Some (lift1 (fun x -> Int64.shift_left x (Insn.imm_int i)) i.Insn.rs1)
+    | Op.ORI -> Some (lift1 (fun x -> Int64.logor x i.Insn.imm) i.Insn.rs1)
+    | Op.XORI -> Some (lift1 (fun x -> Int64.logxor x i.Insn.imm) i.Insn.rs1)
+    | Op.ANDI -> Some (lift1 (fun x -> Int64.logand x i.Insn.imm) i.Insn.rs1)
+    | _ -> None
+  in
+  match result with
+  | Some v -> set i.Insn.rd v
+  | None ->
+      (* any other definition makes its targets unknown *)
+      List.iter
+        (fun r -> if Reg.is_int r then set r Top)
+        (Insn.defs i)
+
+(* calls clobber the caller-saved registers *)
+let clobber_caller_saved (env : env) =
+  List.iter (fun r -> env.(r) <- Top) Reg.caller_saved_int
+
+type t = { entry_envs : (int64, env) Hashtbl.t; cfg : Cfg.t }
+
+let block_out (b : block) (env_in : env) : env =
+  let env = copy env_in in
+  List.iter (fun ins -> transfer env ins) b.b_insns;
+  if
+    List.exists
+      (fun e -> e.ek = E_call || e.ek = E_call_ft)
+      b.b_out
+  then clobber_caller_saved env;
+  env
+
+let analyze (cfg : Cfg.t) (func : func) : t =
+  let entry_envs = Hashtbl.create 16 in
+  Hashtbl.replace entry_envs func.f_entry (fresh_entry_env ());
+  let blocks = Cfg.blocks_of cfg func in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 100 do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun (b : block) ->
+        match Hashtbl.find_opt entry_envs b.b_start with
+        | None -> ()
+        | Some env_in ->
+            let out = block_out b env_in in
+            List.iter
+              (fun succ ->
+                let next =
+                  match Hashtbl.find_opt entry_envs succ with
+                  | None -> Some out
+                  | Some cur ->
+                      let m = env_join cur out in
+                      if env_equal m cur then None else Some m
+                in
+                match next with
+                | Some e ->
+                    Hashtbl.replace entry_envs succ e;
+                    changed := true
+                | None -> ())
+              (Cfg.intra_succs b))
+      blocks
+  done;
+  { entry_envs; cfg }
+
+(* Value of [reg] just before the instruction at [addr] inside [b]. *)
+let value_before (t : t) (b : block) (addr : int64) (reg : int) : v =
+  if reg = 0 then C 0L
+  else
+    match Hashtbl.find_opt t.entry_envs b.b_start with
+    | None -> Top
+    | Some env_in ->
+        let env = copy env_in in
+        let rec walk = function
+          | [] -> ()
+          | (ins : Instruction.t) :: rest ->
+              if Int64.compare ins.Instruction.addr addr >= 0 then ()
+              else begin
+                transfer env ins;
+                walk rest
+              end
+        in
+        walk b.b_insns;
+        env.(reg)

@@ -1,0 +1,178 @@
+(* Jump-table analysis (paper §3.2.3, final classification step).
+
+   Recognizes the table-dispatch idiom compilers emit for dense switch
+   statements.  Two layouts are understood:
+
+     absolute (8-byte entries):            pc-relative (4-byte entries):
+       slli  rS, rIdx, 3                     slli  rS, rIdx, 2
+       add   rA, rTbl, rS                    add   rA, rTbl, rS
+       ld    rT, 0(rA)                       lw    rO, 0(rA)
+       jr    rT                              add   rT, rTbl, rO
+                                             jr    rT
+
+   with rTbl formed by an auipc/addi (or lui/addi) pair that Slice_lite
+   resolves.  The entry count comes from a dominating bounds check
+   (bltu/bgeu against a constant) when one is visible; otherwise entries
+   are scanned and validated until one falls outside the function's code
+   span (capped). *)
+
+open Riscv
+
+type table = {
+  jt_base : int64; (* address of the table data *)
+  jt_entry_size : int; (* 4 or 8 *)
+  jt_relative : bool; (* entries are offsets from jt_base *)
+  jt_targets : int64 list;
+}
+
+let max_entries = 4096
+
+(* Find the instruction that defines [reg], returning it and the
+   (reverse-order) instructions before it. *)
+let rec find_def (insns_rev : Instruction.t list) reg =
+  match insns_rev with
+  | [] -> None
+  | ins :: before ->
+      let i = ins.Instruction.insn in
+      if (not (Op.rd_is_fp i.Insn.op)) && i.Insn.rd = reg
+         && List.mem (Reg.x reg) (Insn.defs i)
+      then Some (ins, before)
+      else find_def before reg
+
+(* chase mv/addi-0 chains *)
+let rec chase insns_rev reg =
+  match find_def insns_rev reg with
+  | Some (ins, before) when ins.Instruction.insn.Insn.op = Op.ADDI
+                            && ins.Instruction.insn.Insn.imm = 0L ->
+      chase before ins.Instruction.insn.Insn.rs1
+  | other -> other
+
+(* Decompose `add rA, x, y` where one side is a constant table base and
+   the other is `slli rIdx, shift`. *)
+let match_indexed_address insns_rev reg =
+  match chase insns_rev reg with
+  | Some (ins, before) when ins.Instruction.insn.Insn.op = Op.ADD ->
+      let i = ins.Instruction.insn in
+      let try_sides a b =
+        match Slice_lite.resolve before a with
+        | Some base -> (
+            match chase before b with
+            | Some (sl, _) when sl.Instruction.insn.Insn.op = Op.SLLI ->
+                Some (base, Insn.imm_int sl.Instruction.insn)
+            | _ -> None)
+        | None -> None
+      in
+      (match try_sides i.Insn.rs1 i.Insn.rs2 with
+      | Some r -> Some r
+      | None -> try_sides i.Insn.rs2 i.Insn.rs1)
+  | _ -> None
+
+(* Extract a constant bound from a block terminator that guards the
+   dispatch: `bltu rIdx, rBound, ...` or `bgeu rIdx, rBound, default`
+   or `sltiu rC, rIdx, n` + branch. *)
+let bound_of_guard (guard_block_insns : Instruction.t list) : int option =
+  let rev = List.rev guard_block_insns in
+  match rev with
+  | term :: before -> (
+      let i = term.Instruction.insn in
+      match i.Insn.op with
+      | Op.BLTU | Op.BGEU -> (
+          match Slice_lite.resolve before i.Insn.rs2 with
+          | Some n when Int64.compare n 0L > 0 && Int64.compare n 100_000L < 0 ->
+              Some (Int64.to_int n)
+          | _ -> None)
+      | Op.BEQ | Op.BNE -> (
+          (* sltiu rC, rIdx, n ; beqz/bnez rC *)
+          match find_def before i.Insn.rs1 with
+          | Some (d, _) when d.Instruction.insn.Insn.op = Op.SLTIU ->
+              Some (Insn.imm_int d.Instruction.insn)
+          | _ -> None)
+      | _ -> None)
+  | [] -> None
+
+(* Run the analysis on a block whose terminator is [jalr]; [body] is the
+   block's instructions excluding the terminator (forward order).
+   [span] = (lo, hi) address range that valid targets must fall in;
+   [guards] are candidate guard blocks' instruction lists. *)
+let analyze ~(symtab : Symtab.t) ~(span : int64 * int64)
+    ~(guards : Instruction.t list list) (body : Instruction.t list)
+    (jalr : Insn.t) : table option =
+  let rev = List.rev body in
+  if jalr.Insn.imm <> 0L then None
+  else
+    match chase rev jalr.Insn.rs1 with
+    | Some (ld_ins, before_ld) -> (
+        let li = ld_ins.Instruction.insn in
+        let absolute_pattern () =
+          if li.Insn.op = Op.LD then
+            match match_indexed_address before_ld li.Insn.rs1 with
+            | Some (base, 3) ->
+                Some (Int64.add base li.Insn.imm, 8, false, base)
+            | _ -> None
+          else None
+        in
+        let relative_pattern () =
+          (* target = add of table base and loaded offset *)
+          if li.Insn.op = Op.ADD then
+            let i = li in
+            let try_sides base_r off_r =
+              match Slice_lite.resolve before_ld base_r with
+              | Some base -> (
+                  match find_def before_ld off_r with
+                  | Some (lw_ins, before_lw)
+                    when lw_ins.Instruction.insn.Insn.op = Op.LW -> (
+                      let lwi = lw_ins.Instruction.insn in
+                      match match_indexed_address before_lw lwi.Insn.rs1 with
+                      | Some (tbase, 2) ->
+                          Some (Int64.add tbase lwi.Insn.imm, 4, true, base)
+                      | _ -> None)
+                  | _ -> None)
+              | None -> None
+            in
+            (match try_sides i.Insn.rs1 i.Insn.rs2 with
+            | Some r -> Some r
+            | None -> try_sides i.Insn.rs2 i.Insn.rs1)
+          else None
+        in
+        match (absolute_pattern (), relative_pattern ()) with
+        | None, None -> None
+        | Some (tbl, esize, relative, base), _ | None, Some (tbl, esize, relative, base) ->
+            let lo, hi = span in
+            let bound = List.find_map bound_of_guard guards in
+            let read_entry k =
+              let addr = Int64.add tbl (Int64.of_int (k * esize)) in
+              if relative then
+                match Symtab.read_u32 symtab addr with
+                | Some v ->
+                    Some (Int64.add base (Dyn_util.Bits.sign_extend64 v 32))
+                | None -> None
+              else Symtab.read_u64 symtab addr
+            in
+            let valid tgt =
+              Symtab.is_code_addr symtab tgt
+              && Int64.compare tgt lo >= 0
+              && Int64.compare tgt hi < 0
+              && Int64.logand tgt 1L = 0L
+            in
+            let rec collect k acc =
+              let stop_at = Option.value bound ~default:max_entries in
+              if k >= stop_at then List.rev acc
+              else
+                match read_entry k with
+                | Some tgt when valid tgt -> collect (k + 1) (tgt :: acc)
+                | _ ->
+                    (* with an explicit bound a bad entry invalidates the
+                       analysis; with the heuristic it just ends the scan *)
+                    if bound <> None then [] else List.rev acc
+            in
+            let targets = collect 0 [] in
+            if targets = [] then None
+            else
+              Some
+                {
+                  jt_base = tbl;
+                  jt_entry_size = esize;
+                  jt_relative = relative;
+                  jt_targets = List.sort_uniq Int64.compare targets;
+                })
+    | None -> None

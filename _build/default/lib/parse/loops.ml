@@ -1,0 +1,72 @@
+(* Natural-loop detection over a function's intraprocedural CFG
+   (ParseAPI's loop analysis; the paper's §3.3 lists loop analysis among
+   the working RISC-V features).  Built on Dyn_util.Digraph's dominator
+   machinery. *)
+
+open Cfg
+
+type loop = {
+  l_header : int64; (* header block start address *)
+  l_blocks : I64Set.t; (* block start addresses in the loop body *)
+  l_back_edges : (int64 * int64) list; (* (latch block, header) *)
+}
+
+(* Build an int-indexed digraph of [func]'s blocks. *)
+let graph_of_function (cfg : Cfg.t) (func : func) =
+  let blocks = I64Set.elements func.f_blocks in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun k a -> Hashtbl.replace index a k) blocks;
+  let addr_of = Array.of_list blocks in
+  let g = Dyn_util.Digraph.create () in
+  List.iteri (fun k _ -> Dyn_util.Digraph.add_node g k) blocks;
+  List.iter
+    (fun a ->
+      match block_at cfg a with
+      | None -> ()
+      | Some b ->
+          List.iter
+            (fun succ ->
+              match Hashtbl.find_opt index succ with
+              | Some k -> Dyn_util.Digraph.add_edge g (Hashtbl.find index a) k
+              | None -> ())
+            (intra_succs b))
+    blocks;
+  (g, index, addr_of)
+
+let loops_of_function (cfg : Cfg.t) (func : func) : loop list =
+  let g, index, addr_of = graph_of_function cfg func in
+  match Hashtbl.find_opt index func.f_entry with
+  | None -> []
+  | Some root ->
+      let nl = Dyn_util.Digraph.natural_loops g root in
+      let idoms = Dyn_util.Digraph.idoms g root in
+      List.map
+        (fun (header, body) ->
+          let back_edges =
+            Dyn_util.Digraph.IntSet.fold
+              (fun n acc ->
+                if
+                  Dyn_util.Digraph.IntSet.mem header
+                    (Dyn_util.Digraph.succs g n)
+                  && Dyn_util.Digraph.dominates idoms header n
+                then (addr_of.(n), addr_of.(header)) :: acc
+                else acc)
+              body []
+          in
+          {
+            l_header = addr_of.(header);
+            l_blocks =
+              Dyn_util.Digraph.IntSet.fold
+                (fun n acc -> I64Set.add addr_of.(n) acc)
+                body I64Set.empty;
+            l_back_edges = back_edges;
+          })
+        nl
+
+(* Nesting: loop A contains loop B if B's header is in A's body and they
+   differ. *)
+let contains a b =
+  not (Int64.equal a.l_header b.l_header) && I64Set.mem b.l_header a.l_blocks
+
+let loop_nest_depth loops l =
+  List.length (List.filter (fun outer -> contains outer l) loops) + 1

@@ -1,0 +1,24 @@
+(** Natural-loop detection over a function's intraprocedural CFG
+    (ParseAPI's loop analysis, listed among the working RISC-V features
+    in the paper's §3.3).  Built on dominator analysis: a back edge is an
+    edge whose target dominates its source; the loop body is everything
+    that reaches the latch without passing the header. *)
+
+type loop = {
+  l_header : int64;  (** header block start address *)
+  l_blocks : Cfg.I64Set.t;  (** block start addresses in the body *)
+  l_back_edges : (int64 * int64) list;  (** (latch block, header) *)
+}
+
+val loops_of_function : Cfg.t -> Cfg.func -> loop list
+
+(** [contains a b]: is [b] nested inside [a]? *)
+val contains : loop -> loop -> bool
+
+(** 1 = outermost. *)
+val loop_nest_depth : loop list -> loop -> int
+
+(**/**)
+
+val graph_of_function :
+  Cfg.t -> Cfg.func -> Dyn_util.Digraph.t * (int64, int) Hashtbl.t * int64 array

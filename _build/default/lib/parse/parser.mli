@@ -1,0 +1,22 @@
+(** Traversal parsing (ParseAPI's parser; paper §2.1, §3.2.3).
+
+    Parsing starts from known entry points — the ELF entry and function
+    symbols — and follows control-flow transfers, discovering new
+    function entries at call and tail-call sites.  jal/jalr
+    classification follows the paper's decision procedure (link register
+    + backward slice + span tests + jump-table analysis + unresolved
+    fallback).  After traversal:
+
+    - {e gap parsing} scans uncovered code-region bytes for function
+      prologues;
+    - a {e dataflow refinement} pass re-examines unresolved jalr
+      terminators with flow-sensitive constant propagation
+      ({!Constprop}) and continues traversal when it resolves one. *)
+
+(** Parse a binary into a CFG.
+
+    @param gap_parsing scan coverage gaps for prologues (default true)
+    @param domains pre-decode all code regions in parallel across this
+    many OCaml domains (default 1 = fully lazy decoding); results are
+    identical either way *)
+val parse : ?gap_parsing:bool -> ?domains:int -> Symtab.t -> Cfg.t

@@ -1,0 +1,62 @@
+(* Parse-time backward constant resolution.
+
+   ParseAPI needs to know where a jalr goes; the paper (§3.2.3) resolves
+   the target register with a backward slice.  At parse time we use a
+   block-local slice that understands the constant-forming instructions
+   compilers emit for long jumps and table bases: auipc / lui / addi /
+   addiw / add / slli sequences.  (DataflowAPI provides the full
+   interblock slicer; this light version is what the parser itself runs,
+   and it fuses the auipc+jalr pairs the paper describes.) *)
+
+open Riscv
+
+(* [resolve insns_rev reg]: the constant value held by [reg] at the point
+   after executing the instructions whose *reverse* order is [insns_rev].
+   Returns [None] when the value is not statically constant. *)
+let rec resolve (insns_rev : Instruction.t list) (reg : int) : int64 option =
+  if reg = 0 then Some 0L
+  else
+    match insns_rev with
+    | [] -> None
+    | ins :: before ->
+        let i = ins.Instruction.insn in
+        let defines_reg =
+          (not (Op.rd_is_fp i.Insn.op))
+          && i.Insn.rd = reg
+          && List.mem (Reg.x reg) (Insn.defs i)
+        in
+        if not defines_reg then
+          (* an unrelated instruction; skip it unless it could clobber via
+             other means (loads into reg are caught by defines_reg) *)
+          resolve before reg
+        else begin
+          match i.Insn.op with
+          | Op.LUI -> Some i.Insn.imm
+          | Op.AUIPC -> Some (Int64.add ins.Instruction.addr i.Insn.imm)
+          | Op.ADDI ->
+              Option.map (fun v -> Int64.add v i.Insn.imm) (resolve before i.Insn.rs1)
+          | Op.ADDIW ->
+              Option.map
+                (fun v -> Dyn_util.Bits.to_int32_sx (Int64.add v i.Insn.imm))
+                (resolve before i.Insn.rs1)
+          | Op.ADD -> (
+              match (resolve before i.Insn.rs1, resolve before i.Insn.rs2) with
+              | Some a, Some b -> Some (Int64.add a b)
+              | _ -> None)
+          | Op.SLLI ->
+              Option.map
+                (fun v -> Int64.shift_left v (Insn.imm_int i))
+                (resolve before i.Insn.rs1)
+          | Op.ORI ->
+              Option.map (fun v -> Int64.logor v i.Insn.imm) (resolve before i.Insn.rs1)
+          | _ -> None
+        end
+
+(* Resolve the target of a jalr terminator given the (forward-ordered)
+   instructions of its block, excluding the jalr itself. *)
+let jalr_target (body : Instruction.t list) (jalr : Insn.t) : int64 option =
+  let rev = List.rev body in
+  match resolve rev jalr.Insn.rs1 with
+  | Some base ->
+      Some (Int64.logand (Int64.add base jalr.Insn.imm) (Int64.lognot 1L))
+  | None -> None

@@ -1,0 +1,1 @@
+lib/patch/point.ml: Cfg Format Instruction List Loops Parse_api Riscv

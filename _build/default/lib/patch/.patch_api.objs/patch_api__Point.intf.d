@@ -1,0 +1,1 @@
+lib/patch/point.mli: Format Parse_api

@@ -1,0 +1,1 @@
+lib/patch/rewriter.mli: Bytes Codegen_api Elfkit Parse_api Point Riscv Symtab

@@ -1,0 +1,1 @@
+lib/patch/trampoline.ml: Asm Cfg Insn Instruction Int64 List Op Parse_api Printf Reg Riscv String

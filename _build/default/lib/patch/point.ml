@@ -1,0 +1,116 @@
+(* Instrumentation points (paper §2): where instrumentation can be
+   inserted — function entry/exit, call sites, block entries, individual
+   instructions, branch-taken edges and loop points. *)
+
+open Parse_api
+
+type kind =
+  | Func_entry
+  | Func_exit
+  | Call_site
+  | Block_entry
+  | Before_insn
+  | Edge_taken (* the taken edge of the conditional branch at p_addr *)
+  | Loop_entry
+  | Loop_backedge
+
+type t = {
+  p_kind : kind;
+  p_func : int64; (* owning function entry *)
+  p_block : int64; (* block start *)
+  p_addr : int64; (* instruction the point is anchored to *)
+}
+
+let kind_name = function
+  | Func_entry -> "func-entry"
+  | Func_exit -> "func-exit"
+  | Call_site -> "call-site"
+  | Block_entry -> "block-entry"
+  | Before_insn -> "before-insn"
+  | Edge_taken -> "edge-taken"
+  | Loop_entry -> "loop-entry"
+  | Loop_backedge -> "loop-backedge"
+
+let pp fmt p =
+  Format.fprintf fmt "%s@0x%Lx (func 0x%Lx)" (kind_name p.p_kind) p.p_addr
+    p.p_func
+
+(* --- point discovery ------------------------------------------------------ *)
+
+let func_entry (cfg : Cfg.t) (f : Cfg.func) : t option =
+  match Cfg.block_at cfg f.Cfg.f_entry with
+  | Some b ->
+      Some
+        { p_kind = Func_entry; p_func = f.Cfg.f_entry; p_block = b.Cfg.b_start;
+          p_addr = b.Cfg.b_start }
+  | None -> None
+
+(* one point per return-terminated block *)
+let func_exits (cfg : Cfg.t) (f : Cfg.func) : t list =
+  Cfg.blocks_of cfg f
+  |> List.filter_map (fun (b : Cfg.block) ->
+         if List.exists (fun e -> e.Cfg.ek = Cfg.E_return) b.Cfg.b_out then
+           match Cfg.last_insn b with
+           | Some term ->
+               Some
+                 { p_kind = Func_exit; p_func = f.Cfg.f_entry;
+                   p_block = b.Cfg.b_start; p_addr = term.Instruction.addr }
+           | None -> None
+         else None)
+
+let call_sites (cfg : Cfg.t) (f : Cfg.func) : t list =
+  Cfg.blocks_of cfg f
+  |> List.filter_map (fun (b : Cfg.block) ->
+         if List.exists (fun e -> e.Cfg.ek = Cfg.E_call) b.Cfg.b_out then
+           match Cfg.last_insn b with
+           | Some term ->
+               Some
+                 { p_kind = Call_site; p_func = f.Cfg.f_entry;
+                   p_block = b.Cfg.b_start; p_addr = term.Instruction.addr }
+           | None -> None
+         else None)
+
+let block_entries (cfg : Cfg.t) (f : Cfg.func) : t list =
+  Cfg.blocks_of cfg f
+  |> List.map (fun (b : Cfg.block) ->
+         { p_kind = Block_entry; p_func = f.Cfg.f_entry;
+           p_block = b.Cfg.b_start; p_addr = b.Cfg.b_start })
+
+let before_insn (cfg : Cfg.t) ~(addr : int64) : t option =
+  match Cfg.block_containing cfg addr with
+  | Some b ->
+      Some
+        { p_kind = Before_insn; p_func = b.Cfg.b_func; p_block = b.Cfg.b_start;
+          p_addr = addr }
+  | None -> None
+
+(* the taken edge of the conditional branch ending [b] *)
+let edge_taken (b : Cfg.block) : t option =
+  match Cfg.last_insn b with
+  | Some term when Riscv.Op.is_cond_branch (Instruction.op term) ->
+      Some
+        { p_kind = Edge_taken; p_func = b.Cfg.b_func; p_block = b.Cfg.b_start;
+          p_addr = term.Instruction.addr }
+  | _ -> None
+
+let loop_entries (cfg : Cfg.t) (f : Cfg.func) : t list =
+  Loops.loops_of_function cfg f
+  |> List.map (fun (l : Loops.loop) ->
+         { p_kind = Loop_entry; p_func = f.Cfg.f_entry;
+           p_block = l.Loops.l_header; p_addr = l.Loops.l_header })
+
+let loop_backedges (cfg : Cfg.t) (f : Cfg.func) : t list =
+  Loops.loops_of_function cfg f
+  |> List.concat_map (fun (l : Loops.loop) ->
+         List.filter_map
+           (fun (latch, _header) ->
+             match Cfg.block_at cfg latch with
+             | Some b -> (
+                 match Cfg.last_insn b with
+                 | Some term ->
+                     Some
+                       { p_kind = Loop_backedge; p_func = f.Cfg.f_entry;
+                         p_block = latch; p_addr = term.Instruction.addr }
+                 | None -> None)
+             | None -> None)
+           l.Loops.l_back_edges)

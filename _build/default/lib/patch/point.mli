@@ -1,0 +1,49 @@
+(** Instrumentation points (paper §2): the locations where snippets can
+    be inserted — function-level (entry/exit/call-site), block-level,
+    instruction-level, CFG-edge-level and loop-level abstractions. *)
+
+type kind =
+  | Func_entry
+  | Func_exit
+  | Call_site
+  | Block_entry
+  | Before_insn
+  | Edge_taken  (** the taken edge of a conditional branch *)
+  | Loop_entry
+  | Loop_backedge
+
+type t = {
+  p_kind : kind;
+  p_func : int64;  (** owning function's entry address *)
+  p_block : int64;  (** containing block's start address *)
+  p_addr : int64;  (** the instruction the point anchors to *)
+}
+
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Point discovery from a parsed CFG} *)
+
+val func_entry : Parse_api.Cfg.t -> Parse_api.Cfg.func -> t option
+
+(** One point per return-terminated block of the function. *)
+val func_exits : Parse_api.Cfg.t -> Parse_api.Cfg.func -> t list
+
+(** One point per call-site block of the function (anchored at the call
+    instruction). *)
+val call_sites : Parse_api.Cfg.t -> Parse_api.Cfg.func -> t list
+
+(** One point per basic block. *)
+val block_entries : Parse_api.Cfg.t -> Parse_api.Cfg.func -> t list
+
+(** A point just before the instruction at [addr], if it is parsed. *)
+val before_insn : Parse_api.Cfg.t -> addr:int64 -> t option
+
+(** The taken edge of the conditional branch terminating [block]. *)
+val edge_taken : Parse_api.Cfg.block -> t option
+
+(** One point per natural-loop header. *)
+val loop_entries : Parse_api.Cfg.t -> Parse_api.Cfg.func -> t list
+
+(** One point per loop back edge (anchored at the latch's terminator). *)
+val loop_backedges : Parse_api.Cfg.t -> Parse_api.Cfg.func -> t list

@@ -1,0 +1,80 @@
+(** PatchAPI's snippet-insertion engine (paper §2.2, §3.1.2, Figure 1).
+
+    Insertions are collected per basic block; {!plan} generates, for each
+    instrumented block, a relocated copy in the patch area with the
+    snippet code woven in, and chooses a springboard to overwrite the
+    original block with:
+
+    - [c.j] — 2 bytes, reach ±2KB (needs the C extension);
+    - [jal] — 4 bytes, reach ±1MB;
+    - [auipc+jalr] — 8 bytes, full reach, consumes a dead register;
+    - a 2-byte trap ([c.ebreak]) as the last resort for blocks too small
+      for any jump, resolved at run time through a trap map (the paper's
+      "inefficient 2-byte trap instructions").
+
+    The same plan can be applied to the ELF image (static rewriting,
+    {!rewrite}) or written into a live process (dynamic instrumentation,
+    see [Core.instrument_process]). *)
+
+exception Patch_error of string
+
+type strategy = Sp_cj | Sp_jal | Sp_auipc_jalr | Sp_trap
+
+val strategy_name : strategy -> string
+
+type stats = {
+  mutable n_points : int;
+  mutable n_dead_alloc : int;
+      (** snippets served entirely by dead registers (no spill) *)
+  mutable n_spilled : int;  (** snippets that had to save/restore *)
+  mutable strategies : (int64 * strategy) list;
+      (** springboard chosen per instrumented block *)
+}
+
+type t
+
+(** [create symtab cfg] starts a rewriting session.
+    [tramp_base] overrides patch-area placement (default: the first
+    usable gap after the code region, keeping springboards in jal range).
+    [use_dead_regs:false] forces spilling at every point — the §4.3
+    ablation reproducing pre-optimization x86 behaviour. *)
+val create : ?tramp_base:int64 -> ?use_dead_regs:bool -> Symtab.t -> Parse_api.Cfg.t -> t
+
+(** Allocate an instrumentation variable (size 1/2/4/8 bytes) in the
+    patch data area. *)
+val allocate_var : t -> string -> int -> Codegen_api.Snippet.var
+
+(** Request snippet insertion at a point — the paper's (P, AST) tuple. *)
+val insert : t -> Point.t -> Codegen_api.Snippet.stmt list -> unit
+
+(** An instrumentation plan, target-independent. *)
+type plan = {
+  pl_tramp_base : int64;
+  pl_tramp_code : Bytes.t;
+  pl_patches : (int64 * Bytes.t) list;
+  pl_zeroed : (int64 * int) list;
+  pl_data_base : int64;
+  pl_data_size : int;
+  pl_traps : (int64 * int64) list;
+}
+
+(** Generate code for every pending insertion. *)
+val plan : t -> plan
+
+(** Apply a plan to the original image: static binary rewriting. *)
+val apply_to_image : t -> plan -> Elfkit.Types.image
+
+(** [plan] + [apply_to_image] in one step. *)
+val rewrite : t -> Elfkit.Types.image
+
+val stats : t -> stats
+
+(**/**)
+
+val springboard :
+  t -> Parse_api.Cfg.block -> int64 -> dead:Riscv.Reg.t list -> Bytes.t * strategy
+
+val wrap_snippet :
+  t -> dead:Riscv.Reg.t list -> Codegen_api.Snippet.stmt list -> Riscv.Asm.item list
+
+val default_tramp_base : Symtab.t -> data_base:int64 -> int64

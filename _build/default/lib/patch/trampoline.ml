@@ -1,0 +1,122 @@
+(* Trampoline construction: relocate a basic block into the patch area
+   with instrumentation woven in, fixing up every PC-sensitive
+   instruction (paper §1 "code patching", §3.2.3's auipc sequences).
+
+   Jumps back into original code use absolute-address pseudo-labels
+   "@<hex>" resolved by the assembler's external-symbol hook, so the
+   standard relaxation machinery (§3.1.2: c.j / jal / auipc+jalr) picks
+   the encoding. *)
+
+open Riscv
+open Parse_api
+
+let at addr = Printf.sprintf "@%Lx" addr
+
+(* resolve "@<hex>" labels to absolute addresses *)
+let abs_symbols label =
+  if String.length label > 1 && label.[0] = '@' then
+    Int64.of_string_opt ("0x" ^ String.sub label 1 (String.length label - 1))
+  else None
+
+(* What gets inserted where inside a relocated block. *)
+type insertion = {
+  ins_before : int64; (* instruction address the code goes before *)
+  ins_items : Asm.item list;
+}
+
+type edge_insertion = {
+  ei_branch : int64; (* address of the conditional branch *)
+  ei_items : Asm.item list;
+}
+
+(* Relocate one instruction, fixing PC-sensitive semantics.
+   Returns the items plus any deferred stub items (for edge stubs). *)
+let relocate_insn ~(edge_stub : (int64 -> string option))
+    (ins : Instruction.t) : Asm.item list =
+  let i = ins.Instruction.insn in
+  let addr = ins.Instruction.addr in
+  match i.Insn.op with
+  | Op.AUIPC ->
+      (* materialize the value auipc would have produced at its original
+         address *)
+      [ Asm.Li (Reg.x i.Insn.rd, Int64.add addr i.Insn.imm) ]
+  | Op.JAL ->
+      let tgt = Int64.add addr i.Insn.imm in
+      if i.Insn.rd = 0 then [ Asm.J (at tgt) ]
+      else if i.Insn.rd = Reg.ra then [ Asm.Call_l (at tgt) ]
+      else
+        (* unusual link register: emulate with an explicit link value
+           pointing at the trampoline continuation *)
+        let cont = Printf.sprintf ".Lcont_%Lx" addr in
+        [ Asm.La (Reg.x i.Insn.rd, cont); Asm.J (at tgt); Asm.Label cont ]
+  | op when Op.is_cond_branch op ->
+      let tgt = Int64.add addr i.Insn.imm in
+      let dest =
+        match edge_stub addr with Some stub -> stub | None -> at tgt
+      in
+      [ Asm.Br (op, Reg.x i.Insn.rs1, Reg.x i.Insn.rs2, dest) ]
+  | _ -> [ Asm.Insn i ]
+
+(* Build the trampoline item list for [b].
+
+   [insertions]: snippet code keyed by the address it must run before.
+   [edge_insertions]: snippet code on the taken edge of a branch.
+   The trampoline is labelled [entry_label]; execution resumes at the
+   block's original successors. *)
+let build ~(entry_label : string) (b : Cfg.block)
+    ~(insertions : insertion list) ~(edge_insertions : edge_insertion list) :
+    Asm.item list =
+  let stubs = ref [] in
+  let stub_counter = ref 0 in
+  let edge_stub branch_addr =
+    match
+      List.find_opt (fun e -> Int64.equal e.ei_branch branch_addr) edge_insertions
+    with
+    | None -> None
+    | Some e ->
+        incr stub_counter;
+        let lbl = Printf.sprintf ".Lstub_%Lx_%d" branch_addr !stub_counter in
+        let orig_target =
+          match Cfg.last_insn b with
+          | Some term
+            when Int64.equal term.Instruction.addr branch_addr ->
+              Int64.add branch_addr term.Instruction.insn.Insn.imm
+          | _ ->
+              (* the branch must be b's terminator *)
+              invalid_arg "edge insertion not on block terminator"
+        in
+        stubs :=
+          !stubs
+          @ [ Asm.Label lbl ] @ e.ei_items @ [ Asm.J (at orig_target) ];
+        Some lbl
+  in
+  let before addr =
+    List.concat_map
+      (fun ins -> if Int64.equal ins.ins_before addr then ins.ins_items else [])
+      insertions
+  in
+  let body =
+    List.concat_map
+      (fun ins ->
+        before ins.Instruction.addr @ relocate_insn ~edge_stub ins)
+      b.Cfg.b_insns
+  in
+  (* does control fall off the end of the relocated code? *)
+  let falls_through =
+    match Cfg.last_insn b with
+    | None -> true
+    | Some term -> (
+        let op = Instruction.op term in
+        match op with
+        | Op.JALR -> false (* always transfers *)
+        | Op.JAL ->
+            (* calls continue; plain jumps do not *)
+            term.Instruction.insn.Insn.rd <> 0
+        | op when Op.is_cond_branch op -> true
+        | _ -> true)
+  in
+  let tail =
+    if falls_through && b.Cfg.b_out <> [] then [ Asm.J (at b.Cfg.b_end) ]
+    else []
+  in
+  (Asm.Label entry_label :: body) @ tail @ !stubs

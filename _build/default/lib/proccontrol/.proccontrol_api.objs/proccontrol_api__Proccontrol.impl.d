@@ -1,0 +1,1 @@
+lib/proccontrol/proccontrol.ml: Bytes Decode Elfkit Hashtbl Insn Int64 List Op Reg Riscv Rvsim

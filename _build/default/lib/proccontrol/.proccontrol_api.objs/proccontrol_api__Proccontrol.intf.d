@@ -1,0 +1,1 @@
+lib/proccontrol/proccontrol.mli: Bytes Elfkit Riscv Rvsim

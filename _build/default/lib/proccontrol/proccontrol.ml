@@ -1,0 +1,223 @@
+(* ProcControlAPI (paper §2.2, §3.2.6): OS-independent process control.
+
+   On real RISC-V Linux this sits on ptrace + /proc; here it sits on the
+   rvsim simulated process, with the same API surface: launch or attach,
+   read/write memory and registers, insert/remove breakpoints, continue,
+   and single-step.
+
+   The paper notes that RISC-V ptrace lacks hardware single-stepping, so
+   "single-stepping must be emulated by a series of breakpoints created
+   by ProcControlAPI".  We implement exactly that: [step] plants
+   temporary breakpoints on every possible successor of the current
+   instruction (computed by decoding it, including both branch arms and
+   resolved indirect targets) and resumes. *)
+
+open Riscv
+
+type event =
+  | Ev_breakpoint of int64
+  | Ev_exited of int
+  | Ev_fault of string * int64
+  | Ev_stopped (* stopped for a reason other than our breakpoints *)
+
+type breakpoint = {
+  bp_addr : int64;
+  bp_saved : Bytes.t; (* original bytes under the trap *)
+  bp_temporary : bool;
+}
+
+type t = {
+  proc : Rvsim.Loader.process;
+  breakpoints : (int64, breakpoint) Hashtbl.t;
+  redirects : (int64, int64) Hashtbl.t;
+      (* trap-springboard redirects installed by dynamic instrumentation *)
+  mutable last_event : event option;
+}
+
+let machine t = t.proc.Rvsim.Loader.machine
+let os t = t.proc.Rvsim.Loader.os
+
+(* c.ebreak: the 2-byte trap, so a breakpoint fits on any instruction *)
+let trap_bytes = Bytes.of_string "\x02\x90"
+
+(* --- creation: the two dynamic forms of paper Figure 1 -------------------- *)
+
+(* "the binary is analyzed and instrumented and the resulting process is
+   spawned" *)
+let launch ?argv (image : Elfkit.Types.image) : t =
+  let proc = Rvsim.Loader.load ?argv image in
+  { proc; breakpoints = Hashtbl.create 16; redirects = Hashtbl.create 4;
+    last_event = None }
+
+(* "an already running process is attached to" *)
+let attach (proc : Rvsim.Loader.process) : t =
+  { proc; breakpoints = Hashtbl.create 16; redirects = Hashtbl.create 4;
+    last_event = None }
+
+(* --- memory and registers --------------------------------------------------- *)
+
+let read_memory t addr len = Rvsim.Mem.read_bytes (machine t).Rvsim.Machine.mem addr len
+
+let write_memory t addr bytes =
+  Rvsim.Mem.write_bytes (machine t).Rvsim.Machine.mem addr bytes;
+  (* code may have changed: as on real hardware, the instrumentation side
+     must force a fetch resynchronization *)
+  Rvsim.Machine.flush_icache (machine t)
+
+let get_reg t r =
+  if Reg.is_fp r then Rvsim.Machine.get_freg (machine t) (Reg.fp_index r)
+  else Rvsim.Machine.get_reg (machine t) r
+
+let set_reg t r v =
+  if Reg.is_fp r then Rvsim.Machine.set_freg (machine t) (Reg.fp_index r) v
+  else Rvsim.Machine.set_reg (machine t) r v
+
+let get_pc t = (machine t).Rvsim.Machine.pc
+let set_pc t pc = (machine t).Rvsim.Machine.pc <- pc
+
+(* map a new executable region into the process (the dynamic
+   instrumentation patch area; ~ mmap(PROT_EXEC) under ptrace) *)
+let map_code_region t ~base ~size =
+  ignore (Rvsim.Machine.add_code_region (machine t) ~base ~size)
+
+let add_redirect t ~from ~dest = Hashtbl.replace t.redirects from dest
+let remove_redirect t ~from = Hashtbl.remove t.redirects from
+
+(* --- breakpoints -------------------------------------------------------------- *)
+
+exception Proc_error of string
+
+let insert_breakpoint ?(temporary = false) t addr =
+  if not (Hashtbl.mem t.breakpoints addr) then begin
+    let saved = read_memory t addr 2 in
+    Hashtbl.replace t.breakpoints addr
+      { bp_addr = addr; bp_saved = saved; bp_temporary = temporary };
+    write_memory t addr trap_bytes
+  end
+
+let remove_breakpoint t addr =
+  match Hashtbl.find_opt t.breakpoints addr with
+  | Some bp ->
+      write_memory t addr bp.bp_saved;
+      Hashtbl.remove t.breakpoints addr
+  | None -> ()
+
+let clear_temporaries t =
+  let temps =
+    Hashtbl.fold (fun a bp acc -> if bp.bp_temporary then a :: acc else acc)
+      t.breakpoints []
+  in
+  List.iter (remove_breakpoint t) temps
+
+let has_breakpoint t addr = Hashtbl.mem t.breakpoints addr
+
+(* --- execution ------------------------------------------------------------------ *)
+
+(* execute exactly one original instruction, assuming pc is at a
+   breakpoint whose original bytes must run: restore, step the simulator
+   once, re-insert.  Returns an event if that one step already stopped. *)
+let step_over_breakpoint t addr : event option =
+  match Hashtbl.find_opt t.breakpoints addr with
+  | None -> None
+  | Some bp ->
+      write_memory t addr bp.bp_saved;
+      let ev =
+        match Rvsim.Machine.step (machine t) with
+        | None -> None
+        | Some stop ->
+            Some
+              (match stop with
+              | Rvsim.Machine.Exited c -> Ev_exited c
+              | Rvsim.Machine.Ebreak pc -> Ev_breakpoint pc
+              | Rvsim.Machine.Fault (m, a) -> Ev_fault (m, a)
+              | Rvsim.Machine.Limit -> Ev_stopped)
+      in
+      if Hashtbl.mem t.breakpoints addr then write_memory t addr trap_bytes;
+      ev
+
+(* resume until the next event *)
+let continue_ ?(max_steps = 500_000_000) t : event =
+  (* if we are stopped exactly on one of our breakpoints, step over it *)
+  let early =
+    if has_breakpoint t (get_pc t) then step_over_breakpoint t (get_pc t)
+    else None
+  in
+  match early with
+  | Some e ->
+      t.last_event <- Some e;
+      e
+  | None ->
+      let rec go () =
+        match Rvsim.Machine.run ~max_steps (machine t) with
+        | Rvsim.Machine.Ebreak pc when Hashtbl.mem t.redirects pc ->
+            set_pc t (Hashtbl.find t.redirects pc);
+            (machine t).Rvsim.Machine.cycles <-
+              Int64.add (machine t).Rvsim.Machine.cycles
+                Rvsim.Loader.trap_redirect_penalty;
+            go ()
+        | Rvsim.Machine.Ebreak pc when has_breakpoint t pc ->
+            Ev_breakpoint pc
+        | Rvsim.Machine.Ebreak pc ->
+            (* a trap that is not ours: report it *)
+            Ev_fault ("unexpected ebreak", pc)
+        | Rvsim.Machine.Exited c -> Ev_exited c
+        | Rvsim.Machine.Fault (m, a) -> Ev_fault (m, a)
+        | Rvsim.Machine.Limit -> Ev_stopped
+      in
+      let e = go () in
+      t.last_event <- Some e;
+      e
+
+(* all possible successor pcs of the instruction at [pc]; if a breakpoint
+   sits there, decode the *original* first halfword from its saved bytes *)
+let successors t pc : int64 list =
+  let m = machine t in
+  let hw =
+    match Hashtbl.find_opt t.breakpoints pc with
+    | Some bp -> Bytes.get_uint16_le bp.bp_saved 0
+    | None -> Rvsim.Mem.read16 m.Rvsim.Machine.mem pc
+  in
+  let insn =
+    if Decode.length_of_halfword hw = 2 then Decode.decode_compressed hw
+    else
+      Decode.decode_word
+        (hw lor (Rvsim.Mem.read16 m.Rvsim.Machine.mem (Int64.add pc 2L) lsl 16))
+  in
+  match insn with
+  | None -> []
+  | Some i -> (
+      let next = Int64.add pc (Int64.of_int i.Insn.len) in
+      match i.Insn.op with
+      | Op.JAL -> [ Int64.add pc i.Insn.imm ]
+      | Op.JALR ->
+          (* target computable from current register state *)
+          let base = Rvsim.Machine.get_reg m i.Insn.rs1 in
+          [ Int64.logand (Int64.add base i.Insn.imm) (Int64.lognot 1L) ]
+      | op when Op.is_cond_branch op -> [ Int64.add pc i.Insn.imm; next ]
+      | _ -> [ next ])
+
+(* Software single-step via temporary breakpoints (paper §3.2.6). *)
+let step t : event =
+  let pc = get_pc t in
+  let succs = successors t pc in
+  if succs = [] then Ev_fault ("cannot decode for single-step", pc)
+  else begin
+    (* plant temporary traps on the successors (skipping any that already
+       carry a breakpoint), then resume over the current instruction *)
+    List.iter
+      (fun a -> if not (has_breakpoint t a) then insert_breakpoint ~temporary:true t a)
+      succs;
+    let ev = continue_ t in
+    clear_temporaries t;
+    ev
+  end
+
+(* run to [addr]: one-shot breakpoint + continue *)
+let run_to t addr : event =
+  let had = has_breakpoint t addr in
+  if not had then insert_breakpoint ~temporary:true t addr;
+  let ev = continue_ t in
+  if not had then clear_temporaries t;
+  ev
+
+let stdout_contents t = Rvsim.Syscall.stdout_contents (os t)

@@ -1,0 +1,89 @@
+(** ProcControlAPI (paper §2.2, §3.2.6): OS-independent process control —
+    launch or attach, memory/register access, breakpoints, continue, and
+    single-step.
+
+    On real RISC-V Linux this layer sits on ptrace + /proc; here it sits
+    on an rvsim simulated process with the same API surface.  As the
+    paper notes, RISC-V ptrace has no hardware single-step, so {!step}
+    is emulated by planting temporary breakpoints on every possible
+    successor of the current instruction. *)
+
+type event =
+  | Ev_breakpoint of int64  (** stopped at one of our breakpoints *)
+  | Ev_exited of int
+  | Ev_fault of string * int64
+  | Ev_stopped  (** stopped for another reason (e.g. step budget) *)
+
+type breakpoint = {
+  bp_addr : int64;
+  bp_saved : Bytes.t;  (** original bytes under the trap *)
+  bp_temporary : bool;
+}
+
+type t
+
+exception Proc_error of string
+
+(** Spawn a process from an image (Figure 1's create path), stopped at
+    the entry point. *)
+val launch : ?argv:string list -> Elfkit.Types.image -> t
+
+(** Take control of an existing process (Figure 1's attach path). *)
+val attach : Rvsim.Loader.process -> t
+
+(** The underlying simulated machine (registers, memory, counters). *)
+val machine : t -> Rvsim.Machine.t
+
+(** {1 Memory and registers} *)
+
+val read_memory : t -> int64 -> int -> Bytes.t
+
+(** Write memory and resynchronize instruction fetch (the icache flush a
+    real instrumenter performs after patching code). *)
+val write_memory : t -> int64 -> Bytes.t -> unit
+
+val get_reg : t -> Riscv.Reg.t -> int64
+val set_reg : t -> Riscv.Reg.t -> int64 -> unit
+val get_pc : t -> int64
+val set_pc : t -> int64 -> unit
+
+(** Map an executable region into the process (the dynamic patch area;
+    the moral equivalent of mmap(PROT_EXEC) under ptrace). *)
+val map_code_region : t -> base:int64 -> size:int -> unit
+
+(** Register a trap-springboard redirect: when the process traps at
+    [from], control transparently resumes at [dest] (the SIGTRAP-handler
+    mechanism for blocks too small for a jump springboard). *)
+val add_redirect : t -> from:int64 -> dest:int64 -> unit
+
+val remove_redirect : t -> from:int64 -> unit
+
+(** {1 Breakpoints} *)
+
+(** Plant a breakpoint (a 2-byte c.ebreak, so it fits any instruction). *)
+val insert_breakpoint : ?temporary:bool -> t -> int64 -> unit
+
+val remove_breakpoint : t -> int64 -> unit
+val has_breakpoint : t -> int64 -> bool
+
+(** {1 Execution} *)
+
+(** Resume until the next event.  If stopped exactly on a breakpoint, the
+    original instruction is single-stepped first and the trap re-armed. *)
+val continue_ : ?max_steps:int -> t -> event
+
+(** Software single-step via temporary breakpoints (paper §3.2.6): plants
+    traps on all possible successors (both branch arms; indirect targets
+    resolved from live register state), resumes, and cleans up. *)
+val step : t -> event
+
+(** Run to a specific address (one-shot breakpoint + continue). *)
+val run_to : t -> int64 -> event
+
+(** Everything the process wrote to stdout so far. *)
+val stdout_contents : t -> string
+
+(**/**)
+
+val successors : t -> int64 -> int64 list
+val clear_temporaries : t -> unit

@@ -1,0 +1,1 @@
+lib/riscv/asm.ml: Array Bits Buffer Build Byte_buf Bytes Dyn_util Encode Hashtbl Insn Int64 List Op Reg String

@@ -1,0 +1,1 @@
+lib/riscv/bitmanip.ml: Dyn_util Int64

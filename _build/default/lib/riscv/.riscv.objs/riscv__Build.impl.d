@@ -1,0 +1,1 @@
+lib/riscv/build.ml: Bits Dyn_util Insn Int64 Op Reg

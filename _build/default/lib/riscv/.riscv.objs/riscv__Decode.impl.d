@@ -1,0 +1,1 @@
+lib/riscv/decode.ml: Bits Bytes Dyn_util Hashtbl Insn Int64 List Op

@@ -1,0 +1,1 @@
+lib/riscv/encode.ml: Bits Buffer Bytes Dyn_util Format Insn Int64 Op

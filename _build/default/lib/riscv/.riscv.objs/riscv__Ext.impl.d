@@ -1,0 +1,1 @@
+lib/riscv/ext.ml: Format List Printf Set String

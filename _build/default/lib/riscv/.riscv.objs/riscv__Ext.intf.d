@@ -1,0 +1,1 @@
+lib/riscv/ext.mli: Format Set

@@ -1,0 +1,1 @@
+lib/riscv/fpu.ml: Float Int32 Int64

@@ -1,0 +1,1 @@
+lib/riscv/insn.ml: Format Int64 Op Reg

@@ -1,0 +1,1 @@
+lib/riscv/insn.mli: Format Op Reg

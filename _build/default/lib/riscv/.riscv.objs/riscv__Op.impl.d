@@ -1,0 +1,1 @@
+lib/riscv/op.ml: Ext Format Hashtbl List String

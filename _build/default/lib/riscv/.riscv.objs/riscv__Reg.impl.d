@@ -1,0 +1,1 @@
+lib/riscv/reg.ml: Array Format

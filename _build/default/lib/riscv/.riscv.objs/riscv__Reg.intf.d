@@ -1,0 +1,1 @@
+lib/riscv/reg.mli: Format

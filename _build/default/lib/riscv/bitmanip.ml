@@ -1,0 +1,103 @@
+(* Bit-manipulation helpers for the Zba/Zbb extensions, shared between
+   the simulator and the semantics evaluator (like Fpu, so the two stay
+   bit-for-bit identical). *)
+
+let clz64 (v : int64) =
+  if Int64.equal v 0L then 64L
+  else begin
+    let n = ref 0 and v = ref v in
+    while Int64.compare !v 0L > 0 do
+      incr n;
+      v := Int64.shift_left !v 1
+    done;
+    Int64.of_int !n
+  end
+
+let ctz64 (v : int64) =
+  if Int64.equal v 0L then 64L
+  else begin
+    let n = ref 0 and v = ref v in
+    while Int64.logand !v 1L = 0L do
+      incr n;
+      v := Int64.shift_right_logical !v 1
+    done;
+    Int64.of_int !n
+  end
+
+let cpop64 (v : int64) =
+  let n = ref 0 in
+  for k = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical v k) 1L = 1L then incr n
+  done;
+  Int64.of_int !n
+
+(* W variants operate on the low 32 bits *)
+let low32 v = Int64.logand v 0xFFFF_FFFFL
+
+let clz32 v =
+  let v = low32 v in
+  if Int64.equal v 0L then 32L else Int64.sub (clz64 v) 32L
+
+let ctz32 v =
+  let v = low32 v in
+  if Int64.equal v 0L then 32L else ctz64 v
+
+let cpop32 v = cpop64 (low32 v)
+
+let rol64 v n =
+  let n = Int64.to_int (Int64.logand n 63L) in
+  if n = 0 then v
+  else
+    Int64.logor (Int64.shift_left v n) (Int64.shift_right_logical v (64 - n))
+
+let ror64 v n =
+  let n = Int64.to_int (Int64.logand n 63L) in
+  if n = 0 then v
+  else
+    Int64.logor (Int64.shift_right_logical v n) (Int64.shift_left v (64 - n))
+
+let sx32 v = Dyn_util.Bits.sign_extend64 v 32
+
+let rolw v n =
+  let n = Int64.to_int (Int64.logand n 31L) in
+  let v32 = low32 v in
+  if n = 0 then sx32 v32
+  else
+    sx32
+      (Int64.logor
+         (Int64.shift_left v32 n)
+         (Int64.shift_right_logical v32 (32 - n)))
+
+let rorw v n =
+  let n = Int64.to_int (Int64.logand n 31L) in
+  let v32 = low32 v in
+  if n = 0 then sx32 v32
+  else
+    sx32
+      (Int64.logor
+         (Int64.shift_right_logical v32 n)
+         (Int64.shift_left v32 (32 - n)))
+
+(* rev8: byte-reverse the 64-bit value *)
+let rev8 (v : int64) =
+  let b k = Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL in
+  let r = ref 0L in
+  for k = 0 to 7 do
+    r := Int64.logor (Int64.shift_left !r 8) (b k)
+  done;
+  !r
+
+(* orc.b: each byte becomes 0xFF if it had any bit set, else 0x00 *)
+let orc_b (v : int64) =
+  let r = ref 0L in
+  for k = 0 to 7 do
+    let byte = Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL in
+    if not (Int64.equal byte 0L) then
+      r := Int64.logor !r (Int64.shift_left 0xFFL (8 * k))
+  done;
+  !r
+
+let max_s a b = if Int64.compare a b >= 0 then a else b
+let min_s a b = if Int64.compare a b <= 0 then a else b
+let max_u a b = if Int64.unsigned_compare a b >= 0 then a else b
+let min_u a b = if Int64.unsigned_compare a b <= 0 then a else b

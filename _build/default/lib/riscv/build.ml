@@ -1,0 +1,144 @@
+(* Smart constructors for [Insn.t] values, used by the assembler, the
+   code generator and the tests.  Register arguments are [Reg.t] flat ids
+   (so FP registers can be passed directly); they are converted to the
+   raw 5-bit field values here. *)
+
+let ri r = if Reg.is_fp r then Reg.fp_index r else r
+
+let r3 op rd rs1 rs2 = Insn.make ~rd:(ri rd) ~rs1:(ri rs1) ~rs2:(ri rs2) op
+let r2 op rd rs1 = Insn.make ~rd:(ri rd) ~rs1:(ri rs1) op
+let i12 op rd rs1 imm = Insn.make ~rd:(ri rd) ~rs1:(ri rs1) ~imm:(Int64.of_int imm) op
+
+let add rd rs1 rs2 = r3 Op.ADD rd rs1 rs2
+let sub rd rs1 rs2 = r3 Op.SUB rd rs1 rs2
+let mul rd rs1 rs2 = r3 Op.MUL rd rs1 rs2
+let mulw rd rs1 rs2 = r3 Op.MULW rd rs1 rs2
+let div rd rs1 rs2 = r3 Op.DIV rd rs1 rs2
+let divu rd rs1 rs2 = r3 Op.DIVU rd rs1 rs2
+let rem rd rs1 rs2 = r3 Op.REM rd rs1 rs2
+let sll rd rs1 rs2 = r3 Op.SLL rd rs1 rs2
+let srl rd rs1 rs2 = r3 Op.SRL rd rs1 rs2
+let sra rd rs1 rs2 = r3 Op.SRA rd rs1 rs2
+let slt rd rs1 rs2 = r3 Op.SLT rd rs1 rs2
+let sltu rd rs1 rs2 = r3 Op.SLTU rd rs1 rs2
+let xor rd rs1 rs2 = r3 Op.XOR rd rs1 rs2
+let or_ rd rs1 rs2 = r3 Op.OR rd rs1 rs2
+let and_ rd rs1 rs2 = r3 Op.AND rd rs1 rs2
+let addw rd rs1 rs2 = r3 Op.ADDW rd rs1 rs2
+let subw rd rs1 rs2 = r3 Op.SUBW rd rs1 rs2
+
+let addi rd rs1 imm = i12 Op.ADDI rd rs1 imm
+let addiw rd rs1 imm = i12 Op.ADDIW rd rs1 imm
+let slti rd rs1 imm = i12 Op.SLTI rd rs1 imm
+let sltiu rd rs1 imm = i12 Op.SLTIU rd rs1 imm
+let xori rd rs1 imm = i12 Op.XORI rd rs1 imm
+let ori rd rs1 imm = i12 Op.ORI rd rs1 imm
+let andi rd rs1 imm = i12 Op.ANDI rd rs1 imm
+let slli rd rs1 sh = i12 Op.SLLI rd rs1 sh
+let srli rd rs1 sh = i12 Op.SRLI rd rs1 sh
+let srai rd rs1 sh = i12 Op.SRAI rd rs1 sh
+let slliw rd rs1 sh = i12 Op.SLLIW rd rs1 sh
+
+let lui rd imm20 =
+  (* [imm20] is the value to place in bits 31:12 *)
+  Insn.make ~rd:(ri rd)
+    ~imm:(Int64.of_int (Dyn_util.Bits.sign_extend (imm20 lsl 12) 32))
+    Op.LUI
+
+let auipc rd imm20 =
+  Insn.make ~rd:(ri rd)
+    ~imm:(Int64.of_int (Dyn_util.Bits.sign_extend (imm20 lsl 12) 32))
+    Op.AUIPC
+
+let jal rd off = Insn.make ~rd:(ri rd) ~imm:(Int64.of_int off) Op.JAL
+let jalr rd rs1 imm = i12 Op.JALR rd rs1 imm
+
+let beq rs1 rs2 off = Insn.make ~rs1:(ri rs1) ~rs2:(ri rs2) ~imm:(Int64.of_int off) Op.BEQ
+let bne rs1 rs2 off = Insn.make ~rs1:(ri rs1) ~rs2:(ri rs2) ~imm:(Int64.of_int off) Op.BNE
+let blt rs1 rs2 off = Insn.make ~rs1:(ri rs1) ~rs2:(ri rs2) ~imm:(Int64.of_int off) Op.BLT
+let bge rs1 rs2 off = Insn.make ~rs1:(ri rs1) ~rs2:(ri rs2) ~imm:(Int64.of_int off) Op.BGE
+let bltu rs1 rs2 off = Insn.make ~rs1:(ri rs1) ~rs2:(ri rs2) ~imm:(Int64.of_int off) Op.BLTU
+let bgeu rs1 rs2 off = Insn.make ~rs1:(ri rs1) ~rs2:(ri rs2) ~imm:(Int64.of_int off) Op.BGEU
+
+let load op rd off rs1 = Insn.make ~rd:(ri rd) ~rs1:(ri rs1) ~imm:(Int64.of_int off) op
+let store op rs2 off rs1 = Insn.make ~rs2:(ri rs2) ~rs1:(ri rs1) ~imm:(Int64.of_int off) op
+
+let lb rd off rs1 = load Op.LB rd off rs1
+let lbu rd off rs1 = load Op.LBU rd off rs1
+let lh rd off rs1 = load Op.LH rd off rs1
+let lw rd off rs1 = load Op.LW rd off rs1
+let lwu rd off rs1 = load Op.LWU rd off rs1
+let ld rd off rs1 = load Op.LD rd off rs1
+let sb rs2 off rs1 = store Op.SB rs2 off rs1
+let sh rs2 off rs1 = store Op.SH rs2 off rs1
+let sw rs2 off rs1 = store Op.SW rs2 off rs1
+let sd rs2 off rs1 = store Op.SD rs2 off rs1
+let fld frd off rs1 = load Op.FLD frd off rs1
+let fsd frs2 off rs1 = store Op.FSD frs2 off rs1
+let flw frd off rs1 = load Op.FLW frd off rs1
+let fsw frs2 off rs1 = store Op.FSW frs2 off rs1
+
+let fop op frd frs1 frs2 =
+  Insn.make ~rd:(ri frd) ~rs1:(ri frs1) ~rs2:(ri frs2) ~rm:7 op
+
+let fadd_d a b c = fop Op.FADD_D a b c
+let fsub_d a b c = fop Op.FSUB_D a b c
+let fmul_d a b c = fop Op.FMUL_D a b c
+let fdiv_d a b c = fop Op.FDIV_D a b c
+
+let fmadd_d frd frs1 frs2 frs3 =
+  Insn.make ~rd:(ri frd) ~rs1:(ri frs1) ~rs2:(ri frs2) ~rs3:(ri frs3) ~rm:7
+    Op.FMADD_D
+
+let fmv_d_x frd rs1 = r2 Op.FMV_D_X frd rs1
+let fmv_x_d rd frs1 = r2 Op.FMV_X_D rd frs1
+let fcvt_d_l frd rs1 = Insn.make ~rd:(ri frd) ~rs1:(ri rs1) ~rm:7 Op.FCVT_D_L
+let fcvt_l_d rd frs1 = Insn.make ~rd:(ri rd) ~rs1:(ri frs1) ~rm:1 Op.FCVT_L_D
+let feq_d rd frs1 frs2 = fop Op.FEQ_D rd frs1 frs2
+let flt_d rd frs1 frs2 = fop Op.FLT_D rd frs1 frs2
+let fle_d rd frs1 frs2 = fop Op.FLE_D rd frs1 frs2
+let fsgnj_d frd frs1 frs2 = Insn.make ~rd:(ri frd) ~rs1:(ri frs1) ~rs2:(ri frs2) Op.FSGNJ_D
+let fmv_d frd frs1 = fsgnj_d frd frs1 frs1
+
+(* Pseudo-instructions *)
+let nop = addi Reg.zero Reg.zero 0
+let mv rd rs = addi rd rs 0
+let neg rd rs = sub rd Reg.zero rs
+let not_ rd rs = xori rd rs (-1)
+let seqz rd rs = sltiu rd rs 1
+let snez rd rs = sltu rd Reg.zero rs
+let j off = jal Reg.zero off
+let jr rs = jalr Reg.zero rs 0
+let ret = jalr Reg.zero Reg.ra 0
+let call_reg rs = jalr Reg.ra rs 0
+let ecall = Insn.make Op.ECALL
+let ebreak = Insn.make Op.EBREAK
+let csrrs rd csr rs1 = Insn.make ~rd:(ri rd) ~rs1:(ri rs1) ~csr Op.CSRRS
+let rdcycle rd = csrrs rd 0xC00 Reg.zero
+let rdtime rd = csrrs rd 0xC01 Reg.zero
+let rdinstret rd = csrrs rd 0xC02 Reg.zero
+
+(* Materialize an arbitrary 64-bit constant into [rd].
+   Standard recursive lui/addiw + slli/addi expansion. *)
+let li rd (v : int64) =
+  let open Dyn_util in
+  let rec expand v =
+    if Bits.fits_signed v 12 then [ addi rd Reg.zero (Int64.to_int v) ]
+    else if Bits.fits_signed v 32 then begin
+      let lo = Bits.sign_extend (Int64.to_int (Int64.logand v 0xFFFL)) 12 in
+      let hi20 =
+        Int64.to_int (Int64.shift_right (Int64.sub v (Int64.of_int lo)) 12)
+        land 0xFFFFF
+      in
+      let lui_i = lui rd hi20 in
+      if lo = 0 then [ lui_i ] else [ lui_i; addiw rd rd lo ]
+    end
+    else begin
+      (* peel 12 low bits, shift, recurse on the high part *)
+      let lo = Bits.sign_extend (Int64.to_int (Int64.logand v 0xFFFL)) 12 in
+      let hi = Int64.shift_right (Int64.sub v (Int64.of_int lo)) 12 in
+      let rest = expand hi in
+      rest @ [ slli rd rd 12 ] @ if lo = 0 then [] else [ addi rd rd lo ]
+    end
+  in
+  expand v

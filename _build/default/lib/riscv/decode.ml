@@ -1,0 +1,306 @@
+(* RV64GC instruction decoder.
+
+   The 32-bit decoder is table-driven from [Op.table]: each encoding row
+   yields a (mask, bits) pair; rows are bucketed by the 7-bit major
+   opcode.  The 16-bit (C extension) decoder expands each compressed
+   instruction into its base equivalent with [len = 2], per paper §3.1.2. *)
+
+open Dyn_util
+
+let sx = Bits.sign_extend
+let ex = Bits.extract
+
+(* mask/match-bits pair for an encoding row. *)
+let mask_bits = function
+  | Op.R (opc, f3, f7) -> (0xFE00707F, (f7 lsl 25) lor (f3 lsl 12) lor opc)
+  | Op.R_rs2 (opc, f3, f7, rs2) ->
+      (0xFFF0707F, (f7 lsl 25) lor (rs2 lsl 20) lor (f3 lsl 12) lor opc)
+  | Op.R_rm (opc, f7) -> (0xFE00007F, (f7 lsl 25) lor opc)
+  | Op.R_rm_rs2 (opc, f7, rs2) ->
+      (0xFFF0007F, (f7 lsl 25) lor (rs2 lsl 20) lor opc)
+  | Op.R4 (opc, f2) -> (0x0600007F, (f2 lsl 25) lor opc)
+  | Op.A (f3, f5) -> (0xF800707F, (f5 lsl 27) lor (f3 lsl 12) lor 0x2F)
+  | Op.I (opc, f3) -> (0x0000707F, (f3 lsl 12) lor opc)
+  | Op.Sh (opc, f3, f6) -> (0xFC00707F, (f6 lsl 26) lor (f3 lsl 12) lor opc)
+  | Op.Sh5 (opc, f3, f7) -> (0xFE00707F, (f7 lsl 25) lor (f3 lsl 12) lor opc)
+  | Op.S (opc, f3) -> (0x0000707F, (f3 lsl 12) lor opc)
+  | Op.B f3 -> (0x0000707F, (f3 lsl 12) lor 0x63)
+  | Op.U opc -> (0x0000007F, opc)
+  | Op.J opc -> (0x0000007F, opc)
+  | Op.Fence -> (0x0000707F, 0x0F)
+  | Op.Fixed w -> (0xFFFFFFFF, w)
+  | Op.Csr f3 -> (0x0000707F, (f3 lsl 12) lor 0x73)
+  | Op.Csri f3 -> (0x0000707F, (f3 lsl 12) lor 0x73)
+
+(* Decode buckets: major opcode -> rows ordered most-specific first. *)
+let buckets =
+  let h = Hashtbl.create 64 in
+  let popcount x =
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    go x 0
+  in
+  let rows =
+    List.map
+      (fun (op, _, _, enc) ->
+        let mask, bits = mask_bits enc in
+        (mask, bits, op, enc))
+      Op.table
+  in
+  let rows =
+    List.sort
+      (fun (m1, _, _, _) (m2, _, _, _) -> compare (popcount m2) (popcount m1))
+      rows
+  in
+  List.iter
+    (fun ((_, bits, _, _) as row) ->
+      let opc = bits land 0x7F in
+      let cur = try Hashtbl.find h opc with Not_found -> [] in
+      Hashtbl.replace h opc (cur @ [ row ]))
+    rows;
+  h
+
+(* Field extraction for a matched row. *)
+let fill op enc w =
+  let rd = ex w 7 5 and rs1 = ex w 15 5 and rs2 = ex w 20 5 in
+  let i = Insn.make ~raw:w ~len:4 op in
+  match enc with
+  | Op.R _ -> { i with rd; rs1; rs2 }
+  | Op.R_rs2 _ -> { i with rd; rs1 }
+  | Op.R_rm _ -> { i with rd; rs1; rs2; rm = ex w 12 3 }
+  | Op.R_rm_rs2 _ -> { i with rd; rs1; rm = ex w 12 3 }
+  | Op.R4 _ -> { i with rd; rs1; rs2; rs3 = ex w 27 5; rm = ex w 12 3 }
+  | Op.A _ ->
+      { i with rd; rs1; rs2; aq = Bits.test_bit w 26; rl = Bits.test_bit w 25 }
+  | Op.I _ -> { i with rd; rs1; imm = Int64.of_int (sx (ex w 20 12) 12) }
+  | Op.Sh _ -> { i with rd; rs1; imm = Int64.of_int (ex w 20 6) }
+  | Op.Sh5 _ -> { i with rd; rs1; imm = Int64.of_int (ex w 20 5) }
+  | Op.S _ ->
+      let imm = sx ((ex w 25 7 lsl 5) lor ex w 7 5) 12 in
+      { i with rs1; rs2; imm = Int64.of_int imm }
+  | Op.B _ ->
+      let imm =
+        sx
+          ((ex w 31 1 lsl 12) lor (ex w 7 1 lsl 11) lor (ex w 25 6 lsl 5)
+          lor (ex w 8 4 lsl 1))
+          13
+      in
+      { i with rs1; rs2; imm = Int64.of_int imm }
+  | Op.U _ -> { i with rd; imm = Int64.of_int (sx (w land 0xFFFFF000) 32) }
+  | Op.J _ ->
+      let imm =
+        sx
+          ((ex w 31 1 lsl 20) lor (ex w 12 8 lsl 12) lor (ex w 20 1 lsl 11)
+          lor (ex w 21 10 lsl 1))
+          21
+      in
+      { i with rd; imm = Int64.of_int imm }
+  | Op.Fence -> { i with rd; rs1; imm = Int64.of_int (ex w 20 12) }
+  | Op.Fixed _ -> i
+  | Op.Csr _ -> { i with rd; rs1; csr = ex w 20 12 }
+  | Op.Csri _ -> { i with rd; rs1; csr = ex w 20 12 (* rs1 is zimm *) }
+
+let decode_word w =
+  let w = w land 0xFFFFFFFF in
+  let opc = w land 0x7F in
+  match Hashtbl.find_opt buckets opc with
+  | None -> None
+  | Some rows ->
+      let rec try_rows = function
+        | [] -> None
+        | (mask, bits, op, enc) :: rest ->
+            if w land mask = bits then Some (fill op enc w) else try_rows rest
+      in
+      try_rows rows
+
+(* --- Compressed (RVC, RV64) decoder ----------------------------------- *)
+
+(* rd'/rs' 3-bit register fields map to x8..x15 / f8..f15. *)
+let cr r3 = r3 + 8
+
+let c_insn ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(imm = 0L) ~raw op =
+  Insn.make ~rd ~rs1 ~rs2 ~imm ~len:2 ~raw op
+
+let decode_compressed w =
+  let w = w land 0xFFFF in
+  if w = 0 then None (* defined illegal instruction *)
+  else
+    let quad = w land 0x3 and f3 = ex w 13 3 in
+    let bit b = ex w b 1 in
+    match (quad, f3) with
+    | 0, 0 ->
+        (* c.addi4spn: addi rd', x2, nzuimm *)
+        let imm =
+          (ex w 7 4 lsl 6) lor (ex w 11 2 lsl 4) lor (bit 5 lsl 3)
+          lor (bit 6 lsl 2)
+        in
+        if imm = 0 then None
+        else
+          Some (c_insn ~rd:(cr (ex w 2 3)) ~rs1:2 ~imm:(Int64.of_int imm) ~raw:w Op.ADDI)
+    | 0, 1 ->
+        (* c.fld *)
+        let imm = (ex w 10 3 lsl 3) lor (ex w 5 2 lsl 6) in
+        Some (c_insn ~rd:(cr (ex w 2 3)) ~rs1:(cr (ex w 7 3)) ~imm:(Int64.of_int imm) ~raw:w Op.FLD)
+    | 0, 2 ->
+        (* c.lw *)
+        let imm = (ex w 10 3 lsl 3) lor (bit 6 lsl 2) lor (bit 5 lsl 6) in
+        Some (c_insn ~rd:(cr (ex w 2 3)) ~rs1:(cr (ex w 7 3)) ~imm:(Int64.of_int imm) ~raw:w Op.LW)
+    | 0, 3 ->
+        (* c.ld (RV64) *)
+        let imm = (ex w 10 3 lsl 3) lor (ex w 5 2 lsl 6) in
+        Some (c_insn ~rd:(cr (ex w 2 3)) ~rs1:(cr (ex w 7 3)) ~imm:(Int64.of_int imm) ~raw:w Op.LD)
+    | 0, 5 ->
+        (* c.fsd *)
+        let imm = (ex w 10 3 lsl 3) lor (ex w 5 2 lsl 6) in
+        Some (c_insn ~rs1:(cr (ex w 7 3)) ~rs2:(cr (ex w 2 3)) ~imm:(Int64.of_int imm) ~raw:w Op.FSD)
+    | 0, 6 ->
+        (* c.sw *)
+        let imm = (ex w 10 3 lsl 3) lor (bit 6 lsl 2) lor (bit 5 lsl 6) in
+        Some (c_insn ~rs1:(cr (ex w 7 3)) ~rs2:(cr (ex w 2 3)) ~imm:(Int64.of_int imm) ~raw:w Op.SW)
+    | 0, 7 ->
+        (* c.sd *)
+        let imm = (ex w 10 3 lsl 3) lor (ex w 5 2 lsl 6) in
+        Some (c_insn ~rs1:(cr (ex w 7 3)) ~rs2:(cr (ex w 2 3)) ~imm:(Int64.of_int imm) ~raw:w Op.SD)
+    | 1, 0 ->
+        (* c.addi / c.nop *)
+        let rd = ex w 7 5 in
+        let imm = sx ((bit 12 lsl 5) lor ex w 2 5) 6 in
+        Some (c_insn ~rd ~rs1:rd ~imm:(Int64.of_int imm) ~raw:w Op.ADDI)
+    | 1, 1 ->
+        (* c.addiw (RV64) *)
+        let rd = ex w 7 5 in
+        if rd = 0 then None
+        else
+          let imm = sx ((bit 12 lsl 5) lor ex w 2 5) 6 in
+          Some (c_insn ~rd ~rs1:rd ~imm:(Int64.of_int imm) ~raw:w Op.ADDIW)
+    | 1, 2 ->
+        (* c.li: addi rd, x0, imm *)
+        let rd = ex w 7 5 in
+        let imm = sx ((bit 12 lsl 5) lor ex w 2 5) 6 in
+        Some (c_insn ~rd ~rs1:0 ~imm:(Int64.of_int imm) ~raw:w Op.ADDI)
+    | 1, 3 ->
+        let rd = ex w 7 5 in
+        if rd = 2 then begin
+          (* c.addi16sp *)
+          let imm =
+            sx
+              ((bit 12 lsl 9) lor (bit 6 lsl 4) lor (bit 5 lsl 6)
+              lor (ex w 3 2 lsl 7) lor (bit 2 lsl 5))
+              10
+          in
+          if imm = 0 then None
+          else Some (c_insn ~rd:2 ~rs1:2 ~imm:(Int64.of_int imm) ~raw:w Op.ADDI)
+        end
+        else begin
+          (* c.lui *)
+          let imm = sx ((bit 12 lsl 17) lor (ex w 2 5 lsl 12)) 18 in
+          if imm = 0 || rd = 0 then None
+          else Some (c_insn ~rd ~imm:(Int64.of_int imm) ~raw:w Op.LUI)
+        end
+    | 1, 4 -> (
+        let rs1 = cr (ex w 7 3) in
+        match ex w 10 2 with
+        | 0 ->
+            let sh = (bit 12 lsl 5) lor ex w 2 5 in
+            Some (c_insn ~rd:rs1 ~rs1 ~imm:(Int64.of_int sh) ~raw:w Op.SRLI)
+        | 1 ->
+            let sh = (bit 12 lsl 5) lor ex w 2 5 in
+            Some (c_insn ~rd:rs1 ~rs1 ~imm:(Int64.of_int sh) ~raw:w Op.SRAI)
+        | 2 ->
+            let imm = sx ((bit 12 lsl 5) lor ex w 2 5) 6 in
+            Some (c_insn ~rd:rs1 ~rs1 ~imm:(Int64.of_int imm) ~raw:w Op.ANDI)
+        | _ -> (
+            let rs2 = cr (ex w 2 3) in
+            match (bit 12, ex w 5 2) with
+            | 0, 0 -> Some (c_insn ~rd:rs1 ~rs1 ~rs2 ~raw:w Op.SUB)
+            | 0, 1 -> Some (c_insn ~rd:rs1 ~rs1 ~rs2 ~raw:w Op.XOR)
+            | 0, 2 -> Some (c_insn ~rd:rs1 ~rs1 ~rs2 ~raw:w Op.OR)
+            | 0, 3 -> Some (c_insn ~rd:rs1 ~rs1 ~rs2 ~raw:w Op.AND)
+            | 1, 0 -> Some (c_insn ~rd:rs1 ~rs1 ~rs2 ~raw:w Op.SUBW)
+            | 1, 1 -> Some (c_insn ~rd:rs1 ~rs1 ~rs2 ~raw:w Op.ADDW)
+            | _ -> None))
+    | 1, 5 ->
+        (* c.j: jal x0, imm *)
+        let imm =
+          sx
+            ((bit 12 lsl 11) lor (bit 11 lsl 4) lor (ex w 9 2 lsl 8)
+            lor (bit 8 lsl 10) lor (bit 7 lsl 6) lor (bit 6 lsl 7)
+            lor (ex w 3 3 lsl 1) lor (bit 2 lsl 5))
+            12
+        in
+        Some (c_insn ~rd:0 ~imm:(Int64.of_int imm) ~raw:w Op.JAL)
+    | 1, 6 | 1, 7 ->
+        (* c.beqz / c.bnez *)
+        let imm =
+          sx
+            ((bit 12 lsl 8) lor (ex w 10 2 lsl 3) lor (ex w 5 2 lsl 6)
+            lor (ex w 3 2 lsl 1) lor (bit 2 lsl 5))
+            9
+        in
+        let op = if f3 = 6 then Op.BEQ else Op.BNE in
+        Some (c_insn ~rs1:(cr (ex w 7 3)) ~rs2:0 ~imm:(Int64.of_int imm) ~raw:w op)
+    | 2, 0 ->
+        (* c.slli *)
+        let rd = ex w 7 5 in
+        let sh = (bit 12 lsl 5) lor ex w 2 5 in
+        if rd = 0 then None
+        else Some (c_insn ~rd ~rs1:rd ~imm:(Int64.of_int sh) ~raw:w Op.SLLI)
+    | 2, 1 ->
+        (* c.fldsp *)
+        let rd = ex w 7 5 in
+        let imm = (bit 12 lsl 5) lor (ex w 5 2 lsl 3) lor (ex w 2 3 lsl 6) in
+        Some (c_insn ~rd ~rs1:2 ~imm:(Int64.of_int imm) ~raw:w Op.FLD)
+    | 2, 2 ->
+        (* c.lwsp *)
+        let rd = ex w 7 5 in
+        if rd = 0 then None
+        else
+          let imm = (bit 12 lsl 5) lor (ex w 4 3 lsl 2) lor (ex w 2 2 lsl 6) in
+          Some (c_insn ~rd ~rs1:2 ~imm:(Int64.of_int imm) ~raw:w Op.LW)
+    | 2, 3 ->
+        (* c.ldsp *)
+        let rd = ex w 7 5 in
+        if rd = 0 then None
+        else
+          let imm = (bit 12 lsl 5) lor (ex w 5 2 lsl 3) lor (ex w 2 3 lsl 6) in
+          Some (c_insn ~rd ~rs1:2 ~imm:(Int64.of_int imm) ~raw:w Op.LD)
+    | 2, 4 -> (
+        let rs1 = ex w 7 5 and rs2 = ex w 2 5 in
+        match (bit 12, rs1, rs2) with
+        | 0, 0, _ -> None
+        | 0, _, 0 -> Some (c_insn ~rd:0 ~rs1 ~raw:w Op.JALR) (* c.jr *)
+        | 0, _, _ -> Some (c_insn ~rd:rs1 ~rs1:0 ~rs2 ~raw:w Op.ADD) (* c.mv *)
+        | 1, 0, 0 -> Some (c_insn ~raw:w Op.EBREAK)
+        | 1, _, 0 -> Some (c_insn ~rd:1 ~rs1 ~raw:w Op.JALR) (* c.jalr *)
+        | 1, _, _ -> Some (c_insn ~rd:rs1 ~rs1 ~rs2 ~raw:w Op.ADD) (* c.add *)
+        | _ -> None)
+    | 2, 5 ->
+        (* c.fsdsp *)
+        let imm = (ex w 10 3 lsl 3) lor (ex w 7 3 lsl 6) in
+        Some (c_insn ~rs1:2 ~rs2:(ex w 2 5) ~imm:(Int64.of_int imm) ~raw:w Op.FSD)
+    | 2, 6 ->
+        (* c.swsp *)
+        let imm = (ex w 9 4 lsl 2) lor (ex w 7 2 lsl 6) in
+        Some (c_insn ~rs1:2 ~rs2:(ex w 2 5) ~imm:(Int64.of_int imm) ~raw:w Op.SW)
+    | 2, 7 ->
+        (* c.sdsp *)
+        let imm = (ex w 10 3 lsl 3) lor (ex w 7 3 lsl 6) in
+        Some (c_insn ~rs1:2 ~rs2:(ex w 2 5) ~imm:(Int64.of_int imm) ~raw:w Op.SD)
+    | _ -> None
+
+(* Instruction length from the first half-word: 32-bit iff low 2 bits are
+   both set (longer encodings are out of scope for RV64GC). *)
+let length_of_halfword hw = if hw land 0x3 = 0x3 then 4 else 2
+
+(* Decode from a byte sequence at [pos].  Returns [None] on undecodable
+   bytes or truncation. *)
+let decode ?(pos = 0) (b : Bytes.t) =
+  if pos + 2 > Bytes.length b then None
+  else
+    let hw = Bytes.get_uint16_le b pos in
+    if length_of_halfword hw = 2 then decode_compressed hw
+    else if pos + 4 > Bytes.length b then None
+    else
+      let w =
+        hw lor (Bytes.get_uint16_le b (pos + 2) lsl 16)
+      in
+      decode_word w

@@ -1,0 +1,283 @@
+(* RV64GC instruction encoder: the inverse of [Decode].
+
+   [encode_word] produces the canonical 32-bit encoding; [compress]
+   produces the 16-bit RVC encoding when one exists (CodeGenAPI uses it
+   for space-efficient instrumentation jumps, paper §3.1.2). *)
+
+open Dyn_util
+
+exception Encode_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encode_error s)) fmt
+
+let check_reg name r =
+  if r < 0 || r > 31 then fail "%s: register index %d out of range" name r
+
+let check_simm i op len =
+  if not (Bits.fits_signed i len) then
+    fail "%s: immediate %Ld does not fit in %d bits" (Op.mnemonic op) i len
+
+let encode_word (i : Insn.t) =
+  check_reg "rd" i.rd;
+  check_reg "rs1" i.rs1;
+  check_reg "rs2" i.rs2;
+  check_reg "rs3" i.rs3;
+  let imm = Int64.to_int i.imm in
+  match Op.encoding i.op with
+  | Op.R (opc, f3, f7) ->
+      opc lor (i.rd lsl 7) lor (f3 lsl 12) lor (i.rs1 lsl 15)
+      lor (i.rs2 lsl 20) lor (f7 lsl 25)
+  | Op.R_rs2 (opc, f3, f7, rs2) ->
+      opc lor (i.rd lsl 7) lor (f3 lsl 12) lor (i.rs1 lsl 15) lor (rs2 lsl 20)
+      lor (f7 lsl 25)
+  | Op.R_rm (opc, f7) ->
+      opc lor (i.rd lsl 7) lor (i.rm lsl 12) lor (i.rs1 lsl 15)
+      lor (i.rs2 lsl 20) lor (f7 lsl 25)
+  | Op.R_rm_rs2 (opc, f7, rs2) ->
+      opc lor (i.rd lsl 7) lor (i.rm lsl 12) lor (i.rs1 lsl 15) lor (rs2 lsl 20)
+      lor (f7 lsl 25)
+  | Op.R4 (opc, f2) ->
+      opc lor (i.rd lsl 7) lor (i.rm lsl 12) lor (i.rs1 lsl 15)
+      lor (i.rs2 lsl 20) lor (f2 lsl 25) lor (i.rs3 lsl 27)
+  | Op.A (f3, f5) ->
+      0x2F lor (i.rd lsl 7) lor (f3 lsl 12) lor (i.rs1 lsl 15)
+      lor (i.rs2 lsl 20)
+      lor ((if i.rl then 1 else 0) lsl 25)
+      lor ((if i.aq then 1 else 0) lsl 26)
+      lor (f5 lsl 27)
+  | Op.I (opc, f3) ->
+      check_simm i.imm i.op 12;
+      opc lor (i.rd lsl 7) lor (f3 lsl 12) lor (i.rs1 lsl 15)
+      lor ((imm land 0xFFF) lsl 20)
+  | Op.Sh (opc, f3, f6) ->
+      if imm < 0 || imm > 63 then fail "%s: shamt %d" (Op.mnemonic i.op) imm;
+      opc lor (i.rd lsl 7) lor (f3 lsl 12) lor (i.rs1 lsl 15) lor (imm lsl 20)
+      lor (f6 lsl 26)
+  | Op.Sh5 (opc, f3, f7) ->
+      if imm < 0 || imm > 31 then fail "%s: shamt %d" (Op.mnemonic i.op) imm;
+      opc lor (i.rd lsl 7) lor (f3 lsl 12) lor (i.rs1 lsl 15) lor (imm lsl 20)
+      lor (f7 lsl 25)
+  | Op.S (opc, f3) ->
+      check_simm i.imm i.op 12;
+      opc
+      lor ((imm land 0x1F) lsl 7)
+      lor (f3 lsl 12) lor (i.rs1 lsl 15) lor (i.rs2 lsl 20)
+      lor (((imm lsr 5) land 0x7F) lsl 25)
+  | Op.B f3 ->
+      check_simm i.imm i.op 13;
+      if imm land 1 <> 0 then fail "%s: odd branch offset" (Op.mnemonic i.op);
+      0x63
+      lor (Bits.extract imm 11 1 lsl 7)
+      lor (Bits.extract imm 1 4 lsl 8)
+      lor (f3 lsl 12) lor (i.rs1 lsl 15) lor (i.rs2 lsl 20)
+      lor (Bits.extract imm 5 6 lsl 25)
+      lor (Bits.extract imm 12 1 lsl 31)
+  | Op.U opc ->
+      (* imm carries the full sign-extended value with low 12 bits zero *)
+      if imm land 0xFFF <> 0 then fail "%s: low bits set" (Op.mnemonic i.op);
+      check_simm i.imm i.op 32;
+      opc lor (i.rd lsl 7) lor ((imm land 0xFFFFF000) land 0xFFFFFFFF)
+  | Op.J opc ->
+      check_simm i.imm i.op 21;
+      if imm land 1 <> 0 then fail "%s: odd jump offset" (Op.mnemonic i.op);
+      opc lor (i.rd lsl 7)
+      lor (Bits.extract imm 12 8 lsl 12)
+      lor (Bits.extract imm 11 1 lsl 20)
+      lor (Bits.extract imm 1 10 lsl 21)
+      lor (Bits.extract imm 20 1 lsl 31)
+  | Op.Fence -> 0x0F lor ((imm land 0xFFF) lsl 20)
+  | Op.Fixed w -> w
+  | Op.Csr f3 ->
+      0x73 lor (i.rd lsl 7) lor (f3 lsl 12) lor (i.rs1 lsl 15)
+      lor ((i.csr land 0xFFF) lsl 20)
+  | Op.Csri f3 ->
+      0x73 lor (i.rd lsl 7) lor (f3 lsl 12) lor (i.rs1 lsl 15)
+      lor ((i.csr land 0xFFF) lsl 20)
+
+(* --- RVC compression --------------------------------------------------- *)
+
+let is_c_reg r = r >= 8 && r <= 15
+let c3 r = (r - 8) land 0x7
+let bitsel v src dst = ((v lsr src) land 1) lsl dst
+
+(* 16-bit RVC encoding of [i], if one exists. *)
+let compress (i : Insn.t) =
+  let imm = Int64.to_int i.imm in
+  let fits n = Bits.fits_signed_int imm n in
+  match i.op with
+  | Op.JAL when i.rd = 0 && fits 12 && imm land 1 = 0 ->
+      (* c.j *)
+      let f =
+        bitsel imm 11 12 lor bitsel imm 4 11 lor bitsel imm 9 10
+        lor bitsel imm 8 9 lor bitsel imm 10 8 lor bitsel imm 6 7
+        lor bitsel imm 7 6 lor bitsel imm 3 5 lor bitsel imm 2 4
+        lor bitsel imm 1 3 lor bitsel imm 5 2
+      in
+      Some (0x1 lor (5 lsl 13) lor f)
+  | Op.JALR when i.imm = 0L && i.rs1 <> 0 && i.rd = 0 ->
+      Some (0x2 lor (4 lsl 13) lor (i.rs1 lsl 7)) (* c.jr *)
+  | Op.JALR when i.imm = 0L && i.rs1 <> 0 && i.rd = 1 ->
+      Some (0x2 lor (4 lsl 13) lor (1 lsl 12) lor (i.rs1 lsl 7)) (* c.jalr *)
+  | Op.ADD when i.rd <> 0 && i.rs1 = 0 && i.rs2 <> 0 ->
+      Some (0x2 lor (4 lsl 13) lor (i.rd lsl 7) lor (i.rs2 lsl 2)) (* c.mv *)
+  | Op.ADD when i.rd <> 0 && i.rd = i.rs1 && i.rs2 <> 0 ->
+      Some (0x2 lor (4 lsl 13) lor (1 lsl 12) lor (i.rd lsl 7) lor (i.rs2 lsl 2))
+  | Op.ADDI when i.rd <> 0 && i.rs1 = 0 && fits 6 ->
+      (* c.li *)
+      Some
+        (0x1 lor (2 lsl 13) lor (bitsel imm 5 12) lor (i.rd lsl 7)
+        lor ((imm land 0x1F) lsl 2))
+  | Op.ADDI when i.rd = 2 && i.rs1 = 2 && imm <> 0 && imm land 0xF = 0 && fits 10 ->
+      (* c.addi16sp *)
+      let f =
+        bitsel imm 9 12 lor bitsel imm 4 6 lor bitsel imm 6 5
+        lor bitsel imm 8 4 lor bitsel imm 7 3 lor bitsel imm 5 2
+      in
+      Some (0x1 lor (3 lsl 13) lor (2 lsl 7) lor f)
+  | Op.ADDI
+    when is_c_reg i.rd && i.rs1 = 2 && imm > 0 && imm land 0x3 = 0 && imm < 1024 ->
+      (* c.addi4spn *)
+      let f =
+        bitsel imm 5 12 lor bitsel imm 4 11 lor bitsel imm 9 10
+        lor bitsel imm 8 9 lor bitsel imm 7 8 lor bitsel imm 6 7
+        lor bitsel imm 2 6 lor bitsel imm 3 5
+      in
+      Some ((c3 i.rd lsl 2) lor f)
+  | Op.ADDI when i.rd <> 0 && i.rd = i.rs1 && imm <> 0 && fits 6 ->
+      (* c.addi *)
+      Some
+        (0x1 lor (bitsel imm 5 12) lor (i.rd lsl 7) lor ((imm land 0x1F) lsl 2))
+  | Op.ADDIW when i.rd <> 0 && i.rd = i.rs1 && fits 6 ->
+      Some
+        (0x1 lor (1 lsl 13) lor (bitsel imm 5 12) lor (i.rd lsl 7)
+        lor ((imm land 0x1F) lsl 2))
+  | Op.LUI
+    when i.rd <> 0 && i.rd <> 2 && imm <> 0
+         && Bits.fits_signed_int (imm asr 12) 6 && imm land 0xFFF = 0 ->
+      let hi = imm asr 12 in
+      Some
+        (0x1 lor (3 lsl 13) lor (bitsel hi 5 12) lor (i.rd lsl 7)
+        lor ((hi land 0x1F) lsl 2))
+  | Op.SLLI when i.rd <> 0 && i.rd = i.rs1 && imm > 0 && imm < 64 ->
+      Some (0x2 lor (bitsel imm 5 12) lor (i.rd lsl 7) lor ((imm land 0x1F) lsl 2))
+  | Op.SRLI when is_c_reg i.rd && i.rd = i.rs1 && imm > 0 && imm < 64 ->
+      Some
+        (0x1 lor (4 lsl 13) lor (bitsel imm 5 12) lor (c3 i.rd lsl 7)
+        lor ((imm land 0x1F) lsl 2))
+  | Op.SRAI when is_c_reg i.rd && i.rd = i.rs1 && imm > 0 && imm < 64 ->
+      Some
+        (0x1 lor (4 lsl 13) lor (bitsel imm 5 12) lor (1 lsl 10)
+        lor (c3 i.rd lsl 7) lor ((imm land 0x1F) lsl 2))
+  | Op.ANDI when is_c_reg i.rd && i.rd = i.rs1 && fits 6 ->
+      Some
+        (0x1 lor (4 lsl 13) lor (bitsel imm 5 12) lor (2 lsl 10)
+        lor (c3 i.rd lsl 7) lor ((imm land 0x1F) lsl 2))
+  | (Op.SUB | Op.XOR | Op.OR | Op.AND | Op.SUBW | Op.ADDW)
+    when is_c_reg i.rd && i.rd = i.rs1 && is_c_reg i.rs2 ->
+      let hi, lo =
+        match i.op with
+        | Op.SUB -> (0, 0)
+        | Op.XOR -> (0, 1)
+        | Op.OR -> (0, 2)
+        | Op.AND -> (0, 3)
+        | Op.SUBW -> (1, 0)
+        | _ -> (1, 1)
+      in
+      Some
+        (0x1 lor (4 lsl 13) lor (hi lsl 12) lor (3 lsl 10) lor (c3 i.rd lsl 7)
+        lor (lo lsl 5) lor (c3 i.rs2 lsl 2))
+  | (Op.BEQ | Op.BNE)
+    when i.rs2 = 0 && is_c_reg i.rs1 && fits 9 && imm land 1 = 0 ->
+      let f3 = if i.op = Op.BEQ then 6 else 7 in
+      let f =
+        bitsel imm 8 12 lor bitsel imm 4 11 lor bitsel imm 3 10
+        lor bitsel imm 7 6 lor bitsel imm 6 5 lor bitsel imm 2 4
+        lor bitsel imm 1 3 lor bitsel imm 5 2
+      in
+      Some (0x1 lor (f3 lsl 13) lor (c3 i.rs1 lsl 7) lor f)
+  | (Op.LW | Op.LD | Op.FLD)
+    when is_c_reg i.rd && is_c_reg i.rs1 && imm >= 0 ->
+      let f3, ok =
+        match i.op with
+        | Op.LW -> (2, imm land 0x3 = 0 && imm < 128)
+        | Op.LD -> (3, imm land 0x7 = 0 && imm < 256)
+        | _ -> (1, imm land 0x7 = 0 && imm < 256)
+      in
+      if not ok then None
+      else
+        let f =
+          if i.op = Op.LW then
+            (Bits.extract imm 3 3 lsl 10) lor bitsel imm 2 6 lor bitsel imm 6 5
+          else (Bits.extract imm 3 3 lsl 10) lor (Bits.extract imm 6 2 lsl 5)
+        in
+        Some ((f3 lsl 13) lor (c3 i.rs1 lsl 7) lor (c3 i.rd lsl 2) lor f)
+  | (Op.SW | Op.SD | Op.FSD)
+    when is_c_reg i.rs2 && is_c_reg i.rs1 && imm >= 0 ->
+      let f3, ok =
+        match i.op with
+        | Op.SW -> (6, imm land 0x3 = 0 && imm < 128)
+        | Op.SD -> (7, imm land 0x7 = 0 && imm < 256)
+        | _ -> (5, imm land 0x7 = 0 && imm < 256)
+      in
+      if not ok then None
+      else
+        let f =
+          if i.op = Op.SW then
+            (Bits.extract imm 3 3 lsl 10) lor bitsel imm 2 6 lor bitsel imm 6 5
+          else (Bits.extract imm 3 3 lsl 10) lor (Bits.extract imm 6 2 lsl 5)
+        in
+        Some ((f3 lsl 13) lor (c3 i.rs1 lsl 7) lor (c3 i.rs2 lsl 2) lor f)
+  | (Op.LW | Op.LD | Op.FLD) when i.rs1 = 2 && imm >= 0 ->
+      (* sp-relative loads; c.lwsp/c.ldsp need rd <> 0 *)
+      let f3, ok =
+        match i.op with
+        | Op.LW -> (2, i.rd <> 0 && imm land 0x3 = 0 && imm < 256)
+        | Op.LD -> (3, i.rd <> 0 && imm land 0x7 = 0 && imm < 512)
+        | _ -> (1, imm land 0x7 = 0 && imm < 512)
+      in
+      if not ok then None
+      else
+        let f =
+          if i.op = Op.LW then
+            bitsel imm 5 12 lor (Bits.extract imm 2 3 lsl 4)
+            lor (Bits.extract imm 6 2 lsl 2)
+          else
+            bitsel imm 5 12 lor (Bits.extract imm 3 2 lsl 5)
+            lor (Bits.extract imm 6 3 lsl 2)
+        in
+        Some (0x2 lor (f3 lsl 13) lor (i.rd lsl 7) lor f)
+  | (Op.SW | Op.SD | Op.FSD) when i.rs1 = 2 && imm >= 0 ->
+      let f3, ok =
+        match i.op with
+        | Op.SW -> (6, imm land 0x3 = 0 && imm < 256)
+        | Op.SD -> (7, imm land 0x7 = 0 && imm < 512)
+        | _ -> (5, imm land 0x7 = 0 && imm < 512)
+      in
+      if not ok then None
+      else
+        let f =
+          if i.op = Op.SW then
+            (Bits.extract imm 2 4 lsl 9) lor (Bits.extract imm 6 2 lsl 7)
+          else (Bits.extract imm 3 3 lsl 10) lor (Bits.extract imm 6 3 lsl 7)
+        in
+        Some (0x2 lor (f3 lsl 13) lor (i.rs2 lsl 2) lor f)
+  | Op.EBREAK -> Some (0x2 lor (4 lsl 13) lor (1 lsl 12))
+  | _ -> None
+
+(* Encode [i] to bytes.  With [~try_compress:true], emit the RVC form when
+   one exists (requires the C extension in the target profile). *)
+let encode ?(try_compress = false) (i : Insn.t) =
+  match if try_compress then compress i else None with
+  | Some hw ->
+      let b = Bytes.create 2 in
+      Bytes.set_uint16_le b 0 hw;
+      b
+  | None ->
+      let w = encode_word i in
+      let b = Bytes.create 4 in
+      Bytes.set_uint16_le b 0 (w land 0xFFFF);
+      Bytes.set_uint16_le b 2 ((w lsr 16) land 0xFFFF);
+      b
+
+let append_insn buf ?try_compress i =
+  Buffer.add_bytes buf (encode ?try_compress i)

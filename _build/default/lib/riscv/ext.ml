@@ -1,0 +1,157 @@
+(* The RISC-V extension model (paper §3.1.1).
+
+   A binary is compiled against a set of extensions; Dyninst must not
+   generate instrumentation using instructions from extensions the
+   mutatee's processor may lack.  A [profile] is the set of extensions a
+   processor implements; SymtabAPI discovers the mutatee's profile from
+   .riscv.attributes or e_flags, and CodeGenAPI consults it. *)
+
+type t =
+  | I        (* base integer *)
+  | M        (* integer multiply/divide *)
+  | A        (* atomics *)
+  | F        (* single-precision floating point *)
+  | D        (* double-precision floating point *)
+  | C        (* compressed instructions *)
+  | Zicsr    (* CSR instructions *)
+  | Zifencei (* instruction-fetch fence *)
+  | Zba      (* address generation (future-work placeholder) *)
+  | Zbb      (* basic bit manipulation (future-work placeholder) *)
+  | V        (* vector (RVA23 future work, not yet generated) *)
+  | Zicond   (* integer conditional (RVA23 future work) *)
+
+let all = [ I; M; A; F; D; C; Zicsr; Zifencei; Zba; Zbb; V; Zicond ]
+
+let name = function
+  | I -> "i"
+  | M -> "m"
+  | A -> "a"
+  | F -> "f"
+  | D -> "d"
+  | C -> "c"
+  | Zicsr -> "zicsr"
+  | Zifencei -> "zifencei"
+  | Zba -> "zba"
+  | Zbb -> "zbb"
+  | V -> "v"
+  | Zicond -> "zicond"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "i" -> Some I
+  | "m" -> Some M
+  | "a" -> Some A
+  | "f" -> Some F
+  | "d" -> Some D
+  | "c" -> Some C
+  | "g" -> None (* G is a shorthand handled by [parse_arch_string] *)
+  | "zicsr" -> Some Zicsr
+  | "zifencei" -> Some Zifencei
+  | "zba" -> Some Zba
+  | "zbb" -> Some Zbb
+  | "v" -> Some V
+  | "zicond" -> Some Zicond
+  | _ -> None
+
+module Set = struct
+  include Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+end
+
+type profile = { xlen : int; exts : Set.t }
+
+let g_exts = [ I; M; A; F; D; Zicsr; Zifencei ]
+let rv64g = { xlen = 64; exts = Set.of_list g_exts }
+let rv64gc = { xlen = 64; exts = Set.of_list (C :: g_exts) }
+let rv64i = { xlen = 64; exts = Set.singleton I }
+
+(* The RVA23 application profile adds (among much else) vector and
+   integer-conditional extensions; modelled here for future-work tests. *)
+let rva23 = { xlen = 64; exts = Set.of_list (C :: V :: Zicond :: Zba :: Zbb :: g_exts) }
+
+let supports p e = Set.mem e p.exts
+let equal_profile a b = a.xlen = b.xlen && Set.equal a.exts b.exts
+let with_ext p e = { p with exts = Set.add e p.exts }
+let without_ext p e = { p with exts = Set.remove e p.exts }
+
+(* Parse an ISA string of the form "rv64imafdc_zicsr_zifencei" as found in
+   the Tag_RISCV_arch attribute of .riscv.attributes.  Version suffixes
+   like "2p1" are accepted and ignored.  Unknown multi-letter extensions
+   are skipped (the binary may use extensions newer than this tool). *)
+let parse_arch_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let fail msg = Error (Printf.sprintf "bad arch string %S: %s" s msg) in
+  if String.length s < 4 then fail "too short"
+  else if not (String.length s >= 2 && String.sub s 0 2 = "rv") then
+    fail "must start with rv"
+  else
+    let xlen_digits =
+      let rec go i = if i < String.length s && s.[i] >= '0' && s.[i] <= '9' then go (i + 1) else i in
+      go 2
+    in
+    match int_of_string_opt (String.sub s 2 (xlen_digits - 2)) with
+    | None -> fail "missing XLEN"
+    | Some xlen when xlen <> 32 && xlen <> 64 -> fail "unsupported XLEN"
+    | Some xlen ->
+        (* strip a version like 2p1 directly following a letter *)
+        let skip_version i =
+          let n = String.length s in
+          let rec digits i = if i < n && s.[i] >= '0' && s.[i] <= '9' then digits (i + 1) else i in
+          let j = digits i in
+          if j < n && s.[j] = 'p' then digits (j + 1) else j
+        in
+        let exts = ref Set.empty in
+        let add e = exts := Set.add e !exts in
+        let n = String.length s in
+        let rec go i =
+          if i >= n then Ok { xlen; exts = !exts }
+          else if s.[i] = '_' then go (i + 1)
+          else if s.[i] = 'z' || s.[i] = 's' || s.[i] = 'x' then begin
+            (* multi-letter extension: runs to the next '_' or end *)
+            let j =
+              match String.index_from_opt s i '_' with Some j -> j | None -> n
+            in
+            (* trim a trailing version *)
+            let word = String.sub s i (j - i) in
+            let word =
+              let k = ref (String.length word) in
+              while
+                !k > 0
+                && (word.[!k - 1] >= '0' && word.[!k - 1] <= '9' || word.[!k - 1] = 'p')
+              do
+                decr k
+              done;
+              String.sub word 0 !k
+            in
+            (match of_name word with Some e -> add e | None -> ());
+            go j
+          end
+          else begin
+            (match s.[i] with
+            | 'g' -> List.iter add g_exts
+            | c -> (
+                match of_name (String.make 1 c) with
+                | Some e -> add e
+                | None -> () (* unknown single-letter ext: skip *)));
+            go (skip_version (i + 1))
+          end
+        in
+        go xlen_digits
+
+(* Canonical printing, e.g. "rv64imafdc_zicsr_zifencei". *)
+let arch_string p =
+  let single, multi =
+    List.partition (fun e -> String.length (name e) = 1) (Set.elements p.exts)
+  in
+  let order = [ I; M; A; F; D; C; V ] in
+  let singles =
+    List.filter (fun e -> List.mem e single) order
+    |> List.map name |> String.concat ""
+  in
+  let multis = List.map name multi in
+  String.concat "_" ((Printf.sprintf "rv%d%s" p.xlen singles) :: multis)
+
+let pp_profile fmt p = Format.pp_print_string fmt (arch_string p)

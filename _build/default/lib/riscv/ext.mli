@@ -1,0 +1,61 @@
+(** The RISC-V extension model (paper §3.1.1).
+
+    RISC-V is a base ISA plus optional extensions; a {!profile} is the
+    extension set a processor implements.  SymtabAPI discovers the
+    mutatee's profile from [.riscv.attributes] or [e_flags]; CodeGenAPI
+    refuses to emit instructions from extensions outside it. *)
+
+type t =
+  | I  (** base integer *)
+  | M  (** integer multiply/divide *)
+  | A  (** atomics *)
+  | F  (** single-precision floating point *)
+  | D  (** double-precision floating point *)
+  | C  (** compressed instructions *)
+  | Zicsr  (** CSR instructions *)
+  | Zifencei  (** instruction-fetch fence *)
+  | Zba  (** address generation (decoded + simulated here) *)
+  | Zbb  (** basic bit manipulation (decoded + simulated here) *)
+  | V  (** vector — modelled, not yet decoded (paper §3.4) *)
+  | Zicond  (** integer conditional — modelled, not yet decoded *)
+
+val all : t list
+val name : t -> string
+
+(** Single- or multi-letter extension name; [None] for unknown names and
+    for the "g" shorthand (handled by {!parse_arch_string}). *)
+val of_name : string -> t option
+
+module Set : Set.S with type elt = t
+
+(** A processor profile: XLEN plus the implemented extension set. *)
+type profile = { xlen : int; exts : Set.t }
+
+val rv64i : profile
+val rv64g : profile
+
+(** The profile the paper's port targets (and Capstone supports). *)
+val rv64gc : profile
+
+(** The RVA23 application profile of the paper's future work. *)
+val rva23 : profile
+
+val supports : profile -> t -> bool
+val equal_profile : profile -> profile -> bool
+val with_ext : profile -> t -> profile
+val without_ext : profile -> t -> profile
+
+(** Parse a Tag_RISCV_arch ISA string such as
+    ["rv64imafdc_zicsr_zifencei"].  Version suffixes ([2p1]) are accepted
+    and ignored; unknown extensions are skipped (binaries may use
+    extensions newer than this tool). *)
+val parse_arch_string : string -> (profile, string) result
+
+(** Canonical printing, e.g. ["rv64imafdc_zicsr_zifencei"]. *)
+val arch_string : profile -> string
+
+val pp_profile : Format.formatter -> profile -> unit
+
+(**/**)
+
+val g_exts : t list

@@ -1,0 +1,103 @@
+(* Shared floating-point and wide-multiply helpers, used by both the
+   simulator (Rvsim.Machine) and the semantics evaluator (Sailsem.Eval)
+   so the two agree bit-for-bit. *)
+
+(* --- NaN boxing of singles in 64-bit FP registers ------------------------ *)
+
+let nan_box32 bits32 = Int64.logor 0xFFFF_FFFF_0000_0000L (Int64.of_int bits32)
+
+let unbox32 (v : int64) =
+  if Int64.equal (Int64.logand v 0xFFFF_FFFF_0000_0000L) 0xFFFF_FFFF_0000_0000L
+  then Int64.to_int (Int64.logand v 0xFFFF_FFFFL)
+  else 0x7FC00000 (* canonical quiet NaN *)
+
+let f32_of_bits b = Int32.float_of_bits (Int32.of_int b)
+let bits_of_f32 f = Int32.to_int (Int32.bits_of_float f) land 0xFFFF_FFFF
+let f64_of_bits = Int64.float_of_bits
+let bits_of_f64 = Int64.bits_of_float
+
+(* --- classification ------------------------------------------------------ *)
+
+let fclass (f : float) =
+  let neg = Float.sign_bit f in
+  match Float.classify_float f with
+  | FP_infinite -> if neg then 1 lsl 0 else 1 lsl 7
+  | FP_normal -> if neg then 1 lsl 1 else 1 lsl 6
+  | FP_subnormal -> if neg then 1 lsl 2 else 1 lsl 5
+  | FP_zero -> if neg then 1 lsl 3 else 1 lsl 4
+  | FP_nan -> 1 lsl 9 (* quiet NaN; signaling NaNs are not tracked *)
+
+(* --- float -> integer conversions with RISC-V rounding modes ------------- *)
+
+let fcvt_to_int64 ~rm ~signed ~width f =
+  let lo, hi =
+    match (signed, width) with
+    | true, 32 -> (-2147483648.0, 2147483647.0)
+    | false, 32 -> (0.0, 4294967295.0)
+    | true, _ -> (-9.2233720368547758e18, 9.2233720368547758e18)
+    | false, _ -> (0.0, 1.8446744073709552e19)
+  in
+  let rounded =
+    match rm with
+    | 1 -> Float.trunc f (* RTZ *)
+    | 2 -> Float.floor f (* RDN *)
+    | 3 -> Float.ceil f (* RUP *)
+    | 4 -> Float.round f (* RMM: nearest, ties away from zero *)
+    | _ ->
+        (* RNE: nearest, ties to even (also used for DYN) *)
+        let fl = Float.floor f and ce = Float.ceil f in
+        let dl = f -. fl and dc = ce -. f in
+        if dl < dc then fl
+        else if dc < dl then ce
+        else if Float.rem fl 2.0 = 0.0 then fl
+        else ce
+  in
+  if Float.is_nan f then
+    if signed then Int64.sub (Int64.shift_left 1L (width - 1)) 1L
+    else Int64.minus_one
+  else if rounded < lo then
+    if signed then Int64.neg (Int64.shift_left 1L (width - 1)) else 0L
+  else if rounded > hi then
+    if signed then Int64.sub (Int64.shift_left 1L (width - 1)) 1L
+    else Int64.minus_one
+  else if signed then Int64.of_float rounded
+  else if rounded >= 9.2233720368547758e18 then
+    Int64.add (Int64.of_float (rounded -. 9.2233720368547758e18)) Int64.min_int
+  else Int64.of_float rounded
+
+let u64_to_float (v : int64) =
+  if Int64.compare v 0L >= 0 then Int64.to_float v
+  else
+    Int64.to_float (Int64.shift_right_logical v 1) *. 2.0
+    +. Int64.to_float (Int64.logand v 1L)
+
+(* --- 128-bit multiply highs ----------------------------------------------- *)
+
+let mulhu (a : int64) (b : int64) =
+  let mask = 0xFFFF_FFFFL in
+  let al = Int64.logand a mask and ah = Int64.shift_right_logical a 32 in
+  let bl = Int64.logand b mask and bh = Int64.shift_right_logical b 32 in
+  let ll = Int64.mul al bl in
+  let lh = Int64.mul al bh in
+  let hl = Int64.mul ah bl in
+  let hh = Int64.mul ah bh in
+  let carry =
+    Int64.shift_right_logical
+      (Int64.add
+         (Int64.add (Int64.shift_right_logical ll 32) (Int64.logand lh mask))
+         (Int64.logand hl mask))
+      32
+  in
+  Int64.add
+    (Int64.add hh
+       (Int64.add (Int64.shift_right_logical lh 32) (Int64.shift_right_logical hl 32)))
+    carry
+
+let mulh a b =
+  let r = mulhu a b in
+  let r = if Int64.compare a 0L < 0 then Int64.sub r b else r in
+  if Int64.compare b 0L < 0 then Int64.sub r a else r
+
+let mulhsu a b =
+  let r = mulhu a b in
+  if Int64.compare a 0L < 0 then Int64.sub r b else r

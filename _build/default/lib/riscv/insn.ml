@@ -1,0 +1,138 @@
+(* A decoded RISC-V instruction.
+
+   Register fields hold raw 5-bit indices (0..31); whether a field names
+   an integer or FP register is a property of the opcode (see
+   [Op.rd_is_fp] etc.).  Compressed instructions are expanded to their
+   base opcode with [len = 2]. *)
+
+type t = {
+  op : Op.t;
+  rd : int;
+  rs1 : int;
+  rs2 : int;
+  rs3 : int;
+  imm : int64; (* sign-extended immediate / branch offset / shamt *)
+  csr : int; (* CSR address for Zicsr ops *)
+  rm : int; (* FP rounding-mode field *)
+  aq : bool; (* atomics *)
+  rl : bool;
+  len : int; (* 2 (compressed encoding) or 4 *)
+  raw : int; (* raw encoding bits (16 or 32) *)
+}
+
+let make ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(rs3 = 0) ?(imm = 0L) ?(csr = 0)
+    ?(rm = 7) ?(aq = false) ?(rl = false) ?(len = 4) ?(raw = 0) op =
+  { op; rd; rs1; rs2; rs3; imm; csr; rm; aq; rl; len; raw }
+
+let imm_int i = Int64.to_int i.imm
+
+(* Registers written by the instruction, as flat [Reg.t] ids.  Writes to
+   x0 are discarded (x0 is hard-wired to zero). *)
+let defs i =
+  let rd =
+    if Op.rd_is_fp i.op then [ Reg.f i.rd ]
+    else if i.rd <> 0 then [ Reg.x i.rd ]
+    else []
+  in
+  let rd =
+    match i.op with
+    | Op.SB | Op.SH | Op.SW | Op.SD | Op.FSW | Op.FSD
+    | Op.BEQ | Op.BNE | Op.BLT | Op.BGE | Op.BLTU | Op.BGEU
+    | Op.FENCE | Op.FENCE_I | Op.ECALL | Op.EBREAK -> []
+    | _ -> rd
+  in
+  if Op.writes_fcsr i.op then Reg.fcsr :: rd else rd
+
+(* Registers read by the instruction. *)
+let uses i =
+  let use_rs1 =
+    match i.op with
+    | Op.LUI | Op.AUIPC | Op.JAL | Op.ECALL | Op.EBREAK | Op.FENCE
+    | Op.FENCE_I | Op.CSRRWI | Op.CSRRSI | Op.CSRRCI -> []
+    | op when Op.rs1_is_fp op -> [ Reg.f i.rs1 ]
+    | _ -> if i.rs1 = 0 then [] else [ Reg.x i.rs1 ]
+  in
+  let use_rs2 =
+    match Op.encoding i.op with
+    | Op.R _ | Op.R_rm _ | Op.R4 _ | Op.S _ | Op.B _ | Op.A _ ->
+        if Op.rs2_is_fp i.op then [ Reg.f i.rs2 ]
+        else if i.rs2 = 0 then []
+        else [ Reg.x i.rs2 ]
+    | Op.R_rs2 _ | Op.R_rm_rs2 _ | Op.I _ | Op.Sh _ | Op.Sh5 _ | Op.U _
+    | Op.J _ | Op.Fence | Op.Fixed _ | Op.Csr _ | Op.Csri _ -> []
+  in
+  let use_rs2 =
+    (* LR has no rs2 even though the A format carries the field. *)
+    match i.op with Op.LR_W | Op.LR_D -> [] | _ -> use_rs2
+  in
+  let use_rs3 = if Op.has_rs3 i.op then [ Reg.f i.rs3 ] else [] in
+  use_rs1 @ use_rs2 @ use_rs3
+
+(* Branch / jump target for direct control transfers at address [addr]. *)
+let target ~addr i =
+  match i.op with
+  | Op.JAL -> Some (Int64.add addr i.imm)
+  | Op.BEQ | Op.BNE | Op.BLT | Op.BGE | Op.BLTU | Op.BGEU ->
+      Some (Int64.add addr i.imm)
+  | _ -> None
+
+(* Address the instruction falls through to. *)
+let next ~addr i = Int64.add addr (Int64.of_int i.len)
+
+(* Standard-return idiom: jalr x0, 0(ra) (c.ret).  The real return
+   classification in ParseAPI is contextual; this is the fast path. *)
+let is_ret i = i.op = Op.JALR && i.rd = 0 && i.rs1 = Reg.ra && i.imm = 0L
+
+let pp_operands fmt i =
+  let ir n = Reg.name (Reg.x n) and fr n = Reg.name (Reg.f n) in
+  let p = Format.fprintf in
+  match Op.encoding i.op with
+  | Op.R _ ->
+      let r k n = if k then fr n else ir n in
+      p fmt "%s, %s, %s"
+        (r (Op.rd_is_fp i.op) i.rd)
+        (r (Op.rs1_is_fp i.op) i.rs1)
+        (r (Op.rs2_is_fp i.op) i.rs2)
+  | Op.R_rs2 _ ->
+      let r k n = if k then fr n else ir n in
+      p fmt "%s, %s" (r (Op.rd_is_fp i.op) i.rd) (r (Op.rs1_is_fp i.op) i.rs1)
+  | Op.R_rm _ ->
+      let r k n = if k then fr n else ir n in
+      p fmt "%s, %s, %s"
+        (r (Op.rd_is_fp i.op) i.rd)
+        (r (Op.rs1_is_fp i.op) i.rs1)
+        (r (Op.rs2_is_fp i.op) i.rs2)
+  | Op.R_rm_rs2 _ ->
+      let r k n = if k then fr n else ir n in
+      p fmt "%s, %s" (r (Op.rd_is_fp i.op) i.rd) (r (Op.rs1_is_fp i.op) i.rs1)
+  | Op.R4 _ -> p fmt "%s, %s, %s, %s" (fr i.rd) (fr i.rs1) (fr i.rs2) (fr i.rs3)
+  | Op.A _ ->
+      if i.op = Op.LR_W || i.op = Op.LR_D then
+        p fmt "%s, (%s)" (ir i.rd) (ir i.rs1)
+      else p fmt "%s, %s, (%s)" (ir i.rd) (ir i.rs2) (ir i.rs1)
+  | Op.I _ ->
+      if Op.is_load i.op then
+        p fmt "%s, %Ld(%s)"
+          (if Op.rd_is_fp i.op then fr i.rd else ir i.rd)
+          i.imm (ir i.rs1)
+      else if i.op = Op.JALR then p fmt "%s, %Ld(%s)" (ir i.rd) i.imm (ir i.rs1)
+      else p fmt "%s, %s, %Ld" (ir i.rd) (ir i.rs1) i.imm
+  | Op.Sh _ | Op.Sh5 _ -> p fmt "%s, %s, %Ld" (ir i.rd) (ir i.rs1) i.imm
+  | Op.S _ ->
+      p fmt "%s, %Ld(%s)"
+        (if Op.rs2_is_fp i.op then fr i.rs2 else ir i.rs2)
+        i.imm (ir i.rs1)
+  | Op.B _ -> p fmt "%s, %s, %Ld" (ir i.rs1) (ir i.rs2) i.imm
+  | Op.U _ -> p fmt "%s, 0x%Lx" (ir i.rd) (Int64.shift_right_logical (Int64.logand i.imm 0xFFFFF000L) 12)
+  | Op.J _ -> p fmt "%s, %Ld" (ir i.rd) i.imm
+  | Op.Fence | Op.Fixed _ -> ()
+  | Op.Csr _ -> p fmt "%s, 0x%x, %s" (ir i.rd) i.csr (ir i.rs1)
+  | Op.Csri _ -> p fmt "%s, 0x%x, %d" (ir i.rd) i.csr i.rs1
+
+let pp fmt i =
+  let prefix = if i.len = 2 then "c." else "" in
+  match Op.encoding i.op with
+  | Op.Fence | Op.Fixed _ -> Format.fprintf fmt "%s%s" prefix (Op.mnemonic i.op)
+  | _ -> Format.fprintf fmt "%s%s %a" prefix (Op.mnemonic i.op) pp_operands i
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,50 @@
+(** A decoded RISC-V instruction.
+
+    Register fields hold raw 5-bit indices; whether a field names an
+    integer or FP register is a property of the opcode (see
+    {!Op.rd_is_fp} and friends).  Compressed instructions are expanded to
+    their base opcode with [len = 2] (paper §3.1.2). *)
+
+type t = {
+  op : Op.t;
+  rd : int;
+  rs1 : int;
+  rs2 : int;
+  rs3 : int;  (** fused multiply-adds only *)
+  imm : int64;  (** sign-extended immediate / branch offset / shamt *)
+  csr : int;  (** CSR address for Zicsr ops *)
+  rm : int;  (** FP rounding-mode field *)
+  aq : bool;  (** atomics ordering bits *)
+  rl : bool;
+  len : int;  (** 2 (compressed encoding) or 4 *)
+  raw : int;  (** original encoding bits *)
+}
+
+(** Build an instruction with sensible defaults (fields 0, [rm] = DYN,
+    [len] = 4). *)
+val make :
+  ?rd:int -> ?rs1:int -> ?rs2:int -> ?rs3:int -> ?imm:int64 -> ?csr:int ->
+  ?rm:int -> ?aq:bool -> ?rl:bool -> ?len:int -> ?raw:int -> Op.t -> t
+
+val imm_int : t -> int
+
+(** Registers written, as flat {!Reg.t} ids; writes to x0 are discarded,
+    and ops that set the FP flags also def {!Reg.fcsr}. *)
+val defs : t -> Reg.t list
+
+(** Registers read, as flat {!Reg.t} ids (x0 reads omitted). *)
+val uses : t -> Reg.t list
+
+(** Direct target of jal / conditional branches at address [addr]. *)
+val target : addr:int64 -> t -> int64 option
+
+(** Fallthrough address. *)
+val next : addr:int64 -> t -> int64
+
+(** The canonical return idiom [jalr x0, 0(ra)] (the full contextual
+    return classification lives in ParseAPI). *)
+val is_ret : t -> bool
+
+val pp_operands : Format.formatter -> t -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,391 @@
+(* The RV64GC opcode set: one constructor per base instruction.
+
+   Compressed (C extension) instructions are not separate constructors:
+   every RVC instruction expands to exactly one base instruction, so the
+   decoder produces the expanded opcode with [Insn.len = 2] (this mirrors
+   how the paper treats them, §3.1.2).  The encoding table here is the
+   single source of truth shared by the decoder, the encoder, the
+   assembler and the disassembler. *)
+
+type t =
+  (* RV32I / RV64I *)
+  | LUI | AUIPC | JAL | JALR
+  | BEQ | BNE | BLT | BGE | BLTU | BGEU
+  | LB | LH | LW | LBU | LHU | LWU | LD
+  | SB | SH | SW | SD
+  | ADDI | SLTI | SLTIU | XORI | ORI | ANDI | SLLI | SRLI | SRAI
+  | ADD | SUB | SLL | SLT | SLTU | XOR | SRL | SRA | OR | AND
+  | ADDIW | SLLIW | SRLIW | SRAIW
+  | ADDW | SUBW | SLLW | SRLW | SRAW
+  | FENCE | ECALL | EBREAK
+  (* Zifencei *)
+  | FENCE_I
+  (* Zicsr *)
+  | CSRRW | CSRRS | CSRRC | CSRRWI | CSRRSI | CSRRCI
+  (* M *)
+  | MUL | MULH | MULHSU | MULHU | DIV | DIVU | REM | REMU
+  | MULW | DIVW | DIVUW | REMW | REMUW
+  (* A *)
+  | LR_W | SC_W | AMOSWAP_W | AMOADD_W | AMOXOR_W | AMOAND_W | AMOOR_W
+  | AMOMIN_W | AMOMAX_W | AMOMINU_W | AMOMAXU_W
+  | LR_D | SC_D | AMOSWAP_D | AMOADD_D | AMOXOR_D | AMOAND_D | AMOOR_D
+  | AMOMIN_D | AMOMAX_D | AMOMINU_D | AMOMAXU_D
+  (* F *)
+  | FLW | FSW
+  | FMADD_S | FMSUB_S | FNMSUB_S | FNMADD_S
+  | FADD_S | FSUB_S | FMUL_S | FDIV_S | FSQRT_S
+  | FSGNJ_S | FSGNJN_S | FSGNJX_S | FMIN_S | FMAX_S
+  | FCVT_W_S | FCVT_WU_S | FMV_X_W | FEQ_S | FLT_S | FLE_S | FCLASS_S
+  | FCVT_S_W | FCVT_S_WU | FMV_W_X
+  | FCVT_L_S | FCVT_LU_S | FCVT_S_L | FCVT_S_LU
+  (* D *)
+  | FLD | FSD
+  | FMADD_D | FMSUB_D | FNMSUB_D | FNMADD_D
+  | FADD_D | FSUB_D | FMUL_D | FDIV_D | FSQRT_D
+  | FSGNJ_D | FSGNJN_D | FSGNJX_D | FMIN_D | FMAX_D
+  | FCVT_S_D | FCVT_D_S | FEQ_D | FLT_D | FLE_D | FCLASS_D
+  | FCVT_W_D | FCVT_WU_D | FCVT_D_W | FCVT_D_WU
+  | FCVT_L_D | FCVT_LU_D | FMV_X_D | FCVT_D_L | FCVT_D_LU | FMV_D_X
+  (* Zba (address generation) — paper 3.4 future-work extension *)
+  | SH1ADD | SH2ADD | SH3ADD | ADD_UW | SH1ADD_UW | SH2ADD_UW | SH3ADD_UW
+  | SLLI_UW
+  (* Zbb (basic bit manipulation) *)
+  | ANDN | ORN | XNOR
+  | CLZ | CTZ | CPOP | CLZW | CTZW | CPOPW
+  | MAX | MAXU | MIN | MINU
+  | SEXT_B | SEXT_H | ZEXT_H
+  | ROL | ROR | RORI | ROLW | RORW | RORIW
+  | REV8 | ORC_B
+
+(* Instruction encoding formats; field values are the fixed bits. *)
+type enc =
+  | R of int * int * int (* opc, funct3, funct7: rd, rs1, rs2 *)
+  | R_rs2 of int * int * int * int (* opc, funct3, funct7, fixed rs2: rd, rs1 *)
+  | R_rm of int * int (* opc, funct7; rounding mode variable in funct3 *)
+  | R_rm_rs2 of int * int * int (* opc, funct7, fixed rs2; rm variable *)
+  | R4 of int * int (* opc, fmt2 (funct7[1:0]); rd, rs1, rs2, rs3, rm *)
+  | A of int * int (* funct3, funct5; aq/rl variable; opc = 0x2F *)
+  | I of int * int (* opc, funct3: rd, rs1, imm12 *)
+  | Sh of int * int * int (* opc, funct3, funct6: rd, rs1, shamt6 *)
+  | Sh5 of int * int * int (* opc, funct3, funct7: rd, rs1, shamt5 (W shifts) *)
+  | S of int * int (* opc, funct3: rs1, rs2, imm12 *)
+  | B of int (* funct3: rs1, rs2, imm13; opc = 0x63 *)
+  | U of int (* opc: rd, imm20<<12 *)
+  | J of int (* opc: rd, imm21 *)
+  | Fence (* pred/succ in imm field *)
+  | Fixed of int (* whole word fixed (ecall, ebreak, fence.i) *)
+  | Csr of int (* funct3: rd, rs1, csr *)
+  | Csri of int (* funct3: rd, zimm5, csr *)
+
+(* op, mnemonic, extension, encoding *)
+let table : (t * string * Ext.t * enc) list =
+  [
+    (LUI, "lui", I, U 0x37);
+    (AUIPC, "auipc", I, U 0x17);
+    (JAL, "jal", I, J 0x6F);
+    (JALR, "jalr", I, I (0x67, 0));
+    (BEQ, "beq", I, B 0);
+    (BNE, "bne", I, B 1);
+    (BLT, "blt", I, B 4);
+    (BGE, "bge", I, B 5);
+    (BLTU, "bltu", I, B 6);
+    (BGEU, "bgeu", I, B 7);
+    (LB, "lb", I, I (0x03, 0));
+    (LH, "lh", I, I (0x03, 1));
+    (LW, "lw", I, I (0x03, 2));
+    (LD, "ld", I, I (0x03, 3));
+    (LBU, "lbu", I, I (0x03, 4));
+    (LHU, "lhu", I, I (0x03, 5));
+    (LWU, "lwu", I, I (0x03, 6));
+    (SB, "sb", I, S (0x23, 0));
+    (SH, "sh", I, S (0x23, 1));
+    (SW, "sw", I, S (0x23, 2));
+    (SD, "sd", I, S (0x23, 3));
+    (ADDI, "addi", I, I (0x13, 0));
+    (SLTI, "slti", I, I (0x13, 2));
+    (SLTIU, "sltiu", I, I (0x13, 3));
+    (XORI, "xori", I, I (0x13, 4));
+    (ORI, "ori", I, I (0x13, 6));
+    (ANDI, "andi", I, I (0x13, 7));
+    (SLLI, "slli", I, Sh (0x13, 1, 0x00));
+    (SRLI, "srli", I, Sh (0x13, 5, 0x00));
+    (SRAI, "srai", I, Sh (0x13, 5, 0x10));
+    (ADD, "add", I, R (0x33, 0, 0x00));
+    (SUB, "sub", I, R (0x33, 0, 0x20));
+    (SLL, "sll", I, R (0x33, 1, 0x00));
+    (SLT, "slt", I, R (0x33, 2, 0x00));
+    (SLTU, "sltu", I, R (0x33, 3, 0x00));
+    (XOR, "xor", I, R (0x33, 4, 0x00));
+    (SRL, "srl", I, R (0x33, 5, 0x00));
+    (SRA, "sra", I, R (0x33, 5, 0x20));
+    (OR, "or", I, R (0x33, 6, 0x00));
+    (AND, "and", I, R (0x33, 7, 0x00));
+    (ADDIW, "addiw", I, I (0x1B, 0));
+    (SLLIW, "slliw", I, Sh5 (0x1B, 1, 0x00));
+    (SRLIW, "srliw", I, Sh5 (0x1B, 5, 0x00));
+    (SRAIW, "sraiw", I, Sh5 (0x1B, 5, 0x20));
+    (ADDW, "addw", I, R (0x3B, 0, 0x00));
+    (SUBW, "subw", I, R (0x3B, 0, 0x20));
+    (SLLW, "sllw", I, R (0x3B, 1, 0x00));
+    (SRLW, "srlw", I, R (0x3B, 5, 0x00));
+    (SRAW, "sraw", I, R (0x3B, 5, 0x20));
+    (FENCE, "fence", I, Fence);
+    (ECALL, "ecall", I, Fixed 0x00000073);
+    (EBREAK, "ebreak", I, Fixed 0x00100073);
+    (FENCE_I, "fence.i", Zifencei, Fixed 0x0000100F);
+    (CSRRW, "csrrw", Zicsr, Csr 1);
+    (CSRRS, "csrrs", Zicsr, Csr 2);
+    (CSRRC, "csrrc", Zicsr, Csr 3);
+    (CSRRWI, "csrrwi", Zicsr, Csri 5);
+    (CSRRSI, "csrrsi", Zicsr, Csri 6);
+    (CSRRCI, "csrrci", Zicsr, Csri 7);
+    (MUL, "mul", M, R (0x33, 0, 0x01));
+    (MULH, "mulh", M, R (0x33, 1, 0x01));
+    (MULHSU, "mulhsu", M, R (0x33, 2, 0x01));
+    (MULHU, "mulhu", M, R (0x33, 3, 0x01));
+    (DIV, "div", M, R (0x33, 4, 0x01));
+    (DIVU, "divu", M, R (0x33, 5, 0x01));
+    (REM, "rem", M, R (0x33, 6, 0x01));
+    (REMU, "remu", M, R (0x33, 7, 0x01));
+    (MULW, "mulw", M, R (0x3B, 0, 0x01));
+    (DIVW, "divw", M, R (0x3B, 4, 0x01));
+    (DIVUW, "divuw", M, R (0x3B, 5, 0x01));
+    (REMW, "remw", M, R (0x3B, 6, 0x01));
+    (REMUW, "remuw", M, R (0x3B, 7, 0x01));
+    (LR_W, "lr.w", A, A (2, 0x02));
+    (SC_W, "sc.w", A, A (2, 0x03));
+    (AMOSWAP_W, "amoswap.w", A, A (2, 0x01));
+    (AMOADD_W, "amoadd.w", A, A (2, 0x00));
+    (AMOXOR_W, "amoxor.w", A, A (2, 0x04));
+    (AMOAND_W, "amoand.w", A, A (2, 0x0C));
+    (AMOOR_W, "amoor.w", A, A (2, 0x08));
+    (AMOMIN_W, "amomin.w", A, A (2, 0x10));
+    (AMOMAX_W, "amomax.w", A, A (2, 0x14));
+    (AMOMINU_W, "amominu.w", A, A (2, 0x18));
+    (AMOMAXU_W, "amomaxu.w", A, A (2, 0x1C));
+    (LR_D, "lr.d", A, A (3, 0x02));
+    (SC_D, "sc.d", A, A (3, 0x03));
+    (AMOSWAP_D, "amoswap.d", A, A (3, 0x01));
+    (AMOADD_D, "amoadd.d", A, A (3, 0x00));
+    (AMOXOR_D, "amoxor.d", A, A (3, 0x04));
+    (AMOAND_D, "amoand.d", A, A (3, 0x0C));
+    (AMOOR_D, "amoor.d", A, A (3, 0x08));
+    (AMOMIN_D, "amomin.d", A, A (3, 0x10));
+    (AMOMAX_D, "amomax.d", A, A (3, 0x14));
+    (AMOMINU_D, "amominu.d", A, A (3, 0x18));
+    (AMOMAXU_D, "amomaxu.d", A, A (3, 0x1C));
+    (FLW, "flw", F, I (0x07, 2));
+    (FSW, "fsw", F, S (0x27, 2));
+    (FMADD_S, "fmadd.s", F, R4 (0x43, 0));
+    (FMSUB_S, "fmsub.s", F, R4 (0x47, 0));
+    (FNMSUB_S, "fnmsub.s", F, R4 (0x4B, 0));
+    (FNMADD_S, "fnmadd.s", F, R4 (0x4F, 0));
+    (FADD_S, "fadd.s", F, R_rm (0x53, 0x00));
+    (FSUB_S, "fsub.s", F, R_rm (0x53, 0x04));
+    (FMUL_S, "fmul.s", F, R_rm (0x53, 0x08));
+    (FDIV_S, "fdiv.s", F, R_rm (0x53, 0x0C));
+    (FSQRT_S, "fsqrt.s", F, R_rm_rs2 (0x53, 0x2C, 0));
+    (FSGNJ_S, "fsgnj.s", F, R (0x53, 0, 0x10));
+    (FSGNJN_S, "fsgnjn.s", F, R (0x53, 1, 0x10));
+    (FSGNJX_S, "fsgnjx.s", F, R (0x53, 2, 0x10));
+    (FMIN_S, "fmin.s", F, R (0x53, 0, 0x14));
+    (FMAX_S, "fmax.s", F, R (0x53, 1, 0x14));
+    (FCVT_W_S, "fcvt.w.s", F, R_rm_rs2 (0x53, 0x60, 0));
+    (FCVT_WU_S, "fcvt.wu.s", F, R_rm_rs2 (0x53, 0x60, 1));
+    (FCVT_L_S, "fcvt.l.s", F, R_rm_rs2 (0x53, 0x60, 2));
+    (FCVT_LU_S, "fcvt.lu.s", F, R_rm_rs2 (0x53, 0x60, 3));
+    (FMV_X_W, "fmv.x.w", F, R_rs2 (0x53, 0, 0x70, 0));
+    (FEQ_S, "feq.s", F, R (0x53, 2, 0x50));
+    (FLT_S, "flt.s", F, R (0x53, 1, 0x50));
+    (FLE_S, "fle.s", F, R (0x53, 0, 0x50));
+    (FCLASS_S, "fclass.s", F, R_rs2 (0x53, 1, 0x70, 0));
+    (FCVT_S_W, "fcvt.s.w", F, R_rm_rs2 (0x53, 0x68, 0));
+    (FCVT_S_WU, "fcvt.s.wu", F, R_rm_rs2 (0x53, 0x68, 1));
+    (FCVT_S_L, "fcvt.s.l", F, R_rm_rs2 (0x53, 0x68, 2));
+    (FCVT_S_LU, "fcvt.s.lu", F, R_rm_rs2 (0x53, 0x68, 3));
+    (FMV_W_X, "fmv.w.x", F, R_rs2 (0x53, 0, 0x78, 0));
+    (FLD, "fld", D, I (0x07, 3));
+    (FSD, "fsd", D, S (0x27, 3));
+    (FMADD_D, "fmadd.d", D, R4 (0x43, 1));
+    (FMSUB_D, "fmsub.d", D, R4 (0x47, 1));
+    (FNMSUB_D, "fnmsub.d", D, R4 (0x4B, 1));
+    (FNMADD_D, "fnmadd.d", D, R4 (0x4F, 1));
+    (FADD_D, "fadd.d", D, R_rm (0x53, 0x01));
+    (FSUB_D, "fsub.d", D, R_rm (0x53, 0x05));
+    (FMUL_D, "fmul.d", D, R_rm (0x53, 0x09));
+    (FDIV_D, "fdiv.d", D, R_rm (0x53, 0x0D));
+    (FSQRT_D, "fsqrt.d", D, R_rm_rs2 (0x53, 0x2D, 0));
+    (FSGNJ_D, "fsgnj.d", D, R (0x53, 0, 0x11));
+    (FSGNJN_D, "fsgnjn.d", D, R (0x53, 1, 0x11));
+    (FSGNJX_D, "fsgnjx.d", D, R (0x53, 2, 0x11));
+    (FMIN_D, "fmin.d", D, R (0x53, 0, 0x15));
+    (FMAX_D, "fmax.d", D, R (0x53, 1, 0x15));
+    (FCVT_S_D, "fcvt.s.d", D, R_rm_rs2 (0x53, 0x20, 1));
+    (FCVT_D_S, "fcvt.d.s", D, R_rm_rs2 (0x53, 0x21, 0));
+    (FEQ_D, "feq.d", D, R (0x53, 2, 0x51));
+    (FLT_D, "flt.d", D, R (0x53, 1, 0x51));
+    (FLE_D, "fle.d", D, R (0x53, 0, 0x51));
+    (FCLASS_D, "fclass.d", D, R_rs2 (0x53, 1, 0x71, 0));
+    (FCVT_W_D, "fcvt.w.d", D, R_rm_rs2 (0x53, 0x61, 0));
+    (FCVT_WU_D, "fcvt.wu.d", D, R_rm_rs2 (0x53, 0x61, 1));
+    (FCVT_L_D, "fcvt.l.d", D, R_rm_rs2 (0x53, 0x61, 2));
+    (FCVT_LU_D, "fcvt.lu.d", D, R_rm_rs2 (0x53, 0x61, 3));
+    (FCVT_D_W, "fcvt.d.w", D, R_rm_rs2 (0x53, 0x69, 0));
+    (FCVT_D_WU, "fcvt.d.wu", D, R_rm_rs2 (0x53, 0x69, 1));
+    (FCVT_D_L, "fcvt.d.l", D, R_rm_rs2 (0x53, 0x69, 2));
+    (FCVT_D_LU, "fcvt.d.lu", D, R_rm_rs2 (0x53, 0x69, 3));
+    (FMV_X_D, "fmv.x.d", D, R_rs2 (0x53, 0, 0x71, 0));
+    (FMV_D_X, "fmv.d.x", D, R_rs2 (0x53, 0, 0x79, 0));
+    (* Zba *)
+    (SH1ADD, "sh1add", Zba, R (0x33, 2, 0x10));
+    (SH2ADD, "sh2add", Zba, R (0x33, 4, 0x10));
+    (SH3ADD, "sh3add", Zba, R (0x33, 6, 0x10));
+    (ADD_UW, "add.uw", Zba, R (0x3B, 0, 0x04));
+    (SH1ADD_UW, "sh1add.uw", Zba, R (0x3B, 2, 0x10));
+    (SH2ADD_UW, "sh2add.uw", Zba, R (0x3B, 4, 0x10));
+    (SH3ADD_UW, "sh3add.uw", Zba, R (0x3B, 6, 0x10));
+    (SLLI_UW, "slli.uw", Zba, Sh (0x1B, 1, 0x02));
+    (* Zbb *)
+    (ANDN, "andn", Zbb, R (0x33, 7, 0x20));
+    (ORN, "orn", Zbb, R (0x33, 6, 0x20));
+    (XNOR, "xnor", Zbb, R (0x33, 4, 0x20));
+    (CLZ, "clz", Zbb, R_rs2 (0x13, 1, 0x30, 0));
+    (CTZ, "ctz", Zbb, R_rs2 (0x13, 1, 0x30, 1));
+    (CPOP, "cpop", Zbb, R_rs2 (0x13, 1, 0x30, 2));
+    (CLZW, "clzw", Zbb, R_rs2 (0x1B, 1, 0x30, 0));
+    (CTZW, "ctzw", Zbb, R_rs2 (0x1B, 1, 0x30, 1));
+    (CPOPW, "cpopw", Zbb, R_rs2 (0x1B, 1, 0x30, 2));
+    (MAX, "max", Zbb, R (0x33, 6, 0x05));
+    (MAXU, "maxu", Zbb, R (0x33, 7, 0x05));
+    (MIN, "min", Zbb, R (0x33, 4, 0x05));
+    (MINU, "minu", Zbb, R (0x33, 5, 0x05));
+    (SEXT_B, "sext.b", Zbb, R_rs2 (0x13, 1, 0x30, 4));
+    (SEXT_H, "sext.h", Zbb, R_rs2 (0x13, 1, 0x30, 5));
+    (ZEXT_H, "zext.h", Zbb, R_rs2 (0x3B, 4, 0x04, 0));
+    (ROL, "rol", Zbb, R (0x33, 1, 0x30));
+    (ROR, "ror", Zbb, R (0x33, 5, 0x30));
+    (RORI, "rori", Zbb, Sh (0x13, 5, 0x18));
+    (ROLW, "rolw", Zbb, R (0x3B, 1, 0x30));
+    (RORW, "rorw", Zbb, R (0x3B, 5, 0x30));
+    (RORIW, "roriw", Zbb, Sh5 (0x1B, 5, 0x30));
+    (REV8, "rev8", Zbb, R_rs2 (0x13, 5, 0x35, 0x18));
+    (ORC_B, "orc.b", Zbb, R_rs2 (0x13, 5, 0x14, 7));
+  ]
+
+let info =
+  let h = Hashtbl.create 256 in
+  List.iter (fun (op, m, e, enc) -> Hashtbl.replace h op (m, e, enc)) table;
+  fun op -> Hashtbl.find h op
+
+let mnemonic op = let m, _, _ = info op in m
+let extension op = let _, e, _ = info op in e
+let encoding op = let _, _, enc = info op in enc
+
+let of_mnemonic =
+  let h = Hashtbl.create 256 in
+  List.iter (fun (op, m, _, _) -> Hashtbl.replace h m op) table;
+  fun m -> Hashtbl.find_opt h (String.lowercase_ascii m)
+
+(* Classifications used across the toolkits. *)
+
+let is_load = function
+  | LB | LH | LW | LD | LBU | LHU | LWU | FLW | FLD -> true
+  | LR_W | LR_D -> true
+  | _ -> false
+
+let is_store = function
+  | SB | SH | SW | SD | FSW | FSD -> true
+  | SC_W | SC_D -> true
+  | _ -> false
+
+let is_amo = function
+  | AMOSWAP_W | AMOADD_W | AMOXOR_W | AMOAND_W | AMOOR_W | AMOMIN_W
+  | AMOMAX_W | AMOMINU_W | AMOMAXU_W | AMOSWAP_D | AMOADD_D | AMOXOR_D
+  | AMOAND_D | AMOOR_D | AMOMIN_D | AMOMAX_D | AMOMINU_D | AMOMAXU_D -> true
+  | _ -> false
+
+let is_cond_branch = function
+  | BEQ | BNE | BLT | BGE | BLTU | BGEU -> true
+  | _ -> false
+
+(* jal / jalr: the multi-use control flow instructions of paper §3.1.3;
+   their high-level role (call/return/jump/tail-call/jump-table) is
+   decided by ParseAPI, not here. *)
+let is_uncond_jump = function JAL | JALR -> true | _ -> false
+let is_control_flow op = is_cond_branch op || is_uncond_jump op
+
+(* Memory access size in bytes for loads/stores/amos. *)
+let access_size = function
+  | LB | LBU | SB -> 1
+  | LH | LHU | SH -> 2
+  | LW | LWU | SW | FLW | FSW | LR_W | SC_W -> 4
+  | LD | SD | FLD | FSD | LR_D | SC_D -> 8
+  | op when is_amo op -> (
+      match op with
+      | AMOSWAP_W | AMOADD_W | AMOXOR_W | AMOAND_W | AMOOR_W | AMOMIN_W
+      | AMOMAX_W | AMOMINU_W | AMOMAXU_W -> 4
+      | _ -> 8)
+  | _ -> 0
+
+(* Does rd name an FP register?  rs1 / rs2 / rs3 likewise. *)
+let rd_is_fp = function
+  | FLW | FLD
+  | FMADD_S | FMSUB_S | FNMSUB_S | FNMADD_S
+  | FADD_S | FSUB_S | FMUL_S | FDIV_S | FSQRT_S
+  | FSGNJ_S | FSGNJN_S | FSGNJX_S | FMIN_S | FMAX_S
+  | FCVT_S_W | FCVT_S_WU | FCVT_S_L | FCVT_S_LU | FMV_W_X
+  | FMADD_D | FMSUB_D | FNMSUB_D | FNMADD_D
+  | FADD_D | FSUB_D | FMUL_D | FDIV_D | FSQRT_D
+  | FSGNJ_D | FSGNJN_D | FSGNJX_D | FMIN_D | FMAX_D
+  | FCVT_S_D | FCVT_D_S | FCVT_D_W | FCVT_D_WU | FCVT_D_L | FCVT_D_LU
+  | FMV_D_X -> true
+  | _ -> false
+
+let rs1_is_fp = function
+  | FMADD_S | FMSUB_S | FNMSUB_S | FNMADD_S
+  | FADD_S | FSUB_S | FMUL_S | FDIV_S | FSQRT_S
+  | FSGNJ_S | FSGNJN_S | FSGNJX_S | FMIN_S | FMAX_S
+  | FCVT_W_S | FCVT_WU_S | FCVT_L_S | FCVT_LU_S | FMV_X_W
+  | FEQ_S | FLT_S | FLE_S | FCLASS_S
+  | FMADD_D | FMSUB_D | FNMSUB_D | FNMADD_D
+  | FADD_D | FSUB_D | FMUL_D | FDIV_D | FSQRT_D
+  | FSGNJ_D | FSGNJN_D | FSGNJX_D | FMIN_D | FMAX_D
+  | FCVT_S_D | FCVT_D_S | FCVT_W_D | FCVT_WU_D | FCVT_L_D | FCVT_LU_D
+  | FMV_X_D | FEQ_D | FLT_D | FLE_D | FCLASS_D -> true
+  | _ -> false
+
+let rs2_is_fp = function
+  | FSW | FSD
+  | FMADD_S | FMSUB_S | FNMSUB_S | FNMADD_S
+  | FADD_S | FSUB_S | FMUL_S | FDIV_S
+  | FSGNJ_S | FSGNJN_S | FSGNJX_S | FMIN_S | FMAX_S
+  | FEQ_S | FLT_S | FLE_S
+  | FMADD_D | FMSUB_D | FNMSUB_D | FNMADD_D
+  | FADD_D | FSUB_D | FMUL_D | FDIV_D
+  | FSGNJ_D | FSGNJN_D | FSGNJX_D | FMIN_D | FMAX_D
+  | FEQ_D | FLT_D | FLE_D -> true
+  | _ -> false
+
+(* rs3 only exists for the fused multiply-adds, always FP. *)
+let has_rs3 = function
+  | FMADD_S | FMSUB_S | FNMSUB_S | FNMADD_S
+  | FMADD_D | FMSUB_D | FNMSUB_D | FNMADD_D -> true
+  | _ -> false
+
+(* Does the op write the FP flags (fcsr)?  Conservative list used by
+   liveness. *)
+let writes_fcsr = function
+  | FADD_S | FSUB_S | FMUL_S | FDIV_S | FSQRT_S
+  | FMADD_S | FMSUB_S | FNMSUB_S | FNMADD_S
+  | FMIN_S | FMAX_S | FEQ_S | FLT_S | FLE_S
+  | FCVT_W_S | FCVT_WU_S | FCVT_L_S | FCVT_LU_S
+  | FCVT_S_W | FCVT_S_WU | FCVT_S_L | FCVT_S_LU
+  | FADD_D | FSUB_D | FMUL_D | FDIV_D | FSQRT_D
+  | FMADD_D | FMSUB_D | FNMSUB_D | FNMADD_D
+  | FMIN_D | FMAX_D | FEQ_D | FLT_D | FLE_D
+  | FCVT_W_D | FCVT_WU_D | FCVT_L_D | FCVT_LU_D
+  | FCVT_D_W | FCVT_D_WU | FCVT_D_L | FCVT_D_LU
+  | FCVT_S_D | FCVT_D_S -> true
+  | _ -> false
+
+let pp fmt op = Format.pp_print_string fmt (mnemonic op)

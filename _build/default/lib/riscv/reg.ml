@@ -1,0 +1,74 @@
+(* RISC-V register model.
+
+   Registers are identified by small ints in a single flat space so that
+   dataflow bit-sets stay cheap:
+     0..31    integer registers x0..x31
+     32..63   floating-point registers f0..f31
+     64       fcsr (fflags/frm, treated as one unit)
+   The zero register x0 is id 0 and is never a real definition. *)
+
+type t = int
+
+let n_regs = 65
+let x i = if i < 0 || i > 31 then invalid_arg "Reg.x" else i
+let f i = if i < 0 || i > 31 then invalid_arg "Reg.f" else 32 + i
+let fcsr = 64
+let is_int r = r >= 0 && r < 32
+let is_fp r = r >= 32 && r < 64
+let int_index r = if is_int r then r else invalid_arg "Reg.int_index"
+let fp_index r = if is_fp r then r - 32 else invalid_arg "Reg.fp_index"
+
+(* Special integer registers, by ABI convention. *)
+let zero = x 0
+let ra = x 1 (* return address / standard link register *)
+let sp = x 2
+let gp = x 3
+let tp = x 4
+let t0 = x 5
+let t1 = x 6
+let t2 = x 7
+let s0 = x 8 (* frame pointer when the compiler keeps one *)
+let fp = s0
+let s1 = x 9
+let a0 = x 10
+let a1 = x 11
+let a2 = x 12
+let a3 = x 13
+let a4 = x 14
+let a5 = x 15
+let a6 = x 16
+let a7 = x 17
+let t3 = x 28
+let t4 = x 29
+let t5 = x 30
+let t6 = x 31
+
+let abi_int_names =
+  [| "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2"; "s0"; "s1"; "a0";
+     "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7"; "s2"; "s3"; "s4"; "s5";
+     "s6"; "s7"; "s8"; "s9"; "s10"; "s11"; "t3"; "t4"; "t5"; "t6" |]
+
+let abi_fp_names =
+  [| "ft0"; "ft1"; "ft2"; "ft3"; "ft4"; "ft5"; "ft6"; "ft7"; "fs0"; "fs1";
+     "fa0"; "fa1"; "fa2"; "fa3"; "fa4"; "fa5"; "fa6"; "fa7"; "fs2"; "fs3";
+     "fs4"; "fs5"; "fs6"; "fs7"; "fs8"; "fs9"; "fs10"; "fs11"; "ft8";
+     "ft9"; "ft10"; "ft11" |]
+
+let name r =
+  if is_int r then abi_int_names.(r)
+  else if is_fp r then abi_fp_names.(r - 32)
+  else if r = fcsr then "fcsr"
+  else invalid_arg "Reg.name"
+
+let pp fmt r = Format.pp_print_string fmt (name r)
+
+(* Callee-saved integer registers per the RISC-V psABI: sp, s0-s11.
+   (ra is caller-saved; gp/tp are unallocatable.) *)
+let callee_saved_int = [ 2; 8; 9; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 ]
+
+(* Caller-saved (volatile) integer registers: ra, t0-t6, a0-a7. *)
+let caller_saved_int = [ 1; 5; 6; 7; 10; 11; 12; 13; 14; 15; 16; 17; 28; 29; 30; 31 ]
+
+let arg_regs = [ a0; a1; a2; a3; a4; a5; a6; a7 ]
+let fp_arg_regs = [ f 10; f 11; f 12; f 13; f 14; f 15; f 16; f 17 ]
+let temp_regs = [ t0; t1; t2; t3; t4; t5; t6 ]

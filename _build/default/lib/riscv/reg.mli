@@ -1,0 +1,67 @@
+(** The RISC-V register model: a flat id space so dataflow bit-sets stay
+    cheap — 0..31 integer x-registers, 32..63 FP f-registers, 64 the fcsr
+    pseudo-register. *)
+
+type t = int
+
+val n_regs : int
+
+(** [x i] / [f i] build flat ids; raise on out-of-range indices. *)
+val x : int -> t
+
+val f : int -> t
+val fcsr : t
+val is_int : t -> bool
+val is_fp : t -> bool
+val int_index : t -> int
+val fp_index : t -> int
+
+(** {1 ABI names} *)
+
+val zero : t
+
+val ra : t
+(** [ra] is the standard link register (paper §3.1.3). *)
+
+val sp : t
+val gp : t
+val tp : t
+val t0 : t
+val t1 : t
+val t2 : t
+val s0 : t
+
+val fp : t
+(** [fp] is an alias of s0 — the nominal frame pointer (§3.2.7). *)
+
+val s1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val a4 : t
+val a5 : t
+val a6 : t
+val a7 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+
+(** ABI name ("zero", "ra", "fa0", ...). *)
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** psABI register classes (integer side). *)
+val callee_saved_int : t list
+
+val caller_saved_int : t list
+val arg_regs : t list
+val fp_arg_regs : t list
+val temp_regs : t list
+
+(**/**)
+
+val abi_int_names : string array
+val abi_fp_names : string array

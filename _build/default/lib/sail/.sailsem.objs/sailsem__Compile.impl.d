@@ -1,0 +1,1 @@
+lib/sail/compile.ml: Ast Format Int64 Ir List

@@ -1,0 +1,1 @@
+lib/sail/eval.ml: Bits Dyn_util Float Format Int64 Ir List Option Riscv

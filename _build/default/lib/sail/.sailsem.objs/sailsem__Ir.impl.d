@@ -1,0 +1,1 @@
+lib/sail/ir.ml: Int64 Json List

@@ -1,0 +1,1 @@
+lib/sail/json.ml: Buffer Char Format Int64 List Printf String

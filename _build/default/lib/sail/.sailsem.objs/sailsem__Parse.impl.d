@@ -1,0 +1,1 @@
+lib/sail/parse.ml: Ast Format Int64 List String

@@ -1,0 +1,1 @@
+lib/sail/sail.ml: Compile Hashtbl Ir Json Lazy List Option Parse Riscv Simplify Spec String

@@ -1,0 +1,1 @@
+lib/sail/sail.mli: Hashtbl Ir Json Riscv

@@ -1,0 +1,1 @@
+lib/sail/simplify.ml: Ast List

@@ -1,0 +1,1 @@
+lib/sail/spec.ml: String

@@ -1,0 +1,48 @@
+(* Surface AST of the mini-SAIL language.
+
+   The real RISC-V SAIL model defines one `function clause execute`
+   per instruction; our surface syntax keeps that shape:
+
+     function clause execute (ADDI(rd, rs1, imm)) = {
+       X(rd) = X(rs1) + imm;
+       RETIRE_SUCCESS
+     }
+
+   Error-handling constructs (trap / assert / check_ prefixed calls) are
+   parsed explicitly so the simplification pass can strip them (§3.2.4:
+   the formal
+   model "contains many details related to error handling ... important
+   for formal verification or emulators, but not for dataflow
+   analysis"). *)
+
+type binop =
+  | Add | Sub | Mul | DivS | RemS
+  | And | Or | Xor
+  | Eq | Ne | LtS | LeS | GtS | GeS
+
+type unop = Neg | BitNot | BoolNot
+
+type expr =
+  | Int of int64
+  | Ident of string (* rd/rs1/rs2/rs3/imm/csr/pc/next_pc or a let binding *)
+  | XReg of string (* X(rs1): integer register read by operand field *)
+  | FReg of string (* F(rs1) *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list (* builtins or uninterpreted functions *)
+
+type stmt =
+  | AssignX of string * expr (* X(rd) = e *)
+  | AssignF of string * expr (* F(rd) = e *)
+  | AssignPC of expr
+  | AssignFCSR of expr
+  | Let of string * expr
+  | MemWrite of int * expr * expr (* width-bits, address, value *)
+  | If of expr * stmt list * stmt list
+  | Effect of string * expr list (* csr_write(...), set_reservation(...) *)
+  | Trap of string (* trap("..."), check_*(...), assert(...) *)
+  | Retire (* RETIRE_SUCCESS *)
+  | Skip
+
+type clause = { name : string; args : string list; body : stmt list }
+type spec = clause list

@@ -1,0 +1,117 @@
+(* AST -> IR compiler: resolves operand-field identifiers, lowers builtin
+   function calls to IR constructors, and leaves everything else as
+   uninterpreted [Opaque] applications. *)
+
+exception Compile_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+let lower_binop : Ast.binop -> Ir.binop = function
+  | Ast.Add -> Ir.Add
+  | Ast.Sub -> Ir.Sub
+  | Ast.Mul -> Ir.Mul
+  | Ast.DivS -> Ir.DivS
+  | Ast.RemS -> Ir.RemS
+  | Ast.And -> Ir.And
+  | Ast.Or -> Ir.Or
+  | Ast.Xor -> Ir.Xor
+  | Ast.Eq -> Ir.Eq
+  | Ast.Ne -> Ir.Ne
+  | Ast.LtS -> Ir.LtS
+  | Ast.LeS -> Ir.LeS
+  | Ast.GtS -> Ir.GtS
+  | Ast.GeS -> Ir.GeS
+
+let lower_unop : Ast.unop -> Ir.unop = function
+  | Ast.Neg -> Ir.Neg
+  | Ast.BitNot -> Ir.BitNot
+  | Ast.BoolNot -> Ir.BoolNot
+
+let field_of_string ~clause = function
+  | "rd" -> Ir.F_rd
+  | "rs1" -> Ir.F_rs1
+  | "rs2" -> Ir.F_rs2
+  | "rs3" -> Ir.F_rs3
+  | f -> fail "%s: unknown operand field %s" clause f
+
+(* [bound] tracks let-bound names so unknown identifiers are reported. *)
+let rec lower_expr ~clause ~bound (e : Ast.expr) : Ir.expr =
+  let recur = lower_expr ~clause ~bound in
+  match e with
+  | Ast.Int v -> Ir.Const v
+  | Ast.Ident "imm" -> Ir.ImmVal
+  | Ast.Ident "csr" -> Ir.CsrVal
+  | Ast.Ident "pc" -> Ir.ReadPC
+  | Ast.Ident "next_pc" -> Ir.NextPC
+  | Ast.Ident x ->
+      if List.mem x bound then Ir.Var x
+      else fail "%s: unbound identifier %s" clause x
+  | Ast.XReg f -> Ir.ReadX (field_of_string ~clause f)
+  | Ast.FReg f -> Ir.ReadF (field_of_string ~clause f)
+  | Ast.Binop (op, a, b) -> Ir.Binop (lower_binop op, recur a, recur b)
+  | Ast.Unop (op, a) -> Ir.Unop (lower_unop op, recur a)
+  | Ast.Call (name, args) -> (
+      let args' () = List.map recur args in
+      match (name, args) with
+      | "sign_extend", [ a; Ast.Int n ] -> Ir.SignExt (recur a, Int64.to_int n)
+      | "zero_extend", [ a; Ast.Int n ] -> Ir.ZeroExt (recur a, Int64.to_int n)
+      | "shift_left", [ a; b ] -> Ir.Binop (Ir.Shl, recur a, recur b)
+      | "shift_right_logical", [ a; b ] -> Ir.Binop (Ir.LshR, recur a, recur b)
+      | "shift_right_arith", [ a; b ] -> Ir.Binop (Ir.AshR, recur a, recur b)
+      | "lt_u", [ a; b ] -> Ir.Binop (Ir.LtU, recur a, recur b)
+      | "ge_u", [ a; b ] -> Ir.Binop (Ir.GeU, recur a, recur b)
+      | "div_u", [ a; b ] -> Ir.Binop (Ir.DivU, recur a, recur b)
+      | "rem_u", [ a; b ] -> Ir.Binop (Ir.RemU, recur a, recur b)
+      | "mulh", [ a; b ] -> Ir.Binop (Ir.MulH, recur a, recur b)
+      | "mulhu", [ a; b ] -> Ir.Binop (Ir.MulHU, recur a, recur b)
+      | "mulhsu", [ a; b ] -> Ir.Binop (Ir.MulHSU, recur a, recur b)
+      | "mem_read_8", [ a ] -> Ir.Load (8, recur a)
+      | "mem_read_16", [ a ] -> Ir.Load (16, recur a)
+      | "mem_read_32", [ a ] -> Ir.Load (32, recur a)
+      | "mem_read_64", [ a ] -> Ir.Load (64, recur a)
+      | "min_int64", [] -> Ir.Const Int64.min_int
+      | _ -> Ir.Opaque (name, args' ()))
+
+let rec lower_stmts ~clause ~bound (stmts : Ast.stmt list) : Ir.stmt list =
+  match stmts with
+  | [] -> []
+  | s :: rest -> (
+      match s with
+      | Ast.Let (x, e) ->
+          Ir.SLet (x, lower_expr ~clause ~bound e)
+          :: lower_stmts ~clause ~bound:(x :: bound) rest
+      | Ast.AssignX (f, e) ->
+          Ir.SSetX (field_of_string ~clause f, lower_expr ~clause ~bound e)
+          :: lower_stmts ~clause ~bound rest
+      | Ast.AssignF (f, e) ->
+          Ir.SSetF (field_of_string ~clause f, lower_expr ~clause ~bound e)
+          :: lower_stmts ~clause ~bound rest
+      | Ast.AssignPC e ->
+          Ir.SSetPC (lower_expr ~clause ~bound e)
+          :: lower_stmts ~clause ~bound rest
+      | Ast.AssignFCSR e ->
+          Ir.SSetFCSR (lower_expr ~clause ~bound e)
+          :: lower_stmts ~clause ~bound rest
+      | Ast.MemWrite (w, a, v) ->
+          Ir.SStore (w, lower_expr ~clause ~bound a, lower_expr ~clause ~bound v)
+          :: lower_stmts ~clause ~bound rest
+      | Ast.If (c, a, b) ->
+          Ir.SIf
+            ( lower_expr ~clause ~bound c,
+              lower_stmts ~clause ~bound a,
+              lower_stmts ~clause ~bound b )
+          :: lower_stmts ~clause ~bound rest
+      | Ast.Effect (name, args) ->
+          Ir.SEffect (name, List.map (lower_expr ~clause ~bound) args)
+          :: lower_stmts ~clause ~bound rest
+      | Ast.Trap _ | Ast.Retire | Ast.Skip ->
+          (* tolerated if the caller skipped simplification *)
+          lower_stmts ~clause ~bound rest)
+
+let lower_clause (c : Ast.clause) : Ir.sem =
+  {
+    Ir.sem_name = c.Ast.name;
+    stmts = lower_stmts ~clause:c.Ast.name ~bound:[] c.Ast.body;
+  }
+
+let lower (spec : Ast.spec) : Ir.sem list = List.map lower_clause spec

@@ -1,0 +1,229 @@
+(* An evaluator for the semantic IR.
+
+   This is the "executable model" side of SAIL: given a concrete
+   instruction and an abstract machine state, execute the IR statements.
+   Its primary use is the agreement test suite, which checks that the
+   semantics pipeline and the hand-written simulator compute identical
+   results for randomly generated instructions — the strongest evidence
+   we can offer that the dataflow semantics are faithful. *)
+
+open Dyn_util
+
+type state = {
+  get_x : int -> int64;
+  set_x : int -> int64 -> unit;
+  get_f : int -> int64; (* raw bits *)
+  set_f : int -> int64 -> unit;
+  load : int -> int64 -> int64; (* width-bits -> addr -> zero-extended *)
+  store : int -> int64 -> int64 -> unit;
+  csr_read : int -> int64;
+  csr_write : int -> int64 -> unit;
+  get_fcsr : unit -> int64;
+  set_fcsr : int64 -> unit;
+  mutable reservation : int64 option;
+}
+
+exception Eval_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let bool_to_v b = if b then 1L else 0L
+
+let eval_binop (op : Ir.binop) (a : int64) (b : int64) : int64 =
+  let sh = Int64.to_int (Int64.logand b 63L) in
+  match op with
+  | Ir.Add -> Int64.add a b
+  | Ir.Sub -> Int64.sub a b
+  | Ir.Mul -> Int64.mul a b
+  | Ir.DivS -> if b = 0L then fail "division by zero in semantics" else Int64.div a b
+  | Ir.DivU -> if b = 0L then fail "division by zero in semantics" else Int64.unsigned_div a b
+  | Ir.RemS -> if b = 0L then fail "remainder by zero in semantics" else Int64.rem a b
+  | Ir.RemU -> if b = 0L then fail "remainder by zero in semantics" else Int64.unsigned_rem a b
+  | Ir.MulH -> Riscv.Fpu.mulh a b
+  | Ir.MulHU -> Riscv.Fpu.mulhu a b
+  | Ir.MulHSU -> Riscv.Fpu.mulhsu a b
+  | Ir.And -> Int64.logand a b
+  | Ir.Or -> Int64.logor a b
+  | Ir.Xor -> Int64.logxor a b
+  | Ir.Shl -> Int64.shift_left a sh
+  | Ir.LshR -> Int64.shift_right_logical a sh
+  | Ir.AshR -> Int64.shift_right a sh
+  | Ir.Eq -> bool_to_v (Int64.equal a b)
+  | Ir.Ne -> bool_to_v (not (Int64.equal a b))
+  | Ir.LtS -> bool_to_v (Int64.compare a b < 0)
+  | Ir.LeS -> bool_to_v (Int64.compare a b <= 0)
+  | Ir.GtS -> bool_to_v (Int64.compare a b > 0)
+  | Ir.GeS -> bool_to_v (Int64.compare a b >= 0)
+  | Ir.LtU -> bool_to_v (Int64.unsigned_compare a b < 0)
+  | Ir.GeU -> bool_to_v (Int64.unsigned_compare a b >= 0)
+
+let eval_unop (op : Ir.unop) (a : int64) : int64 =
+  match op with
+  | Ir.Neg -> Int64.neg a
+  | Ir.BitNot -> Int64.lognot a
+  | Ir.BoolNot -> bool_to_v (Int64.equal a 0L)
+
+(* FP opaque functions, implemented exactly as the simulator does. *)
+let eval_fp_opaque ~(insn : Riscv.Insn.t) name (args : int64 list) : int64 =
+  let open Riscv.Fpu in
+  let d = f64_of_bits in
+  let s bits = f32_of_bits (unbox32 bits) in
+  let rd f = bits_of_f64 f in
+  let rs f = nan_box32 (bits_of_f32 f) in
+  let sx32 = Bits.to_int32_sx in
+  let rm = insn.Riscv.Insn.rm in
+  match (name, args) with
+  | "nan_box_32", [ a ] -> nan_box32 (Int64.to_int (Int64.logand a 0xFFFF_FFFFL))
+  | "unbox_32", [ a ] -> Int64.of_int (unbox32 a)
+  | "fadd_s", [ a; b ] -> rs (s a +. s b)
+  | "fsub_s", [ a; b ] -> rs (s a -. s b)
+  | "fmul_s", [ a; b ] -> rs (s a *. s b)
+  | "fdiv_s", [ a; b ] -> rs (s a /. s b)
+  | "fsqrt_s", [ a ] -> rs (Float.sqrt (s a))
+  | "fmadd_s", [ a; b; c ] -> rs (Float.fma (s a) (s b) (s c))
+  | "fmsub_s", [ a; b; c ] -> rs (Float.fma (s a) (s b) (-.s c))
+  | "fnmsub_s", [ a; b; c ] -> rs (Float.fma (-.s a) (s b) (s c))
+  | "fnmadd_s", [ a; b; c ] -> rs (Float.fma (-.s a) (s b) (-.s c))
+  | "fadd_d", [ a; b ] -> rd (d a +. d b)
+  | "fsub_d", [ a; b ] -> rd (d a -. d b)
+  | "fmul_d", [ a; b ] -> rd (d a *. d b)
+  | "fdiv_d", [ a; b ] -> rd (d a /. d b)
+  | "fsqrt_d", [ a ] -> rd (Float.sqrt (d a))
+  | "fmadd_d", [ a; b; c ] -> rd (Float.fma (d a) (d b) (d c))
+  | "fmsub_d", [ a; b; c ] -> rd (Float.fma (d a) (d b) (-.d c))
+  | "fnmsub_d", [ a; b; c ] -> rd (Float.fma (-.d a) (d b) (d c))
+  | "fnmadd_d", [ a; b; c ] -> rd (Float.fma (-.d a) (d b) (-.d c))
+  | "fmin_s", [ a; b ] -> rs (Float.min_num (s a) (s b))
+  | "fmax_s", [ a; b ] -> rs (Float.max_num (s a) (s b))
+  | "fmin_d", [ a; b ] -> rd (Float.min_num (d a) (d b))
+  | "fmax_d", [ a; b ] -> rd (Float.max_num (d a) (d b))
+  | "feq_s", [ a; b ] -> bool_to_v (s a = s b)
+  | "flt_s", [ a; b ] -> bool_to_v (s a < s b)
+  | "fle_s", [ a; b ] -> bool_to_v (s a <= s b)
+  | "feq_d", [ a; b ] -> bool_to_v (d a = d b)
+  | "flt_d", [ a; b ] -> bool_to_v (d a < d b)
+  | "fle_d", [ a; b ] -> bool_to_v (d a <= d b)
+  | "fclass_s", [ a ] -> Int64.of_int (fclass (s a))
+  | "fclass_d", [ a ] -> Int64.of_int (fclass (d a))
+  | "fcvt_w_s", [ a ] -> sx32 (fcvt_to_int64 ~rm ~signed:true ~width:32 (s a))
+  | "fcvt_wu_s", [ a ] -> sx32 (fcvt_to_int64 ~rm ~signed:false ~width:32 (s a))
+  | "fcvt_l_s", [ a ] -> fcvt_to_int64 ~rm ~signed:true ~width:64 (s a)
+  | "fcvt_lu_s", [ a ] -> fcvt_to_int64 ~rm ~signed:false ~width:64 (s a)
+  | "fcvt_w_d", [ a ] -> sx32 (fcvt_to_int64 ~rm ~signed:true ~width:32 (d a))
+  | "fcvt_wu_d", [ a ] -> sx32 (fcvt_to_int64 ~rm ~signed:false ~width:32 (d a))
+  | "fcvt_l_d", [ a ] -> fcvt_to_int64 ~rm ~signed:true ~width:64 (d a)
+  | "fcvt_lu_d", [ a ] -> fcvt_to_int64 ~rm ~signed:false ~width:64 (d a)
+  | "fcvt_s_w", [ a ] -> rs (Int64.to_float (sx32 a))
+  | "fcvt_s_wu", [ a ] -> rs (Int64.to_float (Bits.to_uint32 a))
+  | "fcvt_s_l", [ a ] -> rs (Int64.to_float a)
+  | "fcvt_s_lu", [ a ] -> rs (u64_to_float a)
+  | "fcvt_d_w", [ a ] -> rd (Int64.to_float (sx32 a))
+  | "fcvt_d_wu", [ a ] -> rd (Int64.to_float (Bits.to_uint32 a))
+  | "fcvt_d_l", [ a ] -> rd (Int64.to_float a)
+  | "fcvt_d_lu", [ a ] -> rd (u64_to_float a)
+  | "fcvt_s_d", [ a ] -> rs (d a)
+  | "fcvt_d_s", [ a ] -> rd (s a)
+  | _ -> fail "unknown opaque function %s/%d" name (List.length args)
+
+type env = (string * int64) list
+
+let field_value (insn : Riscv.Insn.t) = function
+  | Ir.F_rd -> insn.Riscv.Insn.rd
+  | Ir.F_rs1 -> insn.Riscv.Insn.rs1
+  | Ir.F_rs2 -> insn.Riscv.Insn.rs2
+  | Ir.F_rs3 -> insn.Riscv.Insn.rs3
+
+let rec eval_expr ~(insn : Riscv.Insn.t) ~pc ~(st : state) (env : env)
+    (e : Ir.expr) : int64 =
+  let recur = eval_expr ~insn ~pc ~st env in
+  match e with
+  | Ir.Const v -> v
+  | Ir.ImmVal -> insn.Riscv.Insn.imm
+  | Ir.CsrVal -> Int64.of_int insn.Riscv.Insn.csr
+  | Ir.ReadPC -> pc
+  | Ir.NextPC -> Int64.add pc (Int64.of_int insn.Riscv.Insn.len)
+  | Ir.Var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> fail "unbound variable %s" x)
+  | Ir.ReadX f ->
+      let r = field_value insn f in
+      if r = 0 then 0L else st.get_x r
+  | Ir.ReadF f -> st.get_f (field_value insn f)
+  | Ir.Load (w, a) -> st.load w (recur a)
+  | Ir.Binop (op, a, b) -> eval_binop op (recur a) (recur b)
+  | Ir.Unop (op, a) -> eval_unop op (recur a)
+  | Ir.SignExt (a, n) -> Bits.sign_extend64 (recur a) n
+  | Ir.ZeroExt (a, n) -> Bits.extract64 (recur a) 0 n
+  | Ir.Opaque (name, args) -> (
+      let vargs = List.map recur args in
+      match (name, vargs) with
+      | "csr_read", [ c ] -> st.csr_read (Int64.to_int c)
+      | "zimm", [] -> Int64.of_int insn.Riscv.Insn.rs1
+      | "fp_flags", [] -> st.get_fcsr ()
+      | "reservation_valid", [ a ] -> bool_to_v (st.reservation = Some a)
+      | "clz64", [ a ] -> Riscv.Bitmanip.clz64 a
+      | "ctz64", [ a ] -> Riscv.Bitmanip.ctz64 a
+      | "cpop64", [ a ] -> Riscv.Bitmanip.cpop64 a
+      | "clz32", [ a ] -> Riscv.Bitmanip.clz32 a
+      | "ctz32", [ a ] -> Riscv.Bitmanip.ctz32 a
+      | "cpop32", [ a ] -> Riscv.Bitmanip.cpop32 a
+      | "rol64", [ a; b ] -> Riscv.Bitmanip.rol64 a b
+      | "ror64", [ a; b ] -> Riscv.Bitmanip.ror64 a b
+      | "rolw", [ a; b ] -> Riscv.Bitmanip.rolw a b
+      | "rorw", [ a; b ] -> Riscv.Bitmanip.rorw a b
+      | "rev8", [ a ] -> Riscv.Bitmanip.rev8 a
+      | "orc_b", [ a ] -> Riscv.Bitmanip.orc_b a
+      | _ -> eval_fp_opaque ~insn name vargs)
+
+let rec eval_stmts ~insn ~pc ~st env (stmts : Ir.stmt list) : env * int64 option =
+  match stmts with
+  | [] -> (env, None)
+  | s :: rest -> (
+      match s with
+      | Ir.SLet (x, e) ->
+          let v = eval_expr ~insn ~pc ~st env e in
+          eval_stmts ~insn ~pc ~st ((x, v) :: env) rest
+      | Ir.SSetX (f, e) ->
+          let r = field_value insn f in
+          let v = eval_expr ~insn ~pc ~st env e in
+          if r <> 0 then st.set_x r v;
+          eval_stmts ~insn ~pc ~st env rest
+      | Ir.SSetF (f, e) ->
+          st.set_f (field_value insn f) (eval_expr ~insn ~pc ~st env e);
+          eval_stmts ~insn ~pc ~st env rest
+      | Ir.SSetPC e ->
+          let target = eval_expr ~insn ~pc ~st env e in
+          let env, later = eval_stmts ~insn ~pc ~st env rest in
+          (env, Some (Option.value later ~default:target))
+      | Ir.SSetFCSR e ->
+          st.set_fcsr (eval_expr ~insn ~pc ~st env e);
+          eval_stmts ~insn ~pc ~st env rest
+      | Ir.SStore (w, a, v) ->
+          st.store w
+            (eval_expr ~insn ~pc ~st env a)
+            (eval_expr ~insn ~pc ~st env v);
+          eval_stmts ~insn ~pc ~st env rest
+      | Ir.SIf (c, then_b, else_b) ->
+          let branch =
+            if Int64.equal (eval_expr ~insn ~pc ~st env c) 0L then else_b
+            else then_b
+          in
+          let _, pc1 = eval_stmts ~insn ~pc ~st env branch in
+          let env, pc2 = eval_stmts ~insn ~pc ~st env rest in
+          (env, match pc2 with Some _ -> pc2 | None -> pc1)
+      | Ir.SEffect (name, args) ->
+          let vargs = List.map (eval_expr ~insn ~pc ~st env) args in
+          (match (name, vargs) with
+          | "csr_write", [ c; v ] -> st.csr_write (Int64.to_int c) v
+          | "set_reservation", [ a ] -> st.reservation <- Some a
+          | "clear_reservation", [] -> st.reservation <- None
+          | "flush_fetch_buffer", [] -> ()
+          | _ -> fail "unknown effect %s" name);
+          eval_stmts ~insn ~pc ~st env rest)
+
+(* Execute [sem] for the concrete [insn] at [pc].  Returns the next pc. *)
+let exec (sem : Ir.sem) ~(insn : Riscv.Insn.t) ~(pc : int64) (st : state) :
+    int64 =
+  let _, pc' = eval_stmts ~insn ~pc ~st [] sem.Ir.stmts in
+  Option.value pc' ~default:(Int64.add pc (Int64.of_int insn.Riscv.Insn.len))

@@ -1,0 +1,252 @@
+(* The semantic IR: what the pipeline produces and what DataflowAPI
+   consumes.  It mirrors the paper's "simplified JSON representation ...
+   that contains essential semantics of each instruction without
+   extraneous error-handling code"; [to_json]/[of_json] give the actual
+   JSON form. *)
+
+type field = F_rd | F_rs1 | F_rs2 | F_rs3
+
+type binop =
+  | Add | Sub | Mul | DivS | DivU | RemS | RemU
+  | MulH | MulHU | MulHSU
+  | And | Or | Xor
+  | Shl | LshR | AshR
+  | Eq | Ne | LtS | LeS | GtS | GeS | LtU | GeU
+
+type unop = Neg | BitNot | BoolNot
+
+type expr =
+  | Const of int64
+  | ImmVal (* the instruction's immediate *)
+  | CsrVal (* the instruction's CSR index *)
+  | ReadPC
+  | NextPC (* pc + instruction length *)
+  | Var of string (* let-bound *)
+  | ReadX of field (* integer register named by an operand field *)
+  | ReadF of field (* FP register named by an operand field *)
+  | Load of int * expr (* width in bits, address; zero-extends *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | SignExt of expr * int (* treat low n bits as signed *)
+  | ZeroExt of expr * int
+  | Opaque of string * expr list (* uninterpreted function *)
+
+type stmt =
+  | SLet of string * expr
+  | SSetX of field * expr
+  | SSetF of field * expr
+  | SSetPC of expr
+  | SSetFCSR of expr
+  | SStore of int * expr * expr (* width-bits, address, value *)
+  | SIf of expr * stmt list * stmt list
+  | SEffect of string * expr list (* opaque state effect, e.g. csr_write *)
+
+type sem = { sem_name : string; stmts : stmt list }
+
+(* --- JSON encoding ------------------------------------------------------- *)
+
+let field_name = function
+  | F_rd -> "rd"
+  | F_rs1 -> "rs1"
+  | F_rs2 -> "rs2"
+  | F_rs3 -> "rs3"
+
+let field_of_name = function
+  | "rd" -> F_rd
+  | "rs1" -> F_rs1
+  | "rs2" -> F_rs2
+  | "rs3" -> F_rs3
+  | s -> raise (Json.Parse_error ("bad field " ^ s))
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | DivS -> "divs"
+  | DivU -> "divu" | RemS -> "rems" | RemU -> "remu" | MulH -> "mulh"
+  | MulHU -> "mulhu" | MulHSU -> "mulhsu" | And -> "and" | Or -> "or"
+  | Xor -> "xor" | Shl -> "shl" | LshR -> "lshr" | AshR -> "ashr"
+  | Eq -> "eq" | Ne -> "ne" | LtS -> "lts" | LeS -> "les" | GtS -> "gts"
+  | GeS -> "ges" | LtU -> "ltu" | GeU -> "geu"
+
+let binop_of_name = function
+  | "add" -> Add | "sub" -> Sub | "mul" -> Mul | "divs" -> DivS
+  | "divu" -> DivU | "rems" -> RemS | "remu" -> RemU | "mulh" -> MulH
+  | "mulhu" -> MulHU | "mulhsu" -> MulHSU | "and" -> And | "or" -> Or
+  | "xor" -> Xor | "shl" -> Shl | "lshr" -> LshR | "ashr" -> AshR
+  | "eq" -> Eq | "ne" -> Ne | "lts" -> LtS | "les" -> LeS | "gts" -> GtS
+  | "ges" -> GeS | "ltu" -> LtU | "geu" -> GeU
+  | s -> raise (Json.Parse_error ("bad binop " ^ s))
+
+let unop_name = function Neg -> "neg" | BitNot -> "bitnot" | BoolNot -> "boolnot"
+
+let unop_of_name = function
+  | "neg" -> Neg
+  | "bitnot" -> BitNot
+  | "boolnot" -> BoolNot
+  | s -> raise (Json.Parse_error ("bad unop " ^ s))
+
+let rec expr_to_json (e : expr) : Json.t =
+  let tag t rest = Json.List (Json.String t :: rest) in
+  match e with
+  | Const v -> tag "const" [ Json.Int v ]
+  | ImmVal -> tag "imm" []
+  | CsrVal -> tag "csr" []
+  | ReadPC -> tag "pc" []
+  | NextPC -> tag "next_pc" []
+  | Var s -> tag "var" [ Json.String s ]
+  | ReadX f -> tag "x" [ Json.String (field_name f) ]
+  | ReadF f -> tag "f" [ Json.String (field_name f) ]
+  | Load (w, a) -> tag "load" [ Json.Int (Int64.of_int w); expr_to_json a ]
+  | Binop (op, a, b) ->
+      tag "binop" [ Json.String (binop_name op); expr_to_json a; expr_to_json b ]
+  | Unop (op, a) -> tag "unop" [ Json.String (unop_name op); expr_to_json a ]
+  | SignExt (a, n) -> tag "sext" [ expr_to_json a; Json.Int (Int64.of_int n) ]
+  | ZeroExt (a, n) -> tag "zext" [ expr_to_json a; Json.Int (Int64.of_int n) ]
+  | Opaque (name, args) ->
+      tag "opaque" (Json.String name :: List.map expr_to_json args)
+
+let rec expr_of_json (j : Json.t) : expr =
+  match j with
+  | Json.List (Json.String tag :: rest) -> (
+      match (tag, rest) with
+      | "const", [ Json.Int v ] -> Const v
+      | "imm", [] -> ImmVal
+      | "csr", [] -> CsrVal
+      | "pc", [] -> ReadPC
+      | "next_pc", [] -> NextPC
+      | "var", [ Json.String s ] -> Var s
+      | "x", [ Json.String f ] -> ReadX (field_of_name f)
+      | "f", [ Json.String f ] -> ReadF (field_of_name f)
+      | "load", [ Json.Int w; a ] -> Load (Int64.to_int w, expr_of_json a)
+      | "binop", [ Json.String op; a; b ] ->
+          Binop (binop_of_name op, expr_of_json a, expr_of_json b)
+      | "unop", [ Json.String op; a ] -> Unop (unop_of_name op, expr_of_json a)
+      | "sext", [ a; Json.Int n ] -> SignExt (expr_of_json a, Int64.to_int n)
+      | "zext", [ a; Json.Int n ] -> ZeroExt (expr_of_json a, Int64.to_int n)
+      | "opaque", Json.String name :: args ->
+          Opaque (name, List.map expr_of_json args)
+      | _ -> raise (Json.Parse_error ("bad expr tag " ^ tag)))
+  | _ -> raise (Json.Parse_error "expected expr")
+
+let rec stmt_to_json (s : stmt) : Json.t =
+  let tag t rest = Json.List (Json.String t :: rest) in
+  match s with
+  | SLet (x, e) -> tag "let" [ Json.String x; expr_to_json e ]
+  | SSetX (f, e) -> tag "setx" [ Json.String (field_name f); expr_to_json e ]
+  | SSetF (f, e) -> tag "setf" [ Json.String (field_name f); expr_to_json e ]
+  | SSetPC e -> tag "setpc" [ expr_to_json e ]
+  | SSetFCSR e -> tag "setfcsr" [ expr_to_json e ]
+  | SStore (w, a, v) ->
+      tag "store" [ Json.Int (Int64.of_int w); expr_to_json a; expr_to_json v ]
+  | SIf (c, a, b) ->
+      tag "if"
+        [
+          expr_to_json c;
+          Json.List (List.map stmt_to_json a);
+          Json.List (List.map stmt_to_json b);
+        ]
+  | SEffect (name, args) ->
+      tag "effect" (Json.String name :: List.map expr_to_json args)
+
+let rec stmt_of_json (j : Json.t) : stmt =
+  match j with
+  | Json.List (Json.String tag :: rest) -> (
+      match (tag, rest) with
+      | "let", [ Json.String x; e ] -> SLet (x, expr_of_json e)
+      | "setx", [ Json.String f; e ] -> SSetX (field_of_name f, expr_of_json e)
+      | "setf", [ Json.String f; e ] -> SSetF (field_of_name f, expr_of_json e)
+      | "setpc", [ e ] -> SSetPC (expr_of_json e)
+      | "setfcsr", [ e ] -> SSetFCSR (expr_of_json e)
+      | "store", [ Json.Int w; a; v ] ->
+          SStore (Int64.to_int w, expr_of_json a, expr_of_json v)
+      | "if", [ c; Json.List a; Json.List b ] ->
+          SIf (expr_of_json c, List.map stmt_of_json a, List.map stmt_of_json b)
+      | "effect", Json.String name :: args ->
+          SEffect (name, List.map expr_of_json args)
+      | _ -> raise (Json.Parse_error ("bad stmt tag " ^ tag)))
+  | _ -> raise (Json.Parse_error "expected stmt")
+
+let sem_to_json (s : sem) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String s.sem_name);
+      ("stmts", Json.List (List.map stmt_to_json s.stmts));
+    ]
+
+let sem_of_json (j : Json.t) : sem =
+  {
+    sem_name = Json.to_str (Json.member "name" j);
+    stmts = List.map stmt_of_json (Json.to_list (Json.member "stmts" j));
+  }
+
+let spec_to_json (sems : sem list) : Json.t = Json.List (List.map sem_to_json sems)
+
+let spec_of_json (j : Json.t) : sem list = List.map sem_of_json (Json.to_list j)
+
+(* --- effect summaries (used by liveness and parsing) --------------------- *)
+
+(* Register operand fields read anywhere in the semantics, split into
+   integer and FP fields; whether memory / pc / fcsr are touched. *)
+type summary = {
+  reads_x : field list;
+  reads_f : field list;
+  writes_x : field list;
+  writes_f : field list;
+  reads_mem : bool;
+  writes_mem : bool;
+  sets_pc : bool;
+  sets_fcsr : bool;
+}
+
+let summarize (s : sem) : summary =
+  let rx = ref [] and rf = ref [] and wx = ref [] and wf = ref [] in
+  let rmem = ref false and wmem = ref false in
+  let spc = ref false and sfcsr = ref false in
+  let addf l f = if not (List.mem f !l) then l := f :: !l in
+  let rec expr = function
+    | Const _ | ImmVal | CsrVal | ReadPC | NextPC | Var _ -> ()
+    | ReadX f -> addf rx f
+    | ReadF f -> addf rf f
+    | Load (_, a) ->
+        rmem := true;
+        expr a
+    | Binop (_, a, b) ->
+        expr a;
+        expr b
+    | Unop (_, a) -> expr a
+    | SignExt (a, _) | ZeroExt (a, _) -> expr a
+    | Opaque (_, args) -> List.iter expr args
+  in
+  let rec stmt = function
+    | SLet (_, e) -> expr e
+    | SSetX (f, e) ->
+        addf wx f;
+        expr e
+    | SSetF (f, e) ->
+        addf wf f;
+        expr e
+    | SSetPC e ->
+        spc := true;
+        expr e
+    | SSetFCSR e ->
+        sfcsr := true;
+        expr e
+    | SStore (_, a, v) ->
+        wmem := true;
+        expr a;
+        expr v
+    | SIf (c, a, b) ->
+        expr c;
+        List.iter stmt a;
+        List.iter stmt b
+    | SEffect (_, args) -> List.iter expr args
+  in
+  List.iter stmt s.stmts;
+  {
+    reads_x = List.rev !rx;
+    reads_f = List.rev !rf;
+    writes_x = List.rev !wx;
+    writes_f = List.rev !wf;
+    reads_mem = !rmem;
+    writes_mem = !wmem;
+    sets_pc = !spc;
+    sets_fcsr = !sfcsr;
+  }

@@ -1,0 +1,416 @@
+(* Lexer and recursive-descent parser for the mini-SAIL surface syntax. *)
+
+open Ast
+
+exception Syntax_error of string
+
+type token =
+  | TIdent of string
+  | TInt of int64
+  | TString of string (* only used inside trap(...) messages *)
+  | TPunct of string (* ( ) { } , ; *)
+  | TOp of string (* = == != <= >= < > + - * / % & | ^ ~ ! *)
+  | TEOF
+
+let fail fmt = Format.kasprintf (fun s -> raise (Syntax_error s)) fmt
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '"' then begin
+      let start = !i + 1 in
+      incr i;
+      while !i < n && src.[!i] <> '"' do incr i done;
+      if !i >= n then fail "unterminated string literal";
+      push (TString (String.sub src start (!i - start)));
+      incr i
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      push (TIdent (String.sub src start (!i - start)))
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      incr i;
+      if !i < n && (src.[!i] = 'x' || src.[!i] = 'X') then begin
+        incr i;
+        while
+          !i < n
+          && (is_ident_char src.[!i])
+        do incr i done
+      end
+      else while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+      push (TInt (Int64.of_string (String.sub src start (!i - start))))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub src !i 2 else ""
+      in
+      match two with
+      | "==" | "!=" | "<=" | ">=" ->
+          push (TOp two);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | '{' | '}' | ',' | ';' ->
+              push (TPunct (String.make 1 c));
+              incr i
+          | '=' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'
+          | '~' | '!' ->
+              push (TOp (String.make 1 c));
+              incr i
+          | _ -> fail "unexpected character %c at offset %d" c !i)
+    end
+  done;
+  List.rev (TEOF :: !toks)
+
+type ps = { mutable toks : token list }
+
+let peek ps = match ps.toks with t :: _ -> t | [] -> TEOF
+let advance ps = match ps.toks with _ :: r -> ps.toks <- r | [] -> ()
+
+let eat_punct ps p =
+  match peek ps with
+  | TPunct q when q = p -> advance ps
+  | t ->
+      fail "expected %s, got %s" p
+        (match t with
+        | TIdent s -> s
+        | TInt i -> Int64.to_string i
+        | TString s -> "\"" ^ s ^ "\""
+        | TPunct s | TOp s -> s
+        | TEOF -> "<eof>")
+
+let eat_op ps o =
+  match peek ps with
+  | TOp q when q = o -> advance ps
+  | _ -> fail "expected operator %s" o
+
+let eat_ident ps =
+  match peek ps with
+  | TIdent s ->
+      advance ps;
+      s
+  | _ -> fail "expected identifier"
+
+let eat_keyword ps kw =
+  match peek ps with
+  | TIdent s when s = kw -> advance ps
+  | _ -> fail "expected keyword %s" kw
+
+(* expression parsing by precedence climbing *)
+let rec parse_expr ps = parse_or ps
+
+and parse_or ps =
+  let lhs = parse_xor ps in
+  match peek ps with
+  | TOp "|" ->
+      advance ps;
+      Binop (Or, lhs, parse_or ps)
+  | _ -> lhs
+
+and parse_xor ps =
+  let lhs = parse_and ps in
+  match peek ps with
+  | TOp "^" ->
+      advance ps;
+      Binop (Xor, lhs, parse_xor ps)
+  | _ -> lhs
+
+and parse_and ps =
+  let lhs = parse_cmp ps in
+  match peek ps with
+  | TOp "&" ->
+      advance ps;
+      Binop (And, lhs, parse_and ps)
+  | _ -> lhs
+
+and parse_cmp ps =
+  let lhs = parse_addsub ps in
+  match peek ps with
+  | TOp "==" -> advance ps; Binop (Eq, lhs, parse_addsub ps)
+  | TOp "!=" -> advance ps; Binop (Ne, lhs, parse_addsub ps)
+  | TOp "<" -> advance ps; Binop (LtS, lhs, parse_addsub ps)
+  | TOp "<=" -> advance ps; Binop (LeS, lhs, parse_addsub ps)
+  | TOp ">" -> advance ps; Binop (GtS, lhs, parse_addsub ps)
+  | TOp ">=" -> advance ps; Binop (GeS, lhs, parse_addsub ps)
+  | _ -> lhs
+
+and parse_addsub ps =
+  let rec go lhs =
+    match peek ps with
+    | TOp "+" ->
+        advance ps;
+        go (Binop (Add, lhs, parse_muldiv ps))
+    | TOp "-" ->
+        advance ps;
+        go (Binop (Sub, lhs, parse_muldiv ps))
+    | _ -> lhs
+  in
+  go (parse_muldiv ps)
+
+and parse_muldiv ps =
+  let rec go lhs =
+    match peek ps with
+    | TOp "*" ->
+        advance ps;
+        go (Binop (Mul, lhs, parse_unary ps))
+    | TOp "/" ->
+        advance ps;
+        go (Binop (DivS, lhs, parse_unary ps))
+    | TOp "%" ->
+        advance ps;
+        go (Binop (RemS, lhs, parse_unary ps))
+    | _ -> lhs
+  in
+  go (parse_unary ps)
+
+and parse_unary ps =
+  match peek ps with
+  | TOp "-" ->
+      advance ps;
+      Unop (Neg, parse_unary ps)
+  | TOp "~" ->
+      advance ps;
+      Unop (BitNot, parse_unary ps)
+  | TOp "!" ->
+      advance ps;
+      Unop (BoolNot, parse_unary ps)
+  | _ -> parse_atom ps
+
+and parse_atom ps =
+  match peek ps with
+  | TInt v ->
+      advance ps;
+      Int v
+  | TPunct "(" ->
+      advance ps;
+      let e = parse_expr ps in
+      eat_punct ps ")";
+      e
+  | TIdent name -> (
+      advance ps;
+      match peek ps with
+      | TPunct "(" ->
+          advance ps;
+          let args =
+            if peek ps = TPunct ")" then []
+            else
+              let rec go acc =
+                let e = parse_expr ps in
+                match peek ps with
+                | TPunct "," ->
+                    advance ps;
+                    go (e :: acc)
+                | _ -> List.rev (e :: acc)
+              in
+              go []
+          in
+          eat_punct ps ")";
+          if name = "X" then
+            match args with
+            | [ Ident f ] -> XReg f
+            | _ -> fail "X() takes one operand-field argument"
+          else if name = "F" then
+            match args with
+            | [ Ident f ] -> FReg f
+            | _ -> fail "F() takes one operand-field argument"
+          else Call (name, args)
+      | _ -> Ident name)
+  | TString _ -> fail "string literal outside trap()"
+  | TOp o -> fail "unexpected operator %s in expression" o
+  | TPunct p -> fail "unexpected %s in expression" p
+  | TEOF -> fail "unexpected end of input"
+
+let is_trap_call name =
+  name = "trap" || name = "assert" || name = "internal_error"
+  || (String.length name > 6 && String.sub name 0 6 = "check_")
+  || (String.length name > 9 && String.sub name 0 9 = "validate_")
+
+let rec parse_stmt ps : stmt =
+  match peek ps with
+  | TIdent "let" ->
+      advance ps;
+      let x = eat_ident ps in
+      eat_op ps "=";
+      let e = parse_expr ps in
+      eat_punct ps ";";
+      Let (x, e)
+  | TIdent "if" ->
+      advance ps;
+      let cond = parse_expr ps in
+      eat_keyword ps "then";
+      let then_b = parse_block ps in
+      let else_b =
+        match peek ps with
+        | TIdent "else" ->
+            advance ps;
+            parse_block ps
+        | _ -> []
+      in
+      (match peek ps with TPunct ";" -> advance ps | _ -> ());
+      If (cond, then_b, else_b)
+  | TIdent "X" ->
+      advance ps;
+      eat_punct ps "(";
+      let f = eat_ident ps in
+      eat_punct ps ")";
+      eat_op ps "=";
+      let e = parse_expr ps in
+      eat_punct ps ";";
+      AssignX (f, e)
+  | TIdent "F" ->
+      advance ps;
+      eat_punct ps "(";
+      let f = eat_ident ps in
+      eat_punct ps ")";
+      eat_op ps "=";
+      let e = parse_expr ps in
+      eat_punct ps ";";
+      AssignF (f, e)
+  | TIdent "PC" ->
+      advance ps;
+      eat_op ps "=";
+      let e = parse_expr ps in
+      eat_punct ps ";";
+      AssignPC e
+  | TIdent "FCSR" ->
+      advance ps;
+      eat_op ps "=";
+      let e = parse_expr ps in
+      eat_punct ps ";";
+      AssignFCSR e
+  | TIdent "RETIRE_SUCCESS" ->
+      advance ps;
+      (match peek ps with TPunct ";" -> advance ps | _ -> ());
+      Retire
+  | TIdent "skip" ->
+      advance ps;
+      eat_punct ps ";";
+      Skip
+  | TIdent name when is_trap_call name -> (
+      advance ps;
+      (* swallow the argument list; arguments are error-reporting detail *)
+      match peek ps with
+      | TPunct "(" ->
+          let depth = ref 0 in
+          let rec skip () =
+            match peek ps with
+            | TPunct "(" ->
+                incr depth;
+                advance ps;
+                skip ()
+            | TPunct ")" ->
+                decr depth;
+                advance ps;
+                if !depth > 0 then skip ()
+            | TEOF -> fail "unterminated trap call"
+            | _ ->
+                advance ps;
+                skip ()
+          in
+          skip ();
+          eat_punct ps ";";
+          Trap name
+      | _ ->
+          eat_punct ps ";";
+          Trap name)
+  | TIdent name -> (
+      (* calls in statement position: mem_write_N(addr, v) or effects *)
+      advance ps;
+      eat_punct ps "(";
+      let args =
+        if peek ps = TPunct ")" then []
+        else
+          let rec go acc =
+            let e = parse_expr ps in
+            match peek ps with
+            | TPunct "," ->
+                advance ps;
+                go (e :: acc)
+            | _ -> List.rev (e :: acc)
+          in
+          go []
+      in
+      eat_punct ps ")";
+      eat_punct ps ";";
+      match (name, args) with
+      | "mem_write_8", [ a; v ] -> MemWrite (8, a, v)
+      | "mem_write_16", [ a; v ] -> MemWrite (16, a, v)
+      | "mem_write_32", [ a; v ] -> MemWrite (32, a, v)
+      | "mem_write_64", [ a; v ] -> MemWrite (64, a, v)
+      | _ -> Effect (name, args))
+  | t ->
+      fail "unexpected token %s at statement start"
+        (match t with
+        | TInt i -> Int64.to_string i
+        | TString s -> "\"" ^ s ^ "\""
+        | TPunct s | TOp s -> s
+        | TEOF -> "<eof>"
+        | TIdent s -> s)
+
+and parse_block ps : stmt list =
+  eat_punct ps "{";
+  let rec go acc =
+    match peek ps with
+    | TPunct "}" ->
+        advance ps;
+        List.rev acc
+    | _ -> go (parse_stmt ps :: acc)
+  in
+  go []
+
+let parse_clause ps : clause =
+  eat_keyword ps "function";
+  eat_keyword ps "clause";
+  eat_keyword ps "execute";
+  eat_punct ps "(";
+  let name = eat_ident ps in
+  let args =
+    match peek ps with
+    | TPunct "(" ->
+        advance ps;
+        if peek ps = TPunct ")" then begin
+          advance ps;
+          []
+        end
+        else begin
+          let rec go acc =
+            let a = eat_ident ps in
+            match peek ps with
+            | TPunct "," ->
+                advance ps;
+                go (a :: acc)
+            | _ ->
+                eat_punct ps ")";
+                List.rev (a :: acc)
+          in
+          go []
+        end
+    | _ -> []
+  in
+  eat_punct ps ")";
+  eat_op ps "=";
+  let body = parse_block ps in
+  { name; args; body }
+
+let parse_spec (src : string) : spec =
+  let ps = { toks = tokenize src } in
+  let rec go acc =
+    match peek ps with
+    | TEOF -> List.rev acc
+    | _ -> go (parse_clause ps :: acc)
+  in
+  go []

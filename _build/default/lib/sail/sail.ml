@@ -1,0 +1,55 @@
+(* The pipeline facade, mirroring the paper's §3.2.4 stages:
+
+     SAIL text --parse--> AST --simplify--> AST --lower--> IR
+              --to JSON--> JSON IR --from JSON--> semantic records
+
+   The JSON round trip is not vestigial: the table served to the rest of
+   the system is the one *reconstructed from JSON*, so the JSON IR is
+   guaranteed to carry the complete semantics (the paper's stage-2
+   consumer reads exactly this representation).  Re-running [pipeline]
+   after extending [Spec.text] regenerates everything — the paper's
+   stated maintenance story for new RISC-V extensions. *)
+
+type t = {
+  sems : (Riscv.Op.t, Ir.sem) Hashtbl.t;
+  json : Json.t; (* the intermediate JSON document *)
+  removed_error_handling : int; (* statements stripped by simplification *)
+}
+
+exception Unknown_clause of string
+
+(* Clause names are opcode mnemonics with '.' spelled '_': FCVT_W_D. *)
+let op_of_clause_name name =
+  let mnemonic =
+    String.lowercase_ascii name
+    |> String.map (fun c -> if c = '_' then '.' else c)
+  in
+  match Riscv.Op.of_mnemonic mnemonic with
+  | Some op -> op
+  | None -> raise (Unknown_clause name)
+
+let pipeline_of_text text : t =
+  let ast = Parse.parse_spec text in
+  let removed = Simplify.count_error_handling ast in
+  let simplified = Simplify.simplify ast in
+  let ir = Compile.lower simplified in
+  let json = Ir.spec_to_json ir in
+  (* stage 2 consumes the JSON, exactly as the paper's C++ generator does *)
+  let reread = Ir.spec_of_json (Json.of_string (Json.to_string json)) in
+  let sems = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Ir.sem) -> Hashtbl.replace sems (op_of_clause_name s.Ir.sem_name) s)
+    reread;
+  { sems; json; removed_error_handling = removed }
+
+let default = lazy (pipeline_of_text Spec.text)
+
+(* Semantics for an opcode, from the default RV64GC specification. *)
+let sem_of_op (op : Riscv.Op.t) : Ir.sem option =
+  Hashtbl.find_opt (Lazy.force default).sems op
+
+let summary_of_op op = Option.map Ir.summarize (sem_of_op op)
+
+(* The JSON document for external consumers (bin/sail_pipeline dumps it). *)
+let json_ir () = (Lazy.force default).json
+let removed_error_handling () = (Lazy.force default).removed_error_handling

@@ -1,0 +1,43 @@
+(** The SAIL semantics pipeline facade (paper §3.2.4).
+
+    Stage for stage:
+    {v
+    mini-SAIL text --parse--> AST --simplify--> AST --lower--> IR
+                   --to JSON--> JSON IR --from JSON--> semantic records
+    v}
+
+    The table served to DataflowAPI is reconstructed {e from the JSON},
+    so the JSON IR provably carries the complete semantics — it is the
+    artifact the paper's stage-2 (C++ class generator) consumes.
+    Re-running {!pipeline_of_text} after extending [Spec.text]
+    regenerates everything: the paper's maintenance story for new RISC-V
+    extensions (demonstrated here by Zba/Zbb). *)
+
+type t = {
+  sems : (Riscv.Op.t, Ir.sem) Hashtbl.t;
+  json : Json.t;  (** the intermediate JSON document *)
+  removed_error_handling : int;
+      (** trap/alignment-check statements stripped by simplification *)
+}
+
+(** Raised when a clause names an opcode absent from the decoder table. *)
+exception Unknown_clause of string
+
+(** Run the full pipeline on a specification text. *)
+val pipeline_of_text : string -> t
+
+(** Semantics of an opcode, from the default RV64GC+Zba+Zbb spec
+    ([Spec.text]); [None] only for opcodes without clauses. *)
+val sem_of_op : Riscv.Op.t -> Ir.sem option
+
+(** Register/memory effect summary of an opcode's semantics. *)
+val summary_of_op : Riscv.Op.t -> Ir.summary option
+
+(** The default pipeline's JSON document (dumped by bin/sail_pipeline). *)
+val json_ir : unit -> Json.t
+
+val removed_error_handling : unit -> int
+
+(**/**)
+
+val op_of_clause_name : string -> Riscv.Op.t

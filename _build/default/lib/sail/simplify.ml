@@ -1,0 +1,51 @@
+(* The simplification pass of the SAIL pipeline (paper §3.2.4): strips
+   error-handling constructs — traps, alignment checks, jump-target
+   validation — that matter to an emulator or a formal model but are
+   noise for dataflow analysis.
+
+   Rules:
+     - [Trap _], [Retire] and [Skip] statements are dropped.
+     - an [If] whose surviving then-branch is empty and else-branch is
+       empty disappears entirely (the classic
+       `if check_misaligned(x) then trap(...)` pattern);
+     - an [If] with an empty then-branch but a surviving else-branch is
+       flipped so the real work is in the then-branch. *)
+
+open Ast
+
+let rec simplify_stmts (stmts : stmt list) : stmt list =
+  List.concat_map simplify_stmt stmts
+
+and simplify_stmt (s : stmt) : stmt list =
+  match s with
+  | Trap _ | Retire | Skip -> []
+  | If (cond, then_b, else_b) -> (
+      let then_b = simplify_stmts then_b in
+      let else_b = simplify_stmts else_b in
+      match (then_b, else_b) with
+      | [], [] -> []
+      | [], else_b -> [ If (Unop (BoolNot, cond), else_b, []) ]
+      | then_b, else_b -> [ If (cond, then_b, else_b) ])
+  | AssignX _ | AssignF _ | AssignPC _ | AssignFCSR _ | Let _ | MemWrite _
+  | Effect _ ->
+      [ s ]
+
+let simplify_clause (c : clause) : clause =
+  { c with body = simplify_stmts c.body }
+
+let simplify (spec : spec) : spec = List.map simplify_clause spec
+
+(* Count error-handling statements, used to report what the pass removed
+   (and in tests to assert the raw spec actually contains them). *)
+let rec count_error_handling_stmts stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Trap _ -> acc + 1
+      | If (_, a, b) ->
+          acc + count_error_handling_stmts a + count_error_handling_stmts b
+      | _ -> acc)
+    0 stmts
+
+let count_error_handling (spec : spec) =
+  List.fold_left (fun acc c -> acc + count_error_handling_stmts c.body) 0 spec

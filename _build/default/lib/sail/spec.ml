@@ -1,0 +1,616 @@
+(* The RV64GC instruction semantics in mini-SAIL surface syntax.
+
+   Modelled on the official riscv-sail specification: one
+   `function clause execute` per instruction, *including* the
+   error-handling detail (alignment checks, jump-target validation,
+   traps) that the real model carries.  The pipeline's simplification
+   pass strips those; keeping them here exercises the paper's stated
+   reason for the pipeline existing at all (§3.2.4).
+
+   Conventions:
+     X(f)/F(f)       integer / FP register named by operand field f
+     imm, csr        instruction fields
+     pc, next_pc     address of this instruction / of the next one
+     mem_read_N      zero-extending N-bit load (N in 8/16/32/64)
+     mem_write_N     N-bit store (value truncated to N bits)
+     sign_extend(e,n) treat the low n bits of e as signed
+     Anything else is an uninterpreted function evaluated by the
+     simulator-agreement layer (Eval) and treated as opaque by
+     DataflowAPI. *)
+
+let rv64i = {|
+function clause execute (LUI(rd, imm)) = { X(rd) = imm; RETIRE_SUCCESS }
+function clause execute (AUIPC(rd, imm)) = { X(rd) = pc + imm; RETIRE_SUCCESS }
+
+function clause execute (JAL(rd, imm)) = {
+  let target = pc + imm;
+  if check_misaligned(target, 2) then { trap("fetch-misaligned"); };
+  X(rd) = next_pc;
+  PC = target;
+  RETIRE_SUCCESS
+}
+
+function clause execute (JALR(rd, rs1, imm)) = {
+  let target = (X(rs1) + imm) & (~ 1);
+  if check_misaligned(target, 2) then { trap("fetch-misaligned"); };
+  X(rd) = next_pc;
+  PC = target;
+  RETIRE_SUCCESS
+}
+
+function clause execute (BEQ(rs1, rs2, imm)) = {
+  if X(rs1) == X(rs2) then { PC = pc + imm; } else { PC = next_pc; };
+  RETIRE_SUCCESS
+}
+function clause execute (BNE(rs1, rs2, imm)) = {
+  if X(rs1) != X(rs2) then { PC = pc + imm; } else { PC = next_pc; };
+  RETIRE_SUCCESS
+}
+function clause execute (BLT(rs1, rs2, imm)) = {
+  if X(rs1) < X(rs2) then { PC = pc + imm; } else { PC = next_pc; };
+  RETIRE_SUCCESS
+}
+function clause execute (BGE(rs1, rs2, imm)) = {
+  if X(rs1) >= X(rs2) then { PC = pc + imm; } else { PC = next_pc; };
+  RETIRE_SUCCESS
+}
+function clause execute (BLTU(rs1, rs2, imm)) = {
+  if lt_u(X(rs1), X(rs2)) then { PC = pc + imm; } else { PC = next_pc; };
+  RETIRE_SUCCESS
+}
+function clause execute (BGEU(rs1, rs2, imm)) = {
+  if ge_u(X(rs1), X(rs2)) then { PC = pc + imm; } else { PC = next_pc; };
+  RETIRE_SUCCESS
+}
+
+function clause execute (LB(rd, rs1, imm)) = {
+  let addr = X(rs1) + imm;
+  X(rd) = sign_extend(mem_read_8(addr), 8);
+  RETIRE_SUCCESS
+}
+function clause execute (LBU(rd, rs1, imm)) = {
+  let addr = X(rs1) + imm;
+  X(rd) = mem_read_8(addr);
+  RETIRE_SUCCESS
+}
+function clause execute (LH(rd, rs1, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 2) then { trap("load-misaligned"); };
+  X(rd) = sign_extend(mem_read_16(addr), 16);
+  RETIRE_SUCCESS
+}
+function clause execute (LHU(rd, rs1, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 2) then { trap("load-misaligned"); };
+  X(rd) = mem_read_16(addr);
+  RETIRE_SUCCESS
+}
+function clause execute (LW(rd, rs1, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 4) then { trap("load-misaligned"); };
+  X(rd) = sign_extend(mem_read_32(addr), 32);
+  RETIRE_SUCCESS
+}
+function clause execute (LWU(rd, rs1, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 4) then { trap("load-misaligned"); };
+  X(rd) = mem_read_32(addr);
+  RETIRE_SUCCESS
+}
+function clause execute (LD(rd, rs1, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 8) then { trap("load-misaligned"); };
+  X(rd) = mem_read_64(addr);
+  RETIRE_SUCCESS
+}
+
+function clause execute (SB(rs1, rs2, imm)) = {
+  mem_write_8(X(rs1) + imm, X(rs2));
+  RETIRE_SUCCESS
+}
+function clause execute (SH(rs1, rs2, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 2) then { trap("store-misaligned"); };
+  mem_write_16(addr, X(rs2));
+  RETIRE_SUCCESS
+}
+function clause execute (SW(rs1, rs2, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 4) then { trap("store-misaligned"); };
+  mem_write_32(addr, X(rs2));
+  RETIRE_SUCCESS
+}
+function clause execute (SD(rs1, rs2, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 8) then { trap("store-misaligned"); };
+  mem_write_64(addr, X(rs2));
+  RETIRE_SUCCESS
+}
+
+function clause execute (ADDI(rd, rs1, imm)) = { X(rd) = X(rs1) + imm; RETIRE_SUCCESS }
+function clause execute (SLTI(rd, rs1, imm)) = {
+  if X(rs1) < imm then { X(rd) = 1; } else { X(rd) = 0; };
+  RETIRE_SUCCESS
+}
+function clause execute (SLTIU(rd, rs1, imm)) = {
+  if lt_u(X(rs1), imm) then { X(rd) = 1; } else { X(rd) = 0; };
+  RETIRE_SUCCESS
+}
+function clause execute (XORI(rd, rs1, imm)) = { X(rd) = X(rs1) ^ imm; RETIRE_SUCCESS }
+function clause execute (ORI(rd, rs1, imm)) = { X(rd) = X(rs1) | imm; RETIRE_SUCCESS }
+function clause execute (ANDI(rd, rs1, imm)) = { X(rd) = X(rs1) & imm; RETIRE_SUCCESS }
+function clause execute (SLLI(rd, rs1, imm)) = { X(rd) = shift_left(X(rs1), imm); RETIRE_SUCCESS }
+function clause execute (SRLI(rd, rs1, imm)) = { X(rd) = shift_right_logical(X(rs1), imm); RETIRE_SUCCESS }
+function clause execute (SRAI(rd, rs1, imm)) = { X(rd) = shift_right_arith(X(rs1), imm); RETIRE_SUCCESS }
+
+function clause execute (ADD(rd, rs1, rs2)) = { X(rd) = X(rs1) + X(rs2); RETIRE_SUCCESS }
+function clause execute (SUB(rd, rs1, rs2)) = { X(rd) = X(rs1) - X(rs2); RETIRE_SUCCESS }
+function clause execute (SLL(rd, rs1, rs2)) = { X(rd) = shift_left(X(rs1), X(rs2) & 63); RETIRE_SUCCESS }
+function clause execute (SLT(rd, rs1, rs2)) = {
+  if X(rs1) < X(rs2) then { X(rd) = 1; } else { X(rd) = 0; };
+  RETIRE_SUCCESS
+}
+function clause execute (SLTU(rd, rs1, rs2)) = {
+  if lt_u(X(rs1), X(rs2)) then { X(rd) = 1; } else { X(rd) = 0; };
+  RETIRE_SUCCESS
+}
+function clause execute (XOR(rd, rs1, rs2)) = { X(rd) = X(rs1) ^ X(rs2); RETIRE_SUCCESS }
+function clause execute (SRL(rd, rs1, rs2)) = { X(rd) = shift_right_logical(X(rs1), X(rs2) & 63); RETIRE_SUCCESS }
+function clause execute (SRA(rd, rs1, rs2)) = { X(rd) = shift_right_arith(X(rs1), X(rs2) & 63); RETIRE_SUCCESS }
+function clause execute (OR(rd, rs1, rs2)) = { X(rd) = X(rs1) | X(rs2); RETIRE_SUCCESS }
+function clause execute (AND(rd, rs1, rs2)) = { X(rd) = X(rs1) & X(rs2); RETIRE_SUCCESS }
+
+function clause execute (ADDIW(rd, rs1, imm)) = { X(rd) = sign_extend(X(rs1) + imm, 32); RETIRE_SUCCESS }
+function clause execute (SLLIW(rd, rs1, imm)) = { X(rd) = sign_extend(shift_left(X(rs1), imm), 32); RETIRE_SUCCESS }
+function clause execute (SRLIW(rd, rs1, imm)) = { X(rd) = sign_extend(shift_right_logical(X(rs1) & 0xFFFFFFFF, imm), 32); RETIRE_SUCCESS }
+function clause execute (SRAIW(rd, rs1, imm)) = { X(rd) = sign_extend(shift_right_arith(sign_extend(X(rs1), 32), imm), 32); RETIRE_SUCCESS }
+function clause execute (ADDW(rd, rs1, rs2)) = { X(rd) = sign_extend(X(rs1) + X(rs2), 32); RETIRE_SUCCESS }
+function clause execute (SUBW(rd, rs1, rs2)) = { X(rd) = sign_extend(X(rs1) - X(rs2), 32); RETIRE_SUCCESS }
+function clause execute (SLLW(rd, rs1, rs2)) = { X(rd) = sign_extend(shift_left(X(rs1), X(rs2) & 31), 32); RETIRE_SUCCESS }
+function clause execute (SRLW(rd, rs1, rs2)) = { X(rd) = sign_extend(shift_right_logical(X(rs1) & 0xFFFFFFFF, X(rs2) & 31), 32); RETIRE_SUCCESS }
+function clause execute (SRAW(rd, rs1, rs2)) = { X(rd) = sign_extend(shift_right_arith(sign_extend(X(rs1), 32), X(rs2) & 31), 32); RETIRE_SUCCESS }
+
+function clause execute (FENCE(rd, rs1, imm)) = { RETIRE_SUCCESS }
+function clause execute (ECALL()) = { trap("environment-call"); RETIRE_SUCCESS }
+function clause execute (EBREAK()) = { trap("breakpoint"); RETIRE_SUCCESS }
+function clause execute (FENCE_I()) = { flush_fetch_buffer(); RETIRE_SUCCESS }
+|}
+
+let zicsr = {|
+function clause execute (CSRRW(rd, rs1, csr)) = {
+  if check_csr_access(csr) then { trap("illegal-csr"); };
+  let old = csr_read(csr);
+  csr_write(csr, X(rs1));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (CSRRS(rd, rs1, csr)) = {
+  if check_csr_access(csr) then { trap("illegal-csr"); };
+  let old = csr_read(csr);
+  csr_write(csr, old | X(rs1));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (CSRRC(rd, rs1, csr)) = {
+  if check_csr_access(csr) then { trap("illegal-csr"); };
+  let old = csr_read(csr);
+  csr_write(csr, old & (~ X(rs1)));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (CSRRWI(rd, csr)) = {
+  let old = csr_read(csr);
+  csr_write(csr, zimm());
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (CSRRSI(rd, csr)) = {
+  let old = csr_read(csr);
+  csr_write(csr, old | zimm());
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (CSRRCI(rd, csr)) = {
+  let old = csr_read(csr);
+  csr_write(csr, old & (~ zimm()));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+|}
+
+let rv64m = {|
+function clause execute (MUL(rd, rs1, rs2)) = { X(rd) = X(rs1) * X(rs2); RETIRE_SUCCESS }
+function clause execute (MULH(rd, rs1, rs2)) = { X(rd) = mulh(X(rs1), X(rs2)); RETIRE_SUCCESS }
+function clause execute (MULHSU(rd, rs1, rs2)) = { X(rd) = mulhsu(X(rs1), X(rs2)); RETIRE_SUCCESS }
+function clause execute (MULHU(rd, rs1, rs2)) = { X(rd) = mulhu(X(rs1), X(rs2)); RETIRE_SUCCESS }
+function clause execute (DIV(rd, rs1, rs2)) = {
+  if X(rs2) == 0 then { X(rd) = 0 - 1; } else {
+    if (X(rs1) == min_int64()) & (X(rs2) == (0 - 1)) then { X(rd) = X(rs1); }
+    else { X(rd) = X(rs1) / X(rs2); };
+  };
+  RETIRE_SUCCESS
+}
+function clause execute (DIVU(rd, rs1, rs2)) = {
+  if X(rs2) == 0 then { X(rd) = 0 - 1; } else { X(rd) = div_u(X(rs1), X(rs2)); };
+  RETIRE_SUCCESS
+}
+function clause execute (REM(rd, rs1, rs2)) = {
+  if X(rs2) == 0 then { X(rd) = X(rs1); } else {
+    if (X(rs1) == min_int64()) & (X(rs2) == (0 - 1)) then { X(rd) = 0; }
+    else { X(rd) = X(rs1) % X(rs2); };
+  };
+  RETIRE_SUCCESS
+}
+function clause execute (REMU(rd, rs1, rs2)) = {
+  if X(rs2) == 0 then { X(rd) = X(rs1); } else { X(rd) = rem_u(X(rs1), X(rs2)); };
+  RETIRE_SUCCESS
+}
+function clause execute (MULW(rd, rs1, rs2)) = { X(rd) = sign_extend(X(rs1) * X(rs2), 32); RETIRE_SUCCESS }
+function clause execute (DIVW(rd, rs1, rs2)) = {
+  let a = sign_extend(X(rs1), 32);
+  let b = sign_extend(X(rs2), 32);
+  if b == 0 then { X(rd) = 0 - 1; } else {
+    if (a == (0 - 2147483648)) & (b == (0 - 1)) then { X(rd) = a; }
+    else { X(rd) = sign_extend(a / b, 32); };
+  };
+  RETIRE_SUCCESS
+}
+function clause execute (DIVUW(rd, rs1, rs2)) = {
+  let a = X(rs1) & 0xFFFFFFFF;
+  let b = X(rs2) & 0xFFFFFFFF;
+  if b == 0 then { X(rd) = 0 - 1; } else { X(rd) = sign_extend(a / b, 32); };
+  RETIRE_SUCCESS
+}
+function clause execute (REMW(rd, rs1, rs2)) = {
+  let a = sign_extend(X(rs1), 32);
+  let b = sign_extend(X(rs2), 32);
+  if b == 0 then { X(rd) = a; } else {
+    if (a == (0 - 2147483648)) & (b == (0 - 1)) then { X(rd) = 0; }
+    else { X(rd) = sign_extend(a % b, 32); };
+  };
+  RETIRE_SUCCESS
+}
+function clause execute (REMUW(rd, rs1, rs2)) = {
+  let a = X(rs1) & 0xFFFFFFFF;
+  let b = X(rs2) & 0xFFFFFFFF;
+  if b == 0 then { X(rd) = sign_extend(a, 32); } else { X(rd) = sign_extend(a % b, 32); };
+  RETIRE_SUCCESS
+}
+|}
+
+let rv64a = {|
+function clause execute (LR_W(rd, rs1)) = {
+  let addr = X(rs1);
+  if check_alignment(addr, 4) then { trap("amo-misaligned"); };
+  set_reservation(addr);
+  X(rd) = sign_extend(mem_read_32(addr), 32);
+  RETIRE_SUCCESS
+}
+function clause execute (LR_D(rd, rs1)) = {
+  let addr = X(rs1);
+  if check_alignment(addr, 8) then { trap("amo-misaligned"); };
+  set_reservation(addr);
+  X(rd) = mem_read_64(addr);
+  RETIRE_SUCCESS
+}
+function clause execute (SC_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  if check_alignment(addr, 4) then { trap("amo-misaligned"); };
+  if reservation_valid(addr) then {
+    mem_write_32(addr, X(rs2));
+    clear_reservation();
+    X(rd) = 0;
+  } else { X(rd) = 1; };
+  RETIRE_SUCCESS
+}
+function clause execute (SC_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  if check_alignment(addr, 8) then { trap("amo-misaligned"); };
+  if reservation_valid(addr) then {
+    mem_write_64(addr, X(rs2));
+    clear_reservation();
+    X(rd) = 0;
+  } else { X(rd) = 1; };
+  RETIRE_SUCCESS
+}
+function clause execute (AMOSWAP_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  if check_alignment(addr, 4) then { trap("amo-misaligned"); };
+  let old = sign_extend(mem_read_32(addr), 32);
+  mem_write_32(addr, X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOADD_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  if check_alignment(addr, 4) then { trap("amo-misaligned"); };
+  let old = sign_extend(mem_read_32(addr), 32);
+  mem_write_32(addr, old + X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOXOR_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = sign_extend(mem_read_32(addr), 32);
+  mem_write_32(addr, old ^ X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOAND_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = sign_extend(mem_read_32(addr), 32);
+  mem_write_32(addr, old & X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOOR_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = sign_extend(mem_read_32(addr), 32);
+  mem_write_32(addr, old | X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOMIN_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = sign_extend(mem_read_32(addr), 32);
+  let v = sign_extend(X(rs2), 32);
+  if old < v then { mem_write_32(addr, old); } else { mem_write_32(addr, v); };
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOMAX_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = sign_extend(mem_read_32(addr), 32);
+  let v = sign_extend(X(rs2), 32);
+  if old > v then { mem_write_32(addr, old); } else { mem_write_32(addr, v); };
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOMINU_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = sign_extend(mem_read_32(addr), 32);
+  let v = sign_extend(X(rs2), 32);
+  if lt_u(old, v) then { mem_write_32(addr, old); } else { mem_write_32(addr, v); };
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOMAXU_W(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = sign_extend(mem_read_32(addr), 32);
+  let v = sign_extend(X(rs2), 32);
+  if lt_u(old, v) then { mem_write_32(addr, v); } else { mem_write_32(addr, old); };
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOSWAP_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  if check_alignment(addr, 8) then { trap("amo-misaligned"); };
+  let old = mem_read_64(addr);
+  mem_write_64(addr, X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOADD_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  if check_alignment(addr, 8) then { trap("amo-misaligned"); };
+  let old = mem_read_64(addr);
+  mem_write_64(addr, old + X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOXOR_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = mem_read_64(addr);
+  mem_write_64(addr, old ^ X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOAND_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = mem_read_64(addr);
+  mem_write_64(addr, old & X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOOR_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = mem_read_64(addr);
+  mem_write_64(addr, old | X(rs2));
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOMIN_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = mem_read_64(addr);
+  if old < X(rs2) then { mem_write_64(addr, old); } else { mem_write_64(addr, X(rs2)); };
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOMAX_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = mem_read_64(addr);
+  if old > X(rs2) then { mem_write_64(addr, old); } else { mem_write_64(addr, X(rs2)); };
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOMINU_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = mem_read_64(addr);
+  if lt_u(old, X(rs2)) then { mem_write_64(addr, old); } else { mem_write_64(addr, X(rs2)); };
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+function clause execute (AMOMAXU_D(rd, rs1, rs2)) = {
+  let addr = X(rs1);
+  let old = mem_read_64(addr);
+  if lt_u(old, X(rs2)) then { mem_write_64(addr, X(rs2)); } else { mem_write_64(addr, old); };
+  X(rd) = old;
+  RETIRE_SUCCESS
+}
+|}
+
+let rv64fd = {|
+function clause execute (FLW(rd, rs1, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 4) then { trap("load-misaligned"); };
+  F(rd) = nan_box_32(mem_read_32(addr));
+  RETIRE_SUCCESS
+}
+function clause execute (FSW(rs1, rs2, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 4) then { trap("store-misaligned"); };
+  mem_write_32(addr, unbox_32(F(rs2)));
+  RETIRE_SUCCESS
+}
+function clause execute (FLD(rd, rs1, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 8) then { trap("load-misaligned"); };
+  F(rd) = mem_read_64(addr);
+  RETIRE_SUCCESS
+}
+function clause execute (FSD(rs1, rs2, imm)) = {
+  let addr = X(rs1) + imm;
+  if check_alignment(addr, 8) then { trap("store-misaligned"); };
+  mem_write_64(addr, F(rs2));
+  RETIRE_SUCCESS
+}
+
+function clause execute (FADD_S(rd, rs1, rs2)) = { F(rd) = fadd_s(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FSUB_S(rd, rs1, rs2)) = { F(rd) = fsub_s(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FMUL_S(rd, rs1, rs2)) = { F(rd) = fmul_s(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FDIV_S(rd, rs1, rs2)) = { F(rd) = fdiv_s(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FSQRT_S(rd, rs1)) = { F(rd) = fsqrt_s(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FMADD_S(rd, rs1, rs2, rs3)) = { F(rd) = fmadd_s(F(rs1), F(rs2), F(rs3)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FMSUB_S(rd, rs1, rs2, rs3)) = { F(rd) = fmsub_s(F(rs1), F(rs2), F(rs3)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FNMSUB_S(rd, rs1, rs2, rs3)) = { F(rd) = fnmsub_s(F(rs1), F(rs2), F(rs3)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FNMADD_S(rd, rs1, rs2, rs3)) = { F(rd) = fnmadd_s(F(rs1), F(rs2), F(rs3)); FCSR = fp_flags(); RETIRE_SUCCESS }
+
+function clause execute (FADD_D(rd, rs1, rs2)) = { F(rd) = fadd_d(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FSUB_D(rd, rs1, rs2)) = { F(rd) = fsub_d(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FMUL_D(rd, rs1, rs2)) = { F(rd) = fmul_d(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FDIV_D(rd, rs1, rs2)) = { F(rd) = fdiv_d(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FSQRT_D(rd, rs1)) = { F(rd) = fsqrt_d(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FMADD_D(rd, rs1, rs2, rs3)) = { F(rd) = fmadd_d(F(rs1), F(rs2), F(rs3)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FMSUB_D(rd, rs1, rs2, rs3)) = { F(rd) = fmsub_d(F(rs1), F(rs2), F(rs3)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FNMSUB_D(rd, rs1, rs2, rs3)) = { F(rd) = fnmsub_d(F(rs1), F(rs2), F(rs3)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FNMADD_D(rd, rs1, rs2, rs3)) = { F(rd) = fnmadd_d(F(rs1), F(rs2), F(rs3)); FCSR = fp_flags(); RETIRE_SUCCESS }
+
+function clause execute (FSGNJ_S(rd, rs1, rs2)) = {
+  F(rd) = nan_box_32((unbox_32(F(rs1)) & 0x7FFFFFFF) | (unbox_32(F(rs2)) & 0x80000000));
+  RETIRE_SUCCESS
+}
+function clause execute (FSGNJN_S(rd, rs1, rs2)) = {
+  F(rd) = nan_box_32((unbox_32(F(rs1)) & 0x7FFFFFFF) | ((~ unbox_32(F(rs2))) & 0x80000000));
+  RETIRE_SUCCESS
+}
+function clause execute (FSGNJX_S(rd, rs1, rs2)) = {
+  F(rd) = nan_box_32(unbox_32(F(rs1)) ^ (unbox_32(F(rs2)) & 0x80000000));
+  RETIRE_SUCCESS
+}
+function clause execute (FSGNJ_D(rd, rs1, rs2)) = {
+  F(rd) = (F(rs1) & 0x7FFFFFFFFFFFFFFF) | (F(rs2) & min_int64());
+  RETIRE_SUCCESS
+}
+function clause execute (FSGNJN_D(rd, rs1, rs2)) = {
+  F(rd) = (F(rs1) & 0x7FFFFFFFFFFFFFFF) | ((~ F(rs2)) & min_int64());
+  RETIRE_SUCCESS
+}
+function clause execute (FSGNJX_D(rd, rs1, rs2)) = {
+  F(rd) = F(rs1) ^ (F(rs2) & min_int64());
+  RETIRE_SUCCESS
+}
+
+function clause execute (FMIN_S(rd, rs1, rs2)) = { F(rd) = fmin_s(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FMAX_S(rd, rs1, rs2)) = { F(rd) = fmax_s(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FMIN_D(rd, rs1, rs2)) = { F(rd) = fmin_d(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FMAX_D(rd, rs1, rs2)) = { F(rd) = fmax_d(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+
+function clause execute (FEQ_S(rd, rs1, rs2)) = { X(rd) = feq_s(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FLT_S(rd, rs1, rs2)) = { X(rd) = flt_s(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FLE_S(rd, rs1, rs2)) = { X(rd) = fle_s(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FEQ_D(rd, rs1, rs2)) = { X(rd) = feq_d(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FLT_D(rd, rs1, rs2)) = { X(rd) = flt_d(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FLE_D(rd, rs1, rs2)) = { X(rd) = fle_d(F(rs1), F(rs2)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCLASS_S(rd, rs1)) = { X(rd) = fclass_s(F(rs1)); RETIRE_SUCCESS }
+function clause execute (FCLASS_D(rd, rs1)) = { X(rd) = fclass_d(F(rs1)); RETIRE_SUCCESS }
+
+function clause execute (FCVT_W_S(rd, rs1)) = { X(rd) = fcvt_w_s(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_WU_S(rd, rs1)) = { X(rd) = fcvt_wu_s(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_L_S(rd, rs1)) = { X(rd) = fcvt_l_s(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_LU_S(rd, rs1)) = { X(rd) = fcvt_lu_s(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_S_W(rd, rs1)) = { F(rd) = fcvt_s_w(X(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_S_WU(rd, rs1)) = { F(rd) = fcvt_s_wu(X(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_S_L(rd, rs1)) = { F(rd) = fcvt_s_l(X(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_S_LU(rd, rs1)) = { F(rd) = fcvt_s_lu(X(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_W_D(rd, rs1)) = { X(rd) = fcvt_w_d(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_WU_D(rd, rs1)) = { X(rd) = fcvt_wu_d(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_L_D(rd, rs1)) = { X(rd) = fcvt_l_d(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_LU_D(rd, rs1)) = { X(rd) = fcvt_lu_d(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_D_W(rd, rs1)) = { F(rd) = fcvt_d_w(X(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_D_WU(rd, rs1)) = { F(rd) = fcvt_d_wu(X(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_D_L(rd, rs1)) = { F(rd) = fcvt_d_l(X(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_D_LU(rd, rs1)) = { F(rd) = fcvt_d_lu(X(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_S_D(rd, rs1)) = { F(rd) = fcvt_s_d(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+function clause execute (FCVT_D_S(rd, rs1)) = { F(rd) = fcvt_d_s(F(rs1)); FCSR = fp_flags(); RETIRE_SUCCESS }
+
+function clause execute (FMV_X_W(rd, rs1)) = { X(rd) = sign_extend(unbox_32(F(rs1)), 32); RETIRE_SUCCESS }
+function clause execute (FMV_W_X(rd, rs1)) = { F(rd) = nan_box_32(X(rs1) & 0xFFFFFFFF); RETIRE_SUCCESS }
+function clause execute (FMV_X_D(rd, rs1)) = { X(rd) = F(rs1); RETIRE_SUCCESS }
+function clause execute (FMV_D_X(rd, rs1)) = { F(rd) = X(rs1); RETIRE_SUCCESS }
+|}
+
+
+let zba_zbb = {|
+function clause execute (SH1ADD(rd, rs1, rs2)) = { X(rd) = X(rs2) + shift_left(X(rs1), 1); RETIRE_SUCCESS }
+function clause execute (SH2ADD(rd, rs1, rs2)) = { X(rd) = X(rs2) + shift_left(X(rs1), 2); RETIRE_SUCCESS }
+function clause execute (SH3ADD(rd, rs1, rs2)) = { X(rd) = X(rs2) + shift_left(X(rs1), 3); RETIRE_SUCCESS }
+function clause execute (ADD_UW(rd, rs1, rs2)) = { X(rd) = X(rs2) + (X(rs1) & 0xFFFFFFFF); RETIRE_SUCCESS }
+function clause execute (SH1ADD_UW(rd, rs1, rs2)) = { X(rd) = X(rs2) + shift_left(X(rs1) & 0xFFFFFFFF, 1); RETIRE_SUCCESS }
+function clause execute (SH2ADD_UW(rd, rs1, rs2)) = { X(rd) = X(rs2) + shift_left(X(rs1) & 0xFFFFFFFF, 2); RETIRE_SUCCESS }
+function clause execute (SH3ADD_UW(rd, rs1, rs2)) = { X(rd) = X(rs2) + shift_left(X(rs1) & 0xFFFFFFFF, 3); RETIRE_SUCCESS }
+function clause execute (SLLI_UW(rd, rs1, imm)) = { X(rd) = shift_left(X(rs1) & 0xFFFFFFFF, imm); RETIRE_SUCCESS }
+
+function clause execute (ANDN(rd, rs1, rs2)) = { X(rd) = X(rs1) & (~ X(rs2)); RETIRE_SUCCESS }
+function clause execute (ORN(rd, rs1, rs2)) = { X(rd) = X(rs1) | (~ X(rs2)); RETIRE_SUCCESS }
+function clause execute (XNOR(rd, rs1, rs2)) = { X(rd) = ~ (X(rs1) ^ X(rs2)); RETIRE_SUCCESS }
+
+function clause execute (CLZ(rd, rs1)) = { X(rd) = clz64(X(rs1)); RETIRE_SUCCESS }
+function clause execute (CTZ(rd, rs1)) = { X(rd) = ctz64(X(rs1)); RETIRE_SUCCESS }
+function clause execute (CPOP(rd, rs1)) = { X(rd) = cpop64(X(rs1)); RETIRE_SUCCESS }
+function clause execute (CLZW(rd, rs1)) = { X(rd) = clz32(X(rs1)); RETIRE_SUCCESS }
+function clause execute (CTZW(rd, rs1)) = { X(rd) = ctz32(X(rs1)); RETIRE_SUCCESS }
+function clause execute (CPOPW(rd, rs1)) = { X(rd) = cpop32(X(rs1)); RETIRE_SUCCESS }
+
+function clause execute (MAX(rd, rs1, rs2)) = {
+  if X(rs1) < X(rs2) then { X(rd) = X(rs2); } else { X(rd) = X(rs1); };
+  RETIRE_SUCCESS
+}
+function clause execute (MAXU(rd, rs1, rs2)) = {
+  if lt_u(X(rs1), X(rs2)) then { X(rd) = X(rs2); } else { X(rd) = X(rs1); };
+  RETIRE_SUCCESS
+}
+function clause execute (MIN(rd, rs1, rs2)) = {
+  if X(rs1) < X(rs2) then { X(rd) = X(rs1); } else { X(rd) = X(rs2); };
+  RETIRE_SUCCESS
+}
+function clause execute (MINU(rd, rs1, rs2)) = {
+  if lt_u(X(rs1), X(rs2)) then { X(rd) = X(rs1); } else { X(rd) = X(rs2); };
+  RETIRE_SUCCESS
+}
+
+function clause execute (SEXT_B(rd, rs1)) = { X(rd) = sign_extend(X(rs1), 8); RETIRE_SUCCESS }
+function clause execute (SEXT_H(rd, rs1)) = { X(rd) = sign_extend(X(rs1), 16); RETIRE_SUCCESS }
+function clause execute (ZEXT_H(rd, rs1)) = { X(rd) = X(rs1) & 0xFFFF; RETIRE_SUCCESS }
+
+function clause execute (ROL(rd, rs1, rs2)) = { X(rd) = rol64(X(rs1), X(rs2)); RETIRE_SUCCESS }
+function clause execute (ROR(rd, rs1, rs2)) = { X(rd) = ror64(X(rs1), X(rs2)); RETIRE_SUCCESS }
+function clause execute (RORI(rd, rs1, imm)) = { X(rd) = ror64(X(rs1), imm); RETIRE_SUCCESS }
+function clause execute (ROLW(rd, rs1, rs2)) = { X(rd) = rolw(X(rs1), X(rs2)); RETIRE_SUCCESS }
+function clause execute (RORW(rd, rs1, rs2)) = { X(rd) = rorw(X(rs1), X(rs2)); RETIRE_SUCCESS }
+function clause execute (RORIW(rd, rs1, imm)) = { X(rd) = rorw(X(rs1), imm); RETIRE_SUCCESS }
+function clause execute (REV8(rd, rs1)) = { X(rd) = rev8(X(rs1)); RETIRE_SUCCESS }
+function clause execute (ORC_B(rd, rs1)) = { X(rd) = orc_b(X(rs1)); RETIRE_SUCCESS }
+|}
+
+(* The complete specification text. *)
+let text = String.concat "\n" [ rv64i; zicsr; rv64m; rv64a; rv64fd; zba_zbb ]

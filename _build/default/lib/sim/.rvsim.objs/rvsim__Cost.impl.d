@@ -1,0 +1,1 @@
+lib/sim/cost.ml: Int64 Riscv

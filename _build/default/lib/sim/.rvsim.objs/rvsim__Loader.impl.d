@@ -1,0 +1,1 @@
+lib/sim/loader.ml: Bytes Dyn_util Elfkit Hashtbl Int64 List Machine Mem Read Riscv String Syscall Types

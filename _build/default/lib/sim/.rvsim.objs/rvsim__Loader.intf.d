@@ -1,0 +1,1 @@
+lib/sim/loader.mli: Cost Elfkit Hashtbl Machine Syscall

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Bitmanip Bits Cost Decode Dyn_util Float Format Fpu Insn Int64 List Mem Op Printf Riscv

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Cost Format Mem Riscv

@@ -1,0 +1,1 @@
+lib/sim/mem.ml: Buffer Bytes Char Hashtbl Int32 Int64

@@ -1,0 +1,1 @@
+lib/sim/syscall.ml: Buffer Bytes Cost Dyn_util Int64 Machine Mem

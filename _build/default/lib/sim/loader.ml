@@ -1,0 +1,96 @@
+(* ELF loader for simulated processes: maps allocatable sections, sets up
+   a stack with a minimal argv block, registers executable code regions
+   (for the decode cache) and attaches the syscall layer. *)
+
+open Elfkit
+
+let stack_top = 0x7FFF_0000L
+let trap_redirect_penalty = 600L (* simulated cycles per trap springboard *)
+let stack_size = 0x10000
+
+type process = {
+  machine : Machine.t;
+  os : Syscall.t;
+  image : Types.image;
+  trap_map : (int64, int64) Hashtbl.t;
+      (* Dyninst trap springboards: original pc -> trampoline.  The
+         run-time analogue of the SIGTRAP handler a rewritten binary
+         installs when a block was too small for a jump (paper §3.1.2). *)
+}
+
+let parse_trap_map (img : Types.image) =
+  let h = Hashtbl.create 4 in
+  (match Types.find_section img ".dyninst_traps" with
+  | Some s when Bytes.length s.Types.s_data >= 8 ->
+      let n = Int64.to_int (Bytes.get_int64_le s.Types.s_data 0) in
+      for k = 0 to n - 1 do
+        let o = Bytes.get_int64_le s.Types.s_data (8 + (16 * k)) in
+        let d = Bytes.get_int64_le s.Types.s_data (16 + (16 * k)) in
+        Hashtbl.replace h o d
+      done
+  | _ -> ());
+  h
+
+let load ?(argv = [ "mutatee" ]) ?(echo = false) ?model (img : Types.image) :
+    process =
+  let m = Machine.create ?model () in
+  let mem = m.Machine.mem in
+  let data_end = ref 0L in
+  List.iter
+    (fun (s : Types.section) ->
+      if s.Types.s_flags land Types.shf_alloc <> 0 then begin
+        if s.Types.s_type <> Types.sht_nobits then
+          Mem.write_bytes mem s.Types.s_addr s.Types.s_data;
+        let s_end = Int64.add s.Types.s_addr (Int64.of_int s.Types.s_size) in
+        if Int64.compare s_end !data_end > 0 then data_end := s_end;
+        if s.Types.s_flags land Types.shf_execinstr <> 0 then
+          ignore
+            (Machine.add_code_region m ~base:s.Types.s_addr ~size:s.Types.s_size)
+      end)
+    img.Types.sections;
+  (* stack: [sp] = argc, then argv pointers, NULL, envp NULL, strings *)
+  let argc = List.length argv in
+  let strings_base = Int64.sub stack_top 0x800L in
+  let ptrs = ref [] in
+  let cursor = ref strings_base in
+  List.iter
+    (fun a ->
+      ptrs := !cursor :: !ptrs;
+      Mem.write_bytes mem !cursor (Bytes.of_string (a ^ "\000"));
+      cursor := Int64.add !cursor (Int64.of_int (String.length a + 1)))
+    argv;
+  let ptrs = List.rev !ptrs in
+  let sp = Int64.sub strings_base (Int64.of_int (8 * (argc + 3))) in
+  let sp = Int64.logand sp (Int64.lognot 15L) in
+  Mem.write64 mem sp (Int64.of_int argc);
+  List.iteri
+    (fun k p -> Mem.write64 mem (Int64.add sp (Int64.of_int (8 * (k + 1)))) p)
+    ptrs;
+  Mem.write64 mem (Int64.add sp (Int64.of_int (8 * (argc + 1)))) 0L (* argv end *);
+  Mem.write64 mem (Int64.add sp (Int64.of_int (8 * (argc + 2)))) 0L (* envp end *);
+  Machine.set_reg m Riscv.Reg.sp sp;
+  m.Machine.pc <- img.Types.entry;
+  let brk_base = Dyn_util.Bits.align_up !data_end 0x1000 in
+  let os = Syscall.install ~echo ~brk_base m in
+  ignore stack_size;
+  { machine = m; os; image = img; trap_map = parse_trap_map img }
+
+let load_file ?argv ?echo ?model path = load ?argv ?echo ?model (Read.of_file path)
+
+(* Convenience: run to completion, returning exit status and stdout.
+   Trap springboards (from rewritten binaries) are transparently
+   redirected to their trampolines. *)
+let run ?(max_steps = 500_000_000) (p : process) =
+  let rec go budget =
+    match Machine.run ~max_steps:budget p.machine with
+    | Machine.Ebreak pc when Hashtbl.mem p.trap_map pc ->
+        p.machine.Machine.pc <- Hashtbl.find p.trap_map pc;
+        (* a trap springboard costs a SIGTRAP round trip on real hardware;
+           charge it (the paper: "the inefficient 2-byte trap instructions") *)
+        p.machine.Machine.cycles <-
+          Int64.add p.machine.Machine.cycles trap_redirect_penalty;
+        go budget
+    | stop -> stop
+  in
+  let stop = go max_steps in
+  (stop, Syscall.stdout_contents p.os)

@@ -1,0 +1,36 @@
+(** ELF loader for simulated processes: maps allocatable sections, sets
+    up a stack with a minimal argv block, registers executable regions
+    for the decode cache and attaches the syscall layer. *)
+
+val stack_top : int64
+
+(** Simulated cycles charged per trap-springboard redirect — the cost of
+    the SIGTRAP round trip a rewritten binary pays on real hardware for
+    the paper's §3.1.2 worst case. *)
+val trap_redirect_penalty : int64
+
+type process = {
+  machine : Machine.t;
+  os : Syscall.t;
+  image : Elfkit.Types.image;
+  trap_map : (int64, int64) Hashtbl.t;
+      (** Dyninst trap springboards from [.dyninst_traps]: original pc ->
+          trampoline (the run-time analogue of the SIGTRAP handler). *)
+}
+
+(** Load an image: map sections, build the stack, attach syscalls.
+    [echo] additionally copies the process's stdout to the host's. *)
+val load :
+  ?argv:string list -> ?echo:bool -> ?model:Cost.model -> Elfkit.Types.image ->
+  process
+
+val load_file :
+  ?argv:string list -> ?echo:bool -> ?model:Cost.model -> string -> process
+
+(** Run to completion, transparently servicing trap springboards; returns
+    the stop reason and everything written to stdout. *)
+val run : ?max_steps:int -> process -> Machine.stop * string
+
+(**/**)
+
+val parse_trap_map : Elfkit.Types.image -> (int64, int64) Hashtbl.t

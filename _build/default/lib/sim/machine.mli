@@ -1,0 +1,68 @@
+(** The RV64GC machine: state and interpreter — the hardware substitute
+    for the paper's SiFive P550 (see DESIGN.md substitutions).
+
+    Decoded instructions are cached per executable region;
+    {!flush_icache} (triggered by FENCE.I and by ProcControlAPI after
+    patching code) invalidates the cache, mirroring what real
+    instrumentation must do on hardware. *)
+
+type region = {
+  r_base : int64;
+  r_size : int;
+  slots : Riscv.Insn.t option array;  (** decode cache, one per halfword *)
+}
+
+(** Why execution stopped. *)
+type stop =
+  | Exited of int
+  | Ebreak of int64  (** pc of an ebreak (breakpoints, trap springboards) *)
+  | Fault of string * int64
+  | Limit  (** step budget exhausted *)
+
+type ecall_action = Ecall_continue | Ecall_exit of int
+
+type t = {
+  regs : int64 array;  (** x0..x31; x0 kept 0 *)
+  fregs : int64 array;  (** raw f0..f31 bits, NaN-boxed singles *)
+  mem : Mem.t;
+  mutable pc : int64;
+  mutable cycles : int64;  (** simulated cycles per the cost model *)
+  mutable instret : int64;
+  mutable fcsr : int;
+  mutable reservation : int64 option;  (** LR/SC reservation *)
+  mutable code_regions : region list;
+  mutable last_region : region option;
+  mutable on_ecall : t -> ecall_action;  (** the attached OS *)
+  mutable trace : (int64 -> Riscv.Insn.t -> unit) option;
+  model : Cost.model;
+}
+
+val create : ?model:Cost.model -> unit -> t
+val get_reg : t -> int -> int64
+val set_reg : t -> int -> int64 -> unit
+val get_freg : t -> int -> int64
+val set_freg : t -> int -> int64 -> unit
+
+(** Register an executable region so its decodes are cached. *)
+val add_code_region : t -> base:int64 -> size:int -> region
+
+(** Drop all cached decodes (FENCE.I semantics; call after patching). *)
+val flush_icache : t -> unit
+
+val csr_read : t -> int -> int64
+val csr_write : t -> int -> int64 -> unit
+
+(** Execute one instruction; [Some stop] if the machine cannot continue. *)
+val step : t -> stop option
+
+(** Run until a stop event or [max_steps]. *)
+val run : ?max_steps:int -> t -> stop
+
+val pp_stop : Format.formatter -> stop -> unit
+
+(**/**)
+
+exception Stopped of stop
+
+val exec_step : t -> unit
+val fetch : t -> int64 -> Riscv.Insn.t

@@ -1,0 +1,116 @@
+(* Sparse paged memory for the simulator: 4 KiB pages allocated on first
+   touch.  Addresses are int64 but assumed to fit in an OCaml int (true
+   for any user-space address). *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+exception Fault of int64
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace t.pages idx p;
+      p
+
+let addr_int a =
+  if Int64.compare a 0L < 0 || Int64.compare a 0x0000_7FFF_FFFF_FFFFL > 0 then
+    raise (Fault a)
+  else Int64.to_int a
+
+let read8 t a =
+  let a = addr_int a in
+  Char.code (Bytes.get (page t (a lsr page_bits)) (a land (page_size - 1)))
+
+let write8 t a v =
+  let a = addr_int a in
+  Bytes.set (page t (a lsr page_bits)) (a land (page_size - 1)) (Char.chr (v land 0xFF))
+
+(* Multi-byte accesses take the fast path when they do not cross a page. *)
+let read16 t a =
+  let ai = addr_int a in
+  let off = ai land (page_size - 1) in
+  if off <= page_size - 2 then Bytes.get_uint16_le (page t (ai lsr page_bits)) off
+  else read8 t a lor (read8 t (Int64.add a 1L) lsl 8)
+
+let read32 t a =
+  let ai = addr_int a in
+  let off = ai land (page_size - 1) in
+  if off <= page_size - 4 then
+    Int64.to_int
+      (Int64.logand
+         (Int64.of_int32 (Bytes.get_int32_le (page t (ai lsr page_bits)) off))
+         0xFFFF_FFFFL)
+  else read16 t a lor (read16 t (Int64.add a 2L) lsl 16)
+
+let read64 t a =
+  let ai = addr_int a in
+  let off = ai land (page_size - 1) in
+  if off <= page_size - 8 then Bytes.get_int64_le (page t (ai lsr page_bits)) off
+  else
+    Int64.logor
+      (Int64.of_int (read32 t a))
+      (Int64.shift_left (Int64.of_int (read32 t (Int64.add a 4L))) 32)
+
+let write16 t a v =
+  let ai = addr_int a in
+  let off = ai land (page_size - 1) in
+  if off <= page_size - 2 then
+    Bytes.set_uint16_le (page t (ai lsr page_bits)) off (v land 0xFFFF)
+  else begin
+    write8 t a v;
+    write8 t (Int64.add a 1L) (v lsr 8)
+  end
+
+let write32 t a v =
+  let ai = addr_int a in
+  let off = ai land (page_size - 1) in
+  if off <= page_size - 4 then
+    Bytes.set_int32_le (page t (ai lsr page_bits)) off (Int32.of_int v)
+  else begin
+    write16 t a v;
+    write16 t (Int64.add a 2L) (v lsr 16)
+  end
+
+let write64 t a (v : int64) =
+  let ai = addr_int a in
+  let off = ai land (page_size - 1) in
+  if off <= page_size - 8 then
+    Bytes.set_int64_le (page t (ai lsr page_bits)) off v
+  else begin
+    write32 t a (Int64.to_int (Int64.logand v 0xFFFF_FFFFL));
+    write32 t (Int64.add a 4L)
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xFFFF_FFFFL))
+  end
+
+let read_bytes t a n =
+  let b = Bytes.create n in
+  for k = 0 to n - 1 do
+    Bytes.set b k (Char.chr (read8 t (Int64.add a (Int64.of_int k))))
+  done;
+  b
+
+let write_bytes t a (b : Bytes.t) =
+  for k = 0 to Bytes.length b - 1 do
+    write8 t (Int64.add a (Int64.of_int k)) (Char.code (Bytes.get b k))
+  done
+
+let read_string t a max_len =
+  let buf = Buffer.create 32 in
+  let rec go k =
+    if k >= max_len then Buffer.contents buf
+    else
+      let c = read8 t (Int64.add a (Int64.of_int k)) in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (k + 1)
+      end
+  in
+  go 0

@@ -1,0 +1,110 @@
+(* A minimal Linux/RISC-V syscall layer for simulated processes.
+
+   Only what small static binaries need: write, exit, clock_gettime,
+   brk/mmap for heap, and harmless defaults for the rest.  Time is
+   *simulated*: clock_gettime reports the machine's cycle counter scaled
+   by the cost model's frequency, so instrumentation overhead measured by
+   the mutatee itself (as the paper's matmul benchmark does) reflects
+   simulated cycles, not host wall clock. *)
+
+type t = {
+  mutable brk : int64;
+  mutable mmap_next : int64;
+  stdout_buf : Buffer.t;
+  stderr_buf : Buffer.t;
+  mutable echo : bool; (* also copy writes to the host's stdout/stderr *)
+}
+
+let sys_getcwd = 17
+let sys_read = 63
+let sys_write = 64
+let sys_exit = 93
+let sys_exit_group = 94
+let sys_set_tid_address = 96
+let sys_clock_gettime = 113
+let sys_gettimeofday = 169
+let sys_brk = 214
+let sys_munmap = 215
+let sys_mmap = 222
+
+let create ~brk_base =
+  {
+    brk = brk_base;
+    mmap_next = 0x4000_0000L;
+    stdout_buf = Buffer.create 256;
+    stderr_buf = Buffer.create 64;
+    echo = false;
+  }
+
+let simulated_ns (m : Machine.t) = Cost.cycles_to_ns m.Machine.model m.Machine.cycles
+
+let handle (os : t) (m : Machine.t) : Machine.ecall_action =
+  let arg n = Machine.get_reg m (10 + n) in
+  let ret v = Machine.set_reg m 10 v in
+  let num = Int64.to_int (Machine.get_reg m 17) in
+  match num with
+  | n when n = sys_write ->
+      let fd = Int64.to_int (arg 0) in
+      let buf = arg 1 in
+      let count = Int64.to_int (arg 2) in
+      let data = Mem.read_bytes m.Machine.mem buf count in
+      let s = Bytes.to_string data in
+      (match fd with
+      | 1 ->
+          Buffer.add_string os.stdout_buf s;
+          if os.echo then print_string s
+      | 2 ->
+          Buffer.add_string os.stderr_buf s;
+          if os.echo then prerr_string s
+      | _ -> ());
+      ret (Int64.of_int count);
+      Machine.Ecall_continue
+  | n when n = sys_read ->
+      ret 0L;
+      Machine.Ecall_continue
+  | n when n = sys_exit || n = sys_exit_group ->
+      Machine.Ecall_exit (Int64.to_int (Int64.logand (arg 0) 0xFFL))
+  | n when n = sys_clock_gettime ->
+      let tp = arg 1 in
+      let ns = simulated_ns m in
+      Mem.write64 m.Machine.mem tp (Int64.div ns 1_000_000_000L);
+      Mem.write64 m.Machine.mem (Int64.add tp 8L) (Int64.rem ns 1_000_000_000L);
+      ret 0L;
+      Machine.Ecall_continue
+  | n when n = sys_gettimeofday ->
+      let tv = arg 0 in
+      let ns = simulated_ns m in
+      Mem.write64 m.Machine.mem tv (Int64.div ns 1_000_000_000L);
+      Mem.write64 m.Machine.mem (Int64.add tv 8L)
+        (Int64.div (Int64.rem ns 1_000_000_000L) 1000L);
+      ret 0L;
+      Machine.Ecall_continue
+  | n when n = sys_brk ->
+      let want = arg 0 in
+      if Int64.compare want 0L > 0 then os.brk <- want;
+      ret os.brk;
+      Machine.Ecall_continue
+  | n when n = sys_mmap ->
+      let len = Dyn_util.Bits.align_up (arg 1) 0x1000 in
+      let a = os.mmap_next in
+      os.mmap_next <- Int64.add os.mmap_next len;
+      ret a;
+      Machine.Ecall_continue
+  | n when n = sys_munmap || n = sys_set_tid_address || n = sys_getcwd ->
+      ret 0L;
+      Machine.Ecall_continue
+  | _ ->
+      (* unknown syscalls succeed silently; small runtimes probe a few *)
+      ret 0L;
+      Machine.Ecall_continue
+
+(* Attach the syscall layer to a machine.  Returns the OS handle so the
+   caller can inspect captured stdout etc. *)
+let install ?(echo = false) ~brk_base (m : Machine.t) =
+  let os = create ~brk_base in
+  os.echo <- echo;
+  m.Machine.on_ecall <- handle os;
+  os
+
+let stdout_contents os = Buffer.contents os.stdout_buf
+let stderr_contents os = Buffer.contents os.stderr_buf

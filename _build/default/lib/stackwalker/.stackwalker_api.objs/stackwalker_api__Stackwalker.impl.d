@@ -1,0 +1,1 @@
+lib/stackwalker/stackwalker.ml: Cfg Dataflow_api Format Hashtbl Insn Instruction Int64 List Op Option Parse_api Reg Riscv Rvsim Symtab

@@ -1,0 +1,1 @@
+lib/stackwalker/stackwalker.mli: Dataflow_api Format Hashtbl Parse_api Riscv Rvsim Symtab

@@ -1,0 +1,213 @@
+(* StackwalkerAPI (paper §2.2, §3.2.7): collect call stacks from a
+   (simulated) process.
+
+   The paper highlights the RISC-V difficulty: the ABI designates x8 as
+   the frame pointer, but most compilers use it as a general register and
+   manage frames with sp alone — so new "frame steppers" are needed.
+   Mirroring the plugin architecture, a walker holds an ordered list of
+   steppers, each able to refuse a frame:
+
+     - [analysis_stepper]: the sp-only stepper.  Uses ParseAPI to find
+       the enclosing function and DataflowAPI's stack-height analysis to
+       locate the saved return address relative to the *entry* sp — no
+       frame pointer required.  Falls back to the live ra register for
+       leaf frames and not-yet-saved prologue positions.
+     - [fp_stepper]: the classic frame-pointer chain ([fp-8] = ra,
+       [fp-16] = caller fp) for code compiled with frame pointers.
+
+   Custom steppers can be registered in front. *)
+
+open Riscv
+open Parse_api
+
+type frame = {
+  fr_pc : int64;
+  fr_sp : int64;
+  fr_fp : int64; (* value of x8 in this frame, if tracked; else 0 *)
+  fr_func : string option;
+  fr_stepper : string; (* which stepper produced the *next* frame *)
+}
+
+type context = {
+  read_mem64 : int64 -> int64 option;
+  read_reg : Reg.t -> int64;
+  pc : int64;
+}
+
+let context_of_machine (m : Rvsim.Machine.t) : context =
+  {
+    read_mem64 =
+      (fun a ->
+        match Rvsim.Mem.read64 m.Rvsim.Machine.mem a with
+        | v -> Some v
+        | exception Rvsim.Mem.Fault _ -> None);
+    read_reg =
+      (fun r ->
+        if Reg.is_fp r then Rvsim.Machine.get_freg m (Reg.fp_index r)
+        else Rvsim.Machine.get_reg m r);
+    pc = m.Rvsim.Machine.pc;
+  }
+
+type walker = {
+  symtab : Symtab.t;
+  cfg : Cfg.t;
+  mutable steppers : stepper list;
+  height_cache : (int64, Dataflow_api.Stack_height.t) Hashtbl.t;
+}
+
+and stepper = {
+  st_name : string;
+  st_step : walker -> context -> index:int -> frame -> frame option;
+}
+
+let func_of_pc (w : walker) pc =
+  match Cfg.block_containing w.cfg pc with
+  | Some b -> Cfg.func_at w.cfg b.Cfg.b_func
+  | None -> None
+
+let heights w (f : Cfg.func) =
+  match Hashtbl.find_opt w.height_cache f.Cfg.f_entry with
+  | Some h -> h
+  | None ->
+      let h = Dataflow_api.Stack_height.analyze w.cfg f in
+      Hashtbl.replace w.height_cache f.Cfg.f_entry h;
+      h
+
+(* find `sd ra, k(sp)` stores in [f], with the stack height just before
+   each; returns (insn addr, k, height) list *)
+let ra_saves w (f : Cfg.func) =
+  let sh = heights w f in
+  Cfg.blocks_of w.cfg f
+  |> List.concat_map (fun (b : Cfg.block) ->
+         List.filter_map
+           (fun (ins : Instruction.t) ->
+             let i = ins.Instruction.insn in
+             if i.Insn.op = Op.SD && i.Insn.rs1 = Reg.sp && i.Insn.rs2 = Reg.ra
+             then
+               match Dataflow_api.Stack_height.before sh b ins.Instruction.addr with
+               | Dataflow_api.Stack_height.Known h ->
+                   Some (ins.Instruction.addr, Insn.imm_int i, h)
+               | Dataflow_api.Stack_height.Unknown -> None
+             else None)
+           b.Cfg.b_insns)
+
+(* --- the sp-only (analysis) stepper ---------------------------------------- *)
+
+let analysis_step (w : walker) (ctx : context) ~(index : int) (fr : frame) :
+    frame option =
+  match func_of_pc w fr.fr_pc with
+  | None -> None
+  | Some f -> (
+      let sh = heights w f in
+      match Cfg.block_containing w.cfg fr.fr_pc with
+      | None -> None
+      | Some b -> (
+          match Dataflow_api.Stack_height.before sh b fr.fr_pc with
+          | Dataflow_api.Stack_height.Unknown -> None
+          | Dataflow_api.Stack_height.Known h ->
+              let entry_sp = Int64.sub fr.fr_sp (Int64.of_int h) in
+              (* a save of ra that has executed on the path to pc:
+                 heuristic — its address precedes pc, or pc is in a
+                 different block than the entry *)
+              let executed_saves =
+                ra_saves w f
+                |> List.filter (fun (a, _, _) -> Int64.compare a fr.fr_pc < 0)
+              in
+              let ra_value =
+                match executed_saves with
+                | (_, k, h_s) :: _ ->
+                    (* slot = sp-at-store + k = entry_sp + h_s + k *)
+                    ctx.read_mem64
+                      (Int64.add entry_sp (Int64.of_int (h_s + k)))
+                | [] ->
+                    (* leaf position: the ra register itself — but only
+                       trustworthy for the innermost frame (outer frames
+                       may have clobbered it since) *)
+                    if index = 0 then Some (ctx.read_reg Reg.ra) else None
+              in
+              (match ra_value with
+              | None | Some 0L -> None
+              | Some ra ->
+                  if not (Symtab.is_code_addr w.symtab ra) then None
+                  else
+                    Some
+                      {
+                        fr_pc = ra;
+                        fr_sp = entry_sp;
+                        fr_fp = fr.fr_fp;
+                        fr_func =
+                          Option.map (fun f -> f.Cfg.f_name) (func_of_pc w ra);
+                        fr_stepper = "";
+                      })))
+
+let analysis_stepper = { st_name = "analysis-sp"; st_step = analysis_step }
+
+(* --- the frame-pointer stepper ----------------------------------------------- *)
+
+let fp_step (w : walker) (ctx : context) ~index:(_ : int) (fr : frame) :
+    frame option =
+  let fp = fr.fr_fp in
+  if Int64.compare fp fr.fr_sp <= 0 then None
+  else
+    match (ctx.read_mem64 (Int64.sub fp 8L), ctx.read_mem64 (Int64.sub fp 16L)) with
+    | Some ra, Some old_fp when Symtab.is_code_addr w.symtab ra ->
+        Some
+          {
+            fr_pc = ra;
+            fr_sp = fp;
+            fr_fp = old_fp;
+            fr_func = Option.map (fun f -> f.Cfg.f_name) (func_of_pc w ra);
+            fr_stepper = "";
+          }
+    | _ -> None
+
+let fp_stepper = { st_name = "frame-pointer"; st_step = fp_step }
+
+(* --- the walker ------------------------------------------------------------------ *)
+
+let create (symtab : Symtab.t) (cfg : Cfg.t) : walker =
+  {
+    symtab;
+    cfg;
+    steppers = [ analysis_stepper; fp_stepper ];
+    height_cache = Hashtbl.create 8;
+  }
+
+(* add a custom stepper with highest priority *)
+let register_stepper w st = w.steppers <- st :: w.steppers
+
+let initial_frame (w : walker) (ctx : context) : frame =
+  {
+    fr_pc = ctx.pc;
+    fr_sp = ctx.read_reg Reg.sp;
+    fr_fp = ctx.read_reg Reg.s0;
+    fr_func = Option.map (fun f -> f.Cfg.f_name) (func_of_pc w ctx.pc);
+    fr_stepper = "";
+  }
+
+let walk ?(max_frames = 64) (w : walker) (ctx : context) : frame list =
+  let rec go fr acc n =
+    if n >= max_frames then List.rev (fr :: acc)
+    else
+      let next =
+        List.find_map
+          (fun st ->
+            match st.st_step w ctx ~index:n fr with
+            | Some f -> Some (st.st_name, f)
+            | None -> None)
+          w.steppers
+      in
+      match next with
+      | None -> List.rev (fr :: acc)
+      | Some (name, f) -> go f ({ fr with fr_stepper = name } :: acc) (n + 1)
+  in
+  go (initial_frame w ctx) [] 0
+
+let walk_machine ?max_frames w (m : Rvsim.Machine.t) =
+  walk ?max_frames w (context_of_machine m)
+
+let pp_frame fmt fr =
+  Format.fprintf fmt "%s at 0x%Lx (sp=0x%Lx)%s"
+    (Option.value fr.fr_func ~default:"??")
+    fr.fr_pc fr.fr_sp
+    (if fr.fr_stepper = "" then "" else " via " ^ fr.fr_stepper)

@@ -1,0 +1,70 @@
+(** StackwalkerAPI (paper §2.2, §3.2.7): collect call stacks from a
+    (simulated) process.
+
+    The RISC-V difficulty the paper highlights: the ABI designates x8 as
+    the frame pointer but compilers mostly use it as a general register,
+    managing frames with sp alone — so new "frame steppers" are needed.
+    A walker holds an ordered plugin list of steppers, each free to
+    refuse a frame:
+
+    - {!analysis_stepper}: the sp-only stepper.  Finds the enclosing
+      function with ParseAPI, uses DataflowAPI's stack-height analysis to
+      recover the entry-sp, and reads the saved return address from its
+      spill slot; at function entry / in leaf frames it falls back to the
+      live ra register (innermost frame only).
+    - {!fp_stepper}: the classic frame-pointer chain ([fp-8] = ra,
+      [fp-16] = caller fp) for code compiled with frame pointers. *)
+
+type frame = {
+  fr_pc : int64;
+  fr_sp : int64;
+  fr_fp : int64;  (** x8 in this frame, when tracked *)
+  fr_func : string option;
+  fr_stepper : string;  (** the stepper that produced the next frame *)
+}
+
+(** How the walker reads the stopped thread: memory, registers, pc. *)
+type context = {
+  read_mem64 : int64 -> int64 option;
+  read_reg : Riscv.Reg.t -> int64;
+  pc : int64;
+}
+
+val context_of_machine : Rvsim.Machine.t -> context
+
+type walker = {
+  symtab : Symtab.t;
+  cfg : Parse_api.Cfg.t;
+  mutable steppers : stepper list;
+  height_cache : (int64, Dataflow_api.Stack_height.t) Hashtbl.t;
+}
+
+(** A frame stepper: given the walker, the thread context, the frame's
+    index from the top of the stack (0 = innermost) and the current
+    frame, produce the caller's frame or refuse. *)
+and stepper = {
+  st_name : string;
+  st_step : walker -> context -> index:int -> frame -> frame option;
+}
+
+val analysis_stepper : stepper
+val fp_stepper : stepper
+
+(** A walker with the default stepper order: analysis-sp, then fp. *)
+val create : Symtab.t -> Parse_api.Cfg.t -> walker
+
+(** Prepend a custom stepper (highest priority), e.g. for a runtime with
+    unusual frame layouts — the paper's plugin story. *)
+val register_stepper : walker -> stepper -> unit
+
+(** Walk from the context's pc/sp until no stepper can continue. *)
+val walk : ?max_frames:int -> walker -> context -> frame list
+
+val walk_machine : ?max_frames:int -> walker -> Rvsim.Machine.t -> frame list
+val pp_frame : Format.formatter -> frame -> unit
+
+(**/**)
+
+val initial_frame : walker -> context -> frame
+val ra_saves : walker -> Parse_api.Cfg.func -> (int64 * int * int) list
+val func_of_pc : walker -> int64 -> Parse_api.Cfg.func option

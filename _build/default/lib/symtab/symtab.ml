@@ -1,0 +1,145 @@
+(* SymtabAPI: an abstract view of how the binary is structured and stored
+   (paper §2.1, §3.2.1).
+
+   Beyond generic symbol/section access, the RISC-V specific duty is
+   extension discovery: parse .riscv.attributes for the target arch
+   string; if the section is missing (it is optional), fall back to
+   e_flags, which every ELF carries (paper §3.2.1). *)
+
+open Elfkit
+
+type region = {
+  rg_name : string;
+  rg_addr : int64;
+  rg_size : int;
+  rg_data : Bytes.t;
+  rg_exec : bool;
+  rg_write : bool;
+}
+
+type t = {
+  image : Types.image;
+  regions : region list;
+  profile : Riscv.Ext.profile;
+  profile_source : [ `Attributes | `Eflags ];
+  attributes : Attributes.t option;
+  by_name : (string, Types.symbol) Hashtbl.t;
+  funcs_sorted : Types.symbol array; (* function symbols sorted by address *)
+}
+
+exception Symtab_error of string
+
+(* Extension discovery per the paper: prefer .riscv.attributes, fall back
+   to e_flags.  The e_flags fallback can only see C and the float ABI, so
+   the base is the conventional rv64ima_zicsr_zifencei minimum. *)
+let profile_of_image (img : Types.image) =
+  match Attributes.of_image img with
+  | Some ({ Attributes.arch = Some arch_string; _ } as attrs) -> (
+      match Riscv.Ext.parse_arch_string arch_string with
+      | Ok p -> (p, `Attributes, Some attrs)
+      | Error e -> raise (Symtab_error ("bad .riscv.attributes arch: " ^ e)))
+  | other ->
+      let open Riscv.Ext in
+      let base =
+        Set.of_list [ I; M; A; Zicsr; Zifencei ]
+      in
+      let f = img.Types.e_flags in
+      let abi = f land Types.ef_riscv_float_abi_mask in
+      let base = if abi >= Types.ef_riscv_float_abi_single then Set.add F base else base in
+      let base = if abi >= Types.ef_riscv_float_abi_double then Set.add D base else base in
+      let base = if f land Types.ef_riscv_rvc <> 0 then Set.add C base else base in
+      ({ xlen = 64; exts = base }, `Eflags, other)
+
+let of_image (img : Types.image) : t =
+  let regions =
+    List.filter_map
+      (fun (s : Types.section) ->
+        if s.Types.s_flags land Types.shf_alloc <> 0 then
+          Some
+            {
+              rg_name = s.Types.s_name;
+              rg_addr = s.Types.s_addr;
+              rg_size = s.Types.s_size;
+              rg_data = s.Types.s_data;
+              rg_exec = s.Types.s_flags land Types.shf_execinstr <> 0;
+              rg_write = s.Types.s_flags land Types.shf_write <> 0;
+            }
+        else None)
+      img.Types.sections
+  in
+  let profile, profile_source, attributes = profile_of_image img in
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_name s.Types.sym_name s) img.Types.symbols;
+  let funcs =
+    List.filter (fun s -> s.Types.sym_type = Types.stt_func) img.Types.symbols
+    |> List.sort (fun a b -> Int64.compare a.Types.sym_value b.Types.sym_value)
+    |> Array.of_list
+  in
+  { image = img; regions; profile; profile_source; attributes; by_name;
+    funcs_sorted = funcs }
+
+let of_bytes b = of_image (Read.read b)
+let of_file path = of_image (Read.of_file path)
+
+let entry t = t.image.Types.entry
+let machine t = t.image.Types.machine
+let symbols t = t.image.Types.symbols
+let profile t = t.profile
+let profile_source t = t.profile_source
+let supports t e = Riscv.Ext.supports t.profile e
+let regions t = t.regions
+let code_regions t = List.filter (fun r -> r.rg_exec) t.regions
+
+let find_symbol t name = Hashtbl.find_opt t.by_name name
+
+let functions t = Array.to_list t.funcs_sorted
+
+(* innermost function symbol containing [addr] *)
+let function_at t addr =
+  let n = Array.length t.funcs_sorted in
+  let rec bsearch lo hi best =
+    if lo >= hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      let s = t.funcs_sorted.(mid) in
+      if Int64.compare s.Types.sym_value addr <= 0 then bsearch (mid + 1) hi (Some s)
+      else bsearch lo mid best
+  in
+  match bsearch 0 n None with
+  | Some s
+    when s.Types.sym_size = 0L
+         || Int64.compare addr (Int64.add s.Types.sym_value s.Types.sym_size) < 0 ->
+      Some s
+  | _ -> None
+
+let region_at t addr =
+  List.find_opt
+    (fun r ->
+      Int64.compare r.rg_addr addr <= 0
+      && Int64.compare addr (Int64.add r.rg_addr (Int64.of_int r.rg_size)) < 0)
+    t.regions
+
+(* Read [len] bytes of initialized data at virtual address [addr], e.g.
+   for jump-table analysis. *)
+let read_data t addr len =
+  match region_at t addr with
+  | Some r ->
+      let off = Int64.to_int (Int64.sub addr r.rg_addr) in
+      if off + len <= Bytes.length r.rg_data then
+        Some (Bytes.sub r.rg_data off len)
+      else None
+  | None -> None
+
+let read_u64 t addr =
+  match read_data t addr 8 with
+  | Some b -> Some (Bytes.get_int64_le b 0)
+  | None -> None
+
+let read_u32 t addr =
+  match read_data t addr 4 with
+  | Some b ->
+      Some (Int64.logand (Int64.of_int32 (Bytes.get_int32_le b 0)) 0xFFFF_FFFFL)
+  | None -> None
+
+let is_code_addr t addr =
+  match region_at t addr with Some r -> r.rg_exec | None -> false

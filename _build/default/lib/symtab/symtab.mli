@@ -1,0 +1,73 @@
+(** SymtabAPI (paper §2.1, §3.2.1): an abstract view of how a binary is
+    structured and stored — symbols, code/data regions, and the RISC-V
+    specific duty of extension discovery.
+
+    Per the paper, the extension set ("profile") comes from the
+    [.riscv.attributes] section's arch string when present, and falls
+    back to [e_flags] (which every ELF carries) otherwise; [e_flags] can
+    only reveal C and the float ABI, so the fallback assumes the
+    conventional rv64ima_zicsr_zifencei base. *)
+
+type region = {
+  rg_name : string;
+  rg_addr : int64;
+  rg_size : int;
+  rg_data : Bytes.t;
+  rg_exec : bool;
+  rg_write : bool;
+}
+
+type t = {
+  image : Elfkit.Types.image;
+  regions : region list;
+  profile : Riscv.Ext.profile;
+  profile_source : [ `Attributes | `Eflags ];
+  attributes : Elfkit.Attributes.t option;
+  by_name : (string, Elfkit.Types.symbol) Hashtbl.t;
+  funcs_sorted : Elfkit.Types.symbol array;
+}
+
+exception Symtab_error of string
+
+val of_image : Elfkit.Types.image -> t
+val of_bytes : Bytes.t -> t
+val of_file : string -> t
+
+val entry : t -> int64
+val machine : t -> int
+val symbols : t -> Elfkit.Types.symbol list
+
+(** The mutatee's extension profile (what CodeGenAPI may emit). *)
+val profile : t -> Riscv.Ext.profile
+
+(** Where the profile came from: the attributes section or the e_flags
+    fallback. *)
+val profile_source : t -> [ `Attributes | `Eflags ]
+
+val supports : t -> Riscv.Ext.t -> bool
+val regions : t -> region list
+val code_regions : t -> region list
+val find_symbol : t -> string -> Elfkit.Types.symbol option
+
+(** Function symbols, sorted by address. *)
+val functions : t -> Elfkit.Types.symbol list
+
+(** Innermost function symbol containing the address, honouring symbol
+    sizes when present. *)
+val function_at : t -> int64 -> Elfkit.Types.symbol option
+
+val region_at : t -> int64 -> region option
+
+(** Read initialized data at a virtual address (jump-table analysis uses
+    this to fetch table entries). *)
+val read_data : t -> int64 -> int -> Bytes.t option
+
+val read_u64 : t -> int64 -> int64 option
+val read_u32 : t -> int64 -> int64 option
+val is_code_addr : t -> int64 -> bool
+
+(**/**)
+
+val profile_of_image :
+  Elfkit.Types.image ->
+  Riscv.Ext.profile * [ `Attributes | `Eflags ] * Elfkit.Attributes.t option

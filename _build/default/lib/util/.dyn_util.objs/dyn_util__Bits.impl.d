@@ -1,0 +1,1 @@
+lib/util/bits.ml: Int64

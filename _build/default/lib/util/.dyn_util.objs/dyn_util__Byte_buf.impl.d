@@ -1,0 +1,1 @@
+lib/util/byte_buf.ml: Buffer Bytes Char Int32 Int64

@@ -1,0 +1,1 @@
+lib/util/digraph.ml: Hashtbl Int List Map Set

@@ -1,0 +1,1 @@
+lib/util/interval_map.ml: Int64 List Map Option

@@ -1,0 +1,55 @@
+(* Bit-level helpers shared by the decoder, encoder and simulator.
+
+   All RISC-V instruction words are manipulated as non-negative [int]
+   values (32-bit words fit comfortably in OCaml's 63-bit ints); machine
+   values (register contents, addresses) are [int64]. *)
+
+(* [extract x lo len] extracts [len] bits of [x] starting at bit [lo]. *)
+let extract x lo len = (x lsr lo) land ((1 lsl len) - 1)
+
+(* [test_bit x i] is bit [i] of [x] as a boolean. *)
+let test_bit x i = x land (1 lsl i) <> 0
+
+(* [sign_extend x len] interprets the low [len] bits of [x] as a signed
+   two's-complement value and returns it as an OCaml int. *)
+let sign_extend x len =
+  let x = x land ((1 lsl len) - 1) in
+  if test_bit x (len - 1) then x - (1 lsl len) else x
+
+(* [fits_signed v len]: does [v] fit in a signed [len]-bit immediate? *)
+let fits_signed v len =
+  let lo = Int64.neg (Int64.shift_left 1L (len - 1)) in
+  let hi = Int64.sub (Int64.shift_left 1L (len - 1)) 1L in
+  Int64.compare lo v <= 0 && Int64.compare v hi <= 0
+
+let fits_signed_int v len = fits_signed (Int64.of_int v) len
+
+(* [fits_unsigned v len]: does non-negative [v] fit in [len] bits? *)
+let fits_unsigned v len =
+  Int64.compare v 0L >= 0 && Int64.compare v (Int64.shift_left 1L len) < 0
+
+(* int64 counterparts *)
+let extract64 x lo len =
+  Int64.logand (Int64.shift_right_logical x lo)
+    (Int64.sub (Int64.shift_left 1L len) 1L)
+
+let sign_extend64 x len =
+  let masked = extract64 x 0 len in
+  if extract64 masked (len - 1) 1 = 1L then
+    Int64.sub masked (Int64.shift_left 1L len)
+  else masked
+
+let is_aligned addr alignment = Int64.rem addr (Int64.of_int alignment) = 0L
+
+(* Truncations used by the simulator's W-suffixed instructions. *)
+let to_uint32 (x : int64) = Int64.logand x 0xFFFF_FFFFL
+let to_int32_sx (x : int64) = sign_extend64 x 32
+
+let align_up addr alignment =
+  let a = Int64.of_int alignment in
+  let r = Int64.rem addr a in
+  if r = 0L then addr else Int64.add addr (Int64.sub a r)
+
+let align_down addr alignment =
+  let a = Int64.of_int alignment in
+  Int64.sub addr (Int64.rem addr a)

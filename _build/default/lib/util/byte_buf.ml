@@ -1,0 +1,99 @@
+(* Little-endian byte buffer reading and writing, used by the ELF toolkit
+   and by code emission.  A [reader] is a cursor over immutable [Bytes];
+   a [writer] wraps [Buffer] with fixed-width little-endian appends. *)
+
+exception Out_of_bounds of { pos : int; want : int; len : int }
+
+type reader = { data : Bytes.t; mutable pos : int }
+
+let reader ?(pos = 0) data = { data; pos }
+let reader_of_string ?(pos = 0) s = { data = Bytes.of_string s; pos }
+let pos r = r.pos
+let seek r pos = r.pos <- pos
+let remaining r = Bytes.length r.data - r.pos
+
+let check r want =
+  if r.pos < 0 || r.pos + want > Bytes.length r.data then
+    raise (Out_of_bounds { pos = r.pos; want; len = Bytes.length r.data })
+
+let u8 r =
+  check r 1;
+  let v = Char.code (Bytes.get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  check r 2;
+  let v = Bytes.get_uint16_le r.data r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let u32 r =
+  check r 4;
+  let v = Bytes.get_int32_le r.data r.pos in
+  r.pos <- r.pos + 4;
+  Int64.to_int (Int64.logand (Int64.of_int32 v) 0xFFFF_FFFFL)
+
+let u64 r =
+  check r 8;
+  let v = Bytes.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let bytes r n =
+  check r n;
+  let v = Bytes.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  v
+
+(* NUL-terminated string starting at the cursor. *)
+let cstring r =
+  let start = r.pos in
+  let len = Bytes.length r.data in
+  let rec find i = if i >= len || Bytes.get r.data i = '\000' then i else find (i + 1) in
+  let stop = find start in
+  if stop >= len then raise (Out_of_bounds { pos = start; want = 1; len });
+  r.pos <- stop + 1;
+  Bytes.sub_string r.data start (stop - start)
+
+(* ULEB128, as used by .riscv.attributes. *)
+let uleb128 r =
+  let rec go shift acc =
+    let b = u8 r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let w_len (w : writer) = Buffer.length w
+let w_contents (w : writer) = Buffer.to_bytes w
+let w_u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+let w_u16 w v = Buffer.add_uint16_le w (v land 0xffff)
+let w_u32 w v = Buffer.add_int32_le w (Int32.of_int v)
+let w_u32_64 w (v : int64) = Buffer.add_int32_le w (Int64.to_int32 v)
+let w_u64 w (v : int64) = Buffer.add_int64_le w v
+let w_bytes w b = Buffer.add_bytes w b
+let w_string w s = Buffer.add_string w s
+let w_cstring w s = Buffer.add_string w s; Buffer.add_char w '\000'
+
+let w_uleb128 w v =
+  let rec go v =
+    let b = v land 0x7f in
+    let rest = v lsr 7 in
+    if rest = 0 then w_u8 w b
+    else begin
+      w_u8 w (b lor 0x80);
+      go rest
+    end
+  in
+  if v < 0 then invalid_arg "w_uleb128: negative";
+  go v
+
+(* Pad with zero bytes up to [align]-byte alignment. *)
+let w_align w align =
+  while Buffer.length w mod align <> 0 do
+    w_u8 w 0
+  done

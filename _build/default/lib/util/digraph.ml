@@ -1,0 +1,159 @@
+(* A small directed-graph library over int node ids: successor/predecessor
+   sets, DFS orderings, reachability, dominators (Cooper-Harvey-Kennedy),
+   and natural-loop discovery.  ParseAPI's CFG and DataflowAPI's analyses
+   are built on top of it. *)
+
+module IntSet = Set.Make (Int)
+module IntMap = Map.Make (Int)
+
+type t = {
+  mutable succs : IntSet.t IntMap.t;
+  mutable preds : IntSet.t IntMap.t;
+}
+
+let create () = { succs = IntMap.empty; preds = IntMap.empty }
+
+let add_node g n =
+  if not (IntMap.mem n g.succs) then begin
+    g.succs <- IntMap.add n IntSet.empty g.succs;
+    g.preds <- IntMap.add n IntSet.empty g.preds
+  end
+
+let mem_node g n = IntMap.mem n g.succs
+
+let add_edge g a b =
+  add_node g a;
+  add_node g b;
+  g.succs <- IntMap.add a (IntSet.add b (IntMap.find a g.succs)) g.succs;
+  g.preds <- IntMap.add b (IntSet.add a (IntMap.find b g.preds)) g.preds
+
+let remove_edge g a b =
+  (match IntMap.find_opt a g.succs with
+  | Some s -> g.succs <- IntMap.add a (IntSet.remove b s) g.succs
+  | None -> ());
+  match IntMap.find_opt b g.preds with
+  | Some s -> g.preds <- IntMap.add b (IntSet.remove a s) g.preds
+  | None -> ()
+
+let succs g n = try IntMap.find n g.succs with Not_found -> IntSet.empty
+let preds g n = try IntMap.find n g.preds with Not_found -> IntSet.empty
+let nodes g = IntMap.fold (fun n _ acc -> n :: acc) g.succs [] |> List.rev
+let n_nodes g = IntMap.cardinal g.succs
+
+let n_edges g =
+  IntMap.fold (fun _ s acc -> acc + IntSet.cardinal s) g.succs 0
+
+(* Nodes reachable from [root] (inclusive). *)
+let reachable g root =
+  let seen = ref IntSet.empty in
+  let rec visit n =
+    if not (IntSet.mem n !seen) then begin
+      seen := IntSet.add n !seen;
+      IntSet.iter visit (succs g n)
+    end
+  in
+  if mem_node g root then visit root;
+  !seen
+
+(* Reverse post-order from [root]; standard worklist ordering for forward
+   dataflow problems. *)
+let reverse_postorder g root =
+  let seen = ref IntSet.empty in
+  let order = ref [] in
+  let rec visit n =
+    if not (IntSet.mem n !seen) then begin
+      seen := IntSet.add n !seen;
+      IntSet.iter visit (succs g n);
+      order := n :: !order
+    end
+  in
+  if mem_node g root then visit root;
+  !order
+
+let postorder g root = List.rev (reverse_postorder g root)
+
+(* Immediate dominators by the Cooper-Harvey-Kennedy iterative algorithm.
+   Returns a map from node to its idom; the root maps to itself.
+   Unreachable nodes are absent. *)
+let idoms g root =
+  let rpo = reverse_postorder g root in
+  let index = List.mapi (fun i n -> (n, i)) rpo |> List.to_seq |> IntMap.of_seq in
+  let idom = ref (IntMap.singleton root root) in
+  let intersect a b =
+    (* walk up the dominator tree using rpo indices *)
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = IntMap.find a index and ib = IntMap.find b index in
+        if ia > ib then go (IntMap.find a !idom) b else go a (IntMap.find b !idom)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        if n <> root then begin
+          let processed_preds =
+            IntSet.elements (preds g n)
+            |> List.filter (fun p -> IntMap.mem p !idom && IntMap.mem p index)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              (match IntMap.find_opt n !idom with
+              | Some old when old = new_idom -> ()
+              | _ ->
+                  idom := IntMap.add n new_idom !idom;
+                  changed := true)
+        end)
+      rpo
+  done;
+  !idom
+
+let dominates idom a b =
+  (* does a dominate b? *)
+  let rec go b = if a = b then true else
+    match IntMap.find_opt b idom with
+    | Some p when p <> b -> go p
+    | _ -> false
+  in
+  go b
+
+(* Natural loops: for each back edge (n -> h) where h dominates n, the
+   loop body is h plus all nodes that reach n without passing through h.
+   Returns (header, body set) pairs, with bodies of shared headers merged. *)
+let natural_loops g root =
+  let idom = idoms g root in
+  let loops = Hashtbl.create 7 in
+  IntMap.iter
+    (fun n ss ->
+      IntSet.iter
+        (fun h ->
+          if IntMap.mem n idom && IntMap.mem h idom && dominates idom h n then begin
+            (* collect body by reverse reachability from n, stopping at h *)
+            let body = ref (IntSet.add h IntSet.empty) in
+            let stack = ref [ n ] in
+            while !stack <> [] do
+              match !stack with
+              | [] -> ()
+              | x :: rest ->
+                  stack := rest;
+                  if not (IntSet.mem x !body) then begin
+                    body := IntSet.add x !body;
+                    IntSet.iter (fun p -> stack := p :: !stack) (preds g x)
+                  end
+            done;
+            let cur =
+              match Hashtbl.find_opt loops h with
+              | Some s -> s
+              | None -> IntSet.empty
+            in
+            Hashtbl.replace loops h (IntSet.union cur !body)
+          end)
+        ss)
+    g.succs;
+  Hashtbl.fold (fun h body acc -> (h, body) :: acc) loops []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

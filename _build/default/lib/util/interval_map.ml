@@ -1,0 +1,70 @@
+(* A map from disjoint half-open [int64] address intervals [lo, hi) to
+   values, with stabbing queries.  Used for code regions, basic-block
+   lookup by address, and gap discovery in ParseAPI.
+
+   Implemented over the standard [Map] keyed by interval start; intervals
+   are kept disjoint by construction ([add] rejects overlaps). *)
+
+module M = Map.Make (Int64)
+
+type 'a t = { m : (int64 * 'a) M.t } (* start -> (end, value) *)
+
+let empty = { m = M.empty }
+let is_empty t = M.is_empty t.m
+let cardinal t = M.cardinal t.m
+
+(* Interval containing [addr], if any. *)
+let find_addr t addr =
+  match M.find_last_opt (fun lo -> Int64.compare lo addr <= 0) t.m with
+  | Some (lo, (hi, v)) when Int64.compare addr hi < 0 -> Some (lo, hi, v)
+  | Some _ | None -> None
+
+let mem_addr t addr = Option.is_some (find_addr t addr)
+
+(* Does [lo, hi) overlap any existing interval? *)
+let overlaps t lo hi =
+  if Int64.compare lo hi >= 0 then false
+  else
+    match M.find_last_opt (fun l -> Int64.compare l hi < 0) t.m with
+    | Some (_, (e, _)) -> Int64.compare e lo > 0
+    | None -> false
+
+exception Overlap of int64 * int64
+
+let add t lo hi v =
+  if Int64.compare lo hi >= 0 then invalid_arg "Interval_map.add: empty interval";
+  if overlaps t lo hi then raise (Overlap (lo, hi));
+  { m = M.add lo (hi, v) t.m }
+
+let remove t lo = { m = M.remove lo t.m }
+
+let fold f t acc = M.fold (fun lo (hi, v) acc -> f lo hi v acc) t.m acc
+let iter f t = M.iter (fun lo (hi, v) -> f lo hi v) t.m
+let to_list t = List.rev (fold (fun lo hi v acc -> (lo, hi, v) :: acc) t [])
+
+(* Intervals intersecting [lo, hi). *)
+let overlapping t lo hi =
+  fold
+    (fun l h v acc ->
+      if Int64.compare l hi < 0 && Int64.compare h lo > 0 then (l, h, v) :: acc
+      else acc)
+    t []
+  |> List.rev
+
+(* Maximal gaps inside [lo, hi) not covered by any interval; used by
+   ParseAPI gap parsing. *)
+let gaps t lo hi =
+  let covered = overlapping t lo hi in
+  let rec go cursor covered acc =
+    match covered with
+    | [] ->
+        if Int64.compare cursor hi < 0 then List.rev ((cursor, hi) :: acc)
+        else List.rev acc
+    | (l, h, _) :: rest ->
+        let acc =
+          if Int64.compare cursor l < 0 then (cursor, l) :: acc else acc
+        in
+        let cursor = if Int64.compare h cursor > 0 then h else cursor in
+        go cursor rest acc
+  in
+  go lo covered []

@@ -1,0 +1,1 @@
+test/test_cisc.ml: Alcotest Buffer Bytes Char Cisc Int32 Int64 List Minicc Printf QCheck QCheck_alcotest Rvsim

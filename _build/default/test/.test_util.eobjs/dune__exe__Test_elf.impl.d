@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Attributes Bytes Char Elfkit Filename Fun Int64 List Option QCheck QCheck_alcotest Read Sys Types Write

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Cisc Codegen_api Core Hashtbl Instruction Int64 List Minicc Parse_api QCheck QCheck_alcotest Rvsim String Symtab

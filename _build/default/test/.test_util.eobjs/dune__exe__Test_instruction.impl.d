@@ -1,0 +1,1 @@
+test/test_instruction.ml: Alcotest Asm Build Insn Instruction List Op Option Reg Riscv

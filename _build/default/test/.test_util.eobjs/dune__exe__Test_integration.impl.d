@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Asm Build Bytes Codegen_api Core Elfkit Ext Filename Fun List Minicc Reg Riscv Rvsim String Sys

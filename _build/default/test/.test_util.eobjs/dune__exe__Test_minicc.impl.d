@@ -1,0 +1,1 @@
+test/test_minicc.ml: Alcotest Ccodegen Codegen_api Cparse Driver List Minicc Option Parse_api Patch_api Printf Programs Riscv Rvsim String Symtab

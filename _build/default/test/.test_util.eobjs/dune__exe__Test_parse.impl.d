@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Asm Build Bytes Cfg Dyn_util Elfkit Format Hashtbl Instruction Int64 List Loops Op Option Parse_api Parser Printf Reg Riscv String Symtab

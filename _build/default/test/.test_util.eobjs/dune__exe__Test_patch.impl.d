@@ -1,0 +1,1 @@
+test/test_patch.ml: Alcotest Asm Build Bytes Cfg Codegen Codegen_api Elfkit Encode Ext Int64 List Op Option Parse_api Parser Patch_api Point Reg Rewriter Riscv Rvsim Snippet Symtab

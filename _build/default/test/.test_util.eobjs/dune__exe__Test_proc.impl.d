@@ -1,0 +1,1 @@
+test/test_proc.ml: Alcotest Asm Build Bytes Codegen_api Core Elfkit Int64 List Minicc Obj Option Printf Proccontrol_api Reg Riscv Rvsim Stackwalker_api String Symtab

@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Array Asm Build Bytes Decode Dyn_util Encode Ext Insn Int32 Int64 List Op Option QCheck QCheck_alcotest Reg Result Riscv

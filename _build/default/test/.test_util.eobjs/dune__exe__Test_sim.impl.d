@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Asm Build Bytes Elfkit Encode Insn Int64 Loader Machine Op Option Reg Riscv Rvsim String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bits Byte_buf Digraph Dyn_util Int64 Interval_map List QCheck QCheck_alcotest

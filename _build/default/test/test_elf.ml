@@ -1,0 +1,212 @@
+(* ELF toolkit tests: write -> read round trips, attributes section
+   parsing, and failure injection on malformed inputs. *)
+
+open Elfkit
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let check64 = Alcotest.(check int64)
+
+let sample_image () =
+  let text = Bytes.of_string "\x13\x00\x00\x00\x73\x00\x00\x00" in
+  let data = Bytes.of_string "hello elf\x00" in
+  let attrs =
+    Attributes.section_of
+      { Attributes.empty with
+        arch = Some "rv64imafdc_zicsr_zifencei";
+        stack_align = Some 16;
+      }
+  in
+  Types.image ~machine:Types.em_riscv ~entry:0x10000L
+    ~e_flags:(Types.ef_riscv_rvc lor Types.ef_riscv_float_abi_double)
+    ~symbols:
+      [
+        Types.symbol "main" 0x10000L ~sym_size:8L ~sym_section:".text";
+        Types.symbol "msg" 0x20000L ~sym_type:Types.stt_object
+          ~sym_section:".data";
+        Types.symbol "local_helper" 0x10004L ~sym_bind:Types.stb_local
+          ~sym_section:".text";
+      ]
+    [
+      Types.section ".text" text ~s_addr:0x10000L
+        ~s_flags:(Types.shf_alloc lor Types.shf_execinstr) ~s_addralign:4;
+      Types.section ".data" data ~s_addr:0x20000L
+        ~s_flags:(Types.shf_alloc lor Types.shf_write) ~s_addralign:8;
+      attrs;
+    ]
+
+let test_roundtrip () =
+  let img = sample_image () in
+  let bytes = Write.to_bytes img in
+  let img' = Read.read bytes in
+  checki "machine" Types.em_riscv img'.Types.machine;
+  check64 "entry" 0x10000L img'.Types.entry;
+  checki "e_flags" (Types.ef_riscv_rvc lor Types.ef_riscv_float_abi_double)
+    img'.Types.e_flags;
+  let text = Option.get (Types.find_section img' ".text") in
+  checks "text bytes" "\x13\x00\x00\x00\x73\x00\x00\x00"
+    (Bytes.to_string text.Types.s_data);
+  check64 "text addr" 0x10000L text.Types.s_addr;
+  checkb "text exec" true (text.Types.s_flags land Types.shf_execinstr <> 0);
+  let data = Option.get (Types.find_section img' ".data") in
+  checks "data bytes" "hello elf\x00" (Bytes.to_string data.Types.s_data)
+
+let test_symbols_roundtrip () =
+  let img' = Read.read (Write.to_bytes (sample_image ())) in
+  let find n = List.find (fun s -> s.Types.sym_name = n) img'.Types.symbols in
+  let main = find "main" in
+  check64 "main value" 0x10000L main.Types.sym_value;
+  check64 "main size" 8L main.Types.sym_size;
+  checki "main type" Types.stt_func main.Types.sym_type;
+  checks "main section" ".text" (Option.get main.Types.sym_section);
+  let msg = find "msg" in
+  checki "msg type" Types.stt_object msg.Types.sym_type;
+  let local = find "local_helper" in
+  checki "local bind" Types.stb_local local.Types.sym_bind
+
+let test_segments () =
+  let img' = Read.read (Write.to_bytes (sample_image ())) in
+  let loads =
+    List.filter (fun p -> p.Types.p_type = Types.pt_load) img'.Types.segments
+  in
+  checki "two loadable segments" 2 (List.length loads);
+  let textseg =
+    List.find (fun p -> p.Types.p_flags land Types.pf_x <> 0) loads
+  in
+  check64 "text vaddr" 0x10000L textseg.Types.p_vaddr;
+  (* file offset must be congruent to vaddr modulo the page size *)
+  check64 "congruent" (Int64.rem textseg.Types.p_vaddr 0x1000L)
+    (Int64.rem textseg.Types.p_offset 0x1000L)
+
+let test_attributes_roundtrip () =
+  let a =
+    { Attributes.arch = Some "rv64imac_zicsr";
+      stack_align = Some 16;
+      unaligned_access = Some false;
+    }
+  in
+  let a' = Attributes.parse (Attributes.build a) in
+  checks "arch" "rv64imac_zicsr" (Option.get a'.Attributes.arch);
+  checki "stack align" 16 (Option.get a'.Attributes.stack_align);
+  checkb "unaligned" false (Option.get a'.Attributes.unaligned_access)
+
+let test_attributes_in_image () =
+  let img' = Read.read (Write.to_bytes (sample_image ())) in
+  match Attributes.of_image img' with
+  | None -> Alcotest.fail "attributes section lost"
+  | Some a ->
+      checks "arch" "rv64imafdc_zicsr_zifencei" (Option.get a.Attributes.arch)
+
+let test_attributes_malformed () =
+  let raises f =
+    match f () with exception Attributes.Malformed _ -> true | _ -> false
+  in
+  checkb "empty" true (raises (fun () -> Attributes.parse Bytes.empty));
+  checkb "bad version" true
+    (raises (fun () -> Attributes.parse (Bytes.of_string "B\x00\x00")));
+  checkb "truncated sub-section" true
+    (raises (fun () ->
+         Attributes.parse (Bytes.of_string "A\xff\x00\x00\x00riscv\x00")))
+
+let test_read_failures () =
+  let raises f =
+    match f () with exception Types.Format_error _ -> true | _ -> false
+  in
+  checkb "empty file" true (raises (fun () -> Read.read Bytes.empty));
+  checkb "bad magic" true
+    (raises (fun () -> Read.read (Bytes.make 100 'x')));
+  (* valid header prefix, then truncation *)
+  let good = Write.to_bytes (sample_image ()) in
+  let truncated = Bytes.sub good 0 70 in
+  checkb "truncated" true (raises (fun () -> Read.read truncated));
+  (* 32-bit class rejected *)
+  let bad_class = Bytes.copy good in
+  Bytes.set bad_class 4 '\x01';
+  checkb "elf32 rejected" true (raises (fun () -> Read.read bad_class))
+
+let test_nobits () =
+  let img =
+    Types.image ~entry:0x10000L
+      [
+        Types.section ".text" (Bytes.make 4 '\x13') ~s_addr:0x10000L
+          ~s_flags:(Types.shf_alloc lor Types.shf_execinstr);
+        Types.section ".bss" Bytes.empty ~s_size:256 ~s_addr:0x20000L
+          ~s_type:Types.sht_nobits
+          ~s_flags:(Types.shf_alloc lor Types.shf_write);
+      ]
+  in
+  let img' = Read.read (Write.to_bytes img) in
+  let bss = Option.get (Types.find_section img' ".bss") in
+  checki "bss size kept" 256 bss.Types.s_size;
+  checki "bss type" Types.sht_nobits bss.Types.s_type;
+  (* the RW segment must have memsz > filesz *)
+  let seg =
+    List.find
+      (fun p ->
+        p.Types.p_type = Types.pt_load && p.Types.p_flags land Types.pf_w <> 0)
+      img'.Types.segments
+  in
+  checkb "memsz > filesz" true
+    (Int64.compare seg.Types.p_memsz seg.Types.p_filesz > 0)
+
+
+(* corrupting any single byte of a valid ELF either still parses or
+   raises Format_error -- never an unexpected exception *)
+let prop_corruption_robust =
+  QCheck.Test.make ~name:"single-byte corruption never crashes the reader"
+    ~count:400
+    QCheck.(pair small_nat (int_bound 255))
+    (fun (pos, value) ->
+      let good = Write.to_bytes (sample_image ()) in
+      let mutated = Bytes.copy good in
+      let pos = pos mod Bytes.length mutated in
+      Bytes.set mutated pos (Char.chr value);
+      match Read.read mutated with
+      | _ -> true
+      | exception Types.Format_error _ -> true
+      | exception Attributes.Malformed _ -> true)
+
+let prop_truncation_robust =
+  QCheck.Test.make ~name:"truncation never crashes the reader" ~count:200
+    QCheck.small_nat (fun keep ->
+      let good = Write.to_bytes (sample_image ()) in
+      let keep = keep mod Bytes.length good in
+      match Read.read (Bytes.sub good 0 keep) with
+      | _ -> true
+      | exception Types.Format_error _ -> true)
+
+let test_file_io () =
+  let img = sample_image () in
+  let path = Filename.temp_file "dyninst_test" ".elf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Write.to_file path img;
+      let img' = Read.of_file path in
+      check64 "entry" 0x10000L img'.Types.entry)
+
+let () =
+  Alcotest.run "elf"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "sections" `Quick test_roundtrip;
+          Alcotest.test_case "symbols" `Quick test_symbols_roundtrip;
+          Alcotest.test_case "segments" `Quick test_segments;
+          Alcotest.test_case "nobits" `Quick test_nobits;
+          Alcotest.test_case "file io" `Quick test_file_io;
+        ] );
+      ( "attributes",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_attributes_roundtrip;
+          Alcotest.test_case "in image" `Quick test_attributes_in_image;
+          Alcotest.test_case "malformed" `Quick test_attributes_malformed;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "reader" `Quick test_read_failures;
+          QCheck_alcotest.to_alcotest ~long:false prop_corruption_robust;
+          QCheck_alcotest.to_alcotest ~long:false prop_truncation_robust;
+        ] );
+    ]

@@ -1,0 +1,384 @@
+(* Differential and metamorphic fuzzing.
+
+   A generator of small, deterministic, always-terminating mini-C
+   programs drives three properties:
+
+   1. backend differential: the RISC-V and CISC-64 backends must produce
+      identical program output (two independent compiler backends and two
+      independent simulators agreeing);
+   2. metamorphic instrumentation: statically instrumenting every basic
+      block of every user function must not change program output — the
+      core correctness contract of binary rewriting (paper §2: "safe
+      transformations of the program's CFG");
+   3. parse totality: every generated binary parses into a CFG whose
+      blocks tile the code without overlap.
+
+   Programs use only: bounded canonical for-loops, constant divisors and
+   shift amounts (no traps), and print_int for observability. *)
+
+open Minicc.Cast
+
+(* --- program generator ------------------------------------------------------- *)
+
+let params0 = [ "a"; "b" ]
+let locals0 = [ "x"; "y"; "z" ]
+
+let gen_expr ~vars : expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = map (fun v -> Evar v) (oneofl vars) in
+  let const = map (fun v -> Eint (Int64.of_int v)) (int_range (-20) 20) in
+  fix
+    (fun self depth ->
+      if depth = 0 then oneof [ var; const ]
+      else
+        let sub = self (depth - 1) in
+        frequency
+          [
+            (2, var);
+            (2, const);
+            (3,
+             let* op = oneofl [ Add; Sub; Mul ] in
+             let* a = sub and* b = sub in
+             return (Ebin (op, a, b)));
+            (1,
+             (* division / modulo by a nonzero constant *)
+             let* op = oneofl [ Div; Mod ] in
+             let* a = sub in
+             let* d = int_range 1 9 in
+             return (Ebin (op, a, Eint (Int64.of_int d))));
+            (1,
+             let* op = oneofl [ Lt; Le; Gt; Ge; Eq; Ne ] in
+             let* a = sub and* b = sub in
+             return (Ebin (op, a, b)));
+            (1,
+             let* op = oneofl [ Band; Bor; Bxor ] in
+             let* a = sub and* b = sub in
+             return (Ebin (op, a, b)));
+            (1,
+             (* constant shift amounts (the CISC backend requires them) *)
+             let* op = oneofl [ Shl; Shr ] in
+             let* a = sub in
+             let* s = int_range 0 5 in
+             return (Ebin (op, a, Eint (Int64.of_int s))));
+            (1,
+             let* op = oneofl [ And; Or ] in
+             let* a = sub and* b = sub in
+             return (Ebin (op, a, b)));
+            (1, map (fun e -> Eneg e) sub);
+            (1, map (fun e -> Enot e) sub);
+          ])
+    2
+
+let gen_stmts ~vars : stmt list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let expr = gen_expr ~vars in
+  let assign =
+    let* v = oneofl locals0 and* e = expr in
+    return (Sassign (v, e))
+  in
+  let print =
+    map (fun e -> Sexpr (Ecall ("print_int", [ e ]))) expr
+  in
+  let rec stmt depth =
+    if depth = 0 then oneof [ assign; print ]
+    else
+      frequency
+        [
+          (3, assign);
+          (2, print);
+          (2,
+           let* c = expr in
+           let* t = list_size (int_range 1 3) (stmt (depth - 1)) in
+           let* f = list_size (int_range 0 2) (stmt (depth - 1)) in
+           return (Sif (c, t, f)));
+          (1,
+           (* canonical bounded loop; each nesting depth owns its
+              induction variable so nested loops terminate *)
+           let iv = "i" ^ string_of_int depth in
+           let* k = int_range 1 6 in
+           let* body = list_size (int_range 1 3) (stmt (depth - 1)) in
+           return
+             (Sfor
+                ( Some (Sassign (iv, Eint 0L)),
+                  Some (Ebin (Lt, Evar iv, Eint (Int64.of_int k))),
+                  Some (Sassign (iv, Ebin (Add, Evar iv, Eint 1L))),
+                  body )));
+        ]
+  in
+  list_size (int_range 2 5) (stmt 2)
+
+let gen_function name : func QCheck.Gen.t =
+  let open QCheck.Gen in
+  let vars = params0 @ locals0 in
+  let* body = gen_stmts ~vars in
+  let* ret = gen_expr ~vars in
+  let decls =
+    List.map
+      (fun v -> Sdecl (Tint, v, Some (Eint 0L)))
+      (locals0 @ [ "i1"; "i2" ])
+  in
+  return
+    {
+      fn_name = name;
+      fn_ret = Tint;
+      fn_params = List.map (fun p -> { p_ty = Tint; p_name = p }) params0;
+      fn_body = decls @ body @ [ Sreturn (Some ret) ];
+    }
+
+let gen_program : program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* f0 = gen_function "f0" and* f1 = gen_function "f1" in
+  let* a0 = int_range (-9) 9 and* b0 = int_range (-9) 9 in
+  let main =
+    {
+      fn_name = "main";
+      fn_ret = Tint;
+      fn_params = [];
+      fn_body =
+        [
+          Sdecl (Tint, "r", Some (Eint 0L));
+          Sassign
+            ( "r",
+              Ebin
+                ( Add,
+                  Ecall ("f0", [ Eint (Int64.of_int a0); Eint (Int64.of_int b0) ]),
+                  Ecall ("f1", [ Eint (Int64.of_int b0); Eint (Int64.of_int a0) ])
+                ) );
+          Sexpr (Ecall ("print_int", [ Evar "r" ]));
+          Sreturn (Some (Eint 0L));
+        ];
+    }
+  in
+  return { globals = []; funcs = [ f0; f1; main ] }
+
+(* --- unparse to source (also exercising the parser) --------------------------- *)
+
+let rec pp_expr b = function
+  | Eint v -> Buffer.add_string b (Int64.to_string v)
+  | Efloat f -> Buffer.add_string b (string_of_float f)
+  | Evar v -> Buffer.add_string b v
+  | Eindex (a, i) ->
+      Buffer.add_string b a;
+      Buffer.add_char b '[';
+      pp_expr b i;
+      Buffer.add_char b ']'
+  | Ecall (f, args) ->
+      Buffer.add_string b f;
+      Buffer.add_char b '(';
+      List.iteri
+        (fun k a ->
+          if k > 0 then Buffer.add_string b ", ";
+          pp_expr b a)
+        args;
+      Buffer.add_char b ')'
+  | Ebin (op, x, y) ->
+      Buffer.add_char b '(';
+      pp_expr b x;
+      Buffer.add_string b
+        (match op with
+        | Add -> " + " | Sub -> " - " | Mul -> " * " | Div -> " / "
+        | Mod -> " % " | Lt -> " < " | Le -> " <= " | Gt -> " > "
+        | Ge -> " >= " | Eq -> " == " | Ne -> " != " | And -> " && "
+        | Or -> " || " | Band -> " & " | Bor -> " | " | Bxor -> " ^ "
+        | Shl -> " << " | Shr -> " >> ");
+      pp_expr b y;
+      Buffer.add_char b ')'
+  | Eneg e ->
+      Buffer.add_string b "(-";
+      pp_expr b e;
+      Buffer.add_char b ')'
+  | Enot e ->
+      Buffer.add_string b "(!";
+      pp_expr b e;
+      Buffer.add_char b ')'
+
+let rec pp_stmt b ind s =
+  let pad () = Buffer.add_string b (String.make ind ' ') in
+  match s with
+  | Sdecl (_, v, Some e) ->
+      pad ();
+      Buffer.add_string b ("int " ^ v ^ " = ");
+      pp_expr b e;
+      Buffer.add_string b ";\n"
+  | Sdecl (_, v, None) ->
+      pad ();
+      Buffer.add_string b ("int " ^ v ^ ";\n")
+  | Sassign (v, e) ->
+      pad ();
+      Buffer.add_string b (v ^ " = ");
+      pp_expr b e;
+      Buffer.add_string b ";\n"
+  | Sstore (a, i, e) ->
+      pad ();
+      Buffer.add_string b a;
+      Buffer.add_char b '[';
+      pp_expr b i;
+      Buffer.add_string b "] = ";
+      pp_expr b e;
+      Buffer.add_string b ";\n"
+  | Sif (c, t, f) ->
+      pad ();
+      Buffer.add_string b "if (";
+      pp_expr b c;
+      Buffer.add_string b ") {\n";
+      List.iter (pp_stmt b (ind + 2)) t;
+      pad ();
+      Buffer.add_string b "}";
+      if f <> [] then begin
+        Buffer.add_string b " else {\n";
+        List.iter (pp_stmt b (ind + 2)) f;
+        pad ();
+        Buffer.add_string b "}"
+      end;
+      Buffer.add_string b "\n"
+  | Swhile (c, body) ->
+      pad ();
+      Buffer.add_string b "while (";
+      pp_expr b c;
+      Buffer.add_string b ") {\n";
+      List.iter (pp_stmt b (ind + 2)) body;
+      pad ();
+      Buffer.add_string b "}\n"
+  | Sfor (init, cond, step, body) ->
+      pad ();
+      Buffer.add_string b "for (";
+      (match init with
+      | Some (Sassign (v, e)) ->
+          Buffer.add_string b (v ^ " = ");
+          pp_expr b e
+      | _ -> ());
+      Buffer.add_string b "; ";
+      (match cond with Some c -> pp_expr b c | None -> ());
+      Buffer.add_string b "; ";
+      (match step with
+      | Some (Sassign (v, e)) ->
+          Buffer.add_string b (v ^ " = ");
+          pp_expr b e
+      | _ -> ());
+      Buffer.add_string b ") {\n";
+      List.iter (pp_stmt b (ind + 2)) body;
+      pad ();
+      Buffer.add_string b "}\n"
+  | Sswitch _ -> invalid_arg "pp_stmt: switch not generated"
+  | Sreturn (Some e) ->
+      pad ();
+      Buffer.add_string b "return ";
+      pp_expr b e;
+      Buffer.add_string b ";\n"
+  | Sreturn None ->
+      pad ();
+      Buffer.add_string b "return;\n"
+  | Sbreak ->
+      pad ();
+      Buffer.add_string b "break;\n"
+  | Sexpr e ->
+      pad ();
+      pp_expr b e;
+      Buffer.add_string b ";\n"
+  | Sblock body ->
+      List.iter (pp_stmt b ind) body
+
+let source_of_program (p : program) : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b "int ";
+      Buffer.add_string b f.fn_name;
+      Buffer.add_char b '(';
+      List.iteri
+        (fun k (q : param) ->
+          if k > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b ("int " ^ q.p_name))
+        f.fn_params;
+      Buffer.add_string b ") {\n";
+      List.iter (pp_stmt b 2) f.fn_body;
+      Buffer.add_string b "}\n\n")
+    p.funcs;
+  Buffer.contents b
+
+let arb_source =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(map source_of_program gen_program)
+
+(* --- the properties ------------------------------------------------------------ *)
+
+let run_rv src =
+  match Minicc.Driver.run ~max_steps:20_000_000 src with
+  | Rvsim.Machine.Exited 0, out -> out
+  | stop, _ ->
+      QCheck.Test.fail_reportf "riscv run failed: %a" Rvsim.Machine.pp_stop stop
+
+let prop_backend_differential =
+  QCheck.Test.make ~name:"riscv and cisc backends agree" ~count:60 arb_source
+    (fun src ->
+      let rv_out = run_rv src in
+      match Cisc.Cdriver.run ~max_steps:20_000_000 src with
+      | Cisc.Emu.Exited 0, ci_out ->
+          if rv_out = ci_out then true
+          else
+            QCheck.Test.fail_reportf "outputs differ:\nriscv: %S\ncisc:  %S"
+              rv_out ci_out
+      | stop, _ ->
+          QCheck.Test.fail_reportf "cisc run failed: %a" Cisc.Emu.pp_stop stop)
+
+let prop_instrumentation_transparent =
+  QCheck.Test.make ~name:"bb instrumentation preserves behaviour" ~count:40
+    arb_source (fun src ->
+      let plain = run_rv src in
+      let compiled = Minicc.Driver.compile src in
+      let b = Core.open_image compiled.Minicc.Driver.image in
+      let m = Core.create_mutator b in
+      let c = Core.create_counter m "fuzz" in
+      List.iter
+        (fun fname ->
+          List.iter
+            (fun pt -> Core.insert m pt [ Codegen_api.Snippet.incr c ])
+            (Core.at_blocks b fname))
+        [ "f0"; "f1"; "main" ];
+      let img = Core.rewrite m in
+      let p = Rvsim.Loader.load img in
+      match Rvsim.Loader.run ~max_steps:20_000_000 p with
+      | Rvsim.Machine.Exited 0, out ->
+          let count =
+            Rvsim.Mem.read64 p.Rvsim.Loader.machine.Rvsim.Machine.mem
+              c.Codegen_api.Snippet.v_addr
+          in
+          if out = plain && Int64.compare count 0L > 0 then true
+          else
+            QCheck.Test.fail_reportf
+              "instrumented run diverged (count %Ld):\nplain: %S\ninst:  %S"
+              count plain out
+      | stop, _ ->
+          QCheck.Test.fail_reportf "instrumented run failed: %a"
+            Rvsim.Machine.pp_stop stop)
+
+let prop_parse_totality =
+  QCheck.Test.make ~name:"generated binaries parse into tiling CFGs" ~count:40
+    arb_source (fun src ->
+      let compiled = Minicc.Driver.compile src in
+      let st = Symtab.of_image compiled.Minicc.Driver.image in
+      let cfg = Parse_api.Parser.parse st in
+      (* Interval_map.add raises on overlap during parsing, so reaching
+         here means no block overlap; check block/insn integrity *)
+      Hashtbl.fold
+        (fun start (b : Parse_api.Cfg.block) ok ->
+          ok
+          && Int64.equal start b.Parse_api.Cfg.b_start
+          && List.for_all
+               (fun (i : Instruction.t) ->
+                 Int64.compare i.Instruction.addr b.Parse_api.Cfg.b_start >= 0
+                 && Int64.compare i.Instruction.addr b.Parse_api.Cfg.b_end < 0)
+               b.Parse_api.Cfg.b_insns)
+        cfg.Parse_api.Cfg.blocks true)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_backend_differential;
+          QCheck_alcotest.to_alcotest ~long:false prop_instrumentation_transparent;
+          QCheck_alcotest.to_alcotest ~long:false prop_parse_totality;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+(* InstructionAPI tests: the Capstone-role abstraction — categories,
+   operand lists with access/implicit flags, memory sizes, link
+   registers, targets, and the semantics hookup. *)
+
+open Riscv
+open Instruction
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+let at addr insn = of_insn ~addr insn
+
+let test_categories () =
+  let cat i = (at 0x1000L i).category in
+  checkb "jal is direct jump" true (cat (Build.jal Reg.ra 16) = Direct_jump);
+  checkb "jalr is indirect" true (cat (Build.jalr Reg.zero Reg.ra 0) = Indirect_jump);
+  checkb "beq is cond branch" true (cat (Build.beq Reg.a0 Reg.a1 8) = Cond_branch);
+  checkb "ld is load" true (cat (Build.ld Reg.a0 0 Reg.sp) = Load);
+  checkb "sd is store" true (cat (Build.sd Reg.a0 0 Reg.sp) = Store);
+  checkb "fadd is float" true (cat (Build.fadd_d (Reg.f 0) (Reg.f 1) (Reg.f 2)) = Float_op);
+  checkb "amoadd is atomic" true
+    (cat (Insn.make ~rd:1 ~rs1:2 ~rs2:3 Op.AMOADD_D) = Atomic);
+  checkb "ecall is syscall" true (cat Build.ecall = Syscall);
+  checkb "ebreak is breakpoint" true (cat Build.ebreak = Breakpoint);
+  checkb "add is arith" true (cat (Build.add Reg.a0 Reg.a1 Reg.a2) = Arith);
+  checkb "csrrs is csr" true (cat (Build.csrrs Reg.a0 0xC00 Reg.zero) = Csr_op)
+
+let test_load_operands () =
+  let t = at 0x1000L (Build.ld Reg.a0 16 Reg.sp) in
+  checki "two operands" 2 (List.length t.operands);
+  (match t.operands with
+  | [ Reg { reg; access = Write; implicit = false };
+      Mem { base; disp; size; access = Read } ] ->
+      checkb "dst a0" true (reg = Reg.a0);
+      checkb "base sp" true (base = Reg.sp);
+      check64 "disp" 16L disp;
+      checki "size" 8 size
+  | _ -> Alcotest.fail "unexpected operand shape");
+  checkb "reads memory" true (reads_memory t);
+  checkb "no memory write" false (writes_memory t);
+  checki "memory size" 8 (memory_size t)
+
+let test_store_operands () =
+  let t = at 0x1000L (Build.sw Reg.a1 (-4) Reg.s0) in
+  (match t.operands with
+  | [ Reg { reg; access = Read; _ }; Mem { access = Write; size = 4; disp; _ } ] ->
+      checkb "src" true (reg = Reg.a1);
+      check64 "disp" (-4L) disp
+  | _ -> Alcotest.fail "unexpected operand shape");
+  checkb "writes memory" true (writes_memory t)
+
+let test_csr_implicit () =
+  let t = at 0x1000L (Build.csrrs Reg.a0 0x003 Reg.a1) in
+  checkb "has implicit fcsr operand" true
+    (List.exists
+       (function
+         | Reg { implicit = true; access = Read_write; reg } -> reg = Reg.fcsr
+         | _ -> false)
+       t.operands)
+
+let test_amo_operands () =
+  let t = at 0x1000L (Insn.make ~rd:10 ~rs1:11 ~rs2:12 Op.AMOADD_W) in
+  checkb "amo reads+writes memory" true (reads_memory t && writes_memory t);
+  (match t.operands with
+  | [ Reg _; Reg _; Mem { access = Read_write; size = 4; _ } ] -> ()
+  | _ -> Alcotest.fail "unexpected amo operands");
+  let lr = at 0x1000L (Insn.make ~rd:10 ~rs1:11 Op.LR_D) in
+  match lr.operands with
+  | [ Reg { access = Write; _ }; Mem { access = Read; size = 8; _ } ] -> ()
+  | _ -> Alcotest.fail "unexpected lr operands"
+
+let test_targets_and_links () =
+  let jal = at 0x2000L (Build.jal Reg.ra 0x100) in
+  check64 "jal target" 0x2100L (Option.get (target jal));
+  checkb "jal link ra" true (link_reg jal = Some Reg.ra);
+  let j = at 0x2000L (Build.j (-16)) in
+  check64 "j target" 0x1FF0L (Option.get (target j));
+  checkb "j links x0" true (link_reg j = Some Reg.zero);
+  let br = at 0x2000L (Build.bne Reg.a0 Reg.zero 0x40) in
+  check64 "branch target" 0x2040L (Option.get (target br));
+  let jalr = at 0x2000L (Build.jalr Reg.zero Reg.t0 8) in
+  checkb "indirect has no static target" true (target jalr = None);
+  checkb "arith has no link" true (link_reg (at 0L (Build.add 1 2 3)) = None)
+
+let test_semantics_hookup () =
+  (* every decodable instruction must expose SAIL semantics *)
+  let missing =
+    List.filter
+      (fun (op, _, _, _) -> semantics (at 0L (Insn.make op)) = None)
+      Op.table
+  in
+  checki "all ops have semantics" 0 (List.length missing)
+
+let test_disassemble_all () =
+  let open Asm in
+  let r =
+    assemble
+      [
+        Insn (Build.addi Reg.a0 Reg.zero 1);
+        Insn Build.ret;
+        Raw "\xff\xff" (* undecodable filler *);
+        Insn Build.nop;
+      ]
+  in
+  let items = disassemble_all ~base:0x1000L r.Asm.code in
+  checki "entries" 4 (List.length items);
+  (match items with
+  | [ (_, Some a); (_, Some b); (_, None); (_, Some c) ] ->
+      checkb "addi" true (op a = Op.ADDI);
+      checkb "ret" true (Insn.is_ret b.insn);
+      checkb "nop" true (op c = Op.ADDI)
+  | _ -> Alcotest.fail "unexpected disassembly");
+  (* resynchronization after bad bytes: the nop's address is right *)
+  match List.nth items 3 with
+  | addr, _ -> check64 "resync addr" 0x100aL addr
+
+let test_regs_read_written () =
+  let t = at 0L (Build.add Reg.a0 Reg.a1 Reg.a2) in
+  checkb "reads a1 a2" true
+    (List.sort compare (regs_read t) = List.sort compare [ Reg.a1; Reg.a2 ]);
+  checkb "writes a0" true (regs_written t = [ Reg.a0 ]);
+  (* x0 writes are discarded *)
+  let z = at 0L (Build.add Reg.zero Reg.a1 Reg.a2) in
+  checkb "x0 write discarded" true (regs_written z = [])
+
+let () =
+  Alcotest.run "instruction"
+    [
+      ( "abstraction",
+        [
+          Alcotest.test_case "categories" `Quick test_categories;
+          Alcotest.test_case "load operands" `Quick test_load_operands;
+          Alcotest.test_case "store operands" `Quick test_store_operands;
+          Alcotest.test_case "csr implicit operand" `Quick test_csr_implicit;
+          Alcotest.test_case "amo operands" `Quick test_amo_operands;
+          Alcotest.test_case "targets and link registers" `Quick
+            test_targets_and_links;
+          Alcotest.test_case "regs read/written" `Quick test_regs_read_written;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "semantics for every opcode" `Quick
+            test_semantics_hookup;
+          Alcotest.test_case "region disassembly + resync" `Quick
+            test_disassemble_all;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Whole-system integration tests: the three Figure-1 instrumentation
+   flows must agree; rewriting is deterministic; a rewritten binary is
+   itself a valid analyzable/instrumentable binary; the component map
+   (Figure 2) names every toolkit. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+let checks = Alcotest.(check string)
+
+let src = Minicc.Programs.matmul ~n:6 ~reps:3
+
+let compile () = (Minicc.Driver.compile src).Minicc.Driver.image
+
+(* --- Figure 1: all three flows agree ---------------------------------------- *)
+
+let build_mutator binary =
+  let m = Core.create_mutator binary in
+  let c = Core.create_counter m "multiply_calls" in
+  Core.insert m (Core.at_entry binary "multiply") [ Codegen_api.Snippet.incr c ];
+  (m, c)
+
+let test_flows_agree () =
+  let binary = Core.open_image (compile ()) in
+  (* static *)
+  let m, c = build_mutator binary in
+  let p = Rvsim.Loader.load (Core.rewrite m) in
+  let stop, out_static = Rvsim.Loader.run p in
+  checki "static exit" 0
+    (match stop with Rvsim.Machine.Exited n -> n | _ -> -1);
+  let static_count =
+    Rvsim.Mem.read64 p.Rvsim.Loader.machine.Rvsim.Machine.mem
+      c.Codegen_api.Snippet.v_addr
+  in
+  (* dynamic create *)
+  let m, c = build_mutator binary in
+  let proc = Core.launch (Core.image binary) in
+  Core.instrument_process m proc;
+  let _ = Core.continue_ proc in
+  let create_count = Core.read_counter proc c in
+  (* dynamic attach (after stopping at main) *)
+  let m, c = build_mutator binary in
+  let raw = Rvsim.Loader.load (Core.image binary) in
+  let proc2 = Core.attach raw in
+  Core.instrument_process m proc2;
+  let _ = Core.continue_ proc2 in
+  let attach_count = Core.read_counter proc2 c in
+  check64 "static = 3" 3L static_count;
+  check64 "create agrees" static_count create_count;
+  check64 "attach agrees" static_count attach_count;
+  (* behaviour preserved: instrumented stdout is still a time print *)
+  checkb "output intact" true (String.length out_static > 0)
+
+(* --- determinism --------------------------------------------------------------- *)
+
+let test_rewrite_deterministic () =
+  let binary = Core.open_image (compile ()) in
+  let once () =
+    let m, _ = build_mutator binary in
+    Elfkit.Write.to_bytes (Core.rewrite m)
+  in
+  checkb "byte-identical rewrites" true (Bytes.equal (once ()) (once ()))
+
+(* --- second-generation instrumentation ------------------------------------------ *)
+
+let test_reinstrument_rewritten () =
+  (* instrument, rewrite to a new image, open THAT image and instrument
+     again with a different counter: both counters must work *)
+  let binary = Core.open_image (compile ()) in
+  let m1, c1 = build_mutator binary in
+  let img1 = Core.rewrite m1 in
+  let binary2 = Core.open_image img1 in
+  let m2 = Core.create_mutator binary2 in
+  let c2 = Core.create_counter m2 "init_calls" in
+  Core.insert m2 (Core.at_entry binary2 "init") [ Codegen_api.Snippet.incr c2 ];
+  let img2 = Core.rewrite m2 in
+  let p = Rvsim.Loader.load img2 in
+  let stop, _ = Rvsim.Loader.run p in
+  checki "exit" 0 (match stop with Rvsim.Machine.Exited n -> n | _ -> -1);
+  let rd (v : Codegen_api.Snippet.var) =
+    Rvsim.Mem.read64 p.Rvsim.Loader.machine.Rvsim.Machine.mem
+      v.Codegen_api.Snippet.v_addr
+  in
+  check64 "first-generation counter still counts" 3L (rd c1);
+  check64 "second-generation counter counts" 1L (rd c2)
+
+(* --- disk round trip -------------------------------------------------------------- *)
+
+let test_disk_round_trip () =
+  let binary = Core.open_image (compile ()) in
+  let m, c = build_mutator binary in
+  let path = Filename.temp_file "dyninst_it" ".elf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Core.rewrite_to_file m path;
+      let p = Rvsim.Loader.load_file path in
+      let _ = Rvsim.Loader.run p in
+      check64 "counter from reloaded file" 3L
+        (Rvsim.Mem.read64 p.Rvsim.Loader.machine.Rvsim.Machine.mem
+           c.Codegen_api.Snippet.v_addr))
+
+(* --- Figure 2 components ------------------------------------------------------------ *)
+
+let test_components_complete () =
+  let names = List.map fst Core.components in
+  List.iter
+    (fun required ->
+      checkb (required ^ " present") true (List.mem required names))
+    [ "SymtabAPI"; "InstructionAPI"; "ParseAPI"; "DataflowAPI"; "CodeGenAPI";
+      "PatchAPI"; "ProcControlAPI"; "StackwalkerAPI" ];
+  (* key information-flow edges from the paper's Figure 2 *)
+  let deps c = List.assoc c Core.components in
+  checkb "ParseAPI uses SymtabAPI" true (List.mem "SymtabAPI" (deps "ParseAPI"));
+  checkb "ParseAPI uses InstructionAPI" true
+    (List.mem "InstructionAPI" (deps "ParseAPI"));
+  checkb "DataflowAPI uses ParseAPI" true (List.mem "ParseAPI" (deps "DataflowAPI"));
+  checkb "PatchAPI uses CodeGenAPI" true (List.mem "CodeGenAPI" (deps "PatchAPI"))
+
+(* --- profile-driven codegen over the facade ------------------------------------------ *)
+
+let test_profile_flows_to_codegen () =
+  (* a binary whose attributes claim no M extension: a Times snippet must
+     be rejected end-to-end through the facade *)
+  let open Riscv in
+  let r =
+    Asm.assemble ~base:0x10000L
+      Asm.[ Label "main"; Insn (Build.addi Reg.a7 Reg.zero 93); Insn Build.ecall ]
+  in
+  let attrs =
+    Elfkit.Attributes.section_of
+      { Elfkit.Attributes.empty with arch = Some "rv64i_zicsr" }
+  in
+  let img =
+    Elfkit.Types.image ~entry:0x10000L
+      ~symbols:[ Elfkit.Types.symbol "main" 0x10000L ~sym_section:".text" ]
+      [
+        Elfkit.Types.section ".text" r.Asm.code ~s_addr:0x10000L
+          ~s_flags:Elfkit.Types.(shf_alloc lor shf_execinstr);
+        attrs;
+      ]
+  in
+  let binary = Core.open_image img in
+  checks "profile" "rv64i_zicsr" (Ext.arch_string (Core.profile binary));
+  let m = Core.create_mutator binary in
+  let v = Core.create_counter m "v" in
+  Core.insert m (Core.at_entry binary "main")
+    [ Codegen_api.Snippet.Set
+        (v, Codegen_api.Snippet.Bin
+              (Codegen_api.Snippet.Times, Codegen_api.Snippet.Var v,
+               Codegen_api.Snippet.Const 3L)) ];
+  checkb "Times rejected without M" true
+    (match Core.rewrite m with
+    | exception Codegen_api.Codegen.Codegen_error _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "flows",
+        [
+          Alcotest.test_case "three flows agree" `Quick test_flows_agree;
+          Alcotest.test_case "deterministic rewriting" `Quick
+            test_rewrite_deterministic;
+          Alcotest.test_case "re-instrument a rewritten binary" `Quick
+            test_reinstrument_rewritten;
+          Alcotest.test_case "disk round trip" `Quick test_disk_round_trip;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "map complete" `Quick test_components_complete;
+          Alcotest.test_case "profile reaches codegen" `Quick
+            test_profile_flows_to_codegen;
+        ] );
+    ]

@@ -1,0 +1,222 @@
+(* mini-C compiler tests: compile the canonical programs, run them in the
+   simulator, and check outputs; then verify that compiled binaries are
+   fully analyzable by ParseAPI (functions found, jump tables resolved)
+   and instrumentable end-to-end. *)
+
+open Minicc
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let check64 = Alcotest.(check int64)
+
+let exit_code = function
+  | Rvsim.Machine.Exited c -> c
+  | s -> Alcotest.failf "expected exit, got %a" Rvsim.Machine.pp_stop s
+
+let test_return_value () =
+  let stop, _ = Driver.run "int main() { return 7; }" in
+  checki "exit 7" 7 (exit_code stop)
+
+let test_arith () =
+  let stop, _ =
+    Driver.run
+      {| int main() { int x; x = 6; int y; y = 7; return x * y - 2 * (x + y) / 2 + 13 % 4; } |}
+  in
+  (* 42 - 13 + 1 = 30 *)
+  checki "arith" 30 (exit_code stop)
+
+let test_print_int () =
+  let stop, out = Driver.run {| int main() { print_int(-12345); print_int(0); return 0; } |} in
+  checki "exit" 0 (exit_code stop);
+  checks "output" "-12345\n0\n" out
+
+let test_if_while () =
+  let stop, _ =
+    Driver.run
+      {|
+int main() {
+  int n; n = 0;
+  int i; i = 1;
+  while (i <= 10) {
+    if (i % 2 == 0) { n = n + i; }
+    i = i + 1;
+  }
+  return n;  // 2+4+6+8+10 = 30
+}
+|}
+  in
+  checki "sum of evens" 30 (exit_code stop)
+
+let test_logical_ops () =
+  let stop, _ =
+    Driver.run
+      {|
+int main() {
+  int a; a = 5;
+  int b; b = 0;
+  int r; r = 0;
+  if (a > 0 && b == 0) { r = r + 1; }
+  if (a < 0 || b == 0) { r = r + 2; }
+  if (!b) { r = r + 4; }
+  if (a & 4) { r = r + 8; }
+  return r + (1 << 4);  // 15 + 16 = 31
+}
+|}
+  in
+  checki "logic" 31 (exit_code stop)
+
+let test_fib () =
+  let stop, out = Driver.run Programs.fib in
+  checki "fib(10)" 55 (exit_code stop);
+  checks "fib(15)" "610\n" out
+
+let test_switch () =
+  let stop, out = Driver.run Programs.switch_demo in
+  checks "switch output" "613\n" out;
+  checki "exit" (613 mod 256) (exit_code stop)
+
+let test_mixed_doubles () =
+  let stop, out = Driver.run Programs.mixed in
+  checks "mixed output" "45\n" out;
+  checki "exit" 0 (exit_code stop)
+
+let test_calls () =
+  let stop, out = Driver.run Programs.calls in
+  checks "calls output" "42\n" out;
+  checki "exit" 42 (exit_code stop)
+
+let test_globals_arrays () =
+  let stop, _ =
+    Driver.run
+      {|
+int total = 5;
+int buf[10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) { buf[i] = i * i; }
+  return buf[7] + total;  // 49 + 5 = 54
+}
+|}
+  in
+  checki "arrays" 54 (exit_code stop)
+
+let test_matmul_small () =
+  (* 4x4 matmul: C[i][j] = sum_k (1+ (i*4+k)) * 2; spot check via exit *)
+  let src = Programs.matmul ~n:4 ~reps:1 in
+  let stop, out = Driver.run src in
+  checki "exit 0" 0 (exit_code stop);
+  (* output is elapsed ns: a positive integer *)
+  checkb "prints a time" true (String.length out > 1 && out.[String.length out - 1] = '\n')
+
+let test_parse_error () =
+  checkb "syntax error" true
+    (match Driver.compile "int main( {" with
+    | exception Cparse.Parse_error _ -> true
+    | _ -> false);
+  checkb "unknown var" true
+    (match Driver.compile "int main() { return zz; }" with
+    | exception Ccodegen.Codegen_error _ -> true
+    | _ -> false);
+  checkb "missing main" true
+    (match Driver.compile "int f() { return 0; }" with
+    | exception Driver.Link_error _ -> true
+    | _ -> false)
+
+(* --- compiled binaries through the analysis stack --------------------------- *)
+
+let test_parse_compiled () =
+  let c = Driver.compile (Programs.matmul ~n:4 ~reps:1) in
+  let st = Symtab.of_image c.Driver.image in
+  (* profile discovered from .riscv.attributes *)
+  checkb "attributes profile" true (Symtab.profile_source st = `Attributes);
+  checkb "supports D" true (Symtab.supports st Riscv.Ext.D);
+  let cfg = Parse_api.Parser.parse st in
+  let funcs = Parse_api.Cfg.functions cfg in
+  let has name = List.exists (fun f -> f.Parse_api.Cfg.f_name = name) funcs in
+  checkb "main found" true (has "main");
+  checkb "multiply found" true (has "multiply");
+  checkb "init found" true (has "init");
+  (* multiply: triple loop -> 3 natural loops *)
+  let multiply = List.find (fun f -> f.Parse_api.Cfg.f_name = "multiply") funcs in
+  let loops = Parse_api.Loops.loops_of_function cfg multiply in
+  checki "three nested loops" 3 (List.length loops);
+  let depths = List.map (Parse_api.Loops.loop_nest_depth loops) loops in
+  checkb "depths 1,2,3" true (List.sort compare depths = [ 1; 2; 3 ]);
+  (* block count of multiply: the paper counts 11 for its gcc build; our
+     -O0-style codegen should be in the same ballpark *)
+  let nblocks = Parse_api.Cfg.I64Set.cardinal multiply.Parse_api.Cfg.f_blocks in
+  checkb
+    (Printf.sprintf "multiply has a plausible block count (%d)" nblocks)
+    true
+    (nblocks >= 8 && nblocks <= 16)
+
+let test_jump_table_compiled () =
+  let c = Driver.compile Programs.switch_demo in
+  let st = Symtab.of_image c.Driver.image in
+  let cfg = Parse_api.Parser.parse st in
+  let classify =
+    List.find
+      (fun f -> f.Parse_api.Cfg.f_name = "classify")
+      (Parse_api.Cfg.functions cfg)
+  in
+  let jt_edges =
+    Parse_api.Cfg.blocks_of cfg classify
+    |> List.concat_map (fun b ->
+           List.filter
+             (fun e -> e.Parse_api.Cfg.ek = Parse_api.Cfg.E_jump_table)
+             b.Parse_api.Cfg.b_out)
+  in
+  checki "six jump-table targets" 6 (List.length jt_edges)
+
+let test_instrument_compiled () =
+  (* the full paper workflow on a compiled binary: count multiply calls *)
+  let c = Driver.compile (Programs.matmul ~n:4 ~reps:3) in
+  let st = Symtab.of_image c.Driver.image in
+  let cfg = Parse_api.Parser.parse st in
+  let rw = Patch_api.Rewriter.create st cfg in
+  let counter = Patch_api.Rewriter.allocate_var rw "calls" 8 in
+  let multiply =
+    List.find
+      (fun f -> f.Parse_api.Cfg.f_name = "multiply")
+      (Parse_api.Cfg.functions cfg)
+  in
+  Patch_api.Rewriter.insert rw
+    (Option.get (Patch_api.Point.func_entry cfg multiply))
+    [ Codegen_api.Snippet.incr counter ];
+  let img = Patch_api.Rewriter.rewrite rw in
+  let p = Rvsim.Loader.load img in
+  let stop, out = Rvsim.Loader.run p in
+  checki "exit 0" 0 (exit_code stop);
+  checkb "still prints time" true (String.length out > 0);
+  check64 "multiply called 3 times" 3L
+    (Rvsim.Mem.read64 p.Rvsim.Loader.machine.Rvsim.Machine.mem
+       counter.Codegen_api.Snippet.v_addr)
+
+let () =
+  Alcotest.run "minicc"
+    [
+      ( "language",
+        [
+          Alcotest.test_case "return value" `Quick test_return_value;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "print_int" `Quick test_print_int;
+          Alcotest.test_case "if/while" `Quick test_if_while;
+          Alcotest.test_case "logical ops" `Quick test_logical_ops;
+          Alcotest.test_case "fib (recursion)" `Quick test_fib;
+          Alcotest.test_case "switch" `Quick test_switch;
+          Alcotest.test_case "doubles" `Quick test_mixed_doubles;
+          Alcotest.test_case "call chains" `Quick test_calls;
+          Alcotest.test_case "globals and arrays" `Quick test_globals_arrays;
+          Alcotest.test_case "matmul small" `Quick test_matmul_small;
+          Alcotest.test_case "errors" `Quick test_parse_error;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "parse compiled binary" `Quick test_parse_compiled;
+          Alcotest.test_case "jump table from switch" `Quick
+            test_jump_table_compiled;
+          Alcotest.test_case "instrument compiled binary" `Quick
+            test_instrument_compiled;
+        ] );
+    ]

@@ -1,0 +1,378 @@
+(* ProcControlAPI + StackwalkerAPI + dynamic instrumentation tests:
+   launch/attach, breakpoints, software single-step (the paper's §3.2.6
+   breakpoint-emulated stepping), instrumenting a live process, and call
+   stack collection with both frame steppers. *)
+
+open Riscv
+open Proccontrol_api.Proccontrol
+module Sw = Stackwalker_api.Stackwalker
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+let nested_src =
+  {|
+int baz(int x) { return x + 1; }
+int bar(int x) { return baz(x) + 10; }
+int foo(int x) { return bar(x) + 100; }
+int main() { return foo(1); }
+|}
+
+let compile src = (Minicc.Driver.compile src).Minicc.Driver.image
+
+let fn_addr src name =
+  let c = Minicc.Driver.compile src in
+  List.assoc name c.Minicc.Driver.fn_addrs
+
+(* --- breakpoints and stepping ------------------------------------------------ *)
+
+let test_launch_run () =
+  let p = launch (compile "int main() { print_int(5); return 3; }") in
+  (match continue_ p with
+  | Ev_exited 3 -> ()
+  | e -> Alcotest.failf "unexpected event %d" (Obj.magic e : int));
+  Alcotest.(check string) "stdout" "5\n" (stdout_contents p)
+
+let test_breakpoint_hit () =
+  let img = compile nested_src in
+  let p = launch img in
+  let baz = fn_addr nested_src "baz" in
+  insert_breakpoint p baz;
+  (match continue_ p with
+  | Ev_breakpoint a -> check64 "stopped at baz" baz a
+  | _ -> Alcotest.fail "expected breakpoint");
+  (* argument readable: x = 1 *)
+  check64 "a0 = 1" 1L (get_reg p Reg.a0);
+  match continue_ p with
+  | Ev_exited c -> checki "exit" 112 c
+  | _ -> Alcotest.fail "expected exit"
+
+let test_breakpoint_rearm () =
+  (* a breakpoint in a loop must re-arm and hit every iteration *)
+  let src =
+    {|
+int tick(int i) { return i; }
+int main() {
+  int i;
+  int s; s = 0;
+  for (i = 0; i < 7; i = i + 1) { s = s + tick(i); }
+  return s;  // 21
+}
+|}
+  in
+  let img = compile src in
+  let p = launch img in
+  let tick = fn_addr src "tick" in
+  insert_breakpoint p tick;
+  let hits = ref 0 in
+  let rec go () =
+    match continue_ p with
+    | Ev_breakpoint _ ->
+        incr hits;
+        go ()
+    | Ev_exited c -> c
+    | _ -> Alcotest.fail "unexpected event"
+  in
+  let code = go () in
+  checki "7 hits" 7 !hits;
+  checki "exit 21" 21 code
+
+let test_single_step () =
+  let img = compile nested_src in
+  let p = launch img in
+  let main = fn_addr nested_src "main" in
+  insert_breakpoint p main;
+  (match continue_ p with
+  | Ev_breakpoint _ -> ()
+  | _ -> Alcotest.fail "no bp");
+  (* software single-step a handful of instructions: pc must change every
+     time and the process must not run away *)
+  let pcs = ref [] in
+  for _ = 1 to 8 do
+    (match step p with
+    | Ev_breakpoint _ -> ()
+    | _ -> Alcotest.fail "step did not stop");
+    pcs := get_pc p :: !pcs
+  done;
+  checki "8 distinct stops" 8 (List.length (List.sort_uniq compare !pcs));
+  (* stepping eventually walks into foo (the call is a few insns in) *)
+  let foo = fn_addr nested_src "foo" in
+  let reached_foo =
+    List.exists (fun pc -> Int64.compare pc foo >= 0) !pcs
+  in
+  checkb "stepped through the call" true reached_foo;
+  match continue_ p with
+  | Ev_exited c -> checki "exit" 112 c
+  | _ -> Alcotest.fail "expected exit"
+
+let test_step_through_branch () =
+  (* single-step across a conditional branch: both arms get temporary
+     breakpoints; execution stops on exactly the taken one *)
+  let src = {| int main() { int x; x = 0; if (x) { return 9; } return 4; } |} in
+  let img = compile src in
+  let p = launch img in
+  let main = fn_addr src "main" in
+  insert_breakpoint p main;
+  ignore (continue_ p);
+  let rec drive n =
+    if n > 40 then Alcotest.fail "did not exit while stepping"
+    else
+      match step p with
+      | Ev_breakpoint _ -> drive (n + 1)
+      | Ev_exited c -> c
+      | _ -> Alcotest.fail "unexpected stepping event"
+  in
+  checki "stepped to exit 4" 4 (drive 0)
+
+let test_memory_rw () =
+  let img = compile "int g = 11; int main() { return g; }" in
+  let p = launch img in
+  let c = Minicc.Driver.compile "int g = 11; int main() { return g; }" in
+  ignore c;
+  (* find g's address from the symbol table *)
+  let st = Symtab.of_image img in
+  let g = Option.get (Symtab.find_symbol st "g") in
+  let addr = g.Elfkit.Types.sym_value in
+  check64 "initial value" 11L (Bytes.get_int64_le (read_memory p addr 8) 0);
+  let nb = Bytes.create 8 in
+  Bytes.set_int64_le nb 0 77L;
+  write_memory p addr nb;
+  match continue_ p with
+  | Ev_exited code -> checki "sees patched global" 77 code
+  | _ -> Alcotest.fail "expected exit"
+
+(* --- dynamic instrumentation --------------------------------------------------- *)
+
+let test_dynamic_instrumentation () =
+  let src = Minicc.Programs.matmul ~n:4 ~reps:3 in
+  let b = Core.open_image (compile src) in
+  let m = Core.create_mutator b in
+  let counter = Core.create_counter m "calls" in
+  Core.insert m (Core.at_entry b "multiply") [ Codegen_api.Snippet.incr counter ];
+  (* Figure 1, middle path: create process, instrument, run *)
+  let p = Core.launch (Core.image b) in
+  Core.instrument_process m p;
+  (match Core.continue_ p with
+  | Ev_exited 0 -> ()
+  | _ -> Alcotest.fail "expected clean exit");
+  check64 "multiply counted" 3L (Core.read_counter p counter)
+
+let test_attach_form () =
+  (* Figure 1, right path: run to a breakpoint, "attach", instrument the
+     still-uncalled function, resume *)
+  let src = nested_src in
+  let b = Core.open_image (compile src) in
+  let p0 = Rvsim.Loader.load (Core.image b) in
+  let p = attach p0 in
+  let main = fn_addr src "main" in
+  insert_breakpoint p main;
+  (match continue_ p with
+  | Ev_breakpoint _ -> ()
+  | _ -> Alcotest.fail "no breakpoint");
+  remove_breakpoint p main;
+  let m = Core.create_mutator b in
+  let counter = Core.create_counter m "baz_calls" in
+  Core.insert m (Core.at_entry b "baz") [ Codegen_api.Snippet.incr counter ];
+  Core.instrument_process m p;
+  (match continue_ p with
+  | Ev_exited 112 -> ()
+  | Ev_exited c -> Alcotest.failf "wrong exit %d" c
+  | _ -> Alcotest.fail "expected exit");
+  check64 "baz counted once" 1L (Core.read_counter p counter)
+
+
+let test_uninstrument () =
+  (* instrument tick, count the first loop's calls, then remove the
+     instrumentation mid-run: the second loop must not be counted and the
+     program must finish normally (BPatch removeSnippet behaviour) *)
+  let src =
+    {|
+int tick(int i) { return i + 1; }
+int mid() { return 0; }
+int main() {
+  int i;
+  int s; s = 0;
+  for (i = 0; i < 3; i = i + 1) { s = s + tick(i); }
+  mid();
+  for (i = 0; i < 4; i = i + 1) { s = s + tick(i); }
+  return s;  // (1+2+3) + (1+2+3+4) = 16
+}
+|}
+  in
+  let b = Core.open_image (compile src) in
+  let p = Core.launch (Core.image b) in
+  let m = Core.create_mutator b in
+  let c = Core.create_counter m "ticks" in
+  Core.insert m (Core.at_entry b "tick") [ Codegen_api.Snippet.incr c ];
+  let handle = Core.instrument_process_handle m p in
+  (* run to mid(): only the first loop has executed *)
+  let mid = fn_addr src "mid" in
+  insert_breakpoint p mid;
+  (match continue_ p with
+  | Ev_breakpoint _ -> ()
+  | _ -> Alcotest.fail "did not stop at mid");
+  check64 "first loop counted" 3L (Core.read_counter p c);
+  remove_breakpoint p mid;
+  Core.uninstrument_process handle p;
+  (match continue_ p with
+  | Ev_exited code -> checki "exit intact" 16 code
+  | _ -> Alcotest.fail "expected exit");
+  check64 "second loop not counted" 3L (Core.read_counter p c)
+
+(* --- stack walking ---------------------------------------------------------------- *)
+
+let test_walk_nested () =
+  let img = compile nested_src in
+  let b = Core.open_image img in
+  let p = launch img in
+  let baz = fn_addr nested_src "baz" in
+  (* stop inside baz, past its prologue: entry + 12 bytes *)
+  insert_breakpoint p (Int64.add baz 12L);
+  (match continue_ p with
+  | Ev_breakpoint _ -> ()
+  | _ -> Alcotest.fail "no breakpoint");
+  let frames = Core.walk_process b p in
+  let names = List.filter_map (fun f -> f.Sw.fr_func) frames in
+  checkb
+    (Printf.sprintf "stack is baz/bar/foo/main... (got %s)"
+       (String.concat "," names))
+    true
+    (match names with
+    | "baz" :: "bar" :: "foo" :: "main" :: _ -> true
+    | _ -> false)
+
+let test_walk_at_entry () =
+  (* at function entry ra is not yet saved: the leaf path must be used *)
+  let img = compile nested_src in
+  let b = Core.open_image img in
+  let p = launch img in
+  let baz = fn_addr nested_src "baz" in
+  insert_breakpoint p baz;
+  ignore (continue_ p);
+  let frames = Core.walk_process b p in
+  let names = List.filter_map (fun f -> f.Sw.fr_func) frames in
+  checkb "entry walk ok" true
+    (match names with "baz" :: "bar" :: _ -> true | _ -> false)
+
+
+let test_walk_deep_recursion () =
+  (* fib(6) recursion: stop at depth and expect a long fib chain *)
+  let src = Minicc.Programs.fib in
+  let img = compile src in
+  let b = Core.open_image img in
+  let p = launch img in
+  let fib = fn_addr src "fib" in
+  (* break in fib when n <= 1 (leaf case): step until a0 small *)
+  insert_breakpoint p fib;
+  let rec drive n =
+    if n > 200 then Alcotest.fail "never reached a deep leaf"
+    else
+      match continue_ p with
+      | Ev_breakpoint _ when Int64.compare (get_reg p Reg.a0) 2L < 0 -> ()
+      | Ev_breakpoint _ -> drive (n + 1)
+      | _ -> Alcotest.fail "unexpected event"
+  in
+  drive 0;
+  let frames = Core.walk_process b p in
+  let fib_frames =
+    List.filter (fun f -> f.Sw.fr_func = Some "fib") frames
+  in
+  checkb
+    (Printf.sprintf "many fib frames (%d)" (List.length fib_frames))
+    true
+    (List.length fib_frames >= 5);
+  (* frames end at _start and main appears exactly once *)
+  checki "one main frame" 1
+    (List.length (List.filter (fun f -> f.Sw.fr_func = Some "main") frames))
+
+let test_fp_stepper () =
+  (* hand-written frame-pointer frames: s0 chain with [fp-8]=ra,
+     [fp-16]=old fp; the sp-only stepper cannot help (no sd ra, k(sp)
+     visible relative to a Known height after the dynamic push), so the
+     fp stepper must kick in *)
+  let open Asm in
+  let text_base = 0x10000L in
+  let items =
+    [
+      Label "main";
+      Insn (Build.addi Reg.sp Reg.sp (-16));
+      Insn (Build.sd Reg.ra 8 Reg.sp);
+      Insn (Build.sd Reg.s0 0 Reg.sp);
+      Insn (Build.addi Reg.s0 Reg.sp 16);
+      (* make the height unknown so the analysis stepper refuses *)
+      Insn (Build.sub Reg.sp Reg.sp Reg.zero);
+      Call_l "leafish";
+      Insn Build.ebreak;
+      Label "leafish";
+      Insn (Build.addi Reg.sp Reg.sp (-16));
+      Insn (Build.sd Reg.ra 8 Reg.sp);
+      Insn (Build.sd Reg.s0 0 Reg.sp);
+      Insn (Build.addi Reg.s0 Reg.sp 16);
+      Insn (Build.sub Reg.sp Reg.sp Reg.zero);
+      Insn Build.ebreak;
+      Label "stop";
+      Insn Build.ret;
+    ]
+  in
+  let r = Asm.assemble ~base:text_base items in
+  let img =
+    Elfkit.Types.image ~entry:text_base
+      ~symbols:
+        [
+          Elfkit.Types.symbol "main" text_base ~sym_section:".text";
+          Elfkit.Types.symbol "leafish" (Asm.label_addr r "leafish")
+            ~sym_section:".text";
+        ]
+      [
+        Elfkit.Types.section ".text" r.Asm.code ~s_addr:text_base
+          ~s_flags:Elfkit.Types.(shf_alloc lor shf_execinstr);
+      ]
+  in
+  let b = Core.open_image img in
+  let proc = Rvsim.Loader.load img in
+  (match Rvsim.Machine.run proc.Rvsim.Loader.machine with
+  | Rvsim.Machine.Ebreak _ -> ()
+  | s -> Alcotest.failf "expected ebreak, got %a" Rvsim.Machine.pp_stop s);
+  let frames =
+    Sw.walk_machine (Core.walker b) proc.Rvsim.Loader.machine
+  in
+  let names = List.filter_map (fun f -> f.Sw.fr_func) frames in
+  checkb
+    (Printf.sprintf "fp chain walked (got %s)" (String.concat "," names))
+    true
+    (match names with "leafish" :: "main" :: _ -> true | _ -> false);
+  (* and the second frame must have come from the fp stepper *)
+  let first = List.hd frames in
+  Alcotest.(check string) "stepper used" "frame-pointer" first.Sw.fr_stepper
+
+let () =
+  Alcotest.run "proc"
+    [
+      ( "control",
+        [
+          Alcotest.test_case "launch and run" `Quick test_launch_run;
+          Alcotest.test_case "breakpoint" `Quick test_breakpoint_hit;
+          Alcotest.test_case "breakpoint re-arm" `Quick test_breakpoint_rearm;
+          Alcotest.test_case "memory read/write" `Quick test_memory_rw;
+        ] );
+      ( "stepping",
+        [
+          Alcotest.test_case "software single-step" `Quick test_single_step;
+          Alcotest.test_case "step through branch" `Quick test_step_through_branch;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "create-and-instrument" `Quick
+            test_dynamic_instrumentation;
+          Alcotest.test_case "attach-and-instrument" `Quick test_attach_form;
+          Alcotest.test_case "uninstrument mid-run" `Quick test_uninstrument;
+        ] );
+      ( "stackwalk",
+        [
+          Alcotest.test_case "nested frames" `Quick test_walk_nested;
+          Alcotest.test_case "at function entry" `Quick test_walk_at_entry;
+          Alcotest.test_case "deep recursion" `Quick test_walk_deep_recursion;
+          Alcotest.test_case "fp stepper" `Quick test_fp_stepper;
+        ] );
+    ]

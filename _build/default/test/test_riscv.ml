@@ -1,0 +1,361 @@
+(* Tests for the RV64GC ISA layer: decoder/encoder round trips, golden
+   encodings, compressed expansion, the assembler, and the
+   extension-string parser. *)
+
+open Riscv
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- golden decodes ----------------------------------------------------- *)
+
+let dis w =
+  match Decode.decode_word w with
+  | Some i -> Insn.to_string i
+  | None -> "<undecodable>"
+
+let dis16 hw =
+  match Decode.decode_compressed hw with
+  | Some i -> Insn.to_string i
+  | None -> "<undecodable>"
+
+let test_golden_words () =
+  checks "nop" "addi zero, zero, 0" (dis 0x00000013);
+  checks "ecall" "ecall" (dis 0x00000073);
+  checks "ebreak" "ebreak" (dis 0x00100073);
+  checks "ret" "jalr zero, 0(ra)" (dis 0x00008067);
+  checks "addi sp,sp,-32" "addi sp, sp, -32" (dis 0xfe010113);
+  checks "sd ra,24(sp)" "sd ra, 24(sp)" (dis 0x00113c23);
+  checks "lui a0" "lui a0, 0x12345" (dis 0x12345537);
+  checks "mul" "mul a0, a1, a2" (dis 0x02c58533);
+  checks "fld" "fld fa5, 0(a4)" (dis 0x00073787)
+
+let test_golden_compressed () =
+  checks "c.nop" "c.addi zero, zero, 0" (dis16 0x0001);
+  checks "c.ret" "c.jalr zero, 0(ra)" (dis16 0x8082);
+  checks "c.ebreak" "c.ebreak" (dis16 0x9002);
+  checkb "0x0000 illegal" true (Decode.decode_compressed 0 = None)
+
+let test_lengths () =
+  checki "32-bit" 4 (Decode.length_of_halfword 0x0013);
+  checki "16-bit" 2 (Decode.length_of_halfword 0x0001);
+  checki "16-bit q2" 2 (Decode.length_of_halfword 0x8082)
+
+(* --- encoder golden ------------------------------------------------------ *)
+
+let enc_word i = Bytes.get_int32_le (Encode.encode i) 0 |> Int32.to_int |> ( land ) 0xFFFFFFFF
+
+let test_encode_golden () =
+  checki "nop" 0x00000013 (enc_word Build.nop);
+  checki "ret" 0x00008067 (enc_word Build.ret);
+  checki "ecall" 0x00000073 (enc_word Build.ecall);
+  checki "addi sp,sp,-32" 0xfe010113 (enc_word (Build.addi Reg.sp Reg.sp (-32)))
+
+let test_encode_range_errors () =
+  let raises f =
+    match f () with
+    | exception Encode.Encode_error _ -> true
+    | _ -> false
+  in
+  checkb "addi imm too big" true (raises (fun () -> Encode.encode (Build.addi 1 1 4096)));
+  checkb "branch offset odd" true
+    (raises (fun () -> Encode.encode (Build.beq 1 2 3)));
+  checkb "jal offset too big" true
+    (raises (fun () -> Encode.encode (Build.jal 1 (2 lsl 20))))
+
+(* --- round-trip properties ---------------------------------------------- *)
+
+let gen_reg = QCheck.Gen.int_range 0 31
+
+let gen_insn : Insn.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let ops = Array.of_list (List.map (fun (op, _, _, _) -> op) Op.table) in
+  let* op = oneofa ops in
+  let* rd = gen_reg and* rs1 = gen_reg and* rs2 = gen_reg and* rs3 = gen_reg in
+  let* rm = int_range 0 4 in
+  let* aq = bool and* rl = bool in
+  let mk = Insn.make in
+  match Op.encoding op with
+  | Op.R _ -> return (mk ~rd ~rs1 ~rs2 op)
+  | Op.R_rs2 _ -> return (mk ~rd ~rs1 op)
+  | Op.R_rm _ -> return (mk ~rd ~rs1 ~rs2 ~rm op)
+  | Op.R_rm_rs2 _ -> return (mk ~rd ~rs1 ~rm op)
+  | Op.R4 _ -> return (mk ~rd ~rs1 ~rs2 ~rs3 ~rm op)
+  | Op.A _ -> return (mk ~rd ~rs1 ~rs2 ~aq ~rl op)
+  | Op.I _ ->
+      let* imm = int_range (-2048) 2047 in
+      return (mk ~rd ~rs1 ~imm:(Int64.of_int imm) op)
+  | Op.Sh _ ->
+      let* sh = int_range 0 63 in
+      return (mk ~rd ~rs1 ~imm:(Int64.of_int sh) op)
+  | Op.Sh5 _ ->
+      let* sh = int_range 0 31 in
+      return (mk ~rd ~rs1 ~imm:(Int64.of_int sh) op)
+  | Op.S _ ->
+      let* imm = int_range (-2048) 2047 in
+      return (mk ~rs1 ~rs2 ~imm:(Int64.of_int imm) op)
+  | Op.B _ ->
+      let* imm = int_range (-2048) 2047 in
+      return (mk ~rs1 ~rs2 ~imm:(Int64.of_int (imm * 2)) op)
+  | Op.U _ ->
+      let* hi = int_range 0 0xFFFFF in
+      return
+        (mk ~rd
+           ~imm:(Int64.of_int (Dyn_util.Bits.sign_extend (hi lsl 12) 32))
+           op)
+  | Op.J _ ->
+      let* imm = int_range (-(1 lsl 19)) ((1 lsl 19) - 1) in
+      return (mk ~rd ~imm:(Int64.of_int (imm * 2)) op)
+  | Op.Fence ->
+      let* imm = int_range 0 0xFF in
+      return (mk ~imm:(Int64.of_int imm) op)
+  | Op.Fixed _ -> return (mk op)
+  | Op.Csr _ ->
+      let* csr = int_range 0 0xFFF in
+      return (mk ~rd ~rs1 ~csr op)
+  | Op.Csri _ ->
+      let* csr = int_range 0 0xFFF in
+      return (mk ~rd ~rs1 ~csr op)
+
+let arb_insn = QCheck.make ~print:Insn.to_string gen_insn
+
+let strip i = { i with Insn.raw = 0; len = 4 }
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round trip" ~count:2000 arb_insn
+    (fun i ->
+      let w = Encode.encode_word i in
+      match Decode.decode_word w with
+      | None -> QCheck.Test.fail_reportf "undecodable: %s" (Insn.to_string i)
+      | Some j ->
+          if strip i = strip j then true
+          else
+            QCheck.Test.fail_reportf "mismatch: %s vs %s" (Insn.to_string i)
+              (Insn.to_string j))
+
+let prop_compress_roundtrip =
+  QCheck.Test.make ~name:"compress/expand round trip" ~count:5000 arb_insn
+    (fun i ->
+      match Encode.compress i with
+      | None -> true
+      | Some hw -> (
+          match Decode.decode_compressed hw with
+          | None ->
+              QCheck.Test.fail_reportf "compressed undecodable: %s (0x%04x)"
+                (Insn.to_string i) hw
+          | Some j ->
+              let norm k = { k with Insn.raw = 0; len = 4 } in
+              if norm i = norm j then true
+              else
+                QCheck.Test.fail_reportf "compress mismatch: %s vs %s"
+                  (Insn.to_string i) (Insn.to_string j)))
+
+let prop_decode_no_crash =
+  QCheck.Test.make ~name:"decode arbitrary words never crashes" ~count:5000
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun w ->
+      ignore (Decode.decode_word w);
+      ignore (Decode.decode_compressed (w land 0xFFFF));
+      true)
+
+(* decoded defs/uses are sane: register ids in range, x0 never defined *)
+let prop_defs_uses =
+  QCheck.Test.make ~name:"defs/uses sanity" ~count:2000 arb_insn (fun i ->
+      let ok r = r >= 0 && r < Reg.n_regs in
+      List.for_all ok (Insn.defs i)
+      && List.for_all ok (Insn.uses i)
+      && not (List.mem Reg.zero (Insn.defs i)))
+
+(* --- li materialization -------------------------------------------------- *)
+
+(* Check [Build.li] by symbolically evaluating the generated sequence. *)
+let eval_li insns =
+  let regs = Array.make 32 0L in
+  List.iter
+    (fun (i : Insn.t) ->
+      let v =
+        match i.op with
+        | Op.ADDI -> Int64.add regs.(i.rs1) i.imm
+        | Op.ADDIW -> Dyn_util.Bits.to_int32_sx (Int64.add regs.(i.rs1) i.imm)
+        | Op.LUI -> i.imm
+        | Op.SLLI -> Int64.shift_left regs.(i.rs1) (Insn.imm_int i)
+        | _ -> failwith "unexpected op in li expansion"
+      in
+      if i.rd <> 0 then regs.(i.rd) <- v)
+    insns;
+  regs.(5)
+
+let prop_li =
+  QCheck.Test.make ~name:"li materializes any int64" ~count:2000
+    QCheck.(
+      oneof
+        [ map Int64.of_int small_signed_int;
+          int64;
+          map Int64.of_int32 int32;
+        ])
+    (fun v ->
+      let insns = Build.li Reg.t0 v in
+      eval_li insns = v)
+
+let test_li_golden () =
+  checki "small constant is one insn" 1 (List.length (Build.li Reg.t0 42L));
+  checki "32-bit constant is two insns" 2
+    (List.length (Build.li Reg.t0 0x12345678L));
+  checkb "64-bit constant evals" true
+    (eval_li (Build.li Reg.t0 0x123456789ABCDEFL) = 0x123456789ABCDEFL)
+
+(* --- assembler ----------------------------------------------------------- *)
+
+let test_asm_labels () =
+  let open Asm in
+  let prog =
+    [
+      Label "start";
+      Insn (Build.addi Reg.a0 Reg.zero 1);
+      Br (Op.BEQ, Reg.a0, Reg.zero, "end");
+      J "start";
+      Label "end";
+      Insn Build.ret;
+    ]
+  in
+  let r = assemble ~base:0x1000L prog in
+  check Alcotest.int64 "start" 0x1000L (label_addr r "start");
+  check Alcotest.int64 "end" 0x100cL (label_addr r "end");
+  (* decode the branch and check its offset points at "end" *)
+  match Decode.decode ~pos:4 r.code with
+  | Some i ->
+      check Alcotest.int64 "branch target" 0x100cL
+        (Option.get (Insn.target ~addr:0x1004L i))
+  | None -> Alcotest.fail "branch did not decode"
+
+let test_asm_far_branch () =
+  (* a conditional branch beyond +-4KB must relax to inverted-branch+jal *)
+  let open Asm in
+  let filler = List.init 2000 (fun _ -> Insn Build.nop) in
+  let prog =
+    [ Br (Op.BEQ, Reg.a0, Reg.zero, "far") ] @ filler @ [ Label "far"; Insn Build.ret ]
+  in
+  let r = assemble prog in
+  (* first insn must now be the inverted bne over a jal *)
+  match Decode.decode r.code with
+  | Some i ->
+      checks "inverted" "bne" (Op.mnemonic i.Insn.op);
+      (match Decode.decode ~pos:4 r.code with
+      | Some j ->
+          checks "jal" "jal" (Op.mnemonic j.Insn.op);
+          check Alcotest.int64 "jal hits far" (label_addr r "far")
+            (Option.get (Insn.target ~addr:4L j))
+      | None -> Alcotest.fail "no jal")
+  | None -> Alcotest.fail "no branch"
+
+let test_asm_call_relaxation () =
+  let open Asm in
+  (* near call is one jal; a >1MB call must relax to auipc+jalr *)
+  let near = assemble [ Call_l "f"; Label "f"; Insn Build.ret ] in
+  checki "near call size" 8 (Bytes.length near.code);
+  let filler = List.init 300_000 (fun _ -> Insn Build.nop) in
+  let far = assemble ([ Call_l "f" ] @ filler @ [ Label "f"; Insn Build.ret ]) in
+  match Decode.decode far.code with
+  | Some i -> checks "auipc" "auipc" (Op.mnemonic i.Insn.op)
+  | None -> Alcotest.fail "far call undecodable"
+
+let test_asm_undefined_label () =
+  match Asm.assemble [ Asm.J "nowhere" ] with
+  | exception Asm.Undefined_label "nowhere" -> ()
+  | _ -> Alcotest.fail "expected Undefined_label"
+
+let test_asm_align_data () =
+  let open Asm in
+  let r =
+    assemble [ D8 1; Align 8; Label "d"; D64 0xdeadbeefL ]
+  in
+  check Alcotest.int64 "aligned" 8L (label_addr r "d");
+  checki "total size" 16 (Bytes.length r.code)
+
+(* --- extension strings --------------------------------------------------- *)
+
+let test_arch_string_parse () =
+  match Ext.parse_arch_string "rv64imafdc_zicsr_zifencei" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      checki "xlen" 64 p.Ext.xlen;
+      checkb "has C" true (Ext.supports p Ext.C);
+      checkb "has D" true (Ext.supports p Ext.D);
+      checkb "has Zifencei" true (Ext.supports p Ext.Zifencei);
+      checkb "no V" false (Ext.supports p Ext.V)
+
+let test_arch_string_g () =
+  match Ext.parse_arch_string "rv64gc" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      checkb "g implies M" true (Ext.supports p Ext.M);
+      checkb "g implies Zicsr" true (Ext.supports p Ext.Zicsr);
+      checkb "gc equals rv64gc profile" true (Ext.equal_profile p Ext.rv64gc)
+
+let test_arch_string_versions () =
+  match Ext.parse_arch_string "rv64i2p1_m2p0_a2p1_c2p0_zicsr2p0" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      checkb "M" true (Ext.supports p Ext.M);
+      checkb "A" true (Ext.supports p Ext.A);
+      checkb "C" true (Ext.supports p Ext.C);
+      checkb "no D" false (Ext.supports p Ext.D)
+
+let test_arch_string_errors () =
+  checkb "garbage" true (Result.is_error (Ext.parse_arch_string "pdp11"));
+  checkb "bad xlen" true (Result.is_error (Ext.parse_arch_string "rv128i"));
+  checkb "empty" true (Result.is_error (Ext.parse_arch_string ""))
+
+let test_arch_string_roundtrip () =
+  let s = Ext.arch_string Ext.rv64gc in
+  match Ext.parse_arch_string s with
+  | Ok p -> checkb "round trip" true (Ext.equal_profile p Ext.rv64gc)
+  | Error e -> Alcotest.fail e
+
+(* --- suite --------------------------------------------------------------- *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "riscv"
+    [
+      ( "decode",
+        [
+          Alcotest.test_case "golden words" `Quick test_golden_words;
+          Alcotest.test_case "golden compressed" `Quick test_golden_compressed;
+          Alcotest.test_case "lengths" `Quick test_lengths;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "golden" `Quick test_encode_golden;
+          Alcotest.test_case "range errors" `Quick test_encode_range_errors;
+          Alcotest.test_case "li golden" `Quick test_li_golden;
+        ] );
+      ( "properties",
+        qsuite
+          [
+            prop_roundtrip;
+            prop_compress_roundtrip;
+            prop_decode_no_crash;
+            prop_defs_uses;
+            prop_li;
+          ] );
+      ( "asm",
+        [
+          Alcotest.test_case "labels" `Quick test_asm_labels;
+          Alcotest.test_case "far branch relaxation" `Quick test_asm_far_branch;
+          Alcotest.test_case "call relaxation" `Quick test_asm_call_relaxation;
+          Alcotest.test_case "undefined label" `Quick test_asm_undefined_label;
+          Alcotest.test_case "align and data" `Quick test_asm_align_data;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "parse full string" `Quick test_arch_string_parse;
+          Alcotest.test_case "parse G shorthand" `Quick test_arch_string_g;
+          Alcotest.test_case "parse versioned" `Quick test_arch_string_versions;
+          Alcotest.test_case "errors" `Quick test_arch_string_errors;
+          Alcotest.test_case "round trip" `Quick test_arch_string_roundtrip;
+        ] );
+    ]

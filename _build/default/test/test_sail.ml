@@ -1,0 +1,274 @@
+(* SAIL pipeline tests: parsing, simplification, JSON round trip, coverage
+   of the full RV64GC opcode table, and — most importantly — agreement
+   between the semantics evaluator and the hand-written simulator on
+   randomly generated instructions and states. *)
+
+open Riscv
+open Sailsem
+
+let checkb = Alcotest.(check bool)
+
+(* --- pipeline structure -------------------------------------------------- *)
+
+let test_coverage () =
+  (* every opcode in the ISA table must have semantics *)
+  let missing =
+    List.filter_map
+      (fun (op, m, _, _) ->
+        match Sail.sem_of_op op with Some _ -> None | None -> Some m)
+      Op.table
+  in
+  Alcotest.(check (list string)) "no missing semantics" [] missing
+
+let test_simplifier_strips () =
+  (* the raw spec must contain error handling, and simplification must
+     have removed all of it *)
+  checkb "raw spec has error handling" true (Sail.removed_error_handling () > 10);
+  let rec has_trap_ast stmts =
+    List.exists
+      (function
+        | Ast.Trap _ -> true
+        | Ast.If (_, a, b) -> has_trap_ast a || has_trap_ast b
+        | _ -> false)
+      stmts
+  in
+  let simplified = Simplify.simplify (Parse.parse_spec Spec.text) in
+  checkb "no traps survive" false
+    (List.exists (fun c -> has_trap_ast c.Ast.body) simplified)
+
+let test_json_roundtrip () =
+  let ir = Compile.lower (Simplify.simplify (Parse.parse_spec Spec.text)) in
+  let json = Ir.spec_to_json ir in
+  let reread = Ir.spec_of_json (Json.of_string (Json.to_string json)) in
+  checkb "IR survives JSON round trip" true (reread = ir)
+
+let test_json_parser () =
+  let j = Json.of_string {| {"a": [1, -2, "x\ny"], "b": true, "c": null} |} in
+  checkb "list" true (Json.member "a" j = Json.List [ Json.Int 1L; Json.Int (-2L); Json.String "x\ny" ]);
+  checkb "bool" true (Json.member "b" j = Json.Bool true);
+  checkb "null" true (Json.member "c" j = Json.Null);
+  checkb "bad json raises" true
+    (match Json.of_string "{" with exception Json.Parse_error _ -> true | _ -> false)
+
+let test_summaries () =
+  let s op = Option.get (Sail.summary_of_op op) in
+  let add = s Op.ADD in
+  checkb "add reads rs1" true (List.mem Ir.F_rs1 add.Ir.reads_x);
+  checkb "add reads rs2" true (List.mem Ir.F_rs2 add.Ir.reads_x);
+  checkb "add writes rd" true (List.mem Ir.F_rd add.Ir.writes_x);
+  checkb "add no mem" false (add.Ir.reads_mem || add.Ir.writes_mem);
+  let sd = s Op.SD in
+  checkb "sd writes mem" true sd.Ir.writes_mem;
+  checkb "sd reads rs1+rs2" true
+    (List.mem Ir.F_rs1 sd.Ir.reads_x && List.mem Ir.F_rs2 sd.Ir.reads_x);
+  checkb "sd writes no reg" true (sd.Ir.writes_x = []);
+  let beq = s Op.BEQ in
+  checkb "beq sets pc" true beq.Ir.sets_pc;
+  let fmadd = s Op.FMADD_D in
+  checkb "fmadd reads 3 fp" true
+    (List.length fmadd.Ir.reads_f = 3 && fmadd.Ir.writes_f = [ Ir.F_rd ]);
+  checkb "fmadd sets fcsr" true fmadd.Ir.sets_fcsr;
+  let lw = s Op.LW in
+  checkb "lw reads mem, writes rd" true
+    (lw.Ir.reads_mem && lw.Ir.writes_x = [ Ir.F_rd ])
+
+let test_error_reporting () =
+  checkb "syntax error raised" true
+    (match Parse.parse_spec "function clause execute (FOO" with
+    | exception Parse.Syntax_error _ -> true
+    | _ -> false);
+  checkb "unbound identifier rejected" true
+    (match
+       Compile.lower
+         (Parse.parse_spec
+            "function clause execute (ADD(rd, rs1, rs2)) = { X(rd) = nope; }")
+     with
+    | exception Compile.Compile_error _ -> true
+    | _ -> false);
+  checkb "unknown clause name rejected" true
+    (match
+       Sail.pipeline_of_text
+         "function clause execute (NOTANOP(rd)) = { X(rd) = 1; }"
+     with
+    | exception Sail.Unknown_clause _ -> true
+    | _ -> false)
+
+(* --- simulator agreement -------------------------------------------------- *)
+
+(* Reuse the instruction generator shape from the ISA tests, restricted to
+   values that keep memory addresses in a small mapped window. *)
+let gen_state_insn : (Insn.t * int64 array * int64 array) QCheck.Gen.t =
+  let open QCheck.Gen in
+  let ops =
+    List.filter_map
+      (fun (op, _, _, _) ->
+        match op with Op.ECALL | Op.EBREAK -> None | _ -> Some op)
+      Op.table
+    |> Array.of_list
+  in
+  let* op = oneofa ops in
+  let* rd = int_range 0 31 and* rs1 = int_range 0 31 and* rs2 = int_range 0 31 in
+  let* rs3 = int_range 0 31 in
+  let* rm = int_range 0 4 in
+  let mk = Insn.make in
+  let* insn =
+    match Op.encoding op with
+    | Op.R _ -> return (mk ~rd ~rs1 ~rs2 op)
+    | Op.R_rs2 _ -> return (mk ~rd ~rs1 op)
+    | Op.R_rm _ -> return (mk ~rd ~rs1 ~rs2 ~rm op)
+    | Op.R_rm_rs2 _ -> return (mk ~rd ~rs1 ~rm op)
+    | Op.R4 _ -> return (mk ~rd ~rs1 ~rs2 ~rs3 ~rm op)
+    | Op.A _ ->
+        (* base register must not be x0: its value 0 - offset would fault *)
+        return (mk ~rd ~rs1:(max 1 rs1) ~rs2 op)
+    | Op.I _ | Op.S _ ->
+        let* imm = int_range (-256) 255 in
+        return (mk ~rd ~rs1:(max 1 rs1) ~rs2 ~imm:(Int64.of_int imm) op)
+    | Op.Sh _ ->
+        let* sh = int_range 0 63 in
+        return (mk ~rd ~rs1 ~imm:(Int64.of_int sh) op)
+    | Op.Sh5 _ ->
+        let* sh = int_range 0 31 in
+        return (mk ~rd ~rs1 ~imm:(Int64.of_int sh) op)
+    | Op.B _ ->
+        let* imm = int_range (-128) 127 in
+        return (mk ~rs1 ~rs2 ~imm:(Int64.of_int (imm * 2)) op)
+    | Op.U _ ->
+        let* hi = int_range 0 0xFFFFF in
+        return
+          (mk ~rd ~imm:(Int64.of_int (Dyn_util.Bits.sign_extend (hi lsl 12) 32)) op)
+    | Op.J _ ->
+        let* imm = int_range (-1024) 1023 in
+        return (mk ~rd ~imm:(Int64.of_int (imm * 2)) op)
+    | Op.Fence -> return (mk op)
+    | Op.Fixed _ -> return (mk op)
+    | Op.Csr _ | Op.Csri _ ->
+        let* csr = oneofl [ 0x001; 0x002; 0x003; 0xC00; 0xC02; 0x340 ] in
+        return (mk ~rd ~rs1 ~csr op)
+  in
+  (* register files: positive values in a small window so that computed
+     addresses stay in mapped memory *)
+  let* regs = array_size (return 32) (map Int64.of_int (int_range 0x1000 0xFFFF)) in
+  let* fregs = array_size (return 32) (map Int64.of_int (int_range 0 (1 lsl 30))) in
+  return (insn, regs, fregs)
+
+let arb_state_insn =
+  QCheck.make
+    ~print:(fun (i, _, _) -> Insn.to_string i)
+    gen_state_insn
+
+let pc0 = 0x10000L
+
+let setup_machine insn regs fregs =
+  let m = Rvsim.Machine.create () in
+  Array.blit regs 0 m.Rvsim.Machine.regs 0 32;
+  m.Rvsim.Machine.regs.(0) <- 0L;
+  Array.blit fregs 0 m.Rvsim.Machine.fregs 0 32;
+  m.Rvsim.Machine.pc <- pc0;
+  (* seed deterministic memory near the address window *)
+  for k = 0 to 255 do
+    Rvsim.Mem.write64 m.Rvsim.Machine.mem
+      (Int64.of_int (k * 8))
+      (Int64.of_int (k * 0x1234567))
+  done;
+  Rvsim.Mem.write_bytes m.Rvsim.Machine.mem pc0 (Encode.encode insn);
+  m
+
+let eval_state_of_machine (m : Rvsim.Machine.t) : Eval.state =
+  let open Rvsim in
+  {
+    Eval.get_x = Machine.get_reg m;
+    set_x = Machine.set_reg m;
+    get_f = Machine.get_freg m;
+    set_f = Machine.set_freg m;
+    load =
+      (fun w a ->
+        match w with
+        | 8 -> Int64.of_int (Mem.read8 m.Machine.mem a)
+        | 16 -> Int64.of_int (Mem.read16 m.Machine.mem a)
+        | 32 -> Int64.of_int (Mem.read32 m.Machine.mem a)
+        | _ -> Mem.read64 m.Machine.mem a);
+    store =
+      (fun w a v ->
+        match w with
+        | 8 -> Mem.write8 m.Machine.mem a (Int64.to_int (Int64.logand v 0xFFL))
+        | 16 -> Mem.write16 m.Machine.mem a (Int64.to_int (Int64.logand v 0xFFFFL))
+        | 32 ->
+            Mem.write32 m.Machine.mem a
+              (Int64.to_int (Int64.logand v 0xFFFF_FFFFL))
+        | _ -> Mem.write64 m.Machine.mem a v);
+    csr_read = Machine.csr_read m;
+    csr_write = Machine.csr_write m;
+    get_fcsr = (fun () -> Int64.of_int m.Machine.fcsr);
+    set_fcsr = (fun v -> m.Machine.fcsr <- Int64.to_int v land 0xFF);
+    reservation = m.Machine.reservation;
+  }
+
+let mem_equal (a : Rvsim.Mem.t) (b : Rvsim.Mem.t) =
+  let pages t = t.Rvsim.Mem.pages in
+  let ok = ref true in
+  let nonzero p = Bytes.exists (fun c -> c <> '\000') p in
+  Hashtbl.iter
+    (fun k p ->
+      match Hashtbl.find_opt (pages b) k with
+      | Some q -> if not (Bytes.equal p q) then ok := false
+      | None -> if nonzero p then ok := false)
+    (pages a);
+  Hashtbl.iter
+    (fun k q ->
+      if not (Hashtbl.mem (pages a) k) && nonzero q then ok := false)
+    (pages b);
+  !ok
+
+let prop_agreement =
+  QCheck.Test.make ~name:"semantics agree with simulator" ~count:4000
+    arb_state_insn (fun (insn, regs, fregs) ->
+      match Sail.sem_of_op insn.Insn.op with
+      | None -> QCheck.Test.fail_reportf "no semantics for %s" (Insn.to_string insn)
+      | Some sem -> (
+          let m1 = setup_machine insn regs fregs in
+          let m2 = setup_machine insn regs fregs in
+          match Rvsim.Machine.step m1 with
+          | Some stop ->
+              QCheck.Test.fail_reportf "simulator stopped: %a unexpectedly"
+                Rvsim.Machine.pp_stop stop
+          | None ->
+              let st = eval_state_of_machine m2 in
+              let pc' = Eval.exec sem ~insn ~pc:pc0 st in
+              m2.Rvsim.Machine.pc <- pc';
+              m2.Rvsim.Machine.reservation <- st.Eval.reservation;
+              let fail_with msg =
+                QCheck.Test.fail_reportf "%s for %s" msg (Insn.to_string insn)
+              in
+              if m1.Rvsim.Machine.pc <> m2.Rvsim.Machine.pc then
+                fail_with
+                  (Printf.sprintf "pc mismatch %Lx vs %Lx" m1.Rvsim.Machine.pc
+                     m2.Rvsim.Machine.pc)
+              else if m1.Rvsim.Machine.regs <> m2.Rvsim.Machine.regs then
+                fail_with "integer register mismatch"
+              else if m1.Rvsim.Machine.fregs <> m2.Rvsim.Machine.fregs then
+                fail_with "fp register mismatch"
+              else if m1.Rvsim.Machine.fcsr <> m2.Rvsim.Machine.fcsr then
+                fail_with "fcsr mismatch"
+              else if m1.Rvsim.Machine.reservation <> m2.Rvsim.Machine.reservation
+              then fail_with "reservation mismatch"
+              else if not (mem_equal m1.Rvsim.Machine.mem m2.Rvsim.Machine.mem)
+              then fail_with "memory mismatch"
+              else true))
+
+let () =
+  Alcotest.run "sail"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "full opcode coverage" `Quick test_coverage;
+          Alcotest.test_case "simplifier strips error handling" `Quick
+            test_simplifier_strips;
+          Alcotest.test_case "JSON round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "JSON parser" `Quick test_json_parser;
+          Alcotest.test_case "summaries" `Quick test_summaries;
+          Alcotest.test_case "error reporting" `Quick test_error_reporting;
+        ] );
+      ( "agreement",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_agreement ] );
+    ]

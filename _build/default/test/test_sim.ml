@@ -1,0 +1,396 @@
+(* Simulator tests: run small assembled programs end-to-end through the
+   ELF writer, loader and interpreter, checking architectural semantics
+   and the syscall layer. *)
+
+open Riscv
+open Rvsim
+
+let checks = Alcotest.(check string)
+let check64 = Alcotest.(check int64)
+
+let text_base = 0x10000L
+let data_base = 0x20000L
+
+(* Assemble [items] at a fixed base, wrap in an ELF image, load it. *)
+let build_process ?(data = Bytes.empty) items =
+  let r = Asm.assemble ~base:text_base items in
+  let sections =
+    [
+      Elfkit.Types.section ".text" r.Asm.code ~s_addr:text_base
+        ~s_flags:Elfkit.Types.(shf_alloc lor shf_execinstr) ~s_addralign:4;
+    ]
+    @
+    if Bytes.length data = 0 then []
+    else
+      [
+        Elfkit.Types.section ".data" data ~s_addr:data_base
+          ~s_flags:Elfkit.Types.(shf_alloc lor shf_write) ~s_addralign:8;
+      ]
+  in
+  let img = Elfkit.Types.image ~entry:text_base sections in
+  (Loader.load img, r)
+
+let run_items ?data items =
+  let p, _ = build_process ?data items in
+  let stop, out = Loader.run p in
+  (stop, out, p)
+
+(* exit with the value in a0: a7=93; ecall *)
+let exit_with_a0 = [ Asm.Insn (Build.addi Reg.a7 Reg.zero 93); Asm.Insn Build.ecall ]
+
+let exit_code = function
+  | Machine.Exited c -> c
+  | s -> Alcotest.failf "expected exit, got %a" Machine.pp_stop s
+
+let test_arith_loop () =
+  (* sum 1..10 into a0 *)
+  let open Asm in
+  let items =
+    [
+      Insn (Build.addi Reg.a0 Reg.zero 0);
+      Insn (Build.addi Reg.t0 Reg.zero 1);
+      Label "loop";
+      Insn (Build.add Reg.a0 Reg.a0 Reg.t0);
+      Insn (Build.addi Reg.t0 Reg.t0 1);
+      Insn (Build.slti Reg.t1 Reg.t0 11);
+      Br (Op.BNE, Reg.t1, Reg.zero, "loop");
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "sum" 55 (exit_code stop)
+
+let test_function_call () =
+  let open Asm in
+  (* main calls double(21), exits with result *)
+  let items =
+    [
+      Insn (Build.addi Reg.a0 Reg.zero 21);
+      Call_l "double";
+      J "done";
+      Label "double";
+      Insn (Build.add Reg.a0 Reg.a0 Reg.a0);
+      Insn Build.ret;
+      Label "done";
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "doubled" 42 (exit_code stop)
+
+let test_memory_and_data () =
+  let open Asm in
+  (* load a word from .data, add 1, store back, reload, exit with it *)
+  let data = Bytes.create 8 in
+  Bytes.set_int64_le data 0 99L;
+  let items =
+    [
+      Li (Reg.t0, data_base);
+      Insn (Build.ld Reg.a0 0 Reg.t0);
+      Insn (Build.addi Reg.a0 Reg.a0 1);
+      Insn (Build.sd Reg.a0 0 Reg.t0);
+      Insn (Build.ld Reg.a0 0 Reg.t0);
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items ~data items in
+  Alcotest.(check int) "incremented" 100 (exit_code stop)
+
+let test_write_syscall () =
+  let open Asm in
+  let msg = "hello from rvsim\n" in
+  let data = Bytes.of_string msg in
+  let items =
+    [
+      Insn (Build.addi Reg.a0 Reg.zero 1);
+      Li (Reg.a1, data_base);
+      Insn (Build.addi Reg.a2 Reg.zero (String.length msg));
+      Insn (Build.addi Reg.a7 Reg.zero 64);
+      Insn Build.ecall;
+      Insn (Build.addi Reg.a0 Reg.zero 0);
+    ]
+    @ exit_with_a0
+  in
+  let stop, out, _ = run_items ~data items in
+  Alcotest.(check int) "exit 0" 0 (exit_code stop);
+  checks "stdout" msg out
+
+let test_clock_gettime_advances () =
+  let open Asm in
+  (* read time twice around a delay loop; exit with (t1 > t0) *)
+  let items =
+    [
+      (* first clock_gettime(0, sp-32) *)
+      Insn (Build.addi Reg.sp Reg.sp (-64));
+      Insn (Build.addi Reg.a0 Reg.zero 0);
+      Insn (Build.mv Reg.a1 Reg.sp);
+      Insn (Build.addi Reg.a7 Reg.zero 113);
+      Insn Build.ecall;
+      Insn (Build.ld Reg.s0 8 Reg.sp);
+      (* delay loop: 100000 iterations *)
+      Li (Reg.t0, 100_000L);
+      Label "delay";
+      Insn (Build.addi Reg.t0 Reg.t0 (-1));
+      Br (Op.BNE, Reg.t0, Reg.zero, "delay");
+      (* second clock_gettime *)
+      Insn (Build.addi Reg.a0 Reg.zero 0);
+      Insn (Build.mv Reg.a1 Reg.sp);
+      Insn (Build.addi Reg.a7 Reg.zero 113);
+      Insn Build.ecall;
+      Insn (Build.ld Reg.s1 8 Reg.sp);
+      Insn (Build.sltu Reg.a0 Reg.s0 Reg.s1);
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "time advanced" 1 (exit_code stop)
+
+let test_double_arithmetic () =
+  let open Asm in
+  (* 1.5 * 2.0 + 0.5 = 3.5; compare against constant, exit 1 on equal *)
+  let data = Bytes.create 24 in
+  Bytes.set_int64_le data 0 (Int64.bits_of_float 1.5);
+  Bytes.set_int64_le data 8 (Int64.bits_of_float 2.0);
+  Bytes.set_int64_le data 16 (Int64.bits_of_float 3.5);
+  let f0 = Reg.f 0 and f1 = Reg.f 1 and f2 = Reg.f 2 in
+  let items =
+    [
+      Li (Reg.t0, data_base);
+      Insn (Build.fld f0 0 Reg.t0);
+      Insn (Build.fld f1 8 Reg.t0);
+      Insn (Build.fmul_d f0 f0 f1);
+      Li (Reg.t1, Int64.bits_of_float 0.5);
+      Insn (Build.fmv_d_x f1 Reg.t1);
+      Insn (Build.fadd_d f0 f0 f1);
+      Insn (Build.fld f2 16 Reg.t0);
+      Insn (Build.feq_d Reg.a0 f0 f2);
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items ~data items in
+  Alcotest.(check int) "3.5" 1 (exit_code stop)
+
+let test_fcvt_and_fclass () =
+  let open Asm in
+  let items =
+    [
+      (* a0 = (int) 7.9 (RTZ) *)
+      Li (Reg.t0, Int64.bits_of_float 7.9);
+      Insn (Build.fmv_d_x (Reg.f 0) Reg.t0);
+      Insn (Build.fcvt_l_d Reg.a0 (Reg.f 0));
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "truncated" 7 (exit_code stop)
+
+let test_mulh_div () =
+  let open Asm in
+  let items =
+    [
+      (* mulh(2^62, 4) = 2^64/2^64... (2^62 * 4) >> 64 = 1 *)
+      Li (Reg.t0, Int64.shift_left 1L 62);
+      Insn (Build.addi Reg.t1 Reg.zero 4);
+      Insn (Insn.make ~rd:Reg.a0 ~rs1:Reg.t0 ~rs2:Reg.t1 Op.MULH);
+      (* plus div: 100 / 7 = 14 -> a0 = 1 + 14 = 15 *)
+      Insn (Build.addi Reg.t0 Reg.zero 100);
+      Insn (Build.addi Reg.t1 Reg.zero 7);
+      Insn (Build.div Reg.t2 Reg.t0 Reg.t1);
+      Insn (Build.add Reg.a0 Reg.a0 Reg.t2);
+      (* div by zero must give -1: add (t3 = 5 / 0) + 1 = 0 *)
+      Insn (Build.addi Reg.t0 Reg.zero 5);
+      Insn (Build.div Reg.t3 Reg.t0 Reg.zero);
+      Insn (Build.addi Reg.t3 Reg.t3 1);
+      Insn (Build.add Reg.a0 Reg.a0 Reg.t3);
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "mulh+div" 15 (exit_code stop)
+
+let test_amo_and_lrsc () =
+  let open Asm in
+  let data = Bytes.create 8 in
+  Bytes.set_int64_le data 0 10L;
+  let items =
+    [
+      Li (Reg.t0, data_base);
+      (* amoadd.d t1, 5, (t0): t1 = 10, mem = 15 *)
+      Insn (Build.addi Reg.t2 Reg.zero 5);
+      Insn (Insn.make ~rd:Reg.t1 ~rs1:Reg.t0 ~rs2:Reg.t2 Op.AMOADD_D);
+      (* lr/sc: load 15, store 20, success -> t3 = 0 *)
+      Insn (Insn.make ~rd:Reg.t4 ~rs1:Reg.t0 Op.LR_D);
+      Insn (Build.addi Reg.t5 Reg.t4 5);
+      Insn (Insn.make ~rd:Reg.t3 ~rs1:Reg.t0 ~rs2:Reg.t5 Op.SC_D);
+      (* a0 = old(10) + mem(20) + sc_result(0) = 30 *)
+      Insn (Build.ld Reg.t6 0 Reg.t0);
+      Insn (Build.add Reg.a0 Reg.t1 Reg.t6);
+      Insn (Build.add Reg.a0 Reg.a0 Reg.t3);
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items ~data items in
+  Alcotest.(check int) "amo/lrsc" 30 (exit_code stop)
+
+let test_compressed_execution () =
+  (* hand-encode compressed instructions in the text stream *)
+  let open Asm in
+  let c_li_a0_31 = Encode.compress (Build.addi Reg.a0 Reg.zero 31) in
+  let c_addi_a0_9 = Encode.compress (Build.addi Reg.a0 Reg.a0 9) in
+  let hw v =
+    let b = Bytes.create 2 in
+    Bytes.set_uint16_le b 0 (Option.get v);
+    Raw (Bytes.to_string b)
+  in
+  let items = [ hw c_li_a0_31; hw c_addi_a0_9 ] @ exit_with_a0 in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "compressed li+addi" 40 (exit_code stop)
+
+let test_ebreak_stops () =
+  let open Asm in
+  let items = [ Insn (Build.addi Reg.a0 Reg.zero 7); Insn Build.ebreak ] in
+  let stop, _, _ = run_items items in
+  match stop with
+  | Machine.Ebreak pc -> check64 "pc of ebreak" (Int64.add text_base 4L) pc
+  | s -> Alcotest.failf "expected ebreak, got %a" Machine.pp_stop s
+
+let test_fault_on_garbage () =
+  let open Asm in
+  (* jump into non-code memory *)
+  let items = [ Li (Reg.t0, 0x500000L); Insn (Build.jr Reg.t0) ] in
+  let stop, _, _ = run_items items in
+  match stop with
+  | Machine.Fault (_, _) -> ()
+  | s -> Alcotest.failf "expected fault, got %a" Machine.pp_stop s
+
+let test_step_limit () =
+  let open Asm in
+  let items = [ Label "spin"; J "spin" ] in
+  let p, _ = build_process items in
+  match Machine.run ~max_steps:1000 p.Loader.machine with
+  | Machine.Limit -> ()
+  | s -> Alcotest.failf "expected limit, got %a" Machine.pp_stop s
+
+let test_fence_i_flushes () =
+  let open Asm in
+  (* self-modifying code: overwrite "addi a0,zero,1" with "addi a0,zero,2"
+     after it has been executed once (so it is cached), then fence.i and
+     re-run it.  Without the icache flush the stale decode would yield 3. *)
+  let patch_word =
+    let b = Encode.encode (Build.addi Reg.a0 Reg.zero 2) in
+    Bytes.get_int32_le b 0
+  in
+  let items =
+    [
+      Insn (Build.addi Reg.s0 Reg.zero 0);
+      Label "target";
+      Insn (Build.addi Reg.a0 Reg.zero 1);
+      (* only patch on the first pass *)
+      Br (Op.BNE, Reg.s0, Reg.zero, "after");
+      Insn (Build.addi Reg.s0 Reg.zero 1);
+      La (Reg.t0, "target");
+      Li (Reg.t1, Int64.of_int32 patch_word);
+      Insn (Build.sw Reg.t1 0 Reg.t0);
+      Insn (Insn.make Op.FENCE_I);
+      J "target";
+      Label "after";
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "patched result" 2 (exit_code stop)
+
+
+let test_zbb_extension () =
+  (* the paper's 3.4 extensibility story: Zba/Zbb added to the opcode
+     table and SAIL spec flow through to execution *)
+  let open Asm in
+  let items =
+    [
+      (* clz(1 << 4) = 59; ctz(0x50) = 4; cpop(0xFF) = 8 *)
+      Insn (Build.addi Reg.t0 Reg.zero 16);
+      Insn (Insn.make ~rd:Reg.t1 ~rs1:Reg.t0 Op.CLZ);
+      Insn (Build.addi Reg.t0 Reg.zero 0x50);
+      Insn (Insn.make ~rd:Reg.t2 ~rs1:Reg.t0 Op.CTZ);
+      Insn (Build.addi Reg.t0 Reg.zero 0xFF);
+      Insn (Insn.make ~rd:Reg.t3 ~rs1:Reg.t0 Op.CPOP);
+      (* max(-5, 3) = 3; sh2add(3, 100) = 112 *)
+      Insn (Build.addi Reg.t4 Reg.zero (-5));
+      Insn (Build.addi Reg.t5 Reg.zero 3);
+      Insn (Insn.make ~rd:Reg.t4 ~rs1:Reg.t4 ~rs2:Reg.t5 Op.MAX);
+      Insn (Build.addi Reg.t6 Reg.zero 100);
+      Insn (Insn.make ~rd:Reg.t5 ~rs1:Reg.t5 ~rs2:Reg.t6 Op.SH2ADD);
+      (* a0 = 59 + 4 + 8 + 3 + 112 = 186 *)
+      Insn (Build.add Reg.a0 Reg.t1 Reg.t2);
+      Insn (Build.add Reg.a0 Reg.a0 Reg.t3);
+      Insn (Build.add Reg.a0 Reg.a0 Reg.t4);
+      Insn (Build.add Reg.a0 Reg.a0 Reg.t5);
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "zbb arithmetic" 186 (exit_code stop)
+
+let test_rev8_orcb () =
+  let open Asm in
+  let items =
+    [
+      Li (Reg.t0, 0x0102030405060708L);
+      Insn (Insn.make ~rd:Reg.t1 ~rs1:Reg.t0 Op.REV8);
+      Li (Reg.t2, 0x0807060504030201L);
+      Insn (Build.sub Reg.a0 Reg.t1 Reg.t2) (* 0 if byte swap correct *);
+      Li (Reg.t0, 0x0100003000000005L);
+      Insn (Insn.make ~rd:Reg.t1 ~rs1:Reg.t0 Op.ORC_B);
+      Li (Reg.t2, 0xFF0000FF000000FFL);
+      Insn (Build.sub Reg.t3 Reg.t1 Reg.t2);
+      Insn (Build.add Reg.a0 Reg.a0 Reg.t3);
+      Insn (Build.snez Reg.a0 Reg.a0);
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "rev8 + orc.b" 0 (exit_code stop)
+
+let test_cycle_accounting () =
+  let open Asm in
+  let items = [ Insn Build.nop; Insn Build.nop ] @ exit_with_a0 in
+  let p, _ = build_process items in
+  let _ = Machine.run p.Loader.machine in
+  let m = p.Loader.machine in
+  (* the exiting ecall does not retire: 2 nops + addi a7 *)
+  check64 "instret" 3L m.Machine.instret;
+  check64 "cycles" 3L m.Machine.cycles
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "integer",
+        [
+          Alcotest.test_case "arith loop" `Quick test_arith_loop;
+          Alcotest.test_case "function call" `Quick test_function_call;
+          Alcotest.test_case "memory + data section" `Quick test_memory_and_data;
+          Alcotest.test_case "mulh/div edge cases" `Quick test_mulh_div;
+          Alcotest.test_case "amo + lr/sc" `Quick test_amo_and_lrsc;
+          Alcotest.test_case "compressed execution" `Quick test_compressed_execution;
+          Alcotest.test_case "Zbb/Zba execution" `Quick test_zbb_extension;
+          Alcotest.test_case "rev8 and orc.b" `Quick test_rev8_orcb;
+        ] );
+      ( "float",
+        [
+          Alcotest.test_case "double arithmetic" `Quick test_double_arithmetic;
+          Alcotest.test_case "fcvt truncation" `Quick test_fcvt_and_fclass;
+        ] );
+      ( "os",
+        [
+          Alcotest.test_case "write syscall" `Quick test_write_syscall;
+          Alcotest.test_case "clock_gettime" `Quick test_clock_gettime_advances;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "ebreak stop" `Quick test_ebreak_stops;
+          Alcotest.test_case "fault on garbage" `Quick test_fault_on_garbage;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "fence.i flushes icache" `Quick test_fence_i_flushes;
+          Alcotest.test_case "cycle accounting" `Quick test_cycle_accounting;
+        ] );
+    ]

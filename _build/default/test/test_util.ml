@@ -1,0 +1,196 @@
+(* Unit and property tests for the utility substrate: bit helpers,
+   interval maps (block indexing / gap discovery), and the digraph
+   (dominators, natural loops). *)
+
+open Dyn_util
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- bits -------------------------------------------------------------------- *)
+
+let test_bits () =
+  checki "extract" 0xA (Bits.extract 0xAB 4 4);
+  checki "sign_extend positive" 5 (Bits.sign_extend 5 4);
+  checki "sign_extend negative" (-1) (Bits.sign_extend 0xF 4);
+  checki "sign_extend boundary" (-8) (Bits.sign_extend 8 4);
+  checkb "fits 12" true (Bits.fits_signed 2047L 12);
+  checkb "fits 12 neg" true (Bits.fits_signed (-2048L) 12);
+  checkb "overflow 12" false (Bits.fits_signed 2048L 12);
+  Alcotest.(check int64) "sx64" (-1L) (Bits.sign_extend64 0xFFL 8);
+  Alcotest.(check int64) "align up" 16L (Bits.align_up 9L 16);
+  Alcotest.(check int64) "align up exact" 16L (Bits.align_up 16L 16);
+  Alcotest.(check int64) "align down" 0L (Bits.align_down 15L 16)
+
+let prop_sign_extend_roundtrip =
+  QCheck.Test.make ~name:"sign_extend(x mod 2^n) inverts for in-range x"
+    ~count:1000
+    QCheck.(pair (int_range (-2048) 2047) (int_range 12 20))
+    (fun (v, n) -> Bits.sign_extend (v land ((1 lsl n) - 1)) n = v)
+
+(* --- interval map -------------------------------------------------------------- *)
+
+let test_interval_map_basic () =
+  let m = Interval_map.empty in
+  let m = Interval_map.add m 10L 20L "a" in
+  let m = Interval_map.add m 30L 40L "b" in
+  checkb "stab inside" true (Interval_map.find_addr m 15L = Some (10L, 20L, "a"));
+  checkb "stab start" true (Interval_map.find_addr m 10L <> None);
+  checkb "stab end excl" true (Interval_map.find_addr m 20L = None);
+  checkb "stab gap" true (Interval_map.find_addr m 25L = None);
+  checkb "overlap detected" true (Interval_map.overlaps m 15L 35L);
+  checkb "adjacent ok" false (Interval_map.overlaps m 20L 30L);
+  checkb "add overlap raises" true
+    (match Interval_map.add m 19L 21L "c" with
+    | exception Interval_map.Overlap _ -> true
+    | _ -> false);
+  checki "cardinal" 2 (Interval_map.cardinal m)
+
+let test_interval_map_gaps () =
+  let m = Interval_map.empty in
+  let m = Interval_map.add m 10L 20L () in
+  let m = Interval_map.add m 30L 40L () in
+  Alcotest.(check (list (pair int64 int64)))
+    "gaps over [0,50)"
+    [ (0L, 10L); (20L, 30L); (40L, 50L) ]
+    (Interval_map.gaps m 0L 50L);
+  Alcotest.(check (list (pair int64 int64)))
+    "gaps fully covered" []
+    (Interval_map.gaps m 12L 18L);
+  Alcotest.(check (list (pair int64 int64)))
+    "gaps empty map"
+    [ (0L, 5L) ]
+    (Interval_map.gaps Interval_map.empty 0L 5L)
+
+let prop_interval_disjoint =
+  (* inserting random disjoint intervals: every inside point stabs, every
+     outside point misses *)
+  QCheck.Test.make ~name:"interval map stabbing" ~count:300
+    QCheck.(small_list (pair (int_range 0 200) (int_range 1 10)))
+    (fun pairs ->
+      let m = ref Interval_map.empty in
+      let kept = ref [] in
+      List.iter
+        (fun (lo, len) ->
+          let lo = Int64.of_int lo and hi = Int64.of_int (lo + len) in
+          if not (Interval_map.overlaps !m lo hi) then begin
+            m := Interval_map.add !m lo hi ();
+            kept := (lo, hi) :: !kept
+          end)
+        pairs;
+      List.for_all
+        (fun (lo, hi) ->
+          Interval_map.find_addr !m lo <> None
+          && Interval_map.find_addr !m (Int64.sub hi 1L) <> None)
+        !kept)
+
+(* --- digraph -------------------------------------------------------------------- *)
+
+let diamond () =
+  (* 0 -> 1 -> 3, 0 -> 2 -> 3 *)
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 1 3;
+  Digraph.add_edge g 2 3;
+  g
+
+let test_digraph_basic () =
+  let g = diamond () in
+  checki "nodes" 4 (Digraph.n_nodes g);
+  checki "edges" 4 (Digraph.n_edges g);
+  checkb "succ" true (Digraph.IntSet.mem 1 (Digraph.succs g 0));
+  checkb "pred" true (Digraph.IntSet.mem 2 (Digraph.preds g 3));
+  checki "reachable" 4 (Digraph.IntSet.cardinal (Digraph.reachable g 0));
+  checki "reachable from 1" 2 (Digraph.IntSet.cardinal (Digraph.reachable g 1))
+
+let test_dominators () =
+  let g = diamond () in
+  let idom = Digraph.idoms g 0 in
+  checkb "0 dominates all" true
+    (List.for_all (fun n -> Digraph.dominates idom 0 n) [ 1; 2; 3 ]);
+  checkb "1 does not dominate 3" false (Digraph.dominates idom 1 3);
+  checkb "3's idom is 0" true (Digraph.IntMap.find 3 idom = 0)
+
+let test_natural_loops () =
+  (* 0 -> 1 -> 2 -> 1 (back edge), 2 -> 3 *)
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 1;
+  Digraph.add_edge g 2 3;
+  match Digraph.natural_loops g 0 with
+  | [ (header, body) ] ->
+      checki "header" 1 header;
+      checkb "body = {1,2}" true
+        (Digraph.IntSet.elements body = [ 1; 2 ])
+  | loops -> Alcotest.failf "expected 1 loop, got %d" (List.length loops)
+
+let test_rpo () =
+  let g = diamond () in
+  match Digraph.reverse_postorder g 0 with
+  | 0 :: rest ->
+      checkb "all visited" true (List.length rest = 3);
+      checkb "3 last" true (List.nth rest 2 = 3)
+  | _ -> Alcotest.fail "rpo must start at root"
+
+(* --- byte_buf --------------------------------------------------------------------- *)
+
+let test_byte_buf_roundtrip () =
+  let w = Byte_buf.writer () in
+  Byte_buf.w_u8 w 0xAB;
+  Byte_buf.w_u16 w 0x1234;
+  Byte_buf.w_u32 w 0xDEADBEEF;
+  Byte_buf.w_u64 w 0x1122334455667788L;
+  Byte_buf.w_cstring w "hi";
+  Byte_buf.w_uleb128 w 624485;
+  Byte_buf.w_align w 4;
+  let r = Byte_buf.reader (Byte_buf.w_contents w) in
+  checki "u8" 0xAB (Byte_buf.u8 r);
+  checki "u16" 0x1234 (Byte_buf.u16 r);
+  checki "u32" 0xDEADBEEF (Byte_buf.u32 r);
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Byte_buf.u64 r);
+  Alcotest.(check string) "cstring" "hi" (Byte_buf.cstring r);
+  checki "uleb" 624485 (Byte_buf.uleb128 r);
+  checkb "out of bounds raises" true
+    (match Byte_buf.u64 r with
+    | exception Byte_buf.Out_of_bounds _ -> true
+    | _ -> false)
+
+let prop_uleb_roundtrip =
+  QCheck.Test.make ~name:"uleb128 round trip" ~count:1000
+    QCheck.(int_bound 0x3FFFFFFF)
+    (fun v ->
+      let w = Byte_buf.writer () in
+      Byte_buf.w_uleb128 w v;
+      Byte_buf.uleb128 (Byte_buf.reader (Byte_buf.w_contents w)) = v)
+
+let qt t = QCheck_alcotest.to_alcotest ~long:false t
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "helpers" `Quick test_bits;
+          qt prop_sign_extend_roundtrip;
+        ] );
+      ( "interval-map",
+        [
+          Alcotest.test_case "basic" `Quick test_interval_map_basic;
+          Alcotest.test_case "gaps" `Quick test_interval_map_gaps;
+          qt prop_interval_disjoint;
+        ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "basic" `Quick test_digraph_basic;
+          Alcotest.test_case "dominators" `Quick test_dominators;
+          Alcotest.test_case "natural loops" `Quick test_natural_loops;
+          Alcotest.test_case "reverse postorder" `Quick test_rpo;
+        ] );
+      ( "byte-buf",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_byte_buf_roundtrip;
+          qt prop_uleb_roundtrip;
+        ] );
+    ]
