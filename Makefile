@@ -1,0 +1,28 @@
+# Tier-1 verification in one command: `make check`.
+#
+#   build   compile everything (libraries, tools, examples, tests)
+#   test    run the full unit/integration suite
+#   fmt     check dune-file formatting (no ocamlformat dependency)
+#   check   fmt + build + test — what CI and the PR driver run
+#   bench   regenerate the evaluation tables and BENCH_trace.json
+
+.PHONY: all build test fmt check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt
+
+check: fmt build test
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -125,6 +125,83 @@ let table_4_3 () =
     bb_stats.Patch_api.Rewriter.n_spilled
 
 (* ------------------------------------------------------------------ *)
+(* TraceAPI: tracing overhead (bb-count vs bb-trace vs mem-trace)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Run matmul with TraceAPI points planted in multiply; the mutatee
+   still times its own call loop, so the simulated elapsed ns includes
+   the record stores, the overflow checks and the flush syscalls. *)
+let rv_traced (s : rv_setup) (opts : Trace_api.Tracer.opts) :
+    int64 * int * int =
+  let m = Core.create_mutator s.binary in
+  let ring = Trace_api.Ring.create m.Core.rw ~capacity:1024 in
+  let _ =
+    Trace_api.Tracer.instrument m.Core.rw s.binary.Core.cfg ~ring
+      ~funcs:[ "multiply" ] opts
+  in
+  let img = Core.rewrite m in
+  let p = Rvsim.Loader.load img in
+  let sink = Trace_api.Sink.create ring in
+  Trace_api.Sink.install sink p.Rvsim.Loader.os;
+  match Rvsim.Loader.run p with
+  | Rvsim.Machine.Exited 0, out ->
+      Trace_api.Sink.drain sink p.Rvsim.Loader.machine;
+      ( Int64.of_string (String.trim out),
+        Trace_api.Sink.n_records sink,
+        Trace_api.Sink.flushes sink )
+  | stop, _ ->
+      Format.kasprintf failwith "traced mutatee failed: %a"
+        Rvsim.Machine.pp_stop stop
+
+let trace_overhead () =
+  print_endline "\n== TraceAPI: tracing overhead (simulated seconds) ==";
+  let rv = rv_setup () in
+  let base = rv_base rv in
+  let bb_count, _ = rv_instrumented ~points:`Blocks rv in
+  let bb_trace, bb_records, bb_flushes =
+    rv_traced rv Trace_api.Tracer.coverage_only
+  in
+  let mem_trace, mem_records, mem_flushes =
+    rv_traced rv Trace_api.Tracer.mem_only
+  in
+  Printf.printf "   %-12s %12s %9s %10s %8s\n" "mode" "seconds" "overhead"
+    "records" "flushes";
+  Printf.printf "   %-12s %12.4f %9s %10s %8s\n" "base" (seconds base) "" "" "";
+  Printf.printf "   %-12s %12.4f %8.2f%% %10s %8s\n" "bb-count"
+    (seconds bb_count) (pct base bb_count) "" "";
+  Printf.printf "   %-12s %12.4f %8.2f%% %10d %8d\n" "bb-trace"
+    (seconds bb_trace) (pct base bb_trace) bb_records bb_flushes;
+  Printf.printf "   %-12s %12.4f %8.2f%% %10d %8d\n" "mem-trace"
+    (seconds mem_trace) (pct base mem_trace) mem_records mem_flushes;
+  let ordered = bb_count <= bb_trace && bb_trace <= mem_trace in
+  Printf.printf "   overhead ordering bb-count <= bb-trace <= mem-trace: %s\n"
+    (if ordered then "ok" else "VIOLATED");
+  (* machine-readable trajectory point for future PRs *)
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"mutatee\": \"matmul_%dx%d_reps%d\",\n\
+    \  \"ring_capacity\": 1024,\n\
+    \  \"base_ns\": %Ld,\n\
+    \  \"bb_count_ns\": %Ld,\n\
+    \  \"bb_trace_ns\": %Ld,\n\
+    \  \"mem_trace_ns\": %Ld,\n\
+    \  \"bb_count_overhead_pct\": %.2f,\n\
+    \  \"bb_trace_overhead_pct\": %.2f,\n\
+    \  \"mem_trace_overhead_pct\": %.2f,\n\
+    \  \"bb_trace_records\": %d,\n\
+    \  \"bb_trace_flushes\": %d,\n\
+    \  \"mem_trace_records\": %d,\n\
+    \  \"mem_trace_flushes\": %d,\n\
+    \  \"ordering_ok\": %b\n\
+     }\n"
+    matmul_n matmul_n matmul_reps base bb_count bb_trace mem_trace
+    (pct base bb_count) (pct base bb_trace) (pct base mem_trace) bb_records
+    bb_flushes mem_records mem_flushes ordered;
+  close_out oc;
+  print_endline "   wrote BENCH_trace.json"
+
+(* ------------------------------------------------------------------ *)
 (* ablation: the dead-register optimization (paper 4.3's explanation)   *)
 (* ------------------------------------------------------------------ *)
 
@@ -422,6 +499,7 @@ let bechamel_benches () =
 let () =
   let bechamel = Array.exists (( = ) "--bechamel") Sys.argv in
   table_4_3 ();
+  trace_overhead ();
   ablation_dead_regs ();
   ablation_cisc_flags ();
   ablation_jump_strategies ();

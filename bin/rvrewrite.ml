@@ -36,9 +36,7 @@ let rewrite input output entries blocks exits verbose =
     exits;
   Core.rewrite_to_file m output;
   let s = Core.stats m in
-  Printf.printf "wrote %s: %d points, %d dead-reg allocations, %d spilled\n"
-    output s.Patch_api.Rewriter.n_points s.Patch_api.Rewriter.n_dead_alloc
-    s.Patch_api.Rewriter.n_spilled;
+  Format.printf "wrote %s@\n%a@." output Patch_api.Rewriter.pp_stats s;
   if verbose then
     List.iter
       (fun (addr, strat) ->

@@ -101,6 +101,9 @@ let rec gen_expr ctx (avail : Reg.t list) (e : Snippet.expr) :
       | Snippet.Param n ->
           if n < 0 || n > 7 then fail "Param %d out of range" n;
           ([ Asm.Insn (Build.mv dst (Reg.a0 + n)) ], dst)
+      | Snippet.Cycle ->
+          require ctx Ext.Zicsr "reading the cycle CSR";
+          ([ Asm.Insn (Build.rdcycle dst) ], dst)
       | Snippet.Load (w, addr) ->
           let items, r = gen_expr ctx avail addr in
           (items @ [ Asm.Insn (Build.load (load_op w false) dst 0 r) ], dst)
@@ -246,6 +249,54 @@ let rec gen_stmt ctx (s : Snippet.stmt) : Asm.item list =
       in
       saves @ arg_items
       @ [ Asm.Li (target_reg, faddr); Asm.Insn (Build.call_reg target_reg) ]
+      @ restores
+  | Snippet.Scall (num, args) ->
+      if List.length args > 6 then fail "more than 6 syscall arguments";
+      (* an ecall only clobbers the a-registers it uses: the argument
+         registers, a7 (the number) and a0 (the return value).  Save just
+         those below sp so the syscall is invisible to the mutatee. *)
+      let nargs = List.length args in
+      let saved =
+        Reg.a7 :: List.init (max 1 nargs) (fun k -> Reg.a0 + k)
+      in
+      let n = List.length saved in
+      let frame =
+        Dyn_util.Bits.align_up (Int64.of_int (8 * n)) 16 |> Int64.to_int
+      in
+      let slot r =
+        let idx = ref (-1) in
+        List.iteri (fun j x -> if x = r then idx := j) saved;
+        if !idx < 0 then fail "Scall: register not in save set";
+        8 * !idx
+      in
+      let saves =
+        Asm.Insn (Build.addi Reg.sp Reg.sp (-frame))
+        :: List.mapi (fun k r -> Asm.Insn (Build.sd r (8 * k) Reg.sp)) saved
+      in
+      let restores =
+        List.mapi (fun k r -> Asm.Insn (Build.ld r (8 * k) Reg.sp)) saved
+        @ [ Asm.Insn (Build.addi Reg.sp Reg.sp frame) ]
+      in
+      (* Reg/Param operands naming already-clobbered a-registers reload
+         the saved values from the frame, as in Call above *)
+      let arg_items =
+        List.concat
+          (List.mapi
+             (fun k arg ->
+               let dst = Reg.a0 + k in
+               match arg with
+               | Snippet.Reg r when List.mem r saved ->
+                   [ Asm.Insn (Build.ld dst (slot r) Reg.sp) ]
+               | Snippet.Param p
+                 when p >= 0 && p <= 7 && List.mem (Reg.a0 + p) saved ->
+                   [ Asm.Insn (Build.ld dst (slot (Reg.a0 + p)) Reg.sp) ]
+               | e ->
+                   let items, rv = gen_expr ctx ctx.scratch e in
+                   items @ [ Asm.Insn (Build.mv dst rv) ])
+             args)
+      in
+      saves @ arg_items
+      @ [ Asm.Li (Reg.a7, Int64.of_int num); Asm.Insn Build.ecall ]
       @ restores
 
 (* Generate the full item sequence for a snippet.  [ctx.scratch] must

@@ -25,6 +25,7 @@ type expr =
   | Load of int * expr (* width bytes, address *)
   | Bin of binop * expr * expr
   | Not of expr
+  | Cycle (* the cycle CSR: a timestamp for trace records *)
 
 type stmt =
   | Set of var * expr
@@ -32,6 +33,7 @@ type stmt =
   | If of expr * stmt list * stmt list
   | While of expr * stmt list
   | Call of int64 * expr list (* call a function in the mutatee *)
+  | Scall of int * expr list (* raise a syscall; a-registers preserved *)
   | Nop
 
 (* The classic counter snippet: var++ . *)
@@ -40,7 +42,7 @@ let incr v = Set (v, Bin (Plus, Var v, Const 1L))
 (* Registers a snippet reads explicitly (they must not be chosen as
    scratch). *)
 let rec expr_reads = function
-  | Const _ | Var _ -> []
+  | Const _ | Var _ | Cycle -> []
   | Reg r -> [ r ]
   | Param n -> [ Riscv.Reg.a0 + n ]
   | Load (_, e) | Not e -> expr_reads e
@@ -52,7 +54,7 @@ let rec stmt_reads = function
   | If (c, a, b) ->
       expr_reads c @ List.concat_map stmt_reads a @ List.concat_map stmt_reads b
   | While (c, body) -> expr_reads c @ List.concat_map stmt_reads body
-  | Call (_, args) -> List.concat_map expr_reads args
+  | Call (_, args) | Scall (_, args) -> List.concat_map expr_reads args
   | Nop -> []
 
 let reads stmts = List.sort_uniq compare (List.concat_map stmt_reads stmts)
@@ -64,6 +66,7 @@ let rec expr_regs_needed = function
   | Var _ -> 2 (* address + value *)
   | Reg _ -> 1
   | Param _ -> 1
+  | Cycle -> 1
   | Load (_, e) -> expr_regs_needed e
   | Not e -> expr_regs_needed e
   | Bin (_, a, b) ->
@@ -78,7 +81,7 @@ let rec stmt_regs_needed = function
         (List.map stmt_regs_needed (a @ b))
   | While (c, body) ->
       List.fold_left max (expr_regs_needed c) (List.map stmt_regs_needed body)
-  | Call (_, args) ->
+  | Call (_, args) | Scall (_, args) ->
       List.fold_left max 1 (List.map expr_regs_needed args)
   | Nop -> 0
 
@@ -88,6 +91,8 @@ let rec contains_call = function
   | Call _ -> true
   | If (_, a, b) -> List.exists contains_call (a @ b)
   | While (_, body) -> List.exists contains_call body
-  | Set _ | Store _ | Nop -> false
+  (* Scall saves and restores every register it clobbers itself, so it
+     does not force the full caller-saved treatment a Call does. *)
+  | Set _ | Store _ | Scall _ | Nop -> false
 
 let has_call stmts = List.exists contains_call stmts

@@ -28,6 +28,9 @@ type expr =
   | Load of int * expr  (** [Load (bytes, address)] *)
   | Bin of binop * expr * expr
   | Not of expr
+  | Cycle
+      (** the hart's cycle CSR — TraceAPI's timestamp source (requires
+          the Zicsr extension) *)
 
 (** Statements: assignment, stores, control flow and mutatee calls. *)
 type stmt =
@@ -38,6 +41,11 @@ type stmt =
   | Call of int64 * expr list
       (** call a mutatee function by address; caller-saved state is
           preserved around the call *)
+  | Scall of int * expr list
+      (** [Scall (number, args)]: raise syscall [number] with up to six
+          arguments.  The a-registers the syscall touches (arguments,
+          a7, and the a0 return) are saved and restored, so the mutatee
+          never observes the call — TraceAPI's ring-buffer flush path *)
   | Nop
 
 (** [incr v] is the classic counter snippet: [v := v + 1]. *)

@@ -134,6 +134,19 @@ let allocate_var t name size =
   t.vars <- v :: t.vars;
   v
 
+(* Allocate an unstructured block (e.g. a TraceAPI ring buffer) in the
+   patch data area; returns its absolute address. *)
+let allocate_raw t name ~size ~align =
+  if size <= 0 then fail "bad raw allocation size %d" size;
+  if align <= 0 || align land (align - 1) <> 0 then
+    fail "bad raw allocation alignment %d" align;
+  t.data_cursor <- (t.data_cursor + align - 1) land lnot (align - 1);
+  if t.data_cursor + size > data_area_size then
+    fail "patch data area full allocating %d bytes for %s" size name;
+  let addr = Int64.add t.data_base (Int64.of_int t.data_cursor) in
+  t.data_cursor <- t.data_cursor + size;
+  addr
+
 let add_request t block req =
   let cur = Option.value (Hashtbl.find_opt t.requests block) ~default:[] in
   Hashtbl.replace t.requests block (cur @ [ req ])
@@ -466,3 +479,26 @@ let apply_to_image (t : t) (pl : plan) : Elfkit.Types.image =
 let rewrite (t : t) : Elfkit.Types.image = apply_to_image t (plan t)
 
 let stats t = t.stats
+
+(* How many instrumented blocks used each springboard strategy, in
+   preference order — the paper's springboard mix (§3.1.2). *)
+let strategy_mix (s : stats) : (strategy * int) list =
+  List.map
+    (fun st ->
+      (st, List.length (List.filter (fun (_, x) -> x = st) s.strategies)))
+    [ Sp_cj; Sp_jal; Sp_auipc_jalr; Sp_trap ]
+
+let n_traps (s : stats) =
+  List.length (List.filter (fun (_, x) -> x = Sp_trap) s.strategies)
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "%d points instrumented (%d via dead registers, %d spilled)@\n\
+     springboards:" s.n_points s.n_dead_alloc s.n_spilled;
+  List.iter
+    (fun (st, n) -> Format.fprintf fmt " %s=%d" (strategy_name st) n)
+    (strategy_mix s);
+  let traps = n_traps s in
+  if traps > 0 then
+    Format.fprintf fmt "@\n%d block(s) fell back to 2-byte trap springboards"
+      traps

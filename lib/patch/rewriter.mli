@@ -44,6 +44,11 @@ val create : ?tramp_base:int64 -> ?use_dead_regs:bool -> Symtab.t -> Parse_api.C
     patch data area. *)
 val allocate_var : t -> string -> int -> Codegen_api.Snippet.var
 
+(** Allocate an unstructured [size]-byte block in the patch data area
+    ([align] must be a power of two); TraceAPI's ring buffers live here.
+    Returns the block's absolute address. *)
+val allocate_raw : t -> string -> size:int -> align:int -> int64
+
 (** Request snippet insertion at a point — the paper's (P, AST) tuple. *)
 val insert : t -> Point.t -> Codegen_api.Snippet.stmt list -> unit
 
@@ -68,6 +73,16 @@ val apply_to_image : t -> plan -> Elfkit.Types.image
 val rewrite : t -> Elfkit.Types.image
 
 val stats : t -> stats
+
+(** Springboard strategy histogram, in preference order. *)
+val strategy_mix : stats -> (strategy * int) list
+
+(** Number of points that fell back to 2-byte trap springboards. *)
+val n_traps : stats -> int
+
+(** Human-readable one-run summary: point count, dead-register vs spill
+    mix, and the springboard histogram. *)
+val pp_stats : Format.formatter -> stats -> unit
 
 (**/**)
 

@@ -7,12 +7,18 @@
    the mutatee itself (as the paper's matmul benchmark does) reflects
    simulated cycles, not host wall clock. *)
 
+(* A host-side handler for a custom (non-Linux) syscall: receives the
+   machine and a0..a5, returns the value placed in a0.  TraceAPI
+   registers its ring-buffer flush here. *)
+type custom_handler = Machine.t -> int64 array -> int64
+
 type t = {
   mutable brk : int64;
   mutable mmap_next : int64;
   stdout_buf : Buffer.t;
   stderr_buf : Buffer.t;
   mutable echo : bool; (* also copy writes to the host's stdout/stderr *)
+  custom : (int, custom_handler) Hashtbl.t;
 }
 
 let sys_getcwd = 17
@@ -34,7 +40,13 @@ let create ~brk_base =
     stdout_buf = Buffer.create 256;
     stderr_buf = Buffer.create 64;
     echo = false;
+    custom = Hashtbl.create 4;
   }
+
+(* Register [fn] for syscall [num]; numbers outside the Linux range
+   (tools conventionally pick something > 0x1000) avoid collisions, and
+   a custom handler always wins over the built-in dispatch. *)
+let register_syscall os num fn = Hashtbl.replace os.custom num fn
 
 let simulated_ns (m : Machine.t) = Cost.cycles_to_ns m.Machine.model m.Machine.cycles
 
@@ -42,6 +54,11 @@ let handle (os : t) (m : Machine.t) : Machine.ecall_action =
   let arg n = Machine.get_reg m (10 + n) in
   let ret v = Machine.set_reg m 10 v in
   let num = Int64.to_int (Machine.get_reg m 17) in
+  match Hashtbl.find_opt os.custom num with
+  | Some fn ->
+      ret (fn m (Array.init 6 arg));
+      Machine.Ecall_continue
+  | None -> (
   match num with
   | n when n = sys_write ->
       let fd = Int64.to_int (arg 0) in
@@ -96,7 +113,7 @@ let handle (os : t) (m : Machine.t) : Machine.ecall_action =
   | _ ->
       (* unknown syscalls succeed silently; small runtimes probe a few *)
       ret 0L;
-      Machine.Ecall_continue
+      Machine.Ecall_continue)
 
 (* Attach the syscall layer to a machine.  Returns the OS handle so the
    caller can inspect captured stdout etc. *)

@@ -1,0 +1,224 @@
+(* Offline analyzers over a collected trace stream: the "performance,
+   debugging, and other tools" consumers.  All operate on the decoded
+   record list a Sink produced, so they can also run on traces saved to
+   disk and reloaded. *)
+
+module I64Map = Map.Make (Int64)
+
+let blocks rs = List.filter (fun r -> r.Record.kind = Record.Block) rs
+
+(* Basic-block coverage: the sorted set of distinct block addresses. *)
+let coverage (rs : Record.t list) : int64 list =
+  List.sort_uniq Int64.compare (List.map (fun r -> r.Record.addr) (blocks rs))
+
+(* Execution count per block, ascending by address. *)
+let block_counts (rs : Record.t list) : (int64 * int) list =
+  let m =
+    List.fold_left
+      (fun m r ->
+        I64Map.update r.Record.addr
+          (fun c -> Some (1 + Option.value c ~default:0))
+          m)
+      I64Map.empty (blocks rs)
+  in
+  I64Map.bindings m
+
+(* Edge profile from consecutive Block records: (src, dst) -> count,
+   hottest first.  Only Block records participate, so a blocks+mem
+   trace still yields a correct block-to-block profile. *)
+let edge_profile (rs : Record.t list) : ((int64 * int64) * int) list =
+  let tbl = Hashtbl.create 64 in
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        let k = (a.Record.addr, b.Record.addr) in
+        Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0);
+        go rest
+    | _ -> ()
+  in
+  go (blocks rs);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, a) (kb, b) ->
+         if a <> b then compare b a else compare ka kb)
+
+let hot_edges ?(n = 10) rs = List.filteri (fun i _ -> i < n) (edge_profile rs)
+
+(* The hot path: starting from the hottest edge's source, greedily
+   follow the most-frequent outgoing edge without revisiting a block. *)
+let hot_path (rs : Record.t list) : int64 list =
+  match edge_profile rs with
+  | [] -> []
+  | (((src, _), _) :: _ as prof) ->
+      let rec follow seen cur acc =
+        if List.mem cur seen then List.rev acc
+        else
+          let next =
+            List.find_opt (fun ((s, _), _) -> s = cur) prof
+            |> Option.map (fun ((_, d), _) -> d)
+          in
+          match next with
+          | None -> List.rev (cur :: acc)
+          | Some d -> follow (cur :: seen) d (cur :: acc)
+      in
+      follow [] src []
+
+(* Call-tree reconstruction from Call/Ret records: a stack machine in
+   trace order.  Tolerant of truncated traces — unmatched frames are
+   closed at the final timestamp. *)
+type call_node = {
+  cn_callee : int64; (* callee entry address *)
+  cn_site : int64; (* call-site pc *)
+  cn_enter : int64; (* cycles at the call *)
+  mutable cn_exit : int64; (* cycles at the matching return *)
+  mutable cn_children : call_node list;
+}
+
+let call_tree (rs : Record.t list) : call_node list =
+  let roots = ref [] in
+  let stack = ref [] in
+  let attach node =
+    match !stack with
+    | parent :: _ -> parent.cn_children <- parent.cn_children @ [ node ]
+    | [] -> roots := !roots @ [ node ]
+  in
+  let last_cycles = ref 0L in
+  List.iter
+    (fun r ->
+      last_cycles := r.Record.cycles;
+      match r.Record.kind with
+      | Record.Call ->
+          let node =
+            {
+              cn_callee = r.Record.addr;
+              cn_site = r.Record.value;
+              cn_enter = r.Record.cycles;
+              cn_exit = r.Record.cycles;
+              cn_children = [];
+            }
+          in
+          attach node;
+          stack := node :: !stack
+      | Record.Ret ->
+          (* pop to (and including) the frame this return belongs to;
+             intervening frames were exited by paths we did not see *)
+          let rec pop () =
+            match !stack with
+            | [] -> ()
+            | top :: rest ->
+                stack := rest;
+                top.cn_exit <- r.Record.cycles;
+                if top.cn_callee <> r.Record.addr then pop ()
+          in
+          pop ()
+      | _ -> ())
+    rs;
+  List.iter (fun n -> n.cn_exit <- !last_cycles) !stack;
+  !roots
+
+let rec n_calls (tree : call_node list) =
+  List.fold_left (fun acc n -> acc + 1 + n_calls n.cn_children) 0 tree
+
+let rec max_depth (tree : call_node list) =
+  List.fold_left (fun acc n -> max acc (1 + max_depth n.cn_children)) 0 tree
+
+(* The active call stack just after the last Call/Ret at or before
+   [cycle]: (callee, site) pairs, outermost first.  Cross-checkable
+   against a StackwalkerAPI walk of the same program stopped there. *)
+let call_stack_at (rs : Record.t list) ~(cycle : int64) :
+    (int64 * int64) list =
+  let stack = ref [] in
+  List.iter
+    (fun r ->
+      if Int64.compare r.Record.cycles cycle <= 0 then
+        match r.Record.kind with
+        | Record.Call -> stack := (r.Record.addr, r.Record.value) :: !stack
+        | Record.Ret -> (
+            match !stack with
+            | (callee, _) :: rest ->
+                stack := rest;
+                if callee <> r.Record.addr then
+                  (* mismatched return: unwind to the matching frame *)
+                  let rec unwind = function
+                    | (c, _) :: rest when c <> r.Record.addr -> unwind rest
+                    | _ :: rest -> rest
+                    | [] -> []
+                  in
+                  stack := unwind !stack
+            | [] -> ())
+        | _ -> ())
+    rs;
+  List.rev !stack
+
+(* Memory-access histogram: bucketed effective-address counts, split by
+   reads and writes (MAMBO-V's leakage-analysis workload). *)
+let mem_histogram ?(bucket = 64) (rs : Record.t list) :
+    (int64 * (int * int)) list =
+  if bucket <= 0 then invalid_arg "mem_histogram: bucket must be positive";
+  let b = Int64.of_int bucket in
+  let m =
+    List.fold_left
+      (fun m r ->
+        match r.Record.kind with
+        | Record.Mem_read | Record.Mem_write ->
+            let base = Int64.mul (Int64.div r.Record.addr b) b in
+            let reads, writes =
+              Option.value (I64Map.find_opt base m) ~default:(0, 0)
+            in
+            let cell =
+              if r.Record.kind = Record.Mem_read then (reads + 1, writes)
+              else (reads, writes + 1)
+            in
+            I64Map.add base cell m
+        | _ -> m)
+      I64Map.empty rs
+  in
+  I64Map.bindings m
+
+let mem_totals (rs : Record.t list) : int * int =
+  List.fold_left
+    (fun (r, w) rec_ ->
+      match rec_.Record.kind with
+      | Record.Mem_read -> (r + 1, w)
+      | Record.Mem_write -> (r, w + 1)
+      | _ -> (r, w))
+    (0, 0) rs
+
+(* {1 Printers} — [name] maps an address to a symbol when available. *)
+
+let addr_str name a =
+  match name a with Some s -> Printf.sprintf "%s (0x%Lx)" s a | None -> Printf.sprintf "0x%Lx" a
+
+let pp_coverage ?(name = fun _ -> None) fmt rs =
+  let cov = coverage rs in
+  Format.fprintf fmt "%d distinct blocks executed@\n" (List.length cov);
+  List.iter
+    (fun (a, c) -> Format.fprintf fmt "  %-32s %8d@\n" (addr_str name a) c)
+    (block_counts rs)
+
+let pp_edges ?(name = fun _ -> None) ?(n = 10) fmt rs =
+  List.iter
+    (fun ((s, d), c) ->
+      Format.fprintf fmt "  %-24s -> %-24s %8d@\n" (addr_str name s)
+        (addr_str name d) c)
+    (hot_edges ~n rs)
+
+let pp_call_tree ?(name = fun _ -> None) fmt rs =
+  let tree = call_tree rs in
+  let rec pp_node depth n =
+    Format.fprintf fmt "  %s%s  [%Ld cycles]@\n"
+      (String.make (2 * depth) ' ')
+      (addr_str name n.cn_callee)
+      (Int64.sub n.cn_exit n.cn_enter);
+    List.iter (pp_node (depth + 1)) n.cn_children
+  in
+  Format.fprintf fmt "%d calls, max depth %d@\n" (n_calls tree)
+    (max_depth tree);
+  List.iter (pp_node 0) tree
+
+let pp_mem_histogram ?(bucket = 64) fmt rs =
+  let reads, writes = mem_totals rs in
+  Format.fprintf fmt "%d reads, %d writes (bucket = %d bytes)@\n" reads writes
+    bucket;
+  List.iter
+    (fun (base, (r, w)) ->
+      Format.fprintf fmt "  0x%Lx  reads=%-6d writes=%-6d@\n" base r w)
+    (mem_histogram ~bucket rs)

@@ -1,0 +1,90 @@
+(* TraceAPI's binary trace-record format.
+
+   Instrumented code appends fixed-size records to an in-process ring
+   buffer (see Ring); the host-side sink (see Sink) reassembles them
+   into a stream these decoders consume.  A record is 32 bytes, four
+   little-endian 64-bit words:
+
+     word 0   kind code (1..6)
+     word 1   subject address: block start / callee entry /
+              effective memory address / marker id
+     word 2   auxiliary value: call-site pc / access width in bytes /
+              marker payload
+     word 3   cycle CSR at emission (the timestamp)
+
+   Fixed width keeps the emitting snippet to a handful of stores and
+   makes host-side reassembly a byte-copy, the usual DBI trade of
+   bandwidth for probe cost. *)
+
+type kind = Block | Call | Ret | Mem_read | Mem_write | Marker
+
+type t = {
+  kind : kind;
+  addr : int64;
+  value : int64;
+  cycles : int64;
+}
+
+let size = 32
+
+let code = function
+  | Block -> 1L
+  | Call -> 2L
+  | Ret -> 3L
+  | Mem_read -> 4L
+  | Mem_write -> 5L
+  | Marker -> 6L
+
+let kind_of_code = function
+  | 1L -> Some Block
+  | 2L -> Some Call
+  | 3L -> Some Ret
+  | 4L -> Some Mem_read
+  | 5L -> Some Mem_write
+  | 6L -> Some Marker
+  | _ -> None
+
+let kind_name = function
+  | Block -> "block"
+  | Call -> "call"
+  | Ret -> "ret"
+  | Mem_read -> "mem-read"
+  | Mem_write -> "mem-write"
+  | Marker -> "marker"
+
+let encode (r : t) : bytes =
+  let b = Bytes.create size in
+  Bytes.set_int64_le b 0 (code r.kind);
+  Bytes.set_int64_le b 8 r.addr;
+  Bytes.set_int64_le b 16 r.value;
+  Bytes.set_int64_le b 24 r.cycles;
+  b
+
+let decode_at (b : bytes) (off : int) : t option =
+  if off < 0 || off + size > Bytes.length b then None
+  else
+    match kind_of_code (Bytes.get_int64_le b off) with
+    | None -> None
+    | Some kind ->
+        Some
+          {
+            kind;
+            addr = Bytes.get_int64_le b (off + 8);
+            value = Bytes.get_int64_le b (off + 16);
+            cycles = Bytes.get_int64_le b (off + 24);
+          }
+
+(* Decode a reassembled stream; malformed trailing bytes (or an unknown
+   kind code, indicating corruption) end the stream. *)
+let decode_all (s : string) : t list =
+  let b = Bytes.of_string s in
+  let rec go off acc =
+    match decode_at b off with
+    | Some r -> go (off + size) (r :: acc)
+    | None -> List.rev acc
+  in
+  go 0 []
+
+let pp fmt (r : t) =
+  Format.fprintf fmt "%-9s addr=0x%Lx value=0x%Lx cycles=%Ld" (kind_name r.kind)
+    r.addr r.value r.cycles

@@ -1,0 +1,80 @@
+(* The in-process trace ring buffer and its emitting snippets.
+
+   Layout (all in the patch data area, so both static rewriting and
+   dynamic instrumentation get it for free):
+
+     widx     u64   records written, monotonically increasing
+     flushed  u64   records already drained by the host-side sink
+     buf      capacity * Record.size bytes, capacity a power of two
+
+   A record is written at slot [widx land (capacity-1)], then widx is
+   incremented, then the emitting snippet checks [widx - flushed >=
+   capacity] and, if the ring just filled, raises the flush syscall so
+   the sink drains [flushed, widx) before the next record could
+   overwrite an undrained slot.  Both counters only ever grow, so the
+   sink can also drain a partial tail at exit. *)
+
+open Codegen_api
+
+type t = {
+  widx : Snippet.var;
+  flushed : Snippet.var;
+  buf_base : int64;
+  capacity : int; (* in records; a power of two *)
+}
+
+(* The flush syscall number: well outside the Linux range so a mutatee
+   can never raise it by accident. *)
+let flush_syscall = 0x7452
+
+(* log2 Record.size; slot offset = (widx land mask) lsl this *)
+let log2_record_size = 5
+
+let create ?(name = "trace") (rw : Patch_api.Rewriter.t) ~capacity : t =
+  if capacity <= 0 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Ring.create: capacity must be a positive power of two";
+  if capacity * Record.size > 0x8000 then
+    invalid_arg "Ring.create: ring larger than half the patch data area";
+  let widx = Patch_api.Rewriter.allocate_var rw (name ^ "_widx") 8 in
+  let flushed = Patch_api.Rewriter.allocate_var rw (name ^ "_flushed") 8 in
+  let buf_base =
+    Patch_api.Rewriter.allocate_raw rw (name ^ "_buf")
+      ~size:(capacity * Record.size) ~align:Record.size
+  in
+  { widx; flushed; buf_base; capacity }
+
+(* The snippet statements appending one record.  [addr] and [value] are
+   arbitrary snippet expressions, so trace points can capture run-time
+   state (e.g. an effective address from a base register). *)
+let emit (t : t) ~(kind : Record.kind) ~(addr : Snippet.expr)
+    ~(value : Snippet.expr) : Snippet.stmt list =
+  let open Snippet in
+  let mask = Int64.of_int (t.capacity - 1) in
+  let field k =
+    Bin
+      ( Plus,
+        Const (Int64.add t.buf_base (Int64.of_int k)),
+        Bin
+          ( Shl,
+            Bin (BAnd, Var t.widx, Const mask),
+            Const (Int64.of_int log2_record_size) ) )
+  in
+  [
+    Store (8, field 0, Const (Record.code kind));
+    Store (8, field 8, addr);
+    Store (8, field 16, value);
+    Store (8, field 24, Cycle);
+    Set (t.widx, Bin (Plus, Var t.widx, Const 1L));
+    If
+      ( Bin
+          ( Ge,
+            Bin (Minus, Var t.widx, Var t.flushed),
+            Const (Int64.of_int t.capacity) ),
+        [ Scall (flush_syscall, [ Const t.buf_base ]) ],
+        [] );
+  ]
+
+(* A user marker: an application-defined event with an id and payload. *)
+let marker (t : t) ~(id : int64) ?(payload = Snippet.Const 0L) () :
+    Snippet.stmt list =
+  emit t ~kind:Record.Marker ~addr:(Snippet.Const id) ~value:payload

@@ -1,0 +1,120 @@
+(* Trace-point planting: walks a parsed CFG and asks PatchAPI to insert
+   ring-emitting snippets at the selected point classes.
+
+     blocks   one Block record per basic-block execution
+     calls    one Call record per call site (callee entry + site pc)
+     returns  one Ret record per function exit (function entry + site)
+     mem      one Mem_read/Mem_write record per load/store, with the
+              effective address computed from the base register before
+              the access executes (MAMBO-V's memory-tracing workload)
+
+   All modes share one ring, so a combined trace interleaves record
+   kinds in program order. *)
+
+open Parse_api
+
+type opts = { blocks : bool; calls : bool; returns : bool; mem : bool }
+
+let coverage_only = { blocks = true; calls = false; returns = false; mem = false }
+let call_graph = { blocks = false; calls = true; returns = true; mem = false }
+let mem_only = { blocks = false; calls = false; returns = false; mem = true }
+let everything = { blocks = true; calls = true; returns = true; mem = true }
+
+(* The statically-known callee of a call block, if any. *)
+let call_target (b : Cfg.block) : int64 option =
+  List.find_map
+    (fun (e : Cfg.edge) ->
+      match (e.Cfg.ek, e.Cfg.e_dst) with
+      | Cfg.E_call, Cfg.T_addr a -> Some a
+      | _ -> None)
+    b.Cfg.b_out
+
+(* Instrument [cfg]'s functions (all of them, or just [funcs] by name);
+   returns the number of points planted. *)
+let instrument (rw : Patch_api.Rewriter.t) (cfg : Cfg.t) ~(ring : Ring.t)
+    ?funcs (o : opts) : int =
+  let fns =
+    match funcs with
+    | None -> Cfg.functions cfg
+    | Some names ->
+        List.filter
+          (fun (f : Cfg.func) -> List.mem f.Cfg.f_name names)
+          (Cfg.functions cfg)
+  in
+  let n = ref 0 in
+  let plant pt stmts =
+    Patch_api.Rewriter.insert rw pt stmts;
+    incr n
+  in
+  List.iter
+    (fun (f : Cfg.func) ->
+      if o.blocks then
+        List.iter
+          (fun (pt : Patch_api.Point.t) ->
+            plant pt
+              (Ring.emit ring ~kind:Record.Block
+                 ~addr:(Codegen_api.Snippet.Const pt.Patch_api.Point.p_block)
+                 ~value:(Codegen_api.Snippet.Const f.Cfg.f_entry)))
+          (Patch_api.Point.block_entries cfg f);
+      if o.calls then
+        List.iter
+          (fun (pt : Patch_api.Point.t) ->
+            let callee =
+              match Cfg.block_at cfg pt.Patch_api.Point.p_block with
+              | Some b -> Option.value (call_target b) ~default:0L
+              | None -> 0L
+            in
+            plant pt
+              (Ring.emit ring ~kind:Record.Call
+                 ~addr:(Codegen_api.Snippet.Const callee)
+                 ~value:(Codegen_api.Snippet.Const pt.Patch_api.Point.p_addr)))
+          (Patch_api.Point.call_sites cfg f);
+      if o.returns then
+        List.iter
+          (fun (pt : Patch_api.Point.t) ->
+            plant pt
+              (Ring.emit ring ~kind:Record.Ret
+                 ~addr:(Codegen_api.Snippet.Const f.Cfg.f_entry)
+                 ~value:(Codegen_api.Snippet.Const pt.Patch_api.Point.p_addr)))
+          (Patch_api.Point.func_exits cfg f);
+      if o.mem then
+        List.iter
+          (fun (b : Cfg.block) ->
+            List.iter
+              (fun (ins : Instruction.t) ->
+                let i = ins.Instruction.insn in
+                let op = i.Riscv.Insn.op in
+                let is_r = Riscv.Op.is_load op in
+                let is_w = Riscv.Op.is_store op in
+                if is_r || is_w then
+                  match
+                    Patch_api.Point.before_insn cfg ~addr:ins.Instruction.addr
+                  with
+                  | None -> ()
+                  | Some pt ->
+                      let kind =
+                        if is_w then Record.Mem_write else Record.Mem_read
+                      in
+                      (* effective address = rs1 + imm, evaluated before
+                         the access executes, so the base register still
+                         holds its pre-access value *)
+                      let eaddr =
+                        Codegen_api.Snippet.Bin
+                          ( Codegen_api.Snippet.Plus,
+                            Codegen_api.Snippet.Reg i.Riscv.Insn.rs1,
+                            Codegen_api.Snippet.Const i.Riscv.Insn.imm )
+                      in
+                      plant pt
+                        (Ring.emit ring ~kind ~addr:eaddr
+                           ~value:
+                             (Codegen_api.Snippet.Const
+                                (Int64.of_int (Riscv.Op.access_size op)))))
+              b.Cfg.b_insns)
+          (Cfg.blocks_of cfg f))
+    fns;
+  !n
+
+(* Plant a user marker at a single point. *)
+let plant_marker (rw : Patch_api.Rewriter.t) ~(ring : Ring.t)
+    (pt : Patch_api.Point.t) ~(id : int64) ?payload () =
+  Patch_api.Rewriter.insert rw pt (Ring.marker ring ~id ?payload ())

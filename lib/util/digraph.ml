@@ -157,3 +157,49 @@ let natural_loops g root =
     g.succs;
   Hashtbl.fold (fun h body acc -> (h, body) :: acc) loops []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Strongly connected components (Tarjan).  Tarjan emits a component
+   only after every component it can reach, so accumulating with [::]
+   yields components in topological order of the condensation: sources
+   first, sinks last. *)
+let scc g =
+  let index = Hashtbl.create 16 in
+  let low = Hashtbl.create 16 in
+  let onstack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace onstack v true;
+    IntSet.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.find_opt onstack w = Some true then
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (succs g v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace onstack w false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v) (nodes g);
+  !comps
+
+(* Topological order of all nodes: SCCs in dependency order with each
+   component's members adjacent; on a DAG this is a plain topological
+   sort (every edge a->b places a before b). *)
+let topo_order g = List.concat (scc g)

@@ -62,6 +62,33 @@ let test_interval_map_gaps () =
     [ (0L, 5L) ]
     (Interval_map.gaps Interval_map.empty 0L 5L)
 
+let test_interval_map_overlap_queries () =
+  let m = Interval_map.empty in
+  let m = Interval_map.add m 10L 20L "a" in
+  let m = Interval_map.add m 20L 30L "b" in
+  let m = Interval_map.add m 40L 50L "c" in
+  (* boundary addresses: intervals are half-open [lo, hi) *)
+  checkb "20 belongs to b, not a" true
+    (Interval_map.find_addr m 20L = Some (20L, 30L, "b"));
+  checkb "hi-1 still inside" true
+    (Interval_map.find_addr m 29L = Some (20L, 30L, "b"));
+  checkb "hi outside" true (Interval_map.find_addr m 30L = None);
+  (* overlap queries against exact boundaries *)
+  checkb "query ending at lo misses" false (Interval_map.overlaps m 0L 10L);
+  checkb "query starting at hi misses" false (Interval_map.overlaps m 50L 60L);
+  checkb "one-byte overlap at lo hits" true (Interval_map.overlaps m 9L 11L);
+  checkb "one-byte overlap at hi-1 hits" true
+    (Interval_map.overlaps m 49L 60L);
+  (* overlapping returns every intersecting interval, in address order *)
+  Alcotest.(check (list string))
+    "overlapping [15,45)" [ "a"; "b"; "c" ]
+    (List.map (fun (_, _, v) -> v) (Interval_map.overlapping m 15L 45L));
+  Alcotest.(check (list string))
+    "overlapping the gap [30,40)" []
+    (List.map (fun (_, _, v) -> v) (Interval_map.overlapping m 30L 40L));
+  (* abutting intervals never report mutual overlap *)
+  checkb "abutting a|b not overlapping" false (Interval_map.overlaps m 20L 20L)
+
 let prop_interval_disjoint =
   (* inserting random disjoint intervals: every inside point stabs, every
      outside point misses *)
@@ -134,6 +161,70 @@ let test_rpo () =
       checkb "3 last" true (List.nth rest 2 = 3)
   | _ -> Alcotest.fail "rpo must start at root"
 
+let test_scc_cyclic () =
+  (* 0 -> 1 -> 2 -> 1 (cycle {1,2}), 2 -> 3, 3 -> 3 (self loop) *)
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 1;
+  Digraph.add_edge g 2 3;
+  Digraph.add_edge g 3 3;
+  let comps = List.map (List.sort compare) (Digraph.scc g) in
+  checki "three components" 3 (List.length comps);
+  checkb "cycle collapsed" true (List.mem [ 1; 2 ] comps);
+  checkb "self-loop alone" true (List.mem [ 3 ] comps);
+  checkb "root alone" true (List.mem [ 0 ] comps);
+  (* condensation order: sources before sinks *)
+  checkb "0 before {1,2} before {3}" true (comps = [ [ 0 ]; [ 1; 2 ]; [ 3 ] ])
+
+let test_scc_two_cycles () =
+  (* two disjoint cycles bridged by one edge: {0,1} -> {2,3} *)
+  let g = Digraph.create () in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 0;
+  Digraph.add_edge g 2 3;
+  Digraph.add_edge g 3 2;
+  Digraph.add_edge g 1 2;
+  let comps = List.map (List.sort compare) (Digraph.scc g) in
+  checkb "both cycles found" true (comps = [ [ 0; 1 ]; [ 2; 3 ] ])
+
+let test_topo_order () =
+  let g = diamond () in
+  let order = Digraph.topo_order g in
+  let pos n =
+    let rec go i = function
+      | [] -> Alcotest.failf "node %d missing from topo order" n
+      | x :: _ when x = n -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 order
+  in
+  checki "all nodes present" 4 (List.length order);
+  (* every edge goes forward in the order *)
+  List.iter
+    (fun (a, b) ->
+      checkb (Printf.sprintf "%d before %d" a b) true (pos a < pos b))
+    [ (0, 1); (0, 2); (1, 3); (2, 3) ];
+  (* on a cyclic graph the cycle's members stay adjacent *)
+  let g2 = Digraph.create () in
+  Digraph.add_edge g2 0 1;
+  Digraph.add_edge g2 1 2;
+  Digraph.add_edge g2 2 1;
+  Digraph.add_edge g2 2 3;
+  let o2 = Digraph.topo_order g2 in
+  checkb "cyclic topo = 0 {1 2} 3" true
+    (o2 = [ 0; 1; 2; 3 ] || o2 = [ 0; 2; 1; 3 ])
+
+let prop_scc_partition =
+  (* SCCs of a random graph partition exactly its node set *)
+  QCheck.Test.make ~name:"scc partitions the nodes" ~count:300
+    QCheck.(small_list (pair (int_range 0 15) (int_range 0 15)))
+    (fun edges ->
+      let g = Digraph.create () in
+      List.iter (fun (a, b) -> Digraph.add_edge g a b) edges;
+      let members = List.concat (Digraph.scc g) in
+      List.sort compare members = List.sort compare (Digraph.nodes g))
+
 (* --- byte_buf --------------------------------------------------------------------- *)
 
 let test_byte_buf_roundtrip () =
@@ -179,6 +270,8 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_interval_map_basic;
           Alcotest.test_case "gaps" `Quick test_interval_map_gaps;
+          Alcotest.test_case "overlap queries & boundaries" `Quick
+            test_interval_map_overlap_queries;
           qt prop_interval_disjoint;
         ] );
       ( "digraph",
@@ -187,6 +280,10 @@ let () =
           Alcotest.test_case "dominators" `Quick test_dominators;
           Alcotest.test_case "natural loops" `Quick test_natural_loops;
           Alcotest.test_case "reverse postorder" `Quick test_rpo;
+          Alcotest.test_case "scc on cyclic input" `Quick test_scc_cyclic;
+          Alcotest.test_case "scc two cycles" `Quick test_scc_two_cycles;
+          Alcotest.test_case "topo order" `Quick test_topo_order;
+          qt prop_scc_partition;
         ] );
       ( "byte-buf",
         [
