@@ -1,12 +1,16 @@
 # Tier-1 verification in one command: `make check`.
 #
-#   build   compile everything (libraries, tools, examples, tests)
-#   test    run the full unit/integration suite
-#   fmt     check dune-file formatting (no ocamlformat dependency)
-#   check   fmt + build + test — what CI and the PR driver run
-#   bench   regenerate the evaluation tables and BENCH_trace.json
+#   build        compile everything (libraries, tools, examples, tests)
+#   test         run the full unit/integration suite
+#   fmt          check dune-file formatting (no ocamlformat dependency)
+#   bench-smoke  reduced-iteration bench (exercises the instrumentation,
+#                tracing and profiling paths; writes *.smoke.json only)
+#   check        fmt + build + test + bench-smoke — what CI and the PR
+#                driver run
+#   bench        regenerate the evaluation tables, BENCH_trace.json and
+#                BENCH_prof.json
 
-.PHONY: all build test fmt check bench clean
+.PHONY: all build test fmt check bench bench-smoke clean
 
 all: build
 
@@ -19,7 +23,10 @@ test:
 fmt:
 	dune build @fmt
 
-check: fmt build test
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+
+check: fmt build test bench-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -153,7 +153,7 @@ let rv_traced (s : rv_setup) (opts : Trace_api.Tracer.opts) :
       Format.kasprintf failwith "traced mutatee failed: %a"
         Rvsim.Machine.pp_stop stop
 
-let trace_overhead () =
+let trace_overhead ?(json = "BENCH_trace.json") () =
   print_endline "\n== TraceAPI: tracing overhead (simulated seconds) ==";
   let rv = rv_setup () in
   let base = rv_base rv in
@@ -177,7 +177,7 @@ let trace_overhead () =
   Printf.printf "   overhead ordering bb-count <= bb-trace <= mem-trace: %s\n"
     (if ordered then "ok" else "VIOLATED");
   (* machine-readable trajectory point for future PRs *)
-  let oc = open_out "BENCH_trace.json" in
+  let oc = open_out json in
   Printf.fprintf oc
     "{\n\
     \  \"mutatee\": \"matmul_%dx%d_reps%d\",\n\
@@ -199,7 +199,87 @@ let trace_overhead () =
     (pct base bb_count) (pct base bb_trace) (pct base mem_trace) bb_records
     bb_flushes mem_records mem_flushes ordered;
   close_out oc;
-  print_endline "   wrote BENCH_trace.json"
+  Printf.printf "   wrote %s\n" json
+
+(* ------------------------------------------------------------------ *)
+(* PerfAPI: sampling profiler overhead vs instrumentation              *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability trade-off: the sampling profiler runs the
+   *original* binary and pays only a per-sample interrupt+unwind cost
+   (sample_cost simulated cycles), so its overhead must land far below
+   even the cheapest instrumentation (bb-count).  The mutatee times its
+   own call loop, as in every other row of the evaluation. *)
+let prof_overhead ?(smoke = false) ?(json = "BENCH_prof.json") () =
+  print_endline "\n== PerfAPI: sampling profiler overhead (simulated seconds) ==";
+  let n = if smoke then 8 else matmul_n in
+  let reps = if smoke then 1 else matmul_reps in
+  let src = Minicc.Programs.matmul ~n ~reps in
+  let compiled = Minicc.Driver.compile src in
+  let setup = { binary = Core.open_image compiled.Minicc.Driver.image; compiled } in
+  let base = rv_base setup in
+  let bb_count, _ = rv_instrumented ~points:`Blocks setup in
+  let profiled period =
+    let config =
+      {
+        Perf_api.Profiler.default_config with
+        Perf_api.Profiler.period = Int64.of_int period;
+        keep_samples = false;
+      }
+    in
+    let r = Perf_api.Profiler.profile ~config setup.binary in
+    match r.Perf_api.Profiler.r_stop with
+    | Rvsim.Machine.Exited 0 ->
+        (Int64.of_string (String.trim r.Perf_api.Profiler.r_stdout), r)
+    | stop ->
+        Format.kasprintf failwith "profiled mutatee failed: %a"
+          Rvsim.Machine.pp_stop stop
+  in
+  let prof_10k, r_10k = profiled 10_000 in
+  let prof_1k, r_1k = profiled 1_000 in
+  Printf.printf "   %-22s %12s %9s %9s\n" "mode" "seconds" "overhead" "samples";
+  Printf.printf "   %-22s %12.4f %9s %9s\n" "base" (seconds base) "" "";
+  Printf.printf "   %-22s %12.4f %8.2f%% %9s\n" "bb-count (instrum.)"
+    (seconds bb_count) (pct base bb_count) "";
+  Printf.printf "   %-22s %12.4f %8.2f%% %9d\n" "sampling @10k cycles"
+    (seconds prof_10k) (pct base prof_10k) r_10k.Perf_api.Profiler.r_n_samples;
+  Printf.printf "   %-22s %12.4f %8.2f%% %9d\n" "sampling @1k cycles"
+    (seconds prof_1k) (pct base prof_1k) r_1k.Perf_api.Profiler.r_n_samples;
+  let below = pct base prof_10k < pct base bb_count in
+  Printf.printf "   sampling @10k below bb-count instrumentation: %s\n"
+    (if below then "ok" else "VIOLATED");
+  (* cross-check the headline claim: sampling and tracing agree on the
+     hottest function *)
+  let v = Perf_api.Validate.validate setup.binary in
+  Format.printf "   %a@." Perf_api.Validate.pp v;
+  let hottest =
+    match v.Perf_api.Validate.v_prof_hottest with Some f -> f | None -> "?"
+  in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"mutatee\": \"matmul_%dx%d_reps%d\",\n\
+    \  \"sample_cost_cycles\": %d,\n\
+    \  \"base_ns\": %Ld,\n\
+    \  \"bb_count_ns\": %Ld,\n\
+    \  \"bb_count_overhead_pct\": %.2f,\n\
+    \  \"prof_10k_ns\": %Ld,\n\
+    \  \"prof_10k_overhead_pct\": %.2f,\n\
+    \  \"prof_10k_samples\": %d,\n\
+    \  \"prof_1k_ns\": %Ld,\n\
+    \  \"prof_1k_overhead_pct\": %.2f,\n\
+    \  \"prof_1k_samples\": %d,\n\
+    \  \"hottest\": \"%s\",\n\
+    \  \"trace_agreement\": %b,\n\
+    \  \"sampling_below_bb_count\": %b\n\
+     }\n"
+    n n reps Perf_api.Profiler.default_config.Perf_api.Profiler.sample_cost
+    base bb_count (pct base bb_count) prof_10k (pct base prof_10k)
+    r_10k.Perf_api.Profiler.r_n_samples prof_1k (pct base prof_1k)
+    r_1k.Perf_api.Profiler.r_n_samples hottest v.Perf_api.Validate.v_agree
+    below;
+  close_out oc;
+  Printf.printf "   wrote %s\n" json
 
 (* ------------------------------------------------------------------ *)
 (* ablation: the dead-register optimization (paper 4.3's explanation)   *)
@@ -497,14 +577,26 @@ let bechamel_benches () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let bechamel = Array.exists (( = ) "--bechamel") Sys.argv in
-  table_4_3 ();
-  trace_overhead ();
-  ablation_dead_regs ();
-  ablation_cisc_flags ();
-  ablation_jump_strategies ();
-  parse_speed ();
-  figure_flows ();
-  figure_components ();
-  if bechamel then bechamel_benches ();
-  print_endline "\nbench: done"
+  let flag f = Array.exists (( = ) f) Sys.argv in
+  let bechamel = flag "--bechamel" in
+  if flag "--smoke" then begin
+    (* reduced run for `make check`: exercises the instrumentation,
+       tracing and profiling paths end-to-end without clobbering the
+       committed BENCH_*.json trajectory points *)
+    trace_overhead ~json:"BENCH_trace.smoke.json" ();
+    prof_overhead ~smoke:true ~json:"BENCH_prof.smoke.json" ();
+    print_endline "\nbench: smoke done"
+  end
+  else begin
+    table_4_3 ();
+    trace_overhead ();
+    prof_overhead ();
+    ablation_dead_regs ();
+    ablation_cisc_flags ();
+    ablation_jump_strategies ();
+    parse_speed ();
+    figure_flows ();
+    figure_components ();
+    if bechamel then bechamel_benches ();
+    print_endline "\nbench: done"
+  end

@@ -7,7 +7,8 @@
 
 open Cmdliner
 
-let rewrite input output entries blocks exits verbose =
+let rewrite input output entries blocks exits verbose stats =
+  if stats then Dyn_util.Stats.enable ();
   let binary = Core.open_file input in
   let m = Core.create_mutator binary in
   let n = ref 0 in
@@ -42,7 +43,8 @@ let rewrite input output entries blocks exits verbose =
       (fun (addr, strat) ->
         Printf.printf "  springboard 0x%Lx: %s\n" addr
           (Patch_api.Rewriter.strategy_name strat))
-      s.Patch_api.Rewriter.strategies
+      s.Patch_api.Rewriter.strategies;
+  if stats then Dyn_util.Stats.report ()
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"IN" ~doc:"input binary")
@@ -61,11 +63,14 @@ let exits_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"show springboards")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"report toolkit self-telemetry")
+
 let cmd =
   Cmd.v
     (Cmd.info "rvrewrite" ~doc:"statically instrument a RISC-V binary")
     Term.(
       const rewrite $ input_arg $ output_arg $ entries_arg $ blocks_arg
-      $ exits_arg $ verbose_arg)
+      $ exits_arg $ verbose_arg $ stats_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -36,7 +36,8 @@ let load_binary mutatee =
 let known_reports = [ "coverage"; "edges"; "calltree"; "mem"; "all" ]
 
 let run mutatee funcs no_blocks calls returns mem capacity reports out verbose
-    =
+    stats =
+  if stats then Dyn_util.Stats.enable ();
   (match List.filter (fun r -> not (List.mem r known_reports)) reports with
   | [] -> ()
   | bad ->
@@ -80,19 +81,7 @@ let run mutatee funcs no_blocks calls returns mem capacity reports out verbose
     (Trace_api.Sink.flushes sink);
   Format.printf "%a@." Patch_api.Rewriter.pp_stats
     (Patch_api.Rewriter.stats rw);
-  let name a =
-    List.find_map
-      (fun (f : Parse_api.Cfg.func) ->
-        if f.Parse_api.Cfg.f_entry = a then Some f.Parse_api.Cfg.f_name
-        else
-          match Parse_api.Cfg.block_at binary.Core.cfg a with
-          | Some b when b.Parse_api.Cfg.b_func = f.Parse_api.Cfg.f_entry ->
-              Some
-                (Printf.sprintf "%s+0x%Lx" f.Parse_api.Cfg.f_name
-                   (Int64.sub a f.Parse_api.Cfg.f_entry))
-          | _ -> None)
-      (Parse_api.Cfg.functions binary.Core.cfg)
-  in
+  let name = Trace_api.Symbolize.addr_name binary.Core.cfg in
   let want r = List.mem "all" reports || List.mem r reports in
   if want "coverage" then begin
     Format.printf "@.== basic-block coverage ==@.";
@@ -118,7 +107,8 @@ let run mutatee funcs no_blocks calls returns mem capacity reports out verbose
       close_out oc;
       Format.printf "@.raw trace written to %s@." path);
   if verbose then
-    List.iter (fun r -> Format.printf "%a@." Trace_api.Record.pp r) records
+    List.iter (fun r -> Format.printf "%a@." Trace_api.Record.pp r) records;
+  if stats then Dyn_util.Stats.report ()
 
 let mutatee_arg =
   Arg.(
@@ -165,12 +155,16 @@ let out_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"dump every record")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"report toolkit self-telemetry")
+
 let cmd =
   Cmd.v
     (Cmd.info "rvtrace"
        ~doc:"trace a RISC-V binary via static instrumentation")
     Term.(
       const run $ mutatee_arg $ funcs_arg $ no_blocks_arg $ calls_arg
-      $ returns_arg $ mem_arg $ ring_arg $ report_arg $ out_arg $ verbose_arg)
+      $ returns_arg $ mem_arg $ ring_arg $ report_arg $ out_arg $ verbose_arg
+      $ stats_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,38 @@
+(* The PerfAPI workflow end to end: sample an UNinstrumented mutatee
+   with the deterministic cycle timer, unwind each sample with
+   StackwalkerAPI's fast frame-pointer-first path, and render all three
+   views of the same calling-context tree — flat profile, CCT, folded
+   flame-graph stacks.  Compare with bbprofiler.ml, which answers the
+   same "where does the time go?" question by instrumenting every basic
+   block instead of sampling.
+
+     dune exec examples/sampler.exe *)
+
+let mutatee_source = Minicc.Programs.matmul ~n:12 ~reps:2
+
+let () =
+  print_endline "== sampler: call-path profile of the matmul mutatee ==";
+  let compiled = Minicc.Driver.compile mutatee_source in
+  let binary = Core.open_image compiled.Minicc.Driver.image in
+  let config =
+    {
+      Perf_api.Profiler.default_config with
+      Perf_api.Profiler.period = 1_000L;
+      events =
+        [ Rvsim.Cost.Ev_branch; Rvsim.Cost.Ev_load; Rvsim.Cost.Ev_store ];
+    }
+  in
+  let r = Perf_api.Profiler.profile ~config binary in
+  Format.printf "mutatee ran: %a, %d samples over %Ld cycles@."
+    Rvsim.Machine.pp_stop r.Perf_api.Profiler.r_stop
+    r.Perf_api.Profiler.r_n_samples r.Perf_api.Profiler.r_elapsed_cycles;
+
+  Format.printf "@.-- flat profile --@.%a" (Perf_api.Report.pp_flat ~n:10) r;
+  Format.printf "@.-- calling-context tree --@.%a"
+    (Perf_api.Report.pp_cct ~min_samples:1) r;
+  Format.printf "@.-- folded stacks (flamegraph.pl input) --@.%a"
+    Perf_api.Report.pp_folded r;
+
+  (* the sampling view and the tracing view must tell the same story *)
+  let v = Perf_api.Validate.validate ~config binary in
+  Format.printf "@.-- cross-validation --@.%a@." Perf_api.Validate.pp v

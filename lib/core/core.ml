@@ -23,8 +23,11 @@ type binary = { symtab : Symtab.t; cfg : Cfg.t }
 exception Not_found_error of string
 
 let open_image ?gap_parsing (img : Elfkit.Types.image) : binary =
-  let symtab = Symtab.of_image img in
-  { symtab; cfg = Parser.parse ?gap_parsing symtab }
+  let symtab = Dyn_util.Stats.span "parse:symtab" (fun () -> Symtab.of_image img) in
+  let cfg =
+    Dyn_util.Stats.span "parse:cfg" (fun () -> Parser.parse ?gap_parsing symtab)
+  in
+  { symtab; cfg }
 
 let open_bytes ?gap_parsing b = open_image ?gap_parsing (Elfkit.Read.read b)
 let open_file ?gap_parsing path = open_image ?gap_parsing (Elfkit.Read.of_file path)

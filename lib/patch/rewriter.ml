@@ -286,7 +286,10 @@ let dead_at_point t cache (b : Cfg.block) (addr : int64) : Reg.t list =
         match Hashtbl.find_opt cache f.Cfg.f_entry with
         | Some lv -> lv
         | None ->
-            let lv = Liveness.analyze t.cfg f in
+            let lv =
+              Dyn_util.Stats.span "analyze:liveness" (fun () ->
+                  Liveness.analyze t.cfg f)
+            in
             Hashtbl.replace cache f.Cfg.f_entry lv;
             lv
       in
@@ -476,7 +479,9 @@ let apply_to_image (t : t) (pl : plan) : Elfkit.Types.image =
       sections @ [ tramp_section; data_section ] @ trap_section;
   }
 
-let rewrite (t : t) : Elfkit.Types.image = apply_to_image t (plan t)
+let rewrite (t : t) : Elfkit.Types.image =
+  let pl = Dyn_util.Stats.span "codegen:plan" (fun () -> plan t) in
+  Dyn_util.Stats.span "rewrite:apply" (fun () -> apply_to_image t pl)
 
 let stats t = t.stats
 

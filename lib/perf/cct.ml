@@ -1,0 +1,140 @@
+(* The calling-context tree (HPCToolkit-style): every sampled call path
+   is merged into a trie keyed by frame name; sample counts, cycle
+   deltas and HPM deltas accumulate at the path's leaf node.  Exclusive
+   cost therefore lives at the node itself, inclusive cost is the
+   subtree sum — the flat profile, the CCT dump and the folded
+   flame-graph lines are all projections of this one structure. *)
+
+type node = {
+  cn_name : string;
+  mutable cn_samples : int; (* samples whose leaf is this node (exclusive) *)
+  mutable cn_cycles : int64; (* cycle deltas attributed here *)
+  mutable cn_hpm : int64 array; (* HPM deltas attributed here *)
+  cn_children : (string, node) Hashtbl.t;
+}
+
+type t = {
+  root : node;
+  n_events : int; (* width of every cn_hpm array *)
+  mutable n_samples : int; (* total samples merged *)
+  mutable truncated : int; (* samples whose unwind produced no frames *)
+}
+
+let new_node ~n_events name =
+  {
+    cn_name = name;
+    cn_samples = 0;
+    cn_cycles = 0L;
+    cn_hpm = Array.make n_events 0L;
+    cn_children = Hashtbl.create 4;
+  }
+
+let create ?(n_events = 0) () : t =
+  { root = new_node ~n_events "<root>"; n_events; n_samples = 0; truncated = 0 }
+
+let child (t : t) (n : node) name =
+  match Hashtbl.find_opt n.cn_children name with
+  | Some c -> c
+  | None ->
+      let c = new_node ~n_events:t.n_events name in
+      Hashtbl.replace n.cn_children name c;
+      c
+
+(* Merge one sampled path (outermost first); costs land on the leaf. *)
+let add_path (t : t) (path : string list) ~(cycles : int64)
+    ~(hpm : int64 array) : unit =
+  t.n_samples <- t.n_samples + 1;
+  match path with
+  | [] -> t.truncated <- t.truncated + 1
+  | _ ->
+      let leaf = List.fold_left (child t) t.root path in
+      leaf.cn_samples <- leaf.cn_samples + 1;
+      leaf.cn_cycles <- Int64.add leaf.cn_cycles cycles;
+      Array.iteri
+        (fun k v ->
+          if k < t.n_events then
+            leaf.cn_hpm.(k) <- Int64.add leaf.cn_hpm.(k) v)
+        hpm
+
+let rec inclusive_samples (n : node) : int =
+  Hashtbl.fold (fun _ c acc -> acc + inclusive_samples c) n.cn_children
+    n.cn_samples
+
+let rec inclusive_cycles (n : node) : int64 =
+  Hashtbl.fold
+    (fun _ c acc -> Int64.add acc (inclusive_cycles c))
+    n.cn_children n.cn_cycles
+
+(* Children sorted hottest-first (by inclusive samples, then name for
+   determinism). *)
+let sorted_children (n : node) : node list =
+  Hashtbl.fold (fun _ c acc -> c :: acc) n.cn_children []
+  |> List.sort (fun a b ->
+         let ia = inclusive_samples a and ib = inclusive_samples b in
+         if ia <> ib then compare ib ia else compare a.cn_name b.cn_name)
+
+(* --- projections --------------------------------------------------------- *)
+
+(* Folded flame-graph lines: "main;foo;bar <leaf-samples>", one line per
+   CCT node with a nonzero exclusive count, depth-first hottest-first —
+   the format flamegraph.pl and speedscope ingest. *)
+let folded (t : t) : (string * int) list =
+  let out = ref [] in
+  let rec go prefix n =
+    let prefix = if prefix = "" then n.cn_name else prefix ^ ";" ^ n.cn_name in
+    if n.cn_samples > 0 then out := (prefix, n.cn_samples) :: !out;
+    List.iter (go prefix) (sorted_children n)
+  in
+  List.iter (go "") (sorted_children t.root);
+  List.rev !out
+
+type flat_row = {
+  fl_name : string;
+  fl_excl : int; (* exclusive samples *)
+  fl_incl : int; (* inclusive samples *)
+  fl_cycles : int64; (* exclusive cycle deltas *)
+  fl_hpm : int64 array; (* exclusive HPM deltas *)
+}
+
+(* Per-function rollup across all contexts, hottest (exclusive) first.
+   Inclusive counts a sample once per function on its path even if the
+   function appears at several depths (no double counting through
+   recursion). *)
+let flat (t : t) : flat_row list =
+  let tbl : (string, flat_row) Hashtbl.t = Hashtbl.create 32 in
+  let row name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+        let r =
+          { fl_name = name; fl_excl = 0; fl_incl = 0; fl_cycles = 0L;
+            fl_hpm = Array.make t.n_events 0L }
+        in
+        Hashtbl.replace tbl name r;
+        r
+  in
+  let rec go (seen : string list) (n : node) =
+    let r = row n.cn_name in
+    let r =
+      {
+        r with
+        fl_excl = r.fl_excl + n.cn_samples;
+        fl_incl =
+          (if List.mem n.cn_name seen then r.fl_incl
+           else r.fl_incl + inclusive_samples n);
+        fl_cycles = Int64.add r.fl_cycles n.cn_cycles;
+        fl_hpm = Array.mapi (fun k v -> Int64.add v n.cn_hpm.(k)) r.fl_hpm;
+      }
+    in
+    Hashtbl.replace tbl n.cn_name r;
+    List.iter (go (n.cn_name :: seen)) (sorted_children n)
+  in
+  List.iter (go []) (sorted_children t.root);
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b ->
+         if a.fl_excl <> b.fl_excl then compare b.fl_excl a.fl_excl
+         else compare a.fl_name b.fl_name)
+
+(* The hottest function by exclusive samples. *)
+let hottest (t : t) : string option =
+  match flat t with [] -> None | r :: _ -> Some r.fl_name

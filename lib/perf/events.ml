@@ -1,0 +1,58 @@
+(* The HPM event set of a profiling session: which Cost.event selectors
+   get programmed into mhpmevent3.., and how the per-sample counter
+   snapshot is read back.  PerfAPI drives the counters exactly the way
+   a tool on real hardware would — through the CSR interface — so a
+   mis-programmed counter faults the mutatee instead of yielding silent
+   zeroes (see Machine.Illegal_csr). *)
+
+type t = Rvsim.Cost.event list
+
+let default : t =
+  [ Rvsim.Cost.Ev_branch; Rvsim.Cost.Ev_taken_branch; Rvsim.Cost.Ev_load;
+    Rvsim.Cost.Ev_store ]
+
+let mhpmevent0 = 0x323 (* mhpmevent3 *)
+let mhpmcounter0 = 0xB03 (* mhpmcounter3 *)
+
+(* Program the selectors for [evs] into counters 3..; counters beyond
+   the set are switched off and every used counter is zeroed. *)
+let program (m : Rvsim.Machine.t) (evs : t) : unit =
+  if List.length evs > Rvsim.Machine.n_hpm_counters then
+    invalid_arg
+      (Printf.sprintf "Perf_api.Events.program: at most %d events"
+         Rvsim.Machine.n_hpm_counters);
+  for k = 0 to Rvsim.Machine.n_hpm_counters - 1 do
+    Rvsim.Machine.csr_write m (mhpmevent0 + k) 0L;
+    Rvsim.Machine.csr_write m (mhpmcounter0 + k) 0L
+  done;
+  List.iteri
+    (fun k ev ->
+      Rvsim.Machine.csr_write m (mhpmevent0 + k)
+        (Int64.of_int (Rvsim.Cost.selector_of_event ev)))
+    evs
+
+(* Snapshot the programmed counters, in event order. *)
+let read (m : Rvsim.Machine.t) (evs : t) : int64 array =
+  Array.of_list
+    (List.mapi (fun k _ -> Rvsim.Machine.csr_read m (mhpmcounter0 + k)) evs)
+
+let names (evs : t) : string list = List.map Rvsim.Cost.event_name evs
+
+(* Parse a CLI event list such as "branch,load,store". *)
+let parse (s : string) : (t, string) result =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match Rvsim.Cost.event_of_name p with
+        | Some Rvsim.Cost.Ev_off | None ->
+            Error
+              (Printf.sprintf "unknown event %S (expected %s)" p
+                 (String.concat ", "
+                    (List.map Rvsim.Cost.event_name Rvsim.Cost.all_events)))
+        | Some ev -> go (ev :: acc) rest)
+  in
+  go [] parts

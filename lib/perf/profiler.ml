@@ -1,0 +1,123 @@
+(* The sampling call-path profiler (PerfAPI's driver).
+
+   No instrumentation is planted: the mutatee runs its *original* code.
+   The machine's deterministic cycle timer (ProcControlAPI's sampler
+   plumbing) stops the process every [period] cycles; the hook snapshots
+   pc + cycle/instret/HPM deltas, unwinds the stack with
+   StackwalkerAPI's fast frame-pointer-first path, and merges the path
+   into a calling-context tree.  Each sample charges [sample_cost]
+   simulated cycles — the interrupt + unwind cost a perf-style profiler
+   pays on real hardware — so overhead measured by the mutatee's own
+   clock (as the BENCH harness does) is honest rather than zero. *)
+
+module Sw = Stackwalker_api.Stackwalker
+module Pc = Proccontrol_api.Proccontrol
+
+type config = {
+  period : int64; (* cycles between samples *)
+  sample_cost : int; (* simulated cycles charged per sample *)
+  max_frames : int;
+  events : Events.t; (* HPM events recorded per sample *)
+  keep_samples : bool; (* retain the raw sample list (memory!) *)
+}
+
+let default_config =
+  {
+    period = 10_000L;
+    sample_cost = 120;
+    max_frames = 32;
+    events = Events.default;
+    keep_samples = true;
+  }
+
+type result = {
+  r_cct : Cct.t;
+  r_samples : Sample.t list; (* in time order; [] unless keep_samples *)
+  r_events : Events.t;
+  r_n_samples : int;
+  r_elapsed_cycles : int64; (* mutatee cycles, sampling cost included *)
+  r_instret : int64;
+  r_hpm_totals : int64 array; (* final counter values, event order *)
+  r_stop : Rvsim.Machine.stop;
+  r_stdout : string;
+}
+
+(* Unwind and symbolize: call path outermost-first, one entry per frame,
+   unresolvable frames rendered by address so depth is preserved. *)
+let sample_path (walker : Sw.walker) (m : Rvsim.Machine.t) ~max_frames :
+    string list =
+  Sw.fast_walk_machine ~max_frames walker m
+  |> List.map (fun (fr : Sw.frame) ->
+         match fr.Sw.fr_func with
+         | Some n -> n
+         | None -> Printf.sprintf "0x%Lx" fr.Sw.fr_pc)
+  |> List.rev
+
+(* Profile a launched process until it stops.  The process must not have
+   run yet (counters are programmed before the first instruction). *)
+let profile_process ?(config = default_config) (binary : Core.binary)
+    (p : Pc.t) : result =
+  let walker = Core.walker binary in
+  let m = Pc.machine p in
+  Events.program m config.events;
+  let n_events = List.length config.events in
+  let cct = Cct.create ~n_events () in
+  let samples = ref [] in
+  let last_cycles = ref m.Rvsim.Machine.cycles in
+  let last_instret = ref m.Rvsim.Machine.instret in
+  let last_hpm = ref (Events.read m config.events) in
+  Pc.set_sampler p ~period:config.period (fun p ->
+      let m = Pc.machine p in
+      let path = sample_path walker m ~max_frames:config.max_frames in
+      let hpm_now = Events.read m config.events in
+      let d_cycles = Int64.sub m.Rvsim.Machine.cycles !last_cycles in
+      let d_hpm =
+        Array.init n_events (fun k ->
+            Int64.sub hpm_now.(k) !last_hpm.(k))
+      in
+      Cct.add_path cct path ~cycles:d_cycles ~hpm:d_hpm;
+      if config.keep_samples then
+        samples :=
+          {
+            Sample.s_pc = m.Rvsim.Machine.pc;
+            s_cycles = d_cycles;
+            s_instret = Int64.sub m.Rvsim.Machine.instret !last_instret;
+            s_hpm = d_hpm;
+            s_path = path;
+          }
+          :: !samples;
+      (* charge the sample's own cost to the mutatee, then re-baseline
+         so the next delta starts after the charge *)
+      m.Rvsim.Machine.cycles <-
+        Int64.add m.Rvsim.Machine.cycles (Int64.of_int config.sample_cost);
+      last_cycles := m.Rvsim.Machine.cycles;
+      last_instret := m.Rvsim.Machine.instret;
+      last_hpm := hpm_now);
+  let rec drive () =
+    match Pc.continue_ p with
+    | Pc.Ev_exited c -> Rvsim.Machine.Exited c
+    | Pc.Ev_fault (msg, a) -> Rvsim.Machine.Fault (msg, a)
+    | Pc.Ev_stopped -> Rvsim.Machine.Limit
+    | Pc.Ev_breakpoint _ -> drive () (* not ours: step over and go on *)
+  in
+  let stop = drive () in
+  Pc.clear_sampler p;
+  {
+    r_cct = cct;
+    r_samples = List.rev !samples;
+    r_events = config.events;
+    r_n_samples = cct.Cct.n_samples;
+    r_elapsed_cycles = m.Rvsim.Machine.cycles;
+    r_instret = m.Rvsim.Machine.instret;
+    r_hpm_totals = Events.read m config.events;
+    r_stop = stop;
+    r_stdout = Pc.stdout_contents p;
+  }
+
+(* The one-call entry point: launch the (uninstrumented) binary and
+   profile it to completion. *)
+let profile ?config ?argv (binary : Core.binary) : result =
+  let p = Core.launch ?argv (Core.image binary) in
+  profile_process ?config binary p
+
+let hottest (r : result) : string option = Cct.hottest r.r_cct

@@ -1,0 +1,60 @@
+(* Output projections of a profiling run: the flat per-function table,
+   the indented CCT dump, and folded flame-graph lines. *)
+
+let pct part total =
+  if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+
+(* --- flat profile --------------------------------------------------------- *)
+
+let pp_flat ?(n = 20) fmt (r : Profiler.result) =
+  let rows = Cct.flat r.Profiler.r_cct in
+  let total = r.Profiler.r_n_samples in
+  let ev_names = Events.names r.Profiler.r_events in
+  Format.fprintf fmt "%6s %6s  %6s %10s" "excl" "excl%" "incl" "cycles";
+  List.iter (fun e -> Format.fprintf fmt " %12s" e) ev_names;
+  Format.fprintf fmt "  %s@\n" "function";
+  List.iteri
+    (fun i row ->
+      if i < n then begin
+        Format.fprintf fmt "%6d %5.1f%%  %6d %10Ld" row.Cct.fl_excl
+          (pct row.Cct.fl_excl total)
+          row.Cct.fl_incl row.Cct.fl_cycles;
+        Array.iter (fun v -> Format.fprintf fmt " %12Ld" v) row.Cct.fl_hpm;
+        Format.fprintf fmt "  %s@\n" row.Cct.fl_name
+      end)
+    rows;
+  if List.length rows > n then
+    Format.fprintf fmt "  ... (%d more)@\n" (List.length rows - n);
+  Format.fprintf fmt "%d samples, %Ld cycles, %Ld instructions retired@\n"
+    total r.Profiler.r_elapsed_cycles r.Profiler.r_instret;
+  if r.Profiler.r_cct.Cct.truncated > 0 then
+    Format.fprintf fmt "%d sample(s) with empty unwind@\n"
+      r.Profiler.r_cct.Cct.truncated
+
+(* --- calling-context tree -------------------------------------------------- *)
+
+let pp_cct ?(min_samples = 1) fmt (r : Profiler.result) =
+  let total = r.Profiler.r_n_samples in
+  let rec go depth (n : Cct.node) =
+    let incl = Cct.inclusive_samples n in
+    if incl >= min_samples then begin
+      Format.fprintf fmt "%s%s  %d incl (%.1f%%), %d excl@\n"
+        (String.make (2 * depth) ' ')
+        n.Cct.cn_name incl (pct incl total) n.Cct.cn_samples;
+      List.iter (go (depth + 1)) (Cct.sorted_children n)
+    end
+  in
+  List.iter (go 0) (Cct.sorted_children r.Profiler.r_cct.Cct.root);
+  Format.fprintf fmt "%d samples total@\n" total
+
+(* --- folded flame-graph text ----------------------------------------------- *)
+
+(* One "path;to;leaf count" line per context — feed straight into
+   flamegraph.pl / speedscope. *)
+let pp_folded fmt (r : Profiler.result) =
+  List.iter
+    (fun (path, count) -> Format.fprintf fmt "%s %d@\n" path count)
+    (Cct.folded r.Profiler.r_cct)
+
+let folded_string (r : Profiler.result) : string =
+  Format.asprintf "%a" pp_folded r

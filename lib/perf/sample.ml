@@ -1,0 +1,23 @@
+(* One profiler sample: the program state snapshot the timer hook takes.
+
+   [s_cycles]/[s_instret]/[s_hpm] are *deltas* since the previous sample
+   (or since profiling started, for the first one), so each sample
+   carries the cost of the interval it terminates; attributing that
+   interval to the sample's leaf frame is the usual statistical-profiler
+   approximation.  [s_path] is the unwound call path, outermost first,
+   symbolized through the binary's CFG. *)
+
+type t = {
+  s_pc : int64; (* pc at the sample *)
+  s_cycles : int64; (* cycle delta of the terminated interval *)
+  s_instret : int64; (* instructions retired in the interval *)
+  s_hpm : int64 array; (* HPM deltas, in session event order *)
+  s_path : string list; (* call path, outermost first, leaf last *)
+}
+
+let leaf (s : t) : string option =
+  match List.rev s.s_path with [] -> None | l :: _ -> Some l
+
+let pp fmt (s : t) =
+  Format.fprintf fmt "pc=0x%Lx dt=%Ldcy %s" s.s_pc s.s_cycles
+    (String.concat ";" s.s_path)

@@ -221,3 +221,15 @@ let run_to t addr : event =
   ev
 
 let stdout_contents t = Rvsim.Syscall.stdout_contents (os t)
+
+(* --- sampling (PerfAPI plumbing) ------------------------------------------- *)
+
+(* Register a host-side sampling callback driven by the machine's
+   deterministic cycle timer: [fn] runs every [period] simulated cycles
+   with the process stopped between two instructions, so it may read
+   registers, memory and counters (and walk the stack) but must not
+   resume the process itself. *)
+let set_sampler t ~period fn =
+  Rvsim.Machine.set_timer (machine t) ~period (fun _m -> fn t)
+
+let clear_sampler t = Rvsim.Machine.clear_timer (machine t)

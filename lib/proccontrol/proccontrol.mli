@@ -83,6 +83,17 @@ val run_to : t -> int64 -> event
 (** Everything the process wrote to stdout so far. *)
 val stdout_contents : t -> string
 
+(** {1 Sampling (PerfAPI plumbing)} *)
+
+(** Register a host-side sampling callback driven by the machine's
+    deterministic cycle timer: [fn] runs every [period] simulated cycles
+    with the process stopped between two instructions.  It may read
+    registers, memory and counters (and walk the stack) but must not
+    resume the process. *)
+val set_sampler : t -> period:int64 -> (t -> unit) -> unit
+
+val clear_sampler : t -> unit
+
 (**/**)
 
 val successors : t -> int64 -> int64 list

@@ -49,3 +49,70 @@ let p550 = { freq_hz = 1_400_000_000L; cost = default_cost; taken_branch_penalty
 let cycles_to_ns m cycles =
   (* ns = cycles * 1e9 / freq *)
   Int64.div (Int64.mul cycles 1_000_000_000L) m.freq_hz
+
+(* --- hardware performance-monitoring events ------------------------------ *)
+
+(* What a programmable mhpmcounter can be told to count (the P550
+   exposes a similar menu through its mhpmevent selectors).  [Ev_off]
+   is selector 0: the counter holds its value. *)
+type event =
+  | Ev_off
+  | Ev_branch (* conditional branches retired *)
+  | Ev_taken_branch (* conditional branches retired and taken *)
+  | Ev_load (* loads retired (integer and FP) *)
+  | Ev_store (* stores retired (integer and FP) *)
+  | Ev_compressed (* 16-bit (RVC) instructions retired *)
+  | Ev_flush (* fetch/icache flushes (FENCE.I and patching) *)
+
+let all_events =
+  [ Ev_branch; Ev_taken_branch; Ev_load; Ev_store; Ev_compressed; Ev_flush ]
+
+let selector_of_event = function
+  | Ev_off -> 0
+  | Ev_branch -> 1
+  | Ev_taken_branch -> 2
+  | Ev_load -> 3
+  | Ev_store -> 4
+  | Ev_compressed -> 5
+  | Ev_flush -> 6
+
+let event_of_selector = function
+  | 0 -> Some Ev_off
+  | 1 -> Some Ev_branch
+  | 2 -> Some Ev_taken_branch
+  | 3 -> Some Ev_load
+  | 4 -> Some Ev_store
+  | 5 -> Some Ev_compressed
+  | 6 -> Some Ev_flush
+  | _ -> None
+
+let event_name = function
+  | Ev_off -> "off"
+  | Ev_branch -> "branch"
+  | Ev_taken_branch -> "taken-branch"
+  | Ev_load -> "load"
+  | Ev_store -> "store"
+  | Ev_compressed -> "compressed"
+  | Ev_flush -> "flush"
+
+let event_of_name = function
+  | "off" -> Some Ev_off
+  | "branch" -> Some Ev_branch
+  | "taken-branch" | "taken" -> Some Ev_taken_branch
+  | "load" -> Some Ev_load
+  | "store" -> Some Ev_store
+  | "compressed" | "rvc" -> Some Ev_compressed
+  | "flush" -> Some Ev_flush
+  | _ -> None
+
+(* Does the retirement of [insn] (with branch outcome [taken]) count
+   toward [ev]?  [Ev_flush] is counted at flush time, not here. *)
+let counts_event (ev : event) (insn : Riscv.Insn.t) ~(taken : bool) : bool =
+  let open Riscv in
+  match ev with
+  | Ev_off | Ev_flush -> false
+  | Ev_branch -> Op.is_cond_branch insn.Insn.op
+  | Ev_taken_branch -> Op.is_cond_branch insn.Insn.op && taken
+  | Ev_load -> Op.is_load insn.Insn.op
+  | Ev_store -> Op.is_store insn.Insn.op
+  | Ev_compressed -> insn.Insn.len = 2

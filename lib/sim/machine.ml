@@ -22,6 +22,10 @@ type stop =
 
 type ecall_action = Ecall_continue | Ecall_exit of int
 
+(* mhpmcounter3..mhpmcounter3+n_hpm_counters-1, each with a per-counter
+   event selector (see Cost.event) *)
+let n_hpm_counters = 7
+
 type t = {
   regs : int64 array; (* x0..x31; x0 kept 0 *)
   fregs : int64 array; (* raw f0..f31 bits, NaN-boxed for singles *)
@@ -30,11 +34,18 @@ type t = {
   mutable cycles : int64;
   mutable instret : int64;
   mutable fcsr : int;
+  mutable mscratch : int64;
+  hpm : int64 array; (* mhpmcounter3..9 values *)
+  hpm_event : Cost.event array; (* per-counter selectors (mhpmevent3..9) *)
+  mutable hpm_active : bool; (* any selector non-off: count on retire *)
   mutable reservation : int64 option;
   mutable code_regions : region list;
   mutable last_region : region option;
   mutable on_ecall : t -> ecall_action;
   mutable trace : (int64 -> Insn.t -> unit) option;
+  mutable timer_period : int64; (* sampling timer; 0 = disarmed *)
+  mutable timer_deadline : int64; (* cycle count of the next firing *)
+  mutable on_timer : (t -> unit) option;
   model : Cost.model;
 }
 
@@ -47,11 +58,18 @@ let create ?(model = Cost.p550) () =
     cycles = 0L;
     instret = 0L;
     fcsr = 0;
+    mscratch = 0L;
+    hpm = Array.make n_hpm_counters 0L;
+    hpm_event = Array.make n_hpm_counters Cost.Ev_off;
+    hpm_active = false;
     reservation = None;
     code_regions = [];
     last_region = None;
     on_ecall = (fun _ -> Ecall_exit 127) (* no OS attached *);
     trace = None;
+    timer_period = 0L;
+    timer_deadline = 0L;
+    on_timer = None;
     model;
   }
 
@@ -66,9 +84,16 @@ let add_code_region t ~base ~size =
   t.code_regions <- region :: t.code_regions;
   region
 
+let bump_hpm_event t ev =
+  if t.hpm_active then
+    for k = 0 to n_hpm_counters - 1 do
+      if t.hpm_event.(k) = ev then t.hpm.(k) <- Int64.add t.hpm.(k) 1L
+    done
+
 let flush_icache t =
   List.iter (fun r -> Array.fill r.slots 0 (Array.length r.slots) None) t.code_regions;
-  t.last_region <- None
+  t.last_region <- None;
+  bump_hpm_event t Cost.Ev_flush
 
 let in_region r (pc : int64) =
   Int64.compare pc r.r_base >= 0
@@ -127,21 +152,67 @@ let write_f64 t r f = t.fregs.(r) <- Fpu.bits_of_f64 f
 
 (* --- CSRs ---------------------------------------------------------------- *)
 
-let csr_read t = function
+(* Unimplemented CSR numbers raise (and the interpreter converts the
+   exception into an illegal-instruction [Fault] at the faulting pc)
+   instead of reading 0 / dropping the write: a profiler that programs
+   the wrong counter must fail loudly, not read garbage. *)
+exception Illegal_csr of int
+
+(* mhpmcounter3..9 (0xB03..0xB09), user read-only aliases hpmcounter3..9
+   (0xC03..0xC09), selectors mhpmevent3..9 (0x323..0x329) *)
+let hpm_index base csr =
+  let k = csr - base in
+  if k >= 0 && k < n_hpm_counters then Some k else None
+
+let csr_read t csr =
+  match csr with
   | 0x001 -> Int64.of_int (t.fcsr land 0x1F) (* fflags *)
   | 0x002 -> Int64.of_int ((t.fcsr lsr 5) land 0x7) (* frm *)
   | 0x003 -> Int64.of_int t.fcsr
-  | 0xC00 -> t.cycles (* cycle *)
+  | 0x340 -> t.mscratch
+  | 0xC00 | 0xB00 -> t.cycles (* cycle / mcycle *)
   | 0xC01 -> Cost.cycles_to_ns t.model t.cycles (* time, as ns *)
-  | 0xC02 -> t.instret
-  | _ -> 0L
+  | 0xC02 | 0xB02 -> t.instret (* instret / minstret *)
+  | _ -> (
+      match hpm_index 0xC03 csr with
+      | Some k -> t.hpm.(k)
+      | None -> (
+          match hpm_index 0xB03 csr with
+          | Some k -> t.hpm.(k)
+          | None -> (
+              match hpm_index 0x323 csr with
+              | Some k -> Int64.of_int (Cost.selector_of_event t.hpm_event.(k))
+              | None -> raise (Illegal_csr csr))))
+
+let refresh_hpm_active t =
+  t.hpm_active <- Array.exists (fun e -> e <> Cost.Ev_off) t.hpm_event
 
 let csr_write t csr v =
   match csr with
   | 0x001 -> t.fcsr <- (t.fcsr land lnot 0x1F) lor (Int64.to_int v land 0x1F)
   | 0x002 -> t.fcsr <- (t.fcsr land 0x1F) lor ((Int64.to_int v land 0x7) lsl 5)
   | 0x003 -> t.fcsr <- Int64.to_int v land 0xFF
-  | _ -> () (* read-only / unimplemented CSRs ignore writes *)
+  | 0x340 -> t.mscratch <- v
+  | 0xB00 -> t.cycles <- v
+  | 0xB02 -> t.instret <- v
+  (* user-mode counter aliases are read-only; writes are ignored (our
+     single-privilege machine has no lower mode to trap them into) *)
+  | 0xC00 | 0xC01 | 0xC02 -> ()
+  | _ -> (
+      match hpm_index 0xC03 csr with
+      | Some _ -> ()
+      | None -> (
+          match hpm_index 0xB03 csr with
+          | Some k -> t.hpm.(k) <- v
+          | None -> (
+              match hpm_index 0x323 csr with
+              | Some k -> (
+                  match Cost.event_of_selector (Int64.to_int v) with
+                  | Some ev ->
+                      t.hpm_event.(k) <- ev;
+                      refresh_hpm_active t
+                  | None -> raise (Illegal_csr csr))
+              | None -> raise (Illegal_csr csr))))
 
 (* --- the interpreter ----------------------------------------------------- *)
 
@@ -235,7 +306,8 @@ let exec_step t =
       | Ecall_continue -> ()
       | Ecall_exit code -> raise (Stopped (Exited code)))
   | Op.EBREAK -> raise (Stopped (Ebreak pc))
-  | Op.CSRRW | Op.CSRRS | Op.CSRRC | Op.CSRRWI | Op.CSRRSI | Op.CSRRCI ->
+  | Op.CSRRW | Op.CSRRS | Op.CSRRC | Op.CSRRWI | Op.CSRRSI | Op.CSRRCI -> (
+      try
       let old = csr_read t i.csr in
       let operand =
         match i.op with
@@ -248,6 +320,8 @@ let exec_step t =
           if i.rs1 <> 0 then csr_write t i.csr (Int64.logor old operand)
       | _ -> if i.rs1 <> 0 then csr_write t i.csr (Int64.logand old (Int64.lognot operand)));
       wr old
+      with Illegal_csr csr ->
+        fault (Printf.sprintf "illegal csr 0x%x" csr) pc)
   | Op.MUL -> wr (Int64.mul (rs1 ()) (rs2 ()))
   | Op.MULH -> wr (mulh (rs1 ()) (rs2 ()))
   | Op.MULHSU -> wr (mulhsu (rs1 ()) (rs2 ()))
@@ -458,9 +532,39 @@ let exec_step t =
       fault (Printf.sprintf "unimplemented op %s" (Op.mnemonic op)) pc);
   t.pc <- !mut_pc;
   t.instret <- Int64.add t.instret 1L;
+  if t.hpm_active then
+    for k = 0 to n_hpm_counters - 1 do
+      if Cost.counts_event t.hpm_event.(k) i ~taken:!taken then
+        t.hpm.(k) <- Int64.add t.hpm.(k) 1L
+    done;
   let c = t.model.Cost.cost i.op in
   let c = if !taken then c + t.model.Cost.taken_branch_penalty else c in
-  t.cycles <- Int64.add t.cycles (Int64.of_int c)
+  t.cycles <- Int64.add t.cycles (Int64.of_int c);
+  (* the deterministic sampling timer: fires between retired
+     instructions, once per deadline crossing *)
+  if Int64.compare t.timer_period 0L > 0
+     && Int64.compare t.cycles t.timer_deadline >= 0
+  then begin
+    (match t.on_timer with Some f -> f t | None -> ());
+    (* re-arm relative to *current* cycles (the hook may charge a
+       sample cost), so the period is honored even after a long-latency
+       instruction overshoots the deadline *)
+    if Int64.compare t.timer_period 0L > 0 then
+      t.timer_deadline <- Int64.add t.cycles t.timer_period
+  end
+
+(* Arm the cycle-based sampling timer: [fn] runs between instructions
+   every [period] simulated cycles (ProcControlAPI plumbs this to
+   PerfAPI's sample hook). *)
+let set_timer t ~period fn =
+  if Int64.compare period 0L <= 0 then invalid_arg "Machine.set_timer: period";
+  t.timer_period <- period;
+  t.timer_deadline <- Int64.add t.cycles period;
+  t.on_timer <- Some fn
+
+let clear_timer t =
+  t.timer_period <- 0L;
+  t.on_timer <- None
 
 (* Single step; returns [None] if the machine can continue. *)
 let step t : stop option =

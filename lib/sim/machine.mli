@@ -21,6 +21,9 @@ type stop =
 
 type ecall_action = Ecall_continue | Ecall_exit of int
 
+(** Number of programmable HPM counters (mhpmcounter3..9). *)
+val n_hpm_counters : int
+
 type t = {
   regs : int64 array;  (** x0..x31; x0 kept 0 *)
   fregs : int64 array;  (** raw f0..f31 bits, NaN-boxed singles *)
@@ -29,11 +32,18 @@ type t = {
   mutable cycles : int64;  (** simulated cycles per the cost model *)
   mutable instret : int64;
   mutable fcsr : int;
+  mutable mscratch : int64;
+  hpm : int64 array;  (** mhpmcounter3..9 values *)
+  hpm_event : Cost.event array;  (** per-counter selectors (mhpmevent3..9) *)
+  mutable hpm_active : bool;
   mutable reservation : int64 option;  (** LR/SC reservation *)
   mutable code_regions : region list;
   mutable last_region : region option;
   mutable on_ecall : t -> ecall_action;  (** the attached OS *)
   mutable trace : (int64 -> Riscv.Insn.t -> unit) option;
+  mutable timer_period : int64;  (** sampling timer; 0 = disarmed *)
+  mutable timer_deadline : int64;
+  mutable on_timer : (t -> unit) option;
   model : Cost.model;
 }
 
@@ -49,8 +59,25 @@ val add_code_region : t -> base:int64 -> size:int -> region
 (** Drop all cached decodes (FENCE.I semantics; call after patching). *)
 val flush_icache : t -> unit
 
+(** Raised by {!csr_read}/{!csr_write} for unimplemented CSR numbers or
+    invalid selector values; the interpreter converts it into an
+    illegal-instruction [Fault] at the executing pc. *)
+exception Illegal_csr of int
+
+(** Implemented CSRs: fflags/frm/fcsr (0x001..0x003), mscratch (0x340),
+    cycle/time/instret (0xC00..0xC02, read-only), hpmcounter3..9
+    (0xC03.., read-only), mcycle/minstret (0xB00/0xB02),
+    mhpmcounter3..9 (0xB03..), mhpmevent3..9 (0x323.., values are
+    {!Cost.event} selectors). *)
 val csr_read : t -> int -> int64
+
 val csr_write : t -> int -> int64 -> unit
+
+(** Arm the deterministic cycle-based sampling timer: [fn] runs between
+    retired instructions every [period] simulated cycles. *)
+val set_timer : t -> period:int64 -> (t -> unit) -> unit
+
+val clear_timer : t -> unit
 
 (** Execute one instruction; [Some stop] if the machine cannot continue. *)
 val step : t -> stop option

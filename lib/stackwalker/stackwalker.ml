@@ -185,7 +185,8 @@ let initial_frame (w : walker) (ctx : context) : frame =
     fr_stepper = "";
   }
 
-let walk ?(max_frames = 64) (w : walker) (ctx : context) : frame list =
+let walk_with ~(steppers : stepper list) ?(max_frames = 64) (w : walker)
+    (ctx : context) : frame list =
   let rec go fr acc n =
     if n >= max_frames then List.rev (fr :: acc)
     else
@@ -195,7 +196,7 @@ let walk ?(max_frames = 64) (w : walker) (ctx : context) : frame list =
             match st.st_step w ctx ~index:n fr with
             | Some f -> Some (st.st_name, f)
             | None -> None)
-          w.steppers
+          steppers
       in
       match next with
       | None -> List.rev (fr :: acc)
@@ -203,8 +204,28 @@ let walk ?(max_frames = 64) (w : walker) (ctx : context) : frame list =
   in
   go (initial_frame w ctx) [] 0
 
+let walk ?max_frames (w : walker) (ctx : context) : frame list =
+  walk_with ~steppers:w.steppers ?max_frames w ctx
+
+(* The sampling-profiler unwind path: try the O(1) frame-pointer chain
+   before the per-frame stack-height analysis.  From an arbitrary
+   mid-function pc the fp chain either works immediately (fp-compiled
+   code) or refuses cheaply (fp <= sp, or no valid saved ra), in which
+   case the analysis stepper — valid at any pc for which a stack height
+   is known, including prologues, epilogues and leaves — takes over.
+   Custom registered steppers keep their priority in both orders. *)
+let fast_walk ?max_frames (w : walker) (ctx : context) : frame list =
+  let customs =
+    List.filter (fun st -> st != analysis_stepper && st != fp_stepper) w.steppers
+  in
+  walk_with ~steppers:(customs @ [ fp_stepper; analysis_stepper ]) ?max_frames
+    w ctx
+
 let walk_machine ?max_frames w (m : Rvsim.Machine.t) =
   walk ?max_frames w (context_of_machine m)
+
+let fast_walk_machine ?max_frames w (m : Rvsim.Machine.t) =
+  fast_walk ?max_frames w (context_of_machine m)
 
 let pp_frame fmt fr =
   Format.fprintf fmt "%s at 0x%Lx (sp=0x%Lx)%s"

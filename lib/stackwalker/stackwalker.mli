@@ -60,7 +60,16 @@ val register_stepper : walker -> stepper -> unit
 (** Walk from the context's pc/sp until no stepper can continue. *)
 val walk : ?max_frames:int -> walker -> context -> frame list
 
+(** The sampling-profiler unwind path: frame-pointer chain first (O(1)
+    per frame), stack-height analysis as the fallback — usable from
+    arbitrary mid-function pcs (prologue, epilogue, leaf).  Registered
+    custom steppers keep the highest priority. *)
+val fast_walk : ?max_frames:int -> walker -> context -> frame list
+
 val walk_machine : ?max_frames:int -> walker -> Rvsim.Machine.t -> frame list
+
+val fast_walk_machine :
+  ?max_frames:int -> walker -> Rvsim.Machine.t -> frame list
 val pp_frame : Format.formatter -> frame -> unit
 
 (**/**)

@@ -1,0 +1,40 @@
+(* Shared address -> symbol helpers for trace and profile reporting.
+
+   Every consumer of collected addresses (rvtrace's reports, TraceAPI's
+   analyzers, PerfAPI's flat/CCT/flame output) wants the same mapping:
+   the enclosing function of an arbitrary pc, rendered as "func" at the
+   entry and "func+0x<off>" inside.  Works for any pc inside a parsed
+   block, not just block starts — the sampling profiler interrupts
+   mid-block. *)
+
+open Parse_api
+
+(* The enclosing function of [a]: via the containing block, or (for
+   addresses parsed as entries but not covered by a block, e.g. a
+   not-yet-executed function) the exact-entry match. *)
+let func_of_addr (cfg : Cfg.t) (a : int64) : Cfg.func option =
+  match Cfg.block_containing cfg a with
+  | Some b -> Cfg.func_at cfg b.Cfg.b_func
+  | None -> List.find_opt (fun f -> f.Cfg.f_entry = a) (Cfg.functions cfg)
+
+let func_name (cfg : Cfg.t) (a : int64) : string option =
+  Option.map (fun (f : Cfg.func) -> f.Cfg.f_name) (func_of_addr cfg a)
+
+(* "multiply" at the entry, "multiply+0x24" inside. *)
+let addr_name (cfg : Cfg.t) (a : int64) : string option =
+  match func_of_addr cfg a with
+  | None -> None
+  | Some f ->
+      if Int64.equal f.Cfg.f_entry a then Some f.Cfg.f_name
+      else
+        Some
+          (Printf.sprintf "%s+0x%Lx" f.Cfg.f_name (Int64.sub a f.Cfg.f_entry))
+
+(* Always renders something: the symbolized name or the raw address. *)
+let string_of_addr (cfg : Cfg.t) (a : int64) : string =
+  match addr_name cfg a with
+  | Some n -> n
+  | None -> Printf.sprintf "0x%Lx" a
+
+let pp_addr (cfg : Cfg.t) fmt (a : int64) =
+  Format.pp_print_string fmt (string_of_addr cfg a)

@@ -1,0 +1,90 @@
+(* Toolkit self-telemetry: named wall-clock spans and counters over the
+   parse -> analyze -> codegen -> rewrite pipeline, surfaced by the
+   CLIs' --stats flag.
+
+   Global and intentionally tiny: instrumented code calls [span]
+   unconditionally; until [enable] is called the overhead is one branch,
+   so hot paths can stay instrumented in production.  Span times
+   accumulate across calls (a label's row reports total ns and call
+   count), nested spans each record their own wall time. *)
+
+type entry = {
+  mutable ns : int64; (* accumulated nanoseconds *)
+  mutable calls : int;
+}
+
+let enabled = ref false
+let spans : (string, entry) Hashtbl.t = Hashtbl.create 16
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref [] (* first-use order, for the report *)
+
+let enable () = enabled := true
+let disable () = enabled := false
+
+let reset () =
+  Hashtbl.reset spans;
+  Hashtbl.reset counters;
+  order := []
+
+let note label =
+  if not (List.mem label !order) then order := label :: !order
+
+let entry_of label =
+  match Hashtbl.find_opt spans label with
+  | Some e -> e
+  | None ->
+      let e = { ns = 0L; calls = 0 } in
+      Hashtbl.replace spans label e;
+      note label;
+      e
+
+(* Time [f] under [label]; transparent to exceptions. *)
+let span label f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let dt = Unix.gettimeofday () -. t0 in
+      let e = entry_of label in
+      e.ns <- Int64.add e.ns (Int64.of_float (dt *. 1e9));
+      e.calls <- e.calls + 1
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception exn ->
+        finish ();
+        raise exn
+  end
+
+let incr ?(by = 1) label =
+  if !enabled then begin
+    match Hashtbl.find_opt counters label with
+    | Some r -> r := !r + by
+    | None ->
+        Hashtbl.replace counters label (ref by);
+        note label
+  end
+
+let pp fmt () =
+  if Hashtbl.length spans = 0 && Hashtbl.length counters = 0 then
+    Format.fprintf fmt "stats: (none recorded)@\n"
+  else begin
+    Format.fprintf fmt "== toolkit stats ==@\n";
+    List.iter
+      (fun label ->
+        (match Hashtbl.find_opt spans label with
+        | Some e ->
+            Format.fprintf fmt "  %-24s %10.3f ms  (%d call%s)@\n" label
+              (Int64.to_float e.ns /. 1e6)
+              e.calls
+              (if e.calls = 1 then "" else "s")
+        | None -> ());
+        match Hashtbl.find_opt counters label with
+        | Some r -> Format.fprintf fmt "  %-24s %10d@\n" label !r
+        | None -> ())
+      (List.rev !order)
+  end
+
+let report () = Format.printf "%a@?" pp ()

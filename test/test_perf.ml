@@ -1,0 +1,234 @@
+(* PerfAPI tests: CCT construction and queries, HPM event plumbing, the
+   sampling profiler end-to-end under rvsim, folded flame-graph output,
+   and cross-validation of "hottest function" against TraceAPI's
+   coverage and call-tree analyzers. *)
+
+module P = Perf_api
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+let checks = Alcotest.(check string)
+
+(* --- CCT ------------------------------------------------------------------- *)
+
+let test_cct_basic () =
+  let t = P.Cct.create () in
+  P.Cct.add_path t [ "main"; "f" ] ~cycles:10L ~hpm:[||];
+  P.Cct.add_path t [ "main"; "f" ] ~cycles:5L ~hpm:[||];
+  P.Cct.add_path t [ "main"; "g" ] ~cycles:1L ~hpm:[||];
+  P.Cct.add_path t [ "main" ] ~cycles:2L ~hpm:[||];
+  checki "total samples" 4 t.P.Cct.n_samples;
+  checki "root inclusive" 4 (P.Cct.inclusive_samples t.P.Cct.root);
+  let main = Hashtbl.find t.P.Cct.root.P.Cct.cn_children "main" in
+  checki "main inclusive" 4 (P.Cct.inclusive_samples main);
+  checki "main exclusive" 1 main.P.Cct.cn_samples;
+  let f = Hashtbl.find main.P.Cct.cn_children "f" in
+  checki "f samples" 2 f.P.Cct.cn_samples;
+  check64 "f cycles" 15L f.P.Cct.cn_cycles
+
+let test_cct_folded () =
+  let t = P.Cct.create () in
+  P.Cct.add_path t [ "a"; "b"; "c" ] ~cycles:0L ~hpm:[||];
+  P.Cct.add_path t [ "a"; "b"; "c" ] ~cycles:0L ~hpm:[||];
+  P.Cct.add_path t [ "a"; "b" ] ~cycles:0L ~hpm:[||];
+  let folded = P.Cct.folded t in
+  checkb "a;b;c twice" true (List.mem ("a;b;c", 2) folded);
+  checkb "a;b once" true (List.mem ("a;b", 1) folded);
+  (* only nodes with exclusive samples appear *)
+  checkb "no bare a" true (not (List.mem_assoc "a" folded))
+
+let test_cct_flat_recursion () =
+  (* fib-style recursion: inclusive must count each function once per
+     path, not once per frame *)
+  let t = P.Cct.create () in
+  P.Cct.add_path t [ "main"; "fib"; "fib"; "fib" ] ~cycles:1L ~hpm:[||];
+  P.Cct.add_path t [ "main"; "fib"; "fib" ] ~cycles:1L ~hpm:[||];
+  let rows = P.Cct.flat t in
+  let fib = List.find (fun r -> r.P.Cct.fl_name = "fib") rows in
+  checki "fib exclusive" 2 fib.P.Cct.fl_excl;
+  checki "fib inclusive (not double-counted)" 2 fib.P.Cct.fl_incl;
+  let main = List.find (fun r -> r.P.Cct.fl_name = "main") rows in
+  checki "main exclusive" 0 main.P.Cct.fl_excl;
+  checki "main inclusive" 2 main.P.Cct.fl_incl
+
+let test_cct_hottest () =
+  let t = P.Cct.create () in
+  P.Cct.add_path t [ "main"; "hot" ] ~cycles:0L ~hpm:[||];
+  P.Cct.add_path t [ "main"; "hot" ] ~cycles:0L ~hpm:[||];
+  P.Cct.add_path t [ "main"; "cold" ] ~cycles:0L ~hpm:[||];
+  match P.Cct.hottest t with
+  | Some name -> checks "hottest" "hot" name
+  | None -> Alcotest.fail "no hottest"
+
+(* --- events ----------------------------------------------------------------- *)
+
+let test_events_parse () =
+  (match P.Events.parse "branch,load" with
+  | Ok [ Rvsim.Cost.Ev_branch; Rvsim.Cost.Ev_load ] -> ()
+  | Ok _ -> Alcotest.fail "wrong events"
+  | Error e -> Alcotest.fail e);
+  (match P.Events.parse "taken,rvc" with
+  | Ok [ Rvsim.Cost.Ev_taken_branch; Rvsim.Cost.Ev_compressed ] -> ()
+  | Ok _ -> Alcotest.fail "aliases wrong"
+  | Error e -> Alcotest.fail e);
+  match P.Events.parse "nonsense" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ()
+
+let test_events_program_and_read () =
+  let m = Rvsim.Machine.create () in
+  let evs = [ Rvsim.Cost.Ev_branch; Rvsim.Cost.Ev_store ] in
+  P.Events.program m evs;
+  (* selectors visible through csr_read *)
+  check64 "mhpmevent3 = branch" 1L (Rvsim.Machine.csr_read m 0x323);
+  check64 "mhpmevent4 = store" 4L (Rvsim.Machine.csr_read m 0x324);
+  check64 "mhpmevent5 off" 0L (Rvsim.Machine.csr_read m 0x325);
+  let snap = P.Events.read m evs in
+  checki "snapshot arity" 2 (Array.length snap)
+
+(* --- the profiler end-to-end ------------------------------------------------ *)
+
+let matmul = lazy (Core.open_image
+    (Minicc.Driver.compile (Minicc.Programs.matmul ~n:12 ~reps:2)).Minicc.Driver.image)
+
+let profile ?(period = 500L) () =
+  let config = { P.Profiler.default_config with P.Profiler.period } in
+  P.Profiler.profile ~config (Lazy.force matmul)
+
+let test_profile_samples () =
+  let r = profile () in
+  (match r.P.Profiler.r_stop with
+  | Rvsim.Machine.Exited 0 -> ()
+  | s -> Alcotest.failf "mutatee failed: %a" Rvsim.Machine.pp_stop s);
+  checkb
+    (Printf.sprintf "many samples (%d)" r.P.Profiler.r_n_samples)
+    true
+    (r.P.Profiler.r_n_samples >= 20);
+  checki "cct total = n_samples" r.P.Profiler.r_n_samples
+    r.P.Profiler.r_cct.P.Cct.n_samples;
+  checki "raw samples kept" r.P.Profiler.r_n_samples
+    (List.length r.P.Profiler.r_samples);
+  (* every sample's path is rooted in the program entry *)
+  List.iter
+    (fun s ->
+      match s.P.Sample.s_path with
+      | root :: _ -> checks "rooted at _start" "_start" root
+      | [] -> Alcotest.fail "empty path")
+    r.P.Profiler.r_samples
+
+let test_profile_hottest_is_multiply () =
+  let r = profile () in
+  match P.Profiler.hottest r with
+  | Some name -> checks "hottest function" "multiply" name
+  | None -> Alcotest.fail "no samples"
+
+let test_profile_deterministic () =
+  (* the simulator clock drives sampling: identical runs, identical CCTs *)
+  let r1 = profile () and r2 = profile () in
+  checki "same sample count" r1.P.Profiler.r_n_samples r2.P.Profiler.r_n_samples;
+  check64 "same elapsed cycles" r1.P.Profiler.r_elapsed_cycles
+    r2.P.Profiler.r_elapsed_cycles;
+  Alcotest.(check (list (pair string int)))
+    "same folded stacks"
+    (P.Cct.folded r1.P.Profiler.r_cct)
+    (P.Cct.folded r2.P.Profiler.r_cct)
+
+let test_profile_hpm_deltas_sum () =
+  (* per-sample HPM deltas must sum to the final counter totals *)
+  let r = profile () in
+  let n = List.length r.P.Profiler.r_events in
+  let sums = Array.make n 0L in
+  List.iter
+    (fun s ->
+      Array.iteri
+        (fun i d -> sums.(i) <- Int64.add sums.(i) d)
+        s.P.Sample.s_hpm)
+    r.P.Profiler.r_samples;
+  Array.iteri
+    (fun i total ->
+      checkb
+        (Printf.sprintf "event %d: sum of deltas (%Ld) <= total (%Ld)" i
+           sums.(i) total)
+        true
+        (Int64.compare sums.(i) total <= 0))
+    r.P.Profiler.r_hpm_totals;
+  (* and the totals are non-trivial: matmul certainly loads and branches *)
+  checkb "some events counted" true
+    (Array.exists (fun v -> Int64.compare v 0L > 0) r.P.Profiler.r_hpm_totals)
+
+let test_sampling_cost_charged () =
+  (* the same workload profiled at a faster period must observe more
+     elapsed cycles: each sample charges sample_cost to the mutatee *)
+  let slow = profile ~period:5_000L () in
+  let fast = profile ~period:200L () in
+  checkb "faster sampling, more samples" true
+    (fast.P.Profiler.r_n_samples > slow.P.Profiler.r_n_samples);
+  checkb "faster sampling, more observed cycles" true
+    (Int64.compare fast.P.Profiler.r_elapsed_cycles
+       slow.P.Profiler.r_elapsed_cycles
+    > 0)
+
+let test_folded_output () =
+  let r = profile () in
+  let text = P.Report.folded_string r in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  checkb "has lines" true (lines <> []);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "malformed folded line: %s" line
+      | Some i ->
+          let count = String.sub line (i + 1) (String.length line - i - 1) in
+          checkb
+            (Printf.sprintf "count is numeric: %s" line)
+            true
+            (int_of_string_opt count <> None);
+          let path = String.sub line 0 i in
+          checkb "path starts at _start" true
+            (String.length path >= 6 && String.sub path 0 6 = "_start"))
+    lines
+
+(* --- cross-validation against TraceAPI -------------------------------------- *)
+
+let test_validate_against_trace () =
+  let v = P.Validate.validate (Lazy.force matmul) in
+  let checko label = Alcotest.(check (option string)) label (Some "multiply") in
+  checko "profiler hottest" v.P.Validate.v_prof_hottest;
+  checko "coverage hottest" v.P.Validate.v_coverage_hottest;
+  checko "calltree hottest" v.P.Validate.v_calltree_hottest;
+  checkb "analyzers agree" true v.P.Validate.v_agree;
+  checkb "trace saw records" true (v.P.Validate.v_n_records > 0)
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "cct",
+        [
+          Alcotest.test_case "add/query" `Quick test_cct_basic;
+          Alcotest.test_case "folded stacks" `Quick test_cct_folded;
+          Alcotest.test_case "flat with recursion" `Quick test_cct_flat_recursion;
+          Alcotest.test_case "hottest" `Quick test_cct_hottest;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "parse" `Quick test_events_parse;
+          Alcotest.test_case "program + read" `Quick test_events_program_and_read;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "collects samples" `Quick test_profile_samples;
+          Alcotest.test_case "hottest is multiply" `Quick
+            test_profile_hottest_is_multiply;
+          Alcotest.test_case "deterministic" `Quick test_profile_deterministic;
+          Alcotest.test_case "hpm deltas" `Quick test_profile_hpm_deltas_sum;
+          Alcotest.test_case "sampling cost charged" `Quick
+            test_sampling_cost_charged;
+          Alcotest.test_case "folded output" `Quick test_folded_output;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "agrees with TraceAPI" `Quick
+            test_validate_against_trace;
+        ] );
+    ]

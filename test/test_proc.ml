@@ -346,6 +346,148 @@ let test_fp_stepper () =
   let first = List.hd frames in
   Alcotest.(check string) "stepper used" "frame-pointer" first.Sw.fr_stepper
 
+(* --- unwinding from arbitrary mid-function pcs (PerfAPI's sampling path) --- *)
+
+let test_walk_every_step_of_baz () =
+  (* single-step through baz — mid-prologue, body, epilogue, the ret
+     itself — and require the full caller chain at every stop.  This is
+     exactly what the sampling profiler does: unwind from whatever pc
+     the timer happened to land on. *)
+  let img = compile nested_src in
+  let b = Core.open_image img in
+  let p = launch img in
+  let baz = fn_addr nested_src "baz" in
+  insert_breakpoint p baz;
+  (match continue_ p with
+  | Ev_breakpoint _ -> ()
+  | _ -> Alcotest.fail "no breakpoint");
+  remove_breakpoint p baz;
+  let w = Core.walker b in
+  let stops = ref 0 in
+  let in_baz pc = pc >= baz && Int64.compare pc (Int64.add baz 64L) < 0 in
+  let rec go () =
+    let pc = get_pc p in
+    let names =
+      List.filter_map (fun f -> f.Sw.fr_func) (Sw.fast_walk_machine w (machine p))
+    in
+    (match names with
+    | "baz" :: "bar" :: "foo" :: "main" :: _ -> ()
+    | _ ->
+        Alcotest.failf "bad stack at baz+%Ld: [%s]" (Int64.sub pc baz)
+          (String.concat "," names));
+    incr stops;
+    match step p with
+    | Ev_breakpoint _ when in_baz (get_pc p) -> go ()
+    | _ -> ()
+  in
+  go ();
+  checkb (Printf.sprintf "covered several pcs (%d)" !stops) true (!stops >= 3)
+
+let test_walk_epilogue () =
+  (* stop on baz's return instruction: ra and sp are already restored,
+     so the frame looks like a leaf again *)
+  let img = compile nested_src in
+  let b = Core.open_image img in
+  let p = launch img in
+  let exits = Core.at_exits b "baz" in
+  checkb "baz has an exit point" true (exits <> []);
+  let ret_pc = (List.hd exits).Patch_api.Point.p_addr in
+  insert_breakpoint p ret_pc;
+  (match continue_ p with
+  | Ev_breakpoint _ -> ()
+  | _ -> Alcotest.fail "no breakpoint");
+  let names =
+    List.filter_map (fun f -> f.Sw.fr_func)
+      (Sw.fast_walk_machine (Core.walker b) (machine p))
+  in
+  checkb
+    (Printf.sprintf "epilogue walk ok (got %s)" (String.concat "," names))
+    true
+    (match names with "baz" :: "bar" :: "foo" :: "main" :: _ -> true | _ -> false)
+
+let test_walk_frameless_leaf () =
+  (* a hand-written leaf that never touches sp: any sample landing in it
+     must still see the caller through ra *)
+  let open Asm in
+  let text_base = 0x10000L in
+  let items =
+    [
+      Label "main";
+      Insn (Build.addi Reg.sp Reg.sp (-16));
+      Insn (Build.sd Reg.ra 8 Reg.sp);
+      Call_l "leaf";
+      Insn (Build.ld Reg.ra 8 Reg.sp);
+      Insn (Build.addi Reg.sp Reg.sp 16);
+      Insn Build.ebreak;
+      Label "leaf";
+      Insn (Build.addi Reg.a0 Reg.a0 1);
+      Insn Build.ebreak (* "sample" lands mid-leaf *);
+      Insn (Build.addi Reg.a0 Reg.a0 2);
+      Insn Build.ret;
+    ]
+  in
+  let r = Asm.assemble ~base:text_base items in
+  let img =
+    Elfkit.Types.image ~entry:text_base
+      ~symbols:
+        [
+          Elfkit.Types.symbol "main" text_base ~sym_section:".text";
+          Elfkit.Types.symbol "leaf" (Asm.label_addr r "leaf")
+            ~sym_section:".text";
+        ]
+      [
+        Elfkit.Types.section ".text" r.Asm.code ~s_addr:text_base
+          ~s_flags:Elfkit.Types.(shf_alloc lor shf_execinstr);
+      ]
+  in
+  let b = Core.open_image img in
+  let proc = Rvsim.Loader.load img in
+  (match Rvsim.Machine.run proc.Rvsim.Loader.machine with
+  | Rvsim.Machine.Ebreak _ -> ()
+  | s -> Alcotest.failf "expected ebreak, got %a" Rvsim.Machine.pp_stop s);
+  let names =
+    List.filter_map
+      (fun f -> f.Sw.fr_func)
+      (Sw.fast_walk_machine (Core.walker b) proc.Rvsim.Loader.machine)
+  in
+  checkb
+    (Printf.sprintf "leaf walk ok (got %s)" (String.concat "," names))
+    true
+    (match names with "leaf" :: "main" :: _ -> true | _ -> false)
+
+let test_fast_walk_agrees () =
+  (* the fp-first fast path must agree with the default stepper order *)
+  let img = compile nested_src in
+  let b = Core.open_image img in
+  let p = launch img in
+  let baz = fn_addr nested_src "baz" in
+  insert_breakpoint p (Int64.add baz 12L);
+  (match continue_ p with
+  | Ev_breakpoint _ -> ()
+  | _ -> Alcotest.fail "no breakpoint");
+  let names walk = List.filter_map (fun f -> f.Sw.fr_func) walk in
+  let w = Core.walker b in
+  let slow = names (Sw.walk_machine w (machine p)) in
+  let fast = names (Sw.fast_walk_machine w (machine p)) in
+  checkb "non-empty" true (slow <> []);
+  Alcotest.(check (list string)) "fast_walk agrees with walk" slow fast
+
+(* --- the sampling hook (PerfAPI's entry point into ProcControl) ----------- *)
+
+let test_sampler_callback () =
+  let img = compile nested_src in
+  let p = launch img in
+  let samples = ref [] in
+  set_sampler p ~period:50L (fun p -> samples := get_pc p :: !samples);
+  (match continue_ p with
+  | Ev_exited c -> checki "exit code" 112 c
+  | _ -> Alcotest.fail "expected exit");
+  checkb
+    (Printf.sprintf "sampled at least once (%d)" (List.length !samples))
+    true
+    (!samples <> []);
+  clear_sampler p
+
 let () =
   Alcotest.run "proc"
     [
@@ -374,5 +516,12 @@ let () =
           Alcotest.test_case "at function entry" `Quick test_walk_at_entry;
           Alcotest.test_case "deep recursion" `Quick test_walk_deep_recursion;
           Alcotest.test_case "fp stepper" `Quick test_fp_stepper;
+          Alcotest.test_case "every pc of a callee" `Quick
+            test_walk_every_step_of_baz;
+          Alcotest.test_case "epilogue pc" `Quick test_walk_epilogue;
+          Alcotest.test_case "frameless leaf" `Quick test_walk_frameless_leaf;
+          Alcotest.test_case "fast_walk agrees" `Quick test_fast_walk_agrees;
         ] );
+      ( "sampling",
+        [ Alcotest.test_case "sampler callback" `Quick test_sampler_callback ] );
     ]

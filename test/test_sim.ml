@@ -361,6 +361,174 @@ let test_cycle_accounting () =
   check64 "instret" 3L m.Machine.instret;
   check64 "cycles" 3L m.Machine.cycles
 
+(* --- CSRs, HPM counters and the sampling timer --------------------------- *)
+
+let csrrw rd csr rs1 = Asm.Insn (Riscv.Insn.make ~rd ~rs1 ~csr Op.CSRRW)
+
+let test_illegal_csr_faults () =
+  (* reading an unimplemented CSR must raise an illegal-instruction
+     fault at the executing pc, not silently read 0 *)
+  let open Asm in
+  let items = [ Insn (Build.csrrs Reg.t0 0x7C0 Reg.zero) ] @ exit_with_a0 in
+  let stop, _, _ = run_items items in
+  match stop with
+  | Machine.Fault (msg, pc) ->
+      check64 "faulting pc" text_base pc;
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the csr (%s)" msg)
+        true (contains msg "csr")
+  | s -> Alcotest.failf "expected illegal-csr fault, got %a" Machine.pp_stop s
+
+let test_invalid_selector_faults () =
+  (* writing a selector value outside the implemented event set faults *)
+  let open Asm in
+  let items =
+    [ Insn (Build.addi Reg.t0 Reg.zero 99); csrrw Reg.zero 0x323 Reg.t0 ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  match stop with
+  | Machine.Fault (_, _) -> ()
+  | s -> Alcotest.failf "expected fault, got %a" Machine.pp_stop s
+
+let test_mscratch_roundtrip () =
+  let open Asm in
+  let items =
+    [
+      Li (Reg.t0, 0x1234ABCDL);
+      csrrw Reg.zero 0x340 Reg.t0;
+      Insn (Build.csrrs Reg.a0 0x340 Reg.zero);
+      Li (Reg.t1, 0x1234ABCDL);
+      Insn (Build.sub Reg.a0 Reg.a0 Reg.t1);
+      Insn (Build.snez Reg.a0 Reg.a0);
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "mscratch roundtrip" 0 (exit_code stop)
+
+let test_counter_writes_ignored () =
+  (* the user-mode counter aliases are read-only: writes are dropped,
+     not trapped (the sail spec's CSRRS x0 path writes unconditionally) *)
+  let open Asm in
+  let items =
+    [
+      Li (Reg.t0, 999L);
+      csrrw Reg.zero 0xC00 Reg.t0 (* write to cycle: ignored *);
+      Insn (Build.rdcycle Reg.a0);
+      Insn (Build.sltiu Reg.a0 Reg.a0 900) (* still small -> 1 *);
+      Insn (Build.xori Reg.a0 Reg.a0 1);
+    ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items items in
+  Alcotest.(check int) "cycle unchanged by write" 0 (exit_code stop)
+
+let test_hpm_event_counting () =
+  (* a 10-iteration load/store loop with the four default events
+     programmed: 10 branches (9 taken), 10 loads, 10 stores *)
+  let open Asm in
+  let program sel csr = [ Insn (Build.addi Reg.t4 Reg.zero sel); csrrw Reg.zero csr Reg.t4 ] in
+  let expect csr want tmp =
+    [
+      Insn (Build.csrrs tmp csr Reg.zero);
+      Insn (Build.addi tmp tmp (-want));
+      Insn (Build.snez tmp tmp);
+    ]
+  in
+  let items =
+    program 1 0x323 (* branch    -> mhpmcounter3 *)
+    @ program 2 0x324 (* taken     -> mhpmcounter4 *)
+    @ program 3 0x325 (* load      -> mhpmcounter5 *)
+    @ program 4 0x326 (* store     -> mhpmcounter6 *)
+    @ [
+        Insn (Build.addi Reg.t0 Reg.zero 0);
+        Li (Reg.t2, data_base);
+        Label "loop";
+        Insn (Build.sd Reg.t0 0 Reg.t2);
+        Insn (Build.ld Reg.t3 0 Reg.t2);
+        Insn (Build.addi Reg.t0 Reg.t0 1);
+        Insn (Build.slti Reg.t1 Reg.t0 10);
+        Br (Op.BNE, Reg.t1, Reg.zero, "loop");
+      ]
+    @ expect 0xC03 10 Reg.a2 (* branches retired *)
+    @ expect 0xC04 9 Reg.a3 (* taken back-edges *)
+    @ expect 0xC05 10 Reg.a4 (* loads *)
+    @ expect 0xC06 10 Reg.a5 (* stores *)
+    @ [
+        Insn (Build.or_ Reg.a0 Reg.a2 Reg.a3);
+        Insn (Build.or_ Reg.a0 Reg.a0 Reg.a4);
+        Insn (Build.or_ Reg.a0 Reg.a0 Reg.a5);
+      ]
+    @ exit_with_a0
+  in
+  let stop, _, _ = run_items ~data:(Bytes.create 8) items in
+  Alcotest.(check int) "hpm counts" 0 (exit_code stop)
+
+let test_timer_deterministic () =
+  (* the cycle timer fires every period cycles, deterministically: two
+     identical runs observe the same fire count at the same cycles *)
+  let open Asm in
+  let items =
+    [
+      Insn (Build.addi Reg.t0 Reg.zero 0);
+      Label "loop";
+      Insn (Build.addi Reg.t0 Reg.t0 1);
+      Insn (Build.slti Reg.t1 Reg.t0 500);
+      Br (Op.BNE, Reg.t1, Reg.zero, "loop");
+    ]
+    @ exit_with_a0
+  in
+  let observe () =
+    let p, _ = build_process items in
+    let m = p.Loader.machine in
+    let fires = ref [] in
+    Machine.set_timer m ~period:100L (fun m ->
+        fires := m.Machine.cycles :: !fires);
+    let _ = Machine.run m in
+    (List.rev !fires, m.Machine.cycles)
+  in
+  let fires1, total1 = observe () in
+  let fires2, total2 = observe () in
+  Alcotest.(check (list int64)) "same fire cycles" fires1 fires2;
+  check64 "same total cycles" total1 total2;
+  Alcotest.(check bool)
+    (Printf.sprintf "fired ~cycles/period times (%d fires, %Ld cycles)"
+       (List.length fires1) total1)
+    true
+    (abs (List.length fires1 - Int64.to_int (Int64.div total1 100L)) <= 1);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "fires at or after each deadline" true
+        (Int64.rem c 100L >= 0L))
+    fires1
+
+let test_timer_clear () =
+  let open Asm in
+  let items =
+    [
+      Insn (Build.addi Reg.t0 Reg.zero 0);
+      Label "loop";
+      Insn (Build.addi Reg.t0 Reg.t0 1);
+      Insn (Build.slti Reg.t1 Reg.t0 500);
+      Br (Op.BNE, Reg.t1, Reg.zero, "loop");
+    ]
+    @ exit_with_a0
+  in
+  let p, _ = build_process items in
+  let m = p.Loader.machine in
+  let fires = ref 0 in
+  Machine.set_timer m ~period:50L (fun m ->
+      incr fires;
+      if !fires = 3 then Machine.clear_timer m);
+  let _ = Machine.run m in
+  Alcotest.(check int) "stopped after clear_timer" 3 !fires
+
 let () =
   Alcotest.run "sim"
     [
@@ -384,6 +552,18 @@ let () =
         [
           Alcotest.test_case "write syscall" `Quick test_write_syscall;
           Alcotest.test_case "clock_gettime" `Quick test_clock_gettime_advances;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "illegal csr faults" `Quick test_illegal_csr_faults;
+          Alcotest.test_case "invalid selector faults" `Quick
+            test_invalid_selector_faults;
+          Alcotest.test_case "mscratch roundtrip" `Quick test_mscratch_roundtrip;
+          Alcotest.test_case "counter writes ignored" `Quick
+            test_counter_writes_ignored;
+          Alcotest.test_case "hpm event counting" `Quick test_hpm_event_counting;
+          Alcotest.test_case "timer deterministic" `Quick test_timer_deterministic;
+          Alcotest.test_case "timer clear" `Quick test_timer_clear;
         ] );
       ( "control",
         [
