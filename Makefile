@@ -5,12 +5,17 @@
 #   fmt          check dune-file formatting (no ocamlformat dependency)
 #   bench-smoke  reduced-iteration bench (exercises the instrumentation,
 #                tracing and profiling paths; writes *.smoke.json only)
-#   check        fmt + build + test + bench-smoke — what CI and the PR
-#                driver run
+#   fuzz-smoke   fixed-seed differential fuzz: rvsim vs the Sail IR in
+#                lockstep, the exhaustive RVC decoder sweep, and the
+#                rewrite round-trip on two mutatees.  Deterministic and
+#                sub-second; prints an `rvcheck replay --seed N --index K`
+#                reproducer line on any divergence
+#   check        fmt + build + test + fuzz-smoke + bench-smoke — what CI
+#                and the PR driver run
 #   bench        regenerate the evaluation tables, BENCH_trace.json and
 #                BENCH_prof.json
 
-.PHONY: all build test fmt check bench bench-smoke clean
+.PHONY: all build test fmt check bench bench-smoke fuzz-smoke clean
 
 all: build
 
@@ -26,7 +31,10 @@ fmt:
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 
-check: fmt build test bench-smoke
+fuzz-smoke:
+	dune exec bin/rvcheck.exe -- smoke
+
+check: fmt build test fuzz-smoke bench-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -575,6 +575,36 @@ let bechamel_benches () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* rvcheck lockstep throughput                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Differential-oracle throughput: fuzzed cases checked per second with
+   rvsim and the Sail IR evaluator in lockstep.  A trajectory point for
+   the correctness harness itself — if a semantics change makes the
+   oracle an order of magnitude slower, the fixed fuzz budget in `make
+   fuzz-smoke` quietly stops covering the ISA. *)
+let lockstep_throughput ?(count = 50_000) () =
+  print_endline "\n== rvcheck lockstep throughput ==";
+  let t0 = Sys.time () in
+  let stats = Check_api.Oracle.sweep ~seed:1L ~count () in
+  let dt = Sys.time () -. t0 in
+  Printf.printf
+    "   %d cases in %.2f s (%.0f cases/s): %d agree, %d agreed faults, %d \
+     diverged; %d opcodes, %.1f%% compressed\n"
+    stats.Check_api.Oracle.s_total dt
+    (float_of_int stats.Check_api.Oracle.s_total /. dt)
+    stats.Check_api.Oracle.s_agree stats.Check_api.Oracle.s_agree_fault
+    stats.Check_api.Oracle.s_diverged
+    (List.length stats.Check_api.Oracle.s_ops)
+    (100.
+    *. float_of_int stats.Check_api.Oracle.s_compressed
+    /. float_of_int stats.Check_api.Oracle.s_total);
+  if stats.Check_api.Oracle.s_diverged > 0 then
+    List.iter
+      (fun r -> Printf.printf "   DIVERGED: %s\n" (Check_api.Oracle.reproducer r))
+      stats.Check_api.Oracle.s_divergences
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let flag f = Array.exists (( = ) f) Sys.argv in
@@ -585,6 +615,7 @@ let () =
        committed BENCH_*.json trajectory points *)
     trace_overhead ~json:"BENCH_trace.smoke.json" ();
     prof_overhead ~smoke:true ~json:"BENCH_prof.smoke.json" ();
+    lockstep_throughput ~count:4_000 ();
     print_endline "\nbench: smoke done"
   end
   else begin
@@ -597,6 +628,7 @@ let () =
     parse_speed ();
     figure_flows ();
     figure_components ();
+    lockstep_throughput ();
     if bechamel then bechamel_benches ();
     print_endline "\nbench: done"
   end

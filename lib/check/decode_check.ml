@@ -1,0 +1,96 @@
+(* Exhaustive audit of the RVC (compressed) decoder: all 3 * 2^14
+   16-bit encodings are swept and checked for
+
+     - reserved encodings decoding to None (the all-zero halfword,
+       c.addi4spn with nzuimm=0, c.lui with imm=0 or rd=0, c.jr with
+       rs1=0, c.addiw with rd=0, c.lwsp/c.ldsp/c.slli with rd=0, and
+       the reserved misc-ALU rows);
+     - expansion consistency: the decoded base instruction, re-encoded
+       as its canonical 32-bit word, must decode back to the same
+       semantic fields;
+     - compression consistency: if the compressor accepts the decoded
+       instruction, its output must decode back to the same semantic
+       fields (not necessarily the same bits — e.g. `c.addi x2, 16`
+       and `c.addi16sp 16` are both legal encodings of one ADDI).
+
+   This is the static complement of the lockstep oracle: the oracle
+   executes whatever bytes the fuzzer emits, this sweep proves the
+   decode tables themselves are closed under re-encoding. *)
+
+open Riscv
+
+type violation = { v_word : int; v_msg : string }
+
+(* Semantic fields only: encoding width, raw bits and the unused-for-
+   the-op defaults are not part of instruction identity. *)
+let norm (i : Insn.t) = { i with Insn.raw = 0; len = 4 }
+
+let same a b = norm a = norm b
+
+(* Directed list of reserved/illegal encodings that must not decode;
+   each is (halfword, description). *)
+let reserved_cases =
+  [
+    (0x0000, "all-zero halfword (defined illegal)");
+    (0x0004, "c.addi4spn with nzuimm=0 (reserved)");
+    (0x0008, "c.addi4spn with nzuimm=0, rd'=x10 (reserved)");
+    (0x2001, "c.addiw with rd=0 (reserved)");
+    (0x6101, "c.addi16sp with nzimm=0 (reserved)");
+    (0x6001, "c.lui with rd=0 (reserved)");
+    (0x6281, "c.lui with imm=0 (reserved)");
+    (0x6081, "c.lui with rd=1, imm=0 (reserved)");
+    (0x8002, "c.jr with rs1=0 (reserved)");
+    (0x9C41, "misc-alu reserved row (bit12=1, funct2=2)");
+    (0x9C61, "misc-alu reserved row (bit12=1, funct2=3)");
+    (0x4002, "c.lwsp with rd=0 (reserved)");
+    (0x6002, "c.ldsp with rd=0 (reserved)");
+    (0x0002, "c.slli with rd=0 (hint; rejected here)");
+  ]
+
+let sweep () : int * violation list =
+  let violations = ref [] in
+  let push w msg = violations := { v_word = w; v_msg = msg } :: !violations in
+  let accepted = ref 0 in
+  for w = 0 to 0xFFFF do
+    if w land 0x3 <> 0x3 then
+      match Decode.decode_compressed w with
+      | None -> ()
+      | Some i ->
+          incr accepted;
+          if i.Insn.len <> 2 then push w "decoded with len <> 2";
+          if i.Insn.raw <> w then push w "decoded with wrong raw bits";
+          (* 32-bit expansion round trip *)
+          (match Encode.encode_word { i with Insn.len = 4 } with
+          | exception Encode.Encode_error msg ->
+              push w ("expansion does not encode: " ^ msg)
+          | word -> (
+              match Decode.decode_word word with
+              | None -> push w "expansion does not decode back"
+              | Some j ->
+                  if not (same i j) then
+                    push w
+                      (Printf.sprintf "expansion decodes differently: %s vs %s"
+                         (Insn.to_string i) (Insn.to_string j))));
+          (* re-compression round trip (when the compressor fires) *)
+          (match Encode.compress i with
+          | None -> ()
+          | Some w' -> (
+              match Decode.decode_compressed w' with
+              | None ->
+                  push w (Printf.sprintf "re-compressed to undecodable 0x%04x" w')
+              | Some j ->
+                  if not (same i j) then
+                    push w
+                      (Printf.sprintf
+                         "re-compression 0x%04x decodes differently: %s vs %s" w'
+                         (Insn.to_string i) (Insn.to_string j))))
+  done;
+  List.iter
+    (fun (w, what) ->
+      match Decode.decode_compressed w with
+      | None -> ()
+      | Some i ->
+          push w
+            (Printf.sprintf "%s decodes as %s" what (Insn.to_string i)))
+    reserved_cases;
+  (!accepted, List.rev !violations)

@@ -1,0 +1,274 @@
+(* Seeded adversarial instruction generator for the rvcheck lockstep
+   oracle.
+
+   Each case is a pure function of (seed, index): one decodable RV64GC
+   (+Zba/Zbb) instruction plus the machine state it executes in.  The
+   generator is deliberately adversarial where the QCheck agreement
+   property in test_sail is polite:
+
+     - boundary immediates (min/max of every field, zero, ±1)
+     - boundary register values (0, ±1, int64 min/max, 2^31, 2^32)
+     - writes to x0, x0 as a base register, rd = rs1 aliasing
+     - compressed/uncompressed mixes (the bytes in memory are the RVC
+       form whenever one exists and the dice say so)
+     - sp-relative forms and the compressed 3-bit register window
+     - out-of-range addresses, so both semantics must *fault* the same
+       way, not just compute the same way
+
+   The simulator fetches and decodes the raw bytes itself; the oracle
+   feeds the decoded instruction to the Sail evaluator, so the encoder
+   and decoder sit inside the tested loop. *)
+
+open Riscv
+
+type case = {
+  c_seed : int64;
+  c_index : int;
+  c_pc : int64;
+  c_insn : Insn.t; (* as generated, before encode/decode round trip *)
+  c_bytes : Bytes.t; (* encoding executed by the machine (2 or 4 bytes) *)
+  c_regs : int64 array; (* x0..x31 initial values *)
+  c_fregs : int64 array;
+  c_fcsr : int;
+  c_reservation : int64 option;
+}
+
+(* Window of simulated memory seeded with a nonzero pattern; register
+   values aimed here make loads observe data and stores land where the
+   oracle diffs pages. *)
+let mem_lo = 0x1000
+let mem_hi = 0x3000
+
+let ops =
+  List.filter_map
+    (fun (op, _, _, _) ->
+      match op with Op.ECALL | Op.EBREAK -> None | _ -> Some op)
+    Op.table
+  |> Array.of_list
+
+let boundary_values =
+  [|
+    0L;
+    1L;
+    -1L;
+    2L;
+    Int64.min_int;
+    Int64.max_int;
+    0x7FFF_FFFFL;
+    0x8000_0000L;
+    0xFFFF_FFFFL;
+    0x1_0000_0000L;
+    -0x8000_0000L;
+    0x7FFF_FFFF_FFFFL (* last valid simulated address *);
+  |]
+
+let window_value g = Int64.of_int (mem_lo + (8 * Prng.int g ((mem_hi - mem_lo) / 8)))
+
+let reg_value g =
+  match Prng.int g 10 with
+  | 0 | 1 | 2 | 3 -> window_value g
+  | 4 | 5 | 6 -> Prng.choose g boundary_values
+  | _ -> Prng.i64 g
+
+(* Implemented CSRs (fcsr family, mscratch, counters) plus a sprinkling
+   of unimplemented numbers so illegal-CSR faulting is diffed too. *)
+let csr_pool = [| 0x001; 0x002; 0x003; 0x340; 0xC00; 0xC02; 0xC03; 0xB03 |]
+let pick_csr g = if Prng.chance g 10 then 0x7C0 else Prng.choose g csr_pool
+
+let pick_rd g = if Prng.chance g 20 then 0 else Prng.range g 1 31
+
+let pick_rs g =
+  if Prng.chance g 15 then 2 (* sp *)
+  else if Prng.chance g 30 then Prng.range g 8 15 (* RVC window *)
+  else Prng.int g 32
+
+let imm_i g =
+  match Prng.int g 8 with
+  | 0 -> -2048L
+  | 1 -> 2047L
+  | 2 -> 0L
+  | 3 -> 1L
+  | 4 -> -1L
+  | _ -> Int64.of_int (Prng.range g (-256) 255)
+
+let imm_b g =
+  match Prng.int g 6 with
+  | 0 -> -4096L
+  | 1 -> 4094L
+  | 2 -> 0L
+  | 3 -> 2L
+  | _ -> Int64.of_int (2 * Prng.range g (-128) 127)
+
+let imm_u g =
+  let hi =
+    match Prng.int g 6 with
+    | 0 -> 0
+    | 1 -> 1
+    | 2 -> 0x7FFFF
+    | 3 -> 0x80000
+    | 4 -> 0xFFFFF
+    | _ -> Prng.int g 0x100000
+  in
+  Int64.of_int (Dyn_util.Bits.sign_extend (hi lsl 12) 32)
+
+let imm_j g =
+  match Prng.int g 6 with
+  | 0 -> -1048576L
+  | 1 -> 1048574L
+  | 2 -> 0L
+  | 3 -> 2L
+  | _ -> Int64.of_int (2 * Prng.range g (-1024) 1023)
+
+(* A fully general instruction over the opcode table. *)
+let gen_general g =
+  let op = Prng.choose g ops in
+  let rd = pick_rd g
+  and rs1 = pick_rs g
+  and rs2 = pick_rs g
+  and rs3 = Prng.int g 32
+  and rm = Prng.int g 5 in
+  let mk = Insn.make in
+  match Op.encoding op with
+  | Op.R _ -> mk ~rd ~rs1 ~rs2 op
+  | Op.R_rs2 _ -> mk ~rd ~rs1 op
+  | Op.R_rm _ -> mk ~rd ~rs1 ~rs2 ~rm op
+  | Op.R_rm_rs2 _ -> mk ~rd ~rs1 ~rm op
+  | Op.R4 _ -> mk ~rd ~rs1 ~rs2 ~rs3 ~rm op
+  | Op.A _ ->
+      let aq = Prng.chance g 30 and rl = Prng.chance g 30 in
+      mk ~rd ~rs1:(max 1 rs1) ~rs2 ~aq ~rl op
+  | Op.I _ | Op.S _ -> mk ~rd ~rs1 ~rs2 ~imm:(imm_i g) op
+  | Op.Sh _ ->
+      let sh = Prng.one_of g [ 0; 1; 31; 32; 63; Prng.int g 64 ] in
+      mk ~rd ~rs1 ~imm:(Int64.of_int sh) op
+  | Op.Sh5 _ ->
+      let sh = Prng.one_of g [ 0; 1; 31; Prng.int g 32 ] in
+      mk ~rd ~rs1 ~imm:(Int64.of_int sh) op
+  | Op.B _ -> mk ~rs1 ~rs2 ~imm:(imm_b g) op
+  | Op.U _ -> mk ~rd ~imm:(imm_u g) op
+  | Op.J _ -> mk ~rd ~imm:(imm_j g) op
+  | Op.Fence -> mk ~imm:(Int64.of_int (Prng.int g 4096)) op
+  | Op.Fixed _ -> mk op
+  | Op.Csr _ | Op.Csri _ -> mk ~rd ~rs1 ~csr:(pick_csr g) op
+
+(* Shapes the RVC compressor accepts, so the bytes in memory are the
+   16-bit encodings and the decoder's compressed quadrants get swept. *)
+let gen_compressed_shape g =
+  let mk = Insn.make in
+  let creg () = Prng.range g 8 15 in
+  let nz () = Prng.range g 1 31 in
+  match Prng.int g 17 with
+  | 0 -> mk ~rd:(creg ()) ~rs1:2 ~imm:(Int64.of_int (4 * Prng.range g 1 255)) Op.ADDI
+  | 1 ->
+      let rd = nz () in
+      let imm = Prng.one_of g [ -32; 31; Prng.range g (-32) 31 ] in
+      let imm = if imm = 0 then 1 else imm in
+      mk ~rd ~rs1:rd ~imm:(Int64.of_int imm) Op.ADDI
+  | 2 -> mk ~rd:(nz ()) ~rs1:0 ~imm:(Int64.of_int (Prng.range g (-32) 31)) Op.ADDI
+  | 3 ->
+      let k = Prng.range g (-32) 31 in
+      let k = if k = 0 then 4 else k in
+      mk ~rd:2 ~rs1:2 ~imm:(Int64.of_int (16 * k)) Op.ADDI
+  | 4 ->
+      let rd = nz () in
+      mk ~rd ~rs1:rd ~imm:(Int64.of_int (Prng.range g (-32) 31)) Op.ADDIW
+  | 5 ->
+      let rd = if Prng.chance g 50 then 1 else Prng.range g 3 31 in
+      let hi = Prng.one_of g [ -32; 31; Prng.range g (-32) 31 ] in
+      let hi = if hi = 0 then 1 else hi in
+      mk ~rd ~imm:(Int64.of_int (hi lsl 12)) Op.LUI
+  | 6 ->
+      let op = Prng.one_of g [ Op.SRLI; Op.SRAI ] in
+      let rd = creg () in
+      mk ~rd ~rs1:rd ~imm:(Int64.of_int (Prng.range g 1 63)) op
+  | 7 ->
+      let rd = nz () in
+      mk ~rd ~rs1:rd ~imm:(Int64.of_int (Prng.range g 1 63)) Op.SLLI
+  | 8 ->
+      let rd = creg () in
+      mk ~rd ~rs1:rd ~imm:(Int64.of_int (Prng.range g (-32) 31)) Op.ANDI
+  | 9 ->
+      let op =
+        Prng.one_of g [ Op.SUB; Op.XOR; Op.OR; Op.AND; Op.SUBW; Op.ADDW ]
+      in
+      let rd = creg () in
+      mk ~rd ~rs1:rd ~rs2:(creg ()) op
+  | 10 ->
+      if Prng.chance g 50 then mk ~rd:(nz ()) ~rs1:0 ~rs2:(nz ()) Op.ADD
+      else
+        let rd = nz () in
+        mk ~rd ~rs1:rd ~rs2:(nz ()) Op.ADD
+  | 11 -> mk ~rd:0 ~imm:(Int64.of_int (2 * Prng.range g (-1024) 1023)) Op.JAL
+  | 12 -> mk ~rd:(if Prng.chance g 50 then 0 else 1) ~rs1:(nz ()) Op.JALR
+  | 13 ->
+      let op = if Prng.chance g 50 then Op.BEQ else Op.BNE in
+      mk ~rs1:(creg ()) ~rs2:0 ~imm:(Int64.of_int (2 * Prng.range g (-128) 127)) op
+  | 14 ->
+      let op = Prng.one_of g [ Op.LW; Op.LD; Op.FLD ] in
+      let scale = if op = Op.LW then 4 else 8 in
+      mk ~rd:(creg ()) ~rs1:(creg ())
+        ~imm:(Int64.of_int (scale * Prng.int g 32))
+        op
+  | 15 ->
+      let op = Prng.one_of g [ Op.SW; Op.SD; Op.FSD ] in
+      let scale = if op = Op.SW then 4 else 8 in
+      mk ~rs1:(creg ()) ~rs2:(creg ())
+        ~imm:(Int64.of_int (scale * Prng.int g 32))
+        op
+  | _ ->
+      (* sp-relative load/store *)
+      let store = Prng.chance g 50 in
+      let op =
+        if store then Prng.one_of g [ Op.SW; Op.SD; Op.FSD ]
+        else Prng.one_of g [ Op.LW; Op.LD; Op.FLD ]
+      in
+      let scale = if op = Op.LW || op = Op.SW then 4 else 8 in
+      let imm = Int64.of_int (scale * Prng.int g 64) in
+      if store then mk ~rs1:2 ~rs2:(Prng.int g 32) ~imm op
+      else mk ~rd:(if op = Op.FLD then Prng.int g 32 else nz ()) ~rs1:2 ~imm op
+
+let is_mem_op op =
+  match Sailsem.Sail.summary_of_op op with
+  | Some s -> s.Sailsem.Ir.reads_mem || s.Sailsem.Ir.writes_mem
+  | None -> false
+
+let pcs = [| 0x10000L; 0x10000L; 0x10000L; 0x200000L; 0x7FFF_0000L |]
+
+let case_of ~seed ~index =
+  let g = Prng.of_seed_index ~seed ~index in
+  let compressed_mode = Prng.chance g 35 in
+  let insn = if compressed_mode then gen_compressed_shape g else gen_general g in
+  let regs = Array.init 32 (fun i -> if i = 0 then 0L else reg_value g) in
+  let fregs = Array.init 32 (fun _ -> Prng.i64 g) in
+  (* Memory ops mostly get an in-window base so data is actually touched;
+     the rest keep adversarial bases and must fault identically. *)
+  if is_mem_op insn.Insn.op && insn.Insn.rs1 <> 0 && Prng.chance g 80 then
+    regs.(insn.Insn.rs1) <- window_value g;
+  let reservation =
+    match insn.Insn.op with
+    | Op.SC_W | Op.SC_D | Op.LR_W | Op.LR_D ->
+        if Prng.chance g 50 then Some regs.(insn.Insn.rs1) else None
+    | _ -> if Prng.chance g 10 then Some (window_value g) else None
+  in
+  let fcsr = if Prng.chance g 30 then Prng.int g 256 else 0 in
+  let try_compress = compressed_mode || Prng.chance g 30 in
+  let bytes = Encode.encode ~try_compress insn in
+  {
+    c_seed = seed;
+    c_index = index;
+    c_pc = Prng.choose g pcs;
+    c_insn = insn;
+    c_bytes = bytes;
+    c_regs = regs;
+    c_fregs = fregs;
+    c_fcsr = fcsr;
+    c_reservation = reservation;
+  }
+
+let pp_case fmt (c : case) =
+  let hex b =
+    String.concat "" (List.rev (List.init (Bytes.length b) (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get b i)))))
+  in
+  Format.fprintf fmt "seed=%Ld index=%d pc=0x%Lx insn=%s bytes=%s (%d-bit)"
+    c.c_seed c.c_index c.c_pc (Insn.to_string c.c_insn) (hex c.c_bytes)
+    (8 * Bytes.length c.c_bytes)

@@ -1,0 +1,283 @@
+(* The rvcheck lockstep oracle: one instruction, two semantics.
+
+   For a fuzzed case, two identical machines are built; one executes the
+   instruction with the hand-written interpreter (Rvsim.Machine.step,
+   fetching and decoding the raw bytes itself), the other applies the
+   mini-SAIL IR semantics (Sailsem.Eval.exec) to the decoded
+   instruction.  Afterwards the full architectural state is diffed:
+   pc, x1..x31, f0..f31, fcsr, the LR/SC reservation and every touched
+   memory page.
+
+   Faults are part of the contract: if the interpreter refuses the case
+   (illegal CSR, out-of-range address) the evaluator must refuse it too,
+   and vice versa.  When both sides fault, state is not diffed — the
+   machines stopped mid-instruction and partial effects are unspecified;
+   agreeing on the *refusal* is the property. *)
+
+open Riscv
+
+type diff = { d_what : string; d_sim : string; d_sail : string }
+
+type outcome =
+  | Agree
+  | Agree_fault of string (* both sides refused; the simulator's reason *)
+  | Diverged of diff list
+
+type report = {
+  r_case : Fuzz.case;
+  r_decoded : Insn.t option; (* what the machine's decoder saw *)
+  r_outcome : outcome;
+}
+
+let setup_machine (c : Fuzz.case) =
+  let m = Rvsim.Machine.create () in
+  Array.blit c.Fuzz.c_regs 0 m.Rvsim.Machine.regs 0 32;
+  m.Rvsim.Machine.regs.(0) <- 0L;
+  Array.blit c.Fuzz.c_fregs 0 m.Rvsim.Machine.fregs 0 32;
+  m.Rvsim.Machine.pc <- c.Fuzz.c_pc;
+  m.Rvsim.Machine.fcsr <- c.Fuzz.c_fcsr;
+  m.Rvsim.Machine.reservation <- c.Fuzz.c_reservation;
+  (* deterministic nonzero data under the register window *)
+  for k = 0 to (Fuzz.mem_hi - Fuzz.mem_lo) / 8 do
+    Rvsim.Mem.write64 m.Rvsim.Machine.mem
+      (Int64.of_int (Fuzz.mem_lo + (k * 8)))
+      (Int64.of_int ((k * 0x0F1E_2D3C) lxor 0x5A5A))
+  done;
+  Rvsim.Mem.write_bytes m.Rvsim.Machine.mem c.Fuzz.c_pc c.Fuzz.c_bytes;
+  m
+
+let eval_state_of_machine (m : Rvsim.Machine.t) : Sailsem.Eval.state =
+  let open Rvsim in
+  {
+    Sailsem.Eval.get_x = Machine.get_reg m;
+    set_x = Machine.set_reg m;
+    get_f = Machine.get_freg m;
+    set_f = Machine.set_freg m;
+    load =
+      (fun w a ->
+        match w with
+        | 8 -> Int64.of_int (Mem.read8 m.Machine.mem a)
+        | 16 -> Int64.of_int (Mem.read16 m.Machine.mem a)
+        | 32 -> Int64.of_int (Mem.read32 m.Machine.mem a)
+        | _ -> Mem.read64 m.Machine.mem a);
+    store =
+      (fun w a v ->
+        match w with
+        | 8 -> Mem.write8 m.Machine.mem a (Int64.to_int (Int64.logand v 0xFFL))
+        | 16 -> Mem.write16 m.Machine.mem a (Int64.to_int (Int64.logand v 0xFFFFL))
+        | 32 ->
+            Mem.write32 m.Machine.mem a
+              (Int64.to_int (Int64.logand v 0xFFFF_FFFFL))
+        | _ -> Mem.write64 m.Machine.mem a v);
+    csr_read = Machine.csr_read m;
+    csr_write = Machine.csr_write m;
+    get_fcsr = (fun () -> Int64.of_int m.Machine.fcsr);
+    set_fcsr = (fun v -> m.Machine.fcsr <- Int64.to_int v land 0xFF);
+    reservation = m.Machine.reservation;
+  }
+
+(* First byte where the two sparse memories disagree (absent pages count
+   as all-zero), as (address, sim byte, sail byte). *)
+let mem_first_diff (a : Rvsim.Mem.t) (b : Rvsim.Mem.t) =
+  let page_size = 1 lsl 12 in
+  let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.Rvsim.Mem.pages [] in
+  let all = List.sort_uniq compare (keys a @ keys b) in
+  let zero = Bytes.make page_size '\000' in
+  let page t k =
+    Option.value (Hashtbl.find_opt t.Rvsim.Mem.pages k) ~default:zero
+  in
+  let rec scan_pages = function
+    | [] -> None
+    | k :: rest ->
+        let pa = page a k and pb = page b k in
+        if Bytes.equal pa pb then scan_pages rest
+        else
+          let rec scan_bytes i =
+            if Bytes.get pa i <> Bytes.get pb i then
+              Some
+                ( Int64.of_int ((k * page_size) + i),
+                  Char.code (Bytes.get pa i),
+                  Char.code (Bytes.get pb i) )
+            else scan_bytes (i + 1)
+          in
+          scan_bytes 0
+  in
+  scan_pages all
+
+let diff_states (m1 : Rvsim.Machine.t) (m2 : Rvsim.Machine.t) : diff list =
+  let ds = ref [] in
+  let push what sim sail = ds := { d_what = what; d_sim = sim; d_sail = sail } :: !ds in
+  if m1.pc <> m2.pc then push "pc" (Printf.sprintf "0x%Lx" m1.pc) (Printf.sprintf "0x%Lx" m2.pc);
+  for r = 1 to 31 do
+    if m1.regs.(r) <> m2.regs.(r) then
+      push
+        (Printf.sprintf "x%d" r)
+        (Printf.sprintf "0x%Lx" m1.regs.(r))
+        (Printf.sprintf "0x%Lx" m2.regs.(r))
+  done;
+  for r = 0 to 31 do
+    if m1.fregs.(r) <> m2.fregs.(r) then
+      push
+        (Printf.sprintf "f%d" r)
+        (Printf.sprintf "0x%Lx" m1.fregs.(r))
+        (Printf.sprintf "0x%Lx" m2.fregs.(r))
+  done;
+  if m1.fcsr <> m2.fcsr then
+    push "fcsr" (string_of_int m1.fcsr) (string_of_int m2.fcsr);
+  if m1.reservation <> m2.reservation then begin
+    let s = function None -> "none" | Some a -> Printf.sprintf "0x%Lx" a in
+    push "reservation" (s m1.reservation) (s m2.reservation)
+  end;
+  (match mem_first_diff m1.mem m2.mem with
+  | Some (addr, va, vb) ->
+      push
+        (Printf.sprintf "mem[0x%Lx]" addr)
+        (Printf.sprintf "%02x" va) (Printf.sprintf "%02x" vb)
+  | None -> ());
+  List.rev !ds
+
+let pp_stop_str stop = Format.asprintf "%a" Rvsim.Machine.pp_stop stop
+
+(* Run one fuzzed case through both semantics. *)
+let check_case (c : Fuzz.case) : report =
+  let m1 = setup_machine c in
+  let m2 = setup_machine c in
+  let decoded = Decode.decode c.Fuzz.c_bytes in
+  match decoded with
+  | None ->
+      {
+        r_case = c;
+        r_decoded = None;
+        r_outcome =
+          Diverged
+            [
+              {
+                d_what = "decode";
+                d_sim = "generated bytes do not decode";
+                d_sail = Insn.to_string c.Fuzz.c_insn;
+              };
+            ];
+      }
+  | Some insn -> (
+      let sim_stop = Rvsim.Machine.step m1 in
+      let sail_result =
+        match Sailsem.Sail.sem_of_op insn.Insn.op with
+        | None -> Error "no semantics for opcode"
+        | Some sem -> (
+            let st = eval_state_of_machine m2 in
+            match Sailsem.Eval.exec sem ~insn ~pc:c.Fuzz.c_pc st with
+            | pc' ->
+                m2.Rvsim.Machine.pc <- pc';
+                m2.Rvsim.Machine.reservation <- st.Sailsem.Eval.reservation;
+                Ok ()
+            | exception Rvsim.Mem.Fault a ->
+                Error (Printf.sprintf "memory fault at 0x%Lx" a)
+            | exception Rvsim.Machine.Illegal_csr n ->
+                Error (Printf.sprintf "illegal csr 0x%x" n)
+            | exception Sailsem.Eval.Eval_error msg -> Error ("eval: " ^ msg))
+      in
+      let outcome =
+        match (sim_stop, sail_result) with
+        | None, Ok () -> (
+            match diff_states m1 m2 with [] -> Agree | ds -> Diverged ds)
+        | Some stop, Error _ -> Agree_fault (pp_stop_str stop)
+        | Some stop, Ok () ->
+            Diverged
+              [ { d_what = "stop"; d_sim = pp_stop_str stop; d_sail = "stepped" } ]
+        | None, Error msg ->
+            Diverged [ { d_what = "stop"; d_sim = "stepped"; d_sail = msg } ]
+      in
+      { r_case = c; r_decoded = decoded; r_outcome = outcome })
+
+let check ~seed ~index = check_case (Fuzz.case_of ~seed ~index)
+
+(* --- sweeping ---------------------------------------------------------- *)
+
+type stats = {
+  s_total : int;
+  s_agree : int;
+  s_agree_fault : int;
+  s_diverged : int;
+  s_compressed : int; (* cases executed from a 16-bit encoding *)
+  s_ops : (Op.t * int) list; (* opcode coverage, descending *)
+  s_divergences : report list; (* first few, in index order *)
+}
+
+let reproducer (r : report) =
+  Printf.sprintf "rvcheck replay --seed %Ld --index %d" r.r_case.Fuzz.c_seed
+    r.r_case.Fuzz.c_index
+
+let sweep ?(max_reports = 10) ~seed ~count () : stats =
+  let agree = ref 0
+  and agree_fault = ref 0
+  and diverged = ref 0
+  and compressed = ref 0 in
+  let per_op : (Op.t, int) Hashtbl.t = Hashtbl.create 128 in
+  let reports = ref [] in
+  for index = 0 to count - 1 do
+    let r = check ~seed ~index in
+    if Bytes.length r.r_case.Fuzz.c_bytes = 2 then incr compressed;
+    (match r.r_decoded with
+    | Some i ->
+        Hashtbl.replace per_op i.Insn.op
+          (1 + Option.value (Hashtbl.find_opt per_op i.Insn.op) ~default:0)
+    | None -> ());
+    match r.r_outcome with
+    | Agree -> incr agree
+    | Agree_fault _ -> incr agree_fault
+    | Diverged _ ->
+        incr diverged;
+        if List.length !reports < max_reports then reports := r :: !reports
+  done;
+  let ops =
+    Hashtbl.fold (fun op n acc -> (op, n) :: acc) per_op []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    s_total = count;
+    s_agree = !agree;
+    s_agree_fault = !agree_fault;
+    s_diverged = !diverged;
+    s_compressed = !compressed;
+    s_ops = ops;
+    s_divergences = List.rev !reports;
+  }
+
+(* --- reporting --------------------------------------------------------- *)
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt "%a@." Fuzz.pp_case r.r_case;
+  (match r.r_decoded with
+  | Some i when Bytes.length r.r_case.Fuzz.c_bytes = 2 ->
+      Format.fprintf fmt "decodes to: %s@." (Insn.to_string i)
+  | _ -> ());
+  match r.r_outcome with
+  | Agree -> Format.fprintf fmt "outcome: agree@."
+  | Agree_fault why -> Format.fprintf fmt "outcome: both fault (%s)@." why
+  | Diverged ds ->
+      Format.fprintf fmt "outcome: DIVERGED@.";
+      List.iter
+        (fun d ->
+          Format.fprintf fmt "  %-12s sim=%s  sail=%s@." d.d_what d.d_sim
+            d.d_sail)
+        ds
+
+(* Verbose replay of one case: pre-state, both post-states. *)
+let replay fmt ~seed ~index =
+  let r = check ~seed ~index in
+  let c = r.r_case in
+  Format.fprintf fmt "%a@." Fuzz.pp_case c;
+  let interesting =
+    let i = Option.value r.r_decoded ~default:c.Fuzz.c_insn in
+    List.sort_uniq compare
+      (List.filter (fun r -> r > 0) [ i.Insn.rd; i.Insn.rs1; i.Insn.rs2 ])
+  in
+  List.iter
+    (fun x -> Format.fprintf fmt "  pre x%-2d = 0x%Lx@." x c.Fuzz.c_regs.(x))
+    interesting;
+  (match c.Fuzz.c_reservation with
+  | Some a -> Format.fprintf fmt "  pre reservation = 0x%Lx@." a
+  | None -> ());
+  if c.Fuzz.c_fcsr <> 0 then Format.fprintf fmt "  pre fcsr = %d@." c.Fuzz.c_fcsr;
+  pp_report fmt r;
+  r

@@ -144,10 +144,40 @@ let analysis_stepper = { st_name = "analysis-sp"; st_step = analysis_step }
 
 (* --- the frame-pointer stepper ----------------------------------------------- *)
 
-let fp_step (w : walker) (ctx : context) ~index:(_ : int) (fr : frame) :
+(* Has the function enclosing [pc] actually established x8 as its frame
+   pointer on the path to [pc]?  Mid-prologue — after the sp adjust but
+   before `addi s0, sp, k` — x8 still holds the *caller's* frame
+   pointer, which chains to the caller's caller and makes a stale fp
+   walk silently skip the direct caller.  Same executed-on-the-path
+   heuristic as [ra_saves]: the establishing instruction must precede
+   pc.  Only consulted for the innermost frame; outer fps come from the
+   in-memory chain, not the live register. *)
+let fp_established w (f : Cfg.func) pc =
+  Cfg.blocks_of w.cfg f
+  |> List.exists (fun (b : Cfg.block) ->
+         List.exists
+           (fun (ins : Instruction.t) ->
+             Int64.compare ins.Instruction.addr pc < 0
+             &&
+             let i = ins.Instruction.insn in
+             match i.Insn.op with
+             | Op.ADDI -> i.Insn.rd = 8 && i.Insn.rs1 = 2
+             | Op.ADD ->
+                 i.Insn.rd = 8 && (i.Insn.rs1 = 2 || i.Insn.rs2 = 2)
+             | _ -> false)
+           b.Cfg.b_insns)
+
+let fp_step (w : walker) (ctx : context) ~(index : int) (fr : frame) :
     frame option =
   let fp = fr.fr_fp in
   if Int64.compare fp fr.fr_sp <= 0 then None
+  else if
+    index = 0
+    &&
+    match func_of_pc w fr.fr_pc with
+    | Some f -> not (fp_established w f fr.fr_pc)
+    | None -> false (* unknown code: keep the old behaviour *)
+  then None
   else
     match (ctx.read_mem64 (Int64.sub fp 8L), ctx.read_mem64 (Int64.sub fp 16L)) with
     | Some ra, Some old_fp when Symtab.is_code_addr w.symtab ra ->

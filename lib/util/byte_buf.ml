@@ -56,9 +56,15 @@ let cstring r =
   r.pos <- stop + 1;
   Bytes.sub_string r.data start (stop - start)
 
-(* ULEB128, as used by .riscv.attributes. *)
+exception Malformed of string
+
+(* ULEB128, as used by .riscv.attributes.  A continuation chain longer
+   than nine groups would shift past bit 63 — on malformed input that
+   used to silently produce garbage (OCaml's [lsl] beyond the word size
+   is unspecified); it now raises [Malformed]. *)
 let uleb128 r =
   let rec go shift acc =
+    if shift > 56 then raise (Malformed "uleb128: more than 63 bits");
     let b = u8 r in
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 <> 0 then go (shift + 7) acc else acc
@@ -72,7 +78,13 @@ let w_len (w : writer) = Buffer.length w
 let w_contents (w : writer) = Buffer.to_bytes w
 let w_u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
 let w_u16 w v = Buffer.add_uint16_le w (v land 0xffff)
-let w_u32 w v = Buffer.add_int32_le w (Int32.of_int v)
+(* [w_u32] used to truncate values >= 2^32 silently via [Int32.of_int];
+   a field that does not fit is a caller bug, so it raises instead
+   (use [w_u32_64] for deliberate low-word writes). *)
+let w_u32 w v =
+  if v < 0 || v > 0xFFFF_FFFF then
+    invalid_arg (Printf.sprintf "w_u32: %d does not fit in 32 bits" v);
+  Buffer.add_int32_le w (Int32.of_int v)
 let w_u32_64 w (v : int64) = Buffer.add_int32_le w (Int64.to_int32 v)
 let w_u64 w (v : int64) = Buffer.add_int64_le w v
 let w_bytes w b = Buffer.add_bytes w b

@@ -3,9 +3,21 @@
    lookup by address, and gap discovery in ParseAPI.
 
    Implemented over the standard [Map] keyed by interval start; intervals
-   are kept disjoint by construction ([add] rejects overlaps). *)
+   are kept disjoint by construction ([add] rejects overlaps).
 
-module M = Map.Make (Int64)
+   Addresses are unsigned: an int64 key with the top bit set is a
+   high-half address, not a negative number, so every ordering here —
+   including the Map's own key ordering — must use
+   [Int64.unsigned_compare] or stabbing queries and gap parsing silently
+   break for addresses >= 0x8000_0000_0000_0000. *)
+
+module M = Map.Make (struct
+  type t = int64
+
+  let compare = Int64.unsigned_compare
+end)
+
+let ucmp = Int64.unsigned_compare
 
 type 'a t = { m : (int64 * 'a) M.t } (* start -> (end, value) *)
 
@@ -15,24 +27,24 @@ let cardinal t = M.cardinal t.m
 
 (* Interval containing [addr], if any. *)
 let find_addr t addr =
-  match M.find_last_opt (fun lo -> Int64.compare lo addr <= 0) t.m with
-  | Some (lo, (hi, v)) when Int64.compare addr hi < 0 -> Some (lo, hi, v)
+  match M.find_last_opt (fun lo -> ucmp lo addr <= 0) t.m with
+  | Some (lo, (hi, v)) when ucmp addr hi < 0 -> Some (lo, hi, v)
   | Some _ | None -> None
 
 let mem_addr t addr = Option.is_some (find_addr t addr)
 
 (* Does [lo, hi) overlap any existing interval? *)
 let overlaps t lo hi =
-  if Int64.compare lo hi >= 0 then false
+  if ucmp lo hi >= 0 then false
   else
-    match M.find_last_opt (fun l -> Int64.compare l hi < 0) t.m with
-    | Some (_, (e, _)) -> Int64.compare e lo > 0
+    match M.find_last_opt (fun l -> ucmp l hi < 0) t.m with
+    | Some (_, (e, _)) -> ucmp e lo > 0
     | None -> false
 
 exception Overlap of int64 * int64
 
 let add t lo hi v =
-  if Int64.compare lo hi >= 0 then invalid_arg "Interval_map.add: empty interval";
+  if ucmp lo hi >= 0 then invalid_arg "Interval_map.add: empty interval";
   if overlaps t lo hi then raise (Overlap (lo, hi));
   { m = M.add lo (hi, v) t.m }
 
@@ -46,7 +58,7 @@ let to_list t = List.rev (fold (fun lo hi v acc -> (lo, hi, v) :: acc) t [])
 let overlapping t lo hi =
   fold
     (fun l h v acc ->
-      if Int64.compare l hi < 0 && Int64.compare h lo > 0 then (l, h, v) :: acc
+      if ucmp l hi < 0 && ucmp h lo > 0 then (l, h, v) :: acc
       else acc)
     t []
   |> List.rev
@@ -58,13 +70,13 @@ let gaps t lo hi =
   let rec go cursor covered acc =
     match covered with
     | [] ->
-        if Int64.compare cursor hi < 0 then List.rev ((cursor, hi) :: acc)
+        if ucmp cursor hi < 0 then List.rev ((cursor, hi) :: acc)
         else List.rev acc
     | (l, h, _) :: rest ->
         let acc =
-          if Int64.compare cursor l < 0 then (cursor, l) :: acc else acc
+          if ucmp cursor l < 0 then (cursor, l) :: acc else acc
         in
-        let cursor = if Int64.compare h cursor > 0 then h else cursor in
+        let cursor = if ucmp h cursor > 0 then h else cursor in
         go cursor rest acc
   in
   go lo covered []

@@ -455,6 +455,78 @@ let test_walk_frameless_leaf () =
     true
     (match names with "leaf" :: "main" :: _ -> true | _ -> false)
 
+let test_fast_walk_mid_prologue_stale_fp () =
+  (* the stale-fp trap for the fp-first fast path: sample lands in a
+     callee's prologue after the sp adjust but *before* `addi s0, sp, k`,
+     so x8 still holds the direct caller's frame pointer.  A walk that
+     trusts it reads the caller's own frame slots and silently skips the
+     caller — the fp stepper must refuse the innermost frame until the
+     establishing instruction has executed, handing over to the sp-only
+     analysis stepper.  Before that guard this walked child,outer. *)
+  let open Asm in
+  let text_base = 0x10000L in
+  let prologue =
+    [
+      Insn (Build.addi Reg.sp Reg.sp (-32));
+      Insn (Build.sd Reg.ra 24 Reg.sp);
+      Insn (Build.sd Reg.s0 16 Reg.sp);
+      Insn (Build.addi Reg.s0 Reg.sp 32);
+    ]
+  in
+  let items =
+    [ Label "outer" ] @ prologue
+    @ [ Call_l "mid"; Insn Build.ebreak; Label "mid" ]
+    @ prologue
+    @ [
+        Call_l "child";
+        Insn Build.ebreak;
+        Label "child";
+        Insn (Build.addi Reg.sp Reg.sp (-16));
+        (* "sample" lands here: sp adjusted, s0 still = mid's fp *)
+        Insn Build.ebreak;
+        Insn (Build.sd Reg.ra 8 Reg.sp);
+        Insn (Build.sd Reg.s0 0 Reg.sp);
+        Insn (Build.addi Reg.s0 Reg.sp 16);
+        Insn Build.ret;
+      ]
+  in
+  let r = Asm.assemble ~base:text_base items in
+  let img =
+    Elfkit.Types.image ~entry:text_base
+      ~symbols:
+        [
+          Elfkit.Types.symbol "outer" text_base ~sym_section:".text";
+          Elfkit.Types.symbol "mid" (Asm.label_addr r "mid")
+            ~sym_section:".text";
+          Elfkit.Types.symbol "child" (Asm.label_addr r "child")
+            ~sym_section:".text";
+        ]
+      [
+        Elfkit.Types.section ".text" r.Asm.code ~s_addr:text_base
+          ~s_flags:Elfkit.Types.(shf_alloc lor shf_execinstr);
+      ]
+  in
+  let b = Core.open_image img in
+  let proc = Rvsim.Loader.load img in
+  (match Rvsim.Machine.run proc.Rvsim.Loader.machine with
+  | Rvsim.Machine.Ebreak _ -> ()
+  | s -> Alcotest.failf "expected ebreak, got %a" Rvsim.Machine.pp_stop s);
+  let frames =
+    Sw.fast_walk_machine (Core.walker b) proc.Rvsim.Loader.machine
+  in
+  let names = List.filter_map (fun f -> f.Sw.fr_func) frames in
+  checkb
+    (Printf.sprintf "direct caller not skipped (got %s)"
+       (String.concat "," names))
+    true
+    (match names with
+    | "child" :: "mid" :: "outer" :: _ -> true
+    | _ -> false);
+  (* the innermost step must have come from the analysis stepper, not
+     the (stale) frame-pointer chain *)
+  Alcotest.(check string)
+    "innermost stepper" "analysis-sp" (List.hd frames).Sw.fr_stepper
+
 let test_fast_walk_agrees () =
   (* the fp-first fast path must agree with the default stepper order *)
   let img = compile nested_src in
@@ -521,6 +593,8 @@ let () =
           Alcotest.test_case "epilogue pc" `Quick test_walk_epilogue;
           Alcotest.test_case "frameless leaf" `Quick test_walk_frameless_leaf;
           Alcotest.test_case "fast_walk agrees" `Quick test_fast_walk_agrees;
+          Alcotest.test_case "mid-prologue stale fp" `Quick
+            test_fast_walk_mid_prologue_stale_fp;
         ] );
       ( "sampling",
         [ Alcotest.test_case "sampler callback" `Quick test_sampler_callback ] );

@@ -38,6 +38,36 @@ let test_golden_compressed () =
   checks "c.ebreak" "c.ebreak" (dis16 0x9002);
   checkb "0x0000 illegal" true (Decode.decode_compressed 0 = None)
 
+(* Reserved RVC encodings must decode to None, not to a neighbouring
+   legal instruction.  Each word below sits inside an otherwise-valid
+   opcode group and is carved out as reserved by the spec; the fuzzer's
+   exhaustive halfword sweep (Check_api.Decode_check) cross-checks the
+   same property over the full 16-bit space. *)
+let test_compressed_reserved () =
+  let rejected name w =
+    checkb name true (Decode.decode_compressed w = None)
+  in
+  rejected "all-zero halfword" 0x0000;
+  rejected "c.addi4spn nzuimm=0 (rd'=x8)" 0x0004;
+  rejected "c.addi4spn nzuimm=0 (rd'=x10)" 0x0008;
+  rejected "c.addiw rd=0" 0x2001;
+  rejected "c.addi16sp nzimm=0" 0x6101;
+  rejected "c.lui rd=0" 0x6001;
+  rejected "c.lui rd=1 imm=0" 0x6081;
+  rejected "c.lui rd=5 imm=0" 0x6281;
+  rejected "c.jr rs1=0" 0x8002;
+  rejected "misc-alu reserved funct2=2" 0x9C41;
+  rejected "misc-alu reserved funct2=3" 0x9C61;
+  rejected "c.lwsp rd=0" 0x4002;
+  rejected "c.ldsp rd=0" 0x6002;
+  rejected "c.slli rd=0" 0x0002;
+  (* the legal neighbours of the carve-outs still decode *)
+  checkb "c.addi4spn nzuimm!=0 decodes" true
+    (Decode.decode_compressed 0x0040 <> None);
+  checkb "c.lui rd=5 imm!=0 decodes" true
+    (Decode.decode_compressed 0x62a9 <> None);
+  checkb "c.jr rs1=ra decodes" true (Decode.decode_compressed 0x8082 <> None)
+
 let test_lengths () =
   checki "32-bit" 4 (Decode.length_of_halfword 0x0013);
   checki "16-bit" 2 (Decode.length_of_halfword 0x0001);
@@ -325,6 +355,8 @@ let () =
         [
           Alcotest.test_case "golden words" `Quick test_golden_words;
           Alcotest.test_case "golden compressed" `Quick test_golden_compressed;
+          Alcotest.test_case "reserved compressed encodings" `Quick
+            test_compressed_reserved;
           Alcotest.test_case "lengths" `Quick test_lengths;
         ] );
       ( "encode",

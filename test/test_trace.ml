@@ -170,6 +170,62 @@ int main() {
   in
   checkb "stream in order" true (monotonic records)
 
+(* The boundary case of the flush protocol: a run emitting *exactly*
+   [capacity] records must trip exactly one overflow flush at the full
+   mark and leave nothing for the final drain — emit stores the record,
+   advances widx, then checks [widx - flushed >= capacity], so the
+   capacity-th record both fits in the buffer and triggers the flush.
+   One record past capacity must not trip a second one. *)
+let test_ring_exact_capacity () =
+  let capacity = 8 in
+  let src n =
+    Printf.sprintf
+      {|
+int one(int x) { return x + 1; }
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < %d; i = i + 1) { s = one(s); }
+  print_int(s);
+  return 0;
+}
+|}
+      n
+  in
+  (* calibrate: how many records does one call to [one] emit? *)
+  let _, probe, _, _, _ =
+    run_traced ~capacity:64 ~funcs:[ "one" ] ~opts:Tracer.coverage_only (src 1)
+  in
+  let per_call = List.length (Sink.records probe) in
+  checkb "per-call record count divides capacity" true
+    (per_call > 0 && capacity mod per_call = 0);
+  let calls = capacity / per_call in
+  let _, sink, stop, out, _ =
+    run_traced ~capacity ~funcs:[ "one" ] ~opts:Tracer.coverage_only (src calls)
+  in
+  checki "exit unchanged" 0 (exit_code stop);
+  checkb "stdout unchanged" true (String.trim out = string_of_int calls);
+  checki "records = capacity" capacity (List.length (Sink.records sink));
+  checki "exactly one flush at the full mark" 1 (Sink.flushes sink);
+  (* a little past capacity: the wrapped slots reuse the start of the
+     buffer and the final drain carries the remainder *)
+  let _, sink, _, _, _ =
+    run_traced ~capacity ~funcs:[ "one" ] ~opts:Tracer.coverage_only
+      (src (calls + 1))
+  in
+  let records = Sink.records sink in
+  checki "records = capacity + one call" (capacity + per_call)
+    (List.length records);
+  checki "still exactly one overflow flush" 1 (Sink.flushes sink);
+  (* nothing lost or duplicated across the wraparound *)
+  let rec monotonic = function
+    | a :: (b :: _ as rest) ->
+        Int64.compare a.Record.cycles b.Record.cycles <= 0 && monotonic rest
+    | _ -> true
+  in
+  checkb "stream in order across the wrap" true (monotonic records)
+
 (* --- call-tree reconstruction + StackwalkerAPI cross-check ------------------- *)
 
 let cross_src =
@@ -400,6 +456,8 @@ let () =
           Alcotest.test_case "coverage exact" `Quick test_coverage_exact;
           Alcotest.test_case "ring overflow flush" `Quick
             test_ring_overflow_flush;
+          Alcotest.test_case "ring exact-capacity wraparound" `Quick
+            test_ring_exact_capacity;
           Alcotest.test_case "call tree + stackwalker" `Quick
             test_call_tree_and_stackwalker;
           Alcotest.test_case "memory trace exact" `Quick test_mem_trace_exact;

@@ -62,6 +62,44 @@ let test_interval_map_gaps () =
     [ (0L, 5L) ]
     (Interval_map.gaps Interval_map.empty 0L 5L)
 
+(* Addresses are unsigned: keys with the top bit set used to compare
+   negative through the signed Map ordering, breaking stabbing queries,
+   overlap detection and gap parsing for high-half addresses.  These
+   all failed (or raised) before the switch to Int64.unsigned_compare. *)
+let test_interval_map_high_addresses () =
+  let lo = 0xFFFF_FFFF_8000_0000L in
+  let hi = 0xFFFF_FFFF_8000_1000L in
+  let m = Interval_map.add Interval_map.empty lo hi "high" in
+  checkb "stab high-half" true
+    (Interval_map.find_addr m 0xFFFF_FFFF_8000_0800L = Some (lo, hi, "high"));
+  checkb "stab below" true (Interval_map.find_addr m 0x1000L = None);
+  (* a low interval alongside: the high one must not shadow it *)
+  let m = Interval_map.add m 0x1000L 0x2000L "low" in
+  checkb "stab low with high present" true
+    (Interval_map.find_addr m 0x1800L = Some (0x1000L, 0x2000L, "low"));
+  checkb "stab high with low present" true
+    (Interval_map.find_addr m 0xFFFF_FFFF_8000_0FFFL = Some (lo, hi, "high"));
+  (* iteration order is unsigned-ascending *)
+  Alcotest.(check (list int64))
+    "unsigned order"
+    [ 0x1000L; lo ]
+    (List.map (fun (l, _, _) -> l) (Interval_map.to_list m));
+  (* overlap detection across the sign boundary *)
+  checkb "overlaps high" true (Interval_map.overlaps m lo (Int64.add lo 1L));
+  checkb "no overlap between halves" false
+    (Interval_map.overlaps m 0x2000L 0x8000_0000_0000_0000L);
+  (* an interval spanning the signed boundary is non-empty unsigned;
+     [add] used to reject it as empty (lo > hi signed) *)
+  let b_lo = 0x7FFF_FFFF_FFFF_F000L and b_hi = 0x8000_0000_0000_1000L in
+  let m2 = Interval_map.add Interval_map.empty b_lo b_hi "span" in
+  checkb "stab across boundary" true
+    (Interval_map.find_addr m2 0x8000_0000_0000_0000L = Some (b_lo, b_hi, "span"));
+  (* gap parsing in a high-half window *)
+  Alcotest.(check (list (pair int64 int64)))
+    "gaps around a high interval"
+    [ (0xFFFF_FFFF_0000_0000L, lo); (hi, 0xFFFF_FFFF_9000_0000L) ]
+    (Interval_map.gaps m 0xFFFF_FFFF_0000_0000L 0xFFFF_FFFF_9000_0000L)
+
 let test_interval_map_overlap_queries () =
   let m = Interval_map.empty in
   let m = Interval_map.add m 10L 20L "a" in
@@ -256,6 +294,34 @@ let prop_uleb_roundtrip =
       Byte_buf.w_uleb128 w v;
       Byte_buf.uleb128 (Byte_buf.reader (Byte_buf.w_contents w)) = v)
 
+(* [w_u32] used to silently truncate out-of-range values through
+   [Int32.of_int], and [uleb128] used to keep shifting past bit 63 on a
+   long continuation chain ([lsl] beyond the word size is unspecified).
+   Both now raise. *)
+let test_byte_buf_overflow () =
+  let raises_invalid f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  let w = Byte_buf.writer () in
+  checkb "w_u32 2^32 raises" true (raises_invalid (fun () -> Byte_buf.w_u32 w (1 lsl 32)));
+  checkb "w_u32 negative raises" true (raises_invalid (fun () -> Byte_buf.w_u32 w (-1)));
+  checkb "nothing written by rejected w_u32" true (Byte_buf.w_len w = 0);
+  Byte_buf.w_u32 w 0xFFFF_FFFF;
+  let r = Byte_buf.reader (Byte_buf.w_contents w) in
+  checki "max u32 round-trips" 0xFFFF_FFFF (Byte_buf.u32 r);
+  (* ten continuation groups = 70 bits: must refuse, not wrap *)
+  let bad = Bytes.make 10 '\x80' in
+  Bytes.set bad 9 '\x01';
+  checkb "uleb128 >63 bits raises" true
+    (match Byte_buf.uleb128 (Byte_buf.reader bad) with
+    | exception Byte_buf.Malformed _ -> true
+    | _ -> false);
+  (* a 9-group chain (63 bits) is still fine *)
+  let ok = Bytes.make 9 '\x80' in
+  Bytes.set ok 8 '\x01';
+  checkb "63-bit uleb128 accepted" true
+    (Byte_buf.uleb128 (Byte_buf.reader ok) = 1 lsl 56)
+
 let qt t = QCheck_alcotest.to_alcotest ~long:false t
 
 (* --- stats ------------------------------------------------------------------- *)
@@ -315,6 +381,8 @@ let () =
           Alcotest.test_case "gaps" `Quick test_interval_map_gaps;
           Alcotest.test_case "overlap queries & boundaries" `Quick
             test_interval_map_overlap_queries;
+          Alcotest.test_case "high-half (unsigned) addresses" `Quick
+            test_interval_map_high_addresses;
           qt prop_interval_disjoint;
         ] );
       ( "digraph",
@@ -337,6 +405,8 @@ let () =
       ( "byte-buf",
         [
           Alcotest.test_case "roundtrip" `Quick test_byte_buf_roundtrip;
+          Alcotest.test_case "overflow rejection" `Quick
+            test_byte_buf_overflow;
           qt prop_uleb_roundtrip;
         ] );
     ]
