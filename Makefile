@@ -4,16 +4,18 @@
 #   test         run the full unit/integration suite
 #   fmt          check dune-file formatting (no ocamlformat dependency)
 #   bench-smoke  reduced-iteration bench (exercises the instrumentation,
-#                tracing and profiling paths; writes *.smoke.json only)
+#                tracing, profiling and sim-throughput paths; writes
+#                *.smoke.json only)
 #   fuzz-smoke   fixed-seed differential fuzz: rvsim vs the Sail IR in
-#                lockstep, the exhaustive RVC decoder sweep, and the
-#                rewrite round-trip on two mutatees.  Deterministic and
-#                sub-second; prints an `rvcheck replay --seed N --index K`
+#                lockstep, the exhaustive RVC decoder sweep, the rewrite
+#                round-trip on two mutatees, and the superblock-engine vs
+#                interpreter differential.  Deterministic and sub-second;
+#                prints an `rvcheck replay --seed N --index K`
 #                reproducer line on any divergence
 #   check        fmt + build + test + fuzz-smoke + bench-smoke — what CI
 #                and the PR driver run
-#   bench        regenerate the evaluation tables, BENCH_trace.json and
-#                BENCH_prof.json
+#   bench        regenerate the evaluation tables, BENCH_trace.json,
+#                BENCH_prof.json and BENCH_sim.json
 
 .PHONY: all build test fmt check bench bench-smoke fuzz-smoke clean
 

@@ -605,6 +605,103 @@ let lockstep_throughput ?(count = 50_000) () =
       stats.Check_api.Oracle.s_divergences
 
 (* ------------------------------------------------------------------ *)
+(* rvsim throughput: superblock engine vs per-instruction interpreter   *)
+(* ------------------------------------------------------------------ *)
+
+(* Host-side MIPS (millions of simulated instructions retired per
+   wall-clock second) for the two execution engines, trace-off and
+   trace-on.  Trace-on forces the block engine into its degraded
+   per-instruction mode, so that row measures the observability
+   fallback, not the code cache.  Every number is paired with the
+   engine differential (Check_api.Enginediff), which must report zero
+   divergences for the speedup to count. *)
+let sim_throughput ?(smoke = false) ?(json = "BENCH_sim.json") () =
+  print_endline "\n== rvsim throughput: superblock engine vs interpreter ==";
+  let n = if smoke then 10 else 24 in
+  let reps = if smoke then 1 else 2 in
+  Printf.printf "   mutatee: %dx%d double matmul, %d reps\n" n n reps;
+  let img =
+    (Minicc.Driver.compile (Minicc.Programs.matmul ~n ~reps)).Minicc.Driver.image
+  in
+  let min_time = if smoke then 0.05 else 0.4 in
+  (* repeat whole runs until [min_time] host seconds accumulate, so the
+     smoke numbers are not pure noise *)
+  let measure ~engine ~traced =
+    Rvsim.Bbcache.reset_stats ();
+    let rec go insns dt iters =
+      if iters >= 1 && dt >= min_time then Int64.to_float insns /. 1e6 /. dt
+      else begin
+        let p = Rvsim.Loader.load ~engine img in
+        if traced then
+          p.Rvsim.Loader.machine.Rvsim.Machine.trace <- Some (fun _ _ -> ());
+        let t0 = Unix.gettimeofday () in
+        let stop, _ = Rvsim.Loader.run p in
+        let dt' = Unix.gettimeofday () -. t0 in
+        (match stop with
+        | Rvsim.Machine.Exited 0 -> ()
+        | s ->
+            Format.kasprintf failwith "sim-throughput mutatee failed: %a"
+              Rvsim.Machine.pp_stop s);
+        go
+          (Int64.add insns p.Rvsim.Loader.machine.Rvsim.Machine.instret)
+          (dt +. dt') (iters + 1)
+      end
+    in
+    go 0L 0.0 0
+  in
+  let interp_off = measure ~engine:Rvsim.Machine.Eng_interp ~traced:false in
+  let block_off = measure ~engine:Rvsim.Machine.Eng_block ~traced:false in
+  let st = Rvsim.Bbcache.stats in
+  let translated = st.Rvsim.Bbcache.st_translated
+  and chain_hits = st.Rvsim.Bbcache.st_chain_hits
+  and flushes = Rvsim.Bbcache.flushes () in
+  let interp_on = measure ~engine:Rvsim.Machine.Eng_interp ~traced:true in
+  let block_on = measure ~engine:Rvsim.Machine.Eng_block ~traced:true in
+  let speedup_off = block_off /. interp_off in
+  let speedup_on = block_on /. interp_on in
+  Printf.printf "   %-12s %12s %12s\n" "engine" "trace-off" "trace-on";
+  Printf.printf "   %-12s %9.1f MIPS %9.1f MIPS\n" "interpreter" interp_off
+    interp_on;
+  Printf.printf "   %-12s %9.1f MIPS %9.1f MIPS\n" "superblock" block_off block_on;
+  Printf.printf "   %-12s %11.2fx %11.2fx\n" "speedup" speedup_off speedup_on;
+  Printf.printf
+    "   block cache: %d blocks translated, %d chain hits, %d flushes\n"
+    translated chain_hits flushes;
+  Printf.printf "   trace-off speedup >= 3x: %s\n"
+    (if speedup_off >= 3.0 then "ok" else "VIOLATED");
+  (* the speedup only counts if the engines are indistinguishable *)
+  let diff =
+    Check_api.Enginediff.sweep
+      ~mutatees:
+        (if smoke then [ "fib"; "calls" ] else Check_api.Roundtrip.builtin_names)
+      ~seeds:(if smoke then 10 else 25)
+      ()
+  in
+  Format.printf "   %a" Check_api.Enginediff.pp_summary diff;
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"mutatee\": \"matmul_%dx%d_reps%d\",\n\
+    \  \"interp_mips\": %.2f,\n\
+    \  \"block_mips\": %.2f,\n\
+    \  \"interp_trace_mips\": %.2f,\n\
+    \  \"block_trace_mips\": %.2f,\n\
+    \  \"speedup_trace_off\": %.2f,\n\
+    \  \"speedup_trace_on\": %.2f,\n\
+    \  \"blocks_translated\": %d,\n\
+    \  \"chain_hits\": %d,\n\
+    \  \"flushes\": %d,\n\
+    \  \"engine_diff_runs\": %d,\n\
+    \  \"engine_diff_divergences\": %d,\n\
+    \  \"speedup_3x_ok\": %b\n\
+     }\n"
+    n n reps interp_off block_off interp_on block_on speedup_off speedup_on
+    translated chain_hits flushes diff.Check_api.Enginediff.s_checked
+    diff.Check_api.Enginediff.s_diverged (speedup_off >= 3.0);
+  close_out oc;
+  Printf.printf "   wrote %s\n" json
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let flag f = Array.exists (( = ) f) Sys.argv in
@@ -616,12 +713,17 @@ let () =
     trace_overhead ~json:"BENCH_trace.smoke.json" ();
     prof_overhead ~smoke:true ~json:"BENCH_prof.smoke.json" ();
     lockstep_throughput ~count:4_000 ();
+    sim_throughput ~smoke:true ~json:"BENCH_sim.smoke.json" ();
     print_endline "\nbench: smoke done"
   end
+  else if flag "--sim" then
+    (* full-config sim-throughput section alone (rewrites BENCH_sim.json) *)
+    sim_throughput ()
   else begin
     table_4_3 ();
     trace_overhead ();
     prof_overhead ();
+    sim_throughput ();
     ablation_dead_regs ();
     ablation_cisc_flags ();
     ablation_jump_strategies ();

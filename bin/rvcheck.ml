@@ -12,6 +12,10 @@
      rvcheck roundtrip [--mutatee all|fib|...]
          instrument a mutatee with an effect-free probe, rewrite, and
          compare the visible state of original vs rewritten runs
+     rvcheck engine --seeds 50
+         run the same mutatees under the per-instruction interpreter and
+         the superblock engine and diff final registers, memory, cycles,
+         instret, HPM counters and timer firing points
      rvcheck smoke
          the bounded fixed-seed sweep `make fuzz-smoke` runs in CI      *)
 
@@ -80,13 +84,29 @@ let run_roundtrip mutatees =
   List.iter (fun r -> pr "%a" Roundtrip.pp_result r) results;
   if List.exists (fun r -> r.Roundtrip.rt_diffs <> []) results then 1 else 0
 
-(* The CI profile: fixed seed, bounded, sub-second; covers all three
+let run_engine mutatees seeds len verbose =
+  let mutatees =
+    match mutatees with [] | [ "all" ] -> Roundtrip.builtin_names | ms -> ms
+  in
+  let s = Enginediff.sweep ~mutatees ~seeds ~len () in
+  if verbose then
+    List.iter
+      (fun name ->
+        List.iter
+          (fun obs -> pr "%a" Enginediff.pp_result (Enginediff.check_builtin name obs))
+          Enginediff.all_obs)
+      mutatees;
+  pr "%a" Enginediff.pp_summary s;
+  if s.Enginediff.s_diverged = 0 then 0 else 1
+
+(* The CI profile: fixed seed, bounded, sub-second; covers all four
    harness legs so `make fuzz-smoke` exercises everything. *)
 let run_smoke () =
   let rc1 = run_lockstep 1L 4000 false in
   let rc2 = run_decoder () in
   let rc3 = run_roundtrip [ "fib"; "calls" ] in
-  if rc1 + rc2 + rc3 = 0 then begin
+  let rc4 = run_engine [ "fib"; "calls" ] 10 40 false in
+  if rc1 + rc2 + rc3 + rc4 = 0 then begin
     pr "fuzz-smoke: ok@.";
     0
   end
@@ -138,6 +158,21 @@ let roundtrip_cmd =
     (Cmd.info "roundtrip" ~doc:"rewrite round-trip transparency check")
     Term.(const run_roundtrip $ mutatee_arg)
 
+let seeds_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "seeds" ] ~docv:"N" ~doc:"seeded straight-line programs to diff")
+
+let len_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "len" ] ~docv:"K" ~doc:"instructions per straight-line program")
+
+let engine_cmd =
+  Cmd.v
+    (Cmd.info "engine" ~doc:"superblock engine vs interpreter differential")
+    Term.(const run_engine $ mutatee_arg $ seeds_arg $ len_arg $ verbose_arg)
+
 let smoke_cmd =
   Cmd.v
     (Cmd.info "smoke" ~doc:"bounded fixed-seed sweep for CI")
@@ -147,6 +182,6 @@ let cmd =
   Cmd.group
     (Cmd.info "rvcheck"
        ~doc:"differential correctness harness (rvsim vs Sail IR, rewrite round trip)")
-    [ lockstep_cmd; replay_cmd; decoder_cmd; roundtrip_cmd; smoke_cmd ]
+    [ lockstep_cmd; replay_cmd; decoder_cmd; roundtrip_cmd; engine_cmd; smoke_cmd ]
 
 let () = exit (Cmd.eval' cmd)

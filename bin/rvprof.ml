@@ -61,7 +61,10 @@ let run_profile stats mutatee period cost max_frames events =
   (binary, config, r)
 
 let finish stats =
-  if stats then Dyn_util.Stats.report ()
+  if stats then begin
+    Rvsim.Bbcache.note_stats ();
+    Dyn_util.Stats.report ()
+  end
 
 (* --- profile: the flat table (+ optional cross-validation) ------------------ *)
 

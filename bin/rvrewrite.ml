@@ -44,7 +44,10 @@ let rewrite input output entries blocks exits verbose stats =
         Printf.printf "  springboard 0x%Lx: %s\n" addr
           (Patch_api.Rewriter.strategy_name strat))
       s.Patch_api.Rewriter.strategies;
-  if stats then Dyn_util.Stats.report ()
+  if stats then begin
+    Rvsim.Bbcache.note_stats ();
+    Dyn_util.Stats.report ()
+  end
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"IN" ~doc:"input binary")

@@ -108,7 +108,10 @@ let run mutatee funcs no_blocks calls returns mem capacity reports out verbose
       Format.printf "@.raw trace written to %s@." path);
   if verbose then
     List.iter (fun r -> Format.printf "%a@." Trace_api.Record.pp r) records;
-  if stats then Dyn_util.Stats.report ()
+  if stats then begin
+    Rvsim.Bbcache.note_stats ();
+    Dyn_util.Stats.report ()
+  end
 
 let mutatee_arg =
   Arg.(

@@ -83,6 +83,15 @@ let map_code_region t ~base ~size =
 let add_redirect t ~from ~dest = Hashtbl.replace t.redirects from dest
 let remove_redirect t ~from = Hashtbl.remove t.redirects from
 
+(* Execution-engine selection for [continue_]'s Machine.run: the
+   superblock code cache (default) or the per-instruction interpreter.
+   Breakpoint and patch semantics are identical either way —
+   [write_memory] flushes the icache, which also invalidates translated
+   blocks — but a debugging session that wants to rule the code cache
+   out of a diagnosis can force the interpreter. *)
+let set_engine t e = (machine t).Rvsim.Machine.engine <- e
+let get_engine t = (machine t).Rvsim.Machine.engine
+
 (* --- breakpoints -------------------------------------------------------------- *)
 
 exception Proc_error of string

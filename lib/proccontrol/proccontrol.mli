@@ -58,6 +58,15 @@ val add_redirect : t -> from:int64 -> dest:int64 -> unit
 
 val remove_redirect : t -> from:int64 -> unit
 
+(** Which execution engine {!continue_} resumes under: the superblock
+    code cache (default) or the per-instruction interpreter.  Breakpoint
+    and patch semantics are identical either way — {!write_memory}'s
+    icache flush also invalidates translated blocks — but forcing
+    [Eng_interp] rules the code cache out of a debugging diagnosis. *)
+val set_engine : t -> Rvsim.Machine.engine -> unit
+
+val get_engine : t -> Rvsim.Machine.engine
+
 (** {1 Breakpoints} *)
 
 (** Plant a breakpoint (a 2-byte c.ebreak, so it fits any instruction). *)

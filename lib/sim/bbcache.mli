@@ -1,0 +1,35 @@
+(** The superblock execution engine (rvsim's code cache): translates
+    straight-line instruction runs into arrays of pre-bound micro-op
+    closures, caches them per region keyed by halfword offset, chains
+    direct-jump successors tail-to-head, and is invalidated wholesale by
+    {!Machine.flush_icache}.  Registered as {!Machine.run}'s default
+    engine at module initialization.
+
+    While a trace hook, armed sampling timer or active HPM selector
+    needs per-instruction visibility, dispatch degrades to the precise
+    interpreter, so both engines produce identical architectural state,
+    cycles, instret, HPM counts and timer firing points. *)
+
+(** Run until a stop event or [max_steps] on the block engine. *)
+val run : ?max_steps:int -> Machine.t -> Machine.stop
+
+type stats = {
+  mutable st_translated : int;  (** blocks translated *)
+  mutable st_blocks : int;  (** block executions (fast path) *)
+  mutable st_chain_hits : int;  (** dispatches resolved through a chain *)
+  mutable st_degraded : int;  (** precise steps under observability *)
+  mutable st_singles : int;  (** precise steps for budget/uncached pcs *)
+}
+
+(** Process-wide counters since start (or the last {!reset_stats}). *)
+val stats : stats
+
+val reset_stats : unit -> unit
+
+(** {!Machine.flush_icache} invocations since start/reset. *)
+val flushes : unit -> int
+
+(** Push the counters into [Dyn_util.Stats] for the tools' --stats flag. *)
+val note_stats : unit -> unit
+
+val pp_stats : Format.formatter -> unit -> unit

@@ -31,9 +31,10 @@ let parse_trap_map (img : Types.image) =
   | _ -> ());
   h
 
-let load ?(argv = [ "mutatee" ]) ?(echo = false) ?model (img : Types.image) :
-    process =
+let load ?(argv = [ "mutatee" ]) ?(echo = false) ?model
+    ?(engine = Machine.Eng_block) (img : Types.image) : process =
   let m = Machine.create ?model () in
+  m.Machine.engine <- engine;
   let mem = m.Machine.mem in
   let data_end = ref 0L in
   List.iter
@@ -75,7 +76,8 @@ let load ?(argv = [ "mutatee" ]) ?(echo = false) ?model (img : Types.image) :
   ignore stack_size;
   { machine = m; os; image = img; trap_map = parse_trap_map img }
 
-let load_file ?argv ?echo ?model path = load ?argv ?echo ?model (Read.of_file path)
+let load_file ?argv ?echo ?model ?engine path =
+  load ?argv ?echo ?model ?engine (Read.of_file path)
 
 (* Convenience: run to completion, returning exit status and stdout.
    Trap springboards (from rewritten binaries) are transparently

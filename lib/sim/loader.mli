@@ -19,13 +19,16 @@ type process = {
 }
 
 (** Load an image: map sections, build the stack, attach syscalls.
-    [echo] additionally copies the process's stdout to the host's. *)
+    [echo] additionally copies the process's stdout to the host's;
+    [engine] selects which execution engine [Machine.run] dispatches to
+    (default: the superblock engine). *)
 val load :
-  ?argv:string list -> ?echo:bool -> ?model:Cost.model -> Elfkit.Types.image ->
-  process
+  ?argv:string list -> ?echo:bool -> ?model:Cost.model ->
+  ?engine:Machine.engine -> Elfkit.Types.image -> process
 
 val load_file :
-  ?argv:string list -> ?echo:bool -> ?model:Cost.model -> string -> process
+  ?argv:string list -> ?echo:bool -> ?model:Cost.model ->
+  ?engine:Machine.engine -> string -> process
 
 (** Run to completion, transparently servicing trap springboards; returns
     the stop reason and everything written to stdout. *)

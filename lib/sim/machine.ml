@@ -3,16 +3,16 @@
    Decoded instructions are cached per executable region in a slot array
    indexed by halfword offset; [flush_icache] (called by FENCE.I and by
    ProcControlAPI after patching code) invalidates the cache, mirroring
-   what real instrumentation must do on hardware. *)
+   what real instrumentation must do on hardware.
+
+   Translated superblocks (see Bbcache) share the same per-region,
+   per-halfword discipline through [bslots] and are invalidated by the
+   same [flush_icache].  The block engine itself lives in bbcache.ml; it
+   registers through [install_block_engine] so this module stays at the
+   bottom of the dependency order. *)
 
 open Riscv
 open Dyn_util
-
-type region = {
-  r_base : int64;
-  r_size : int;
-  slots : Insn.t option array; (* one slot per halfword *)
-}
 
 type stop =
   | Exited of int
@@ -22,11 +22,22 @@ type stop =
 
 type ecall_action = Ecall_continue | Ecall_exit of int
 
+(* Which execution engine [run] uses for this machine.  [step] is always
+   the precise interpreter regardless of this setting. *)
+type engine = Eng_block | Eng_interp
+
 (* mhpmcounter3..mhpmcounter3+n_hpm_counters-1, each with a per-counter
    event selector (see Cost.event) *)
 let n_hpm_counters = 7
 
-type t = {
+type region = {
+  r_base : int64;
+  r_size : int;
+  slots : Insn.t option array; (* decode cache, one slot per halfword *)
+  bslots : block option array; (* superblock cache, same indexing *)
+}
+
+and t = {
   regs : int64 array; (* x0..x31; x0 kept 0 *)
   fregs : int64 array; (* raw f0..f31 bits, NaN-boxed for singles *)
   mem : Mem.t;
@@ -39,14 +50,33 @@ type t = {
   hpm_event : Cost.event array; (* per-counter selectors (mhpmevent3..9) *)
   mutable hpm_active : bool; (* any selector non-off: count on retire *)
   mutable reservation : int64 option;
-  mutable code_regions : region list;
+  mutable code_regions : region array; (* sorted by r_base, disjoint *)
   mutable last_region : region option;
+  mutable icache_gen : int; (* bumped by flush_icache; stale-block fence *)
+  mutable engine : engine;
   mutable on_ecall : t -> ecall_action;
   mutable trace : (int64 -> Insn.t -> unit) option;
   mutable timer_period : int64; (* sampling timer; 0 = disarmed *)
   mutable timer_deadline : int64; (* cycle count of the next firing *)
   mutable on_timer : (t -> unit) option;
   model : Cost.model;
+}
+
+(* A translated straight-line run of instructions: the body as pre-bound
+   micro-op closures, retired with one instret/cycles add, ending just
+   before a control-flow/system terminator that executes through the
+   precise interpreter. *)
+and block = {
+  bk_pc : int64; (* first body instruction *)
+  bk_term_pc : int64; (* the terminator (= bk_pc when the body is empty) *)
+  bk_term : Insn.t option; (* pre-decoded terminator, None = fetch at run time *)
+  bk_ninsns : int; (* body length, excluding the terminator *)
+  bk_cycles : int; (* precomputed cost-model total of the body *)
+  bk_ops : (t -> unit) array;
+  bk_gen : int; (* icache_gen at translation; mismatch = stale *)
+  bk_chainable : bool; (* false for indirect-jump terminators *)
+  mutable bk_c1 : (int64 * block) option; (* tail-to-head chain slots: *)
+  mutable bk_c2 : (int64 * block) option; (* successor pc -> block *)
 }
 
 let create ?(model = Cost.p550) () =
@@ -63,8 +93,10 @@ let create ?(model = Cost.p550) () =
     hpm_event = Array.make n_hpm_counters Cost.Ev_off;
     hpm_active = false;
     reservation = None;
-    code_regions = [];
+    code_regions = [||];
     last_region = None;
+    icache_gen = 0;
+    engine = Eng_block;
     on_ecall = (fun _ -> Ecall_exit 127) (* no OS attached *);
     trace = None;
     timer_period = 0L;
@@ -78,10 +110,22 @@ let set_reg t r v = if r <> 0 then t.regs.(r) <- v
 let get_freg t r = t.fregs.(r)
 let set_freg t r v = t.fregs.(r) <- v
 
-(* Register an executable region so its decodes are cached. *)
+(* Register an executable region so its decodes are cached.  Regions are
+   kept in a base-sorted array: rewriting adds trampoline regions, so
+   lookup must not degrade into a linear scan (registration itself is
+   rare and may pay the sort). *)
 let add_code_region t ~base ~size =
-  let region = { r_base = base; r_size = size; slots = Array.make ((size / 2) + 1) None } in
-  t.code_regions <- region :: t.code_regions;
+  let region =
+    {
+      r_base = base;
+      r_size = size;
+      slots = Array.make ((size / 2) + 1) None;
+      bslots = Array.make ((size / 2) + 1) None;
+    }
+  in
+  let rs = Array.append t.code_regions [| region |] in
+  Array.sort (fun a b -> Int64.compare a.r_base b.r_base) rs;
+  t.code_regions <- rs;
   region
 
 let bump_hpm_event t ev =
@@ -90,22 +134,45 @@ let bump_hpm_event t ev =
       if t.hpm_event.(k) = ev then t.hpm.(k) <- Int64.add t.hpm.(k) 1L
     done
 
+(* Flushes since process start, for the block-cache statistics surfaced
+   by the tools' --stats flag. *)
+let flush_counter = ref 0
+
 let flush_icache t =
-  List.iter (fun r -> Array.fill r.slots 0 (Array.length r.slots) None) t.code_regions;
+  Array.iter
+    (fun r ->
+      Array.fill r.slots 0 (Array.length r.slots) None;
+      Array.fill r.bslots 0 (Array.length r.bslots) None)
+    t.code_regions;
   t.last_region <- None;
+  t.icache_gen <- t.icache_gen + 1;
+  incr flush_counter;
   bump_hpm_event t Cost.Ev_flush
 
 let in_region r (pc : int64) =
   Int64.compare pc r.r_base >= 0
   && Int64.compare pc (Int64.add r.r_base (Int64.of_int r.r_size)) < 0
 
+(* Binary search for the region with the greatest base <= pc (regions
+   are disjoint, so it is the only candidate). *)
 let find_region t pc =
   match t.last_region with
   | Some r when in_region r pc -> Some r
   | _ ->
-      let found = List.find_opt (fun r -> in_region r pc) t.code_regions in
-      (match found with Some _ -> t.last_region <- found | None -> ());
-      found
+      let rs = t.code_regions in
+      let found = ref None in
+      let lo = ref 0 and hi = ref (Array.length rs - 1) in
+      while !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let r = rs.(mid) in
+        if Int64.compare pc r.r_base < 0 then hi := mid - 1
+        else begin
+          if in_region r pc then found := Some r;
+          lo := mid + 1
+        end
+      done;
+      (match !found with Some _ -> t.last_region <- !found | None -> ());
+      !found
 
 exception Stopped of stop
 
@@ -216,10 +283,15 @@ let csr_write t csr v =
 
 (* --- the interpreter ----------------------------------------------------- *)
 
-let exec_step t =
-  let pc = t.pc in
-  let i = fetch t pc in
-  (match t.trace with Some f -> f pc i | None -> ());
+(* Execute the side effects of one decoded instruction at [pc]: registers,
+   memory, CSRs — everything except pc assignment and retire accounting
+   (instret, HPM, cycles, timer), which the caller owns.  Returns the
+   next pc and whether a control transfer was taken.  This is the single
+   source of op semantics: the interpreter retires through it directly
+   and the block engine uses it as the generic micro-op for every
+   instruction it does not hand-specialize, so the two paths cannot
+   drift. *)
+let exec_op t (i : Insn.t) ~pc : int64 * bool =
   let next = Int64.add pc (Int64.of_int i.Insn.len) in
   let rs1 () = get_reg t i.rs1 in
   let rs2 () = get_reg t i.rs2 in
@@ -530,15 +602,20 @@ let exec_step t =
   | Op.ORC_B -> wr (Bitmanip.orc_b (rs1 ()))
   | op ->
       fault (Printf.sprintf "unimplemented op %s" (Op.mnemonic op)) pc);
-  t.pc <- !mut_pc;
+  (!mut_pc, !taken)
+
+(* Retire accounting for one executed instruction: instret, HPM events,
+   cycle cost, sampling-timer deadline.  Shared between the interpreter
+   and the block engine's terminator path. *)
+let retire t (i : Insn.t) ~taken =
   t.instret <- Int64.add t.instret 1L;
   if t.hpm_active then
     for k = 0 to n_hpm_counters - 1 do
-      if Cost.counts_event t.hpm_event.(k) i ~taken:!taken then
+      if Cost.counts_event t.hpm_event.(k) i ~taken then
         t.hpm.(k) <- Int64.add t.hpm.(k) 1L
     done;
   let c = t.model.Cost.cost i.op in
-  let c = if !taken then c + t.model.Cost.taken_branch_penalty else c in
+  let c = if taken then c + t.model.Cost.taken_branch_penalty else c in
   t.cycles <- Int64.add t.cycles (Int64.of_int c);
   (* the deterministic sampling timer: fires between retired
      instructions, once per deadline crossing *)
@@ -553,6 +630,14 @@ let exec_step t =
       t.timer_deadline <- Int64.add t.cycles t.timer_period
   end
 
+let exec_step t =
+  let pc = t.pc in
+  let i = fetch t pc in
+  (match t.trace with Some f -> f pc i | None -> ());
+  let next_pc, taken = exec_op t i ~pc in
+  t.pc <- next_pc;
+  retire t i ~taken
+
 (* Arm the cycle-based sampling timer: [fn] runs between instructions
    every [period] simulated cycles (ProcControlAPI plumbs this to
    PerfAPI's sample hook). *)
@@ -566,15 +651,18 @@ let clear_timer t =
   t.timer_period <- 0L;
   t.on_timer <- None
 
-(* Single step; returns [None] if the machine can continue. *)
+(* Single step; returns [None] if the machine can continue.  Always the
+   precise interpreter — ProcControl breakpoints and the lockstep oracle
+   depend on exact per-instruction semantics. *)
 let step t : stop option =
   match exec_step t with
   | () -> None
   | exception Stopped s -> Some s
   | exception Mem.Fault a -> Some (Fault ("memory fault", a))
 
-(* Run until a stop event or [max_steps]. *)
-let run ?(max_steps = max_int) t : stop =
+(* Run until a stop event or [max_steps] on the per-instruction
+   interpreter. *)
+let run_interp ?(max_steps = max_int) t : stop =
   let rec go n =
     if n >= max_steps then Limit
     else
@@ -584,6 +672,22 @@ let run ?(max_steps = max_int) t : stop =
       | exception Mem.Fault a -> Fault ("memory fault", a)
   in
   go 0
+
+(* Bbcache registers its block engine here at module initialization.
+   The indirection keeps Machine below Bbcache in the compilation order;
+   rvsim is linked with -linkall so the registration always happens in
+   executables that only reach Machine.run. *)
+let block_engine : (max_steps:int -> t -> stop) option ref = ref None
+let install_block_engine f = block_engine := Some f
+
+(* Run until a stop event or [max_steps].  Dispatches to the superblock
+   engine unless the machine opted into [Eng_interp]; both engines
+   produce identical architectural state, cycles, instret, HPM counts
+   and timer firing points (rvcheck's engine mode proves it). *)
+let run ?(max_steps = max_int) t : stop =
+  match (t.engine, !block_engine) with
+  | Eng_block, Some f -> f ~max_steps t
+  | _ -> run_interp ~max_steps t
 
 let pp_stop fmt = function
   | Exited c -> Format.fprintf fmt "exited(%d)" c

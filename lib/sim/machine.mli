@@ -4,13 +4,13 @@
     Decoded instructions are cached per executable region;
     {!flush_icache} (triggered by FENCE.I and by ProcControlAPI after
     patching code) invalidates the cache, mirroring what real
-    instrumentation must do on hardware. *)
+    instrumentation must do on hardware.
 
-type region = {
-  r_base : int64;
-  r_size : int;
-  slots : Riscv.Insn.t option array;  (** decode cache, one per halfword *)
-}
+    Execution has two engines: the precise per-instruction interpreter
+    ({!step}, {!run_interp}) and the superblock engine (Bbcache), which
+    {!run} dispatches to by default.  Both retire identical
+    architectural state, cycles, instret, HPM counts and timer firings;
+    rvcheck's engine mode diffs them. *)
 
 (** Why execution stopped. *)
 type stop =
@@ -21,10 +21,20 @@ type stop =
 
 type ecall_action = Ecall_continue | Ecall_exit of int
 
+(** Which engine {!run} uses; {!step} is always the precise interpreter. *)
+type engine = Eng_block | Eng_interp
+
 (** Number of programmable HPM counters (mhpmcounter3..9). *)
 val n_hpm_counters : int
 
-type t = {
+type region = {
+  r_base : int64;
+  r_size : int;
+  slots : Riscv.Insn.t option array;  (** decode cache, one per halfword *)
+  bslots : block option array;  (** superblock cache, same indexing *)
+}
+
+and t = {
   regs : int64 array;  (** x0..x31; x0 kept 0 *)
   fregs : int64 array;  (** raw f0..f31 bits, NaN-boxed singles *)
   mem : Mem.t;
@@ -37,14 +47,34 @@ type t = {
   hpm_event : Cost.event array;  (** per-counter selectors (mhpmevent3..9) *)
   mutable hpm_active : bool;
   mutable reservation : int64 option;  (** LR/SC reservation *)
-  mutable code_regions : region list;
+  mutable code_regions : region array;  (** base-sorted, disjoint *)
   mutable last_region : region option;
+  mutable icache_gen : int;  (** bumped by {!flush_icache} *)
+  mutable engine : engine;
   mutable on_ecall : t -> ecall_action;  (** the attached OS *)
   mutable trace : (int64 -> Riscv.Insn.t -> unit) option;
   mutable timer_period : int64;  (** sampling timer; 0 = disarmed *)
   mutable timer_deadline : int64;
   mutable on_timer : (t -> unit) option;
   model : Cost.model;
+}
+
+(** A translated straight-line superblock: pre-bound micro-op closures
+    for the body, retired with one instret/cycles add, ending just
+    before a control-flow/system terminator that runs through the
+    precise interpreter. *)
+and block = {
+  bk_pc : int64;
+  bk_term_pc : int64;
+  bk_term : Riscv.Insn.t option;
+      (** terminator pre-decoded at translation; [None] = fetch at run time *)
+  bk_ninsns : int;
+  bk_cycles : int;
+  bk_ops : (t -> unit) array;
+  bk_gen : int;  (** icache_gen at translation; mismatch = stale *)
+  bk_chainable : bool;
+  mutable bk_c1 : (int64 * block) option;
+  mutable bk_c2 : (int64 * block) option;
 }
 
 val create : ?model:Cost.model -> unit -> t
@@ -56,7 +86,8 @@ val set_freg : t -> int -> int64 -> unit
 (** Register an executable region so its decodes are cached. *)
 val add_code_region : t -> base:int64 -> size:int -> region
 
-(** Drop all cached decodes (FENCE.I semantics; call after patching). *)
+(** Drop all cached decodes and translated blocks (FENCE.I semantics;
+    call after patching). *)
 val flush_icache : t -> unit
 
 (** Raised by {!csr_read}/{!csr_write} for unimplemented CSR numbers or
@@ -79,11 +110,16 @@ val set_timer : t -> period:int64 -> (t -> unit) -> unit
 
 val clear_timer : t -> unit
 
-(** Execute one instruction; [Some stop] if the machine cannot continue. *)
+(** Execute one instruction precisely; [Some stop] if the machine cannot
+    continue. *)
 val step : t -> stop option
 
-(** Run until a stop event or [max_steps]. *)
+(** Run until a stop event or [max_steps]; dispatches to the superblock
+    engine unless [t.engine] is [Eng_interp]. *)
 val run : ?max_steps:int -> t -> stop
+
+(** Run on the per-instruction interpreter regardless of [t.engine]. *)
+val run_interp : ?max_steps:int -> t -> stop
 
 val pp_stop : Format.formatter -> stop -> unit
 
@@ -92,4 +128,11 @@ val pp_stop : Format.formatter -> stop -> unit
 exception Stopped of stop
 
 val exec_step : t -> unit
+val exec_op : t -> Riscv.Insn.t -> pc:int64 -> int64 * bool
+val retire : t -> Riscv.Insn.t -> taken:bool -> unit
 val fetch : t -> int64 -> Riscv.Insn.t
+val decode_at : t -> int64 -> Riscv.Insn.t option
+val in_region : region -> int64 -> bool
+val find_region : t -> int64 -> region option
+val install_block_engine : (max_steps:int -> t -> stop) -> unit
+val flush_counter : int ref

@@ -89,28 +89,51 @@ let write64 t a (v : int64) =
       (Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xFFFF_FFFFL))
   end
 
+(* Byte-range accesses blit whole page-sized chunks: these sit on the
+   loader, trace-sink drain and round-trip data-section diff paths,
+   where byte-at-a-time address arithmetic dominates. *)
 let read_bytes t a n =
   let b = Bytes.create n in
-  for k = 0 to n - 1 do
-    Bytes.set b k (Char.chr (read8 t (Int64.add a (Int64.of_int k))))
-  done;
+  let rec go k =
+    if k < n then begin
+      let ai = addr_int (Int64.add a (Int64.of_int k)) in
+      let off = ai land (page_size - 1) in
+      let len = min (n - k) (page_size - off) in
+      Bytes.blit (page t (ai lsr page_bits)) off b k len;
+      go (k + len)
+    end
+  in
+  go 0;
   b
 
 let write_bytes t a (b : Bytes.t) =
-  for k = 0 to Bytes.length b - 1 do
-    write8 t (Int64.add a (Int64.of_int k)) (Char.code (Bytes.get b k))
-  done
+  let n = Bytes.length b in
+  let rec go k =
+    if k < n then begin
+      let ai = addr_int (Int64.add a (Int64.of_int k)) in
+      let off = ai land (page_size - 1) in
+      let len = min (n - k) (page_size - off) in
+      Bytes.blit b k (page t (ai lsr page_bits)) off len;
+      go (k + len)
+    end
+  in
+  go 0
 
 let read_string t a max_len =
   let buf = Buffer.create 32 in
   let rec go k =
     if k >= max_len then Buffer.contents buf
     else
-      let c = read8 t (Int64.add a (Int64.of_int k)) in
-      if c = 0 then Buffer.contents buf
-      else begin
-        Buffer.add_char buf (Char.chr c);
-        go (k + 1)
-      end
+      let ai = addr_int (Int64.add a (Int64.of_int k)) in
+      let off = ai land (page_size - 1) in
+      let len = min (max_len - k) (page_size - off) in
+      let p = page t (ai lsr page_bits) in
+      match Bytes.index_from_opt p off '\000' with
+      | Some nul when nul < off + len ->
+          Buffer.add_subbytes buf p off (nul - off);
+          Buffer.contents buf
+      | _ ->
+          Buffer.add_subbytes buf p off len;
+          go (k + len)
   in
   go 0

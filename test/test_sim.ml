@@ -529,6 +529,132 @@ let test_timer_clear () =
   let _ = Machine.run m in
   Alcotest.(check int) "stopped after clear_timer" 3 !fires
 
+(* --- bulk memory, region lookup and the superblock engine ----------------- *)
+
+let test_mem_bulk_roundtrip () =
+  (* write_bytes/read_bytes across several pages, starting mid-page *)
+  let m = Mem.create () in
+  let n = 12_000 (* ~3 pages *) in
+  let src = Bytes.init n (fun k -> Char.chr ((k * 7) land 0xFF)) in
+  let base = 0x1FF0L (* 16 bytes before a page boundary *) in
+  Mem.write_bytes m base src;
+  let back = Mem.read_bytes m base n in
+  Alcotest.(check bool) "multi-page roundtrip" true (Bytes.equal src back);
+  (* the chunked writes must land at the same addresses byte writes do *)
+  Alcotest.(check int) "first byte" (Char.code (Bytes.get src 0)) (Mem.read8 m base);
+  Alcotest.(check int) "byte across the boundary"
+    (Char.code (Bytes.get src 16))
+    (Mem.read8 m 0x2000L);
+  Alcotest.(check int) "last byte"
+    (Char.code (Bytes.get src (n - 1)))
+    (Mem.read8 m (Int64.add base (Int64.of_int (n - 1))))
+
+let test_mem_read_string_pages () =
+  let m = Mem.create () in
+  (* a string whose NUL sits on the far side of a page boundary *)
+  let s = String.init 40 (fun k -> Char.chr (Char.code 'a' + (k mod 26))) in
+  let base = 0x2FE0L in
+  Mem.write_bytes m base (Bytes.of_string (s ^ "\000"));
+  Alcotest.(check string) "crosses the page" s (Mem.read_string m base 256);
+  (* max_len cuts an unterminated run (fresh pages read as NULs, so probe
+     inside the written bytes) *)
+  Alcotest.(check string) "max_len cutoff" (String.sub s 0 8)
+    (Mem.read_string m base 8)
+
+let test_find_region_many () =
+  (* trampoline-style region population: many disjoint regions added out
+     of base order, then looked up at bases, interiors, ends and gaps *)
+  let m = Machine.create () in
+  List.iter
+    (fun b -> ignore (Machine.add_code_region m ~base:b ~size:0x800))
+    [ 0x9000L; 0x1000L; 0x5000L; 0x3000L; 0x7000L ];
+  let base_at pc =
+    match Machine.find_region m pc with
+    | Some r -> r.Machine.r_base
+    | None -> -1L
+  in
+  check64 "own base" 0x1000L (base_at 0x1000L);
+  check64 "interior" 0x5000L (base_at 0x53FEL);
+  check64 "last byte" 0x30FFL (Int64.add (base_at 0x37FFL) 0xFFL);
+  check64 "highest region" 0x9000L (base_at 0x97FFL);
+  (* alternate between far-apart regions: defeats the last-region cache *)
+  check64 "lowest again" 0x1000L (base_at 0x17FFL);
+  check64 "below all" (-1L) (base_at 0xFFFL);
+  check64 "gap between regions" (-1L) (base_at 0x1800L);
+  check64 "just past the end" (-1L) (base_at 0x9800L)
+
+(* Self-modification under the block cache: block A ends in a direct
+   jump chained to block B; B's body is patched (store + fence.i) after
+   the chain is hot, and the patched bytes must execute on re-entry even
+   though the stale B was only reachable through A's chain slot. *)
+let selfmod_chain_items =
+  let open Asm in
+  let patch_word =
+    let b = Encode.encode (Build.addi Reg.a0 Reg.zero 20) in
+    Bytes.get_int64_le (Bytes.cat b (Bytes.make 4 '\000')) 0
+  in
+  [
+    Insn (Build.addi Reg.s0 Reg.zero 0);
+    Label "loop";
+    J "body" (* block A: chained tail-to-head to B *);
+    Label "body";
+    Insn (Build.addi Reg.a0 Reg.zero 10) (* block B body: the patch target *);
+    Br (Op.BNE, Reg.s0, Reg.zero, "after");
+    Insn (Build.addi Reg.s0 Reg.zero 1);
+    La (Reg.t0, "body");
+    Li (Reg.t1, patch_word);
+    Insn (Build.sw Reg.t1 0 Reg.t0);
+    Insn (Riscv.Insn.make Op.FENCE_I);
+    J "loop" (* re-enter through the (now stale) chain *);
+    Label "after";
+    Insn (Build.addi Reg.a0 Reg.a0 1);
+  ]
+  @ exit_with_a0
+
+let test_selfmod_chained_blocks () =
+  (* default engine: the superblock cache *)
+  let stop, _, _ = run_items selfmod_chain_items in
+  Alcotest.(check int) "patched chain result (block engine)" 21 (exit_code stop);
+  (* and the interpreter agrees *)
+  let p, _ = build_process selfmod_chain_items in
+  p.Loader.machine.Machine.engine <- Machine.Eng_interp;
+  let stop, _ = Loader.run p in
+  Alcotest.(check int) "patched chain result (interpreter)" 21 (exit_code stop)
+
+let test_engine_limit_parity () =
+  (* a step budget that expires mid-block must stop both engines at the
+     same pc with identical retired-instruction and cycle counts *)
+  let open Asm in
+  let items =
+    [
+      Insn (Build.addi Reg.a0 Reg.zero 0);
+      Insn (Build.addi Reg.a0 Reg.a0 1);
+      Insn (Build.addi Reg.a0 Reg.a0 2);
+      Insn (Build.addi Reg.a0 Reg.a0 3);
+      Insn (Build.addi Reg.a0 Reg.a0 4);
+      Insn (Build.addi Reg.a0 Reg.a0 5);
+    ]
+    @ exit_with_a0
+  in
+  let observe engine max_steps =
+    let p, _ = build_process items in
+    let m = p.Loader.machine in
+    m.Machine.engine <- engine;
+    let stop = Machine.run ~max_steps m in
+    (stop, m.Machine.pc, m.Machine.instret, m.Machine.cycles, m.Machine.regs.(10))
+  in
+  for budget = 1 to 8 do
+    let s1, pc1, i1, c1, a1 = observe Machine.Eng_interp budget in
+    let s2, pc2, i2, c2, a2 = observe Machine.Eng_block budget in
+    Alcotest.(check bool)
+      (Printf.sprintf "stop parity at budget %d" budget)
+      true (s1 = s2);
+    check64 "pc parity" pc1 pc2;
+    check64 "instret parity" i1 i2;
+    check64 "cycle parity" c1 c2;
+    check64 "a0 parity" a1 a2
+  done
+
 let () =
   Alcotest.run "sim"
     [
@@ -572,5 +698,19 @@ let () =
           Alcotest.test_case "step limit" `Quick test_step_limit;
           Alcotest.test_case "fence.i flushes icache" `Quick test_fence_i_flushes;
           Alcotest.test_case "cycle accounting" `Quick test_cycle_accounting;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "bulk bytes roundtrip" `Quick test_mem_bulk_roundtrip;
+          Alcotest.test_case "read_string across pages" `Quick
+            test_mem_read_string_pages;
+          Alcotest.test_case "find_region many regions" `Quick
+            test_find_region_many;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "self-modification through a chain" `Quick
+            test_selfmod_chained_blocks;
+          Alcotest.test_case "step-budget parity" `Quick test_engine_limit_parity;
         ] );
     ]
