@@ -12,12 +12,15 @@
 #                interpreter differential.  Deterministic and sub-second;
 #                prints an `rvcheck replay --seed N --index K`
 #                reproducer line on any divergence
-#   check        fmt + build + test + fuzz-smoke + bench-smoke — what CI
-#                and the PR driver run
+#   lint-smoke   static safety net: lint + instrument + rewrite + verify
+#                every built-in mutatee; fails on any error-severity
+#                diagnostic
+#   check        fmt + build + test + fuzz-smoke + lint-smoke +
+#                bench-smoke — what CI and the PR driver run
 #   bench        regenerate the evaluation tables, BENCH_trace.json,
 #                BENCH_prof.json and BENCH_sim.json
 
-.PHONY: all build test fmt check bench bench-smoke fuzz-smoke clean
+.PHONY: all build test fmt check bench bench-smoke fuzz-smoke lint-smoke clean
 
 all: build
 
@@ -36,7 +39,10 @@ bench-smoke:
 fuzz-smoke:
 	dune exec bin/rvcheck.exe -- smoke
 
-check: fmt build test fuzz-smoke bench-smoke
+lint-smoke:
+	dune exec bin/rvlint.exe -- smoke
+
+check: fmt build test fuzz-smoke lint-smoke bench-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -2,65 +2,148 @@
    toolkits — sections, symbols, extension profile, disassembly, CFG and
    loops.
 
-     dune exec bin/rvdump.exe -- <file.elf> [--cfg] [--no-disasm]        *)
+     dune exec bin/rvdump.exe -- <file.elf> [--cfg] [--no-disasm] [--json]
+
+   Exits 2 (with a diagnostic on stderr) if the binary cannot be read or
+   parsed; --json emits a machine-readable dump that CI can diff.       *)
 
 open Cmdliner
+module J = Sailsem.Json
 
-let dump path show_cfg no_disasm =
-  let st = Symtab.of_file path in
-  Printf.printf "entry: 0x%Lx\n" (Symtab.entry st);
-  Printf.printf "profile: %s (from %s)\n"
-    (Riscv.Ext.arch_string (Symtab.profile st))
-    (match Symtab.profile_source st with
-    | `Attributes -> ".riscv.attributes"
-    | `Eflags -> "e_flags fallback");
-  print_endline "regions:";
-  List.iter
-    (fun (r : Symtab.region) ->
-      Printf.printf "  %-20s 0x%Lx..0x%Lx %s%s\n" r.Symtab.rg_name
-        r.Symtab.rg_addr
-        (Int64.add r.Symtab.rg_addr (Int64.of_int r.Symtab.rg_size))
-        (if r.Symtab.rg_exec then "x" else "-")
-        (if r.Symtab.rg_write then "w" else "-"))
-    (Symtab.regions st);
-  let cfg = Parse_api.Parser.parse st in
-  Printf.printf "functions (%d):\n" (List.length (Parse_api.Cfg.functions cfg));
-  List.iter
-    (fun (f : Parse_api.Cfg.func) ->
-      let loops = Parse_api.Loops.loops_of_function cfg f in
-      Printf.printf "  %-24s entry 0x%Lx  %3d blocks  %d loops%s%s\n"
-        f.Parse_api.Cfg.f_name f.Parse_api.Cfg.f_entry
-        (Parse_api.Cfg.I64Set.cardinal f.Parse_api.Cfg.f_blocks)
-        (List.length loops)
-        (if f.Parse_api.Cfg.f_returns then "" else "  noreturn?")
-        (if f.Parse_api.Cfg.f_from_gap then "  [gap]" else "");
-      if show_cfg then
-        List.iter
-          (fun (b : Parse_api.Cfg.block) ->
-            Printf.printf "    block 0x%Lx..0x%Lx ->" b.Parse_api.Cfg.b_start
-              b.Parse_api.Cfg.b_end;
+let json_of_dump st cfg : J.t =
+  let region (r : Symtab.region) =
+    J.Obj
+      [
+        ("name", J.String r.Symtab.rg_name);
+        ("addr", J.Int r.Symtab.rg_addr);
+        ("size", J.Int (Int64.of_int r.Symtab.rg_size));
+        ("exec", J.Bool r.Symtab.rg_exec);
+        ("write", J.Bool r.Symtab.rg_write);
+      ]
+  in
+  let block (b : Parse_api.Cfg.block) =
+    J.Obj
+      [
+        ("start", J.Int b.Parse_api.Cfg.b_start);
+        ("end", J.Int b.Parse_api.Cfg.b_end);
+        ("insns", J.Int (Int64.of_int (List.length b.Parse_api.Cfg.b_insns)));
+        ( "out",
+          J.List
+            (List.map
+               (fun (e : Parse_api.Cfg.edge) ->
+                 J.Obj
+                   [
+                     ("kind", J.String (Parse_api.Cfg.edge_kind_name e.Parse_api.Cfg.ek));
+                     ( "dst",
+                       match e.Parse_api.Cfg.e_dst with
+                       | Parse_api.Cfg.T_addr a -> J.Int a
+                       | Parse_api.Cfg.T_unknown -> J.Null );
+                   ])
+               b.Parse_api.Cfg.b_out) );
+      ]
+  in
+  let func (f : Parse_api.Cfg.func) =
+    let loops = Parse_api.Loops.loops_of_function cfg f in
+    let st_jt = Parse_api.Cfg.jt_stats cfg f in
+    J.Obj
+      [
+        ("name", J.String f.Parse_api.Cfg.f_name);
+        ("entry", J.Int f.Parse_api.Cfg.f_entry);
+        ( "blocks",
+          J.List (List.map block (Parse_api.Cfg.blocks_of cfg f)) );
+        ("loops", J.Int (Int64.of_int (List.length loops)));
+        ("returns", J.Bool f.Parse_api.Cfg.f_returns);
+        ("from_gap", J.Bool f.Parse_api.Cfg.f_from_gap);
+        ( "indirect",
+          J.Obj
+            [
+              ("sites", J.Int (Int64.of_int st_jt.Parse_api.Cfg.jts_sites));
+              ("resolved", J.Int (Int64.of_int st_jt.Parse_api.Cfg.jts_resolved));
+              ("unresolved", J.Int (Int64.of_int st_jt.Parse_api.Cfg.jts_unresolved));
+              ("clamped", J.Int (Int64.of_int st_jt.Parse_api.Cfg.jts_clamped));
+            ] );
+      ]
+  in
+  J.Obj
+    [
+      ("entry", J.Int (Symtab.entry st));
+      ("profile", J.String (Riscv.Ext.arch_string (Symtab.profile st)));
+      ("regions", J.List (List.map region (Symtab.regions st)));
+      ("functions", J.List (List.map func (Parse_api.Cfg.functions cfg)));
+    ]
+
+let dump path show_cfg no_disasm json =
+  match
+    try
+      let st = Symtab.of_file path in
+      let cfg = Parse_api.Parser.parse st in
+      Ok (st, cfg)
+    with e -> Error (Printexc.to_string e)
+  with
+  | Error e ->
+      Printf.eprintf "rvdump: %s: %s\n" path e;
+      2
+  | Ok (st, cfg) when json ->
+      ignore (show_cfg, no_disasm);
+      Format.printf "%s@." (J.to_string (json_of_dump st cfg));
+      0
+  | Ok (st, cfg) ->
+      Printf.printf "entry: 0x%Lx\n" (Symtab.entry st);
+      Printf.printf "profile: %s (from %s)\n"
+        (Riscv.Ext.arch_string (Symtab.profile st))
+        (match Symtab.profile_source st with
+        | `Attributes -> ".riscv.attributes"
+        | `Eflags -> "e_flags fallback");
+      print_endline "regions:";
+      List.iter
+        (fun (r : Symtab.region) ->
+          Printf.printf "  %-20s 0x%Lx..0x%Lx %s%s\n" r.Symtab.rg_name
+            r.Symtab.rg_addr
+            (Int64.add r.Symtab.rg_addr (Int64.of_int r.Symtab.rg_size))
+            (if r.Symtab.rg_exec then "x" else "-")
+            (if r.Symtab.rg_write then "w" else "-"))
+        (Symtab.regions st);
+      Printf.printf "functions (%d):\n" (List.length (Parse_api.Cfg.functions cfg));
+      List.iter
+        (fun (f : Parse_api.Cfg.func) ->
+          let loops = Parse_api.Loops.loops_of_function cfg f in
+          Printf.printf "  %-24s entry 0x%Lx  %3d blocks  %d loops%s%s\n"
+            f.Parse_api.Cfg.f_name f.Parse_api.Cfg.f_entry
+            (Parse_api.Cfg.I64Set.cardinal f.Parse_api.Cfg.f_blocks)
+            (List.length loops)
+            (if f.Parse_api.Cfg.f_returns then "" else "  noreturn?")
+            (if f.Parse_api.Cfg.f_from_gap then "  [gap]" else "");
+          if show_cfg then
             List.iter
-              (fun e -> Format.printf " %a" Parse_api.Cfg.pp_edge e)
-              b.Parse_api.Cfg.b_out;
-            print_newline ();
-            if not no_disasm then
-              List.iter
-                (fun ins -> Format.printf "      %a\n" Instruction.pp ins)
-                b.Parse_api.Cfg.b_insns)
-          (Parse_api.Cfg.blocks_of cfg f))
-    (Parse_api.Cfg.functions cfg)
+              (fun (b : Parse_api.Cfg.block) ->
+                Printf.printf "    block 0x%Lx..0x%Lx ->" b.Parse_api.Cfg.b_start
+                  b.Parse_api.Cfg.b_end;
+                List.iter
+                  (fun e -> Format.printf " %a" Parse_api.Cfg.pp_edge e)
+                  b.Parse_api.Cfg.b_out;
+                print_newline ();
+                if not no_disasm then
+                  List.iter
+                    (fun ins -> Format.printf "      %a\n" Instruction.pp ins)
+                    b.Parse_api.Cfg.b_insns)
+              (Parse_api.Cfg.blocks_of cfg f))
+        (Parse_api.Cfg.functions cfg);
+      0
 
 let path_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"ELF" ~doc:"input binary")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ELF" ~doc:"input binary")
 
 let cfg_flag = Arg.(value & flag & info [ "cfg" ] ~doc:"print blocks and edges")
 
 let no_disasm_flag =
   Arg.(value & flag & info [ "no-disasm" ] ~doc:"omit per-instruction output")
 
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON dump (for CI diffing)")
+
 let cmd =
   Cmd.v
     (Cmd.info "rvdump" ~doc:"inspect a RISC-V binary with the Dyninst toolkits")
-    Term.(const dump $ path_arg $ cfg_flag $ no_disasm_flag)
+    Term.(const dump $ path_arg $ cfg_flag $ no_disasm_flag $ json_flag)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

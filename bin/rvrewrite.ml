@@ -7,7 +7,7 @@
 
 open Cmdliner
 
-let rewrite input output entries blocks exits verbose stats =
+let rewrite input output entries blocks exits verbose stats manifest_out =
   if stats then Dyn_util.Stats.enable ();
   let binary = Core.open_file input in
   let m = Core.create_mutator binary in
@@ -38,6 +38,14 @@ let rewrite input output entries blocks exits verbose stats =
   Core.rewrite_to_file m output;
   let s = Core.stats m in
   Format.printf "wrote %s@\n%a@." output Patch_api.Rewriter.pp_stats s;
+  (match manifest_out with
+  | None -> ()
+  | Some path -> (
+      match Core.manifest m with
+      | Some mf ->
+          Patch_api.Manifest.write_file path mf;
+          Printf.printf "wrote manifest %s\n" path
+      | None -> prerr_endline "rvrewrite: no manifest available"));
   if verbose then
     List.iter
       (fun (addr, strat) ->
@@ -69,11 +77,18 @@ let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"show springb
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"report toolkit self-telemetry")
 
+let manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "manifest" ] ~docv:"M.json"
+        ~doc:"write the patch manifest for rvlint verify")
+
 let cmd =
   Cmd.v
     (Cmd.info "rvrewrite" ~doc:"statically instrument a RISC-V binary")
     Term.(
       const rewrite $ input_arg $ output_arg $ entries_arg $ blocks_arg
-      $ exits_arg $ verbose_arg $ stats_arg)
+      $ exits_arg $ verbose_arg $ stats_arg $ manifest_arg)
 
 let () = exit (Cmd.eval cmd)

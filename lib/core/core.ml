@@ -69,6 +69,7 @@ let insert (m : mutator) p stmts = Patch_api.Rewriter.insert m.rw p stmts
 let rewrite (m : mutator) : Elfkit.Types.image = Patch_api.Rewriter.rewrite m.rw
 let rewrite_to_file (m : mutator) path = Elfkit.Write.to_file path (rewrite m)
 let stats (m : mutator) = Patch_api.Rewriter.stats m.rw
+let manifest (m : mutator) = Patch_api.Rewriter.manifest m.rw
 
 (* --- dynamic instrumentation ------------------------------------------------------- *)
 

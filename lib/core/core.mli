@@ -100,6 +100,10 @@ val rewrite_to_file : mutator -> string -> unit
     allocations vs spills, springboard strategies chosen). *)
 val stats : mutator -> Patch_api.Rewriter.stats
 
+(** The patch manifest of the last {!rewrite} — what the lint verifier
+    checks a rewritten binary against ([None] before any rewrite). *)
+val manifest : mutator -> Patch_api.Manifest.t option
+
 (** {1 Dynamic instrumentation (paper Figure 1, right paths)} *)
 
 (** Create a (simulated) process from an image, stopped at entry. *)

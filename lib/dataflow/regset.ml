@@ -43,6 +43,11 @@ let elements t =
   !acc
 
 let cardinal t = List.length (elements t)
+let fold f t init = List.fold_left (fun acc r -> f r acc) init (elements t)
+let iter f t = List.iter f (elements t)
+
+let subset a b =
+  a.x land lnot b.x = 0 && a.f land lnot b.f = 0 && ((not a.c) || b.c)
 
 let pp fmt t =
   Format.fprintf fmt "{%s}"

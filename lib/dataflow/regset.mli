@@ -21,5 +21,13 @@ val of_list : Riscv.Reg.t list -> t
 val singleton : Riscv.Reg.t -> t
 val elements : t -> Riscv.Reg.t list
 val cardinal : t -> int
+
+(** [fold f t init] folds [f] over the members in ascending id order. *)
+val fold : (Riscv.Reg.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (Riscv.Reg.t -> unit) -> t -> unit
+
+(** [subset a b] — is every member of [a] also in [b]? *)
+val subset : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

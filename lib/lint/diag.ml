@@ -1,0 +1,70 @@
+(* Structured lint diagnostics: rule id, severity, address, enclosing
+   function, message — with text and JSON renderers so both humans and
+   CI can consume them. *)
+
+module J = Sailsem.Json
+
+type severity = Error | Warning | Info
+
+type t = {
+  d_rule : string;
+  d_severity : severity;
+  d_addr : int64;
+  d_func : string option;
+  d_msg : string;
+}
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let make ~rule ~severity ?func ~addr fmt =
+  Format.kasprintf
+    (fun msg ->
+      { d_rule = rule; d_severity = severity; d_addr = addr; d_func = func;
+        d_msg = msg })
+    fmt
+
+(* severity first (errors up top), then address, then rule *)
+let compare a b =
+  match Stdlib.compare (severity_rank a.d_severity) (severity_rank b.d_severity) with
+  | 0 -> (
+      match Int64.compare a.d_addr b.d_addr with
+      | 0 -> Stdlib.compare a.d_rule b.d_rule
+      | c -> c)
+  | c -> c
+
+let sort ds = List.stable_sort compare ds
+let errors ds = List.filter (fun d -> d.d_severity = Error) ds
+let n_errors ds = List.length (errors ds)
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] 0x%Lx%s: %s"
+    (severity_name d.d_severity)
+    d.d_rule d.d_addr
+    (match d.d_func with Some f -> " (" ^ f ^ ")" | None -> "")
+    d.d_msg
+
+let to_json d =
+  J.Obj
+    [
+      ("rule", J.String d.d_rule);
+      ("severity", J.String (severity_name d.d_severity));
+      ("addr", J.Int d.d_addr);
+      ( "func",
+        match d.d_func with Some f -> J.String f | None -> J.Null );
+      ("msg", J.String d.d_msg);
+    ]
+
+let list_to_json ds = J.List (List.map to_json ds)
+
+let pp_report fmt ds =
+  let ds = sort ds in
+  List.iter (fun d -> Format.fprintf fmt "%a@\n" pp d) ds;
+  let ne = n_errors ds in
+  let nw = List.length (List.filter (fun d -> d.d_severity = Warning) ds) in
+  Format.fprintf fmt "%d error(s), %d warning(s), %d diagnostic(s)@."
+    ne nw (List.length ds)

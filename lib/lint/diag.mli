@@ -1,0 +1,38 @@
+(** Structured lint diagnostics — the currency of the linter and the
+    patch verifier: rule id, severity, address, enclosing function and a
+    human message, renderable as text or JSON. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  d_rule : string;
+  d_severity : severity;
+  d_addr : int64;
+  d_func : string option;
+  d_msg : string;
+}
+
+val severity_name : severity -> string
+
+(** [make ~rule ~severity ?func ~addr fmt] builds a diagnostic with a
+    printf-formatted message. *)
+val make :
+  rule:string ->
+  severity:severity ->
+  ?func:string ->
+  addr:int64 ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+(** Severity-major (errors first), then address, then rule id. *)
+val compare : t -> t -> int
+
+val sort : t list -> t list
+val errors : t list -> t list
+val n_errors : t list -> int
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Sailsem.Json.t
+val list_to_json : t list -> Sailsem.Json.t
+
+(** Sorted listing followed by an error/warning summary line. *)
+val pp_report : Format.formatter -> t list -> unit

@@ -1,0 +1,229 @@
+(* The binary linter: walk a parsed CFG and report instrumentation
+   hazards before any rewriting happens.  Each rule answers "can the
+   toolkit's own machinery be trusted on this code?" — springboards
+   assume instruction boundaries are real (overlap / misaligned /
+   undecodable / dangling edges), dead-register allocation assumes the
+   psABI is honoured (abi-clobber), Stackwalker fast_walk assumes
+   standard prologues and knowable stack heights, and indirect jumps the
+   parser cannot resolve make relocation of their targets unsafe. *)
+
+open Riscv
+open Parse_api
+open Dataflow_api
+
+let err ~rule ?func ~addr fmt = Diag.make ~rule ~severity:Diag.Error ?func ~addr fmt
+let warn ~rule ?func ~addr fmt = Diag.make ~rule ~severity:Diag.Warning ?func ~addr fmt
+let info ~rule ?func ~addr fmt = Diag.make ~rule ~severity:Diag.Info ?func ~addr fmt
+
+(* callee-saved registers whose clobbering the psABI forbids; sp is
+   excluded (frame motion is its job), x0/gp/tp never matter *)
+let preserved_regs =
+  List.filter (fun r -> r <> Reg.sp) Reg.callee_saved_int
+  @ List.map Reg.f [ 8; 9; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 ]
+
+let is_load_from_sp (i : Insn.t) =
+  (match i.Insn.op with
+  | Op.LD | Op.LW | Op.LWU | Op.FLD | Op.FLW -> true
+  | _ -> false)
+  && i.Insn.rs1 = Reg.sp
+
+(* registers this instruction saves to an sp-based slot *)
+let sp_save (i : Insn.t) : Reg.t option =
+  if i.Insn.rs1 <> Reg.sp then None
+  else
+    match i.Insn.op with
+    | Op.SD | Op.SW -> Some (Reg.x i.Insn.rs2)
+    | Op.FSD | Op.FSW -> Some (Reg.f i.Insn.rs2)
+    | _ -> None
+
+(* blocks reachable from the function entry along intraprocedural edges,
+   staying inside the function's block set *)
+let reachable cfg (f : Cfg.func) : Cfg.I64Set.t =
+  let seen = ref Cfg.I64Set.empty in
+  let q = Queue.create () in
+  Queue.add f.Cfg.f_entry q;
+  while not (Queue.is_empty q) do
+    let a = Queue.pop q in
+    if (not (Cfg.I64Set.mem a !seen)) && Cfg.I64Set.mem a f.Cfg.f_blocks then begin
+      seen := Cfg.I64Set.add a !seen;
+      match Cfg.block_at cfg a with
+      | Some b -> List.iter (fun s -> Queue.add s q) (Cfg.intra_succs b)
+      | None -> ()
+    end
+  done;
+  !seen
+
+let lint_block symtab cfg ~func_name (b : Cfg.block) : Diag.t list =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let has_c = Symtab.supports symtab Ext.C in
+  List.iter
+    (fun (ins : Instruction.t) ->
+      let a = ins.Instruction.addr in
+      if Int64.logand a 1L <> 0L then
+        add (err ~rule:"misaligned-insn" ~func:func_name ~addr:a
+               "instruction at odd address")
+      else if (not has_c) && Int64.logand a 3L <> 0L then
+        add (err ~rule:"misaligned-insn" ~func:func_name ~addr:a
+               "4-byte-misaligned instruction without the C extension"))
+    b.Cfg.b_insns;
+  (* an ecall/ebreak-terminated block with no successors is the exit-
+     syscall / trap idiom, not a parse failure *)
+  let ends_in_env =
+    match Cfg.last_insn b with
+    | Some ins -> (
+        match Instruction.op ins with Op.ECALL | Op.EBREAK -> true | _ -> false)
+    | None -> false
+  in
+  if b.Cfg.b_out = [] && not ends_in_env then
+    add (err ~rule:"undecodable-fall" ~func:func_name ~addr:b.Cfg.b_start
+           "control falls off block 0x%Lx into undecodable bytes"
+           b.Cfg.b_start);
+  List.iter
+    (fun (e : Cfg.edge) ->
+      match (e.Cfg.ek, e.Cfg.e_dst) with
+      | (Cfg.E_fallthrough | Cfg.E_taken | Cfg.E_not_taken | Cfg.E_jump
+        | Cfg.E_jump_table | Cfg.E_call_ft), Cfg.T_addr a ->
+          if Cfg.block_at cfg a = None then
+            add (err ~rule:"dangling-edge" ~func:func_name ~addr:b.Cfg.b_start
+                   "%s edge to 0x%Lx has no parsed block"
+                   (Cfg.edge_kind_name e.Cfg.ek) a)
+      | Cfg.E_indirect, Cfg.T_unknown ->
+          add (warn ~rule:"unresolved-indirect" ~func:func_name
+                 ~addr:b.Cfg.b_start
+                 "unresolved indirect jump terminates block 0x%Lx"
+                 b.Cfg.b_start)
+      | _ -> ())
+    b.Cfg.b_out;
+  (match Hashtbl.find_opt cfg.Cfg.jump_tables b.Cfg.b_start with
+  | Some jt when jt.Jump_table.jt_clamped ->
+      add (warn ~rule:"jump-table-clamped" ~func:func_name ~addr:b.Cfg.b_start
+             "jump table at 0x%Lx has no bound check; scan clamped at %d \
+              entries"
+             jt.Jump_table.jt_base
+             (List.length jt.Jump_table.jt_targets))
+  | _ -> ());
+  !ds
+
+let lint_function symtab cfg (f : Cfg.func) : Diag.t list =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let func_name = f.Cfg.f_name in
+  let blocks = Cfg.blocks_of cfg f in
+  List.iter (fun b -> List.iter add (lint_block symtab cfg ~func_name b)) blocks;
+  (* reachability *)
+  let reach = reachable cfg f in
+  List.iter
+    (fun (b : Cfg.block) ->
+      if not (Cfg.I64Set.mem b.Cfg.b_start reach) then
+        add (warn ~rule:"unreachable-block" ~func:func_name ~addr:b.Cfg.b_start
+               "block 0x%Lx unreachable from function entry" b.Cfg.b_start))
+    blocks;
+  (* Stackwalker assumptions: a returning function that makes calls must
+     save ra somewhere the analysis stepper can find it *)
+  let has_call =
+    List.exists
+      (fun (b : Cfg.block) ->
+        List.exists (fun e -> e.Cfg.ek = Cfg.E_call) b.Cfg.b_out)
+      blocks
+  in
+  let saves_ra =
+    List.exists
+      (fun (b : Cfg.block) ->
+        List.exists
+          (fun (ins : Instruction.t) ->
+            sp_save ins.Instruction.insn = Some Reg.ra)
+          b.Cfg.b_insns)
+      blocks
+  in
+  if f.Cfg.f_returns && has_call && not saves_ra then
+    add (warn ~rule:"nonstandard-prologue" ~func:func_name ~addr:f.Cfg.f_entry
+           "returning non-leaf function never saves ra to the stack");
+  let sh = Stack_height.analyze cfg f in
+  (match
+     List.find_opt
+       (fun (b : Cfg.block) ->
+         Cfg.I64Set.mem b.Cfg.b_start reach
+         && Stack_height.at_block_entry sh b.Cfg.b_start = Stack_height.Unknown)
+       blocks
+   with
+  | Some b ->
+      add (warn ~rule:"stack-height-unknown" ~func:func_name
+             ~addr:b.Cfg.b_start
+             "stack height unknown at block 0x%Lx; fast_walk falls back to \
+              the fp chain"
+             b.Cfg.b_start)
+  | None -> ());
+  (* ABI: callee-saved registers written without a save anywhere *)
+  if f.Cfg.f_returns then begin
+    let saved = Hashtbl.create 8 in
+    List.iter
+      (fun (b : Cfg.block) ->
+        List.iter
+          (fun (ins : Instruction.t) ->
+            match sp_save ins.Instruction.insn with
+            | Some r -> Hashtbl.replace saved r ()
+            | None -> ())
+          b.Cfg.b_insns)
+      blocks;
+    let reported = Hashtbl.create 4 in
+    List.iter
+      (fun (b : Cfg.block) ->
+        List.iter
+          (fun (ins : Instruction.t) ->
+            if not (is_load_from_sp ins.Instruction.insn) then
+              List.iter
+                (fun r ->
+                  if
+                    List.mem r preserved_regs
+                    && (not (Hashtbl.mem saved r))
+                    && not (Hashtbl.mem reported r)
+                  then begin
+                    Hashtbl.replace reported r ();
+                    add
+                      (err ~rule:"abi-clobber" ~func:func_name
+                         ~addr:ins.Instruction.addr
+                         "callee-saved %s written without a stack save"
+                         (Reg.name r))
+                  end)
+                (Instruction.regs_written ins))
+          b.Cfg.b_insns)
+      blocks
+  end;
+  (* indirect-jump coverage summary *)
+  let st = Cfg.jt_stats cfg f in
+  if st.Cfg.jts_sites > 0 then
+    add (info ~rule:"indirect-coverage" ~func:func_name ~addr:f.Cfg.f_entry
+           "%d indirect dispatch site(s): %d resolved, %d unresolved, %d \
+            clamped"
+           st.Cfg.jts_sites st.Cfg.jts_resolved st.Cfg.jts_unresolved
+           st.Cfg.jts_clamped);
+  !ds
+
+(* block overlaps are a whole-CFG property: sort by start, compare
+   neighbours *)
+let overlaps cfg : Diag.t list =
+  let blocks =
+    Hashtbl.fold (fun _ b acc -> b :: acc) cfg.Cfg.blocks []
+    |> List.sort (fun (a : Cfg.block) b -> Int64.compare a.Cfg.b_start b.Cfg.b_start)
+  in
+  let rec go acc = function
+    | (a : Cfg.block) :: (b : Cfg.block) :: rest ->
+        let acc =
+          if Int64.compare a.Cfg.b_end b.Cfg.b_start > 0 then
+            err ~rule:"overlap" ~addr:b.Cfg.b_start
+              "blocks 0x%Lx-0x%Lx and 0x%Lx-0x%Lx overlap" a.Cfg.b_start
+              a.Cfg.b_end b.Cfg.b_start b.Cfg.b_end
+            :: acc
+          else acc
+        in
+        go acc (b :: rest)
+    | _ -> acc
+  in
+  go [] blocks
+
+let lint (symtab : Symtab.t) (cfg : Cfg.t) : Diag.t list =
+  let per_func =
+    List.concat_map (fun f -> lint_function symtab cfg f) (Cfg.functions cfg)
+  in
+  Diag.sort (overlaps cfg @ per_func)

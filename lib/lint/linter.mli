@@ -1,0 +1,8 @@
+(** The binary linter: walk a parsed CFG and report instrumentation
+    hazards — overlapping/misaligned instructions, undecodable
+    fall-offs, dangling edges, unresolved indirect jumps and clamped
+    jump tables, unreachable blocks, non-standard prologues that break
+    Stackwalker [fast_walk], unknowable stack heights, and psABI
+    callee-saved clobbers.  See {!Rules.all} for the catalog. *)
+
+val lint : Symtab.t -> Parse_api.Cfg.t -> Diag.t list

@@ -1,0 +1,408 @@
+(* The patch verifier: re-parse a rewritten binary against the manifest
+   [Patch_api.Rewriter.plan] emitted and check the rewrite's claims
+   instead of trusting them —
+
+     - every springboard decodes, targets its trampoline, and lands on a
+       decoded instruction boundary there;
+     - an auipc+jalr springboard's scratch register really is dead at
+       the block entry (paper §4.3);
+     - each relocated block keeps its def/use sets, modulo the registers
+       the manifest declares the woven snippets may write and the
+       assembler's relaxation scratch (t1);
+     - trampoline stack motion balances against the original block per
+       Stack_height;
+     - every register a snippet leaves clobbered is statically dead at
+       its patch point (the §4.3 optimization, validated);
+     - jump-table entries in the rewritten image still land on
+       instruction boundaries, never inside a patched-out block.
+
+   All checks run on static artifacts only — no execution — making this
+   the cheap complement to the dynamic rvcheck round trip. *)
+
+open Riscv
+open Parse_api
+open Dataflow_api
+module M = Patch_api.Manifest
+
+let err ~rule ?func ~addr fmt = Diag.make ~rule ~severity:Diag.Error ?func ~addr fmt
+let warn ~rule ?func ~addr fmt = Diag.make ~rule ~severity:Diag.Warning ?func ~addr fmt
+
+let reg_list_str rs = String.concat "," (List.map Reg.name rs)
+
+(* decode the trampoline region linearly; alignment padding (zero bytes)
+   does not decode and is skipped a halfword at a time *)
+let decode_tramp (rw : Symtab.t) (m : M.t) :
+    (int64, Instruction.t) Hashtbl.t option =
+  match Symtab.region_at rw m.M.m_tramp_base with
+  | None -> None
+  | Some r ->
+      let insns = Hashtbl.create 128 in
+      let tend = Int64.add m.M.m_tramp_base (Int64.of_int m.M.m_tramp_size) in
+      let rec go addr =
+        if Int64.compare addr tend < 0 then
+          let pos = Int64.to_int (Int64.sub addr r.Symtab.rg_addr) in
+          match
+            Instruction.decode ~base:r.Symtab.rg_addr r.Symtab.rg_data ~pos
+          with
+          | Some ins ->
+              Hashtbl.replace insns addr ins;
+              go (Instruction.next_addr ins)
+          | None -> go (Int64.add addr 2L)
+      in
+      go m.M.m_tramp_base;
+      Some insns
+
+(* instructions of one trampoline span [lo, hi), in address order *)
+let span_insns insns lo hi : Instruction.t list =
+  Hashtbl.fold
+    (fun a ins acc ->
+      if Int64.compare a lo >= 0 && Int64.compare a hi < 0 then ins :: acc
+      else acc)
+    insns []
+  |> List.sort (fun (a : Instruction.t) b ->
+         Int64.compare a.Instruction.addr b.Instruction.addr)
+
+let fold_height insns =
+  List.fold_left
+    (fun h ins -> Stack_height.step_insn ins h)
+    (Stack_height.Known 0) insns
+
+let pp_height fmt = function
+  | Stack_height.Known k -> Format.fprintf fmt "%+d" k
+  | Stack_height.Unknown -> Format.pp_print_string fmt "unknown"
+
+let union_regs lists = List.sort_uniq compare (List.concat lists)
+
+let verify ~(orig : Symtab.t) (cfg : Cfg.t) ~(manifest : M.t)
+    ~(rewritten : Elfkit.Types.image) : Diag.t list =
+  let m = manifest in
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let rw = Symtab.of_image rewritten in
+  let func_name faddr =
+    Option.map (fun f -> f.Cfg.f_name) (Cfg.func_at cfg faddr)
+  in
+  let lv_cache = Hashtbl.create 8 in
+  let liveness (f : Cfg.func) =
+    match Hashtbl.find_opt lv_cache f.Cfg.f_entry with
+    | Some lv -> lv
+    | None ->
+        let lv = Liveness.analyze cfg f in
+        Hashtbl.replace lv_cache f.Cfg.f_entry lv;
+        lv
+  in
+  (* --- trampoline region ------------------------------------------------- *)
+  let tramp_insns =
+    match decode_tramp rw m with
+    | Some t -> t
+    | None ->
+        add (err ~rule:"manifest-mismatch" ~addr:m.M.m_tramp_base
+               "no trampoline region at manifest base 0x%Lx" m.M.m_tramp_base);
+        Hashtbl.create 1
+  in
+  (match Symtab.region_at rw m.M.m_data_base with
+  | Some r when r.Symtab.rg_size >= m.M.m_data_size -> ()
+  | _ ->
+      add (err ~rule:"manifest-mismatch" ~addr:m.M.m_data_base
+             "patch data area (%d bytes at 0x%Lx) missing from the rewritten \
+              image"
+             m.M.m_data_size m.M.m_data_base));
+  let tramp_end = Int64.add m.M.m_tramp_base (Int64.of_int m.M.m_tramp_size) in
+  let span_end e =
+    List.fold_left
+      (fun acc (e' : M.entry) ->
+        if
+          Int64.compare e'.M.me_tramp e.M.me_tramp > 0
+          && Int64.compare e'.M.me_tramp acc < 0
+        then e'.M.me_tramp
+        else acc)
+      tramp_end m.M.m_entries
+  in
+  (* --- per-entry checks -------------------------------------------------- *)
+  List.iter
+    (fun (e : M.entry) ->
+      let func = func_name e.M.me_func in
+      let at = e.M.me_block in
+      let fail_rule rule fmt = Format.kasprintf (fun s ->
+          add (Diag.make ~rule ~severity:Diag.Error ?func ~addr:at "%s" s)) fmt
+      in
+      match Cfg.block_at cfg e.M.me_block with
+      | None -> fail_rule "manifest-mismatch" "no parsed block at 0x%Lx" at
+      | Some b -> (
+          (* 1. springboard bytes in the rewritten image *)
+          let decode_rw addr =
+            match Symtab.region_at rw addr with
+            | None -> None
+            | Some r ->
+                Instruction.decode ~base:r.Symtab.rg_addr r.Symtab.rg_data
+                  ~pos:(Int64.to_int (Int64.sub addr r.Symtab.rg_addr))
+          in
+          let check_target tgt =
+            if not (Int64.equal tgt e.M.me_tramp) then
+              fail_rule "springboard-target"
+                "springboard targets 0x%Lx; manifest trampoline is 0x%Lx" tgt
+                e.M.me_tramp
+            else if not (Hashtbl.mem tramp_insns tgt) then
+              fail_rule "springboard-target"
+                "springboard target 0x%Lx is not on a trampoline instruction \
+                 boundary"
+                tgt
+          in
+          (match (e.M.me_strategy, decode_rw at) with
+          | _, None ->
+              fail_rule "springboard-target"
+                "springboard bytes at 0x%Lx do not decode" at
+          | ("jal" | "c.j"), Some ins
+            when Instruction.op ins = Op.JAL
+                 && ins.Instruction.insn.Insn.rd = 0 ->
+              check_target (Int64.add at ins.Instruction.insn.Insn.imm)
+          | "auipc+jalr", Some ins when Instruction.op ins = Op.AUIPC -> (
+              match decode_rw (Instruction.next_addr ins) with
+              | Some ins2
+                when Instruction.op ins2 = Op.JALR
+                     && ins2.Instruction.insn.Insn.rd = 0
+                     && ins2.Instruction.insn.Insn.rs1
+                        = ins.Instruction.insn.Insn.rd ->
+                  check_target
+                    (Int64.add at
+                       (Int64.add ins.Instruction.insn.Insn.imm
+                          ins2.Instruction.insn.Insn.imm));
+                  if Some ins.Instruction.insn.Insn.rd <> e.M.me_sb_scratch
+                  then
+                    fail_rule "springboard-scratch"
+                      "auipc+jalr uses %s; manifest declared %s"
+                      (Reg.name ins.Instruction.insn.Insn.rd)
+                      (match e.M.me_sb_scratch with
+                      | Some r -> Reg.name r
+                      | None -> "none")
+              | _ ->
+                  fail_rule "springboard-target"
+                    "auipc at 0x%Lx is not followed by a matching jalr" at)
+          | "trap", Some ins when Instruction.op ins = Op.EBREAK ->
+              if
+                not
+                  (List.exists
+                     (fun (o, d) ->
+                       Int64.equal o at && Int64.equal d e.M.me_tramp)
+                     m.M.m_traps)
+              then
+                fail_rule "trap-unmapped"
+                  "trap springboard at 0x%Lx has no trap-map entry to 0x%Lx"
+                  at e.M.me_tramp
+          | strat, Some ins ->
+              fail_rule "springboard-target"
+                "bytes at 0x%Lx decode as %s, not a %s springboard" at
+                (Op.mnemonic (Instruction.op ins))
+                strat);
+          (* auipc+jalr scratch must be dead at the block entry *)
+          (match (e.M.me_sb_scratch, Cfg.func_at cfg e.M.me_func) with
+          | Some r, Some f ->
+              let dead = Liveness.dead_int_regs_before (liveness f) b at in
+              if not (List.mem r dead) then
+                fail_rule "springboard-scratch"
+                  "springboard scratch %s is live at block entry 0x%Lx"
+                  (Reg.name r) at
+          | _ -> ());
+          (* leftover bytes after the springboard must stay zero *)
+          (match
+             Symtab.read_data rw
+               (Int64.add at (Int64.of_int e.M.me_sb_len))
+               (Int64.to_int (Int64.sub e.M.me_block_end at) - e.M.me_sb_len)
+           with
+          | Some bytes when Bytes.exists (fun c -> c <> '\000') bytes ->
+              add (warn ~rule:"block-residue" ?func ~addr:at
+                     "non-zero bytes left in patched block 0x%Lx after its \
+                      %d-byte springboard"
+                     at e.M.me_sb_len)
+          | _ -> ());
+          (* 2. the relocated block in the trampoline *)
+          let span = span_insns tramp_insns e.M.me_tramp (span_end e) in
+          if span = [] then
+            fail_rule "manifest-mismatch"
+              "no trampoline instructions at 0x%Lx for block 0x%Lx"
+              e.M.me_tramp at
+          else begin
+            let orig_defs =
+              union_regs (List.map Instruction.regs_written b.Cfg.b_insns)
+            in
+            let orig_uses =
+              union_regs (List.map Instruction.regs_read b.Cfg.b_insns)
+            in
+            let span_defs = union_regs (List.map Instruction.regs_written span) in
+            let span_uses = union_regs (List.map Instruction.regs_read span) in
+            let snippet_defs =
+              union_regs
+                (List.map (fun i -> i.M.mi_code_defs) e.M.me_insertions)
+            in
+            let allowed = union_regs [ orig_defs; snippet_defs; [ Reg.t1 ] ] in
+            let lost = List.filter (fun r -> not (List.mem r span_defs)) orig_defs in
+            if lost <> [] then
+              fail_rule "bad-relocation"
+                "relocated block 0x%Lx lost def(s) of %s" at
+                (reg_list_str lost);
+            let extra = List.filter (fun r -> not (List.mem r allowed)) span_defs in
+            if extra <> [] then
+              fail_rule "bad-relocation"
+                "relocated block 0x%Lx writes undeclared register(s) %s" at
+                (reg_list_str extra);
+            let lost_uses =
+              List.filter (fun r -> not (List.mem r span_uses)) orig_uses
+            in
+            if lost_uses <> [] then
+              fail_rule "bad-relocation"
+                "relocated block 0x%Lx lost use(s) of %s" at
+                (reg_list_str lost_uses);
+            (* 3. stack balance *)
+            match fold_height b.Cfg.b_insns with
+            | Stack_height.Unknown -> ()
+            | orig_h ->
+                let tramp_h = fold_height span in
+                if tramp_h <> orig_h then
+                  fail_rule "stack-imbalance"
+                    "trampoline for 0x%Lx moves sp by %a; original block \
+                     moves it by %a"
+                    at pp_height tramp_h pp_height orig_h
+          end;
+          (* 4. snippet clobbers statically dead at each patch point *)
+          match Cfg.func_at cfg e.M.me_func with
+          | None -> ()
+          | Some f ->
+              let lv = liveness f in
+              List.iter
+                (fun (i : M.insertion) ->
+                  if i.M.mi_edge then begin
+                    let target =
+                      match Cfg.last_insn b with
+                      | Some term ->
+                          Int64.add i.M.mi_addr
+                            term.Instruction.insn.Insn.imm
+                      | None -> i.M.mi_addr
+                    in
+                    let live = Liveness.live_in lv target in
+                    List.iter
+                      (fun r ->
+                        if
+                          Regset.mem live r
+                          || Regset.mem Liveness.never_allocatable r
+                        then
+                          add (err ~rule:"clobber-live" ?func ~addr:i.M.mi_addr
+                                 "edge snippet clobbers %s, live at edge \
+                                  target 0x%Lx"
+                                 (Reg.name r) target))
+                      i.M.mi_clobbers
+                  end
+                  else begin
+                    let dead =
+                      Liveness.dead_int_regs_before lv b i.M.mi_addr
+                    in
+                    List.iter
+                      (fun r ->
+                        if not (List.mem r dead) then
+                          add (err ~rule:"clobber-live" ?func ~addr:i.M.mi_addr
+                                 "snippet clobbers %s, live before 0x%Lx"
+                                 (Reg.name r) i.M.mi_addr))
+                      i.M.mi_clobbers
+                  end)
+                e.M.me_insertions))
+    m.M.m_entries;
+  (* --- jump tables in the rewritten image -------------------------------- *)
+  let patched_entry a =
+    List.find_opt (fun (e : M.entry) -> Int64.equal e.M.me_block a) m.M.m_entries
+  in
+  let inside_patched a =
+    List.find_opt
+      (fun (e : M.entry) ->
+        Int64.compare a e.M.me_block > 0
+        && Int64.compare a e.M.me_block_end < 0)
+      m.M.m_entries
+  in
+  let is_insn_boundary a =
+    match Cfg.block_containing cfg a with
+    | Some b ->
+        List.exists
+          (fun (ins : Instruction.t) -> Int64.equal ins.Instruction.addr a)
+          b.Cfg.b_insns
+    | None -> false
+  in
+  Hashtbl.iter
+    (fun bstart (jt : Jump_table.table) ->
+      let func =
+        match Cfg.block_at cfg bstart with
+        | Some b -> func_name b.Cfg.b_func
+        | None -> None
+      in
+      let n = List.length jt.Jump_table.jt_targets in
+      if jt.Jump_table.jt_relative then begin
+        (* relative entries: the add-base isn't recorded, so compare raw
+           table bytes against the original image and check the resolved
+           targets against the patch layout *)
+        let size = n * jt.Jump_table.jt_entry_size in
+        (match
+           ( Symtab.read_data orig jt.Jump_table.jt_base size,
+             Symtab.read_data rw jt.Jump_table.jt_base size )
+         with
+        | Some a, Some b when not (Bytes.equal a b) ->
+            add (err ~rule:"dangling-jump-table" ?func ~addr:bstart
+                   "relative jump table at 0x%Lx was modified by the rewrite"
+                   jt.Jump_table.jt_base)
+        | _ -> ());
+        List.iter
+          (fun tgt ->
+            match inside_patched tgt with
+            | Some e ->
+                add (err ~rule:"dangling-jump-table" ?func ~addr:bstart
+                       "jump-table target 0x%Lx lands inside patched block \
+                        0x%Lx"
+                       tgt e.M.me_block)
+            | None -> ())
+          jt.Jump_table.jt_targets
+      end
+      else
+        (* absolute entries: re-read each slot from the rewritten image *)
+        for k = 0 to n - 1 do
+          let slot =
+            Int64.add jt.Jump_table.jt_base
+              (Int64.of_int (k * jt.Jump_table.jt_entry_size))
+          in
+          match Symtab.read_u64 rw slot with
+          | None ->
+              add (err ~rule:"dangling-jump-table" ?func ~addr:bstart
+                     "jump-table slot 0x%Lx unreadable in the rewritten image"
+                     slot)
+          | Some tgt -> (
+              match (patched_entry tgt, inside_patched tgt) with
+              | Some _, _ -> () (* lands on a springboard: fine *)
+              | None, Some e ->
+                  add (err ~rule:"dangling-jump-table" ?func ~addr:bstart
+                         "jump-table entry %d -> 0x%Lx lands inside patched \
+                          block 0x%Lx"
+                         k tgt e.M.me_block)
+              | None, None ->
+                  if not (is_insn_boundary tgt) then
+                    add (err ~rule:"dangling-jump-table" ?func ~addr:bstart
+                           "jump-table entry %d -> 0x%Lx is not an \
+                            instruction boundary"
+                           k tgt))
+        done)
+    cfg.Cfg.jump_tables;
+  Diag.sort !ds
+
+(* --- the Rewriter hook ------------------------------------------------------ *)
+
+exception Verify_failed of Diag.t list
+
+let () =
+  Printexc.register_printer (function
+    | Verify_failed ds ->
+        Some
+          (Format.asprintf "Verify_failed:@\n%a" Diag.pp_report ds)
+    | _ -> None)
+
+let install () =
+  Patch_api.Rewriter.verify_hook :=
+    Some
+      (fun symtab cfg ~manifest ~rewritten ->
+        let ds = verify ~orig:symtab cfg ~manifest ~rewritten in
+        if Diag.n_errors ds > 0 then raise (Verify_failed (Diag.errors ds)))
+
+let uninstall () = Patch_api.Rewriter.verify_hook := None

@@ -47,6 +47,8 @@ type t = {
   mutable block_map : block Dyn_util.Interval_map.t; (* [start, end) -> block *)
   funcs : (int64, func) Hashtbl.t;
   mutable entries_sorted : int64 array; (* known function entries, sorted *)
+  jump_tables : (int64, Jump_table.table) Hashtbl.t;
+      (* dispatch block start -> the recovered table *)
 }
 
 let create symtab =
@@ -56,6 +58,7 @@ let create symtab =
     block_map = Dyn_util.Interval_map.empty;
     funcs = Hashtbl.create 64;
     entries_sorted = [||];
+    jump_tables = Hashtbl.create 8;
   }
 
 let block_at t addr = Hashtbl.find_opt t.blocks addr
@@ -106,6 +109,49 @@ let is_interprocedural = function
   | E_call | E_call_ft | E_tail_call | E_return -> true
   | E_fallthrough | E_taken | E_not_taken | E_jump | E_jump_table | E_indirect
     -> false
+
+(* Per-function indirect-jump coverage: how many dispatch sites parsed
+   into jump-table edges, stayed unresolved, or hit the table-scan cap.
+   Dispatch sites are blocks whose terminator went through jump-table
+   classification — jump-table edges, or a sole unresolved indirect. *)
+type jt_stats = {
+  jts_sites : int;
+  jts_resolved : int;
+  jts_unresolved : int;
+  jts_clamped : int;
+}
+
+let jt_stats t (f : func) =
+  I64Set.elements f.f_blocks
+  |> List.filter_map (fun a -> block_at t a)
+  |> List.fold_left
+       (fun acc b ->
+         let resolved = List.exists (fun e -> e.ek = E_jump_table) b.b_out in
+         let unresolved =
+           List.exists
+             (fun e -> e.ek = E_indirect && e.e_dst = T_unknown)
+             b.b_out
+         in
+         if resolved then
+           let clamped =
+             match Hashtbl.find_opt t.jump_tables b.b_start with
+             | Some jt -> jt.Jump_table.jt_clamped
+             | None -> false
+           in
+           {
+             acc with
+             jts_sites = acc.jts_sites + 1;
+             jts_resolved = acc.jts_resolved + 1;
+             jts_clamped = (acc.jts_clamped + if clamped then 1 else 0);
+           }
+         else if unresolved then
+           {
+             acc with
+             jts_sites = acc.jts_sites + 1;
+             jts_unresolved = acc.jts_unresolved + 1;
+           }
+         else acc)
+       { jts_sites = 0; jts_resolved = 0; jts_unresolved = 0; jts_clamped = 0 }
 
 (* Intraprocedural successor block addresses. *)
 let intra_succs (b : block) =

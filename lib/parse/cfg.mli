@@ -48,6 +48,8 @@ type t = {
   mutable block_map : block Dyn_util.Interval_map.t;  (** [start, end) map *)
   funcs : (int64, func) Hashtbl.t;
   mutable entries_sorted : int64 array;  (** known entries, ascending *)
+  jump_tables : (int64, Jump_table.table) Hashtbl.t;
+      (** dispatch block start -> the recovered table *)
 }
 
 val create : Symtab.t -> t
@@ -72,6 +74,18 @@ val pp_target : Format.formatter -> target -> unit
 val pp_edge : Format.formatter -> edge -> unit
 val last_insn : block -> Instruction.t option
 val is_interprocedural : edge_kind -> bool
+
+(** Per-function indirect-jump coverage: dispatch sites that resolved to
+    jump-table edges, stayed unresolved, or whose entry scan hit the
+    table cap (no bound check found). *)
+type jt_stats = {
+  jts_sites : int;
+  jts_resolved : int;
+  jts_unresolved : int;
+  jts_clamped : int;
+}
+
+val jt_stats : t -> func -> jt_stats
 
 (** Successor block addresses reached without leaving the function
     (fallthroughs, branches, jumps, jump-table targets, call

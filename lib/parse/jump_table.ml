@@ -22,6 +22,7 @@ type table = {
   jt_base : int64; (* address of the table data *)
   jt_entry_size : int; (* 4 or 8 *)
   jt_relative : bool; (* entries are offsets from jt_base *)
+  jt_clamped : bool; (* no bound check found; scan hit [max_entries] *)
   jt_targets : int64 list;
 }
 
@@ -173,6 +174,7 @@ let analyze ~(symtab : Symtab.t) ~(span : int64 * int64)
                   jt_base = tbl;
                   jt_entry_size = esize;
                   jt_relative = relative;
+                  jt_clamped = bound = None && List.length targets >= max_entries;
                   jt_targets = List.sort_uniq Int64.compare targets;
                 })
     | None -> None

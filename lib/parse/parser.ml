@@ -221,6 +221,7 @@ let classify_terminator ctx ~(func : func) ~(bstart : int64)
                 Log.debug (fun m ->
                     m "jump table at 0x%Lx: %d targets" addr
                       (List.length jt.Jump_table.jt_targets));
+                Hashtbl.replace ctx.cfg.jump_tables bstart jt;
                 List.map
                   (fun t -> mk E_jump_table (T_addr t))
                   jt.Jump_table.jt_targets
@@ -264,6 +265,9 @@ let split_block ctx (b : block) (addr : int64) : block =
   b.b_end <- addr;
   b.b_insns <- head;
   b.b_out <- [ { ek = E_fallthrough; e_src = b.b_start; e_dst = T_addr addr } ];
+  (* any recovered table belonged to the terminator, now in the tail;
+     re-classification below re-registers it under the tail's start *)
+  Hashtbl.remove ctx.cfg.jump_tables b.b_start;
   register_block ctx b;
   register_block ctx b2;
   (match func_at ctx.cfg b.b_func with

@@ -53,6 +53,7 @@ type t = {
   use_dead_regs : bool; (* ablation switch for the §4.3 optimization *)
   stats : stats;
   mutable label_counter : int;
+  mutable last_manifest : Manifest.t option; (* filled by [plan] *)
 }
 
 let image_end (symtab : Symtab.t) =
@@ -117,6 +118,7 @@ let create ?tramp_base ?(use_dead_regs = true) (symtab : Symtab.t)
     use_dead_regs;
     stats = { n_points = 0; n_dead_alloc = 0; n_spilled = 0; strategies = [] };
     label_counter = 0;
+    last_manifest = None;
   }
 
 (* Allocate an instrumentation variable in the patch data area. *)
@@ -182,9 +184,13 @@ let fresh_prefix t =
   Printf.sprintf "p%d" t.label_counter
 
 (* Generate snippet code using dead registers when possible, else
-   borrowing registers and saving them below the stack pointer. *)
+   borrowing registers and saving them below the stack pointer.
+   Returns the items plus the dead-allocated scratch registers the code
+   leaves modified (borrowed registers are saved/restored and so are not
+   clobbers) and whether the spill path was taken — the raw material of
+   the manifest's §4.3 claims. *)
 let wrap_snippet t ~(dead : Reg.t list) (stmts : Codegen_api.Snippet.stmt list)
-    : Asm.item list =
+    : Asm.item list * Reg.t list * bool =
   let open Codegen_api in
   let needed = Snippet.regs_needed stmts in
   let reads = Snippet.reads stmts in
@@ -200,7 +206,7 @@ let wrap_snippet t ~(dead : Reg.t list) (stmts : Codegen_api.Snippet.stmt list)
       Codegen.create_ctx ~label_prefix:(fresh_prefix t) ~profile:t.profile
         ~scratch ()
     in
-    Codegen.generate ctx stmts
+    (Codegen.generate ctx stmts, scratch, false)
   end
   else begin
     t.stats.n_spilled <- t.stats.n_spilled + 1;
@@ -229,7 +235,7 @@ let wrap_snippet t ~(dead : Reg.t list) (stmts : Codegen_api.Snippet.stmt list)
       Codegen.create_ctx ~label_prefix:(fresh_prefix t) ~profile:t.profile
         ~scratch:(usable @ borrowed) ()
     in
-    saves @ Codegen.generate ctx stmts @ restores
+    (saves @ Codegen.generate ctx stmts @ restores, usable, true)
   end
 
 (* --- springboards ----------------------------------------------------------- *)
@@ -237,15 +243,16 @@ let wrap_snippet t ~(dead : Reg.t list) (stmts : Codegen_api.Snippet.stmt list)
 let has_c t = Ext.supports t.profile Ext.C
 
 (* Choose and encode the springboard for [b] -> [tramp_addr].
-   Returns (bytes, strategy); trap springboards also yield a map entry. *)
+   Returns (bytes, strategy, scratch register an auipc+jalr consumed);
+   trap springboards also yield a map entry. *)
 let springboard t (b : Cfg.block) (tramp_addr : int64) ~(dead : Reg.t list) :
-    Bytes.t * strategy =
+    Bytes.t * strategy * Reg.t option =
   let size = Int64.to_int (Int64.sub b.Cfg.b_end b.Cfg.b_start) in
   let off = Int64.sub tramp_addr b.Cfg.b_start in
   let fits_jal = Dyn_util.Bits.fits_signed off 21 in
   let fits_cj = Dyn_util.Bits.fits_signed off 12 in
   if size >= 4 && fits_jal then
-    (Encode.encode (Build.jal Reg.zero (Int64.to_int off)), Sp_jal)
+    (Encode.encode (Build.jal Reg.zero (Int64.to_int off)), Sp_jal, None)
   else if size >= 2 && fits_cj && has_c t then
     ( (match Encode.compress (Build.jal Reg.zero (Int64.to_int off)) with
       | Some hw ->
@@ -253,7 +260,8 @@ let springboard t (b : Cfg.block) (tramp_addr : int64) ~(dead : Reg.t list) :
           Bytes.set_uint16_le bts 0 hw;
           bts
       | None -> fail "c.j encoding failed unexpectedly"),
-      Sp_cj )
+      Sp_cj,
+      None )
   else if size >= 8 then begin
     (* auipc+jalr consumes a register; it must be dead at block entry *)
     match List.filter (fun r -> Reg.is_int r && r <> Reg.zero && r <> Reg.sp) dead with
@@ -262,16 +270,16 @@ let springboard t (b : Cfg.block) (tramp_addr : int64) ~(dead : Reg.t list) :
         let buf = Buffer.create 8 in
         Buffer.add_bytes buf (Encode.encode (Build.auipc scratch hi));
         Buffer.add_bytes buf (Encode.encode (Build.jalr Reg.zero scratch lo));
-        (Buffer.to_bytes buf, Sp_auipc_jalr)
+        (Buffer.to_bytes buf, Sp_auipc_jalr, Some scratch)
     | [] ->
         (* no dead register: fall back to the trap *)
-        if has_c t then (Bytes.of_string "\x02\x90", Sp_trap)
-        else (Encode.encode Build.ebreak, Sp_trap)
+        if has_c t then (Bytes.of_string "\x02\x90", Sp_trap, None)
+        else (Encode.encode Build.ebreak, Sp_trap, None)
   end
   else if size >= 2 && has_c t then
     (* the paper's worst case: the 2-byte trap instruction (c.ebreak) *)
-    (Bytes.of_string "\x02\x90", Sp_trap)
-  else if size >= 4 then (Encode.encode Build.ebreak, Sp_trap)
+    (Bytes.of_string "\x02\x90", Sp_trap, None)
+  else if size >= 4 then (Encode.encode Build.ebreak, Sp_trap, None)
   else fail "block at 0x%Lx too small to instrument" b.Cfg.b_start
 
 (* --- the rewrite ------------------------------------------------------------- *)
@@ -338,6 +346,9 @@ let plan (t : t) : plan =
     Hashtbl.fold (fun baddr reqs acc -> (baddr, reqs) :: acc) t.requests []
     |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
   in
+  let block_insertions : (int64, Manifest.insertion list) Hashtbl.t =
+    Hashtbl.create 16
+  in
   List.iter
     (fun (baddr, reqs) ->
       let b =
@@ -345,14 +356,21 @@ let plan (t : t) : plan =
         | Some b -> b
         | None -> fail "no block at 0x%Lx" baddr
       in
+      let minfo = ref [] in
       let insertions =
         List.filter_map
           (function
             | Before (addr, stmts) ->
                 let dead = dead_at_point t cache b addr in
-                Some
-                  { Trampoline.ins_before = addr;
-                    ins_items = wrap_snippet t ~dead stmts }
+                let code, clobbers, spilled = wrap_snippet t ~dead stmts in
+                minfo :=
+                  { Manifest.mi_addr = addr;
+                    mi_edge = false;
+                    mi_spilled = spilled;
+                    mi_clobbers = clobbers;
+                    mi_code_defs = Manifest.defs_of_items code }
+                  :: !minfo;
+                Some { Trampoline.ins_before = addr; ins_items = code }
             | On_edge _ -> None)
           reqs
       in
@@ -366,12 +384,19 @@ let plan (t : t) : plan =
                   | None -> baddr
                 in
                 let dead = dead_on_edge t cache b ~target in
-                Some
-                  { Trampoline.ei_branch = branch_addr;
-                    ei_items = wrap_snippet t ~dead stmts }
+                let code, clobbers, spilled = wrap_snippet t ~dead stmts in
+                minfo :=
+                  { Manifest.mi_addr = branch_addr;
+                    mi_edge = true;
+                    mi_spilled = spilled;
+                    mi_clobbers = clobbers;
+                    mi_code_defs = Manifest.defs_of_items code }
+                  :: !minfo;
+                Some { Trampoline.ei_branch = branch_addr; ei_items = code }
             | Before _ -> None)
           reqs
       in
+      Hashtbl.replace block_insertions baddr (List.rev !minfo);
       items :=
         !items
         @ Trampoline.build ~entry_label:(tramp_label b) b ~insertions
@@ -385,12 +410,13 @@ let plan (t : t) : plan =
   let traps = ref [] in
   let patches = ref [] in
   let zeroed = ref [] in
+  let entries = ref [] in
   List.iter
     (fun (baddr, _) ->
       let b = Option.get (Cfg.block_at t.cfg baddr) in
       let tramp_addr = Asm.label_addr asm (tramp_label b) in
       let dead = dead_at_point t cache b baddr in
-      let sb, strat = springboard t b tramp_addr ~dead in
+      let sb, strat, sb_scratch = springboard t b tramp_addr ~dead in
       t.stats.strategies <- (baddr, strat) :: t.stats.strategies;
       if strat = Sp_trap then traps := (baddr, tramp_addr) :: !traps;
       Log.debug (fun m ->
@@ -398,8 +424,31 @@ let plan (t : t) : plan =
             (strategy_name strat));
       let bsize = Int64.to_int (Int64.sub b.Cfg.b_end b.Cfg.b_start) in
       zeroed := (baddr, bsize) :: !zeroed;
-      patches := (baddr, sb) :: !patches)
+      patches := (baddr, sb) :: !patches;
+      entries :=
+        {
+          Manifest.me_block = baddr;
+          me_block_end = b.Cfg.b_end;
+          me_func = b.Cfg.b_func;
+          me_tramp = tramp_addr;
+          me_strategy = strategy_name strat;
+          me_sb_len = Bytes.length sb;
+          me_sb_scratch = sb_scratch;
+          me_insertions =
+            Option.value (Hashtbl.find_opt block_insertions baddr) ~default:[];
+        }
+        :: !entries)
     blocks;
+  t.last_manifest <-
+    Some
+      {
+        Manifest.m_tramp_base = t.tramp_base;
+        m_tramp_size = Bytes.length asm.Asm.code;
+        m_data_base = t.data_base;
+        m_data_size = max 8 t.data_cursor;
+        m_traps = !traps;
+        m_entries = List.rev !entries;
+      };
   {
     pl_tramp_base = t.tramp_base;
     pl_tramp_code = asm.Asm.code;
@@ -479,11 +528,31 @@ let apply_to_image (t : t) (pl : plan) : Elfkit.Types.image =
       sections @ [ tramp_section; data_section ] @ trap_section;
   }
 
+(* Post-rewrite verification hook.  [Lint_api.Verifier.install] sets it;
+   keeping it an injectable ref lets the lint layer depend on PatchAPI
+   without a cycle.  The hook raises on error-severity findings. *)
+let verify_hook :
+    (Symtab.t ->
+    Cfg.t ->
+    manifest:Manifest.t ->
+    rewritten:Elfkit.Types.image ->
+    unit)
+    option
+    ref =
+  ref None
+
 let rewrite (t : t) : Elfkit.Types.image =
   let pl = Dyn_util.Stats.span "codegen:plan" (fun () -> plan t) in
-  Dyn_util.Stats.span "rewrite:apply" (fun () -> apply_to_image t pl)
+  let img = Dyn_util.Stats.span "rewrite:apply" (fun () -> apply_to_image t pl) in
+  (match (!verify_hook, t.last_manifest) with
+  | Some hook, Some m ->
+      Dyn_util.Stats.span "rewrite:verify" (fun () ->
+          hook t.symtab t.cfg ~manifest:m ~rewritten:img)
+  | _ -> ());
+  img
 
 let stats t = t.stats
+let manifest t = t.last_manifest
 
 (* How many instrumented blocks used each springboard strategy, in
    preference order — the paper's springboard mix (§3.1.2). *)

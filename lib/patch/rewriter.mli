@@ -69,8 +69,25 @@ val plan : t -> plan
 (** Apply a plan to the original image: static binary rewriting. *)
 val apply_to_image : t -> plan -> Elfkit.Types.image
 
-(** [plan] + [apply_to_image] in one step. *)
+(** [plan] + [apply_to_image] in one step; runs {!verify_hook} (if
+    installed) on the result. *)
 val rewrite : t -> Elfkit.Types.image
+
+(** The manifest of the last {!plan} (springboards, trampolines, §4.3
+    register claims) — [None] until a plan has been generated. *)
+val manifest : t -> Manifest.t option
+
+(** Post-rewrite verification, injected by [Lint_api.Verifier.install];
+    a ref so the lint layer can depend on PatchAPI without a cycle.
+    Expected to raise on error-severity findings. *)
+val verify_hook :
+  (Symtab.t ->
+  Parse_api.Cfg.t ->
+  manifest:Manifest.t ->
+  rewritten:Elfkit.Types.image ->
+  unit)
+  option
+  ref
 
 val stats : t -> stats
 
@@ -87,9 +104,16 @@ val pp_stats : Format.formatter -> stats -> unit
 (**/**)
 
 val springboard :
-  t -> Parse_api.Cfg.block -> int64 -> dead:Riscv.Reg.t list -> Bytes.t * strategy
+  t ->
+  Parse_api.Cfg.block ->
+  int64 ->
+  dead:Riscv.Reg.t list ->
+  Bytes.t * strategy * Riscv.Reg.t option
 
 val wrap_snippet :
-  t -> dead:Riscv.Reg.t list -> Codegen_api.Snippet.stmt list -> Riscv.Asm.item list
+  t ->
+  dead:Riscv.Reg.t list ->
+  Codegen_api.Snippet.stmt list ->
+  Riscv.Asm.item list * Riscv.Reg.t list * bool
 
 val default_tramp_base : Symtab.t -> data_base:int64 -> int64

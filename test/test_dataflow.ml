@@ -105,6 +105,105 @@ let test_liveness_call_clobbers () =
   let live_call = Liveness.live_before lv b call_addr in
   checkb "a0 live at call (argument)" true (Regset.mem live_call Reg.a0)
 
+let test_dead_regs_at_call_boundary () =
+  let open Asm in
+  (* right before a call: caller-saved temps not flowing into the call
+     are dead (the callee may clobber them); argument registers are not *)
+  let cfg, r =
+    build_cfg
+      ~funcs:[ ("main", "main"); ("callee", "callee") ]
+      [
+        Label "main";
+        Insn (Build.addi Reg.t2 Reg.zero 1);
+        Call_l "callee";
+        Insn (Build.add Reg.a0 Reg.t2 Reg.t2);
+        Insn Build.ret;
+        Label "callee";
+        Insn Build.ret;
+      ]
+  in
+  let f = func cfg "main" in
+  let lv = Liveness.analyze cfg f in
+  let b = Option.get (Cfg.block_at cfg f.Cfg.f_entry) in
+  let call_addr = Int64.add (Asm.label_addr r "main") 4L in
+  let dead = Liveness.dead_int_regs_before lv b call_addr in
+  checkb "t2 dead at the call (killed by it)" true (List.mem Reg.t2 dead);
+  checkb "a0 not dead at the call (argument)" false (List.mem Reg.a0 dead);
+  (* the jal itself redefines ra before any use: its old value is dead *)
+  checkb "ra dead right before the call" true (List.mem Reg.ra dead)
+
+let test_dead_regs_at_return_boundary () =
+  let open Asm in
+  let cfg, r =
+    build_cfg
+      [
+        Label "main";
+        Insn (Build.addi Reg.t0 Reg.zero 1);
+        Insn (Build.add Reg.a0 Reg.t0 Reg.t0);
+        Insn Build.ret;
+      ]
+  in
+  let f = func cfg "main" in
+  let lv = Liveness.analyze cfg f in
+  let b = Option.get (Cfg.block_at cfg f.Cfg.f_entry) in
+  let ret_addr = Int64.add (Asm.label_addr r "main") 8L in
+  let dead = Liveness.dead_int_regs_before lv b ret_addr in
+  checkb "t0 dead before the return" true (List.mem Reg.t0 dead);
+  checkb "a0 live before the return (return value)" false (List.mem Reg.a0 dead);
+  checkb "callee-saved s2 live at return" false (List.mem (Reg.x 18) dead)
+
+let test_dead_regs_unresolved_indirect () =
+  let open Asm in
+  (* an unresolved indirect jump makes everything conservatively live:
+     no scratch registers are available in the terminating block *)
+  let cfg, r =
+    build_cfg
+      [
+        Label "main";
+        Insn (Build.ld Reg.t3 0 Reg.a0);
+        Insn (Build.jr Reg.t3);
+      ]
+  in
+  let f = func cfg "main" in
+  let lv = Liveness.analyze cfg f in
+  let b = Option.get (Cfg.block_at cfg f.Cfg.f_entry) in
+  let jr_addr = Int64.add (Asm.label_addr r "main") 4L in
+  Alcotest.(check (list int))
+    "no dead registers before the unresolved jr" []
+    (Liveness.dead_int_regs_before lv b jr_addr)
+
+(* --- register sets ---------------------------------------------------------- *)
+
+let regset_gen =
+  QCheck.Gen.(
+    map
+      (fun ids -> (Regset.of_list ids, List.sort_uniq compare ids))
+      (list_size (int_bound 24) (int_bound (Reg.n_regs - 1))))
+
+let regset_arb =
+  QCheck.make
+    ~print:(fun (s, _) -> Regset.to_string s)
+    regset_gen
+
+let prop_regset_fold_iter =
+  QCheck.Test.make ~name:"fold and iter agree with elements" ~count:500
+    regset_arb (fun (s, ids) ->
+      let folded = List.rev (Regset.fold List.cons s []) in
+      let itered = ref [] in
+      Regset.iter (fun r -> itered := r :: !itered) s;
+      folded = Regset.elements s
+      && List.rev !itered = Regset.elements s
+      && folded = ids)
+
+let prop_regset_subset =
+  QCheck.Test.make ~name:"subset = pointwise membership" ~count:500
+    (QCheck.pair regset_arb regset_arb)
+    (fun ((a, _), (b, _)) ->
+      Regset.subset a b
+      = List.for_all (Regset.mem b) (Regset.elements a)
+      && Regset.subset a (Regset.union a b)
+      && Regset.subset (Regset.inter a b) a)
+
 (* --- defs/uses cross-check ------------------------------------------------ *)
 
 let prop_semantics_agree_handwritten =
@@ -266,6 +365,17 @@ let () =
           Alcotest.test_case "dead registers" `Quick test_liveness_dead_regs;
           Alcotest.test_case "across branch" `Quick test_liveness_across_branch;
           Alcotest.test_case "call clobbers" `Quick test_liveness_call_clobbers;
+          Alcotest.test_case "dead regs at call boundary" `Quick
+            test_dead_regs_at_call_boundary;
+          Alcotest.test_case "dead regs at return boundary" `Quick
+            test_dead_regs_at_return_boundary;
+          Alcotest.test_case "dead regs at unresolved indirect" `Quick
+            test_dead_regs_unresolved_indirect;
+        ] );
+      ( "regset",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_regset_fold_iter;
+          QCheck_alcotest.to_alcotest ~long:false prop_regset_subset;
         ] );
       ( "defs-uses",
         [ QCheck_alcotest.to_alcotest ~long:false prop_semantics_agree_handwritten ] );
