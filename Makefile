@@ -15,12 +15,17 @@
 #   lint-smoke   static safety net: lint + instrument + rewrite + verify
 #                every built-in mutatee; fails on any error-severity
 #                diagnostic
+#   serve-smoke  end-to-end rvserved/rvq session over a real socket:
+#                mixed batch, warm batch must be fully cached and
+#                byte-identical, clean shutdown
 #   check        fmt + build + test + fuzz-smoke + lint-smoke +
-#                bench-smoke — what CI and the PR driver run
+#                serve-smoke + bench-smoke — what CI and the PR driver
+#                run
 #   bench        regenerate the evaluation tables, BENCH_trace.json,
-#                BENCH_prof.json and BENCH_sim.json
+#                BENCH_prof.json, BENCH_sim.json and BENCH_served.json
 
-.PHONY: all build test fmt check bench bench-smoke fuzz-smoke lint-smoke clean
+.PHONY: all build test fmt check bench bench-smoke fuzz-smoke lint-smoke \
+	serve-smoke clean
 
 all: build
 
@@ -42,7 +47,10 @@ fuzz-smoke:
 lint-smoke:
 	dune exec bin/rvlint.exe -- smoke
 
-check: fmt build test fuzz-smoke lint-smoke bench-smoke
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+check: fmt build test fuzz-smoke lint-smoke serve-smoke bench-smoke
 
 bench:
 	dune exec bench/main.exe

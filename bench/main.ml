@@ -714,8 +714,12 @@ let () =
     prof_overhead ~smoke:true ~json:"BENCH_prof.smoke.json" ();
     lockstep_throughput ~count:4_000 ();
     sim_throughput ~smoke:true ~json:"BENCH_sim.smoke.json" ();
+    Served.bench ~smoke:true ~json:"BENCH_served.smoke.json" ();
     print_endline "\nbench: smoke done"
   end
+  else if flag "--served" then
+    (* full-config rvserved section alone (rewrites BENCH_served.json) *)
+    Served.bench ()
   else if flag "--sim" then
     (* full-config sim-throughput section alone (rewrites BENCH_sim.json) *)
     sim_throughput ()
@@ -731,6 +735,7 @@ let () =
     figure_flows ();
     figure_components ();
     lockstep_throughput ();
+    Served.bench ();
     if bechamel then bechamel_benches ();
     print_endline "\nbench: done"
   end

@@ -1,0 +1,138 @@
+(* rvserved throughput: jobs/sec through the artifact cache, cold vs
+   warm, 1 vs N worker domains.
+
+   The measurement drives Jobs.exec + Pool directly (in-process, no
+   socket) so it times the service core — hash, cache, parse, lint,
+   rewrite — rather than connection setup.  The corpus is >= 8 minicc
+   mutatees written to temp ELF files; each batch submits three jobs
+   per mutatee (parse, lint, rewrite of main's entry), mirroring what a
+   build farm's lint+instrument pipeline would push per binary.
+
+   Cold = fresh cache (every artifact computed); warm = same batch
+   again (every artifact served by content hash).  The acceptance bar
+   from the growth plan — warm >= 5x cold — is recorded in the JSON as
+   [warm_over_cold_ok].  Warm batches are repeated until enough host
+   time accumulates for the rate to be meaningful. *)
+
+module W = Serve_api.Wire
+module Cache = Serve_api.Cache
+module Pool = Serve_api.Pool
+module Jobs = Serve_api.Jobs
+
+let corpus ~smoke =
+  let base =
+    [
+      ("fib", Minicc.Programs.fib);
+      ("calls", Minicc.Programs.calls);
+      ("switch", Minicc.Programs.switch_demo);
+      ("mixed", Minicc.Programs.mixed);
+    ]
+  in
+  if smoke then base
+  else
+    base
+    @ List.map
+        (fun n ->
+          (Printf.sprintf "matmul%d" n, Minicc.Programs.matmul ~n ~reps:1))
+        [ 6; 8; 10; 12 ]
+
+let write_corpus ~smoke : string list =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rvserved_bench_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.map
+    (fun (name, src) ->
+      let path = Filename.concat dir (name ^ ".elf") in
+      if not (Sys.file_exists path) then
+        Elfkit.Write.to_file path (Minicc.Driver.compile src).Minicc.Driver.image;
+      path)
+    (corpus ~smoke)
+
+let batch_of (paths : string list) : W.request list =
+  List.concat_map
+    (fun p ->
+      [
+        { W.rq_id = 0L; rq_path = p; rq_action = W.Parse };
+        { W.rq_id = 0L; rq_path = p; rq_action = W.Lint };
+        {
+          W.rq_id = 0L;
+          rq_path = p;
+          rq_action =
+            W.Rewrite (Patch_api.Rewriter.counter_spec ~entries:[ "main" ] ());
+        };
+      ])
+    paths
+
+let run_batch pool ~stat cache (reqs : W.request list) : unit =
+  Pool.run_batch pool (List.map (fun r () -> Jobs.exec ~stat cache r) reqs)
+  |> List.iter (function
+       | Ok r when r.W.rs_ok -> ()
+       | Ok r -> Format.kasprintf failwith "job failed: %s" r.W.rs_error
+       | Error e -> raise e)
+
+(* (cold jobs/s, warm jobs/s) on [domains] workers *)
+let measure ~domains ~min_warm_time (reqs : W.request list) : float * float =
+  let n = List.length reqs in
+  let pool = Pool.create ~domains in
+  let cache = Cache.create () in
+  let stat = Serve_api.Statcache.create () in
+  let t0 = Unix.gettimeofday () in
+  run_batch pool ~stat cache reqs;
+  let cold_dt = Unix.gettimeofday () -. t0 in
+  (* warm: same cache; loop batches until the clock has seen enough *)
+  let rec warm_go total_jobs dt =
+    if dt >= min_warm_time then float_of_int total_jobs /. dt
+    else begin
+      let t0 = Unix.gettimeofday () in
+      run_batch pool ~stat cache reqs;
+      warm_go (total_jobs + n) (dt +. (Unix.gettimeofday () -. t0))
+    end
+  in
+  let warm_rate = warm_go 0 0.0 in
+  Pool.shutdown pool;
+  (float_of_int n /. cold_dt, warm_rate)
+
+let bench ?(smoke = false) ?(json = "BENCH_served.json") () =
+  print_endline "\n== rvserved: artifact-cache throughput ==";
+  let paths = write_corpus ~smoke in
+  let reqs = batch_of paths in
+  Printf.printf "   corpus: %d mutatees, %d jobs/batch (parse+lint+rewrite)\n"
+    (List.length paths) (List.length reqs);
+  let min_warm_time = if smoke then 0.05 else 0.3 in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let rows =
+    List.map
+      (fun d ->
+        let cold, warm = measure ~domains:d ~min_warm_time reqs in
+        Printf.printf "   %d domain%s: %8.0f cold jobs/s  %10.0f warm jobs/s\n" d
+          (if d = 1 then " " else "s")
+          cold warm;
+        (d, cold, warm))
+      domain_counts
+  in
+  let _, cold1, warm1 = List.hd rows in
+  let ratio = warm1 /. cold1 in
+  let ok = ratio >= 5.0 in
+  Printf.printf "   warm/cold (1 domain): %.1fx  (>= 5x: %s)\n" ratio
+    (if ok then "ok" else "VIOLATED");
+  let oc = open_out json in
+  Printf.fprintf oc "{\n  \"mutatees\": %d,\n  \"jobs_per_batch\": %d,\n"
+    (List.length paths) (List.length reqs);
+  Printf.fprintf oc "  \"rows\": [\n";
+  List.iteri
+    (fun i (d, cold, warm) ->
+      Printf.fprintf oc
+        "    {\"domains\": %d, \"cold_jobs_per_s\": %.1f, \"warm_jobs_per_s\": \
+         %.1f}%s\n"
+        d cold warm
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"warm_over_cold_1d\": %.2f,\n  \"warm_over_cold_ok\": %b\n}\n"
+    ratio ok;
+  close_out oc;
+  Printf.printf "   wrote %s\n" json;
+  if not ok then failwith "rvserved bench: warm cache under 5x cold"

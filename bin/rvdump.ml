@@ -8,69 +8,10 @@
    parsed; --json emits a machine-readable dump that CI can diff.       *)
 
 open Cmdliner
-module J = Sailsem.Json
+module J = Dyn_util.Jsonw
 
-let json_of_dump st cfg : J.t =
-  let region (r : Symtab.region) =
-    J.Obj
-      [
-        ("name", J.String r.Symtab.rg_name);
-        ("addr", J.Int r.Symtab.rg_addr);
-        ("size", J.Int (Int64.of_int r.Symtab.rg_size));
-        ("exec", J.Bool r.Symtab.rg_exec);
-        ("write", J.Bool r.Symtab.rg_write);
-      ]
-  in
-  let block (b : Parse_api.Cfg.block) =
-    J.Obj
-      [
-        ("start", J.Int b.Parse_api.Cfg.b_start);
-        ("end", J.Int b.Parse_api.Cfg.b_end);
-        ("insns", J.Int (Int64.of_int (List.length b.Parse_api.Cfg.b_insns)));
-        ( "out",
-          J.List
-            (List.map
-               (fun (e : Parse_api.Cfg.edge) ->
-                 J.Obj
-                   [
-                     ("kind", J.String (Parse_api.Cfg.edge_kind_name e.Parse_api.Cfg.ek));
-                     ( "dst",
-                       match e.Parse_api.Cfg.e_dst with
-                       | Parse_api.Cfg.T_addr a -> J.Int a
-                       | Parse_api.Cfg.T_unknown -> J.Null );
-                   ])
-               b.Parse_api.Cfg.b_out) );
-      ]
-  in
-  let func (f : Parse_api.Cfg.func) =
-    let loops = Parse_api.Loops.loops_of_function cfg f in
-    let st_jt = Parse_api.Cfg.jt_stats cfg f in
-    J.Obj
-      [
-        ("name", J.String f.Parse_api.Cfg.f_name);
-        ("entry", J.Int f.Parse_api.Cfg.f_entry);
-        ( "blocks",
-          J.List (List.map block (Parse_api.Cfg.blocks_of cfg f)) );
-        ("loops", J.Int (Int64.of_int (List.length loops)));
-        ("returns", J.Bool f.Parse_api.Cfg.f_returns);
-        ("from_gap", J.Bool f.Parse_api.Cfg.f_from_gap);
-        ( "indirect",
-          J.Obj
-            [
-              ("sites", J.Int (Int64.of_int st_jt.Parse_api.Cfg.jts_sites));
-              ("resolved", J.Int (Int64.of_int st_jt.Parse_api.Cfg.jts_resolved));
-              ("unresolved", J.Int (Int64.of_int st_jt.Parse_api.Cfg.jts_unresolved));
-              ("clamped", J.Int (Int64.of_int st_jt.Parse_api.Cfg.jts_clamped));
-            ] );
-      ]
-  in
-  J.Obj
-    [
-      ("entry", J.Int (Symtab.entry st));
-      ("profile", J.String (Riscv.Ext.arch_string (Symtab.profile st)));
-      ("regions", J.List (List.map region (Symtab.regions st)));
-      ("functions", J.List (List.map func (Parse_api.Cfg.functions cfg)));
-    ]
+(* the JSON dump itself lives in Parse_api.Summary, shared with the
+   rvserved `parse` action so both render identical artifacts *)
 
 let dump path show_cfg no_disasm json =
   match
@@ -85,7 +26,7 @@ let dump path show_cfg no_disasm json =
       2
   | Ok (st, cfg) when json ->
       ignore (show_cfg, no_disasm);
-      Format.printf "%s@." (J.to_string (json_of_dump st cfg));
+      Format.printf "%s@." (J.to_string (Parse_api.Summary.to_json st cfg));
       0
   | Ok (st, cfg) ->
       Printf.printf "entry: 0x%Lx\n" (Symtab.entry st);

@@ -21,7 +21,7 @@ open Lint_api
 let pr fmt = Format.printf fmt
 
 let emit json ds =
-  if json then pr "%s@." (Sailsem.Json.to_string (Diag.list_to_json (Diag.sort ds)))
+  if json then pr "%s@." (Dyn_util.Jsonw.to_string (Diag.list_to_json (Diag.sort ds)))
   else pr "%a" Diag.pp_report ds
 
 let run_rules () =

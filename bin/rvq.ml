@@ -1,0 +1,180 @@
+(* rvq: command-line client for rvserved.
+
+     rvq ping|stats|flush|shutdown [--socket PATH]
+     rvq job <parse|lint|rewrite|profile|trace> <mutatee.elf> \
+        [--entries f]... [--blocks f]... [--exits f]... \
+        [--period N] [--calls] [--returns] [--mem] [--funcs f]...
+     rvq batch [--socket PATH]     # NDJSON requests on stdin
+
+   `job` prints the one response; `batch` streams responses to stdout
+   as the daemon finishes them (out of submission order — correlate by
+   id).  Exit status 1 if any response has ok=false, 2 on
+   connect/protocol errors. *)
+
+open Cmdliner
+module W = Serve_api.Wire
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "rvq: cannot connect to %s: %s\n" socket
+       (Unix.error_message e);
+     exit 2);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc (r : W.request) =
+  output_string oc (W.encode_request r);
+  output_char oc '\n';
+  flush oc
+
+let recv ic : W.response =
+  match input_line ic with
+  | exception End_of_file ->
+      Printf.eprintf "rvq: connection closed by server\n";
+      exit 2
+  | line -> (
+      try W.decode_response line
+      with W.Wire_error msg ->
+        Printf.eprintf "rvq: bad response: %s\n" msg;
+        exit 2)
+
+(* one-request round trip; prints the raw response line *)
+let roundtrip socket action =
+  let ic, oc = connect socket in
+  send oc { W.rq_id = 1L; rq_path = ""; rq_action = action };
+  let r = recv ic in
+  print_endline (W.encode_response r);
+  if r.W.rs_ok then 0 else 1
+
+let control socket which =
+  let action =
+    match which with
+    | "ping" -> W.Ping
+    | "stats" -> W.Stats
+    | "flush" -> W.Flush
+    | "shutdown" -> W.Shutdown
+    | _ -> assert false
+  in
+  roundtrip socket action
+
+let job socket action_name path entries blocks exits period calls returns mem
+    funcs =
+  let action =
+    match action_name with
+    | "parse" -> W.Parse
+    | "lint" -> W.Lint
+    | "rewrite" ->
+        W.Rewrite (Patch_api.Rewriter.counter_spec ~entries ~blocks ~exits ())
+    | "profile" -> W.Profile { W.ps_period = Int64.of_int period }
+    | "trace" ->
+        W.Trace
+          {
+            W.ts_blocks = true;
+            ts_calls = calls;
+            ts_returns = returns;
+            ts_mem = mem;
+            ts_funcs = funcs;
+          }
+    | a ->
+        Printf.eprintf "rvq: unknown action %s\n" a;
+        exit 2
+  in
+  let ic, oc = connect socket in
+  send oc { W.rq_id = 1L; rq_path = path; rq_action = action };
+  let r = recv ic in
+  print_endline (W.encode_response r);
+  if r.W.rs_ok then 0 else 1
+
+(* stdin NDJSON -> daemon; daemon responses -> stdout, as they come *)
+let batch socket =
+  let requests = ref [] in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then begin
+         (* validate locally so a typo fails fast with a line number *)
+         (try ignore (W.decode_request line)
+          with W.Wire_error msg ->
+            Printf.eprintf "rvq: request %d: %s\n"
+              (List.length !requests + 1)
+              msg;
+            exit 2);
+         requests := line :: !requests
+       end
+     done
+   with End_of_file -> ());
+  let requests = List.rev !requests in
+  let n = List.length requests in
+  if n = 0 then 0
+  else begin
+    let ic, oc = connect socket in
+    List.iter
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n')
+      requests;
+    flush oc;
+    let failures = ref 0 in
+    for _ = 1 to n do
+      let r = recv ic in
+      print_endline (W.encode_response r);
+      if not r.W.rs_ok then incr failures
+    done;
+    if !failures > 0 then 1 else 0
+  end
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/rvserved.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"rvserved socket")
+
+let control_cmd cname doc =
+  Cmd.v (Cmd.info cname ~doc)
+    Term.(const control $ socket_arg $ const cname)
+
+let action_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ACTION" ~doc:"parse|lint|rewrite|profile|trace")
+
+let path_arg =
+  Arg.(
+    required & pos 1 (some string) None & info [] ~docv:"ELF" ~doc:"mutatee")
+
+let strlist name doc = Arg.(value & opt_all string [] & info [ name ] ~doc)
+
+let job_cmd =
+  Cmd.v
+    (Cmd.info "job" ~doc:"submit one job and print its response")
+    Term.(
+      const job $ socket_arg $ action_arg $ path_arg
+      $ strlist "entries" "count entries of FUNC (rewrite)"
+      $ strlist "blocks" "count blocks of FUNC (rewrite)"
+      $ strlist "exits" "count exits of FUNC (rewrite)"
+      $ Arg.(value & opt int 10_000 & info [ "period" ] ~doc:"sample period (profile)")
+      $ Arg.(value & flag & info [ "calls" ] ~doc:"trace call sites")
+      $ Arg.(value & flag & info [ "returns" ] ~doc:"trace returns")
+      $ Arg.(value & flag & info [ "mem" ] ~doc:"trace memory accesses")
+      $ strlist "funcs" "restrict tracing to FUNC")
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch" ~doc:"stream NDJSON requests from stdin, responses to stdout")
+    Term.(const batch $ socket_arg)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "rvq" ~doc:"client for the rvserved instrumentation service")
+    [
+      control_cmd "ping" "liveness check";
+      control_cmd "stats" "cache/pool statistics";
+      control_cmd "flush" "invalidate the artifact cache";
+      control_cmd "shutdown" "stop the daemon";
+      job_cmd;
+      batch_cmd;
+    ]
+
+let () = exit (Cmd.eval' cmd)

@@ -160,3 +160,23 @@ let dead_int_regs_before analysis b addr =
   List.filter
     (fun r -> Reg.is_int r && (not (Regset.mem live r)) && not (Regset.mem never_allocatable r))
     (List.init 32 (fun i -> i))
+
+(* --- cacheable artifact ---------------------------------------------------- *)
+
+(* Frozen per-function liveness summary: for every block (ascending start
+   order), how many allocatable integer registers are dead at its entry.
+   This is the dataflow slice of the rvserved `parse` artifact — a
+   deterministic, immutable digest of the analysis, cheap to render and
+   safe to share across worker domains once computed. *)
+let dead_entry_summary (cfg : Cfg.t) (func : Cfg.func) : (int64 * int) list =
+  let analysis = analyze cfg func in
+  Cfg.blocks_of cfg func
+  |> List.filter_map (fun (b : Cfg.block) ->
+         match b.Cfg.b_insns with
+         | [] -> None
+         | first :: _ ->
+             Some
+               ( b.Cfg.b_start,
+                 List.length
+                   (dead_int_regs_before analysis b first.Instruction.addr) ))
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)

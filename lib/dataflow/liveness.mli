@@ -36,3 +36,9 @@ val callee_saved : Regset.t
 val caller_saved : Regset.t
 val arg_regs : Regset.t
 val live_at_return : Regset.t
+
+(** Frozen per-function artifact: for every block with at least one
+    instruction (ascending start order), the number of allocatable
+    integer registers dead at its entry.  Deterministic and immutable —
+    the dataflow slice of the rvserved parse artifact. *)
+val dead_entry_summary : Parse_api.Cfg.t -> Parse_api.Cfg.func -> (int64 * int) list

@@ -2,7 +2,7 @@
    function, message — with text and JSON renderers so both humans and
    CI can consume them. *)
 
-module J = Sailsem.Json
+module J = Dyn_util.Jsonw
 
 type severity = Error | Warning | Info
 

@@ -31,8 +31,8 @@ val sort : t list -> t list
 val errors : t list -> t list
 val n_errors : t list -> int
 val pp : Format.formatter -> t -> unit
-val to_json : t -> Sailsem.Json.t
-val list_to_json : t list -> Sailsem.Json.t
+val to_json : t -> Dyn_util.Jsonw.t
+val list_to_json : t list -> Dyn_util.Jsonw.t
 
 (** Sorted listing followed by an error/warning summary line. *)
 val pp_report : Format.formatter -> t list -> unit

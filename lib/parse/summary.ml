@@ -1,0 +1,84 @@
+(* The parse artifact: a frozen, machine-readable summary of everything
+   ParseAPI recovered from a binary — regions, functions, blocks, edges,
+   loop and jump-table statistics.  This is rvdump --json's payload and
+   the rvserved `parse` action's wire result, extracted here so both
+   render through the same code and the artifact cache can key one
+   canonical byte string per image.
+
+   Determinism contract: functions are emitted in ascending entry order
+   and blocks in ascending start order, so the same image always renders
+   to the same bytes — the cache's warm/cold differential depends on
+   it. *)
+
+module J = Dyn_util.Jsonw
+
+let json_of_region (r : Symtab.region) =
+  J.Obj
+    [
+      ("name", J.String r.Symtab.rg_name);
+      ("addr", J.Int r.Symtab.rg_addr);
+      ("size", J.Int (Int64.of_int r.Symtab.rg_size));
+      ("exec", J.Bool r.Symtab.rg_exec);
+      ("write", J.Bool r.Symtab.rg_write);
+    ]
+
+let json_of_block (b : Cfg.block) =
+  J.Obj
+    [
+      ("start", J.Int b.Cfg.b_start);
+      ("end", J.Int b.Cfg.b_end);
+      ("insns", J.Int (Int64.of_int (List.length b.Cfg.b_insns)));
+      ( "out",
+        J.List
+          (List.map
+             (fun (e : Cfg.edge) ->
+               J.Obj
+                 [
+                   ("kind", J.String (Cfg.edge_kind_name e.Cfg.ek));
+                   ( "dst",
+                     match e.Cfg.e_dst with
+                     | Cfg.T_addr a -> J.Int a
+                     | Cfg.T_unknown -> J.Null );
+                 ])
+             b.Cfg.b_out) );
+    ]
+
+let json_of_func cfg (f : Cfg.func) =
+  let loops = Loops.loops_of_function cfg f in
+  let st_jt = Cfg.jt_stats cfg f in
+  let blocks =
+    List.sort
+      (fun (a : Cfg.block) b -> Int64.compare a.Cfg.b_start b.Cfg.b_start)
+      (Cfg.blocks_of cfg f)
+  in
+  J.Obj
+    [
+      ("name", J.String f.Cfg.f_name);
+      ("entry", J.Int f.Cfg.f_entry);
+      ("blocks", J.List (List.map json_of_block blocks));
+      ("loops", J.Int (Int64.of_int (List.length loops)));
+      ("returns", J.Bool f.Cfg.f_returns);
+      ("from_gap", J.Bool f.Cfg.f_from_gap);
+      ( "indirect",
+        J.Obj
+          [
+            ("sites", J.Int (Int64.of_int st_jt.Cfg.jts_sites));
+            ("resolved", J.Int (Int64.of_int st_jt.Cfg.jts_resolved));
+            ("unresolved", J.Int (Int64.of_int st_jt.Cfg.jts_unresolved));
+            ("clamped", J.Int (Int64.of_int st_jt.Cfg.jts_clamped));
+          ] );
+    ]
+
+let sorted_functions cfg =
+  List.sort
+    (fun (a : Cfg.func) b -> Int64.compare a.Cfg.f_entry b.Cfg.f_entry)
+    (Cfg.functions cfg)
+
+let to_json (st : Symtab.t) (cfg : Cfg.t) : J.t =
+  J.Obj
+    [
+      ("entry", J.Int (Symtab.entry st));
+      ("profile", J.String (Riscv.Ext.arch_string (Symtab.profile st)));
+      ("regions", J.List (List.map json_of_region (Symtab.regions st)));
+      ("functions", J.List (List.map (json_of_func cfg) (sorted_functions cfg)));
+    ]

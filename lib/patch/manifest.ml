@@ -7,7 +7,7 @@
    instruction boundaries, relocated def/use sets, stack balance, §4.3
    dead-register claims). *)
 
-module J = Sailsem.Json
+module J = Dyn_util.Jsonw
 
 type insertion = {
   mi_addr : int64; (* insn the snippet runs before / branch of the edge *)
@@ -62,10 +62,6 @@ let json_of_regs rs = J.List (List.map (fun r -> J.Int (Int64.of_int r)) rs)
 let regs_of_json j =
   List.map (fun x -> Int64.to_int (J.to_int64 x)) (J.to_list j)
 
-let to_bool = function
-  | J.Bool b -> b
-  | _ -> raise (J.Parse_error "expected bool")
-
 let json_of_insertion i =
   J.Obj
     [
@@ -79,8 +75,8 @@ let json_of_insertion i =
 let insertion_of_json j =
   {
     mi_addr = J.to_int64 (J.member "addr" j);
-    mi_edge = to_bool (J.member "edge" j);
-    mi_spilled = to_bool (J.member "spilled" j);
+    mi_edge = J.to_bool (J.member "edge" j);
+    mi_spilled = J.to_bool (J.member "spilled" j);
     mi_clobbers = regs_of_json (J.member "clobbers" j);
     mi_code_defs = regs_of_json (J.member "code_defs" j);
   }

@@ -41,8 +41,8 @@ type t = {
     links through ra). *)
 val defs_of_items : Riscv.Asm.item list -> Riscv.Reg.t list
 
-val to_json : t -> Sailsem.Json.t
-val of_json : Sailsem.Json.t -> t
+val to_json : t -> Dyn_util.Jsonw.t
+val of_json : Dyn_util.Jsonw.t -> t
 val to_string : t -> string
 val of_string : string -> t
 val write_file : string -> t -> unit

@@ -576,3 +576,70 @@ let pp_stats fmt (s : stats) =
   if traps > 0 then
     Format.fprintf fmt "@\n%d block(s) fell back to 2-byte trap springboards"
       traps
+
+(* --- cacheable batch entry point ------------------------------------------- *)
+
+(* A declarative counter-instrumentation request over function names:
+   the rvrewrite CLI's flag surface as a value, so a whole rewrite is a
+   pure function of (symtab, cfg, spec) — exactly what the rvserved
+   artifact cache needs to key rewrite results by content hash + spec. *)
+type counter_spec = {
+  cs_entries : string list; (* count entries of each function *)
+  cs_blocks : string list; (* count every block of each function *)
+  cs_exits : string list; (* count returns of each function *)
+}
+
+let counter_spec ?(entries = []) ?(blocks = []) ?(exits = []) () =
+  { cs_entries = entries; cs_blocks = blocks; cs_exits = exits }
+
+(* Canonical one-line rendering, stable under list reordering — the
+   spec's contribution to the artifact-cache key. *)
+let spec_key (s : counter_spec) : string =
+  let part tag fs =
+    tag ^ "=" ^ String.concat "," (List.sort_uniq compare fs)
+  in
+  String.concat ";"
+    [ part "e" s.cs_entries; part "b" s.cs_blocks; part "x" s.cs_exits ]
+
+(* Build-then-freeze: create a session, apply the spec, plan and apply —
+   returning only immutable results (image, manifest, stats).  Raises
+   [Patch_error] on an unknown function name.  The cfg is only read. *)
+let instrument_counters ?tramp_base ?use_dead_regs (symtab : Symtab.t)
+    (cfg : Cfg.t) (spec : counter_spec) :
+    Elfkit.Types.image * Manifest.t option * stats =
+  let t = create ?tramp_base ?use_dead_regs symtab cfg in
+  let find name =
+    match
+      List.find_opt (fun (f : Cfg.func) -> f.Cfg.f_name = name) (Cfg.functions cfg)
+    with
+    | Some f -> f
+    | None -> fail "no function named %s" name
+  in
+  let n = ref 0 in
+  let counter tag name =
+    incr n;
+    allocate_var t (Printf.sprintf "%s_%s" tag name) 8
+  in
+  List.iter
+    (fun name ->
+      let f = find name in
+      match Point.func_entry cfg f with
+      | Some p -> insert t p [ Codegen_api.Snippet.incr (counter "entry" name) ]
+      | None -> fail "function %s has no entry block" name)
+    (List.sort_uniq compare spec.cs_entries);
+  List.iter
+    (fun name ->
+      let c = counter "blocks" name in
+      List.iter
+        (fun p -> insert t p [ Codegen_api.Snippet.incr c ])
+        (Point.block_entries cfg (find name)))
+    (List.sort_uniq compare spec.cs_blocks);
+  List.iter
+    (fun name ->
+      let c = counter "exits" name in
+      List.iter
+        (fun p -> insert t p [ Codegen_api.Snippet.incr c ])
+        (Point.func_exits cfg (find name)))
+    (List.sort_uniq compare spec.cs_exits);
+  let img = rewrite t in
+  (img, t.last_manifest, t.stats)

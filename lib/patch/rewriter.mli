@@ -117,3 +117,36 @@ val wrap_snippet :
   Riscv.Asm.item list * Riscv.Reg.t list * bool
 
 val default_tramp_base : Symtab.t -> data_base:int64 -> int64
+
+(** {2 Cacheable batch entry point} *)
+
+(** A declarative counter-instrumentation request over function names —
+    a whole rewrite as a pure function of (symtab, cfg, spec), keyed by
+    the rvserved artifact cache. *)
+type counter_spec = {
+  cs_entries : string list;  (** count entries of each function *)
+  cs_blocks : string list;  (** count every block of each function *)
+  cs_exits : string list;  (** count returns of each function *)
+}
+
+val counter_spec :
+  ?entries:string list ->
+  ?blocks:string list ->
+  ?exits:string list ->
+  unit ->
+  counter_spec
+
+(** Canonical one-line rendering, stable under list reordering — the
+    spec's contribution to the cache key. *)
+val spec_key : counter_spec -> string
+
+(** Create a session, apply the spec, plan and apply, returning only
+    immutable results.  The cfg is only read.  Raises {!Patch_error} on
+    an unknown function name. *)
+val instrument_counters :
+  ?tramp_base:int64 ->
+  ?use_dead_regs:bool ->
+  Symtab.t ->
+  Parse_api.Cfg.t ->
+  counter_spec ->
+  Elfkit.Types.image * Manifest.t option * stats

@@ -1,175 +1,9 @@
-(* A minimal JSON implementation used as the pipeline's intermediate
-   representation (paper §3.2.4: "a simplified JSON representation of the
-   instruction semantics").  No external dependency is available in the
-   sealed container, so this is self-contained: values, a printer and a
-   recursive-descent parser sufficient for round-tripping our own
-   output. *)
+(* The pipeline's JSON intermediate representation (paper §3.2.4: "a
+   simplified JSON representation of the instruction semantics").
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int64
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
+   The value type, writer and parser now live in [Dyn_util.Jsonw] — one
+   JSON implementation shared with the lint diagnostics, the patch
+   manifest and the rvserved wire protocol; this module re-exports it
+   under the pipeline's historical name. *)
 
-exception Parse_error of string
-
-let rec pp fmt = function
-  | Null -> Format.pp_print_string fmt "null"
-  | Bool b -> Format.pp_print_bool fmt b
-  | Int i -> Format.fprintf fmt "%Ld" i
-  | String s -> pp_string fmt s
-  | List xs ->
-      Format.fprintf fmt "[@[<hv>%a@]]"
-        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp)
-        xs
-  | Obj kvs ->
-      let pp_kv fmt (k, v) = Format.fprintf fmt "%a:@ %a" pp_string k pp v in
-      Format.fprintf fmt "{@[<hv>%a@]}"
-        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp_kv)
-        kvs
-
-and pp_string fmt s =
-  Format.pp_print_char fmt '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Format.pp_print_string fmt "\\\""
-      | '\\' -> Format.pp_print_string fmt "\\\\"
-      | '\n' -> Format.pp_print_string fmt "\\n"
-      | '\t' -> Format.pp_print_string fmt "\\t"
-      | '\r' -> Format.pp_print_string fmt "\\r"
-      | c when Char.code c < 0x20 ->
-          Format.fprintf fmt "\\u%04x" (Char.code c)
-      | c -> Format.pp_print_char fmt c)
-    s;
-  Format.pp_print_char fmt '"'
-
-let to_string t = Format.asprintf "%a" pp t
-
-(* --- parser -------------------------------------------------------------- *)
-
-type state = { src : string; mutable pos : int }
-
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-let advance st = st.pos <- st.pos + 1
-
-let rec skip_ws st =
-  match peek st with
-  | Some (' ' | '\t' | '\n' | '\r') ->
-      advance st;
-      skip_ws st
-  | _ -> ()
-
-let fail_at st msg =
-  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
-
-let expect st c =
-  skip_ws st;
-  match peek st with
-  | Some c' when c' = c -> advance st
-  | _ -> fail_at st (Printf.sprintf "expected %c" c)
-
-let parse_string_lit st =
-  expect st '"';
-  let buf = Buffer.create 16 in
-  let rec go () =
-    match peek st with
-    | None -> fail_at st "unterminated string"
-    | Some '"' -> advance st
-    | Some '\\' -> (
-        advance st;
-        match peek st with
-        | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
-        | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
-        | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
-        | Some 'u' ->
-            advance st;
-            let hex = String.sub st.src st.pos 4 in
-            st.pos <- st.pos + 4;
-            Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xFF));
-            go ()
-        | Some c -> advance st; Buffer.add_char buf c; go ()
-        | None -> fail_at st "bad escape")
-    | Some c ->
-        advance st;
-        Buffer.add_char buf c;
-        go ()
-  in
-  go ();
-  Buffer.contents buf
-
-let rec parse_value st =
-  skip_ws st;
-  match peek st with
-  | Some '{' ->
-      advance st;
-      skip_ws st;
-      if peek st = Some '}' then begin advance st; Obj [] end
-      else begin
-        let rec members acc =
-          skip_ws st;
-          let k = parse_string_lit st in
-          expect st ':';
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' -> advance st; members ((k, v) :: acc)
-          | Some '}' -> advance st; Obj (List.rev ((k, v) :: acc))
-          | _ -> fail_at st "expected , or }"
-        in
-        members []
-      end
-  | Some '[' ->
-      advance st;
-      skip_ws st;
-      if peek st = Some ']' then begin advance st; List [] end
-      else begin
-        let rec elements acc =
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' -> advance st; elements (v :: acc)
-          | Some ']' -> advance st; List (List.rev (v :: acc))
-          | _ -> fail_at st "expected , or ]"
-        in
-        elements []
-      end
-  | Some '"' -> String (parse_string_lit st)
-  | Some ('-' | '0' .. '9') ->
-      let start = st.pos in
-      if peek st = Some '-' then advance st;
-      let rec digits () =
-        match peek st with
-        | Some '0' .. '9' -> advance st; digits ()
-        | _ -> ()
-      in
-      digits ();
-      Int (Int64.of_string (String.sub st.src start (st.pos - start)))
-  | Some 't' ->
-      st.pos <- st.pos + 4;
-      Bool true
-  | Some 'f' ->
-      st.pos <- st.pos + 5;
-      Bool false
-  | Some 'n' ->
-      st.pos <- st.pos + 4;
-      Null
-  | _ -> fail_at st "unexpected character"
-
-let of_string s =
-  let st = { src = s; pos = 0 } in
-  let v = parse_value st in
-  skip_ws st;
-  if st.pos <> String.length s then fail_at st "trailing garbage";
-  v
-
-(* accessors *)
-let member k = function
-  | Obj kvs -> ( try List.assoc k kvs with Not_found -> Null)
-  | _ -> Null
-
-let to_list = function List l -> l | _ -> raise (Parse_error "expected list")
-let to_int64 = function Int i -> i | _ -> raise (Parse_error "expected int")
-let to_str = function String s -> s | _ -> raise (Parse_error "expected string")
+include Dyn_util.Jsonw

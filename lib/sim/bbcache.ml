@@ -42,10 +42,12 @@ type stats = {
   mutable st_chain_hits : int; (* dispatches resolved through a chain *)
   mutable st_degraded : int; (* precise steps under observability *)
   mutable st_singles : int; (* precise steps for budget/uncached pcs *)
+  mutable st_evicted : int; (* blocks dropped by the residency bound *)
 }
 
 let stats =
-  { st_translated = 0; st_blocks = 0; st_chain_hits = 0; st_degraded = 0; st_singles = 0 }
+  { st_translated = 0; st_blocks = 0; st_chain_hits = 0; st_degraded = 0;
+    st_singles = 0; st_evicted = 0 }
 
 let reset_stats () =
   stats.st_translated <- 0;
@@ -53,6 +55,7 @@ let reset_stats () =
   stats.st_chain_hits <- 0;
   stats.st_degraded <- 0;
   stats.st_singles <- 0;
+  stats.st_evicted <- 0;
   Machine.flush_counter := 0
 
 let flushes () = !Machine.flush_counter
@@ -66,13 +69,14 @@ let note_stats () =
   Stats.incr ~by:stats.st_chain_hits "bbcache chain hits";
   Stats.incr ~by:(flushes ()) "bbcache icache flushes";
   Stats.incr ~by:stats.st_degraded "bbcache degraded insns";
-  Stats.incr ~by:stats.st_singles "bbcache single-stepped insns"
+  Stats.incr ~by:stats.st_singles "bbcache single-stepped insns";
+  Stats.incr ~by:stats.st_evicted "bbcache blocks evicted"
 
 let pp_stats fmt () =
   Format.fprintf fmt
-    "blocks translated %d, executed %d (chain hits %d), flushes %d, degraded insns %d"
+    "blocks translated %d, executed %d (chain hits %d), flushes %d, evicted %d, degraded insns %d"
     stats.st_translated stats.st_blocks stats.st_chain_hits (flushes ())
-    stats.st_degraded
+    stats.st_evicted stats.st_degraded
 
 (* --- translation ---------------------------------------------------------- *)
 
@@ -332,7 +336,45 @@ let translate (t : Machine.t) (r : Machine.region) (pc0 : int64) : Machine.block
     bk_chainable = chainable;
     bk_c1 = None;
     bk_c2 = None;
+    bk_hot = false;
   }
+
+(* --- residency bound ------------------------------------------------------- *)
+
+(* Keep at most [bb_cap] translated blocks live, the same LRU/size-cap
+   discipline the rvserved artifact cache applies server-side.  CLOCK
+   approximation: blocks enter [bb_fifo] in translation order; eviction
+   pops the head, gives blocks executed since their last consideration
+   ([bk_hot]) a second chance, and clears the bslot of the first cold
+   block found.  Evicted blocks may momentarily stay reachable through
+   tail-to-head chains — that is safe (they are valid translations until
+   the next flush bumps the generation) and the chain source itself is
+   evictable, so the GC reclaims them.  One full hot round degenerates
+   to FIFO, which bounds the scan. *)
+let enforce_cap (t : Machine.t) =
+  let cap = t.Machine.bb_cap in
+  if cap > 0 then
+    while t.Machine.bb_live > cap && not (Queue.is_empty t.Machine.bb_fifo) do
+      let budget = ref (Queue.length t.Machine.bb_fifo) in
+      let evicted = ref false in
+      while not !evicted && !budget > 0 do
+        decr budget;
+        let r, slot = Queue.pop t.Machine.bb_fifo in
+        match r.Machine.bslots.(slot) with
+        | None ->
+            (* stale fifo entry (slot already cleared); drop it and keep
+               scanning — bb_live only counts slots that hold a block *)
+            ()
+        | Some b when b.Machine.bk_hot && !budget > 0 ->
+            b.Machine.bk_hot <- false;
+            Queue.add (r, slot) t.Machine.bb_fifo
+        | Some _ ->
+            r.Machine.bslots.(slot) <- None;
+            t.Machine.bb_live <- t.Machine.bb_live - 1;
+            stats.st_evicted <- stats.st_evicted + 1;
+            evicted := true
+      done
+    done
 
 (* --- dispatch ------------------------------------------------------------- *)
 
@@ -348,6 +390,9 @@ let lookup (t : Machine.t) pc : Machine.block option =
         | None ->
             let b = translate t r pc in
             r.Machine.bslots.(slot) <- Some b;
+            Queue.add (r, slot) t.Machine.bb_fifo;
+            t.Machine.bb_live <- t.Machine.bb_live + 1;
+            enforce_cap t;
             Some b)
 
 let chain_get (b : Machine.block) gen pc =
@@ -381,6 +426,7 @@ let observable (t : Machine.t) =
    invalidate only on flush_icache), and [Machine.retire] performs the
    same HPM/cost/timer accounting the interpreter does. *)
 let exec_block (t : Machine.t) (b : Machine.block) =
+  b.Machine.bk_hot <- true;
   let ops = b.Machine.bk_ops in
   for k = 0 to Array.length ops - 1 do
     (Array.unsafe_get ops k) t

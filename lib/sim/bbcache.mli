@@ -19,6 +19,8 @@ type stats = {
   mutable st_chain_hits : int;  (** dispatches resolved through a chain *)
   mutable st_degraded : int;  (** precise steps under observability *)
   mutable st_singles : int;  (** precise steps for budget/uncached pcs *)
+  mutable st_evicted : int;
+      (** blocks dropped by the [Machine.bb_cap] residency bound *)
 }
 
 (** Process-wide counters since start (or the last {!reset_stats}). *)

@@ -60,6 +60,13 @@ and t = {
   mutable timer_deadline : int64; (* cycle count of the next firing *)
   mutable on_timer : (t -> unit) option;
   model : Cost.model;
+  (* superblock-cache residency bound: translated blocks enter bb_fifo in
+     translation order; when bb_live exceeds bb_cap the engine evicts
+     cold blocks CLOCK-style (bbcache.ml), so long runs cannot grow the
+     code cache without limit.  bb_cap <= 0 disables the bound. *)
+  mutable bb_live : int; (* live translated blocks across all regions *)
+  mutable bb_cap : int; (* residency cap; <= 0 = unbounded *)
+  bb_fifo : (region * int) Queue.t; (* (region, bslot index), FIFO *)
 }
 
 (* A translated straight-line run of instructions: the body as pre-bound
@@ -77,6 +84,7 @@ and block = {
   bk_chainable : bool; (* false for indirect-jump terminators *)
   mutable bk_c1 : (int64 * block) option; (* tail-to-head chain slots: *)
   mutable bk_c2 : (int64 * block) option; (* successor pc -> block *)
+  mutable bk_hot : bool; (* executed since last eviction scan (CLOCK bit) *)
 }
 
 let create ?(model = Cost.p550) () =
@@ -103,6 +111,12 @@ let create ?(model = Cost.p550) () =
     timer_deadline = 0L;
     on_timer = None;
     model;
+    bb_live = 0;
+    (* default residency bound: generous for every built-in mutatee
+       (hundreds of blocks) while capping long multi-tenant runs; the
+       same role the artifact cache's entry cap plays server-side *)
+    bb_cap = 4096;
+    bb_fifo = Queue.create ();
   }
 
 let get_reg t r = if r = 0 then 0L else t.regs.(r)
@@ -146,6 +160,8 @@ let flush_icache t =
     t.code_regions;
   t.last_region <- None;
   t.icache_gen <- t.icache_gen + 1;
+  Queue.clear t.bb_fifo;
+  t.bb_live <- 0;
   incr flush_counter;
   bump_hpm_event t Cost.Ev_flush
 

@@ -57,6 +57,11 @@ and t = {
   mutable timer_deadline : int64;
   mutable on_timer : (t -> unit) option;
   model : Cost.model;
+  mutable bb_live : int;  (** live translated blocks across all regions *)
+  mutable bb_cap : int;
+      (** superblock-cache residency cap, enforced CLOCK-style by the
+          block engine; [<= 0] disables the bound *)
+  bb_fifo : (region * int) Queue.t;  (** translation order, for eviction *)
 }
 
 (** A translated straight-line superblock: pre-bound micro-op closures
@@ -75,6 +80,7 @@ and block = {
   bk_chainable : bool;
   mutable bk_c1 : (int64 * block) option;
   mutable bk_c2 : (int64 * block) option;
+  mutable bk_hot : bool;  (** executed since last eviction scan (CLOCK bit) *)
 }
 
 val create : ?model:Cost.model -> unit -> t

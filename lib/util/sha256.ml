@@ -1,0 +1,165 @@
+(* SHA-256 (FIPS 180-4), self-contained: the sealed container has no
+   hashing library, and the artifact cache needs a real collision-
+   resistant content address for ELF images (cache keys survive on disk
+   across daemon restarts, so a weak rolling hash will not do).
+
+   Implementation notes: all 32-bit words live in native ints (63-bit),
+   masked to 32 bits after every addition — no boxed Int32 on the hot
+   path.  Throughput is far above what the cache needs: hashing a
+   mutatee-sized image is microseconds next to a parse. *)
+
+let k =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+let mask = 0xFFFFFFFF
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+type ctx = {
+  h : int array; (* 8 state words *)
+  block : Bytes.t; (* 64-byte block buffer *)
+  mutable fill : int; (* bytes buffered in [block] *)
+  mutable total : int; (* message bytes absorbed *)
+  w : int array; (* 64-entry message schedule, reused per block *)
+}
+
+let init () =
+  {
+    h =
+      [|
+        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+        0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
+      |];
+    block = Bytes.create 64;
+    fill = 0;
+    total = 0;
+    w = Array.make 64 0;
+  }
+
+let compress ctx (src : Bytes.t) (off : int) =
+  let w = ctx.w in
+  for t = 0 to 15 do
+    w.(t) <-
+      (Char.code (Bytes.unsafe_get src (off + (4 * t))) lsl 24)
+      lor (Char.code (Bytes.unsafe_get src (off + (4 * t) + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get src (off + (4 * t) + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get src (off + (4 * t) + 3))
+  done;
+  for t = 16 to 63 do
+    let s0 =
+      rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3)
+    in
+    let s1 =
+      rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10)
+    in
+    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
+  done;
+  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) in
+  let d = ref ctx.h.(3) and e = ref ctx.h.(4) and f = ref ctx.h.(5) in
+  let g = ref ctx.h.(6) and hh = ref ctx.h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = !e land !f lxor (lnot !e land !g) in
+    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land mask
+  done;
+  ctx.h.(0) <- (ctx.h.(0) + !a) land mask;
+  ctx.h.(1) <- (ctx.h.(1) + !b) land mask;
+  ctx.h.(2) <- (ctx.h.(2) + !c) land mask;
+  ctx.h.(3) <- (ctx.h.(3) + !d) land mask;
+  ctx.h.(4) <- (ctx.h.(4) + !e) land mask;
+  ctx.h.(5) <- (ctx.h.(5) + !f) land mask;
+  ctx.h.(6) <- (ctx.h.(6) + !g) land mask;
+  ctx.h.(7) <- (ctx.h.(7) + !hh) land mask
+
+let feed_bytes ctx (src : Bytes.t) pos len =
+  ctx.total <- ctx.total + len;
+  let pos = ref pos and len = ref len in
+  (* top up a partial block first *)
+  if ctx.fill > 0 then begin
+    let take = min !len (64 - ctx.fill) in
+    Bytes.blit src !pos ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := !pos + take;
+    len := !len - take;
+    if ctx.fill = 64 then begin
+      compress ctx ctx.block 0;
+      ctx.fill <- 0
+    end
+  end;
+  while !len >= 64 do
+    compress ctx src !pos;
+    pos := !pos + 64;
+    len := !len - 64
+  done;
+  if !len > 0 then begin
+    Bytes.blit src !pos ctx.block ctx.fill !len;
+    ctx.fill <- ctx.fill + !len
+  end
+
+let finish ctx : string =
+  let bitlen = Int64.of_int (ctx.total * 8) in
+  (* pad: 0x80, zeros to 56 mod 64, then the 64-bit big-endian length *)
+  let pad = Bytes.make (if ctx.fill < 56 then 64 - ctx.fill else 128 - ctx.fill) '\000' in
+  Bytes.set pad 0 '\x80';
+  let plen = Bytes.length pad in
+  for i = 0 to 7 do
+    Bytes.set pad
+      (plen - 8 + i)
+      (Char.chr
+         (Int64.to_int (Int64.shift_right_logical bitlen (8 * (7 - i))) land 0xFF))
+  done;
+  (* bypass the total counter: padding is not message *)
+  let saved = ctx.total in
+  feed_bytes ctx pad 0 plen;
+  ctx.total <- saved;
+  assert (ctx.fill = 0);
+  let out = Buffer.create 64 in
+  Array.iter (fun h -> Buffer.add_string out (Printf.sprintf "%08x" h)) ctx.h;
+  Buffer.contents out
+
+(* Hex digest (64 chars, lowercase) of a whole buffer. *)
+let hex_of_bytes (b : Bytes.t) : string =
+  let ctx = init () in
+  feed_bytes ctx b 0 (Bytes.length b);
+  finish ctx
+
+let hex_of_string (s : string) : string = hex_of_bytes (Bytes.unsafe_of_string s)
+
+let hex_of_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let ctx = init () in
+      let buf = Bytes.create 65536 in
+      let rec go () =
+        let n = input ic buf 0 (Bytes.length buf) in
+        if n > 0 then begin
+          feed_bytes ctx buf 0 n;
+          go ()
+        end
+      in
+      go ();
+      finish ctx)
