@@ -95,6 +95,35 @@ let measure ~domains ~min_warm_time (reqs : W.request list) : float * float =
   Pool.shutdown pool;
   (float_of_int n /. cold_dt, warm_rate)
 
+(* warm jobs/s only, best of [tries] runs — the overhead comparison
+   wants the noise floor, not the mean *)
+let best_warm_rate ~tries ~min_warm_time (reqs : W.request list) : float =
+  let rec go i best =
+    if i = 0 then best
+    else
+      let _, warm = measure ~domains:1 ~min_warm_time reqs in
+      go (i - 1) (Float.max best warm)
+  in
+  go tries 0.0
+
+(* The metrics registry rides the warm path (cache-hit counters, job
+   latency histograms, queue instruments); its cost must stay in the
+   noise.  Compare best-of-3 warm rates with the registry's master
+   switch on vs off. *)
+let metrics_overhead ~smoke ~min_warm_time (reqs : W.request list) :
+    float * float * float * bool =
+  let tries = 3 in
+  Dyn_obs.Registry.set_enabled true;
+  let on = best_warm_rate ~tries ~min_warm_time reqs in
+  Dyn_obs.Registry.set_enabled false;
+  let off = best_warm_rate ~tries ~min_warm_time reqs in
+  Dyn_obs.Registry.set_enabled true;
+  let pct = (off -. on) /. off *. 100.0 in
+  (* smoke runs are too short to resolve 3%; keep the tight bar for
+     the full bench and a sanity bar for CI *)
+  let bar = if smoke then 10.0 else 3.0 in
+  (on, off, pct, pct <= bar)
+
 let bench ?(smoke = false) ?(json = "BENCH_served.json") () =
   print_endline "\n== rvserved: artifact-cache throughput ==";
   let paths = write_corpus ~smoke in
@@ -118,6 +147,13 @@ let bench ?(smoke = false) ?(json = "BENCH_served.json") () =
   let ok = ratio >= 5.0 in
   Printf.printf "   warm/cold (1 domain): %.1fx  (>= 5x: %s)\n" ratio
     (if ok then "ok" else "VIOLATED");
+  let m_on, m_off, m_pct, m_ok = metrics_overhead ~smoke ~min_warm_time reqs in
+  Printf.printf
+    "   metrics overhead: %8.0f on  %8.0f off  jobs/s  (%+.1f%%, bar %.0f%%: \
+     %s)\n"
+    m_on m_off m_pct
+    (if smoke then 10.0 else 3.0)
+    (if m_ok then "ok" else "VIOLATED");
   let oc = open_out json in
   Printf.fprintf oc "{\n  \"mutatees\": %d,\n  \"jobs_per_batch\": %d,\n"
     (List.length paths) (List.length reqs);
@@ -131,8 +167,14 @@ let bench ?(smoke = false) ?(json = "BENCH_served.json") () =
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n";
-  Printf.fprintf oc "  \"warm_over_cold_1d\": %.2f,\n  \"warm_over_cold_ok\": %b\n}\n"
-    ratio ok;
+  Printf.fprintf oc
+    "  \"warm_over_cold_1d\": %.2f,\n  \"warm_over_cold_ok\": %b,\n" ratio ok;
+  Printf.fprintf oc
+    "  \"metrics_overhead\": {\"warm_on_jobs_per_s\": %.1f, \
+     \"warm_off_jobs_per_s\": %.1f, \"overhead_pct\": %.2f, \"ok\": %b}\n}\n"
+    m_on m_off m_pct m_ok;
   close_out oc;
   Printf.printf "   wrote %s\n" json;
-  if not ok then failwith "rvserved bench: warm cache under 5x cold"
+  if not ok then failwith "rvserved bench: warm cache under 5x cold";
+  if not m_ok then
+    failwith "rvserved bench: metrics overhead above the warm-path bar"

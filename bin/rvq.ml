@@ -1,6 +1,8 @@
 (* rvq: command-line client for rvserved.
 
-     rvq ping|stats|flush|shutdown [--socket PATH]
+     rvq ping|flush|shutdown [--socket PATH]
+     rvq stats [--json]            # cache/pool stats, table by default
+     rvq metrics [--json] [--watch SECS]   # live registry scrape
      rvq job <parse|lint|rewrite|profile|trace> <mutatee.elf> \
         [--entries f]... [--blocks f]... [--exits f]... \
         [--period N] [--calls] [--returns] [--mem] [--funcs f]...
@@ -13,6 +15,7 @@
 
 open Cmdliner
 module W = Serve_api.Wire
+module J = Dyn_util.Jsonw
 
 let connect socket =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -39,11 +42,16 @@ let recv ic : W.response =
         Printf.eprintf "rvq: bad response: %s\n" msg;
         exit 2)
 
-(* one-request round trip; prints the raw response line *)
-let roundtrip socket action =
+(* one-request round trip on a fresh connection *)
+let request socket action =
   let ic, oc = connect socket in
   send oc { W.rq_id = 1L; rq_path = ""; rq_action = action };
   let r = recv ic in
+  (try close_in_noerr ic with _ -> ());
+  r
+
+let roundtrip socket action =
+  let r = request socket action in
   print_endline (W.encode_response r);
   if r.W.rs_ok then 0 else 1
 
@@ -51,12 +59,143 @@ let control socket which =
   let action =
     match which with
     | "ping" -> W.Ping
-    | "stats" -> W.Stats
     | "flush" -> W.Flush
     | "shutdown" -> W.Shutdown
     | _ -> assert false
   in
   roundtrip socket action
+
+(* --- human rendering ------------------------------------------------------ *)
+
+let fmt_ns ns =
+  if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then
+    Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
+  else Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)
+
+(* Approximate quantile from the log2 buckets: the upper bound of the
+   first bucket where the cumulative count crosses q (mirrors
+   Dyn_obs.Registry.approx_quantile_ns server-side). *)
+let quantile_ns buckets count q =
+  if count = 0 then 0
+  else begin
+    let target =
+      max 1 (int_of_float (ceil (q *. float_of_int count)))
+    in
+    let acc = ref 0 and ans = ref max_int in
+    Array.iteri
+      (fun i n ->
+        if !ans = max_int then begin
+          acc := !acc + n;
+          if !acc >= target then
+            ans := (if i >= 31 then max_int else (1 lsl (i + 1)) - 1)
+        end)
+      buckets;
+    !ans
+  end
+
+let fmt_q ns = if ns = max_int then ">1s" else fmt_ns ns
+
+(* `rvq stats`: one row per scalar, nested objects as sections *)
+let print_stats_table payload =
+  let rec rows indent j =
+    match j with
+    | J.Obj kvs ->
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | J.Obj _ ->
+                Printf.printf "%s%s:\n" indent k;
+                rows (indent ^ "  ") v
+            | J.Int n -> Printf.printf "%s%-18s %Ld\n" indent k n
+            | J.String s -> Printf.printf "%s%-18s %s\n" indent k s
+            | J.Bool b -> Printf.printf "%s%-18s %b\n" indent k b
+            | other ->
+                Printf.printf "%s%-18s %s\n" indent k (J.to_string other))
+          kvs
+    | other -> Printf.printf "%s%s\n" indent (J.to_string other)
+  in
+  rows "" (J.of_string payload)
+
+(* `rvq metrics`: counters and gauges as name/value rows, histograms
+   with count, mean and approximate p50/p99 *)
+let print_metrics_table payload =
+  let j = J.of_string payload in
+  let metrics = J.to_list (J.member "metrics" j) in
+  let scalar_rows, hist_rows =
+    List.partition
+      (fun m -> J.to_str (J.member "type" m) <> "histogram")
+      metrics
+  in
+  List.iter
+    (fun m ->
+      Printf.printf "%-40s %12Ld  %s\n"
+        (J.to_str (J.member "name" m))
+        (J.to_int64 (J.member "value" m))
+        (J.to_str (J.member "type" m)))
+    scalar_rows;
+  if hist_rows <> [] then begin
+    Printf.printf "%-40s %12s %10s %10s %10s\n" "-- histogram --" "count"
+      "mean" "~p50" "~p99";
+    List.iter
+      (fun m ->
+        let count = J.to_int (J.member "count" m) in
+        let sum_ns = J.to_int (J.member "sum_ns" m) in
+        let buckets =
+          Array.of_list (List.map J.to_int (J.to_list (J.member "buckets" m)))
+        in
+        let mean = if count = 0 then 0 else sum_ns / count in
+        Printf.printf "%-40s %12d %10s %10s %10s\n"
+          (J.to_str (J.member "name" m))
+          count (fmt_ns mean)
+          (fmt_q (quantile_ns buckets count 0.5))
+          (fmt_q (quantile_ns buckets count 0.99)))
+      hist_rows
+  end
+
+let stats socket json =
+  let r = request socket W.Stats in
+  if not r.W.rs_ok then begin
+    Printf.eprintf "rvq: %s\n" r.W.rs_error;
+    1
+  end
+  else if json then begin
+    print_endline (W.encode_response r);
+    0
+  end
+  else begin
+    print_stats_table r.W.rs_payload;
+    0
+  end
+
+let metrics socket json watch =
+  let scrape () =
+    let r = request socket W.Metrics in
+    if not r.W.rs_ok then begin
+      Printf.eprintf "rvq: %s\n" r.W.rs_error;
+      false
+    end
+    else begin
+      (if json then print_endline (W.encode_response r)
+       else print_metrics_table r.W.rs_payload);
+      flush stdout;
+      true
+    end
+  in
+  match watch with
+  | None -> if scrape () then 0 else 1
+  | Some secs ->
+      let secs = if secs <= 0. then 1. else secs in
+      let rec loop () =
+        if scrape () then begin
+          Unix.sleepf secs;
+          if not json then print_newline ();
+          loop ()
+        end
+        else 1
+      in
+      loop ()
 
 let job socket action_name path entries blocks exits period calls returns mem
     funcs =
@@ -134,6 +273,29 @@ let control_cmd cname doc =
   Cmd.v (Cmd.info cname ~doc)
     Term.(const control $ socket_arg $ const cname)
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"print the raw NDJSON response line instead")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"cache/pool statistics (table; --json for raw)")
+    Term.(const stats $ socket_arg $ json_arg)
+
+let watch_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "watch" ] ~docv:"SECS"
+        ~doc:"re-scrape every SECS seconds until interrupted")
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"scrape the daemon's metrics registry (table; --json for raw)")
+    Term.(const metrics $ socket_arg $ json_arg $ watch_arg)
+
 let action_arg =
   Arg.(
     required
@@ -170,7 +332,8 @@ let cmd =
     (Cmd.info "rvq" ~doc:"client for the rvserved instrumentation service")
     [
       control_cmd "ping" "liveness check";
-      control_cmd "stats" "cache/pool statistics";
+      stats_cmd;
+      metrics_cmd;
       control_cmd "flush" "invalidate the artifact cache";
       control_cmd "shutdown" "stop the daemon";
       job_cmd;

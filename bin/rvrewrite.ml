@@ -7,8 +7,14 @@
 
 open Cmdliner
 
-let rewrite input output entries blocks exits verbose stats manifest_out =
+let rewrite input output entries blocks exits verbose stats trace_out
+    manifest_out =
   if stats then Dyn_util.Stats.enable ();
+  if trace_out <> None then begin
+    (* span tracing rides on the Stats spans, so enable both *)
+    Dyn_util.Stats.enable ();
+    Dyn_obs.Trace.set_enabled true
+  end;
   let binary = Core.open_file input in
   let m = Core.create_mutator binary in
   let n = ref 0 in
@@ -55,7 +61,12 @@ let rewrite input output entries blocks exits verbose stats manifest_out =
   if stats then begin
     Rvsim.Bbcache.note_stats ();
     Dyn_util.Stats.report ()
-  end
+  end;
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      Dyn_obs.Trace.write_out path;
+      Printf.printf "wrote trace %s\n" path
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"IN" ~doc:"input binary")
@@ -77,6 +88,15 @@ let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"show springb
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"report toolkit self-telemetry")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "write a span trace (Chrome trace-event JSON; NDJSON if FILE \
+           ends in .ndjson)")
+
 let manifest_arg =
   Arg.(
     value
@@ -89,6 +109,6 @@ let cmd =
     (Cmd.info "rvrewrite" ~doc:"statically instrument a RISC-V binary")
     Term.(
       const rewrite $ input_arg $ output_arg $ entries_arg $ blocks_arg
-      $ exits_arg $ verbose_arg $ stats_arg $ manifest_arg)
+      $ exits_arg $ verbose_arg $ stats_arg $ trace_out_arg $ manifest_arg)
 
 let () = exit (Cmd.eval cmd)

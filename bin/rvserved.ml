@@ -16,7 +16,7 @@
 
 open Cmdliner
 
-let main socket domains cache_entries cache_bytes cache_dir verbose =
+let main socket domains cache_entries cache_bytes cache_dir trace_out verbose =
   let cache =
     Serve_api.Cache.create ?disk_dir:cache_dir ~max_entries:cache_entries
       ~max_bytes:cache_bytes ()
@@ -26,6 +26,7 @@ let main socket domains cache_entries cache_bytes cache_dir verbose =
       Serve_api.Server.sc_socket = socket;
       sc_domains = domains;
       sc_verbose = verbose;
+      sc_trace_out = trace_out;
     }
   in
   match Serve_api.Server.create ~cache cfg with
@@ -68,6 +69,16 @@ let cache_dir_arg =
     & info [ "cache-dir" ] ~docv:"DIR"
         ~doc:"persist payload artifacts here (survives restarts)")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "record spans and write them here on shutdown (Chrome \
+           trace-event JSON, loadable in Perfetto; NDJSON event log if \
+           FILE ends in .ndjson)")
+
 let verbose_arg = Arg.(value & flag & info [ "verbose" ] ~doc:"log to stderr")
 
 let cmd =
@@ -76,6 +87,6 @@ let cmd =
        ~doc:"multi-tenant instrumentation service with an artifact cache")
     Term.(
       const main $ socket_arg $ domains_arg $ cache_entries_arg
-      $ cache_bytes_arg $ cache_dir_arg $ verbose_arg)
+      $ cache_bytes_arg $ cache_dir_arg $ trace_out_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

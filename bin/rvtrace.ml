@@ -36,8 +36,12 @@ let load_binary mutatee =
 let known_reports = [ "coverage"; "edges"; "calltree"; "mem"; "all" ]
 
 let run mutatee funcs no_blocks calls returns mem capacity reports out verbose
-    stats =
+    stats trace_out =
   if stats then Dyn_util.Stats.enable ();
+  if trace_out <> None then begin
+    Dyn_util.Stats.enable ();
+    Dyn_obs.Trace.set_enabled true
+  end;
   (match List.filter (fun r -> not (List.mem r known_reports)) reports with
   | [] -> ()
   | bad ->
@@ -111,7 +115,12 @@ let run mutatee funcs no_blocks calls returns mem capacity reports out verbose
   if stats then begin
     Rvsim.Bbcache.note_stats ();
     Dyn_util.Stats.report ()
-  end
+  end;
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      Dyn_obs.Trace.write_out path;
+      Format.printf "wrote trace %s@." path
 
 let mutatee_arg =
   Arg.(
@@ -161,6 +170,15 @@ let verbose_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"report toolkit self-telemetry")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "write a span trace of the toolkit itself (Chrome trace-event \
+           JSON; NDJSON if FILE ends in .ndjson)")
+
 let cmd =
   Cmd.v
     (Cmd.info "rvtrace"
@@ -168,6 +186,6 @@ let cmd =
     Term.(
       const run $ mutatee_arg $ funcs_arg $ no_blocks_arg $ calls_arg
       $ returns_arg $ mem_arg $ ring_arg $ report_arg $ out_arg $ verbose_arg
-      $ stats_arg)
+      $ stats_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -530,33 +530,36 @@ let parse ?(gap_parsing = true) ?(domains = 1) (symtab : Symtab.t) : Cfg.t =
       parse_function ctx (Queue.pop ctx.func_queue)
     done
   in
-  drain ();
-  if gap_parsing then begin
-    (* iterate: parsing a gap function may expose further gaps *)
-    let rec go rounds =
-      if rounds > 16 then ()
-      else
-        let found = gap_parse ctx in
-        if found <> [] then begin
-          drain ();
-          List.iter
-            (fun e ->
-              match func_at cfg e with
-              | Some f -> f.f_from_gap <- true
-              | None -> ())
-            found;
-          go (rounds + 1)
-        end
-    in
-    go 0
-  end;
+  Dyn_util.Stats.span "parse:traverse" drain;
+  if gap_parsing then
+    Dyn_util.Stats.span "parse:gaps" (fun () ->
+        (* iterate: parsing a gap function may expose further gaps *)
+        let rec go rounds =
+          if rounds > 16 then ()
+          else
+            let found = gap_parse ctx in
+            if found <> [] then begin
+              drain ();
+              List.iter
+                (fun e ->
+                  match func_at cfg e with
+                  | Some f -> f.f_from_gap <- true
+                  | None -> ())
+                found;
+              go (rounds + 1)
+            end
+        in
+        go 0);
   (* dataflow refinement of unresolved indirect transfers *)
-  let rec refine_rounds n =
-    if n < 4 && refine_indirects ctx then begin
-      drain ();
-      refine_rounds (n + 1)
-    end
-  in
-  refine_rounds 0;
+  Dyn_util.Stats.span "parse:refine" (fun () ->
+      let rec refine_rounds n =
+        if n < 4 && refine_indirects ctx then begin
+          drain ();
+          refine_rounds (n + 1)
+        end
+      in
+      refine_rounds 0);
   fill_in_edges cfg;
+  Dyn_util.Stats.incr ~by:(Hashtbl.length cfg.funcs) "parse:functions";
+  Dyn_util.Stats.incr ~by:(Hashtbl.length cfg.blocks) "parse:blocks";
   cfg

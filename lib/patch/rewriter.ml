@@ -549,6 +549,9 @@ let rewrite (t : t) : Elfkit.Types.image =
       Dyn_util.Stats.span "rewrite:verify" (fun () ->
           hook t.symtab t.cfg ~manifest:m ~rewritten:img)
   | _ -> ());
+  Dyn_util.Stats.incr ~by:t.stats.n_points "rewrite:points";
+  Dyn_util.Stats.incr ~by:(List.length t.stats.strategies)
+    "rewrite:springboards";
   img
 
 let stats t = t.stats

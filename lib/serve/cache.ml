@@ -32,6 +32,20 @@
    wipes it rather than serving artifacts in an obsolete format. *)
 
 module J = Dyn_util.Jsonw
+module Obs = Dyn_obs.Registry
+
+(* Registry mirrors of the per-cache stats struct: process-global (a
+   daemon runs one cache; tests that build several share the totals),
+   scraped by the metrics wire action.  The stats struct under [t.mu]
+   stays authoritative for stats_json. *)
+let m_hits = Obs.counter "serve.cache.hits"
+let m_misses = Obs.counter "serve.cache.misses"
+let m_inserts = Obs.counter "serve.cache.inserts"
+let m_evictions = Obs.counter "serve.cache.evictions"
+let m_disk_hits = Obs.counter "serve.cache.disk_hits"
+let m_waits = Obs.counter "serve.cache.singleflight_waits"
+let g_bytes = Obs.gauge "serve.cache.resident_bytes"
+let g_entries = Obs.gauge "serve.cache.entries"
 
 (* Bump when the rendered payload format of any action changes. *)
 let schema_version = 1
@@ -209,7 +223,10 @@ let enforce_budget t =
     | Some (k, e) ->
         Hashtbl.remove t.tbl k;
         t.bytes <- t.bytes - e.e_size;
-        t.stats.st_evictions <- t.stats.st_evictions + 1
+        t.stats.st_evictions <- t.stats.st_evictions + 1;
+        Obs.incr m_evictions;
+        Obs.add g_entries (-1);
+        Obs.add g_bytes (-e.e_size)
   done
 
 let enforce_budget t = try enforce_budget t with Exit -> ()
@@ -227,21 +244,26 @@ let rec get_or_compute t ~key (f : unit -> value) : value * bool =
       t.tick <- t.tick + 1;
       e.e_tick <- t.tick;
       t.stats.st_hits <- t.stats.st_hits + 1;
+      Obs.incr m_hits;
       Mutex.unlock t.mu;
       (e.e_val, true)
   | Some (Ready e) ->
       (* stale generation: drop and recompute *)
       Hashtbl.remove t.tbl key;
       t.bytes <- t.bytes - e.e_size;
+      Obs.add g_entries (-1);
+      Obs.add g_bytes (-e.e_size);
       Mutex.unlock t.mu;
       get_or_compute t ~key f
   | Some Pending ->
       t.stats.st_waits <- t.stats.st_waits + 1;
+      Obs.incr m_waits;
       Condition.wait t.cv t.mu;
       Mutex.unlock t.mu;
       get_or_compute t ~key f
   | None ->
       t.stats.st_misses <- t.stats.st_misses + 1;
+      Obs.incr m_misses;
       let gen0 = t.gen in
       Hashtbl.replace t.tbl key Pending;
       Mutex.unlock t.mu;
@@ -271,7 +293,13 @@ let rec get_or_compute t ~key (f : unit -> value) : value * bool =
             Hashtbl.replace t.tbl key (Ready entry);
             t.bytes <- t.bytes + entry.e_size;
             t.stats.st_inserts <- t.stats.st_inserts + 1;
-            if from_disk then t.stats.st_disk_hits <- t.stats.st_disk_hits + 1;
+            Obs.incr m_inserts;
+            Obs.add g_entries 1;
+            Obs.add g_bytes entry.e_size;
+            if from_disk then begin
+              t.stats.st_disk_hits <- t.stats.st_disk_hits + 1;
+              Obs.incr m_disk_hits
+            end;
             enforce_budget t
           end
           else
@@ -294,6 +322,8 @@ let flush t =
   Hashtbl.reset t.tbl;
   Hashtbl.iter (fun k s -> Hashtbl.replace t.tbl k s) keep;
   t.bytes <- 0;
+  Obs.set g_entries 0;
+  Obs.set g_bytes 0;
   disk_clear t;
   Mutex.unlock t.mu
 

@@ -23,8 +23,36 @@
    dead_entry_summary only read the symtab/CFG. *)
 
 module J = Dyn_util.Jsonw
+module Obs = Dyn_obs.Registry
+module Trace = Dyn_obs.Trace
 
 let now_us () = Int64.of_float (Unix.gettimeofday () *. 1e6)
+
+(* Per-kind latency histograms and outcome counters.  Handles are
+   created lazily on first use of each action kind and memoized under a
+   mutex (a handful of kinds, looked up once per job). *)
+let m_ok = Obs.counter "serve.jobs.ok"
+let m_err = Obs.counter "serve.jobs.err"
+let hist_mu = Mutex.create ()
+let hists : (string, Obs.histogram) Hashtbl.t = Hashtbl.create 8
+
+let job_hist kind =
+  Mutex.lock hist_mu;
+  let h =
+    match Hashtbl.find_opt hists kind with
+    | Some h -> h
+    | None ->
+        let h = Obs.histogram (Printf.sprintf "serve.job.%s.latency_ns" kind) in
+        Hashtbl.replace hists kind h;
+        h
+  in
+  Mutex.unlock hist_mu;
+  h
+
+(* Span helper: a real Trace span when tracing is on, a plain call
+   otherwise — payload bytes and cache keys never depend on it. *)
+let tspan ?args name f =
+  if Trace.is_enabled () then Trace.with_span ?args name f else f ()
 
 let read_file path : Bytes.t =
   let ic = open_in_bin path in
@@ -45,9 +73,10 @@ let binary_for (cache : Cache.t) ~(hash : string) (bytes : Bytes.t) :
   | Cache.Bin b -> b
   | Cache.Payload _ -> failwith "cache kind confusion: bin slot holds payload"
 
-(* --- payload builders (pure: binary in, rendered JSON out) --- *)
+(* --- payload builders (pure: binary in, JSON value out; rendered to
+   the cached byte string by exec's serialize stage) --- *)
 
-let parse_payload (b : Core.binary) : string =
+let parse_payload (b : Core.binary) : J.t =
   let summary = Parse_api.Summary.to_json b.Core.symtab b.Core.cfg in
   let dataflow =
     Parse_api.Summary.sorted_functions b.Core.cfg
@@ -61,20 +90,19 @@ let parse_payload (b : Core.binary) : string =
                ("dead_regs_total", J.Int (Int64.of_int total));
              ])
   in
-  J.to_string (J.Obj [ ("summary", summary); ("dataflow", J.List dataflow) ])
+  J.Obj [ ("summary", summary); ("dataflow", J.List dataflow) ]
 
-let lint_payload (b : Core.binary) : string =
+let lint_payload (b : Core.binary) : J.t =
   let ds = Lint_api.Diag.sort (Lint_api.Linter.lint b.Core.symtab b.Core.cfg) in
-  J.to_string
-    (J.Obj
-       [
-         ("count", J.Int (Int64.of_int (List.length ds)));
-         ("errors", J.Int (Int64.of_int (Lint_api.Diag.n_errors ds)));
-         ("diags", Lint_api.Diag.list_to_json ds);
-       ])
+  J.Obj
+    [
+      ("count", J.Int (Int64.of_int (List.length ds)));
+      ("errors", J.Int (Int64.of_int (Lint_api.Diag.n_errors ds)));
+      ("diags", Lint_api.Diag.list_to_json ds);
+    ]
 
 let rewrite_payload (b : Core.binary) (cs : Patch_api.Rewriter.counter_spec) :
-    string =
+    J.t =
   let img, manifest, stats =
     Patch_api.Rewriter.instrument_counters b.Core.symtab b.Core.cfg cs
   in
@@ -88,24 +116,22 @@ let rewrite_payload (b : Core.binary) (cs : Patch_api.Rewriter.counter_spec) :
                ("strategy", J.String (Patch_api.Rewriter.strategy_name s));
              ])
   in
-  J.to_string
-    (J.Obj
-       [
-         ("points", J.Int (Int64.of_int stats.Patch_api.Rewriter.n_points));
-         ( "dead_alloc",
-           J.Int (Int64.of_int stats.Patch_api.Rewriter.n_dead_alloc) );
-         ("spilled", J.Int (Int64.of_int stats.Patch_api.Rewriter.n_spilled));
-         ("springboards", J.List strategies);
-         ( "out_sha256",
-           J.String (Dyn_util.Sha256.hex_of_bytes out_bytes) );
-         ("out_size", J.Int (Int64.of_int (Bytes.length out_bytes)));
-         ( "manifest",
-           match manifest with
-           | None -> J.Null
-           | Some m -> Patch_api.Manifest.to_json m );
-       ])
+  J.Obj
+    [
+      ("points", J.Int (Int64.of_int stats.Patch_api.Rewriter.n_points));
+      ( "dead_alloc",
+        J.Int (Int64.of_int stats.Patch_api.Rewriter.n_dead_alloc) );
+      ("spilled", J.Int (Int64.of_int stats.Patch_api.Rewriter.n_spilled));
+      ("springboards", J.List strategies);
+      ("out_sha256", J.String (Dyn_util.Sha256.hex_of_bytes out_bytes));
+      ("out_size", J.Int (Int64.of_int (Bytes.length out_bytes)));
+      ( "manifest",
+        match manifest with
+        | None -> J.Null
+        | Some m -> Patch_api.Manifest.to_json m );
+    ]
 
-let profile_payload (b : Core.binary) (ps : Wire.profile_spec) : string =
+let profile_payload (b : Core.binary) (ps : Wire.profile_spec) : J.t =
   let config =
     {
       Perf_api.Profiler.default_config with
@@ -125,20 +151,19 @@ let profile_payload (b : Core.binary) (ps : Wire.profile_spec) : string =
                ("cycles", J.Int row.Perf_api.Cct.fl_cycles);
              ])
   in
-  J.to_string
-    (J.Obj
-       [
-         ("samples", J.Int (Int64.of_int r.Perf_api.Profiler.r_n_samples));
-         ("cycles", J.Int r.Perf_api.Profiler.r_elapsed_cycles);
-         ("instret", J.Int r.Perf_api.Profiler.r_instret);
-         ( "stop",
-           J.String
-             (Format.asprintf "%a" Rvsim.Machine.pp_stop
-                r.Perf_api.Profiler.r_stop) );
-         ("flat", J.List flat);
-       ])
+  J.Obj
+    [
+      ("samples", J.Int (Int64.of_int r.Perf_api.Profiler.r_n_samples));
+      ("cycles", J.Int r.Perf_api.Profiler.r_elapsed_cycles);
+      ("instret", J.Int r.Perf_api.Profiler.r_instret);
+      ( "stop",
+        J.String
+          (Format.asprintf "%a" Rvsim.Machine.pp_stop
+             r.Perf_api.Profiler.r_stop) );
+      ("flat", J.List flat);
+    ]
 
-let trace_payload (b : Core.binary) (ts : Wire.trace_spec) : string =
+let trace_payload (b : Core.binary) (ts : Wire.trace_spec) : J.t =
   let rw = Patch_api.Rewriter.create b.Core.symtab b.Core.cfg in
   let ring = Trace_api.Ring.create rw ~capacity:1024 in
   let opts =
@@ -161,32 +186,34 @@ let trace_payload (b : Core.binary) (ts : Wire.trace_spec) : string =
   let count k =
     List.length (List.filter (fun (r : Trace_api.Record.t) -> r.kind = k) records)
   in
-  J.to_string
-    (J.Obj
-       [
-         ("points", J.Int (Int64.of_int n_points));
-         ("records", J.Int (Int64.of_int (List.length records)));
-         ("flushes", J.Int (Int64.of_int (Trace_api.Sink.flushes sink)));
-         ("blocks", J.Int (Int64.of_int (count Trace_api.Record.Block)));
-         ("calls", J.Int (Int64.of_int (count Trace_api.Record.Call)));
-         ("rets", J.Int (Int64.of_int (count Trace_api.Record.Ret)));
-         ( "mem",
-           J.Int
-             (Int64.of_int
-                (count Trace_api.Record.Mem_read
-                + count Trace_api.Record.Mem_write)) );
-         ("stop", J.String (Format.asprintf "%a" Rvsim.Machine.pp_stop stop));
-       ])
+  J.Obj
+    [
+      ("points", J.Int (Int64.of_int n_points));
+      ("records", J.Int (Int64.of_int (List.length records)));
+      ("flushes", J.Int (Int64.of_int (Trace_api.Sink.flushes sink)));
+      ("blocks", J.Int (Int64.of_int (count Trace_api.Record.Block)));
+      ("calls", J.Int (Int64.of_int (count Trace_api.Record.Call)));
+      ("rets", J.Int (Int64.of_int (count Trace_api.Record.Ret)));
+      ( "mem",
+        J.Int
+          (Int64.of_int
+             (count Trace_api.Record.Mem_read
+             + count Trace_api.Record.Mem_write)) );
+      ("stop", J.String (Format.asprintf "%a" Rvsim.Machine.pp_stop stop));
+    ]
 
-let payload_for (b : Core.binary) (action : Wire.action) : string =
+let payload_json (b : Core.binary) (action : Wire.action) : J.t =
   match action with
   | Wire.Parse -> parse_payload b
   | Wire.Lint -> lint_payload b
   | Wire.Rewrite cs -> rewrite_payload b cs
   | Wire.Profile ps -> profile_payload b ps
   | Wire.Trace ts -> trace_payload b ts
-  | Wire.Ping | Wire.Stats | Wire.Flush | Wire.Shutdown ->
+  | Wire.Ping | Wire.Stats | Wire.Metrics | Wire.Flush | Wire.Shutdown ->
       invalid_arg "payload_for: control action"
+
+let payload_for (b : Core.binary) (action : Wire.action) : string =
+  J.to_string (payload_json b action)
 
 (* Execute one job request end to end.  Control actions are the
    server's business, not ours.  Never raises: failures become error
@@ -198,43 +225,65 @@ let payload_for (b : Core.binary) (action : Wire.action) : string =
    closure — i.e. on a payload miss. *)
 let exec ?stat (cache : Cache.t) (req : Wire.request) : Wire.response =
   let t0 = now_us () in
+  let t0_ns = Trace.now_ns () in
   let elapsed () = Int64.sub (now_us ()) t0 in
   if Wire.is_control req.Wire.rq_action then
     Wire.error_response ~id:req.Wire.rq_id ~elapsed_us:(elapsed ())
       (Printf.sprintf "%s is a control action, not a job"
          (Wire.action_name req.Wire.rq_action))
-  else
-    try
-      let hash =
-        match stat with
-        | Some sc -> Statcache.hash sc req.Wire.rq_path
-        | None -> Dyn_util.Sha256.hex_of_file req.Wire.rq_path
-      in
-      let key =
-        Printf.sprintf "%s:%s:%s"
-          (Wire.action_name req.Wire.rq_action)
-          hash
-          (Wire.spec_key req.Wire.rq_action)
-      in
-      let v, cached =
-        Cache.get_or_compute cache ~key (fun () ->
-            let bytes = read_file req.Wire.rq_path in
-            let b = binary_for cache ~hash bytes in
-            Cache.Payload (payload_for b req.Wire.rq_action))
-      in
-      let payload =
-        match v with
-        | Cache.Payload s -> s
-        | Cache.Bin _ -> failwith "cache kind confusion: payload slot holds bin"
-      in
-      Wire.ok_response ~id:req.Wire.rq_id ~hash ~cached
-        ~elapsed_us:(elapsed ()) ~payload
-    with
-    | Sys_error msg ->
-        Wire.error_response ~id:req.Wire.rq_id ~elapsed_us:(elapsed ()) msg
-    | Unix.Unix_error (e, _, arg) ->
-        Wire.error_response ~id:req.Wire.rq_id ~elapsed_us:(elapsed ())
-          (Printf.sprintf "%s: %s" arg (Unix.error_message e))
-    | e ->
-        Wire.error_response ~id:req.Wire.rq_id ~elapsed_us:(elapsed ())
-          (Printexc.to_string e)
+  else begin
+    let kind = Wire.action_name req.Wire.rq_action in
+    let finish resp =
+      Obs.observe (job_hist kind) (Trace.now_ns () - t0_ns);
+      Obs.incr (if resp.Wire.rs_ok then m_ok else m_err);
+      resp
+    in
+    finish
+    @@ tspan
+         (Printf.sprintf "job:%s" kind)
+         ~args:[ ("id", Int64.to_string req.Wire.rq_id) ]
+         (fun () ->
+           try
+             let v, cached, hash =
+               tspan "cache-lookup" (fun () ->
+                   let hash =
+                     match stat with
+                     | Some sc -> Statcache.hash sc req.Wire.rq_path
+                     | None -> Dyn_util.Sha256.hex_of_file req.Wire.rq_path
+                   in
+                   let key =
+                     Printf.sprintf "%s:%s:%s" kind hash
+                       (Wire.spec_key req.Wire.rq_action)
+                   in
+                   let v, cached =
+                     Cache.get_or_compute cache ~key (fun () ->
+                         let j =
+                           tspan "execute" (fun () ->
+                               let bytes = read_file req.Wire.rq_path in
+                               let b = binary_for cache ~hash bytes in
+                               payload_json b req.Wire.rq_action)
+                         in
+                         Cache.Payload
+                           (tspan "serialize" (fun () -> J.to_string j)))
+                   in
+                   (v, cached, hash))
+             in
+             let payload =
+               match v with
+               | Cache.Payload s -> s
+               | Cache.Bin _ ->
+                   failwith "cache kind confusion: payload slot holds bin"
+             in
+             Wire.ok_response ~id:req.Wire.rq_id ~hash ~cached
+               ~elapsed_us:(elapsed ()) ~payload
+           with
+           | Sys_error msg ->
+               Wire.error_response ~id:req.Wire.rq_id ~elapsed_us:(elapsed ())
+                 msg
+           | Unix.Unix_error (e, _, arg) ->
+               Wire.error_response ~id:req.Wire.rq_id ~elapsed_us:(elapsed ())
+                 (Printf.sprintf "%s: %s" arg (Unix.error_message e))
+           | e ->
+               Wire.error_response ~id:req.Wire.rq_id ~elapsed_us:(elapsed ())
+                 (Printexc.to_string e))
+  end

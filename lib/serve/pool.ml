@@ -6,14 +6,29 @@
    silently would strand its queue share), but job code is expected to
    catch its own errors and turn them into error responses.
 
+   Observability: every task carries its enqueue timestamp, so the
+   dequeue records the queue wait in the [serve.pool.queue_wait_ns]
+   histogram (and as a "pool:wait" trace span on the worker's track
+   when tracing is on); [serve.pool.queue_depth] is a gauge bumped on
+   submit and dropped on dequeue, and each worker accumulates its busy
+   nanoseconds in a [serve.pool.workerNN.busy_ns] counter — utilization
+   is busy_ns over scrape-interval wall time.
+
    [run_batch] is the synchronous convenience used by tests and the
    bench harness: submit a list, block until all complete, return
    results in submission order. *)
 
+module Obs = Dyn_obs.Registry
+module Trace = Dyn_obs.Trace
+
+let g_depth = Obs.gauge "serve.pool.queue_depth"
+let m_tasks = Obs.counter "serve.pool.tasks"
+let h_wait = Obs.histogram "serve.pool.queue_wait_ns"
+
 type t = {
   mu : Mutex.t;
   cv : Condition.t; (* signalled on enqueue and on stop *)
-  q : (unit -> unit) Queue.t;
+  q : (int * (unit -> unit)) Queue.t; (* (enqueue ns, task) *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
   n_domains : int;
@@ -22,7 +37,8 @@ type t = {
 
 exception Stopped
 
-let worker t () =
+let worker t i () =
+  let busy = Obs.counter (Printf.sprintf "serve.pool.worker%02d.busy_ns" i) in
   let rec loop () =
     Mutex.lock t.mu;
     while Queue.is_empty t.q && not t.stop do
@@ -30,10 +46,17 @@ let worker t () =
     done;
     if Queue.is_empty t.q && t.stop then Mutex.unlock t.mu
     else begin
-      let task = Queue.pop t.q in
+      let t_enq, task = Queue.pop t.q in
       t.executed <- t.executed + 1;
       Mutex.unlock t.mu;
+      Obs.add g_depth (-1);
+      Obs.incr m_tasks;
+      let t0 = Trace.now_ns () in
+      Obs.observe h_wait (t0 - t_enq);
+      if Trace.is_enabled () then
+        Trace.complete ~parent:"" ~t0_ns:t_enq ~t1_ns:t0 "pool:wait";
       (try task () with _ -> ());
+      Obs.incr ~by:(Trace.now_ns () - t0) busy;
       loop ()
     end
   in
@@ -52,7 +75,7 @@ let create ~domains:n =
       executed = 0;
     }
   in
-  t.domains <- List.init n (fun _ -> Domain.spawn (worker t));
+  t.domains <- List.init n (fun i -> Domain.spawn (worker t i));
   t
 
 let size t = t.n_domains
@@ -69,7 +92,8 @@ let submit t task =
     Mutex.unlock t.mu;
     raise Stopped
   end;
-  Queue.push task t.q;
+  Obs.add g_depth 1;
+  Queue.push (Trace.now_ns (), task) t.q;
   Condition.signal t.cv;
   Mutex.unlock t.mu
 

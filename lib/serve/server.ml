@@ -22,11 +22,20 @@
    ignored for the process). *)
 
 module J = Dyn_util.Jsonw
+module Obs = Dyn_obs.Registry
+module Trace = Dyn_obs.Trace
+
+let m_jobs = Obs.counter "serve.jobs.completed"
+let g_uptime = Obs.gauge "serve.uptime_us"
+let g_domains = Obs.gauge "serve.pool.domains"
 
 type config = {
   sc_socket : string; (* socket path *)
   sc_domains : int;
   sc_verbose : bool;
+  sc_trace_out : string option;
+      (* write the span trace here on shutdown: Chrome trace-event JSON,
+         or the NDJSON event log if the path ends in .ndjson *)
 }
 
 type t = {
@@ -45,6 +54,44 @@ let log t fmt =
   if t.cfg.sc_verbose then
     Printf.ksprintf (fun s -> Printf.eprintf "rvserved: %s\n%!" s) fmt
   else Printf.ksprintf ignore fmt
+
+(* The metrics wire action: every registry row, names sorted (the
+   registry snapshot is Map-ordered), fixed key order per row — a
+   deterministic scrape clients can diff.  Level-style server facts
+   (uptime, pool size) are refreshed into gauges at scrape time. *)
+let metrics_payload t =
+  Obs.set g_uptime
+    (int_of_float ((Unix.gettimeofday () -. t.started) *. 1e6));
+  Obs.set g_domains (Pool.size t.pool);
+  let i n = J.Int (Int64.of_int n) in
+  let row (r : Obs.row) =
+    match r.Obs.r_value with
+    | Obs.Counter_v v ->
+        J.Obj
+          [
+            ("name", J.String r.Obs.r_name);
+            ("type", J.String "counter");
+            ("value", i v);
+          ]
+    | Obs.Gauge_v v ->
+        J.Obj
+          [
+            ("name", J.String r.Obs.r_name);
+            ("type", J.String "gauge");
+            ("value", i v);
+          ]
+    | Obs.Histogram_v hv ->
+        J.Obj
+          [
+            ("name", J.String r.Obs.r_name);
+            ("type", J.String "histogram");
+            ("count", i hv.Obs.hv_count);
+            ("sum_ns", i hv.Obs.hv_sum_ns);
+            ("buckets", J.List (Array.to_list (Array.map i hv.Obs.hv_buckets)));
+          ]
+  in
+  J.to_string
+    (J.Obj [ ("metrics", J.List (List.map row (Obs.snapshot ()))) ])
 
 let stats_payload t =
   let stat_hits, stat_misses = Statcache.counts t.stat in
@@ -87,9 +134,15 @@ let handle_conn t fd =
   let send resp =
     Mutex.lock wmu;
     (try
-       output_string oc (Wire.encode_response resp);
-       output_char oc '\n';
-       flush oc
+       (* the write span sits on the sender's track: a worker domain
+          for job responses (nested under its job span), the reader
+          thread for control responses *)
+       let write () =
+         output_string oc (Wire.encode_response resp);
+         output_char oc '\n';
+         flush oc
+       in
+       if Trace.is_enabled () then Trace.with_span "write" write else write ()
      with Sys_error _ | Unix.Unix_error _ -> ());
     Mutex.unlock wmu
   in
@@ -120,6 +173,11 @@ let handle_conn t fd =
                   (Wire.ok_response ~id:req.Wire.rq_id ~hash:"" ~cached:false
                      ~elapsed_us:0L ~payload:(stats_payload t));
                 loop ()
+            | Wire.Metrics ->
+                send
+                  (Wire.ok_response ~id:req.Wire.rq_id ~hash:"" ~cached:false
+                     ~elapsed_us:0L ~payload:(metrics_payload t));
+                loop ()
             | Wire.Flush ->
                 Cache.flush t.cache;
                 Statcache.clear t.stat;
@@ -143,6 +201,7 @@ let handle_conn t fd =
                    Pool.submit t.pool (fun () ->
                        let resp = Jobs.exec ~stat:t.stat t.cache req in
                        Atomic.incr t.jobs_done;
+                       Obs.incr m_jobs;
                        send resp;
                        job_done ())
                  with Pool.Stopped ->
@@ -163,6 +222,7 @@ let handle_conn t fd =
 
 let create ?(cache = Cache.create ()) (cfg : config) : t =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if cfg.sc_trace_out <> None then Trace.set_enabled true;
   if Sys.file_exists cfg.sc_socket then Unix.unlink cfg.sc_socket;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX cfg.sc_socket);
@@ -197,4 +257,13 @@ let serve (t : t) : unit =
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Pool.shutdown t.pool;
   (try Unix.unlink t.cfg.sc_socket with Unix.Unix_error _ | Sys_error _ -> ());
+  (match t.cfg.sc_trace_out with
+  | None -> ()
+  | Some path -> (
+      try
+        Trace.write_out path;
+        log t "trace written to %s (%d events, %d dropped)" path
+          (List.length (Trace.events ()))
+          (Trace.dropped ())
+      with Sys_error msg -> Printf.eprintf "rvserved: trace-out: %s\n%!" msg));
   log t "stopped"

@@ -9,6 +9,10 @@ type config = {
   sc_socket : string;  (** Unix-domain socket path *)
   sc_domains : int;  (** pool workers *)
   sc_verbose : bool;  (** log to stderr *)
+  sc_trace_out : string option;
+      (** enable span tracing and write the capture here on shutdown:
+          Chrome trace-event JSON, or the NDJSON event log if the path
+          ends in [.ndjson] *)
 }
 
 type t

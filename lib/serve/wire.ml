@@ -7,8 +7,8 @@
           or {"id":N,"ok":false,"error":"..."}
 
    Actions parse/lint/rewrite/profile/trace are jobs (sharded across
-   the pool, results cacheable); ping/stats/flush/shutdown are control
-   actions answered inline by the connection thread.  Responses stream
+   the pool, results cacheable); ping/stats/metrics/flush/shutdown are
+   control actions answered inline by the connection thread.  Responses stream
    as jobs finish, so they may arrive out of submission order: clients
    correlate by [id].
 
@@ -40,6 +40,7 @@ type action =
   | Trace of trace_spec
   | Ping
   | Stats
+  | Metrics
   | Flush
   | Shutdown
 
@@ -56,7 +57,7 @@ type response = {
 }
 
 let is_control = function
-  | Ping | Stats | Flush | Shutdown -> true
+  | Ping | Stats | Metrics | Flush | Shutdown -> true
   | Parse | Lint | Rewrite _ | Profile _ | Trace _ -> false
 
 let action_name = function
@@ -67,12 +68,13 @@ let action_name = function
   | Trace _ -> "trace"
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Flush -> "flush"
   | Shutdown -> "shutdown"
 
 (* Canonical spec fragment for the cache key (sorted, order-free). *)
 let spec_key = function
-  | Parse | Lint | Ping | Stats | Flush | Shutdown -> ""
+  | Parse | Lint | Ping | Stats | Metrics | Flush | Shutdown -> ""
   | Rewrite cs -> Patch_api.Rewriter.spec_key cs
   | Profile p -> Printf.sprintf "period=%Ld" p.ps_period
   | Trace ts ->
@@ -96,7 +98,7 @@ let request_fields (r : request) : (string * J.t) list =
   in
   let spec =
     match r.rq_action with
-    | Parse | Lint | Ping | Stats | Flush | Shutdown -> []
+    | Parse | Lint | Ping | Stats | Metrics | Flush | Shutdown -> []
     | Rewrite cs ->
         [
           ("entries", strs cs.Patch_api.Rewriter.cs_entries);
@@ -180,6 +182,7 @@ let decode_request (line : string) : request =
   match action with
   | "ping" -> { rq_id = id; rq_path = ""; rq_action = Ping }
   | "stats" -> { rq_id = id; rq_path = ""; rq_action = Stats }
+  | "metrics" -> { rq_id = id; rq_path = ""; rq_action = Metrics }
   | "flush" -> { rq_id = id; rq_path = ""; rq_action = Flush }
   | "shutdown" -> { rq_id = id; rq_path = ""; rq_action = Shutdown }
   | "parse" -> { rq_id = id; rq_path = path (); rq_action = Parse }

@@ -1,6 +1,6 @@
 (** rvserved's wire protocol: newline-delimited JSON, one object per
     line.  parse/lint/rewrite/profile/trace are cacheable jobs;
-    ping/stats/flush/shutdown are control actions.  Responses stream as
+    ping/stats/metrics/flush/shutdown are control actions.  Responses stream as
     jobs finish and may be out of order — correlate by id.  {!spec_key}
     canonicalizes job parameters for the artifact-cache key. *)
 
@@ -24,6 +24,7 @@ type action =
   | Trace of trace_spec
   | Ping
   | Stats
+  | Metrics
   | Flush
   | Shutdown
 

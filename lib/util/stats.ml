@@ -2,54 +2,53 @@
    parse -> analyze -> codegen -> rewrite pipeline, surfaced by the
    CLIs' --stats flag.
 
-   Global and intentionally tiny: instrumented code calls [span]
-   unconditionally; until [enable] is called the overhead is one branch,
-   so hot paths can stay instrumented in production.  Span times
-   accumulate across calls (a label's row reports total ns and call
-   count), nested spans each record their own wall time. *)
+   This is now a compatibility shim over Dyn_obs: spans land in the
+   sharded-registry latency histograms (so they are domain-safe — the
+   previous implementation mutated global Hashtbls unlocked and could
+   be corrupted by rvserved's worker domains) and, when tracing is on,
+   each span also emits a Dyn_obs.Trace event, which is how the CLIs'
+   --trace-out flag captures the pipeline as a Perfetto-loadable
+   timeline.  The [span]/[incr]/[pp]/[report] API and its
+   one-branch-when-disabled contract are unchanged; a label's report
+   row now derives total ns and call count from its histogram.
 
-type entry = {
-  mutable ns : int64; (* accumulated nanoseconds *)
-  mutable calls : int;
-}
+   Labels double as registry names, so a label must not be used both
+   as a span and as a counter (the registry rejects kind confusion). *)
+
+module R = Dyn_obs.Registry
+module T = Dyn_obs.Trace
 
 let enabled = ref false
-let spans : (string, entry) Hashtbl.t = Hashtbl.create 16
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 16
-let order : string list ref = ref [] (* first-use order, for the report *)
-
 let enable () = enabled := true
 let disable () = enabled := false
 
-let reset () =
-  Hashtbl.reset spans;
-  Hashtbl.reset counters;
-  order := []
+(* First-use order for the report, and which registry names are ours:
+   pp prints only labels this module recorded, not the whole registry. *)
+let order_mu = Mutex.create ()
+let order : string list ref = ref []
 
 let note label =
-  if not (List.mem label !order) then order := label :: !order
+  Mutex.lock order_mu;
+  if not (List.mem label !order) then order := label :: !order;
+  Mutex.unlock order_mu
 
-let entry_of label =
-  match Hashtbl.find_opt spans label with
-  | Some e -> e
-  | None ->
-      let e = { ns = 0L; calls = 0 } in
-      Hashtbl.replace spans label e;
-      note label;
-      e
+let reset () =
+  Mutex.lock order_mu;
+  order := [];
+  Mutex.unlock order_mu;
+  R.reset ()
 
 (* Time [f] under [label]; transparent to exceptions. *)
 let span label f =
   if not !enabled then f ()
   else begin
-    let t0 = Unix.gettimeofday () in
-    let finish () =
-      let dt = Unix.gettimeofday () -. t0 in
-      let e = entry_of label in
-      e.ns <- Int64.add e.ns (Int64.of_float (dt *. 1e9));
-      e.calls <- e.calls + 1
-    in
-    match f () with
+    let h = R.histogram label in
+    note label;
+    let t0 = T.now_ns () in
+    let finish () = R.observe h (T.now_ns () - t0) in
+    (* with_span records the trace event (and nesting) when tracing is
+       on; it is a plain call of [f] otherwise *)
+    match T.with_span label f with
     | v ->
         finish ();
         v
@@ -60,31 +59,32 @@ let span label f =
 
 let incr ?(by = 1) label =
   if !enabled then begin
-    match Hashtbl.find_opt counters label with
-    | Some r -> r := !r + by
-    | None ->
-        Hashtbl.replace counters label (ref by);
-        note label
+    let c = R.counter label in
+    note label;
+    R.incr ~by c
   end
 
 let pp fmt () =
-  if Hashtbl.length spans = 0 && Hashtbl.length counters = 0 then
-    Format.fprintf fmt "stats: (none recorded)@\n"
+  Mutex.lock order_mu;
+  let labels = List.rev !order in
+  Mutex.unlock order_mu;
+  if labels = [] then Format.fprintf fmt "stats: (none recorded)@\n"
   else begin
     Format.fprintf fmt "== toolkit stats ==@\n";
     List.iter
       (fun label ->
-        (match Hashtbl.find_opt spans label with
-        | Some e ->
+        match R.find label with
+        | Some { R.r_value = R.Histogram_v hv; _ } ->
             Format.fprintf fmt "  %-24s %10.3f ms  (%d call%s)@\n" label
-              (Int64.to_float e.ns /. 1e6)
-              e.calls
-              (if e.calls = 1 then "" else "s")
-        | None -> ());
-        match Hashtbl.find_opt counters label with
-        | Some r -> Format.fprintf fmt "  %-24s %10d@\n" label !r
+              (float_of_int hv.R.hv_sum_ns /. 1e6)
+              hv.R.hv_count
+              (if hv.R.hv_count = 1 then "" else "s")
+        | Some { R.r_value = R.Counter_v n; _ } ->
+            Format.fprintf fmt "  %-24s %10d@\n" label n
+        | Some { R.r_value = R.Gauge_v n; _ } ->
+            Format.fprintf fmt "  %-24s %10d@\n" label n
         | None -> ())
-      (List.rev !order)
+      labels
   end
 
 let report () = Format.printf "%a@?" pp ()

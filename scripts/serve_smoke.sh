@@ -6,8 +6,10 @@
 #   2. push a mixed batch (parse/lint/rewrite/trace) through rvq batch
 #   3. push the identical batch again: every response must say
 #      cached=true and byte-match the cold payload
-#   4. stats must show cache hits; shutdown must unlink the socket and
-#      let the daemon exit 0
+#   4. stats must show cache hits; a metrics scrape must report
+#      cache-hit counters > 0 and a drained queue
+#   5. shutdown must unlink the socket, let the daemon exit 0, and
+#      leave a loadable span trace behind (--trace-out)
 #
 # Run via `make serve-smoke` (part of `make check`).
 set -eu
@@ -27,7 +29,8 @@ trap cleanup EXIT INT TERM
 "$B/mkmutatee.exe" --builtin calls -o "$DIR/calls.elf" >/dev/null
 cp "$DIR/fib.elf" "$DIR/fib_copy.elf"
 
-"$B/rvserved.exe" --socket "$SOCK" --domains 2 &
+TRACE="$DIR/trace.json"
+"$B/rvserved.exe" --socket "$SOCK" --domains 2 --trace-out "$TRACE" &
 PID=$!
 i=0
 while [ ! -S "$SOCK" ] && [ $i -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
@@ -72,8 +75,34 @@ if [ "$(printf '%s\n' "$OUT1" | norm)" != "$(printf '%s\n' "$OUT2" | norm)" ]; t
     exit 1
 fi
 
-"$B/rvq.exe" stats --socket "$SOCK" | grep -q '"hits":' || {
+"$B/rvq.exe" stats --socket "$SOCK" --json | grep -q '"hits":' || {
     echo "serve-smoke: stats missing cache counters" >&2
+    exit 1
+}
+# the default rendering is a table; spot-check a known row
+"$B/rvq.exe" stats --socket "$SOCK" | grep -q '^cache:' || {
+    echo "serve-smoke: stats table missing cache section" >&2
+    exit 1
+}
+
+# metrics scrape after the warm batch: the cache must have hits, and
+# with both batches drained the queue gauge must read zero
+METRICS=$("$B/rvq.exe" metrics --socket "$SOCK" --json)
+HITS=$(printf '%s' "$METRICS" |
+    sed -n 's/.*"name":"serve\.cache\.hits","type":"counter","value":\([0-9]*\).*/\1/p')
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] || {
+    echo "serve-smoke: metrics report no cache hits (got '$HITS')" >&2
+    exit 1
+}
+DEPTH=$(printf '%s' "$METRICS" |
+    sed -n 's/.*"name":"serve\.pool\.queue_depth","type":"gauge","value":\(-\{0,1\}[0-9]*\).*/\1/p')
+[ "$DEPTH" = "0" ] || {
+    echo "serve-smoke: queue not drained (depth '$DEPTH')" >&2
+    exit 1
+}
+# the human table renders too
+"$B/rvq.exe" metrics --socket "$SOCK" | grep -q 'serve\.cache\.hits' || {
+    echo "serve-smoke: metrics table missing cache rows" >&2
     exit 1
 }
 
@@ -84,4 +113,14 @@ if [ -S "$SOCK" ]; then
     echo "serve-smoke: socket not unlinked on shutdown" >&2
     exit 1
 fi
+
+# the daemon must leave a Perfetto-loadable trace with job spans
+[ -s "$TRACE" ] || {
+    echo "serve-smoke: no trace written to $TRACE" >&2
+    exit 1
+}
+grep -q '"traceEvents"' "$TRACE" && grep -q '"name":"job:parse"' "$TRACE" || {
+    echo "serve-smoke: trace missing job spans" >&2
+    exit 1
+}
 echo "serve-smoke: ok"

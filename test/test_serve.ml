@@ -358,7 +358,12 @@ let test_server_session () =
   let sock = Filename.concat temp_dir "e2e.sock" in
   let srv =
     Serve_api.Server.create
-      { Serve_api.Server.sc_socket = sock; sc_domains = 2; sc_verbose = false }
+      {
+        Serve_api.Server.sc_socket = sock;
+        sc_domains = 2;
+        sc_verbose = false;
+        sc_trace_out = None;
+      }
   in
   let server_domain = Domain.spawn (fun () -> Serve_api.Server.serve srv) in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -390,7 +395,37 @@ let test_server_session () =
   Alcotest.(check bool)
     "stats counts jobs" true
     (J.to_int64 (J.member "jobs" stats) >= 3L);
-  send { Wire.rq_id = 5L; rq_path = ""; rq_action = Wire.Shutdown };
+  (* metrics scrape: registry rows with the cache/job instruments *)
+  send { Wire.rq_id = 5L; rq_path = ""; rq_action = Wire.Metrics };
+  let metrics_resp = Wire.decode_response (input_line ic) in
+  Alcotest.(check bool) "metrics ok" true metrics_resp.Wire.rs_ok;
+  let rows =
+    J.to_list (J.member "metrics" (J.of_string metrics_resp.Wire.rs_payload))
+  in
+  let row name =
+    List.find_opt (fun r -> J.to_str (J.member "name" r) = name) rows
+  in
+  (match row "serve.cache.hits" with
+  | None -> Alcotest.fail "serve.cache.hits row missing"
+  | Some r ->
+      Alcotest.(check bool)
+        "the fib copy hit the cache" true
+        (J.to_int64 (J.member "value" r) >= 1L));
+  (match row "serve.job.lint.latency_ns" with
+  | None -> Alcotest.fail "lint latency histogram missing"
+  | Some r ->
+      Alcotest.(check string)
+        "histogram row" "histogram"
+        (J.to_str (J.member "type" r));
+      Alcotest.(check bool)
+        "both lint jobs observed" true
+        (J.to_int64 (J.member "count" r) >= 2L));
+  (* names arrive sorted: the scrape is deterministic for diffing *)
+  let names = List.map (fun r -> J.to_str (J.member "name" r)) rows in
+  Alcotest.(check bool)
+    "metric names sorted" true
+    (List.sort compare names = names);
+  send { Wire.rq_id = 6L; rq_path = ""; rq_action = Wire.Shutdown };
   let bye = Wire.decode_response (input_line ic) in
   Alcotest.(check bool) "bye ok" true bye.Wire.rs_ok;
   Unix.close fd;
