@@ -5,7 +5,10 @@
 #   fmt          check dune-file formatting (no ocamlformat dependency)
 #   bench-smoke  reduced-iteration bench (exercises the instrumentation,
 #                tracing, profiling and sim-throughput paths; writes
-#                *.smoke.json only)
+#                *.smoke.json only).  Gates hard: the sim section fails
+#                on trace-off/trace-on speedup bars, any degraded insn
+#                under tracing, or an engine-differential divergence
+
 #   fuzz-smoke   fixed-seed differential fuzz: rvsim vs the Sail IR in
 #                lockstep, the exhaustive RVC decoder sweep, the rewrite
 #                round-trip on two mutatees, and the superblock-engine vs

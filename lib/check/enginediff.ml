@@ -8,22 +8,27 @@
    configurations:
 
      plain    both engines on the fast path (trace off, timer off, HPM off)
-     trace    a counting trace hook installed — the block engine must
-              degrade to per-instruction mode and call it exactly as
-              often as the interpreter does
-     hpm      four HPM selectors programmed — per-retire event counting
-     timer    the sampling timer armed — the exact cycle counts at which
-              it fires are diffed
+     trace    a counting trace hook installed — the block engine fuses
+              the hook into its translations and must call it exactly
+              as often as the interpreter does
+     hpm      four HPM selectors programmed — the block engine charges
+              precomputed per-block deltas against per-retire counting
+     timer    the sampling timer armed — block dispatch batches the
+              deadline check at block boundaries; the exact cycle
+              counts at which it fires are diffed
 
    and diffs everything at the end: stop reason, x1..x31, f0..f31, pc,
    fcsr, cycles, instret, the HPM counters, full sparse memory, stdout,
    trace-hook call counts and timer firing cycles.
 
    Mutatees are the minicc round-trip builtins (real loops, calls,
-   matmul FP) and seeded straight-line programs built from the lockstep
+   matmul FP), seeded straight-line programs built from the lockstep
    fuzzer's adversarial instruction generator — these exercise the
-   block-body specializations, the precise-state fault guards (illegal
-   CSRs mid-block) and FENCE.I invalidation mid-run. *)
+   block-body specializations and the precise-state fault guards
+   (illegal CSRs mid-block, traced ops whose prefix must retire) — and
+   a hand-assembled self-modifying program that patches a chained
+   block's body through store + FENCE.I mid-run, under every
+   observability mode. *)
 
 open Riscv
 
@@ -220,6 +225,60 @@ let check_fuzz ?(len = 40) ~seed obs : result =
     e_diffs = diff_outcomes a b;
   }
 
+(* A hand-assembled self-modifying mutatee, the block cache's hardest
+   case: block A ends in a direct jump chained tail-to-head to block B;
+   after the chain is hot, B's body is patched (store + FENCE.I) and
+   re-entered.  Under trace/hpm/timer the fused translations must be
+   invalidated by the flush and rebuilt under the same observability
+   configuration, with hook calls, counter values and firing cycles
+   identical to the interpreter's. *)
+let selfmod_code =
+  lazy
+    (let open Asm in
+     let patch_word =
+       let b = Encode.encode (Build.addi Reg.a0 Reg.zero 20) in
+       Bytes.get_int64_le (Bytes.cat b (Bytes.make 4 '\000')) 0
+     in
+     let items =
+       [
+         Insn (Build.addi Reg.s0 Reg.zero 0);
+         Label "loop";
+         J "body" (* block A: chained tail-to-head to B *);
+         Label "body";
+         Insn (Build.addi Reg.a0 Reg.zero 10) (* block B body: patch target *);
+         Br (Op.BNE, Reg.s0, Reg.zero, "after");
+         Insn (Build.addi Reg.s0 Reg.zero 1);
+         La (Reg.t0, "body");
+         Li (Reg.t1, patch_word);
+         Insn (Build.sw Reg.t1 0 Reg.t0);
+         Insn (Riscv.Insn.make Op.FENCE_I);
+         J "loop" (* re-enter through the (now stale) chain *);
+         Label "after";
+         Insn (Build.addi Reg.a0 Reg.a0 1);
+         Insn Build.ebreak;
+       ]
+     in
+     (Asm.assemble ~base:code_base items).Asm.code)
+
+let check_selfmod obs : result =
+  let code = Lazy.force selfmod_code in
+  let run engine =
+    let m = Rvsim.Machine.create () in
+    ignore
+      (Rvsim.Machine.add_code_region m ~base:code_base ~size:(Bytes.length code));
+    Rvsim.Mem.write_bytes m.Rvsim.Machine.mem code_base code;
+    m.Rvsim.Machine.pc <- code_base;
+    run_machine ~engine ~obs ~max_steps:10_000 m (fun () -> None)
+  in
+  let a = run `Interp in
+  let b = run `Block in
+  {
+    e_name = "selfmod";
+    e_obs = obs_name obs;
+    e_instret = a.o_instret;
+    e_diffs = diff_outcomes a b;
+  }
+
 (* --- the sweep ------------------------------------------------------------ *)
 
 let all_obs = [ Plain; Trace; Hpm; Timer 1000L ]
@@ -230,10 +289,16 @@ let sweep ?(mutatees = [ "fib"; "calls" ]) ?(seeds = 25) ?(len = 40)
     List.concat_map
       (fun name -> List.map (fun obs -> check_builtin name obs) all_obs)
       mutatees
+    @ List.map (fun obs -> check_selfmod obs) [ Plain; Trace; Hpm; Timer 10L ]
     @ List.concat_map
         (fun k ->
           let seed = Int64.of_int (base_seed + k) in
-          [ check_fuzz ~len ~seed Plain; check_fuzz ~len ~seed (Timer 50L) ])
+          [
+            check_fuzz ~len ~seed Plain;
+            check_fuzz ~len ~seed Trace;
+            check_fuzz ~len ~seed Hpm;
+            check_fuzz ~len ~seed (Timer 50L);
+          ])
         (List.init seeds Fun.id)
   in
   let failures = List.filter (fun r -> r.e_diffs <> []) results in

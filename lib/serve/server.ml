@@ -95,10 +95,31 @@ let metrics_payload t =
 
 let stats_payload t =
   let stat_hits, stat_misses = Statcache.counts t.stat in
+  (* the process-wide superblock-engine counters: profile/trace jobs run
+     mutatees through the block engine, so a nonzero [degraded] here
+     means some run abandoned the fused observability path — it must
+     stay 0 *)
+  let bb = Rvsim.Bbcache.stats in
+  let bi v = J.Int (Int64.of_int v) in
+  let bbcache =
+    J.Obj
+      [
+        ("translated", bi bb.Rvsim.Bbcache.st_translated);
+        ("executed", bi bb.Rvsim.Bbcache.st_blocks);
+        ("chain_hits", bi bb.Rvsim.Bbcache.st_chain_hits);
+        ("retranslated", bi bb.Rvsim.Bbcache.st_retrans);
+        ("degraded", bi bb.Rvsim.Bbcache.st_degraded);
+        ("timer_steps", bi bb.Rvsim.Bbcache.st_timer_steps);
+        ("singles", bi bb.Rvsim.Bbcache.st_singles);
+        ("evicted", bi bb.Rvsim.Bbcache.st_evicted);
+        ("flushes", bi (Rvsim.Bbcache.flushes ()));
+      ]
+  in
   J.to_string
     (J.Obj
        [
          ("cache", Cache.stats_json t.cache);
+         ("bbcache", bbcache);
          ("stat_hits", J.Int (Int64.of_int stat_hits));
          ("stat_misses", J.Int (Int64.of_int stat_misses));
          ("domains", J.Int (Int64.of_int (Pool.size t.pool)));

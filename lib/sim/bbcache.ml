@@ -21,18 +21,37 @@
    stale block reachable only through a chain can never execute after a
    FENCE.I or a ProcControl patch.
 
-   Observability does not regress: while a trace hook is installed, the
-   sampling timer is armed, or any HPM selector is active, dispatch
-   degrades to the precise interpreter instruction by instruction, so
-   fast and slow paths produce identical architectural state, cycles,
-   instret, HPM counts and timer firing points (rvcheck's engine mode
-   diffs all of them).
+   Observability is fused, not degraded: translation happens under the
+   machine's current observability configuration.  An installed trace
+   hook is pre-bound into every body micro-op (pc store + hook call +
+   op), active HPM selectors are folded into a precomputed per-counter
+   body delta charged in one pass at block end (body instructions are
+   never taken branches, so their event counts are static), and the
+   sampling timer is batched at block boundaries: dispatch checks
+   whether the deadline could fall inside the block's cycle total and,
+   if so, re-enters the precise interpreter one instruction at a time
+   until the firing is past — the firing cycle is exact because
+   [Machine.retire] itself performs the deadline check for every
+   precisely-stepped instruction and for every block terminator.
 
-   Precision on faults: a body closure that can fault (memory ops, and
-   every generic fallback) is wrapped so that on an exception the pc,
-   instret and cycles are first fixed up to the retired prefix of the
-   block — the machine is left exactly as the interpreter would leave
-   it, mid-block. *)
+   Each block records the configuration it was compiled under — the
+   trace-hook cell (compared by physical equality, so a plain
+   [t.trace <- ...] assignment is detected) and the packed HPM selector
+   signature.  Dispatch treats a mismatch as observability-stale and
+   retranslates the block in place, so toggling tracing or a selector
+   invalidates only the translations actually reached afterwards, and
+   only once.  Hook and selector changes made *mid-block* (e.g. by a
+   trace hook reassigning [t.trace]) take effect at the next block
+   boundary, exactly like a FENCE.I-less code patch.
+
+   Precision on faults: a body closure that can fault (memory ops,
+   every generic fallback, and every traced op — hooks may raise) is
+   wrapped so that on an exception the pc, instret, cycles and HPM
+   counters are first fixed up to the retired prefix of the block — the
+   machine is left exactly as the interpreter would leave it,
+   mid-block.  rvcheck's engine mode diffs all of this against the
+   interpreter under plain/trace/hpm/timer, including mid-block
+   self-modification. *)
 
 open Riscv
 
@@ -40,25 +59,34 @@ type stats = {
   mutable st_translated : int; (* blocks translated *)
   mutable st_blocks : int; (* block executions (fast path) *)
   mutable st_chain_hits : int; (* dispatches resolved through a chain *)
-  mutable st_degraded : int; (* precise steps under observability *)
+  mutable st_degraded : int; (* legacy degraded-mode steps; 0 since fusion *)
+  mutable st_retrans : int; (* in-place observability-key retranslations *)
+  mutable st_timer_steps : int; (* precise steps across a timer deadline *)
   mutable st_singles : int; (* precise steps for budget/uncached pcs *)
   mutable st_evicted : int; (* blocks dropped by the residency bound *)
 }
 
 let stats =
   { st_translated = 0; st_blocks = 0; st_chain_hits = 0; st_degraded = 0;
-    st_singles = 0; st_evicted = 0 }
+    st_retrans = 0; st_timer_steps = 0; st_singles = 0; st_evicted = 0 }
+
+(* [Machine.flush_counter] is shared history for the whole stack (the
+   trace ring, ProcControl patches and tests all flush); resetting our
+   stats must not erase it, so we snapshot a baseline instead. *)
+let flush_base = ref 0
 
 let reset_stats () =
   stats.st_translated <- 0;
   stats.st_blocks <- 0;
   stats.st_chain_hits <- 0;
   stats.st_degraded <- 0;
+  stats.st_retrans <- 0;
+  stats.st_timer_steps <- 0;
   stats.st_singles <- 0;
   stats.st_evicted <- 0;
-  Machine.flush_counter := 0
+  flush_base := !Machine.flush_counter
 
-let flushes () = !Machine.flush_counter
+let flushes () = !Machine.flush_counter - !flush_base
 
 (* Push the counters into the toolkit's self-telemetry (shown by the
    tools' --stats flag; no-op unless Stats.enable was called). *)
@@ -69,14 +97,17 @@ let note_stats () =
   Stats.incr ~by:stats.st_chain_hits "bbcache chain hits";
   Stats.incr ~by:(flushes ()) "bbcache icache flushes";
   Stats.incr ~by:stats.st_degraded "bbcache degraded insns";
+  Stats.incr ~by:stats.st_retrans "bbcache obs retranslations";
+  Stats.incr ~by:stats.st_timer_steps "bbcache timer-boundary insns";
   Stats.incr ~by:stats.st_singles "bbcache single-stepped insns";
   Stats.incr ~by:stats.st_evicted "bbcache blocks evicted"
 
 let pp_stats fmt () =
   Format.fprintf fmt
-    "blocks translated %d, executed %d (chain hits %d), flushes %d, evicted %d, degraded insns %d"
+    "blocks translated %d, executed %d (chain hits %d), flushes %d, evicted %d, \
+     obs retranslations %d, timer-boundary insns %d, degraded insns %d"
     stats.st_translated stats.st_blocks stats.st_chain_hits (flushes ())
-    stats.st_evicted stats.st_degraded
+    stats.st_evicted stats.st_retrans stats.st_timer_steps stats.st_degraded
 
 (* --- translation ---------------------------------------------------------- *)
 
@@ -272,7 +303,18 @@ let compile (i : Insn.t) ~(pc : int64) : (Machine.t -> unit) * bool =
 (* Translate the straight-line run starting at [pc0] inside [r].  The
    body stops at a terminator op, an undecodable/misaligned pc, the
    region end, or [max_block_insns]; whatever stopped it becomes the
-   terminator pc and executes through the interpreter. *)
+   terminator pc and executes through the interpreter.
+
+   Translation happens under the machine's *current* observability
+   configuration, fused in rather than checked per dispatch:
+   - an installed trace hook is pre-bound into every body closure as
+     pc store + hook call + op, preserving the interpreter's hook-time
+     state (pc at the instruction, prefix fully retired);
+   - active HPM selectors become a precomputed per-counter body delta.
+     Body instructions are never control flow, so [Cost.counts_event]
+     with [~taken:false] is a translation-time constant per insn;
+   - the per-op precise-state guard extends to every traced op (hooks
+     may raise) and restores the HPM prefix too. *)
 let translate (t : Machine.t) (r : Machine.region) (pc0 : int64) : Machine.block =
   let model = t.Machine.model in
   let rec collect acc n pc =
@@ -291,25 +333,53 @@ let translate (t : Machine.t) (r : Machine.region) (pc0 : int64) : Machine.block
   let n = List.length body in
   let ops = Array.make n (fun (_ : Machine.t) -> ()) in
   let cyc = ref 0 in
+  let tr = t.Machine.trace in
+  let fuse_hpm = t.Machine.hpm_active in
+  (* running per-counter body delta; snapshots of it guard mid-block
+     faults, its final value is the block's one-add HPM charge *)
+  let hpm_run = Array.make Machine.n_hpm_counters 0L in
   List.iteri
     (fun k (ipc, i) ->
       let f, may_raise = compile i ~pc:ipc in
       let f =
-        if not may_raise then f
+        match tr with
+        | None -> f
+        | Some hook ->
+            (* fused hook call: the interpreter traces with t.pc still
+               at the instruction, so publish the pc first *)
+            fun t ->
+              t.Machine.pc <- ipc;
+              hook ipc i;
+              f t
+      in
+      let f =
+        if not (may_raise || Option.is_some tr) then f
         else
           (* precise-state guard: on any exception, retire the prefix
              [0, k) and leave pc at the faulting instruction — exactly
              the interpreter's mid-run state *)
           let prefix_cycles = Int64.of_int !cyc and prefix_insns = Int64.of_int k in
+          let prefix_hpm = if fuse_hpm then Some (Array.copy hpm_run) else None in
           fun t ->
             try f t
             with e ->
               t.Machine.pc <- ipc;
               t.Machine.instret <- Int64.add t.Machine.instret prefix_insns;
               t.Machine.cycles <- Int64.add t.Machine.cycles prefix_cycles;
+              (match prefix_hpm with
+              | None -> ()
+              | Some d ->
+                  for j = 0 to Machine.n_hpm_counters - 1 do
+                    t.Machine.hpm.(j) <- Int64.add t.Machine.hpm.(j) d.(j)
+                  done);
               raise e
       in
       ops.(k) <- f;
+      if fuse_hpm then
+        for j = 0 to Machine.n_hpm_counters - 1 do
+          if Cost.counts_event t.Machine.hpm_event.(j) i ~taken:false then
+            hpm_run.(j) <- Int64.add hpm_run.(j) 1L
+        done;
       cyc := !cyc + model.Cost.cost i.Insn.op)
     body;
   let term =
@@ -333,6 +403,9 @@ let translate (t : Machine.t) (r : Machine.region) (pc0 : int64) : Machine.block
     bk_cycles = !cyc;
     bk_ops = ops;
     bk_gen = t.Machine.icache_gen;
+    bk_trace = tr;
+    bk_hpm_sig = t.Machine.hpm_sig;
+    bk_hpm_delta = (if fuse_hpm then Some hpm_run else None);
     bk_chainable = chainable;
     bk_c1 = None;
     bk_c2 = None;
@@ -378,6 +451,15 @@ let enforce_cap (t : Machine.t) =
 
 (* --- dispatch ------------------------------------------------------------- *)
 
+(* The observability cache key: a block is only executable if it was
+   translated under the machine's current trace hook (physical equality
+   on the option cell — [t.trace <- ...] replaces the cell, so direct
+   assignment is detected; [None] is immediate) and the current packed
+   HPM selector signature. *)
+let obs_ok (t : Machine.t) (b : Machine.block) =
+  b.Machine.bk_trace == t.Machine.trace
+  && b.Machine.bk_hpm_sig = t.Machine.hpm_sig
+
 let lookup (t : Machine.t) pc : Machine.block option =
   if Int64.logand pc 1L <> 0L then None
   else
@@ -386,7 +468,15 @@ let lookup (t : Machine.t) pc : Machine.block option =
     | Some r -> (
         let slot = Int64.to_int (Int64.sub pc r.Machine.r_base) / 2 in
         match r.Machine.bslots.(slot) with
-        | Some _ as b -> b
+        | Some b when obs_ok t b -> Some b
+        | Some _ ->
+            (* observability-stale: retranslate in place under the new
+               configuration.  The slot keeps its fifo entry and stays
+               counted in bb_live — only the translation is replaced. *)
+            let b = translate t r pc in
+            r.Machine.bslots.(slot) <- Some b;
+            stats.st_retrans <- stats.st_retrans + 1;
+            Some b
         | None ->
             let b = translate t r pc in
             r.Machine.bslots.(slot) <- Some b;
@@ -395,12 +485,16 @@ let lookup (t : Machine.t) pc : Machine.block option =
             enforce_cap t;
             Some b)
 
-let chain_get (b : Machine.block) gen pc =
+let chain_get (t : Machine.t) (b : Machine.block) gen pc =
   match b.Machine.bk_c1 with
-  | Some (p, tgt) when Int64.equal p pc && tgt.Machine.bk_gen = gen -> Some tgt
+  | Some (p, tgt) when Int64.equal p pc && tgt.Machine.bk_gen = gen && obs_ok t tgt
+    ->
+      Some tgt
   | _ -> (
       match b.Machine.bk_c2 with
-      | Some (p, tgt) when Int64.equal p pc && tgt.Machine.bk_gen = gen -> Some tgt
+      | Some (p, tgt)
+        when Int64.equal p pc && tgt.Machine.bk_gen = gen && obs_ok t tgt ->
+          Some tgt
       | _ -> None)
 
 let chain_put (b : Machine.block) pc tgt =
@@ -410,21 +504,29 @@ let chain_put (b : Machine.block) pc tgt =
     | Some (p, _) when Int64.equal p pc -> b.Machine.bk_c1 <- Some (pc, tgt)
     | Some _ -> b.Machine.bk_c2 <- Some (pc, tgt)
 
-(* Per-instruction visibility needed: run precisely so trace hooks, the
-   sampling timer and HPM event counting observe every retirement. *)
-let observable (t : Machine.t) =
-  t.Machine.trace <> None
-  || Int64.compare t.Machine.timer_period 0L > 0
-  || t.Machine.hpm_active
+(* Could the sampling timer's deadline fall inside this block?  The
+   body's cycle total is precomputed, and retire-time cycle counts only
+   grow, so [cycles + bk_cycles < deadline] proves no body retirement
+   can cross the deadline; the terminator retires through
+   [Machine.retire], which performs the precise check itself.  When the
+   deadline could fall inside, dispatch steps precisely instead, so the
+   firing instruction is exact. *)
+let timer_due (t : Machine.t) (b : Machine.block) =
+  Int64.compare t.Machine.timer_period 0L > 0
+  && Int64.compare
+       (Int64.add t.Machine.cycles (Int64.of_int b.Machine.bk_cycles))
+       t.Machine.timer_deadline
+     >= 0
 
 (* Execute one translated block: the body closures, one retire add for
-   the whole body, then the terminator with the interpreter's own
-   exec_op/retire (which may raise Stopped).  A pre-decoded terminator
-   skips the fetch; this is exact because dispatch only reaches here on
-   the non-observable path (no trace hook to call), stale decode-slot
-   semantics under self-modification match the interpreter's (both
-   invalidate only on flush_icache), and [Machine.retire] performs the
-   same HPM/cost/timer accounting the interpreter does. *)
+   the whole body (instret, cycles and — when selectors were armed at
+   translation — the precomputed HPM delta), then the terminator with
+   the interpreter's own exec_op/retire (which may raise Stopped).  A
+   pre-decoded terminator skips the fetch but still calls the live
+   trace hook; stale decode-slot semantics under self-modification
+   match the interpreter's (both invalidate only on flush_icache), and
+   [Machine.retire] performs the same HPM/cost/timer accounting the
+   interpreter does. *)
 let exec_block (t : Machine.t) (b : Machine.block) =
   b.Machine.bk_hot <- true;
   let ops = b.Machine.bk_ops in
@@ -433,10 +535,19 @@ let exec_block (t : Machine.t) (b : Machine.block) =
   done;
   t.Machine.instret <- Int64.add t.Machine.instret (Int64.of_int b.Machine.bk_ninsns);
   t.Machine.cycles <- Int64.add t.Machine.cycles (Int64.of_int b.Machine.bk_cycles);
+  (match b.Machine.bk_hpm_delta with
+  | None -> ()
+  | Some d ->
+      for j = 0 to Machine.n_hpm_counters - 1 do
+        t.Machine.hpm.(j) <- Int64.add t.Machine.hpm.(j) d.(j)
+      done);
   t.Machine.pc <- b.Machine.bk_term_pc;
   match b.Machine.bk_term with
   | None -> Machine.exec_step t
   | Some i ->
+      (match t.Machine.trace with
+      | Some f -> f b.Machine.bk_term_pc i
+      | None -> ());
       let next_pc, taken = Machine.exec_op t i ~pc:b.Machine.bk_term_pc in
       t.Machine.pc <- next_pc;
       Machine.retire t i ~taken
@@ -444,18 +555,12 @@ let exec_block (t : Machine.t) (b : Machine.block) =
 let run ?(max_steps = max_int) (t : Machine.t) : Machine.stop =
   let rec go steps (prev : Machine.block option) =
     if steps >= max_steps then Machine.Limit
-    else if observable t then begin
-      (* degraded per-instruction mode *)
-      Machine.exec_step t;
-      stats.st_degraded <- stats.st_degraded + 1;
-      go (steps + 1) None
-    end
     else
       let pc = t.Machine.pc in
       let b =
         match prev with
         | Some p -> (
-            match chain_get p t.Machine.icache_gen pc with
+            match chain_get t p t.Machine.icache_gen pc with
             | Some _ as hit ->
                 stats.st_chain_hits <- stats.st_chain_hits + 1;
                 hit
@@ -466,13 +571,23 @@ let run ?(max_steps = max_int) (t : Machine.t) : Machine.stop =
         | None -> lookup t pc
       in
       match b with
-      | Some b when steps + b.Machine.bk_ninsns + 1 <= max_steps ->
+      | Some b
+        when steps + b.Machine.bk_ninsns + 1 <= max_steps && not (timer_due t b)
+        ->
           exec_block t b;
           stats.st_blocks <- stats.st_blocks + 1;
           go (steps + b.Machine.bk_ninsns + 1) (Some b)
-      | _ ->
-          (* unregistered pc, misaligned pc, or not enough budget left
-             for a whole block: fall back to one precise step *)
+      | Some b ->
+          (* timer deadline inside the block, or not enough budget left
+             for a whole block: one precise step, then re-dispatch (a
+             mid-block pc translates its own tail block) *)
+          if timer_due t b then
+            stats.st_timer_steps <- stats.st_timer_steps + 1
+          else stats.st_singles <- stats.st_singles + 1;
+          Machine.exec_step t;
+          go (steps + 1) None
+      | None ->
+          (* unregistered or misaligned pc: fall back to one precise step *)
           Machine.exec_step t;
           stats.st_singles <- stats.st_singles + 1;
           go (steps + 1) None

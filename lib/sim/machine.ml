@@ -49,6 +49,8 @@ and t = {
   hpm : int64 array; (* mhpmcounter3..9 values *)
   hpm_event : Cost.event array; (* per-counter selectors (mhpmevent3..9) *)
   mutable hpm_active : bool; (* any selector non-off: count on retire *)
+  mutable hpm_sig : int; (* packed selector signature; part of the block
+                            engine's observability cache key *)
   mutable reservation : int64 option;
   mutable code_regions : region array; (* sorted by r_base, disjoint *)
   mutable last_region : region option;
@@ -72,7 +74,14 @@ and t = {
 (* A translated straight-line run of instructions: the body as pre-bound
    micro-op closures, retired with one instret/cycles add, ending just
    before a control-flow/system terminator that executes through the
-   precise interpreter. *)
+   precise interpreter.
+
+   Observability is fused at translation time: an installed trace hook
+   is pre-bound into each body micro-op, and active HPM selectors are
+   folded into a precomputed per-counter body delta.  [bk_trace] and
+   [bk_hpm_sig] record the configuration the block was compiled under —
+   the engine's observability cache key; a block whose key no longer
+   matches the machine is retranslated in place on its next dispatch. *)
 and block = {
   bk_pc : int64; (* first body instruction *)
   bk_term_pc : int64; (* the terminator (= bk_pc when the body is empty) *)
@@ -81,6 +90,9 @@ and block = {
   bk_cycles : int; (* precomputed cost-model total of the body *)
   bk_ops : (t -> unit) array;
   bk_gen : int; (* icache_gen at translation; mismatch = stale *)
+  bk_trace : (int64 -> Insn.t -> unit) option; (* hook fused into bk_ops *)
+  bk_hpm_sig : int; (* hpm_sig at translation; mismatch = stale *)
+  bk_hpm_delta : int64 array option; (* body HPM deltas, None = hpm off *)
   bk_chainable : bool; (* false for indirect-jump terminators *)
   mutable bk_c1 : (int64 * block) option; (* tail-to-head chain slots: *)
   mutable bk_c2 : (int64 * block) option; (* successor pc -> block *)
@@ -100,6 +112,7 @@ let create ?(model = Cost.p550) () =
     hpm = Array.make n_hpm_counters 0L;
     hpm_event = Array.make n_hpm_counters Cost.Ev_off;
     hpm_active = false;
+    hpm_sig = 0;
     reservation = None;
     code_regions = [||];
     last_region = None;
@@ -268,7 +281,13 @@ let csr_read t csr =
               | None -> raise (Illegal_csr csr))))
 
 let refresh_hpm_active t =
-  t.hpm_active <- Array.exists (fun e -> e <> Cost.Ev_off) t.hpm_event
+  t.hpm_active <- Array.exists (fun e -> e <> Cost.Ev_off) t.hpm_event;
+  (* Pack the seven selectors into one comparable int (selectors are
+     0..6, so base 8 is lossless).  Blocks record the signature they
+     were translated under; a mismatch marks them observability-stale. *)
+  let s = ref 0 in
+  Array.iter (fun e -> s := (!s * 8) + Cost.selector_of_event e) t.hpm_event;
+  t.hpm_sig <- !s
 
 let csr_write t csr v =
   match csr with

@@ -9,8 +9,9 @@
     Execution has two engines: the precise per-instruction interpreter
     ({!step}, {!run_interp}) and the superblock engine (Bbcache), which
     {!run} dispatches to by default.  Both retire identical
-    architectural state, cycles, instret, HPM counts and timer firings;
-    rvcheck's engine mode diffs them. *)
+    architectural state, cycles, instret, HPM counts, trace-hook calls
+    and timer firings (the block engine fuses observability into its
+    translations); rvcheck's engine mode diffs them. *)
 
 (** Why execution stopped. *)
 type stop =
@@ -46,6 +47,9 @@ and t = {
   hpm : int64 array;  (** mhpmcounter3..9 values *)
   hpm_event : Cost.event array;  (** per-counter selectors (mhpmevent3..9) *)
   mutable hpm_active : bool;
+  mutable hpm_sig : int;
+      (** packed selector signature; part of the block engine's
+          observability cache key *)
   mutable reservation : int64 option;  (** LR/SC reservation *)
   mutable code_regions : region array;  (** base-sorted, disjoint *)
   mutable last_region : region option;
@@ -77,6 +81,12 @@ and block = {
   bk_cycles : int;
   bk_ops : (t -> unit) array;
   bk_gen : int;  (** icache_gen at translation; mismatch = stale *)
+  bk_trace : (int64 -> Riscv.Insn.t -> unit) option;
+      (** the trace hook fused into [bk_ops] ([None] = untraced build);
+          compared by physical equality against the machine's hook *)
+  bk_hpm_sig : int;  (** hpm_sig at translation; mismatch = stale *)
+  bk_hpm_delta : int64 array option;
+      (** precomputed body HPM deltas, [None] when no selector was armed *)
   bk_chainable : bool;
   mutable bk_c1 : (int64 * block) option;
   mutable bk_c2 : (int64 * block) option;

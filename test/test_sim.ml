@@ -655,6 +655,146 @@ let test_engine_limit_parity () =
     check64 "a0 parity" a1 a2
   done
 
+let test_reset_stats_preserves_flushes () =
+  (* regression: reset_stats used to zero the process-wide flush
+     counter, erasing icache-flush history shared with the rest of the
+     stack; it must snapshot a baseline instead *)
+  let m = Machine.create () in
+  ignore (Machine.add_code_region m ~base:0x4000L ~size:0x100);
+  let before = !Machine.flush_counter in
+  Machine.flush_icache m;
+  Alcotest.(check int) "global counter advanced" (before + 1)
+    !Machine.flush_counter;
+  Bbcache.reset_stats ();
+  Alcotest.(check int) "reset preserves global history" (before + 1)
+    !Machine.flush_counter;
+  Alcotest.(check int) "window restarts at zero" 0 (Bbcache.flushes ());
+  Machine.flush_icache m;
+  Alcotest.(check int) "window counts new flushes" 1 (Bbcache.flushes ())
+
+let test_timer_midblock_parity () =
+  (* a timer whose deadline falls inside translated blocks: the block
+     engine must roll back to precise stepping across each firing, so
+     firing cycles, final state and retire counts all match the
+     interpreter exactly *)
+  let open Asm in
+  let items =
+    [
+      Insn (Build.addi Reg.a0 Reg.zero 0);
+      Insn (Build.addi Reg.t0 Reg.zero 1);
+      Label "loop";
+      Insn (Build.add Reg.a0 Reg.a0 Reg.t0);
+      Insn (Build.addi Reg.t0 Reg.t0 1);
+      Insn (Build.slti Reg.t1 Reg.t0 51);
+      Br (Op.BNE, Reg.t1, Reg.zero, "loop");
+    ]
+    @ exit_with_a0
+  in
+  let observe engine =
+    let p, _ = build_process items in
+    let m = p.Loader.machine in
+    m.Machine.engine <- engine;
+    let fires = ref [] in
+    Machine.set_timer m ~period:37L (fun m ->
+        fires := m.Machine.cycles :: !fires);
+    let stop, _ = Loader.run p in
+    (exit_code stop, List.rev !fires, m.Machine.cycles, m.Machine.instret)
+  in
+  Bbcache.reset_stats ();
+  let c2, f2, cy2, i2 = observe Machine.Eng_block in
+  let c1, f1, cy1, i1 = observe Machine.Eng_interp in
+  Alcotest.(check int) "exit parity" c1 c2;
+  Alcotest.(check (list int64)) "firing cycles parity" f1 f2;
+  check64 "cycle parity" cy1 cy2;
+  check64 "instret parity" i1 i2;
+  Alcotest.(check bool) "timer actually fired mid-run" true (List.length f1 > 2);
+  Alcotest.(check bool)
+    "block engine rolled back to precise steps" true
+    (Bbcache.stats.Bbcache.st_timer_steps > 0);
+  Alcotest.(check int) "no degraded mode" 0 Bbcache.stats.Bbcache.st_degraded
+
+let test_hpm_toggle_retranslates () =
+  (* the code cache is keyed on the observability configuration:
+     toggling an HPM selector between runs over the same (still cached)
+     code must retranslate the affected blocks in place — no stale
+     counts, no global flush — and agree with the interpreter *)
+  let open Asm in
+  let items =
+    [
+      Insn (Build.addi Reg.t0 Reg.zero 0);
+      Label "loop";
+      Insn (Build.addi Reg.t0 Reg.t0 1);
+      Insn (Build.slti Reg.t1 Reg.t0 20);
+      Br (Op.BNE, Reg.t1, Reg.zero, "loop");
+      Insn Build.ebreak;
+    ]
+  in
+  let r = Asm.assemble ~base:text_base items in
+  let phases engine =
+    let m = Machine.create () in
+    ignore
+      (Machine.add_code_region m ~base:text_base
+         ~size:(Bytes.length r.Asm.code));
+    Mem.write_bytes m.Machine.mem text_base r.Asm.code;
+    m.Machine.engine <- engine;
+    let run_phase () =
+      m.Machine.pc <- text_base;
+      m.Machine.regs.(5) <- 0L;
+      match Machine.run m with
+      | Machine.Ebreak _ -> ()
+      | s -> Alcotest.failf "expected ebreak, got %a" Machine.pp_stop s
+    in
+    run_phase () (* phase 1: selectors off *);
+    let h0 = Array.copy m.Machine.hpm in
+    Machine.csr_write m 0x323 1L (* mhpmevent3 <- branch *);
+    run_phase () (* phase 2: branch counting, over cached code *);
+    let h1 = Array.copy m.Machine.hpm in
+    Machine.csr_write m 0x323 0L;
+    run_phase () (* phase 3: off again — counter must freeze *);
+    let h2 = Array.copy m.Machine.hpm in
+    (h0, h1, h2)
+  in
+  Bbcache.reset_stats ();
+  let b0, b1, b2 = phases Machine.Eng_block in
+  let retrans = Bbcache.stats.Bbcache.st_retrans in
+  let flushes = Bbcache.flushes () in
+  let a0, a1, a2 = phases Machine.Eng_interp in
+  List.iter2
+    (fun (name, a) b ->
+      Alcotest.(check (array int64)) (name ^ " hpm parity") a b)
+    [ ("phase-1", a0); ("phase-2", a1); ("phase-3", a2) ]
+    [ b0; b1; b2 ];
+  Alcotest.(check bool) "phase 2 counted branches" true (b1.(0) > b0.(0));
+  Alcotest.(check int64) "phase 3 froze the counter" b1.(0) b2.(0);
+  Alcotest.(check bool) "blocks were retranslated in place" true (retrans > 0);
+  Alcotest.(check int) "no global flush involved" 0 flushes;
+  Alcotest.(check int) "no degraded mode" 0 Bbcache.stats.Bbcache.st_degraded
+
+let test_traced_selfmod_fence_i () =
+  (* FENCE.I inside a traced block: the fused translations are
+     invalidated by the flush and rebuilt with the hook still bound, so
+     the patched code executes, the hook sees every instruction, and
+     nothing falls back to degraded mode *)
+  let observe engine =
+    let p, _ = build_process selfmod_chain_items in
+    let m = p.Loader.machine in
+    m.Machine.engine <- engine;
+    let count = ref 0 in
+    m.Machine.trace <- Some (fun _ _ -> incr count);
+    let stop, _ = Loader.run p in
+    (exit_code stop, !count)
+  in
+  Bbcache.reset_stats ();
+  let c2, n2 = observe Machine.Eng_block in
+  Alcotest.(check int) "no degraded mode" 0 Bbcache.stats.Bbcache.st_degraded;
+  Alcotest.(check bool)
+    "fast path actually ran blocks" true
+    (Bbcache.stats.Bbcache.st_blocks > 0);
+  let c1, n1 = observe Machine.Eng_interp in
+  Alcotest.(check int) "patched result (block engine)" 21 c2;
+  Alcotest.(check int) "patched result (interpreter)" 21 c1;
+  Alcotest.(check int) "trace hook call parity" n1 n2
+
 let () =
   Alcotest.run "sim"
     [
@@ -712,5 +852,13 @@ let () =
           Alcotest.test_case "self-modification through a chain" `Quick
             test_selfmod_chained_blocks;
           Alcotest.test_case "step-budget parity" `Quick test_engine_limit_parity;
+          Alcotest.test_case "reset_stats preserves flush history" `Quick
+            test_reset_stats_preserves_flushes;
+          Alcotest.test_case "timer mid-block parity" `Quick
+            test_timer_midblock_parity;
+          Alcotest.test_case "hpm toggle retranslates" `Quick
+            test_hpm_toggle_retranslates;
+          Alcotest.test_case "traced self-modification + fence.i" `Quick
+            test_traced_selfmod_fence_i;
         ] );
     ]
