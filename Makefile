@@ -4,16 +4,22 @@
 #   test         run the full unit/integration suite
 #   fmt          check dune-file formatting (no ocamlformat dependency)
 #   bench-smoke  reduced-iteration bench (exercises the instrumentation,
-#                tracing, profiling and sim-throughput paths; writes
-#                *.smoke.json only).  Gates hard: the sim section fails
-#                on trace-off/trace-on speedup bars, any degraded insn
-#                under tracing, or an engine-differential divergence
+#                tracing, profiling, sim-throughput, parallel-parse and
+#                served paths; writes *.smoke.json only).  Gates hard:
+#                the sim section fails on trace-off/trace-on speedup
+#                bars, any degraded insn under tracing, or an
+#                engine-differential divergence; the parse section
+#                fails below a 1.5x largest-corpus speedup over the
+#                sequential reference parser or on any CFG difference
 
 #   fuzz-smoke   fixed-seed differential fuzz: rvsim vs the Sail IR in
 #                lockstep, the exhaustive RVC decoder sweep, the rewrite
-#                round-trip on two mutatees, and the superblock-engine vs
-#                interpreter differential.  Deterministic and sub-second;
-#                prints an `rvcheck replay --seed N --index K`
+#                round-trip on two mutatees, the superblock-engine vs
+#                interpreter differential, and the parallel-parser CFG
+#                differential (minicc mutatees vs the sequential
+#                reference, adversarial fuzz streams vs domains=1, at
+#                1/2/4/8 oversubscribed domains).  Deterministic and
+#                fast; prints an `rvcheck replay --seed N --index K`
 #                reproducer line on any divergence
 #   lint-smoke   static safety net: lint + instrument + rewrite + verify
 #                every built-in mutatee; fails on any error-severity
@@ -25,7 +31,9 @@
 #                serve-smoke + bench-smoke — what CI and the PR driver
 #                run
 #   bench        regenerate the evaluation tables, BENCH_trace.json,
-#                BENCH_prof.json, BENCH_sim.json and BENCH_served.json
+#                BENCH_prof.json, BENCH_sim.json, BENCH_parse.json and
+#                BENCH_served.json.  The parse section gates hard on a
+#                2.5x largest-corpus speedup and zero CFG differences
 
 .PHONY: all build test fmt check bench bench-smoke fuzz-smoke lint-smoke \
 	serve-smoke clean

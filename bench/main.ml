@@ -428,33 +428,131 @@ int f%d(int x) {
   Buffer.add_string b "int main() { return f0(3); }\n";
   Buffer.contents b
 
-let parse_speed () =
-  print_endline "\n== ParseAPI speed (synthetic corpus; paper 2's parallel parsing) ==";
-  List.iter
-    (fun n ->
-      let img = (Minicc.Driver.compile (synthetic_source n)).Minicc.Driver.image in
-      let st = Symtab.of_image img in
-      let time domains =
+(* Parse MIPS (millions of instructions parsed per wall-clock second)
+   for the domain-parallel engine against the frozen sequential
+   reference parser, over synthetic minicc corpora.  Both numbers only
+   count if the CFGs are structurally identical: reference vs 1 domain,
+   reference vs N domains, and 1 vs N domains must all diff empty.
+   The speedup on the largest corpus and the zero-difference identity
+   are hard gates (the bench fails, and `make bench-smoke` /
+   `make check` with it, on violation).  On a single-core host the win
+   is algorithmic — the engine's binary-search decode cache and
+   incremental predecessor index against the reference's linear scans —
+   while the N-domain run still drives the work-stealing fan-out end to
+   end (task and steal counts land in the Dyn_obs registry). *)
+let parse_bench ?(smoke = false) ?(json = "BENCH_parse.json") () =
+  print_endline "\n== ParseAPI: parallel parse vs sequential reference ==";
+  let sizes = if smoke then [ 100; 400 ] else [ 400; 2000; 8000 ] in
+  let repeats = if smoke then 3 else 5 in
+  let bar = if smoke then 1.5 else 2.5 in
+  let nd = max 2 (Domain.recommended_domain_count ()) in
+  (* best-of-[repeats]: parsing is deterministic, so the minimum is the
+     least-noisy estimate of the true cost *)
+  let best f =
+    let cfg = f () in
+    let rec go k acc =
+      if k = 0 then acc
+      else begin
         let t0 = Unix.gettimeofday () in
-        let cfg = Parse_api.Parser.parse ~domains st in
-        (Unix.gettimeofday () -. t0, Parse_api.Cfg.n_blocks cfg)
-      in
-      let dt1, blocks = time 1 in
-      let dt4, blocks4 = time 4 in
-      assert (blocks = blocks4);
-      let code_bytes =
-        List.fold_left
-          (fun acc (r : Symtab.region) -> acc + r.Symtab.rg_size)
-          0
-          (Symtab.code_regions st)
-      in
-      Printf.printf
-        "   %4d funcs, %7d code bytes: 1 domain %6.1f ms | 4 domains %6.1f ms (%d blocks)\n"
-        n code_bytes (dt1 *. 1000.0) (dt4 *. 1000.0) blocks)
-    [ 10; 100; 400 ];
-  print_endline
-    "   (parallel pre-decode pays domain-spawn overhead; it wins only on\n\
-    \   much larger binaries -- the paper's gigabyte-scale corpora)"
+        ignore (f ());
+        let dt = Unix.gettimeofday () -. t0 in
+        go (k - 1) (Float.min acc dt)
+      end
+    in
+    (go repeats infinity, cfg)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let img =
+          (Minicc.Driver.compile (synthetic_source n)).Minicc.Driver.image
+        in
+        let st = Symtab.of_image img in
+        let t_ref, ref_cfg = best (fun () -> Parse_api.Refparser.parse st) in
+        let t_1, cfg_1 = best (fun () -> Parse_api.Parser.parse ~domains:1 st) in
+        let t_n, cfg_n =
+          best (fun () -> Parse_api.Parser.parse ~domains:nd st)
+        in
+        (* untimed: force true [nd]-worker fan-out even where the
+           engine's scheduling policy would clamp to the core count, so
+           the identity gate always covers a genuinely parallel parse *)
+        let cfg_os = Parse_api.Parser.parse ~domains:nd ~oversubscribe:true st in
+        let insns =
+          Array.fold_left
+            (fun acc (b : Parse_api.Cfg.block) ->
+              acc + List.length b.Parse_api.Cfg.b_insns)
+            0 ref_cfg.Parse_api.Cfg.blocks_sorted
+        in
+        let diffs =
+          List.length (Parse_api.Cfg_diff.diff ref_cfg cfg_1)
+          + List.length (Parse_api.Cfg_diff.diff ref_cfg cfg_n)
+          + List.length (Parse_api.Cfg_diff.diff cfg_1 cfg_n)
+          + List.length (Parse_api.Cfg_diff.diff ref_cfg cfg_os)
+        in
+        let mips t = float_of_int insns /. 1e6 /. t in
+        Printf.printf
+          "   %5d funcs %6d blocks %7d insns | seq ref %7.1f ms %5.2f MIPS | \
+           1 dom %7.1f ms | %d dom %7.1f ms %5.2f MIPS | %5.2fx | %d diffs\n"
+          n
+          (Parse_api.Cfg.n_blocks ref_cfg)
+          insns (t_ref *. 1e3) (mips t_ref) (t_1 *. 1e3) nd (t_n *. 1e3)
+          (mips t_n) (t_ref /. t_n) diffs;
+        (n, insns, t_ref, t_1, t_n, diffs))
+      sizes
+  in
+  let reg_count name =
+    match Dyn_obs.Registry.find name with
+    | Some { Dyn_obs.Registry.r_value = Dyn_obs.Registry.Counter_v v; _ } -> v
+    | _ -> 0
+  in
+  Printf.printf "   scheduler: %d parse tasks, %d steals, %d rounds\n"
+    (reg_count "parse.tasks") (reg_count "parse.steals")
+    (reg_count "parse.rounds");
+  let _, _, t_ref, _, t_n, _ = List.nth rows (List.length rows - 1) in
+  let speedup = t_ref /. t_n in
+  let total_diffs = List.fold_left (fun a (_, _, _, _, _, d) -> a + d) 0 rows in
+  let speed_ok = speedup >= bar and ident_ok = total_diffs = 0 in
+  Printf.printf "   largest-corpus speedup vs seq ref >= %.1fx: %s (%.2fx)\n"
+    bar
+    (if speed_ok then "ok" else "VIOLATED")
+    speedup;
+  Printf.printf "   CFG identity (ref vs 1 vs %d domains): %s (%d differences)\n"
+    nd
+    (if ident_ok then "ok" else "VIOLATED")
+    total_diffs;
+  let oc = open_out json in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"speedup_bar\": %.1f,\n" nd bar;
+  Printf.fprintf oc "  \"corpora\": [\n";
+  List.iteri
+    (fun i (n, insns, t_ref, t_1, t_n, diffs) ->
+      Printf.fprintf oc
+        "    {\"funcs\": %d, \"insns\": %d, \"seq_ref_ms\": %.3f, \
+         \"domains1_ms\": %.3f, \"domainsN_ms\": %.3f, \"seq_ref_mips\": \
+         %.2f, \"domainsN_mips\": %.2f, \"speedup_vs_seq\": %.2f, \
+         \"cfg_diffs\": %d}%s\n"
+        n insns (t_ref *. 1e3) (t_1 *. 1e3) (t_n *. 1e3)
+        (float_of_int insns /. 1e6 /. t_ref)
+        (float_of_int insns /. 1e6 /. t_n)
+        (t_ref /. t_n) diffs
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"parse_tasks\": %d,\n  \"parse_steals\": %d,\n  \"speedup_vs_seq\": \
+     %.2f,\n  \"speedup_ok\": %b,\n  \"cfg_identity_ok\": %b\n}\n"
+    (reg_count "parse.tasks") (reg_count "parse.steals") speedup speed_ok
+    ident_ok;
+  close_out oc;
+  Printf.printf "   wrote %s\n" json;
+  if not ident_ok then
+    Printf.ksprintf failwith
+      "parse gate: %d CFG differences between the reference and the parallel \
+       parser"
+      total_diffs;
+  if not speed_ok then
+    Printf.ksprintf failwith
+      "parse gate: largest-corpus speedup %.2fx below the %.1fx bar" speedup
+      bar
 
 (* ------------------------------------------------------------------ *)
 (* Figures 1 & 2 are architecture diagrams: exercised behaviourally      *)
@@ -746,6 +844,7 @@ let () =
     prof_overhead ~smoke:true ~json:"BENCH_prof.smoke.json" ();
     lockstep_throughput ~count:4_000 ();
     sim_throughput ~smoke:true ~json:"BENCH_sim.smoke.json" ();
+    parse_bench ~smoke:true ~json:"BENCH_parse.smoke.json" ();
     Served.bench ~smoke:true ~json:"BENCH_served.smoke.json" ();
     print_endline "\nbench: smoke done"
   end
@@ -755,6 +854,9 @@ let () =
   else if flag "--sim" then
     (* full-config sim-throughput section alone (rewrites BENCH_sim.json) *)
     sim_throughput ()
+  else if flag "--parse" then
+    (* full-config parallel-parse section alone (rewrites BENCH_parse.json) *)
+    parse_bench ()
   else begin
     table_4_3 ();
     trace_overhead ();
@@ -763,7 +865,7 @@ let () =
     ablation_dead_regs ();
     ablation_cisc_flags ();
     ablation_jump_strategies ();
-    parse_speed ();
+    parse_bench ();
     figure_flows ();
     figure_components ();
     lockstep_throughput ();

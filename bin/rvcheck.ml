@@ -16,6 +16,12 @@
          run the same mutatees under the per-instruction interpreter and
          the superblock engine and diff final registers, memory, cycles,
          instret, HPM counters and timer firing points
+     rvcheck parsediff --seeds 20
+         parse the same mutatees with the domain-parallel engine at
+         1/2/4/8 domains and diff the CFGs structurally: minicc builtins
+         against the frozen sequential reference parser, seeded
+         adversarial instruction streams against the engine's own
+         single-domain parse — any difference is a determinism bug
      rvcheck smoke
          the bounded fixed-seed sweep `make fuzz-smoke` runs in CI      *)
 
@@ -99,14 +105,40 @@ let run_engine mutatees seeds len verbose =
   pr "%a" Enginediff.pp_summary s;
   if s.Enginediff.s_diverged = 0 then 0 else 1
 
-(* The CI profile: fixed seed, bounded, sub-second; covers all four
-   harness legs so `make fuzz-smoke` exercises everything. *)
+let run_parsediff mutatees seeds verbose =
+  let mutatees =
+    match mutatees with [] | [ "all" ] -> Parsediff.builtin_names | ms -> ms
+  in
+  let bad =
+    List.filter (fun n -> not (List.mem n Parsediff.builtin_names)) mutatees
+  in
+  if bad <> [] then begin
+    Printf.eprintf "rvcheck: unknown mutatee(s) %s (expected %s)\n"
+      (String.concat ", " bad)
+      (String.concat ", " Parsediff.builtin_names);
+    exit 2
+  end;
+  let s = Parsediff.sweep ~mutatees ~seeds () in
+  if verbose then
+    List.iter
+      (fun name ->
+        List.iter
+          (fun r -> pr "%a" Parsediff.pp_result r)
+          (Parsediff.check_builtin name))
+      mutatees;
+  pr "%a" Parsediff.pp_summary s;
+  if s.Parsediff.s_diverged = 0 then 0 else 1
+
+(* The CI profile: fixed seed, bounded, sub-second; covers all five
+   harness legs so `make fuzz-smoke` exercises everything — including
+   the parallel-parser CFG-identity gate. *)
 let run_smoke () =
   let rc1 = run_lockstep 1L 4000 false in
   let rc2 = run_decoder () in
   let rc3 = run_roundtrip [ "fib"; "calls" ] in
   let rc4 = run_engine [ "fib"; "calls" ] 10 40 false in
-  if rc1 + rc2 + rc3 + rc4 = 0 then begin
+  let rc5 = run_parsediff [ "all" ] 5 false in
+  if rc1 + rc2 + rc3 + rc4 + rc5 = 0 then begin
     pr "fuzz-smoke: ok@.";
     0
   end
@@ -173,6 +205,17 @@ let engine_cmd =
     (Cmd.info "engine" ~doc:"superblock engine vs interpreter differential")
     Term.(const run_engine $ mutatee_arg $ seeds_arg $ len_arg $ verbose_arg)
 
+let parsediff_seeds_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "seeds" ] ~docv:"N" ~doc:"seeded adversarial mutatees to parse")
+
+let parsediff_cmd =
+  Cmd.v
+    (Cmd.info "parsediff"
+       ~doc:"parallel parser vs sequential reference CFG differential")
+    Term.(const run_parsediff $ mutatee_arg $ parsediff_seeds_arg $ verbose_arg)
+
 let smoke_cmd =
   Cmd.v
     (Cmd.info "smoke" ~doc:"bounded fixed-seed sweep for CI")
@@ -182,6 +225,14 @@ let cmd =
   Cmd.group
     (Cmd.info "rvcheck"
        ~doc:"differential correctness harness (rvsim vs Sail IR, rewrite round trip)")
-    [ lockstep_cmd; replay_cmd; decoder_cmd; roundtrip_cmd; engine_cmd; smoke_cmd ]
+    [
+      lockstep_cmd;
+      replay_cmd;
+      decoder_cmd;
+      roundtrip_cmd;
+      engine_cmd;
+      parsediff_cmd;
+      smoke_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

@@ -3,6 +3,7 @@
    loops.
 
      dune exec bin/rvdump.exe -- <file.elf> [--cfg] [--no-disasm] [--json]
+                                 [--domains N]
 
    Exits 2 (with a diagnostic on stderr) if the binary cannot be read or
    parsed; --json emits a machine-readable dump that CI can diff.       *)
@@ -13,11 +14,11 @@ module J = Dyn_util.Jsonw
 (* the JSON dump itself lives in Parse_api.Summary, shared with the
    rvserved `parse` action so both render identical artifacts *)
 
-let dump path show_cfg no_disasm json =
+let dump path show_cfg no_disasm json domains =
   match
     try
       let st = Symtab.of_file path in
-      let cfg = Parse_api.Parser.parse st in
+      let cfg = Parse_api.Parser.parse ~domains st in
       Ok (st, cfg)
     with e -> Error (Printexc.to_string e)
   with
@@ -82,9 +83,18 @@ let no_disasm_flag =
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON dump (for CI diffing)")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"parse CFGs across $(docv) domains (default: available cores)")
+
 let cmd =
   Cmd.v
     (Cmd.info "rvdump" ~doc:"inspect a RISC-V binary with the Dyninst toolkits")
-    Term.(const dump $ path_arg $ cfg_flag $ no_disasm_flag $ json_flag)
+    Term.(
+      const dump $ path_arg $ cfg_flag $ no_disasm_flag $ json_flag
+      $ domains_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -28,8 +28,11 @@ let run_rules () =
   pr "%a" Rules.pp_catalog ();
   0
 
-let run_lint file json =
-  match (try Ok (Core.open_file file) with e -> Error (Printexc.to_string e)) with
+let run_lint file json domains =
+  match
+    try Ok (Core.open_file ~domains file)
+    with e -> Error (Printexc.to_string e)
+  with
   | Error e ->
       Printf.eprintf "rvlint: %s: %s\n" file e;
       2
@@ -136,6 +139,13 @@ let run_smoke () =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON output")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"parse CFGs across $(docv) domains (default: available cores)")
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"BIN" ~doc:"binary to lint")
 
@@ -163,7 +173,7 @@ let rules_cmd =
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc:"report instrumentation hazards in a binary")
-    Term.(const run_lint $ file_arg $ json_arg)
+    Term.(const run_lint $ file_arg $ json_arg $ domains_arg)
 
 let verify_cmd =
   Cmd.v

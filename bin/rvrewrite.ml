@@ -8,14 +8,14 @@
 open Cmdliner
 
 let rewrite input output entries blocks exits verbose stats trace_out
-    manifest_out =
+    manifest_out domains =
   if stats then Dyn_util.Stats.enable ();
   if trace_out <> None then begin
     (* span tracing rides on the Stats spans, so enable both *)
     Dyn_util.Stats.enable ();
     Dyn_obs.Trace.set_enabled true
   end;
-  let binary = Core.open_file input in
+  let binary = Core.open_file ~domains input in
   let m = Core.create_mutator binary in
   let n = ref 0 in
   let counter_for tag name =
@@ -104,11 +104,19 @@ let manifest_arg =
     & info [ "manifest" ] ~docv:"M.json"
         ~doc:"write the patch manifest for rvlint verify")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"parse CFGs across $(docv) domains (default: available cores)")
+
 let cmd =
   Cmd.v
     (Cmd.info "rvrewrite" ~doc:"statically instrument a RISC-V binary")
     Term.(
       const rewrite $ input_arg $ output_arg $ entries_arg $ blocks_arg
-      $ exits_arg $ verbose_arg $ stats_arg $ trace_out_arg $ manifest_arg)
+      $ exits_arg $ verbose_arg $ stats_arg $ trace_out_arg $ manifest_arg
+      $ domains_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -22,15 +22,19 @@ type binary = { symtab : Symtab.t; cfg : Cfg.t }
 
 exception Not_found_error of string
 
-let open_image ?gap_parsing (img : Elfkit.Types.image) : binary =
+let open_image ?gap_parsing ?domains (img : Elfkit.Types.image) : binary =
   let symtab = Dyn_util.Stats.span "parse:symtab" (fun () -> Symtab.of_image img) in
   let cfg =
-    Dyn_util.Stats.span "parse:cfg" (fun () -> Parser.parse ?gap_parsing symtab)
+    Dyn_util.Stats.span "parse:cfg" (fun () ->
+        Parser.parse ?gap_parsing ?domains symtab)
   in
   { symtab; cfg }
 
-let open_bytes ?gap_parsing b = open_image ?gap_parsing (Elfkit.Read.read b)
-let open_file ?gap_parsing path = open_image ?gap_parsing (Elfkit.Read.of_file path)
+let open_bytes ?gap_parsing ?domains b =
+  open_image ?gap_parsing ?domains (Elfkit.Read.read b)
+
+let open_file ?gap_parsing ?domains path =
+  open_image ?gap_parsing ?domains (Elfkit.Read.of_file path)
 
 let image (b : binary) = b.symtab.Symtab.image
 let profile (b : binary) = Symtab.profile b.symtab

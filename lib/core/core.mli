@@ -21,14 +21,16 @@ exception Not_found_error of string
 
 (** [open_image img] runs symbol-table analysis and CFG construction on an
     in-memory ELF image.  [gap_parsing] (default [true]) controls the
-    speculative scan for functions unreachable from known entry points. *)
-val open_image : ?gap_parsing:bool -> Elfkit.Types.image -> binary
+    speculative scan for functions unreachable from known entry points;
+    [domains] (default 1) fans CFG construction across that many OCaml
+    domains (the result is identical for every value). *)
+val open_image : ?gap_parsing:bool -> ?domains:int -> Elfkit.Types.image -> binary
 
 (** [open_bytes b] parses ELF bytes and then behaves like {!open_image}. *)
-val open_bytes : ?gap_parsing:bool -> Bytes.t -> binary
+val open_bytes : ?gap_parsing:bool -> ?domains:int -> Bytes.t -> binary
 
 (** [open_file path] loads an ELF file from disk. *)
-val open_file : ?gap_parsing:bool -> string -> binary
+val open_file : ?gap_parsing:bool -> ?domains:int -> string -> binary
 
 (** The underlying ELF image (e.g. to [launch] it). *)
 val image : binary -> Elfkit.Types.image

@@ -3,7 +3,14 @@
    Edge kinds follow Dyninst's ParseAPI: calls and their fallthroughs are
    distinguished from intraprocedural edges so that instrumentation and
    dataflow can treat them differently, and tail calls are explicit
-   (paper §3.2.3). *)
+   (paper §3.2.3).
+
+   The container is build-then-freeze: during parsing only the [blocks]
+   hash table is authoritative (parsers keep their own interval
+   bookkeeping), and [freeze] computes the immutable read-side
+   snapshots — [blocks_sorted] for binary-searched containment queries,
+   [entries_sorted], and deterministic in-edge lists.  Consumers only
+   ever see frozen CFGs. *)
 
 module I64Set = Set.Make (Int64)
 
@@ -44,8 +51,8 @@ type func = {
 type t = {
   symtab : Symtab.t;
   blocks : (int64, block) Hashtbl.t; (* keyed by start address *)
-  mutable block_map : block Dyn_util.Interval_map.t; (* [start, end) -> block *)
   funcs : (int64, func) Hashtbl.t;
+  mutable blocks_sorted : block array; (* frozen: ascending b_start *)
   mutable entries_sorted : int64 array; (* known function entries, sorted *)
   jump_tables : (int64, Jump_table.table) Hashtbl.t;
       (* dispatch block start -> the recovered table *)
@@ -55,19 +62,57 @@ let create symtab =
   {
     symtab;
     blocks = Hashtbl.create 256;
-    block_map = Dyn_util.Interval_map.empty;
     funcs = Hashtbl.create 64;
+    blocks_sorted = [||];
     entries_sorted = [||];
     jump_tables = Hashtbl.create 8;
   }
 
 let block_at t addr = Hashtbl.find_opt t.blocks addr
 
-(* block containing [addr] (not necessarily at its start) *)
+(* Block containing [addr] (not necessarily at its start): binary search
+   over the frozen snapshot.  Blocks are disjoint, so the rightmost
+   block starting at or before [addr] is the only candidate. *)
 let block_containing t addr =
-  match Dyn_util.Interval_map.find_addr t.block_map addr with
-  | Some (_, _, b) -> Some b
-  | None -> None
+  let arr = t.blocks_sorted in
+  let n = Array.length arr in
+  let rec bsearch lo hi best =
+    if lo >= hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      if Int64.unsigned_compare arr.(mid).b_start addr <= 0 then
+        bsearch (mid + 1) hi (Some arr.(mid))
+      else bsearch lo mid best
+  in
+  match bsearch 0 n None with
+  | Some b when Int64.unsigned_compare addr b.b_end < 0 -> Some b
+  | _ -> None
+
+(* Freeze the read-side snapshots once building is done: the sorted
+   block array behind {!block_containing}, the sorted entry array, and
+   the in-edge lists.  In-edges are rebuilt in ascending source-block
+   order (edge order within a block preserved), so the frozen CFG is
+   identical no matter what order blocks were registered in. *)
+let freeze t ~entries =
+  let bl = Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks [] in
+  let arr = Array.of_list bl in
+  Array.sort (fun a b -> Int64.unsigned_compare a.b_start b.b_start) arr;
+  t.blocks_sorted <- arr;
+  t.entries_sorted <- entries;
+  Array.iter (fun b -> b.b_in <- []) arr;
+  Array.iter
+    (fun (b : block) ->
+      List.iter
+        (fun e ->
+          match e.e_dst with
+          | T_addr a -> (
+              match block_at t a with
+              | Some dst -> dst.b_in <- e :: dst.b_in
+              | None -> ())
+          | T_unknown -> ())
+        b.b_out)
+    arr;
+  Array.iter (fun b -> b.b_in <- List.rev b.b_in) arr
 
 let func_at t entry = Hashtbl.find_opt t.funcs entry
 

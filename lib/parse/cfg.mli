@@ -45,8 +45,9 @@ type func = {
 type t = {
   symtab : Symtab.t;
   blocks : (int64, block) Hashtbl.t;  (** keyed by start address *)
-  mutable block_map : block Dyn_util.Interval_map.t;  (** [start, end) map *)
   funcs : (int64, func) Hashtbl.t;
+  mutable blocks_sorted : block array;
+      (** frozen snapshot, ascending [b_start]; empty until {!freeze} *)
   mutable entries_sorted : int64 array;  (** known entries, ascending *)
   jump_tables : (int64, Jump_table.table) Hashtbl.t;
       (** dispatch block start -> the recovered table *)
@@ -54,10 +55,18 @@ type t = {
 
 val create : Symtab.t -> t
 
+(** Compute the frozen read-side snapshots once building is done:
+    [blocks_sorted] (behind {!block_containing}), [entries_sorted], and
+    deterministic in-edge lists (ascending source block, edge order
+    within a block preserved).  Called by the parsers; consumers only
+    ever see frozen CFGs. *)
+val freeze : t -> entries:int64 array -> unit
+
 (** Block starting exactly at the address. *)
 val block_at : t -> int64 -> block option
 
-(** Block whose [start, end) interval contains the address. *)
+(** Block whose [start, end) interval contains the address: binary
+    search over the frozen [blocks_sorted] snapshot. *)
 val block_containing : t -> int64 -> block option
 
 val func_at : t -> int64 -> func option

@@ -1,0 +1,120 @@
+(* Structural CFG equality for the parallel-vs-sequential differential
+   gate: compare two parses of the same binary and report every
+   difference as a human-readable line.  Edge lists are compared under a
+   canonical order, so representation noise (registration order) is not
+   a difference — functions, blocks, instruction streams, edges, jump
+   tables and gap-discovery flags are. *)
+
+open Cfg
+
+let kind_rank = function
+  | E_fallthrough -> 0
+  | E_taken -> 1
+  | E_not_taken -> 2
+  | E_jump -> 3
+  | E_call -> 4
+  | E_call_ft -> 5
+  | E_tail_call -> 6
+  | E_return -> 7
+  | E_jump_table -> 8
+  | E_indirect -> 9
+
+let target_key = function T_unknown -> (0, 0L) | T_addr a -> (1, a)
+
+let edge_key (e : edge) = (kind_rank e.ek, target_key e.e_dst)
+
+let canon_edges (es : edge list) =
+  List.sort (fun a b -> compare (edge_key a) (edge_key b)) es
+
+let edge_str (e : edge) = Format.asprintf "%a" pp_edge e
+
+let edges_str es =
+  String.concat ", " (List.map edge_str (canon_edges es))
+
+let i64s l = String.concat "," (List.map (Printf.sprintf "0x%Lx") l)
+
+(* All differences between [a] and [b], as "context: a-side vs b-side"
+   lines; empty means structurally identical. *)
+let diff (a : Cfg.t) (b : Cfg.t) : string list =
+  let out = ref [] in
+  let report fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  (* functions *)
+  let fa = Cfg.functions a and fb = Cfg.functions b in
+  let ea = List.map (fun f -> f.f_entry) fa
+  and eb = List.map (fun f -> f.f_entry) fb in
+  if ea <> eb then
+    report "function entries: [%s] vs [%s]" (i64s ea) (i64s eb)
+  else
+    List.iter2
+      (fun (x : func) (y : func) ->
+        let e = x.f_entry in
+        if x.f_name <> y.f_name then
+          report "func 0x%Lx name: %s vs %s" e x.f_name y.f_name;
+        if x.f_returns <> y.f_returns then
+          report "func 0x%Lx returns: %b vs %b" e x.f_returns y.f_returns;
+        if x.f_from_gap <> y.f_from_gap then
+          report "func 0x%Lx from_gap: %b vs %b" e x.f_from_gap y.f_from_gap;
+        if not (I64Set.equal x.f_callees y.f_callees) then
+          report "func 0x%Lx callees: [%s] vs [%s]" e
+            (i64s (I64Set.elements x.f_callees))
+            (i64s (I64Set.elements y.f_callees));
+        if not (I64Set.equal x.f_blocks y.f_blocks) then
+          report "func 0x%Lx blocks: [%s] vs [%s]" e
+            (i64s (I64Set.elements x.f_blocks))
+            (i64s (I64Set.elements y.f_blocks)))
+      fa fb;
+  (* blocks *)
+  let starts (c : Cfg.t) =
+    Hashtbl.fold (fun s _ acc -> s :: acc) c.blocks []
+    |> List.sort Int64.unsigned_compare
+  in
+  let sa = starts a and sb = starts b in
+  if sa <> sb then
+    report "block starts: %d blocks [%s…] vs %d blocks [%s…]" (List.length sa)
+      (i64s (List.filteri (fun i _ -> i < 8) sa))
+      (List.length sb)
+      (i64s (List.filteri (fun i _ -> i < 8) sb))
+  else
+    List.iter
+      (fun s ->
+        match (Cfg.block_at a s, Cfg.block_at b s) with
+        | Some x, Some y ->
+            if not (Int64.equal x.b_end y.b_end) then
+              report "block 0x%Lx end: 0x%Lx vs 0x%Lx" s x.b_end y.b_end;
+            if List.length x.b_insns <> List.length y.b_insns then
+              report "block 0x%Lx insns: %d vs %d" s (List.length x.b_insns)
+                (List.length y.b_insns);
+            if not (Int64.equal x.b_func y.b_func) then
+              report "block 0x%Lx func: 0x%Lx vs 0x%Lx" s x.b_func y.b_func;
+            let ex = edges_str x.b_out and ey = edges_str y.b_out in
+            if ex <> ey then report "block 0x%Lx out: [%s] vs [%s]" s ex ey
+        | _ -> assert false)
+      sa;
+  (* jump tables *)
+  let jts (c : Cfg.t) =
+    Hashtbl.fold (fun s t acc -> (s, t) :: acc) c.jump_tables []
+    |> List.sort (fun (x, _) (y, _) -> Int64.unsigned_compare x y)
+  in
+  let ja = jts a and jb = jts b in
+  let jka = List.map fst ja and jkb = List.map fst jb in
+  if jka <> jkb then
+    report "jump-table sites: [%s] vs [%s]" (i64s jka) (i64s jkb)
+  else
+    List.iter2
+      (fun (s, (x : Jump_table.table)) (_, (y : Jump_table.table)) ->
+        if
+          x.Jump_table.jt_base <> y.Jump_table.jt_base
+          || x.Jump_table.jt_entry_size <> y.Jump_table.jt_entry_size
+          || x.Jump_table.jt_relative <> y.Jump_table.jt_relative
+          || x.Jump_table.jt_clamped <> y.Jump_table.jt_clamped
+          || x.Jump_table.jt_targets <> y.Jump_table.jt_targets
+        then
+          report "jump table 0x%Lx: base 0x%Lx/%d targets vs base 0x%Lx/%d" s
+            x.Jump_table.jt_base
+            (List.length x.Jump_table.jt_targets)
+            y.Jump_table.jt_base
+            (List.length y.Jump_table.jt_targets))
+      ja jb;
+  List.rev !out
+
+let equal a b = diff a b = []

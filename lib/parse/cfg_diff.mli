@@ -1,0 +1,10 @@
+(** Structural CFG equality for the parallel-vs-sequential differential
+    gate.  Compares functions (names, callees, block sets, returns and
+    gap flags), blocks (bounds, instruction counts, owners, canonically
+    ordered out-edges) and jump tables of two parses of the same binary;
+    registration-order noise is not a difference. *)
+
+(** Every difference as a human-readable line; [[]] means identical. *)
+val diff : Cfg.t -> Cfg.t -> string list
+
+val equal : Cfg.t -> Cfg.t -> bool

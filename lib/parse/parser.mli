@@ -1,22 +1,28 @@
-(** Traversal parsing (ParseAPI's parser; paper §2.1, §3.2.3).
+(** Domain-parallel traversal parsing (ParseAPI's parser; paper §2.1,
+    §3.2.3, and §2's "fast parallel algorithm").
 
-    Parsing starts from known entry points — the ELF entry and function
-    symbols — and follows control-flow transfers, discovering new
-    function entries at call and tail-call sites.  jal/jalr
-    classification follows the paper's decision procedure (link register
-    + backward slice + span tests + jump-table analysis + unresolved
-    fallback).  After traversal:
+    Per-function CFG construction is a pure task over a shared read-only
+    image: each round parses every known entry into a function-local
+    partial CFG across [domains] worker domains (work-stealing deques),
+    merges the partials deterministically in ascending entry order, and
+    feeds discovered callee entries back as the next round, until
+    fixpoint.  Gap parsing and the dataflow refinement pass then run
+    over the merged whole, reusing the same round machinery for their
+    discoveries.  Classification decisions are identical to the
+    sequential reference ({!Refparser}); [rvcheck parsediff] enforces
+    CFG equality.
 
-    - {e gap parsing} scans uncovered code-region bytes for function
-      prologues;
-    - a {e dataflow refinement} pass re-examines unresolved jalr
-      terminators with flow-sensitive constant propagation
-      ({!Constprop}) and continues traversal when it resolves one. *)
+    The result is frozen ({!Cfg.freeze}) before being returned. *)
 
 (** Parse a binary into a CFG.
 
     @param gap_parsing scan coverage gaps for prologues (default true)
-    @param domains pre-decode all code regions in parallel across this
-    many OCaml domains (default 1 = fully lazy decoding); results are
-    identical either way *)
-val parse : ?gap_parsing:bool -> ?domains:int -> Symtab.t -> Cfg.t
+    @param domains task fan-out width (default 1 = the same task/merge
+    code path run sequentially); the CFG is identical for every value
+    @param oversubscribe spawn [domains] workers even beyond the
+    hardware's core count (default false: fan-out is clamped to
+    [Domain.recommended_domain_count ()], since extra workers cannot
+    change the CFG but do add stop-the-world GC synchronizations).
+    The differential harness sets it to stress contended schedules. *)
+val parse :
+  ?gap_parsing:bool -> ?domains:int -> ?oversubscribe:bool -> Symtab.t -> Cfg.t

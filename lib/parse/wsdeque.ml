@@ -1,0 +1,59 @@
+(* Work-stealing deque for the parallel parser's task scheduler.
+
+   One deque per worker domain: the owner pushes and pops at the bottom
+   (LIFO — good locality for tasks it spawned), idle workers steal from
+   the top (FIFO — steals take the oldest, typically largest, task).  A
+   plain mutex per deque keeps this boring and correct; parse tasks are
+   hundreds of microseconds to milliseconds, so the lock is never the
+   bottleneck and the deque needs no lock-free cleverness. *)
+
+type 'a t = {
+  mu : Mutex.t;
+  mutable buf : 'a option array;
+  mutable top : int; (* next steal slot *)
+  mutable bot : int; (* next push slot *)
+}
+
+let create () = { mu = Mutex.create (); buf = [||]; top = 0; bot = 0 }
+
+let push d x =
+  Mutex.lock d.mu;
+  let cap = Array.length d.buf in
+  if d.bot >= cap then begin
+    let buf' = Array.make (max 8 (2 * cap)) None in
+    Array.blit d.buf 0 buf' 0 cap;
+    d.buf <- buf'
+  end;
+  d.buf.(d.bot) <- Some x;
+  d.bot <- d.bot + 1;
+  Mutex.unlock d.mu
+
+(* owner end *)
+let pop d =
+  Mutex.lock d.mu;
+  let r =
+    if d.top >= d.bot then None
+    else begin
+      d.bot <- d.bot - 1;
+      let x = d.buf.(d.bot) in
+      d.buf.(d.bot) <- None;
+      x
+    end
+  in
+  Mutex.unlock d.mu;
+  r
+
+(* thief end *)
+let steal d =
+  Mutex.lock d.mu;
+  let r =
+    if d.top >= d.bot then None
+    else begin
+      let x = d.buf.(d.top) in
+      d.buf.(d.top) <- None;
+      d.top <- d.top + 1;
+      x
+    end
+  in
+  Mutex.unlock d.mu;
+  r

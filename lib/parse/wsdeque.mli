@@ -1,0 +1,15 @@
+(** Work-stealing deque for the parallel parser's scheduler: the owner
+    pushes/pops at the bottom (LIFO), thieves {!steal} from the top
+    (FIFO).  Mutex-protected — parse tasks are large enough that the
+    lock never contends measurably. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+(** Owner end (LIFO). *)
+val pop : 'a t -> 'a option
+
+(** Thief end (FIFO). *)
+val steal : 'a t -> 'a option

@@ -62,12 +62,15 @@ let read_file path : Bytes.t =
   close_in ic;
   b
 
-(* The shared parse artifact. *)
-let binary_for (cache : Cache.t) ~(hash : string) (bytes : Bytes.t) :
-    Core.binary =
+(* The shared parse artifact.  [domains] fans the CFG construction of a
+   cold parse across that many domains; it is deliberately absent from
+   the cache key because the parallel parser is differentially gated to
+   produce the identical CFG for every domain count. *)
+let binary_for ?(domains = 1) (cache : Cache.t) ~(hash : string)
+    (bytes : Bytes.t) : Core.binary =
   let v, _ =
     Cache.get_or_compute cache ~key:("bin:" ^ hash) (fun () ->
-        Cache.Bin (Core.open_bytes bytes))
+        Cache.Bin (Core.open_bytes ~domains bytes))
   in
   match v with
   | Cache.Bin b -> b
@@ -223,7 +226,8 @@ let payload_for (b : Core.binary) (action : Wire.action) : string =
    memo, so a warm request touches no file bytes at all: stat(2), two
    cache probes, done.  The file is only read inside the compute
    closure — i.e. on a payload miss. *)
-let exec ?stat (cache : Cache.t) (req : Wire.request) : Wire.response =
+let exec ?stat ?domains (cache : Cache.t) (req : Wire.request) :
+    Wire.response =
   let t0 = now_us () in
   let t0_ns = Trace.now_ns () in
   let elapsed () = Int64.sub (now_us ()) t0 in
@@ -260,7 +264,7 @@ let exec ?stat (cache : Cache.t) (req : Wire.request) : Wire.response =
                          let j =
                            tspan "execute" (fun () ->
                                let bytes = read_file req.Wire.rq_path in
-                               let b = binary_for cache ~hash bytes in
+                               let b = binary_for ?domains cache ~hash bytes in
                                payload_json b req.Wire.rq_action)
                          in
                          Cache.Payload

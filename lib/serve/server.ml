@@ -32,6 +32,8 @@ let g_domains = Obs.gauge "serve.pool.domains"
 type config = {
   sc_socket : string; (* socket path *)
   sc_domains : int;
+  sc_parse_domains : int;
+      (* domains per cold CFG parse inside a job (Jobs.binary_for) *)
   sc_verbose : bool;
   sc_trace_out : string option;
       (* write the span trace here on shutdown: Chrome trace-event JSON,
@@ -115,11 +117,31 @@ let stats_payload t =
         ("flushes", bi (Rvsim.Bbcache.flushes ()));
       ]
   in
+  (* parallel-parser work counters from the metrics registry: task and
+     steal totals across every cold parse this process has run.  The
+     registry rows are absent until the first parse, so default to 0. *)
+  let reg_count name =
+    match Obs.find name with
+    | Some { Obs.r_value = Obs.Counter_v v; _ } -> v
+    | Some { Obs.r_value = Obs.Histogram_v hv; _ } -> hv.Obs.hv_count
+    | _ -> 0
+  in
+  let parse =
+    J.Obj
+      [
+        ("domains", bi t.cfg.sc_parse_domains);
+        ("tasks", bi (reg_count "parse.tasks"));
+        ("steals", bi (reg_count "parse.steals"));
+        ("rounds", bi (reg_count "parse.rounds"));
+        ("merges", bi (reg_count "parse.merge_ns"));
+      ]
+  in
   J.to_string
     (J.Obj
        [
          ("cache", Cache.stats_json t.cache);
          ("bbcache", bbcache);
+         ("parse", parse);
          ("stat_hits", J.Int (Int64.of_int stat_hits));
          ("stat_misses", J.Int (Int64.of_int stat_misses));
          ("domains", J.Int (Int64.of_int (Pool.size t.pool)));
@@ -220,7 +242,10 @@ let handle_conn t fd =
                 Mutex.unlock wmu;
                 (try
                    Pool.submit t.pool (fun () ->
-                       let resp = Jobs.exec ~stat:t.stat t.cache req in
+                       let resp =
+                         Jobs.exec ~stat:t.stat
+                           ~domains:t.cfg.sc_parse_domains t.cache req
+                       in
                        Atomic.incr t.jobs_done;
                        Obs.incr m_jobs;
                        send resp;

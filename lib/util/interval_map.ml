@@ -54,6 +54,17 @@ let fold f t acc = M.fold (fun lo (hi, v) acc -> f lo hi v acc) t.m acc
 let iter f t = M.iter (fun lo (hi, v) -> f lo hi v) t.m
 let to_list t = List.rev (fold (fun lo hi v acc -> (lo, hi, v) :: acc) t [])
 
+(* Interval start keys in [lo, hi), ascending.  O(log n + k); used by
+   ParseAPI's merge to find the registered block starts inside an
+   incoming block without scanning its instructions. *)
+let starts_in t lo hi =
+  let rec take seq acc =
+    match seq () with
+    | Seq.Cons ((k, _), rest) when ucmp k hi < 0 -> take rest (k :: acc)
+    | _ -> List.rev acc
+  in
+  take (M.to_seq_from lo t.m) []
+
 (* Intervals intersecting [lo, hi). *)
 let overlapping t lo hi =
   fold

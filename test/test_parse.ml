@@ -482,12 +482,20 @@ let test_invariants () =
       invariant_program
   in
   let cfg = Parser.parse st in
-  (* 1. blocks are disjoint (Interval_map.add raises on overlap, so
-        successful parsing already guarantees it; assert map and table
-        agree) *)
-  checki "map and table agree"
-    (Dyn_util.Interval_map.cardinal cfg.Cfg.block_map)
+  (* 1. blocks are disjoint (the builders' Interval_map.add raises on
+        overlap, so successful parsing already guarantees it; assert the
+        frozen array and the table agree) *)
+  checki "frozen array and table agree"
+    (Array.length cfg.Cfg.blocks_sorted)
     (Hashtbl.length cfg.Cfg.blocks);
+  Array.iteri
+    (fun i (b : Cfg.block) ->
+      if i > 0 then
+        checkb "frozen array sorted and disjoint" true
+          (Int64.unsigned_compare cfg.Cfg.blocks_sorted.(i - 1).Cfg.b_end
+             b.Cfg.b_start
+          <= 0))
+    cfg.Cfg.blocks_sorted;
   Hashtbl.iter
     (fun start (b : Cfg.block) ->
       checkb "key is start" true (Int64.equal start b.Cfg.b_start);
@@ -540,27 +548,44 @@ let test_function_names () =
   let cfg = Parser.parse st in
   checks "symbol name used" "work" (find_func cfg "work").Cfg.f_name
 
+(* The differential gate at unit-test scale: the frozen sequential
+   reference parser and the parallel engine at 1/2/4/8 domains must
+   produce structurally identical CFGs. *)
+let check_all_domains name st =
+  let ref_cfg = Refparser.parse st in
+  List.iter
+    (fun d ->
+      let cfg = Parser.parse ~domains:d st in
+      match Cfg_diff.diff ref_cfg cfg with
+      | [] -> ()
+      | diffs ->
+          Alcotest.failf "%s: %d CFG differences at domains=%d, e.g. %s" name
+            (List.length diffs) d (List.hd diffs))
+    [ 1; 2; 4; 8 ]
+
 let test_parallel_parse_agrees () =
   let st, _ =
     build_symtab ~funcs:[ ("main", "main"); ("work", "work") ]
       invariant_program
   in
+  check_all_domains "invariant program" st;
   let cfg1 = Parser.parse ~domains:1 st in
   let cfg4 = Parser.parse ~domains:4 st in
   checki "same block count" (Cfg.n_blocks cfg1) (Cfg.n_blocks cfg4);
   checki "same function count"
     (List.length (Cfg.functions cfg1))
-    (List.length (Cfg.functions cfg4));
-  (* identical block boundaries and edge structure *)
-  Hashtbl.iter
-    (fun start (b1 : Cfg.block) ->
-      match Cfg.block_at cfg4 start with
-      | None -> Alcotest.failf "block 0x%Lx missing in parallel parse" start
-      | Some b4 ->
-          checkb "same end" true (Int64.equal b1.Cfg.b_end b4.Cfg.b_end);
-          checki "same edge count" (List.length b1.Cfg.b_out)
-            (List.length b4.Cfg.b_out))
-    cfg1.Cfg.blocks
+    (List.length (Cfg.functions cfg4))
+
+let test_parallel_parse_mutatees () =
+  List.iter
+    (fun (name, src) ->
+      let c = Minicc.Driver.compile src in
+      check_all_domains name (Symtab.of_image c.Minicc.Driver.image))
+    [
+      ("fib", Minicc.Programs.fib);
+      ("switch", Minicc.Programs.switch_demo);
+      ("matmul", Minicc.Programs.matmul ~n:4 ~reps:1);
+    ]
 
 let () =
   Alcotest.run "parse"
@@ -596,5 +621,7 @@ let () =
           Alcotest.test_case "function names" `Quick test_function_names;
           Alcotest.test_case "parallel parse agrees" `Quick
             test_parallel_parse_agrees;
+          Alcotest.test_case "parallel parse mutatees" `Quick
+            test_parallel_parse_mutatees;
         ] );
     ]

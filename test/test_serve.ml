@@ -276,6 +276,25 @@ let test_differential_trace () =
        })
     "trace"
 
+(* parallel parse inside a job: the domains knob must not change a
+   single payload byte — cold at N domains, the warm hit it seeds, and
+   a cold single-domain parse in a fresh cache all byte-match *)
+let test_differential_parallel_parse () =
+  let path = Lazy.force calls_elf in
+  let n = max 2 (Domain.recommended_domain_count ()) in
+  let cn = Cache.create () in
+  let cold_n = Jobs.exec ~domains:n cn (job path Wire.Parse) in
+  let warm_n = Jobs.exec ~domains:n cn (job path Wire.Parse) in
+  let c1 = Cache.create () in
+  let cold_1 = Jobs.exec ~domains:1 c1 (job path Wire.Parse) in
+  Alcotest.(check bool) "parallel cold ok" true cold_n.Wire.rs_ok;
+  Alcotest.(check bool) "parallel cold uncached" false cold_n.Wire.rs_cached;
+  Alcotest.(check bool) "parallel warm flagged" true warm_n.Wire.rs_cached;
+  Alcotest.(check string)
+    "warm = cold at N domains" cold_n.Wire.rs_payload warm_n.Wire.rs_payload;
+  Alcotest.(check string)
+    "N domains = 1 domain" cold_1.Wire.rs_payload cold_n.Wire.rs_payload
+
 (* spec canonicalization: field order and list order don't split the key *)
 let test_spec_key_canonical () =
   let a =
@@ -361,6 +380,7 @@ let test_server_session () =
       {
         Serve_api.Server.sc_socket = sock;
         sc_domains = 2;
+        sc_parse_domains = 2;
         sc_verbose = false;
         sc_trace_out = None;
       }
@@ -497,6 +517,8 @@ let () =
           Alcotest.test_case "lint warm = cold" `Quick test_differential_lint;
           Alcotest.test_case "rewrite warm = cold" `Quick test_differential_rewrite;
           Alcotest.test_case "trace warm = cold" `Quick test_differential_trace;
+          Alcotest.test_case "parallel parse warm = cold" `Quick
+            test_differential_parallel_parse;
           Alcotest.test_case "spec key canonical" `Quick test_spec_key_canonical;
         ] );
       ( "wire",
