@@ -27,16 +27,21 @@
 #   serve-smoke  end-to-end rvserved/rvq session over a real socket:
 #                mixed batch, warm batch must be fully cached and
 #                byte-identical, clean shutdown
+#   verify-smoke symbolic tier: prove every built-in mutatee rewrite
+#                equivalent site by site, require every seeded
+#                wrong-rewrite class to pass the structural verifier
+#                but fail symbolically, and pin the exit-2 convention
+#                for unreadable inputs
 #   check        fmt + build + test + fuzz-smoke + lint-smoke +
-#                serve-smoke + bench-smoke — what CI and the PR driver
-#                run
+#                verify-smoke + serve-smoke + bench-smoke — what CI and
+#                the PR driver run
 #   bench        regenerate the evaluation tables, BENCH_trace.json,
 #                BENCH_prof.json, BENCH_sim.json, BENCH_parse.json and
 #                BENCH_served.json.  The parse section gates hard on a
 #                2.5x largest-corpus speedup and zero CFG differences
 
 .PHONY: all build test fmt check bench bench-smoke fuzz-smoke lint-smoke \
-	serve-smoke clean
+	verify-smoke serve-smoke clean
 
 all: build
 
@@ -58,10 +63,13 @@ fuzz-smoke:
 lint-smoke:
 	dune exec bin/rvlint.exe -- smoke
 
+verify-smoke:
+	sh scripts/verify_smoke.sh
+
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-check: fmt build test fuzz-smoke lint-smoke serve-smoke bench-smoke
+check: fmt build test fuzz-smoke lint-smoke verify-smoke serve-smoke bench-smoke
 
 bench:
 	dune exec bench/main.exe

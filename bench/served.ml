@@ -124,6 +124,31 @@ let metrics_overhead ~smoke ~min_warm_time (reqs : W.request list) :
   let bar = if smoke then 10.0 else 3.0 in
   (on, off, pct, pct <= bar)
 
+(* Symbolic-verify jobs land in the same artifact cache, so a warm hit
+   must replay the cold payload byte for byte — verdicts, path counts
+   and all.  Run one verify job cold then warm on the first mutatee and
+   compare the payload strings. *)
+let verify_job_stability (paths : string list) : int * bool =
+  let cache = Cache.create () in
+  let stat = Serve_api.Statcache.create () in
+  let req =
+    {
+      W.rq_id = 0L;
+      rq_path = List.hd paths;
+      rq_action =
+        W.Verify (Patch_api.Rewriter.counter_spec ~entries:[ "main" ] ());
+    }
+  in
+  let cold = Jobs.exec ~stat cache req in
+  let warm = Jobs.exec ~stat cache req in
+  if not (cold.W.rs_ok && warm.W.rs_ok) then
+    Format.kasprintf failwith "verify job failed: %s%s" cold.W.rs_error
+      warm.W.rs_error;
+  let stable =
+    warm.W.rs_cached && String.equal cold.W.rs_payload warm.W.rs_payload
+  in
+  (String.length cold.W.rs_payload, stable)
+
 let bench ?(smoke = false) ?(json = "BENCH_served.json") () =
   print_endline "\n== rvserved: artifact-cache throughput ==";
   let paths = write_corpus ~smoke in
@@ -147,6 +172,10 @@ let bench ?(smoke = false) ?(json = "BENCH_served.json") () =
   let ok = ratio >= 5.0 in
   Printf.printf "   warm/cold (1 domain): %.1fx  (>= 5x: %s)\n" ratio
     (if ok then "ok" else "VIOLATED");
+  let v_bytes, v_stable = verify_job_stability paths in
+  Printf.printf "   verify job: %d payload bytes, warm byte-stable: %s\n"
+    v_bytes
+    (if v_stable then "ok" else "VIOLATED");
   let m_on, m_off, m_pct, m_ok = metrics_overhead ~smoke ~min_warm_time reqs in
   Printf.printf
     "   metrics overhead: %8.0f on  %8.0f off  jobs/s  (%+.1f%%, bar %.0f%%: \
@@ -170,11 +199,16 @@ let bench ?(smoke = false) ?(json = "BENCH_served.json") () =
   Printf.fprintf oc
     "  \"warm_over_cold_1d\": %.2f,\n  \"warm_over_cold_ok\": %b,\n" ratio ok;
   Printf.fprintf oc
+    "  \"verify_job\": {\"payload_bytes\": %d, \"warm_byte_stable\": %b},\n"
+    v_bytes v_stable;
+  Printf.fprintf oc
     "  \"metrics_overhead\": {\"warm_on_jobs_per_s\": %.1f, \
      \"warm_off_jobs_per_s\": %.1f, \"overhead_pct\": %.2f, \"ok\": %b}\n}\n"
     m_on m_off m_pct m_ok;
   close_out oc;
   Printf.printf "   wrote %s\n" json;
   if not ok then failwith "rvserved bench: warm cache under 5x cold";
+  if not v_stable then
+    failwith "rvserved bench: warm verify payload not byte-identical to cold";
   if not m_ok then
     failwith "rvserved bench: metrics overhead above the warm-path bar"

@@ -41,7 +41,7 @@ let run_lint file json domains =
       emit json ds;
       if Diag.n_errors ds > 0 then 1 else 0
 
-let run_verify orig_path rw_path manifest_path json =
+let run_verify orig_path rw_path manifest_path json symbolic =
   match
     try
       let b = Core.open_file orig_path in
@@ -57,6 +57,14 @@ let run_verify orig_path rw_path manifest_path json =
       let ds =
         Verifier.verify ~orig:b.Core.symtab b.Core.cfg ~manifest:m
           ~rewritten:rw
+      in
+      let ds =
+        if symbolic then
+          ds
+          @ Verify_api.Check.to_diags
+              (Verify_api.Check.check_manifest ~orig:b.Core.symtab b.Core.cfg
+                 ~manifest:m ~rewritten:rw)
+        else ds
       in
       emit json ds;
       if Diag.n_errors ds > 0 then 1 else 0
@@ -146,25 +154,36 @@ let domains_arg =
     & info [ "domains" ] ~docv:"N"
         ~doc:"parse CFGs across $(docv) domains (default: available cores)")
 
+(* Plain string args, not [Arg.file]: cmdliner's pre-validation exits
+   124 on a missing path, but unreadable inputs must flow through our
+   own handler and exit 2, the rvdump --json convention. *)
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"BIN" ~doc:"binary to lint")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BIN" ~doc:"binary to lint")
 
 let orig_arg =
   Arg.(
-    required & pos 0 (some file) None
+    required & pos 0 (some string) None
     & info [] ~docv:"ORIG" ~doc:"original binary")
 
 let rw_arg =
   Arg.(
-    required & pos 1 (some file) None
+    required & pos 1 (some string) None
     & info [] ~docv:"REWRITTEN" ~doc:"rewritten binary")
 
 let manifest_arg =
   Arg.(
     required
-    & opt (some file) None
+    & opt (some string) None
     & info [ "manifest" ] ~docv:"M.json"
         ~doc:"patch manifest emitted by the rewrite (rvrewrite --manifest)")
+
+let symbolic_arg =
+  Arg.(
+    value & flag
+    & info [ "symbolic" ]
+        ~doc:
+          "after the structural rules, symbolically prove each patch \
+           site equivalent to its original block (rvverify tier)")
 
 let rules_cmd =
   Cmd.v (Cmd.info "rules" ~doc:"print the diagnostic catalog")
@@ -178,7 +197,9 @@ let lint_cmd =
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~doc:"check a rewritten binary against its manifest")
-    Term.(const run_verify $ orig_arg $ rw_arg $ manifest_arg $ json_arg)
+    Term.(
+      const run_verify $ orig_arg $ rw_arg $ manifest_arg $ json_arg
+      $ symbolic_arg)
 
 let smoke_cmd =
   Cmd.v

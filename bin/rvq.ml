@@ -3,7 +3,7 @@
      rvq ping|flush|shutdown [--socket PATH]
      rvq stats [--json]            # cache/pool stats, table by default
      rvq metrics [--json] [--watch SECS]   # live registry scrape
-     rvq job <parse|lint|rewrite|profile|trace> <mutatee.elf> \
+     rvq job <parse|lint|rewrite|verify|profile|trace> <mutatee.elf> \
         [--entries f]... [--blocks f]... [--exits f]... \
         [--period N] [--calls] [--returns] [--mem] [--funcs f]...
      rvq batch [--socket PATH]     # NDJSON requests on stdin
@@ -205,6 +205,8 @@ let job socket action_name path entries blocks exits period calls returns mem
     | "lint" -> W.Lint
     | "rewrite" ->
         W.Rewrite (Patch_api.Rewriter.counter_spec ~entries ~blocks ~exits ())
+    | "verify" ->
+        W.Verify (Patch_api.Rewriter.counter_spec ~entries ~blocks ~exits ())
     | "profile" -> W.Profile { W.ps_period = Int64.of_int period }
     | "trace" ->
         W.Trace
@@ -300,7 +302,7 @@ let action_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"ACTION" ~doc:"parse|lint|rewrite|profile|trace")
+    & info [] ~docv:"ACTION" ~doc:"parse|lint|rewrite|verify|profile|trace")
 
 let path_arg =
   Arg.(
@@ -313,9 +315,9 @@ let job_cmd =
     (Cmd.info "job" ~doc:"submit one job and print its response")
     Term.(
       const job $ socket_arg $ action_arg $ path_arg
-      $ strlist "entries" "count entries of FUNC (rewrite)"
-      $ strlist "blocks" "count blocks of FUNC (rewrite)"
-      $ strlist "exits" "count exits of FUNC (rewrite)"
+      $ strlist "entries" "count entries of FUNC (rewrite/verify)"
+      $ strlist "blocks" "count blocks of FUNC (rewrite/verify)"
+      $ strlist "exits" "count exits of FUNC (rewrite/verify)"
       $ Arg.(value & opt int 10_000 & info [ "period" ] ~doc:"sample period (profile)")
       $ Arg.(value & flag & info [ "calls" ] ~doc:"trace call sites")
       $ Arg.(value & flag & info [ "returns" ] ~doc:"trace returns")

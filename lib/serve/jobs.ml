@@ -134,6 +134,33 @@ let rewrite_payload (b : Core.binary) (cs : Patch_api.Rewriter.counter_spec) :
         | Some m -> Patch_api.Manifest.to_json m );
     ]
 
+(* The symbolic tier as a job: instrument in memory with the same
+   counter spec as a rewrite job, then prove every patch site of the
+   resulting manifest.  Deterministic because the rewrite is and the
+   checker's verdicts/path counts depend only on the images. *)
+let verify_payload (b : Core.binary) (cs : Patch_api.Rewriter.counter_spec) :
+    J.t =
+  let img, manifest, stats =
+    Patch_api.Rewriter.instrument_counters b.Core.symtab b.Core.cfg cs
+  in
+  match manifest with
+  | None ->
+      J.Obj
+        [
+          ("points", J.Int (Int64.of_int stats.Patch_api.Rewriter.n_points));
+          ("report", J.Null);
+        ]
+  | Some m ->
+      let r =
+        Verify_api.Check.check_manifest ~orig:b.Core.symtab b.Core.cfg
+          ~manifest:m ~rewritten:img
+      in
+      J.Obj
+        [
+          ("points", J.Int (Int64.of_int stats.Patch_api.Rewriter.n_points));
+          ("report", Verify_api.Check.to_json r);
+        ]
+
 let profile_payload (b : Core.binary) (ps : Wire.profile_spec) : J.t =
   let config =
     {
@@ -210,6 +237,7 @@ let payload_json (b : Core.binary) (action : Wire.action) : J.t =
   | Wire.Parse -> parse_payload b
   | Wire.Lint -> lint_payload b
   | Wire.Rewrite cs -> rewrite_payload b cs
+  | Wire.Verify cs -> verify_payload b cs
   | Wire.Profile ps -> profile_payload b ps
   | Wire.Trace ts -> trace_payload b ts
   | Wire.Ping | Wire.Stats | Wire.Metrics | Wire.Flush | Wire.Shutdown ->

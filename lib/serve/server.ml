@@ -136,12 +136,23 @@ let stats_payload t =
         ("merges", bi (reg_count "parse.merge_ns"));
       ]
   in
+  (* symbolic-verifier site counters (verify jobs, rvlint --symbolic in
+     this process); rows absent until the first verification. *)
+  let verify =
+    J.Obj
+      [
+        ("sites_ok", bi (reg_count "verify.sites_ok"));
+        ("sites_failed", bi (reg_count "verify.sites_failed"));
+        ("sites_timeout", bi (reg_count "verify.sites_timeout"));
+      ]
+  in
   J.to_string
     (J.Obj
        [
          ("cache", Cache.stats_json t.cache);
          ("bbcache", bbcache);
          ("parse", parse);
+         ("verify", verify);
          ("stat_hits", J.Int (Int64.of_int stat_hits));
          ("stat_misses", J.Int (Int64.of_int stat_misses));
          ("domains", J.Int (Int64.of_int (Pool.size t.pool)));

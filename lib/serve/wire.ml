@@ -6,7 +6,7 @@
               "elapsed_us":1234,"payload":{...}}
           or {"id":N,"ok":false,"error":"..."}
 
-   Actions parse/lint/rewrite/profile/trace are jobs (sharded across
+   Actions parse/lint/rewrite/verify/profile/trace are jobs (sharded across
    the pool, results cacheable); ping/stats/metrics/flush/shutdown are
    control actions answered inline by the connection thread.  Responses stream
    as jobs finish, so they may arrive out of submission order: clients
@@ -36,6 +36,7 @@ type action =
   | Parse
   | Lint
   | Rewrite of Patch_api.Rewriter.counter_spec
+  | Verify of Patch_api.Rewriter.counter_spec
   | Profile of profile_spec
   | Trace of trace_spec
   | Ping
@@ -58,12 +59,13 @@ type response = {
 
 let is_control = function
   | Ping | Stats | Metrics | Flush | Shutdown -> true
-  | Parse | Lint | Rewrite _ | Profile _ | Trace _ -> false
+  | Parse | Lint | Rewrite _ | Verify _ | Profile _ | Trace _ -> false
 
 let action_name = function
   | Parse -> "parse"
   | Lint -> "lint"
   | Rewrite _ -> "rewrite"
+  | Verify _ -> "verify"
   | Profile _ -> "profile"
   | Trace _ -> "trace"
   | Ping -> "ping"
@@ -75,7 +77,7 @@ let action_name = function
 (* Canonical spec fragment for the cache key (sorted, order-free). *)
 let spec_key = function
   | Parse | Lint | Ping | Stats | Metrics | Flush | Shutdown -> ""
-  | Rewrite cs -> Patch_api.Rewriter.spec_key cs
+  | Rewrite cs | Verify cs -> Patch_api.Rewriter.spec_key cs
   | Profile p -> Printf.sprintf "period=%Ld" p.ps_period
   | Trace ts ->
       Printf.sprintf "b=%b;c=%b;r=%b;m=%b;f=%s" ts.ts_blocks ts.ts_calls
@@ -99,7 +101,7 @@ let request_fields (r : request) : (string * J.t) list =
   let spec =
     match r.rq_action with
     | Parse | Lint | Ping | Stats | Metrics | Flush | Shutdown -> []
-    | Rewrite cs ->
+    | Rewrite cs | Verify cs ->
         [
           ("entries", strs cs.Patch_api.Rewriter.cs_entries);
           ("blocks", strs cs.Patch_api.Rewriter.cs_blocks);
@@ -187,14 +189,15 @@ let decode_request (line : string) : request =
   | "shutdown" -> { rq_id = id; rq_path = ""; rq_action = Shutdown }
   | "parse" -> { rq_id = id; rq_path = path (); rq_action = Parse }
   | "lint" -> { rq_id = id; rq_path = path (); rq_action = Lint }
-  | "rewrite" ->
+  | "rewrite" | "verify" ->
       let cs =
         Patch_api.Rewriter.counter_spec
           ~entries:(opt_strs obj "entries")
           ~blocks:(opt_strs obj "blocks")
           ~exits:(opt_strs obj "exits") ()
       in
-      { rq_id = id; rq_path = path (); rq_action = Rewrite cs }
+      let act = if action = "verify" then Verify cs else Rewrite cs in
+      { rq_id = id; rq_path = path (); rq_action = act }
   | "profile" ->
       let p = { ps_period = opt_int64 obj "period" ~default:10_000L } in
       { rq_id = id; rq_path = path (); rq_action = Profile p }

@@ -1,5 +1,5 @@
 (** rvserved's wire protocol: newline-delimited JSON, one object per
-    line.  parse/lint/rewrite/profile/trace are cacheable jobs;
+    line.  parse/lint/rewrite/verify/profile/trace are cacheable jobs;
     ping/stats/metrics/flush/shutdown are control actions.  Responses stream as
     jobs finish and may be out of order — correlate by id.  {!spec_key}
     canonicalizes job parameters for the artifact-cache key. *)
@@ -20,6 +20,9 @@ type action =
   | Parse
   | Lint
   | Rewrite of Patch_api.Rewriter.counter_spec
+  | Verify of Patch_api.Rewriter.counter_spec
+      (** instrument in memory with the same spec as {!Rewrite}, then
+          symbolically prove each patch site equivalent *)
   | Profile of profile_spec
   | Trace of trace_spec
   | Ping

@@ -1,0 +1,155 @@
+(* The manifest driver: symbolically verify every patch site of a
+   rewrite, surface the results as lint diagnostics, a JSON payload for
+   the artifact cache, and — via {!install} — a verification tier that
+   chains after whatever [Rewriter.verify_hook] is already installed
+   (normally the structural verifier). *)
+
+module Obs = Dyn_obs.Registry
+module Trace = Dyn_obs.Trace
+module J = Dyn_util.Jsonw
+
+type report = {
+  r_sites : Equiv.site list;
+  r_ok : int;
+  r_failed : int;
+  r_unknown : int;
+}
+
+let c_ok = Obs.counter "verify.sites_ok"
+let c_failed = Obs.counter "verify.sites_failed"
+let c_timeout = Obs.counter "verify.sites_timeout"
+
+let tspan name f = if Trace.is_enabled () then Trace.with_span name f else f ()
+
+(* Instruction fetch over the rewritten image: region lookup + decode,
+   memoized (trampoline continuations re-walk the same span). *)
+let fetcher (rw : Symtab.t) : int64 -> Instruction.t option =
+  let memo = Hashtbl.create 64 in
+  fun pc ->
+    match Hashtbl.find_opt memo pc with
+    | Some r -> r
+    | None ->
+        let r =
+          match Symtab.region_at rw pc with
+          | None -> None
+          | Some rg ->
+              Instruction.decode ~base:rg.Symtab.rg_addr rg.Symtab.rg_data
+                ~pos:(Int64.to_int (Int64.sub pc rg.Symtab.rg_addr))
+        in
+        Hashtbl.replace memo pc r;
+        r
+
+let check_manifest ?config ~orig:(_ : Symtab.t) (cfg : Parse_api.Cfg.t)
+    ~(manifest : Patch_api.Manifest.t) ~(rewritten : Elfkit.Types.image) :
+    report =
+  let rw_code = fetcher (Symtab.of_image rewritten) in
+  let sites =
+    List.map
+      (fun e ->
+        let site =
+          tspan "verify:symexec" (fun () ->
+              Equiv.check_site ?config ~cfg ~manifest ~rw_code e)
+        in
+        (match site.Equiv.s_verdict with
+        | Equiv.Proved -> Obs.incr c_ok
+        | Equiv.Failed _ -> Obs.incr c_failed
+        | Equiv.Unknown _ -> Obs.incr c_timeout);
+        site)
+      manifest.Patch_api.Manifest.m_entries
+  in
+  let count p = List.length (List.filter p sites) in
+  tspan "verify:equiv" (fun () ->
+      {
+        r_sites = sites;
+        r_ok = count (fun s -> s.Equiv.s_verdict = Equiv.Proved);
+        r_failed =
+          count (fun s ->
+              match s.Equiv.s_verdict with Equiv.Failed _ -> true | _ -> false);
+        r_unknown =
+          count (fun s ->
+              match s.Equiv.s_verdict with Equiv.Unknown _ -> true | _ -> false);
+      })
+
+(* --- diagnostics ---------------------------------------------------------- *)
+
+let to_diags (r : report) : Lint_api.Diag.t list =
+  List.concat_map
+    (fun (s : Equiv.site) ->
+      match s.Equiv.s_verdict with
+      | Equiv.Proved -> []
+      | Equiv.Failed issues ->
+          List.map
+            (fun msg ->
+              Lint_api.Diag.make ~rule:"symbolic-inequivalence"
+                ~severity:Lint_api.Diag.Error ~addr:s.Equiv.s_block
+                "block 0x%Lx (%s springboard): %s" s.Equiv.s_block
+                s.Equiv.s_strategy msg)
+            issues
+      | Equiv.Unknown msg ->
+          [
+            Lint_api.Diag.make ~rule:"symbolic-timeout"
+              ~severity:Lint_api.Diag.Warning ~addr:s.Equiv.s_block
+              "block 0x%Lx: symbolic verification inconclusive: %s"
+              s.Equiv.s_block msg;
+          ])
+    r.r_sites
+
+(* --- JSON payload (rvserved verify jobs, rvverify --json) ---------------- *)
+
+let verdict_json (s : Equiv.site) =
+  let v, detail =
+    match s.Equiv.s_verdict with
+    | Equiv.Proved -> ("proved", [])
+    | Equiv.Failed issues ->
+        ("failed", [ ("issues", J.List (List.map (fun m -> J.String m) issues)) ])
+    | Equiv.Unknown msg -> ("unknown", [ ("reason", J.String msg) ])
+  in
+  J.Obj
+    ([
+       ("block", J.String (Printf.sprintf "0x%Lx" s.Equiv.s_block));
+       ("strategy", J.String s.Equiv.s_strategy);
+       ("verdict", J.String v);
+       ("paths_orig", J.Int (Int64.of_int s.Equiv.s_paths_orig));
+       ("paths_rewritten", J.Int (Int64.of_int s.Equiv.s_paths_tramp));
+       ("steps", J.Int (Int64.of_int s.Equiv.s_steps));
+     ]
+    @ detail)
+
+let to_json (r : report) : J.t =
+  J.Obj
+    [
+      ("sites", J.Int (Int64.of_int (List.length r.r_sites)));
+      ("proved", J.Int (Int64.of_int r.r_ok));
+      ("failed", J.Int (Int64.of_int r.r_failed));
+      ("unknown", J.Int (Int64.of_int r.r_unknown));
+      ("verdicts", J.List (List.map verdict_json r.r_sites));
+    ]
+
+(* --- verify_hook tier ----------------------------------------------------- *)
+
+let saved_hook = ref None
+
+(* Chain after whatever hook is already installed (the structural
+   verifier, when [Lint_api.Verifier.install] ran first): structural
+   findings raise before we spend symbolic budget. *)
+let install () =
+  let prev = !Patch_api.Rewriter.verify_hook in
+  saved_hook := Some prev;
+  Patch_api.Rewriter.verify_hook :=
+    Some
+      (fun orig cfg ~manifest ~rewritten ->
+        (match prev with
+        | Some h -> h orig cfg ~manifest ~rewritten
+        | None -> ());
+        let r = check_manifest ~orig cfg ~manifest ~rewritten in
+        if r.r_failed > 0 then
+          raise
+            (Lint_api.Verifier.Verify_failed
+               (Lint_api.Diag.errors (to_diags r))))
+
+let uninstall () =
+  match !saved_hook with
+  | Some prev ->
+      Patch_api.Rewriter.verify_hook := prev;
+      saved_hook := None
+  | None -> ()

@@ -1,0 +1,274 @@
+(* Bounded symbolic execution of decoded instructions over the sailsem
+   IR ([lib/sail/ir.ml]), mirroring the concrete evaluator
+   ([lib/sail/eval.ml]) statement for statement but computing terms
+   instead of words.
+
+   Control flow: the pc is always concrete.  An [SIf] whose condition
+   does not normalize to a constant (and is not pinned by the path
+   condition) forks the world; a computed next-pc that stays symbolic
+   ends the path with that term as its exit.  Budgets on instruction
+   count and live paths turn runaway exploration into a [Budget]
+   exception, which the checker reports as a timeout rather than a
+   verdict. *)
+
+open Sailsem
+
+exception Unsupported of string
+exception Budget of string
+
+let fail_unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+type config = {
+  max_steps : int; (* instructions executed, summed over all paths *)
+  max_paths : int; (* simultaneous worlds *)
+  private_ranges : (int64 * int64) list; (* [lo, hi) instrumentation-only *)
+}
+
+let default_config =
+  { max_steps = 4096; max_paths = 64; private_ranges = [] }
+
+(* Path condition: canonical condition term -> assumed truth value.  The
+   canonical form strips [BoolNot] wrappers (flipping the polarity) so
+   that a branch and its relaxed inversion pin the same atom. *)
+type conds = (Sterm.t * bool) list
+
+let rec canon_cond t =
+  match t with
+  | Sterm.Un (Ir.BoolNot, t') ->
+      let atom, pol = canon_cond t' in
+      (atom, not pol)
+  | _ -> (t, true)
+
+let decide (conds : conds) t =
+  match t with
+  | Sterm.Const v -> Some (v <> 0L)
+  | _ -> (
+      let atom, pol = canon_cond t in
+      match List.assoc_opt atom conds with
+      | Some b -> Some (b = pol)
+      | None -> None)
+
+let assume (conds : conds) t b =
+  let atom, pol = canon_cond t in
+  (atom, b = pol) :: conds
+
+(* Two path conditions are consistent when no atom is pinned to opposite
+   values. *)
+let consistent (a : conds) (b : conds) =
+  not
+    (List.exists
+       (fun (atom, v) ->
+         match List.assoc_opt atom b with
+         | Some v' -> v <> v'
+         | None -> false)
+       a)
+
+(* --- expression evaluation ----------------------------------------------- *)
+
+type world = { w_conds : conds; w_env : (string * Sterm.t) list; w_st : Symstate.t }
+
+let field_value (insn : Riscv.Insn.t) = function
+  | Ir.F_rd -> insn.Riscv.Insn.rd
+  | Ir.F_rs1 -> insn.Riscv.Insn.rs1
+  | Ir.F_rs2 -> insn.Riscv.Insn.rs2
+  | Ir.F_rs3 -> insn.Riscv.Insn.rs3
+
+(* Pure opaque functions the concrete evaluator also folds; anything
+   else stays uninterpreted.  Rounding-mode-sensitive FP opaques get the
+   rm baked into the function symbol so two instructions only produce
+   equal terms when they would round identically. *)
+let eval_opaque ~(insn : Riscv.Insn.t) st name (args : Sterm.t list) : Sterm.t =
+  let consts =
+    List.fold_right
+      (fun a acc ->
+        match (a, acc) with
+        | Sterm.Const v, Some l -> Some (v :: l)
+        | _ -> None)
+      args (Some [])
+  in
+  match (name, args) with
+  | "csr_read", [ Sterm.Const c ] -> Symstate.get_csr st (Int64.to_int c)
+  | "zimm", [] -> Sterm.Const (Int64.of_int insn.Riscv.Insn.rs1)
+  | "fp_flags", [] -> st.Symstate.fcsr
+  | "reservation_valid", [ a ] ->
+      Sterm.App ("resv_valid", [ st.Symstate.resv; a ])
+  | _ -> (
+      match consts with
+      | Some vargs -> (
+          try Sterm.Const (Eval.eval_fp_opaque ~insn name vargs)
+          with Eval.Eval_error _ | Invalid_argument _ ->
+            Sterm.App
+              (Printf.sprintf "%s#%d" name insn.Riscv.Insn.rm, args))
+      | None ->
+          Sterm.App (Printf.sprintf "%s#%d" name insn.Riscv.Insn.rm, args))
+
+let rec eval_expr ~(insn : Riscv.Insn.t) ~pc (w : world) (e : Ir.expr) : Sterm.t
+    =
+  let recur = eval_expr ~insn ~pc w in
+  match e with
+  | Ir.Const v -> Sterm.Const v
+  | Ir.ImmVal -> Sterm.Const insn.Riscv.Insn.imm
+  | Ir.CsrVal -> Sterm.Const (Int64.of_int insn.Riscv.Insn.csr)
+  | Ir.ReadPC -> Sterm.Const pc
+  | Ir.NextPC -> Sterm.Const (Int64.add pc (Int64.of_int insn.Riscv.Insn.len))
+  | Ir.Var x -> (
+      match List.assoc_opt x w.w_env with
+      | Some v -> v
+      | None -> fail_unsupported "unbound variable %s" x)
+  | Ir.ReadX f -> Symstate.get_x w.w_st (field_value insn f)
+  | Ir.ReadF f -> Symstate.get_f w.w_st (field_value insn f)
+  | Ir.Load (width, a) -> Symstate.load w.w_st width (recur a)
+  | Ir.Binop (op, a, b) -> Sterm.binop op (recur a) (recur b)
+  | Ir.Unop (op, a) -> Sterm.unop op (recur a)
+  | Ir.SignExt (a, n) -> Sterm.sext (recur a) n
+  | Ir.ZeroExt (a, n) -> Sterm.zext (recur a) n
+  | Ir.Opaque (name, args) -> eval_opaque ~insn w.w_st name (List.map recur args)
+
+(* --- statement evaluation ------------------------------------------------- *)
+
+(* Mirrors [Eval.eval_stmts]: a branch's env bindings are discarded, a
+   later [SSetPC] overrides an earlier one.  Returns every reachable
+   world with its pc override. *)
+let rec exec_stmts cfg ~insn ~pc (w : world) (pcov : Sterm.t option)
+    (stmts : Ir.stmt list) : (world * Sterm.t option) list =
+  match stmts with
+  | [] -> [ (w, pcov) ]
+  | s :: rest -> (
+      let continue_ w pcov = exec_stmts cfg ~insn ~pc w pcov rest in
+      match s with
+      | Ir.SLet (x, e) ->
+          let v = eval_expr ~insn ~pc w e in
+          continue_ { w with w_env = (x, v) :: w.w_env } pcov
+      | Ir.SSetX (f, e) ->
+          let v = eval_expr ~insn ~pc w e in
+          continue_
+            { w with w_st = Symstate.set_x w.w_st (field_value insn f) v }
+            pcov
+      | Ir.SSetF (f, e) ->
+          let v = eval_expr ~insn ~pc w e in
+          continue_
+            { w with w_st = Symstate.set_f w.w_st (field_value insn f) v }
+            pcov
+      | Ir.SSetPC e -> continue_ w (Some (eval_expr ~insn ~pc w e))
+      | Ir.SSetFCSR e ->
+          let v = eval_expr ~insn ~pc w e in
+          continue_ { w with w_st = { w.w_st with Symstate.fcsr = v } } pcov
+      | Ir.SStore (width, a, v) ->
+          let a = eval_expr ~insn ~pc w a and v = eval_expr ~insn ~pc w v in
+          continue_
+            {
+              w with
+              w_st =
+                Symstate.store ~private_ranges:cfg.private_ranges w.w_st width
+                  a v;
+            }
+            pcov
+      | Ir.SIf (c, then_b, else_b) ->
+          let ct = eval_expr ~insn ~pc w c in
+          let run_branch w branch =
+            exec_stmts cfg ~insn ~pc w pcov branch
+            |> List.concat_map (fun (w', pcov') ->
+                   (* env from the branch is discarded, like Eval *)
+                   exec_stmts cfg ~insn ~pc
+                     { w' with w_env = w.w_env }
+                     pcov' rest)
+          in
+          (match decide w.w_conds ct with
+          | Some true -> run_branch w then_b
+          | Some false -> run_branch w else_b
+          | None ->
+              run_branch { w with w_conds = assume w.w_conds ct true } then_b
+              @ run_branch { w with w_conds = assume w.w_conds ct false } else_b)
+      | Ir.SEffect (name, args) ->
+          let vargs = List.map (eval_expr ~insn ~pc w) args in
+          let st = w.w_st in
+          let st =
+            match (name, vargs) with
+            | "csr_write", [ Sterm.Const c; v ] ->
+                Symstate.set_csr
+                  (Symstate.effect st name vargs)
+                  (Int64.to_int c) v
+            | "set_reservation", [ a ] ->
+                { (Symstate.effect st name vargs) with Symstate.resv = a }
+            | "clear_reservation", [] ->
+                {
+                  (Symstate.effect st name vargs) with
+                  Symstate.resv = Sterm.App ("resv_none", []);
+                }
+            | _ -> Symstate.effect st name vargs
+          in
+          continue_ { w with w_st = st } pcov)
+
+(* --- instruction step ----------------------------------------------------- *)
+
+(* Returns reachable worlds with the term for the next pc (fallthrough
+   included). *)
+let step cfg (w : world) (ins : Instruction.t) : (world * Sterm.t) list =
+  let insn = ins.Instruction.insn in
+  let pc = ins.Instruction.addr in
+  let fallthrough = Sterm.Const (Int64.add pc (Int64.of_int insn.Riscv.Insn.len)) in
+  match Instruction.op ins with
+  | Riscv.Op.ECALL ->
+      (* The simplified semantics strip the trap; an environment call is
+         still observable (argument registers) and havocs a0. *)
+      let args = List.init 8 (fun i -> Symstate.get_x w.w_st (10 + i)) in
+      let st = Symstate.effect w.w_st "ecall" args in
+      let ret = Sterm.App ("ecall_ret", [ Sterm.Const (Int64.of_int st.Symstate.n_ecalls) ]) in
+      let st = Symstate.set_x { st with Symstate.n_ecalls = st.Symstate.n_ecalls + 1 } 10 ret in
+      [ ({ w with w_st = st }, fallthrough) ]
+  | Riscv.Op.EBREAK ->
+      let st = Symstate.effect w.w_st "ebreak" [] in
+      [ ({ w with w_st = st }, Sterm.App ("trap", [ Sterm.Const pc ])) ]
+  | op -> (
+      match Instruction.semantics ins with
+      | None -> fail_unsupported "no semantics for %s" (Riscv.Op.mnemonic op)
+      | Some sem ->
+          exec_stmts cfg ~insn ~pc { w with w_env = [] } None sem.Ir.stmts
+          |> List.map (fun (w', pcov) ->
+                 (w', Option.value pcov ~default:fallthrough)))
+
+(* --- bounded run ---------------------------------------------------------- *)
+
+type path = { p_conds : conds; p_state : Symstate.t; p_exit : Sterm.t }
+
+type result = { paths : path list; steps : int }
+
+(* Run from [start] until every path leaves the domain.  [start] itself
+   is an exit when re-entered (a block's own back edge is an
+   observable exit, and on the rewritten side the springboard must not
+   be re-dispatched). *)
+let run ?(config = default_config) ~(code : int64 -> Instruction.t option)
+    ~(in_domain : int64 -> bool) ~(start : int64) (st0 : Symstate.t) : result =
+  let steps = ref 0 in
+  let finished = ref [] in
+  let work = Queue.create () in
+  Queue.add ({ w_conds = []; w_env = []; w_st = st0 }, start, true) work;
+  while not (Queue.is_empty work) do
+    let w, pc, first = Queue.pop work in
+    if (not (in_domain pc)) || (Int64.equal pc start && not first) then
+      finished :=
+        { p_conds = w.w_conds; p_state = w.w_st; p_exit = Sterm.Const pc }
+        :: !finished
+    else
+      match code pc with
+      | None -> fail_unsupported "undecodable instruction at 0x%Lx" pc
+      | Some ins ->
+          incr steps;
+          if !steps > config.max_steps then
+            raise (Budget (Printf.sprintf "step budget at 0x%Lx" pc));
+          let outs = step config w ins in
+          if
+            Queue.length work + List.length outs + List.length !finished
+            > config.max_paths
+          then raise (Budget (Printf.sprintf "path budget at 0x%Lx" pc));
+          List.iter
+            (fun (w', nx) ->
+              match nx with
+              | Sterm.Const t -> Queue.add (w', t, false) work
+              | t ->
+                  finished :=
+                    { p_conds = w'.w_conds; p_state = w'.w_st; p_exit = t }
+                    :: !finished)
+            outs
+  done;
+  { paths = List.rev !finished; steps = !steps }
